@@ -1,0 +1,60 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run -p mdq-bench --bin run_experiments            # everything
+//! cargo run -p mdq-bench --bin run_experiments -- fig11   # one experiment
+//! ```
+
+use mdq_bench::experiments::{ablation, fig11, fig5, fig7, fig8, table1};
+
+const SEED: u64 = 2008;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let mut ran = false;
+
+    if wanted("table1") {
+        banner("Table 1 — service profiles");
+        println!("{}", table1::render(SEED));
+        ran = true;
+    }
+    if wanted("ex41") || wanted("fig7") || wanted("ex51") {
+        banner("Examples 4.1 & 5.1 / Figure 7 — plan space and pruning");
+        println!("{}", fig7::render());
+        ran = true;
+    }
+    if wanted("fig5") {
+        banner("Figure 5 — join strategies");
+        println!("{}", fig5::render());
+        ran = true;
+    }
+    if wanted("fig8") || wanted("fig9") || wanted("fig6") {
+        banner("Figures 6, 8 & 9 — physical plans");
+        println!("{}", fig8::render());
+        ran = true;
+    }
+    if wanted("fig11") {
+        banner("Figure 11 — plans × caches (+ multithreading)");
+        println!("{}", fig11::render(SEED));
+        ran = true;
+    }
+    if wanted("ablation") || wanted("trace") {
+        banner("Ablations — heuristics, baseline, domains");
+        println!("{}", ablation::render());
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown experiment `{}`; available: table1 fig5 fig7 fig8 fig11 ablation",
+            args.join(" ")
+        );
+        std::process::exit(2);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}

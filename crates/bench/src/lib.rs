@@ -1,0 +1,29 @@
+//! # mdq-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the evaluation of *Braga et
+//! al., "Optimization of Multi-Domain Queries on the Web", VLDB 2008*,
+//! printing measured values next to the paper's. See `EXPERIMENTS.md`
+//! at the workspace root for the recorded comparison.
+//!
+//! Run everything:
+//!
+//! ```sh
+//! cargo run -p mdq-bench --bin run_experiments
+//! # or a single experiment:
+//! cargo run -p mdq-bench --bin run_experiments -- fig11
+//! ```
+//!
+//! Criterion micro-benchmarks live under `benches/`
+//! (`cargo bench -p mdq-bench`).
+
+#![warn(missing_docs)]
+
+/// One module per table / figure / ablation.
+pub mod experiments {
+    pub mod ablation;
+    pub mod fig11;
+    pub mod fig5;
+    pub mod fig7;
+    pub mod fig8;
+    pub mod table1;
+}

@@ -1,0 +1,493 @@
+//! Cardinality and invocation-count estimation (§3.4, §5.2).
+//!
+//! For every plan node the estimator derives:
+//!
+//! * `t_in` — tuples arriving (candidate pairs, for joins);
+//! * `t_out` — tuples leaving: `t_in · ξ` for exact services,
+//!   `t_in · cs · F` for chunked ones, join size for joins — times the
+//!   selectivity of every predicate that first becomes applicable there;
+//! * `calls` — *effective* service invocations, which under caching can
+//!   be far fewer than `t_in` (Eq. 2): tuples produced contiguously by a
+//!   proliferative ancestor arrive in blocks that repeat the same input
+//!   values, so the number of distinct-block calls is bounded by the
+//!   minimal `t_out` among the pipe nodes carrying each input variable
+//!   (the paper's set `N(n)` of minimal contributors).
+//!
+//! Cache settings (§5.1): *no cache* pays one call per input tuple;
+//! *one-call cache* pays per block (Eq. 2); *optimal cache* pays per
+//! distinct input combination, additionally capped by abstract-domain
+//! cardinalities.
+
+use crate::selectivity::SelectivityModel;
+use mdq_plan::dag::{NodeId, NodeKind, Plan};
+use mdq_model::binding::input_vars;
+use mdq_model::query::VarId;
+use mdq_model::schema::{Chunking, Schema};
+use std::collections::HashSet;
+
+/// The logical-caching settings of §5.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheSetting {
+    /// Every call is repeated.
+    NoCache,
+    /// The engine recalls the last call (and result) per service,
+    /// absorbing immediate re-invocations with identical parameters.
+    OneCall,
+    /// The engine memoizes every call: one invocation per distinct input.
+    Optimal,
+}
+
+impl CacheSetting {
+    /// All three settings, in the paper's order.
+    pub const ALL: [CacheSetting; 3] =
+        [CacheSetting::NoCache, CacheSetting::OneCall, CacheSetting::Optimal];
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheSetting::NoCache => "no cache",
+            CacheSetting::OneCall => "one-call cache",
+            CacheSetting::Optimal => "optimal cache",
+        }
+    }
+}
+
+/// Per-node estimates produced by [`Estimator::annotate`]; the `t^in` /
+/// `t^out` annotations of Fig. 8.
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    /// Tuples (or candidate pairs) arriving at each node.
+    pub t_in: Vec<f64>,
+    /// Tuples leaving each node.
+    pub t_out: Vec<f64>,
+    /// Effective service invocations per node (0 for non-invoke nodes).
+    pub calls: Vec<f64>,
+    /// The cache setting the estimate was computed under.
+    pub cache: CacheSetting,
+}
+
+impl Annotation {
+    /// Estimated size of the query answer (`t_out` of the Output node).
+    pub fn out_size(&self) -> f64 {
+        *self.t_out.last().expect("plans always have an output node")
+    }
+
+    /// Calls attributed to the invoke node of plan-atom position `pos`.
+    pub fn calls_of_atom(&self, plan: &Plan, pos: usize) -> f64 {
+        plan.node_of_atom(pos)
+            .map(|NodeId(i)| self.calls[i])
+            .unwrap_or(0.0)
+    }
+}
+
+/// The §5.2 estimator. Borrowed context: schema for profiles/domains,
+/// selectivity model for predicate σ's.
+#[derive(Clone, Copy, Debug)]
+pub struct Estimator<'a> {
+    /// Service signatures and domain cardinalities.
+    pub schema: &'a Schema,
+    /// Predicate selectivity defaults.
+    pub selectivity: &'a SelectivityModel,
+    /// Cache setting assumed for call counting.
+    pub cache: CacheSetting,
+}
+
+impl<'a> Estimator<'a> {
+    /// Creates an estimator.
+    pub fn new(schema: &'a Schema, selectivity: &'a SelectivityModel, cache: CacheSetting) -> Self {
+        Estimator {
+            schema,
+            selectivity,
+            cache,
+        }
+    }
+
+    /// Annotates `plan` with `t_in` / `t_out` / `calls` per node.
+    pub fn annotate(&self, plan: &Plan) -> Annotation {
+        let n = plan.nodes.len();
+        let mut t_in = vec![0.0f64; n];
+        let mut t_out = vec![0.0f64; n];
+        let mut calls = vec![0.0f64; n];
+        // which predicates have been applied upstream of each node
+        let mut applied: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+
+        for i in 0..n {
+            let node = &plan.nodes[i];
+            // predicates inherited from inputs
+            let mut inherited: HashSet<usize> = HashSet::new();
+            for inp in &node.inputs {
+                inherited.extend(applied[inp.0].iter().copied());
+            }
+            // predicates newly applicable here: all vars bound, not yet applied
+            let new_preds: Vec<usize> = plan
+                .query
+                .predicates
+                .iter()
+                .enumerate()
+                .filter(|(k, p)| {
+                    !inherited.contains(k)
+                        && p.vars().iter().all(|v| node.bound_vars.contains(v))
+                })
+                .map(|(k, _)| k)
+                .collect();
+            let sigma_new: f64 = new_preds
+                .iter()
+                .map(|&k| self.selectivity.selectivity(&plan.query.predicates[k]))
+                .product();
+
+            match &node.kind {
+                NodeKind::Input => {
+                    // §3.4: the user injects one single input tuple
+                    t_in[i] = 1.0;
+                    t_out[i] = 1.0;
+                }
+                NodeKind::Output => {
+                    let up = node.inputs[0].0;
+                    t_in[i] = t_out[up];
+                    t_out[i] = t_out[up] * sigma_new;
+                }
+                NodeKind::Invoke { atom } => {
+                    let up = node.inputs[0].0;
+                    let stream = t_out[up];
+                    t_in[i] = stream;
+                    calls[i] = self.estimate_calls(plan, i, *atom, stream, &t_out);
+                    let sig = self.schema.service(plan.query.atoms[*atom].service);
+                    let pos = plan.position_of(*atom).expect("atom covered by plan");
+                    let per_input = match sig.chunking {
+                        Chunking::Bulk => sig.profile.erspi,
+                        Chunking::Chunked { chunk_size } => {
+                            chunk_size as f64 * plan.fetch_of(pos) as f64
+                        }
+                    };
+                    t_out[i] = stream * per_input * sigma_new;
+                }
+                NodeKind::Join { left, right, on, .. } => {
+                    let (l, r) = (left.0, right.0);
+                    t_in[i] = t_out[l] * t_out[r];
+                    // Divergence node: the deepest common dataflow
+                    // ancestor. Both branches replicate its tuples, so
+                    // only pairs agreeing on them join (provenance
+                    // factor 1 / t_out[divergence]).
+                    let div = self.divergence(plan, *left, *right);
+                    let div_out = t_out[div.0].max(1.0);
+                    // Shared variables not bound at the divergence are
+                    // genuine value joins: σ = 1 / max(V_l, V_r) with V =
+                    // min(side t_out, domain cardinality).
+                    let div_bound = &plan.nodes[div.0].bound_vars;
+                    let mut sigma_join = 1.0 / div_out;
+                    for v in on.iter().filter(|v| !div_bound.contains(v)) {
+                        let card = self.domain_cardinality(plan, *v);
+                        let vl = t_out[l].max(1.0).min(card);
+                        let vr = t_out[r].max(1.0).min(card);
+                        sigma_join /= vl.max(vr);
+                    }
+                    t_out[i] = t_in[i] * sigma_join * sigma_new;
+                }
+            }
+            let mut acc = inherited;
+            acc.extend(new_preds);
+            applied[i] = acc;
+        }
+
+        Annotation {
+            t_in,
+            t_out,
+            calls,
+            cache: self.cache,
+        }
+    }
+
+    /// Effective invocation count for the invoke node `node_idx` of query
+    /// atom `atom` receiving `stream` input tuples.
+    fn estimate_calls(
+        &self,
+        plan: &Plan,
+        node_idx: usize,
+        atom: usize,
+        stream: f64,
+        t_out: &[f64],
+    ) -> f64 {
+        if self.cache == CacheSetting::NoCache {
+            return stream;
+        }
+        let in_vars = input_vars(&plan.query, self.schema, &plan.choice, atom);
+        if in_vars.is_empty() {
+            // constant-only inputs: a single distinct input combination
+            return stream.min(1.0);
+        }
+        // ancestors of this node (dataflow upstream)
+        let ancestors = self.ancestors(plan, NodeId(node_idx));
+        // N(n): per input variable, the ancestor with minimal t_out among
+        // those carrying the variable; collected as a deduplicated set
+        let mut minimal_nodes: HashSet<usize> = HashSet::new();
+        let mut per_var_min: Vec<(VarId, usize, f64)> = Vec::new();
+        for v in &in_vars {
+            let best = ancestors
+                .iter()
+                .filter(|&&a| plan.nodes[a].bound_vars.contains(v))
+                .min_by(|&&a, &&b| t_out[a].total_cmp(&t_out[b]));
+            if let Some(&m) = best {
+                minimal_nodes.insert(m);
+                per_var_min.push((*v, m, t_out[m]));
+            }
+            // variables with no carrying ancestor cannot occur in
+            // admissible plans; treat as unconstrained (no factor)
+        }
+        let block_bound: f64 = minimal_nodes.iter().map(|&m| t_out[m].max(1.0)).product();
+        let one_call = stream.min(block_bound);
+        if self.cache == CacheSetting::OneCall {
+            return one_call;
+        }
+        // Optimal: per minimal node, distinct contribution is further
+        // capped by the product of its variables' domain cardinalities.
+        let mut optimal = 1.0f64;
+        for &m in &minimal_nodes {
+            let var_cap: f64 = per_var_min
+                .iter()
+                .filter(|(_, node, _)| *node == m)
+                .map(|(v, _, _)| self.domain_cardinality(plan, *v))
+                .product();
+            optimal *= t_out[m].max(1.0).min(var_cap);
+        }
+        one_call.min(optimal)
+    }
+
+    /// Dataflow ancestors of `id` (transitive inputs, excluding `id`).
+    fn ancestors(&self, plan: &Plan, id: NodeId) -> Vec<usize> {
+        let mut seen = vec![false; plan.nodes.len()];
+        let mut stack: Vec<usize> = plan.nodes[id.0].inputs.iter().map(|n| n.0).collect();
+        let mut out = Vec::new();
+        while let Some(x) = stack.pop() {
+            if seen[x] {
+                continue;
+            }
+            seen[x] = true;
+            out.push(x);
+            stack.extend(plan.nodes[x].inputs.iter().map(|n| n.0));
+        }
+        out
+    }
+
+    /// Deepest common dataflow ancestor of two nodes (exists because every
+    /// plan has the Input node as a common root; "deepest" by node index,
+    /// which is a topological order).
+    fn divergence(&self, plan: &Plan, a: NodeId, b: NodeId) -> NodeId {
+        let aa: HashSet<usize> = self
+            .ancestors(plan, a)
+            .into_iter()
+            .chain(std::iter::once(a.0))
+            .collect();
+        let bb: HashSet<usize> = self
+            .ancestors(plan, b)
+            .into_iter()
+            .chain(std::iter::once(b.0))
+            .collect();
+        NodeId(
+            aa.intersection(&bb)
+                .copied()
+                .max()
+                .expect("Input is a common ancestor"),
+        )
+    }
+
+    /// Cardinality of the abstract domain of `v` (∞ when unknown). The
+    /// variable's domain is read off its first occurrence in an atom.
+    fn domain_cardinality(&self, plan: &Plan, v: VarId) -> f64 {
+        for atom in &plan.query.atoms {
+            for (i, t) in atom.terms.iter().enumerate() {
+                if t.as_var() == Some(v) {
+                    let sig = self.schema.service(atom.service);
+                    return self
+                        .schema
+                        .domain_info(sig.domains[i])
+                        .cardinality
+                        .unwrap_or(f64::INFINITY);
+                }
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{fig6_poset, fig7a_serial_poset, running_example, RunningExample};
+    use mdq_model::binding::ApChoice;
+    use mdq_model::examples::{ATOM_FLIGHT, ATOM_HOTEL};
+    use mdq_plan::builder::{build_plan, StrategyRule};
+    use std::sync::Arc;
+
+    fn annotate(
+        plan: &Plan,
+        schema: &Schema,
+        cache: CacheSetting,
+    ) -> Annotation {
+        let sel = SelectivityModel::default();
+        Estimator::new(schema, &sel, cache).annotate(plan)
+    }
+
+    /// Fig. 8: the fully instantiated physical plan. With F_flight = 3 and
+    /// F_hotel = 4 the annotation must read t_out(conf) = 20,
+    /// t_out(weather) = 1, t_out(flight) = 75, t_out(hotel) = 20,
+    /// t_in(MS) = 1500, t_out(MS) = 15.
+    #[test]
+    fn fig8_annotation_values() {
+        let RunningExample { schema, query } = running_example();
+        let query = Arc::new(query);
+        let mut plan = build_plan(
+            Arc::clone(&query),
+            &schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            fig6_poset(),
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect("builds");
+        plan.set_fetch(ATOM_FLIGHT, 3);
+        plan.set_fetch(ATOM_HOTEL, 4);
+        let ann = annotate(&plan, &schema, CacheSetting::NoCache);
+
+        let node_out = |name: &str| -> f64 {
+            let idx = plan
+                .nodes
+                .iter()
+                .position(|n| match n.kind {
+                    NodeKind::Invoke { atom } => {
+                        schema.service(plan.query.atoms[atom].service).name.as_ref() == name
+                    }
+                    _ => false,
+                })
+                .unwrap_or_else(|| panic!("node {name} missing"));
+            ann.t_out[idx]
+        };
+        assert!((node_out("conf") - 20.0).abs() < 1e-9);
+        assert!((node_out("weather") - 1.0).abs() < 1e-9);
+        assert!((node_out("flight") - 75.0).abs() < 1e-9);
+        assert!((node_out("hotel") - 20.0).abs() < 1e-9);
+        let join_idx = plan
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Join { .. }))
+            .expect("join");
+        assert!((ann.t_in[join_idx] - 1500.0).abs() < 1e-9, "t_in = {}", ann.t_in[join_idx]);
+        assert!((ann.t_out[join_idx] - 15.0).abs() < 1e-9, "t_out = {}", ann.t_out[join_idx]);
+        assert!(ann.out_size() >= 10.0, "k = 10 answers reachable");
+    }
+
+    /// Example 5.1's serial plan: t_in(weather) = ξ_conf = 20 and
+    /// t_in(flight) = t_in(hotel) = ξ_conf · ξ_weather = 1 under the
+    /// one-call (block) estimate.
+    #[test]
+    fn example_51_serial_call_estimates() {
+        let RunningExample { schema, query } = running_example();
+        let query = Arc::new(query);
+        let plan = build_plan(
+            Arc::clone(&query),
+            &schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            fig7a_serial_poset(),
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect("builds");
+        let ann = annotate(&plan, &schema, CacheSetting::OneCall);
+        let calls = |pos: usize| ann.calls_of_atom(&plan, pos);
+        assert!((calls(mdq_model::examples::ATOM_CONF) - 1.0).abs() < 1e-9);
+        assert!((calls(mdq_model::examples::ATOM_WEATHER) - 20.0).abs() < 1e-9);
+        assert!((calls(ATOM_FLIGHT) - 1.0).abs() < 1e-9, "flight blocks by weather output");
+        assert!((calls(ATOM_HOTEL) - 1.0).abs() < 1e-9, "hotel blocks by weather output");
+    }
+
+    #[test]
+    fn no_cache_pays_per_stream_tuple() {
+        let RunningExample { schema, query } = running_example();
+        let query = Arc::new(query);
+        let plan = build_plan(
+            Arc::clone(&query),
+            &schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            fig7a_serial_poset(),
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect("builds");
+        let ann = annotate(&plan, &schema, CacheSetting::NoCache);
+        // hotel receives flight's whole stream: 1 block · cs 25 · F 1 = 25
+        assert!((ann.calls_of_atom(&plan, ATOM_HOTEL) - 25.0).abs() < 1e-9);
+        let one = annotate(&plan, &schema, CacheSetting::OneCall);
+        let opt = annotate(&plan, &schema, CacheSetting::Optimal);
+        for i in 0..plan.nodes.len() {
+            assert!(one.calls[i] <= ann.calls[i] + 1e-12, "one-call ≤ no-cache");
+            assert!(opt.calls[i] <= one.calls[i] + 1e-12, "optimal ≤ one-call");
+        }
+    }
+
+    #[test]
+    fn optimal_cache_caps_by_domain_cardinality() {
+        let RunningExample { mut schema, query } = running_example();
+        // pretend the city domain has only 3 distinct values
+        let city = schema.domain_by_name("City").expect("City domain");
+        schema.set_domain_cardinality(city, 3.0);
+        let query = Arc::new(query);
+        let plan = build_plan(
+            Arc::clone(&query),
+            &schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            fig7a_serial_poset(),
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect("builds");
+        let opt = annotate(&plan, &schema, CacheSetting::Optimal);
+        // weather's inputs are City and Date, both minimal at the conf
+        // node: cap = card(City)=3 × card(Date)=365 does not bind below
+        // t_out(conf)=20 here, so only the generic bound applies
+        let w = opt.calls_of_atom(&plan, mdq_model::examples::ATOM_WEATHER);
+        assert!(w <= 20.0 + 1e-9);
+        // shrink Date too: now the 3·2 = 6 cap binds
+        let date = schema.domain_by_name("Date").expect("Date domain");
+        schema.set_domain_cardinality(date, 2.0);
+        let opt2 = annotate(&plan, &schema, CacheSetting::Optimal);
+        let w2 = opt2.calls_of_atom(&plan, mdq_model::examples::ATOM_WEATHER);
+        assert!(w2 <= 6.0 + 1e-9, "city·date cap: {w2}");
+    }
+
+    #[test]
+    fn join_value_selectivity_without_provenance() {
+        // Two independent services both output X; joining them is a value
+        // join with σ = 1 / max(V_l, V_r).
+        use mdq_model::parser::parse_query;
+        use mdq_model::schema::{ServiceBuilder, ServiceProfile};
+        let mut s = Schema::new();
+        s.domain_with("DX", mdq_model::value::DomainKind::Int, Some(10.0));
+        ServiceBuilder::new(&mut s, "a")
+            .attr("X", "DX")
+            .pattern("o")
+            .profile(ServiceProfile::new(30.0, 1.0))
+            .register()
+            .expect("a");
+        ServiceBuilder::new(&mut s, "b")
+            .attr("X", "DX")
+            .pattern("o")
+            .profile(ServiceProfile::new(5.0, 1.0))
+            .register()
+            .expect("b");
+        let q = parse_query("q(X) :- a(X), b(X).", &s).expect("parses");
+        let q = Arc::new(q);
+        let poset = mdq_plan::poset::Poset::antichain(2);
+        let plan = build_plan(
+            q,
+            &s,
+            ApChoice(vec![0, 0]),
+            poset,
+            vec![0, 1],
+            &StrategyRule::default(),
+        )
+        .expect("builds");
+        let ann = annotate(&plan, &s, CacheSetting::NoCache);
+        // V_a = min(30, 10) = 10, V_b = min(5, 10) = 5 → σ = 1/10
+        // t_out = 30·5/10 = 15
+        assert!((ann.out_size() - 15.0).abs() < 1e-9, "{}", ann.out_size());
+    }
+}

@@ -1,0 +1,72 @@
+//! Predicate selectivity estimation.
+//!
+//! The paper assumes domain uniformity and independence (§2.2), under
+//! which "estimating the erspi of a service does not differ, in
+//! principle, from what is normally done to estimate the effect of a
+//! selection predicate over a table in a relational database" (§3.4).
+//! We adopt the classic System-R defaults, overridable per predicate via
+//! [`Predicate::selectivity_hint`](mdq_model::query::Predicate).
+
+use mdq_model::query::{CmpOp, Predicate};
+
+/// Default selectivities per comparison class, à la System R.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectivityModel {
+    /// σ for equality predicates (default 0.1).
+    pub eq: f64,
+    /// σ for inequality (`!=`) predicates (default 0.9).
+    pub ne: f64,
+    /// σ for range predicates (`<`, `<=`, `>`, `>=`; default 1/3).
+    pub range: f64,
+}
+
+impl Default for SelectivityModel {
+    fn default() -> Self {
+        SelectivityModel {
+            eq: 0.1,
+            ne: 0.9,
+            range: 1.0 / 3.0,
+        }
+    }
+}
+
+impl SelectivityModel {
+    /// The selectivity of `p`: its hint when present, otherwise the
+    /// class default. Clamped to `(0, 1]` — a zero selectivity would make
+    /// every downstream cardinality vanish and break fetch assignment.
+    pub fn selectivity(&self, p: &Predicate) -> f64 {
+        let sigma = p.selectivity_hint.unwrap_or(match p.op {
+            CmpOp::Eq => self.eq,
+            CmpOp::Ne => self.ne,
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => self.range,
+        });
+        sigma.clamp(f64::MIN_POSITIVE, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::query::{Expr, Predicate, VarId};
+
+    fn pred(op: CmpOp) -> Predicate {
+        Predicate::new(Expr::var(VarId(0)), op, Expr::constant(1i64))
+    }
+
+    #[test]
+    fn defaults_by_class() {
+        let m = SelectivityModel::default();
+        assert_eq!(m.selectivity(&pred(CmpOp::Eq)), 0.1);
+        assert_eq!(m.selectivity(&pred(CmpOp::Ne)), 0.9);
+        assert!((m.selectivity(&pred(CmpOp::Lt)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.selectivity(&pred(CmpOp::Ge)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hints_override_and_clamp() {
+        let m = SelectivityModel::default();
+        assert_eq!(m.selectivity(&pred(CmpOp::Eq).with_selectivity(0.01)), 0.01);
+        assert_eq!(m.selectivity(&pred(CmpOp::Eq).with_selectivity(7.0)), 1.0);
+        assert!(m.selectivity(&pred(CmpOp::Eq).with_selectivity(0.0)) > 0.0);
+    }
+}

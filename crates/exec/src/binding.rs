@@ -1,0 +1,254 @@
+//! Variable bindings flowing through plan operators.
+//!
+//! During execution, a stream tuple is a partial assignment of the
+//! query's variables. Invoke nodes extend bindings with service results
+//! (unifying against constants and already-bound variables — the pipe
+//! join); parallel join nodes merge bindings from two branches.
+
+use mdq_model::query::{Atom, ConjunctiveQuery, Predicate, Term, VarId};
+use mdq_model::value::{Tuple, Value};
+use std::sync::Arc;
+
+/// A (partial) assignment of query variables, cheap to clone.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Binding {
+    values: Arc<[Option<Value>]>,
+}
+
+impl Binding {
+    /// The empty binding over `nvars` variables.
+    pub fn empty(nvars: usize) -> Self {
+        Binding {
+            values: vec![None; nvars].into(),
+        }
+    }
+
+    /// The value bound to `v`, if any.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Option<&Value> {
+        self.values[v.0 as usize].as_ref()
+    }
+
+    /// Whether `v` is bound.
+    pub fn is_bound(&self, v: VarId) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Extends the binding with a service result tuple for `atom`:
+    /// unifies every position (constants and bound variables must match
+    /// the returned value under join equality; unbound variables are
+    /// bound). Returns `None` when unification fails — the tuple is
+    /// filtered out, implementing both output-constant selections and
+    /// pipe-join equality.
+    pub fn bind_atom(&self, atom: &Atom, result: &Tuple) -> Option<Binding> {
+        debug_assert_eq!(atom.terms.len(), result.arity());
+        let mut new: Option<Vec<Option<Value>>> = None;
+        for (i, term) in atom.terms.iter().enumerate() {
+            let actual = result.get(i);
+            match term {
+                Term::Const(c) => {
+                    if !c.join_eq(actual) {
+                        return None;
+                    }
+                }
+                Term::Var(v) => {
+                    let slot = v.0 as usize;
+                    let current = new
+                        .as_ref()
+                        .map(|n| n[slot].as_ref())
+                        .unwrap_or_else(|| self.values[slot].as_ref());
+                    match current {
+                        Some(bound) => {
+                            if !bound.join_eq(actual) {
+                                return None;
+                            }
+                        }
+                        None => {
+                            let n = new.get_or_insert_with(|| self.values.to_vec());
+                            n[slot] = Some(actual.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Some(match new {
+            Some(n) => Binding { values: n.into() },
+            None => self.clone(),
+        })
+    }
+
+    /// Merges two bindings from parallel branches, requiring the shared
+    /// `on` variables to agree (the parallel-join condition); other
+    /// variables are unioned. Returns `None` on disagreement anywhere.
+    pub fn merge(&self, other: &Binding, on: &[VarId]) -> Option<Binding> {
+        debug_assert_eq!(self.values.len(), other.values.len());
+        for v in on {
+            match (self.get(*v), other.get(*v)) {
+                (Some(a), Some(b)) if a.join_eq(b) => {}
+                (None, None) => {}
+                _ => return None,
+            }
+        }
+        let mut out = self.values.to_vec();
+        for (slot, val) in other.values.iter().enumerate() {
+            match (&out[slot], val) {
+                (None, Some(v)) => out[slot] = Some(v.clone()),
+                (Some(a), Some(b)) if !a.join_eq(b) => return None,
+                _ => {}
+            }
+        }
+        Some(Binding { values: out.into() })
+    }
+
+    /// Evaluates a predicate under this binding (`None` = not yet
+    /// applicable because a variable is unbound).
+    pub fn eval_predicate(&self, p: &Predicate) -> Option<bool> {
+        p.eval(&|v| self.get(v).cloned())
+    }
+
+    /// Projects the binding onto the query head, producing an answer
+    /// tuple. Unbound head variables become `Null` (cannot happen for
+    /// safe queries executed to completion).
+    pub fn project_head(&self, query: &ConjunctiveQuery) -> Tuple {
+        query
+            .head
+            .iter()
+            .map(|v| self.get(*v).cloned().unwrap_or(Value::Null))
+            .collect()
+    }
+
+    /// The input-key values for an atom under an access pattern's input
+    /// positions: constants inline, variables from the binding. `None`
+    /// if an input variable is unbound (the plan is being executed out
+    /// of order — a bug).
+    pub fn input_key(&self, atom: &Atom, input_positions: &[usize]) -> Option<Vec<Value>> {
+        input_positions
+            .iter()
+            .map(|&i| match &atom.terms[i] {
+                Term::Const(c) => Some(c.clone()),
+                Term::Var(v) => self.get(*v).cloned(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::query::{CmpOp, Expr};
+
+    fn atom_xy() -> Atom {
+        // s('k', X, Y)
+        Atom {
+            service: mdq_model::schema::ServiceId(0),
+            terms: vec![
+                Term::Const(Value::str("k")),
+                Term::Var(VarId(0)),
+                Term::Var(VarId(1)),
+            ],
+        }
+    }
+
+    #[test]
+    fn bind_atom_binds_and_filters() {
+        let b = Binding::empty(2);
+        let atom = atom_xy();
+        let t = Tuple::new(vec![Value::str("k"), Value::Int(1), Value::Int(2)]);
+        let b2 = b.bind_atom(&atom, &t).expect("unifies");
+        assert_eq!(b2.get(VarId(0)), Some(&Value::Int(1)));
+        assert_eq!(b2.get(VarId(1)), Some(&Value::Int(2)));
+        // constant mismatch filters
+        let bad = Tuple::new(vec![Value::str("other"), Value::Int(1), Value::Int(2)]);
+        assert!(b.bind_atom(&atom, &bad).is_none());
+        // bound-variable mismatch filters (pipe-join equality)
+        let t3 = Tuple::new(vec![Value::str("k"), Value::Int(9), Value::Int(2)]);
+        assert!(b2.bind_atom(&atom, &t3).is_none());
+        // agreeing rebind passes
+        let t4 = Tuple::new(vec![Value::str("k"), Value::Int(1), Value::Int(2)]);
+        assert!(b2.bind_atom(&atom, &t4).is_some());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_must_agree() {
+        // s(X, X, Y)
+        let atom = Atom {
+            service: mdq_model::schema::ServiceId(0),
+            terms: vec![
+                Term::Var(VarId(0)),
+                Term::Var(VarId(0)),
+                Term::Var(VarId(1)),
+            ],
+        };
+        let b = Binding::empty(2);
+        let ok = Tuple::new(vec![Value::Int(5), Value::Int(5), Value::Int(1)]);
+        assert!(b.bind_atom(&atom, &ok).is_some());
+        let bad = Tuple::new(vec![Value::Int(5), Value::Int(6), Value::Int(1)]);
+        assert!(b.bind_atom(&atom, &bad).is_none());
+    }
+
+    #[test]
+    fn merge_requires_agreement_on_shared() {
+        let atom = atom_xy();
+        let base = Binding::empty(2);
+        let l = base
+            .bind_atom(&atom, &Tuple::new(vec![Value::str("k"), Value::Int(1), Value::Int(2)]))
+            .expect("unifies");
+        let mut r = Binding::empty(2);
+        r = r
+            .bind_atom(
+                &Atom {
+                    service: mdq_model::schema::ServiceId(1),
+                    terms: vec![Term::Var(VarId(0))],
+                },
+                &Tuple::new(vec![Value::Int(1)]),
+            )
+            .expect("unifies");
+        let merged = l.merge(&r, &[VarId(0)]).expect("agree on X");
+        assert_eq!(merged.get(VarId(1)), Some(&Value::Int(2)));
+        // disagreement on the join variable
+        let r2 = Binding::empty(2)
+            .bind_atom(
+                &Atom {
+                    service: mdq_model::schema::ServiceId(1),
+                    terms: vec![Term::Var(VarId(0))],
+                },
+                &Tuple::new(vec![Value::Int(7)]),
+            )
+            .expect("unifies");
+        assert!(l.merge(&r2, &[VarId(0)]).is_none());
+    }
+
+    #[test]
+    fn predicate_and_projection() {
+        let atom = atom_xy();
+        let b = Binding::empty(2)
+            .bind_atom(&atom, &Tuple::new(vec![Value::str("k"), Value::Int(3), Value::Int(4)]))
+            .expect("unifies");
+        let p = Predicate::new(
+            Expr::Add(Box::new(Expr::var(VarId(0))), Box::new(Expr::var(VarId(1)))),
+            CmpOp::Lt,
+            Expr::constant(10i64),
+        );
+        assert_eq!(b.eval_predicate(&p), Some(true));
+        let mut q = ConjunctiveQuery::new("q");
+        let x = q.var("X");
+        let y = q.var("Y");
+        q.head_var(y);
+        q.head_var(x);
+        let t = b.project_head(&q);
+        assert_eq!(t.values(), &[Value::Int(4), Value::Int(3)]);
+    }
+
+    #[test]
+    fn input_key_extraction() {
+        let atom = atom_xy();
+        let b = Binding::empty(2)
+            .bind_atom(&atom, &Tuple::new(vec![Value::str("k"), Value::Int(3), Value::Int(4)]))
+            .expect("unifies");
+        // inputs at positions 0 (const) and 1 (X)
+        let key = b.input_key(&atom, &[0, 1]).expect("all bound");
+        assert_eq!(key, vec![Value::str("k"), Value::Int(3)]);
+        let fresh = Binding::empty(2);
+        assert!(fresh.input_key(&atom, &[1]).is_none(), "X unbound");
+    }
+}

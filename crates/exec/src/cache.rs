@@ -1,0 +1,200 @@
+//! Logical caching (§5.1): the three client-side cache settings.
+//!
+//! Caches map `(service, input key)` to the tuples previously fetched for
+//! that invocation. *One-call* keeps only the most recent entry per
+//! service — enough to absorb the "immediate second-call" redundancy that
+//! blocks of uniform tuples from proliferative services produce; *optimal*
+//! memoizes everything.
+
+use mdq_model::schema::ServiceId;
+use mdq_model::value::{Tuple, Value};
+use std::collections::HashMap;
+
+pub use mdq_cost::estimate::CacheSetting;
+
+/// The tuples previously fetched for one invocation key.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// Concatenated pages, in rank order.
+    pub tuples: Vec<Tuple>,
+    /// Number of pages fetched.
+    pub pages: u32,
+    /// Whether the service reported no further pages.
+    pub exhausted: bool,
+}
+
+/// Per-service hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Invocations answered from the cache.
+    pub hits: u64,
+    /// Invocations forwarded to the service.
+    pub misses: u64,
+}
+
+/// A client-side logical cache in one of the three §5.1 settings.
+pub struct ClientCache {
+    setting: CacheSetting,
+    one_call: HashMap<ServiceId, (Vec<Value>, CachedResult)>,
+    optimal: HashMap<(ServiceId, Vec<Value>), CachedResult>,
+    stats: HashMap<ServiceId, CacheStats>,
+}
+
+impl ClientCache {
+    /// A fresh cache with the given setting.
+    pub fn new(setting: CacheSetting) -> Self {
+        ClientCache {
+            setting,
+            one_call: HashMap::new(),
+            optimal: HashMap::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// The active setting.
+    pub fn setting(&self) -> CacheSetting {
+        self.setting
+    }
+
+    /// Looks up an invocation needing `pages` pages. A cached entry
+    /// serves the request if it has at least as many pages or is
+    /// exhausted. Records a hit/miss.
+    pub fn lookup(&mut self, service: ServiceId, key: &[Value], pages: u32) -> Option<CachedResult> {
+        let found = match self.setting {
+            CacheSetting::NoCache => None,
+            CacheSetting::OneCall => self.one_call.get(&service).and_then(|(k, r)| {
+                (k.as_slice() == key && (r.pages >= pages || r.exhausted)).then(|| r.clone())
+            }),
+            CacheSetting::Optimal => self
+                .optimal
+                .get(&(service, key.to_vec()))
+                .filter(|r| r.pages >= pages || r.exhausted)
+                .cloned(),
+        };
+        let stats = self.stats.entry(service).or_default();
+        if found.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        found
+    }
+
+    /// Stores the result of a performed invocation.
+    pub fn store(&mut self, service: ServiceId, key: Vec<Value>, result: CachedResult) {
+        match self.setting {
+            CacheSetting::NoCache => {}
+            CacheSetting::OneCall => {
+                self.one_call.insert(service, (key, result));
+            }
+            CacheSetting::Optimal => {
+                self.optimal.insert((service, key), result);
+            }
+        }
+    }
+
+    /// Per-service statistics.
+    pub fn stats(&self, service: ServiceId) -> CacheStats {
+        self.stats.get(&service).copied().unwrap_or_default()
+    }
+
+    /// Sum of statistics over all services.
+    pub fn total_stats(&self) -> CacheStats {
+        self.stats.values().fold(CacheStats::default(), |a, s| CacheStats {
+            hits: a.hits + s.hits,
+            misses: a.misses + s.misses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> Vec<Value> {
+        vec![Value::str(s)]
+    }
+
+    fn result(n: usize) -> CachedResult {
+        CachedResult {
+            tuples: (0..n).map(|i| Tuple::new(vec![Value::Int(i as i64)])).collect(),
+            pages: 1,
+            exhausted: true,
+        }
+    }
+
+    #[test]
+    fn no_cache_never_hits() {
+        let mut c = ClientCache::new(CacheSetting::NoCache);
+        let s = ServiceId(0);
+        assert!(c.lookup(s, &key("a"), 1).is_none());
+        c.store(s, key("a"), result(2));
+        assert!(c.lookup(s, &key("a"), 1).is_none());
+        assert_eq!(c.stats(s), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn one_call_remembers_only_last() {
+        let mut c = ClientCache::new(CacheSetting::OneCall);
+        let s = ServiceId(0);
+        assert!(c.lookup(s, &key("a"), 1).is_none());
+        c.store(s, key("a"), result(2));
+        assert!(c.lookup(s, &key("a"), 1).is_some(), "immediate second call");
+        c.store(s, key("b"), result(1));
+        assert!(c.lookup(s, &key("a"), 1).is_none(), "a was evicted by b");
+        assert!(c.lookup(s, &key("b"), 1).is_some());
+        assert_eq!(c.stats(s), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn one_call_is_per_service() {
+        let mut c = ClientCache::new(CacheSetting::OneCall);
+        c.store(ServiceId(0), key("a"), result(1));
+        c.store(ServiceId(1), key("b"), result(1));
+        assert!(c.lookup(ServiceId(0), &key("a"), 1).is_some());
+        assert!(c.lookup(ServiceId(1), &key("b"), 1).is_some());
+    }
+
+    #[test]
+    fn optimal_remembers_everything() {
+        let mut c = ClientCache::new(CacheSetting::Optimal);
+        let s = ServiceId(0);
+        for k in ["a", "b", "c"] {
+            assert!(c.lookup(s, &key(k), 1).is_none());
+            c.store(s, key(k), result(1));
+        }
+        for k in ["a", "b", "c"] {
+            assert!(c.lookup(s, &key(k), 1).is_some());
+        }
+        assert_eq!(c.stats(s), CacheStats { hits: 3, misses: 3 });
+    }
+
+    #[test]
+    fn page_aware_lookup() {
+        let mut c = ClientCache::new(CacheSetting::Optimal);
+        let s = ServiceId(0);
+        c.store(
+            s,
+            key("a"),
+            CachedResult {
+                tuples: vec![],
+                pages: 2,
+                exhausted: false,
+            },
+        );
+        assert!(c.lookup(s, &key("a"), 2).is_some(), "enough pages cached");
+        assert!(c.lookup(s, &key("a"), 3).is_none(), "needs a deeper fetch");
+        c.store(
+            s,
+            key("b"),
+            CachedResult {
+                tuples: vec![],
+                pages: 1,
+                exhausted: true,
+            },
+        );
+        assert!(c.lookup(s, &key("b"), 5).is_some(), "exhausted serves any depth");
+        let t = c.total_stats();
+        assert_eq!(t.hits + t.misses, 3);
+    }
+}

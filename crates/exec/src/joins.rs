@@ -1,0 +1,395 @@
+//! Rank-preserving parallel-join strategies (§3.3, after ref. \[4\]).
+//!
+//! Both strategies consume two streams whose order encodes ranking and
+//! emit joined pairs in an order *consistent with both partial orders*:
+//! if pair `a` dominates pair `b` componentwise (both of `a`'s inputs
+//! ranked at least as high), `a` is emitted no later than `b`. This is
+//! the property that lets the engine compose a global ranking from the
+//! services' opaque relevance orders (§1), and it is property-tested.
+//!
+//! * **Nested loop** (`NlJoin`): materialise the *outer* (selective) side
+//!   first, then sweep the inner stream; grid scanned row by row.
+//! * **Merge scan** (`MsJoin`): pull both sides in lockstep and traverse
+//!   the grid by anti-diagonals (Fig. 5).
+
+use crate::binding::Binding;
+use mdq_model::query::VarId;
+
+/// Nested-loop rank-preserving join. The outer side is fully materialised
+/// up front (it is chosen to be the selective one, §3.3); pairs are
+/// emitted inner-major: for each inner tuple, all outer matches.
+pub struct NlJoin<O, I> {
+    outer_src: Option<O>,
+    outer: Vec<Binding>,
+    inner: I,
+    on: Vec<VarId>,
+    current_inner: Option<Binding>,
+    outer_idx: usize,
+    /// When `true`, emitted pairs put the outer binding on the left of
+    /// the merge (association only affects nothing semantically — merge
+    /// is symmetric — but keeps provenance conventions tidy).
+    outer_is_left: bool,
+}
+
+impl<O, I> NlJoin<O, I>
+where
+    O: Iterator<Item = Binding>,
+    I: Iterator<Item = Binding>,
+{
+    /// Creates a nested-loop join; `outer` is the selective side.
+    pub fn new(outer: O, inner: I, on: Vec<VarId>, outer_is_left: bool) -> Self {
+        NlJoin {
+            outer_src: Some(outer),
+            outer: Vec::new(),
+            inner,
+            on,
+            current_inner: None,
+            outer_idx: 0,
+            outer_is_left,
+        }
+    }
+
+    fn ensure_outer(&mut self) {
+        if let Some(src) = self.outer_src.take() {
+            self.outer = src.collect();
+        }
+    }
+}
+
+impl<O, I> Iterator for NlJoin<O, I>
+where
+    O: Iterator<Item = Binding>,
+    I: Iterator<Item = Binding>,
+{
+    type Item = Binding;
+
+    fn next(&mut self) -> Option<Binding> {
+        self.ensure_outer();
+        if self.outer.is_empty() {
+            return None;
+        }
+        loop {
+            if self.current_inner.is_none() {
+                self.current_inner = Some(self.inner.next()?);
+                self.outer_idx = 0;
+            }
+            let inner = self.current_inner.as_ref().expect("just set");
+            while self.outer_idx < self.outer.len() {
+                let o = &self.outer[self.outer_idx];
+                self.outer_idx += 1;
+                let merged = if self.outer_is_left {
+                    o.merge(inner, &self.on)
+                } else {
+                    inner.merge(o, &self.on)
+                };
+                if let Some(m) = merged {
+                    return Some(m);
+                }
+            }
+            self.current_inner = None;
+        }
+    }
+}
+
+/// Merge-scan rank-preserving join: anti-diagonal traversal of the
+/// Cartesian grid, pulling both inputs in lockstep (Fig. 5, right).
+pub struct MsJoin<L, R> {
+    left: L,
+    right: R,
+    lbuf: Vec<Binding>,
+    rbuf: Vec<Binding>,
+    l_done: bool,
+    r_done: bool,
+    on: Vec<VarId>,
+    /// Current anti-diagonal `d = i + j` and position `i` along it.
+    d: usize,
+    i: usize,
+}
+
+impl<L, R> MsJoin<L, R>
+where
+    L: Iterator<Item = Binding>,
+    R: Iterator<Item = Binding>,
+{
+    /// Creates a merge-scan join.
+    pub fn new(left: L, right: R, on: Vec<VarId>) -> Self {
+        MsJoin {
+            left,
+            right,
+            lbuf: Vec::new(),
+            rbuf: Vec::new(),
+            l_done: false,
+            r_done: false,
+            on,
+            d: 0,
+            i: 0,
+        }
+    }
+
+    fn pull_left(&mut self, upto: usize) {
+        while !self.l_done && self.lbuf.len() <= upto {
+            match self.left.next() {
+                Some(b) => self.lbuf.push(b),
+                None => self.l_done = true,
+            }
+        }
+    }
+
+    fn pull_right(&mut self, upto: usize) {
+        while !self.r_done && self.rbuf.len() <= upto {
+            match self.right.next() {
+                Some(b) => self.rbuf.push(b),
+                None => self.r_done = true,
+            }
+        }
+    }
+}
+
+impl<L, R> Iterator for MsJoin<L, R>
+where
+    L: Iterator<Item = Binding>,
+    R: Iterator<Item = Binding>,
+{
+    type Item = Binding;
+
+    fn next(&mut self) -> Option<Binding> {
+        loop {
+            // a provably empty side empties the grid
+            if (self.l_done && self.lbuf.is_empty()) || (self.r_done && self.rbuf.is_empty()) {
+                return None;
+            }
+            // is the whole grid exhausted?
+            if self.l_done && self.r_done {
+                let max_d = match (self.lbuf.len(), self.rbuf.len()) {
+                    (0, _) | (_, 0) => return None,
+                    (l, r) => l + r - 2,
+                };
+                if self.d > max_d {
+                    return None;
+                }
+            }
+            let (d, i) = (self.d, self.i);
+            let j = d - i;
+            // advance cursor for the next call
+            if self.i < self.d {
+                self.i += 1;
+            } else {
+                self.d += 1;
+                self.i = 0;
+            }
+            // materialise the needed prefix of each side
+            self.pull_left(i);
+            self.pull_right(j);
+            if i >= self.lbuf.len() || j >= self.rbuf.len() {
+                // off-grid cell (one side shorter); skip.
+                // When a side is exhausted, cells beyond it never exist;
+                // if BOTH are exhausted the max_d check above terminates.
+                if self.l_done && self.r_done {
+                    continue;
+                }
+                // With one side still open the diagonal sweep continues —
+                // later diagonals revisit the open side.
+                continue;
+            }
+            if let Some(m) = self.lbuf[i].merge(&self.rbuf[j], &self.on) {
+                return Some(m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::query::{Atom, Term};
+    use mdq_model::schema::ServiceId;
+    use mdq_model::value::{Tuple, Value};
+
+    /// Builds a stream of bindings over vars (X=shared key, Y=rank id)
+    /// for the left side, (X, Z) for the right side; 4 vars total.
+    fn stream(var_key: u32, var_val: u32, items: &[(i64, i64)]) -> Vec<Binding> {
+        items
+            .iter()
+            .map(|&(k, v)| {
+                Binding::empty(4)
+                    .bind_atom(
+                        &Atom {
+                            service: ServiceId(0),
+                            terms: vec![
+                                Term::Var(VarId(var_key)),
+                                Term::Var(VarId(var_val)),
+                            ],
+                        },
+                        &Tuple::new(vec![Value::Int(k), Value::Int(v)]),
+                    )
+                    .expect("binds")
+            })
+            .collect()
+    }
+
+    fn pairs_of(results: &[Binding]) -> Vec<(i64, i64)> {
+        results
+            .iter()
+            .map(|b| {
+                let y = match b.get(VarId(1)) {
+                    Some(Value::Int(v)) => *v,
+                    other => panic!("Y not an int: {other:?}"),
+                };
+                let z = match b.get(VarId(2)) {
+                    Some(Value::Int(v)) => *v,
+                    other => panic!("Z not an int: {other:?}"),
+                };
+                (y, z)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ms_join_equals_set_join() {
+        // left: X in {1,2}, right: X in {1,3}: only X=1 matches
+        let left = stream(0, 1, &[(1, 10), (2, 11), (1, 12)]);
+        let right = stream(0, 2, &[(1, 20), (3, 21), (1, 22)]);
+        let out: Vec<Binding> =
+            MsJoin::new(left.into_iter(), right.into_iter(), vec![VarId(0)]).collect();
+        let got = pairs_of(&out);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(10, 20), (10, 22), (12, 20), (12, 22)]);
+    }
+
+    #[test]
+    fn ms_join_diagonal_order() {
+        // identical keys: all pairs join; diagonal order expected
+        let left = stream(0, 1, &[(1, 0), (1, 1), (1, 2)]);
+        let right = stream(0, 2, &[(1, 0), (1, 1), (1, 2)]);
+        let out: Vec<Binding> =
+            MsJoin::new(left.into_iter(), right.into_iter(), vec![VarId(0)]).collect();
+        let got = pairs_of(&out);
+        assert_eq!(
+            got,
+            vec![
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (0, 2),
+                (1, 1),
+                (2, 0),
+                (1, 2),
+                (2, 1),
+                (2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn nl_join_inner_major_order() {
+        let outer = stream(0, 1, &[(1, 0), (1, 1)]);
+        let inner = stream(0, 2, &[(1, 0), (1, 1)]);
+        let out: Vec<Binding> = NlJoin::new(
+            outer.into_iter(),
+            inner.into_iter(),
+            vec![VarId(0)],
+            true,
+        )
+        .collect();
+        let got = pairs_of(&out);
+        assert_eq!(got, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn joins_agree_on_result_set() {
+        let l = &[(1, 0), (2, 1), (1, 2), (3, 3)];
+        let r = &[(1, 0), (1, 1), (2, 2), (4, 3)];
+        let ms: Vec<Binding> = MsJoin::new(
+            stream(0, 1, l).into_iter(),
+            stream(0, 2, r).into_iter(),
+            vec![VarId(0)],
+        )
+        .collect();
+        let nl: Vec<Binding> = NlJoin::new(
+            stream(0, 1, l).into_iter(),
+            stream(0, 2, r).into_iter(),
+            vec![VarId(0)],
+            true,
+        )
+        .collect();
+        let (mut a, mut b) = (pairs_of(&ms), pairs_of(&nl));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2 * 2 + 1); // X=1: 2×2, X=2: 1×1
+    }
+
+    /// The rank-consistency property: if a pair dominates another
+    /// componentwise, it is emitted no later.
+    fn assert_rank_consistent(emitted: &[(usize, usize)]) {
+        for (pos_a, &a) in emitted.iter().enumerate() {
+            for (pos_b, &b) in emitted.iter().enumerate() {
+                if a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1) {
+                    assert!(
+                        pos_a < pos_b,
+                        "pair {a:?} dominates {b:?} but is emitted later"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ms_emission_is_rank_consistent() {
+        // ranks double as ids: all same key, sizes 4 × 3
+        let left = stream(0, 1, &[(1, 0), (1, 1), (1, 2), (1, 3)]);
+        let right = stream(0, 2, &[(1, 0), (1, 1), (1, 2)]);
+        let out: Vec<Binding> =
+            MsJoin::new(left.into_iter(), right.into_iter(), vec![VarId(0)]).collect();
+        let got: Vec<(usize, usize)> = pairs_of(&out)
+            .into_iter()
+            .map(|(y, z)| (y as usize, z as usize))
+            .collect();
+        assert_eq!(got.len(), 12);
+        assert_rank_consistent(&got);
+    }
+
+    #[test]
+    fn nl_emission_is_rank_consistent() {
+        let outer = stream(0, 1, &[(1, 0), (1, 1)]);
+        let inner = stream(0, 2, &[(1, 0), (1, 1), (1, 2)]);
+        let out: Vec<Binding> = NlJoin::new(
+            outer.into_iter(),
+            inner.into_iter(),
+            vec![VarId(0)],
+            true,
+        )
+        .collect();
+        let got: Vec<(usize, usize)> = pairs_of(&out)
+            .into_iter()
+            .map(|(y, z)| (y as usize, z as usize))
+            .collect();
+        assert_rank_consistent(&got);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let empty: Vec<Binding> = Vec::new();
+        let right = stream(0, 2, &[(1, 0)]);
+        let ms: Vec<Binding> = MsJoin::new(
+            empty.clone().into_iter(),
+            right.clone().into_iter(),
+            vec![VarId(0)],
+        )
+        .collect();
+        assert!(ms.is_empty());
+        let nl: Vec<Binding> =
+            NlJoin::new(empty.into_iter(), right.into_iter(), vec![VarId(0)], true).collect();
+        assert!(nl.is_empty());
+    }
+
+    #[test]
+    fn cartesian_when_no_shared_vars() {
+        let left = stream(0, 1, &[(1, 0), (2, 1)]);
+        let right = stream(3, 2, &[(7, 0)]); // different key var → no overlap
+        let out: Vec<Binding> =
+            MsJoin::new(left.into_iter(), right.into_iter(), vec![]).collect();
+        assert_eq!(out.len(), 2, "cross product on empty join condition");
+    }
+}

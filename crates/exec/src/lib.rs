@@ -1,0 +1,44 @@
+//! # mdq-exec — the query-plan execution engine
+//!
+//! Implements the execution environment assumed by §5 of *Braga et al.,
+//! "Optimization of Multi-Domain Queries on the Web", VLDB 2008*:
+//! service orchestration, rank-preserving join methods, logical caching
+//! and multi-threaded invocation.
+//!
+//! * [`binding`] — variable bindings flowing through operators;
+//! * [`cache`] — the three §5.1 client cache settings;
+//! * [`joins`] — rank-preserving nested-loop and merge-scan joins;
+//! * [`plan_info`] — predicate placement and pattern metadata;
+//! * [`pipeline`] — the deterministic stage-materialised executor with
+//!   virtual time (regenerates Fig. 11);
+//! * [`topk`] — the pull-based executor: first-k answers with early
+//!   halting and "ask for more" continuation (§2.2);
+//! * [`threaded`] — parallel dispatch (virtual time) and a real
+//!   OS-thread dataflow engine with scaled latencies;
+//! * [`results`] — answer-table rendering (Fig. 10).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binding;
+pub mod cache;
+pub mod joins;
+pub mod pipeline;
+pub mod plan_info;
+pub mod results;
+pub mod threaded;
+pub mod topk;
+
+/// Convenient glob-import surface: `use mdq_exec::prelude::*;`.
+pub mod prelude {
+    pub use crate::binding::Binding;
+    pub use crate::cache::{CacheSetting, CacheStats, CachedResult, ClientCache};
+    pub use crate::joins::{MsJoin, NlJoin};
+    pub use crate::pipeline::{run, ExecConfig, ExecError, ExecReport, NodeTrace};
+    pub use crate::plan_info::{analyze, PlanInfo};
+    pub use crate::results::result_table;
+    pub use crate::threaded::{
+        run_parallel_dispatch, run_threaded, ParallelConfig, ThreadedConfig, ThreadedReport,
+    };
+    pub use crate::topk::TopKExecution;
+}

@@ -1,0 +1,461 @@
+//! The stage-materialised executor with virtual time.
+//!
+//! Mirrors the paper's experimental engine (§6): each plan node runs to
+//! completion over its whole input before its successors start; parallel
+//! branches (incomparable in the topology) overlap in time. *Virtual
+//! time* is accounted per node — an invoke node's completion time is its
+//! upstream's completion plus the summed latency of the service calls it
+//! actually forwarded (cache hits are free); a join completes when both
+//! inputs have. The plan's execution time is the Output node's
+//! completion — the "total time" bars of Fig. 11, deterministic and
+//! independent of the host machine.
+
+use crate::binding::Binding;
+use crate::cache::{CacheSetting, CachedResult, CacheStats, ClientCache};
+use crate::joins::{MsJoin, NlJoin};
+use crate::plan_info::analyze;
+use mdq_plan::dag::{JoinStrategy, NodeKind, Plan, Side};
+use mdq_model::schema::{Schema, ServiceId};
+use mdq_model::value::Tuple;
+use mdq_services::registry::ServiceRegistry;
+use mdq_services::service::Service;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Client-side cache setting (§5.1).
+    pub cache: CacheSetting,
+    /// Truncate the answer list to the best `k` (calls are still made —
+    /// the stage-materialised engine does not halt early; see
+    /// [`crate::topk`] for the pulling executor that does).
+    pub k: Option<usize>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            cache: CacheSetting::OneCall,
+            k: None,
+        }
+    }
+}
+
+/// Per-node execution trace.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeTrace {
+    /// Summed latency of the calls this node forwarded (0 for joins).
+    pub busy: f64,
+    /// Virtual completion time.
+    pub completion: f64,
+    /// Tuples received.
+    pub in_tuples: usize,
+    /// Tuples emitted.
+    pub out_tuples: usize,
+}
+
+/// The outcome of executing a plan.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Answers projected on the query head, in emission (rank) order.
+    pub answers: Vec<Tuple>,
+    /// Full bindings (for downstream composition / resumption).
+    pub bindings: Vec<Binding>,
+    /// The Output node's virtual completion time, seconds.
+    pub virtual_time: f64,
+    /// Request-responses forwarded to each service during this run.
+    pub calls: HashMap<ServiceId, u64>,
+    /// Client-cache statistics per service.
+    pub cache_stats: HashMap<ServiceId, CacheStats>,
+    /// Per-node trace, indexed like `plan.nodes`.
+    pub node_trace: Vec<NodeTrace>,
+}
+
+impl ExecReport {
+    /// Calls forwarded to `id` (0 when the service was never invoked).
+    pub fn calls_to(&self, id: ServiceId) -> u64 {
+        self.calls.get(&id).copied().unwrap_or(0)
+    }
+}
+
+/// Execution failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A plan atom's service has no runtime registration.
+    MissingService(String),
+    /// An input variable was unbound when a node needed it (an
+    /// inadmissible plan slipped through — a bug upstream).
+    UnboundInput {
+        /// Service name of the starving atom.
+        service: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingService(s) => write!(f, "service `{s}` is not registered"),
+            ExecError::UnboundInput { service } => {
+                write!(f, "input variable unbound when invoking `{service}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Invokes `service` for one input key, fetching `pages` pages (stopping
+/// early when the service reports exhaustion). Returns the cached-result
+/// record plus the number of request-responses and their summed latency.
+pub(crate) fn fetch_pages(
+    service: &Arc<dyn Service>,
+    pattern: usize,
+    key: &[mdq_model::value::Value],
+    pages: u32,
+) -> (CachedResult, u64, f64) {
+    let mut tuples = Vec::new();
+    let mut latency = 0.0;
+    let mut calls = 0u64;
+    let mut exhausted = false;
+    let mut page = 0u32;
+    while page < pages {
+        let r = service.fetch(pattern, key, page);
+        calls += 1;
+        latency += r.latency;
+        tuples.extend(r.tuples);
+        page += 1;
+        if !r.has_more {
+            exhausted = true;
+            break;
+        }
+    }
+    (
+        CachedResult {
+            tuples,
+            pages: page,
+            exhausted,
+        },
+        calls,
+        latency,
+    )
+}
+
+/// Executes `plan` against the registered services.
+pub fn run(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    config: &ExecConfig,
+) -> Result<ExecReport, ExecError> {
+    let info = analyze(plan, schema);
+    let n = plan.nodes.len();
+    let mut streams: Vec<Vec<Binding>> = vec![Vec::new(); n];
+    let mut trace = vec![NodeTrace::default(); n];
+    let mut cache = ClientCache::new(config.cache);
+    let mut calls: HashMap<ServiceId, u64> = HashMap::new();
+
+    for i in 0..n {
+        let node = &plan.nodes[i];
+        match &node.kind {
+            NodeKind::Input => {
+                streams[i] = vec![Binding::empty(plan.query.var_count())];
+                trace[i] = NodeTrace {
+                    busy: 0.0,
+                    completion: 0.0,
+                    in_tuples: 0,
+                    out_tuples: 1,
+                };
+            }
+            NodeKind::Invoke { atom } => {
+                let up = node.inputs[0].0;
+                let atom_ref = &plan.query.atoms[*atom];
+                let svc_id = atom_ref.service;
+                let sig = schema.service(svc_id);
+                let service = registry
+                    .get(svc_id)
+                    .ok_or_else(|| ExecError::MissingService(sig.name.to_string()))?;
+                let pos = plan.position_of(*atom).expect("plan covers atom");
+                let pages = plan.fetch_of(pos) as u32;
+                let mut busy = 0.0;
+                let mut out = Vec::new();
+                for b in &streams[up] {
+                    let key = b
+                        .input_key(atom_ref, &info.input_positions[i])
+                        .ok_or_else(|| ExecError::UnboundInput {
+                            service: sig.name.to_string(),
+                        })?;
+                    let result = match cache.lookup(svc_id, &key, pages) {
+                        Some(hit) => hit,
+                        None => {
+                            let (res, c, lat) =
+                                fetch_pages(service, info.pattern_of_node[i], &key, pages);
+                            *calls.entry(svc_id).or_insert(0) += c;
+                            busy += lat;
+                            cache.store(svc_id, key, res.clone());
+                            res
+                        }
+                    };
+                    for t in &result.tuples {
+                        if let Some(nb) = b.bind_atom(atom_ref, t) {
+                            if info.preds_at_node[i]
+                                .iter()
+                                .all(|&p| nb.eval_predicate(&plan.query.predicates[p]) == Some(true))
+                            {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                trace[i] = NodeTrace {
+                    busy,
+                    completion: trace[up].completion + busy,
+                    in_tuples: streams[up].len(),
+                    out_tuples: out.len(),
+                };
+                streams[i] = out;
+            }
+            NodeKind::Join {
+                left,
+                right,
+                strategy,
+                on,
+            } => {
+                let (l, r) = (left.0, right.0);
+                let joined: Vec<Binding> = match strategy {
+                    JoinStrategy::MergeScan => MsJoin::new(
+                        streams[l].iter().cloned(),
+                        streams[r].iter().cloned(),
+                        on.clone(),
+                    )
+                    .collect(),
+                    JoinStrategy::NestedLoop { outer: Side::Left } => NlJoin::new(
+                        streams[l].iter().cloned(),
+                        streams[r].iter().cloned(),
+                        on.clone(),
+                        true,
+                    )
+                    .collect(),
+                    JoinStrategy::NestedLoop { outer: Side::Right } => NlJoin::new(
+                        streams[r].iter().cloned(),
+                        streams[l].iter().cloned(),
+                        on.clone(),
+                        false,
+                    )
+                    .collect(),
+                };
+                let filtered: Vec<Binding> = joined
+                    .into_iter()
+                    .filter(|b| {
+                        info.preds_at_node[i].iter().all(|&p| {
+                            b.eval_predicate(&plan.query.predicates[p]) == Some(true)
+                        })
+                    })
+                    .collect();
+                trace[i] = NodeTrace {
+                    busy: 0.0,
+                    completion: trace[l].completion.max(trace[r].completion),
+                    in_tuples: streams[l].len() + streams[r].len(),
+                    out_tuples: filtered.len(),
+                };
+                streams[i] = filtered;
+            }
+            NodeKind::Output => {
+                let up = node.inputs[0].0;
+                let mut out: Vec<Binding> = streams[up]
+                    .iter()
+                    .filter(|b| {
+                        info.preds_at_node[i].iter().all(|&p| {
+                            b.eval_predicate(&plan.query.predicates[p]) == Some(true)
+                        })
+                    })
+                    .cloned()
+                    .collect();
+                if let Some(k) = config.k {
+                    out.truncate(k);
+                }
+                trace[i] = NodeTrace {
+                    busy: 0.0,
+                    completion: trace[up].completion,
+                    in_tuples: streams[up].len(),
+                    out_tuples: out.len(),
+                };
+                streams[i] = out;
+            }
+        }
+    }
+
+    let out_idx = plan.output_node().0;
+    let bindings = std::mem::take(&mut streams[out_idx]);
+    let answers = bindings.iter().map(|b| b.project_head(&plan.query)).collect();
+    let mut cache_stats = HashMap::new();
+    for id in registry.ids() {
+        cache_stats.insert(id, cache.stats(id));
+    }
+    Ok(ExecReport {
+        answers,
+        bindings,
+        virtual_time: trace[out_idx].completion,
+        calls,
+        cache_stats,
+        node_trace: trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::binding::ApChoice;
+    use mdq_model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
+    use mdq_plan::builder::{build_plan, StrategyRule};
+    use mdq_plan::poset::Poset;
+    use mdq_services::domains::travel::{travel_world, TravelWorld};
+    use std::sync::Arc;
+
+    fn plan_o(world: &TravelWorld) -> Plan {
+        let poset = Poset::from_pairs(
+            4,
+            &[
+                (ATOM_CONF, ATOM_WEATHER),
+                (ATOM_WEATHER, ATOM_FLIGHT),
+                (ATOM_WEATHER, ATOM_HOTEL),
+            ],
+        )
+        .expect("valid");
+        build_plan(
+            Arc::new(world.query.clone()),
+            &world.schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            poset,
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect("builds")
+    }
+
+    #[test]
+    fn plan_o_call_counts_match_fig11_no_cache() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let report = run(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ExecConfig {
+                cache: CacheSetting::NoCache,
+                k: None,
+            },
+        )
+        .expect("executes");
+        assert_eq!(report.calls_to(w.ids.conf), 1);
+        assert_eq!(report.calls_to(w.ids.weather), 71);
+        assert_eq!(report.calls_to(w.ids.flight), 16);
+        assert_eq!(report.calls_to(w.ids.hotel), 16);
+        assert!(!report.answers.is_empty());
+    }
+
+    #[test]
+    fn plan_o_optimal_cache_counts() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let report = run(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ExecConfig {
+                cache: CacheSetting::Optimal,
+                k: None,
+            },
+        )
+        .expect("executes");
+        assert_eq!(report.calls_to(w.ids.weather), 54);
+        assert_eq!(report.calls_to(w.ids.flight), 11);
+        assert_eq!(report.calls_to(w.ids.hotel), 11);
+    }
+
+    #[test]
+    fn answers_satisfy_all_predicates() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let report = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
+            .expect("executes");
+        // head: Conf City HPrice FPrice Start StartTime End EndTime Hotel
+        for a in &report.answers {
+            let h = a.get(2).as_f64().expect("HPrice");
+            let f = a.get(3).as_f64().expect("FPrice");
+            assert!(f + h < 2000.0, "price predicate enforced: {a}");
+        }
+    }
+
+    #[test]
+    fn k_truncates_answers() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let full = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
+            .expect("executes");
+        let topk = run(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ExecConfig {
+                cache: CacheSetting::OneCall,
+                k: Some(10),
+            },
+        )
+        .expect("executes");
+        assert_eq!(topk.answers.len(), 10.min(full.answers.len()));
+        assert_eq!(&full.answers[..topk.answers.len()], &topk.answers[..]);
+    }
+
+    #[test]
+    fn virtual_time_parallel_branch_is_max() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let report = run(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ExecConfig {
+                cache: CacheSetting::NoCache,
+                k: None,
+            },
+        )
+        .expect("executes");
+        // flight branch dominates hotel branch; join completion = max
+        let flight_node = plan
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Invoke { atom } if atom == ATOM_FLIGHT))
+            .expect("flight");
+        let hotel_node = plan
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Invoke { atom } if atom == ATOM_HOTEL))
+            .expect("hotel");
+        let join_node = plan
+            .nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Join { .. }))
+            .expect("join");
+        let t = &report.node_trace;
+        assert!(t[flight_node].completion > t[hotel_node].completion);
+        assert!(
+            (t[join_node].completion
+                - t[flight_node].completion.max(t[hotel_node].completion))
+            .abs()
+                < 1e-9
+        );
+        assert!((report.virtual_time - t[join_node].completion).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_service_is_reported() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let empty = mdq_services::registry::ServiceRegistry::new();
+        let err = run(&plan, &w.schema, &empty, &ExecConfig::default())
+            .expect_err("no services registered");
+        assert!(matches!(err, ExecError::MissingService(_)));
+    }
+}

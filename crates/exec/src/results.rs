@@ -1,0 +1,85 @@
+//! Answer-table rendering (the Fig. 10 "screenshot").
+
+use mdq_model::query::ConjunctiveQuery;
+use mdq_model::value::Tuple;
+use std::fmt::Write as _;
+
+/// Formats answers as an aligned text table with the head variables as
+/// column headers — what the paper's execution engine showed its users.
+pub fn result_table(query: &ConjunctiveQuery, answers: &[Tuple], limit: usize) -> String {
+    let headers: Vec<String> = query
+        .head
+        .iter()
+        .map(|v| query.var_name(*v).to_string())
+        .collect();
+    let shown = answers.iter().take(limit);
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let rows: Vec<Vec<String>> = shown
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+-{:-<w$}-", "", w = w);
+        }
+        let _ = writeln!(out, "+");
+    };
+    rule(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:w$} ", h, w = widths[i]);
+    }
+    let _ = writeln!(out, "|");
+    rule(&mut out);
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "| {:w$} ", cell, w = widths.get(i).copied().unwrap_or(0));
+        }
+        let _ = writeln!(out, "|");
+    }
+    rule(&mut out);
+    if answers.len() > limit {
+        let _ = writeln!(out, "({} more answers)", answers.len() - limit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::value::Value;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut q = ConjunctiveQuery::new("q");
+        let a = q.var("City");
+        let b = q.var("Price");
+        q.head_var(a);
+        q.head_var(b);
+        let answers = vec![
+            Tuple::new(vec![Value::str("lisbon"), Value::float(123.5)]),
+            Tuple::new(vec![Value::str("r"), Value::float(9.0)]),
+            Tuple::new(vec![Value::str("zanzibar-city"), Value::float(55.25)]),
+        ];
+        let table = result_table(&q, &answers, 2);
+        assert!(table.contains("City"), "{table}");
+        assert!(table.contains("Price"), "{table}");
+        assert!(table.contains("'lisbon'"), "{table}");
+        assert!(!table.contains("zanzibar"), "limited to 2 rows:\n{table}");
+        assert!(table.contains("(1 more answers)"), "{table}");
+        // all rows share the same width
+        let lines: Vec<&str> = table.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+}

@@ -1,0 +1,572 @@
+//! Multi-threaded execution (§5 "multi-threading", §6's separate test).
+//!
+//! Two flavours:
+//!
+//! * [`run_parallel_dispatch`] — the §6 experiment model in virtual time:
+//!   within each stage, *all* available calls are dispatched to parallel
+//!   worker threads at once. Stage time collapses towards the slowest
+//!   single call (plus thread-management overhead), but completion order
+//!   is randomised — which, exactly as the paper reports, largely defeats
+//!   the one-call cache (284 → ~212 hotel calls instead of → 16).
+//!
+//! * [`run_threaded`] — a real OS-thread dataflow engine: one worker per
+//!   plan node connected by crossbeam channels, service latencies slept
+//!   at a configurable scale. Used to validate that the pipelined,
+//!   concurrent execution produces the same answers as the deterministic
+//!   executors, and that dropping the answer stream cancels upstream
+//!   fetching (top-k halting).
+
+use crate::binding::Binding;
+use crate::cache::{CacheSetting, ClientCache};
+use crate::joins::{MsJoin, NlJoin};
+use crate::pipeline::{fetch_pages, ExecError, ExecReport, NodeTrace};
+use crate::plan_info::analyze;
+use mdq_plan::dag::{JoinStrategy, NodeKind, Plan, Side};
+use mdq_model::schema::{Schema, ServiceId};
+use mdq_services::registry::ServiceRegistry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Options for [`run_parallel_dispatch`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Client cache setting.
+    pub cache: CacheSetting,
+    /// Worker threads available per stage.
+    pub threads: usize,
+    /// Virtual seconds of thread-management overhead per dispatched call
+    /// (the paper attributes a sizeable share of its 76 s to this).
+    pub spawn_overhead: f64,
+    /// Seed for the completion-order shuffle.
+    pub shuffle_seed: u64,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            cache: CacheSetting::OneCall,
+            threads: 16,
+            spawn_overhead: 0.05,
+            shuffle_seed: 1,
+        }
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    // Fisher–Yates with a splitmix stream (deterministic, dependency-free)
+    for i in (1..items.len()).rev() {
+        let j = (splitmix64(seed ^ (i as u64)) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Stage-materialised execution where every stage dispatches all its
+/// calls to `threads` parallel workers. Virtual stage time:
+/// `max(slowest call, total latency / threads) + overhead · dispatched`.
+/// Input order is shuffled per stage to model racy completions.
+pub fn run_parallel_dispatch(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    config: &ParallelConfig,
+) -> Result<ExecReport, ExecError> {
+    let info = analyze(plan, schema);
+    let n = plan.nodes.len();
+    let mut streams: Vec<Vec<Binding>> = vec![Vec::new(); n];
+    let mut trace = vec![NodeTrace::default(); n];
+    let mut cache = ClientCache::new(config.cache);
+    let mut calls: HashMap<ServiceId, u64> = HashMap::new();
+
+    for i in 0..n {
+        let node = &plan.nodes[i];
+        match &node.kind {
+            NodeKind::Input => {
+                streams[i] = vec![Binding::empty(plan.query.var_count())];
+                trace[i].out_tuples = 1;
+            }
+            NodeKind::Invoke { atom } => {
+                let up = node.inputs[0].0;
+                let atom_ref = &plan.query.atoms[*atom];
+                let svc_id = atom_ref.service;
+                let sig = schema.service(svc_id);
+                let service = registry
+                    .get(svc_id)
+                    .ok_or_else(|| ExecError::MissingService(sig.name.to_string()))?;
+                let pos = plan.position_of(*atom).expect("covered");
+                let pages = plan.fetch_of(pos) as u32;
+
+                let mut inputs: Vec<Binding> = streams[up].clone();
+                shuffle(&mut inputs, config.shuffle_seed ^ (i as u64) << 7);
+
+                let mut latencies: Vec<f64> = Vec::new();
+                let mut out = Vec::new();
+                for b in &inputs {
+                    let key = b
+                        .input_key(atom_ref, &info.input_positions[i])
+                        .ok_or_else(|| ExecError::UnboundInput {
+                            service: sig.name.to_string(),
+                        })?;
+                    let result = match cache.lookup(svc_id, &key, pages) {
+                        Some(hit) => hit,
+                        None => {
+                            let (res, c, lat) =
+                                fetch_pages(service, info.pattern_of_node[i], &key, pages);
+                            *calls.entry(svc_id).or_insert(0) += c;
+                            latencies.push(lat);
+                            cache.store(svc_id, key, res.clone());
+                            res
+                        }
+                    };
+                    for t in &result.tuples {
+                        if let Some(nb) = b.bind_atom(atom_ref, t) {
+                            if info.preds_at_node[i].iter().all(|&p| {
+                                nb.eval_predicate(&plan.query.predicates[p]) == Some(true)
+                            }) {
+                                out.push(nb);
+                            }
+                        }
+                    }
+                }
+                let total: f64 = latencies.iter().sum();
+                let slowest = latencies.iter().copied().fold(0.0, f64::max);
+                let busy = slowest.max(total / config.threads.max(1) as f64)
+                    + config.spawn_overhead * inputs.len() as f64;
+                trace[i] = NodeTrace {
+                    busy,
+                    completion: trace[up].completion + busy,
+                    in_tuples: inputs.len(),
+                    out_tuples: out.len(),
+                };
+                streams[i] = out;
+            }
+            NodeKind::Join {
+                left,
+                right,
+                strategy,
+                on,
+            } => {
+                let (l, r) = (left.0, right.0);
+                let joined: Vec<Binding> = match strategy {
+                    JoinStrategy::MergeScan => MsJoin::new(
+                        streams[l].iter().cloned(),
+                        streams[r].iter().cloned(),
+                        on.clone(),
+                    )
+                    .collect(),
+                    JoinStrategy::NestedLoop { outer: Side::Left } => NlJoin::new(
+                        streams[l].iter().cloned(),
+                        streams[r].iter().cloned(),
+                        on.clone(),
+                        true,
+                    )
+                    .collect(),
+                    JoinStrategy::NestedLoop { outer: Side::Right } => NlJoin::new(
+                        streams[r].iter().cloned(),
+                        streams[l].iter().cloned(),
+                        on.clone(),
+                        false,
+                    )
+                    .collect(),
+                };
+                let filtered: Vec<Binding> = joined
+                    .into_iter()
+                    .filter(|b| {
+                        info.preds_at_node[i]
+                            .iter()
+                            .all(|&p| b.eval_predicate(&plan.query.predicates[p]) == Some(true))
+                    })
+                    .collect();
+                trace[i] = NodeTrace {
+                    busy: 0.0,
+                    completion: trace[l].completion.max(trace[r].completion),
+                    in_tuples: streams[l].len() + streams[r].len(),
+                    out_tuples: filtered.len(),
+                };
+                streams[i] = filtered;
+            }
+            NodeKind::Output => {
+                let up = node.inputs[0].0;
+                streams[i] = streams[up].clone();
+                trace[i] = NodeTrace {
+                    busy: 0.0,
+                    completion: trace[up].completion,
+                    in_tuples: streams[up].len(),
+                    out_tuples: streams[up].len(),
+                };
+            }
+        }
+    }
+
+    let out_idx = plan.output_node().0;
+    let bindings = std::mem::take(&mut streams[out_idx]);
+    let answers = bindings.iter().map(|b| b.project_head(&plan.query)).collect();
+    let mut cache_stats = HashMap::new();
+    for id in registry.ids() {
+        cache_stats.insert(id, cache.stats(id));
+    }
+    Ok(ExecReport {
+        answers,
+        bindings,
+        virtual_time: trace[out_idx].completion,
+        calls,
+        cache_stats,
+        node_trace: trace,
+    })
+}
+
+/// Options for the real-thread dataflow engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedConfig {
+    /// Client cache setting (shared across workers behind a mutex).
+    pub cache: CacheSetting,
+    /// Real seconds slept per simulated second (e.g. `1e-4`: a 9.7 s
+    /// flight call sleeps 0.97 ms).
+    pub time_scale: f64,
+    /// Bounded channel capacity between workers.
+    pub channel_capacity: usize,
+    /// Stop after this many answers (dropping the stream cancels
+    /// upstream work).
+    pub k: Option<usize>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            cache: CacheSetting::OneCall,
+            time_scale: 1e-5,
+            channel_capacity: 64,
+            k: None,
+        }
+    }
+}
+
+/// Result of a real-thread run.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport {
+    /// Answers projected on the head, in arrival order.
+    pub answers: Vec<mdq_model::value::Tuple>,
+    /// Real elapsed wall-clock seconds.
+    pub elapsed: f64,
+    /// Request-responses forwarded per service.
+    pub calls: HashMap<ServiceId, u64>,
+}
+
+struct ChannelStream {
+    rx: crossbeam::channel::Receiver<Binding>,
+}
+
+impl Iterator for ChannelStream {
+    type Item = Binding;
+    fn next(&mut self) -> Option<Binding> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Runs `plan` with one OS thread per node, crossbeam channels between
+/// them, and service latencies slept at `time_scale`.
+pub fn run_threaded(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    config: &ThreadedConfig,
+) -> Result<ThreadedReport, ExecError> {
+    use crossbeam::channel::bounded;
+
+    let info = Arc::new(analyze(plan, schema));
+    let cache = Arc::new(Mutex::new(ClientCache::new(config.cache)));
+    let calls: Arc<Mutex<HashMap<ServiceId, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let n = plan.nodes.len();
+
+    // one sender per (producer, consumer) edge; build consumer-side recvs
+    let mut senders: Vec<Vec<crossbeam::channel::Sender<Binding>>> = vec![Vec::new(); n];
+    let mut receivers: Vec<Vec<crossbeam::channel::Receiver<Binding>>> = vec![Vec::new(); n];
+    for (i, node) in plan.nodes.iter().enumerate() {
+        for inp in &node.inputs {
+            let (tx, rx) = bounded::<Binding>(config.channel_capacity);
+            senders[inp.0].push(tx);
+            receivers[i].push(rx);
+        }
+    }
+    let (answer_tx, answer_rx) = bounded::<Binding>(config.channel_capacity);
+    senders[plan.output_node().0].push(answer_tx);
+
+    // validate services up front (workers can't return errors cleanly)
+    for atom in plan.atoms.iter() {
+        let svc_id = plan.query.atoms[*atom].service;
+        if registry.get(svc_id).is_none() {
+            return Err(ExecError::MissingService(
+                schema.service(svc_id).name.to_string(),
+            ));
+        }
+    }
+
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let node = plan.nodes[i].clone();
+            let my_senders = std::mem::take(&mut senders[i]);
+            let mut my_receivers = std::mem::take(&mut receivers[i]);
+            let info = Arc::clone(&info);
+            let cache = Arc::clone(&cache);
+            let calls = Arc::clone(&calls);
+            let query = Arc::clone(&plan.query);
+            let plan_ref = &*plan;
+            let schema_ref = schema;
+            let registry_ref = registry;
+            let time_scale = config.time_scale;
+            scope.spawn(move || {
+                let send_all = |b: Binding| -> bool {
+                    for tx in &my_senders {
+                        if tx.send(b.clone()).is_err() {
+                            return false; // downstream hung up: cancel
+                        }
+                    }
+                    true
+                };
+                let passes = |b: &Binding| {
+                    info.preds_at_node[i]
+                        .iter()
+                        .all(|&p| b.eval_predicate(&query.predicates[p]) == Some(true))
+                };
+                match &node.kind {
+                    NodeKind::Input => {
+                        send_all(Binding::empty(query.var_count()));
+                    }
+                    NodeKind::Output => {
+                        let rx = my_receivers.pop().expect("output has one input");
+                        for b in (ChannelStream { rx }) {
+                            if !passes(&b) {
+                                continue;
+                            }
+                            if !send_all(b) {
+                                break;
+                            }
+                        }
+                    }
+                    NodeKind::Invoke { atom } => {
+                        let rx = my_receivers.pop().expect("invoke has one input");
+                        let atom_ref = &query.atoms[*atom];
+                        let svc_id = atom_ref.service;
+                        let service = registry_ref
+                            .get(svc_id)
+                            .expect("validated above")
+                            .clone();
+                        let pos = plan_ref.position_of(*atom).expect("covered");
+                        let pages = plan_ref.fetch_of(pos) as u32;
+                        let _ = schema_ref;
+                        'outer: for b in (ChannelStream { rx }) {
+                            let Some(key) = b.input_key(atom_ref, &info.input_positions[i])
+                            else {
+                                continue;
+                            };
+                            let cached = cache.lock().lookup(svc_id, &key, pages);
+                            let result = match cached {
+                                Some(hit) => hit,
+                                None => {
+                                    let (res, c, lat) = fetch_pages(
+                                        &service,
+                                        info.pattern_of_node[i],
+                                        &key,
+                                        pages,
+                                    );
+                                    *calls.lock().entry(svc_id).or_insert(0) += c;
+                                    if lat * time_scale > 0.0 {
+                                        std::thread::sleep(std::time::Duration::from_secs_f64(
+                                            lat * time_scale,
+                                        ));
+                                    }
+                                    cache.lock().store(svc_id, key, res.clone());
+                                    res
+                                }
+                            };
+                            for t in &result.tuples {
+                                if let Some(nb) = b.bind_atom(atom_ref, t) {
+                                    if passes(&nb) && !send_all(nb) {
+                                        break 'outer;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    NodeKind::Join { strategy, on, .. } => {
+                        let right_rx = my_receivers.pop().expect("join right");
+                        let left_rx = my_receivers.pop().expect("join left");
+                        let l = ChannelStream { rx: left_rx };
+                        let r = ChannelStream { rx: right_rx };
+                        let joined: Box<dyn Iterator<Item = Binding>> = match strategy {
+                            JoinStrategy::MergeScan => Box::new(MsJoin::new(l, r, on.clone())),
+                            JoinStrategy::NestedLoop { outer: Side::Left } => {
+                                Box::new(NlJoin::new(l, r, on.clone(), true))
+                            }
+                            JoinStrategy::NestedLoop { outer: Side::Right } => {
+                                Box::new(NlJoin::new(r, l, on.clone(), false))
+                            }
+                        };
+                        for b in joined {
+                            if !passes(&b) {
+                                continue;
+                            }
+                            if !send_all(b) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // dropping my_senders closes downstream channels
+            });
+        }
+
+        // collect answers on the scope's main thread
+        let mut answers = Vec::new();
+        for b in answer_rx.iter() {
+            answers.push(b.project_head(&plan.query));
+            if let Some(k) = config.k {
+                if answers.len() >= k {
+                    break; // dropping answer_rx cancels the pipeline
+                }
+            }
+        }
+        drop(answer_rx);
+        let elapsed = started.elapsed().as_secs_f64();
+        let calls_map = calls.lock().clone();
+        Ok(ThreadedReport {
+            answers,
+            elapsed,
+            calls: calls_map,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run, ExecConfig};
+    use mdq_model::binding::ApChoice;
+    use mdq_model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
+    use mdq_plan::builder::{build_plan, StrategyRule};
+    use mdq_plan::poset::Poset;
+    use mdq_services::domains::travel::travel_world;
+
+    fn plan_s(world: &mdq_services::domains::travel::TravelWorld) -> Plan {
+        let poset = Poset::from_pairs(
+            4,
+            &[
+                (ATOM_CONF, ATOM_WEATHER),
+                (ATOM_WEATHER, ATOM_FLIGHT),
+                (ATOM_FLIGHT, ATOM_HOTEL),
+            ],
+        )
+        .expect("valid");
+        build_plan(
+            Arc::new(world.query.clone()),
+            &world.schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            poset,
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect("builds")
+    }
+
+    #[test]
+    fn parallel_dispatch_degrades_one_call_cache() {
+        // §6: with multithreading, hotel's one-call savings largely vanish
+        // (284 → ~212 instead of → 15)
+        let w = travel_world(2008);
+        let plan = plan_s(&w);
+        let seq = run(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ExecConfig {
+                cache: CacheSetting::OneCall,
+                k: None,
+            },
+        )
+        .expect("sequential");
+        let par = run_parallel_dispatch(&plan, &w.schema, &w.registry, &ParallelConfig::default())
+            .expect("parallel");
+        let seq_hotel = seq.calls_to(w.ids.hotel);
+        let par_hotel = par.calls_to(w.ids.hotel);
+        assert_eq!(seq_hotel, 15, "sequential one-call absorbs the blocks");
+        assert!(
+            par_hotel > 150 && par_hotel <= 284,
+            "randomised order defeats the cache: {par_hotel}"
+        );
+        // and the parallel run is much faster in virtual time
+        assert!(par.virtual_time < seq.virtual_time / 2.0);
+    }
+
+    #[test]
+    fn parallel_dispatch_same_answer_set() {
+        let w = travel_world(2008);
+        let plan = plan_s(&w);
+        let seq = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
+            .expect("sequential");
+        let par = run_parallel_dispatch(&plan, &w.schema, &w.registry, &ParallelConfig::default())
+            .expect("parallel");
+        let mut a = seq.answers.clone();
+        let mut b = par.answers.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_threads_match_sequential_answers() {
+        let w = travel_world(2008);
+        let plan = plan_s(&w);
+        let seq = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
+            .expect("sequential");
+        let thr = run_threaded(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ThreadedConfig {
+                cache: CacheSetting::NoCache,
+                time_scale: 0.0,
+                channel_capacity: 8,
+                k: None,
+            },
+        )
+        .expect("threads");
+        let mut a = seq.answers.clone();
+        let mut b = thr.answers.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_threads_topk_halts_early() {
+        let w = travel_world(2008);
+        let plan = plan_s(&w);
+        let thr = run_threaded(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ThreadedConfig {
+                cache: CacheSetting::NoCache,
+                time_scale: 0.0,
+                channel_capacity: 4,
+                k: Some(5),
+            },
+        )
+        .expect("threads");
+        assert_eq!(thr.answers.len(), 5);
+        let total: u64 = thr.calls.values().sum();
+        // the full no-cache run makes 1 + 71 + 16 + 284 = 372 calls;
+        // halting after 5 answers must cut that substantially
+        assert!(total < 372, "early halt saved calls: {total}");
+    }
+}

@@ -1,0 +1,664 @@
+//! Datalog-like query text syntax (Fig. 3).
+//!
+//! The grammar accepted is essentially the paper's notation:
+//!
+//! ```text
+//! q(Conf, City, HPrice) :-
+//!     flight('Milano', City, Start, End, StartTime, EndTime, FPrice),
+//!     hotel(Hotel, City, 'luxury', Start, End, HPrice),
+//!     conf('DB', Conf, Start, End, City),
+//!     weather(City, Temperature, Start),
+//!     Start >= '2007/3/14', End <= '2007/3/14' + 180,
+//!     Temperature >= 28, FPrice + HPrice < 2000.
+//! ```
+//!
+//! Conventions (§3.1): identifiers starting with an uppercase letter are
+//! variables; lowercase identifiers, numbers and quoted strings are
+//! constants. Quoted strings that parse as `YYYY/MM/DD` become
+//! [`Date`] constants. Comparison predicates may use
+//! `+`, `-`, `*` arithmetic on either side, and may carry a selectivity
+//! hint as an `@σ` suffix (e.g. `FPrice + HPrice < 2000 @0.01`) — the
+//! per-query-template estimates of §3.4.
+
+use crate::query::{CmpOp, ConjunctiveQuery, Expr, Predicate, Term};
+use crate::schema::Schema;
+use crate::value::{Date, Value};
+use std::fmt;
+
+/// Parse errors with byte position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),  // starts with letter or underscore
+    Int(i64),
+    Float(f64),
+    Str(String),    // quoted
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Turnstile, // :-
+    Plus,
+    Minus,
+    Star,
+    At,
+    Cmp(CmpOp),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'%' || (b == b'/' && self.bytes.get(self.pos + 1) == Some(&b'/')) {
+                // line comment: % … or // …
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let b = self.bytes[self.pos];
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Plus
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Star
+            }
+            b'@' => {
+                self.pos += 1;
+                Tok::At
+            }
+            b'-' => {
+                self.pos += 1;
+                Tok::Minus
+            }
+            b':' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'-') {
+                    self.pos += 2;
+                    Tok::Turnstile
+                } else {
+                    return Err(ParseError::new(start, "expected `:-`"));
+                }
+            }
+            b'<' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Cmp(CmpOp::Le)
+                } else {
+                    self.pos += 1;
+                    Tok::Cmp(CmpOp::Lt)
+                }
+            }
+            b'>' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Cmp(CmpOp::Ge)
+                } else {
+                    self.pos += 1;
+                    Tok::Cmp(CmpOp::Gt)
+                }
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Cmp(CmpOp::Eq)
+            }
+            b'!' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Cmp(CmpOp::Ne)
+                } else {
+                    return Err(ParseError::new(start, "expected `!=`"));
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                self.pos += 1;
+                let s_start = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(ParseError::new(start, "unterminated string literal"));
+                }
+                let s = self.src[s_start..self.pos].to_string();
+                self.pos += 1; // closing quote
+                Tok::Str(s)
+            }
+            b'0'..=b'9' => {
+                let mut end = self.pos;
+                let mut is_float = false;
+                while end < self.bytes.len() {
+                    match self.bytes[end] {
+                        b'0'..=b'9' => end += 1,
+                        b'.' if !is_float
+                            && end + 1 < self.bytes.len()
+                            && self.bytes[end + 1].is_ascii_digit() =>
+                        {
+                            is_float = true;
+                            end += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &self.src[self.pos..end];
+                self.pos = end;
+                if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("invalid float `{text}`"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("invalid integer `{text}`"))
+                    })?)
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut end = self.pos;
+                while end < self.bytes.len()
+                    && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let ident = self.src[self.pos..end].to_string();
+                self.pos = end;
+                Tok::Ident(ident)
+            }
+            other => {
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lx.next_tok()? {
+        toks.push(t);
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+    schema: &'a Schema,
+    query: ConjunctiveQuery,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.i)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        let p = self.pos();
+        match self.bump() {
+            Some(ref t) if t == want => Ok(()),
+            _ => Err(ParseError::new(p, format!("expected {what}"))),
+        }
+    }
+
+    fn const_from_str(s: &str) -> Value {
+        match Date::parse(s) {
+            Some(d) => Value::Date(d),
+            None => Value::str(s),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        let p = self.pos();
+        match self.bump() {
+            Some(Tok::Ident(id)) => {
+                if id.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    Ok(Term::Var(self.query.var(&id)))
+                } else if id == "_" {
+                    Err(ParseError::new(p, "anonymous variables are not supported"))
+                } else {
+                    Ok(Term::Const(Value::str(&id)))
+                }
+            }
+            Some(Tok::Int(v)) => Ok(Term::Const(Value::Int(v))),
+            Some(Tok::Float(v)) => Ok(Term::Const(Value::float(v))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Self::const_from_str(&s))),
+            Some(Tok::Minus) => match self.bump() {
+                Some(Tok::Int(v)) => Ok(Term::Const(Value::Int(-v))),
+                Some(Tok::Float(v)) => Ok(Term::Const(Value::float(-v))),
+                _ => Err(ParseError::new(p, "expected number after `-`")),
+            },
+            _ => Err(ParseError::new(p, "expected term")),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        Ok(Expr::Term(self.parse_term()?))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        // factor ( (*) factor )*  with +,- at lower precedence
+        let mut lhs = self.parse_mul()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    let rhs = self.parse_mul()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    let rhs = self.parse_mul()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        while matches!(self.peek(), Some(Tok::Star)) {
+            self.bump();
+            let rhs = self.parse_primary()?;
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// An item is an atom (`ident(`) or a predicate.
+    fn parse_item(&mut self) -> Result<(), ParseError> {
+        let is_atom = matches!(
+            (self.peek(), self.toks.get(self.i + 1).map(|(_, t)| t)),
+            (Some(Tok::Ident(id)), Some(Tok::LParen))
+                if id.starts_with(|c: char| c.is_ascii_lowercase())
+        );
+        if is_atom {
+            let p = self.pos();
+            let name = match self.bump() {
+                Some(Tok::Ident(id)) => id,
+                _ => unreachable!("peeked an identifier"),
+            };
+            let service = self.schema.service_by_name(&name).ok_or_else(|| {
+                ParseError::new(p, format!("unknown service `{name}`"))
+            })?;
+            self.expect(&Tok::LParen, "`(`")?;
+            let mut terms = Vec::new();
+            if !matches!(self.peek(), Some(Tok::RParen)) {
+                loop {
+                    terms.push(self.parse_term()?);
+                    match self.peek() {
+                        Some(Tok::Comma) => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+            self.query.atom(service, terms);
+            Ok(())
+        } else {
+            let lhs = self.parse_expr()?;
+            let p = self.pos();
+            let op = match self.bump() {
+                Some(Tok::Cmp(op)) => op,
+                _ => return Err(ParseError::new(p, "expected comparison operator")),
+            };
+            let rhs = self.parse_expr()?;
+            let mut pred = Predicate::new(lhs, op, rhs);
+            if matches!(self.peek(), Some(Tok::At)) {
+                self.bump();
+                let p = self.pos();
+                let sigma = match self.bump() {
+                    Some(Tok::Float(v)) => v,
+                    Some(Tok::Int(v)) => v as f64,
+                    _ => return Err(ParseError::new(p, "expected selectivity after `@`")),
+                };
+                if !(0.0..=1.0).contains(&sigma) {
+                    return Err(ParseError::new(p, "selectivity must be in [0, 1]"));
+                }
+                pred = pred.with_selectivity(sigma);
+            }
+            self.query.predicate(pred);
+            Ok(())
+        }
+    }
+
+    fn parse_query(mut self) -> Result<ConjunctiveQuery, ParseError> {
+        // head
+        let p = self.pos();
+        let name = match self.bump() {
+            Some(Tok::Ident(id)) => id,
+            _ => return Err(ParseError::new(p, "expected query name")),
+        };
+        self.query.name = std::sync::Arc::from(name.as_str());
+        self.expect(&Tok::LParen, "`(`")?;
+        if !matches!(self.peek(), Some(Tok::RParen)) {
+            loop {
+                let p = self.pos();
+                match self.bump() {
+                    Some(Tok::Ident(id))
+                        if id.starts_with(|c: char| c.is_ascii_uppercase()) =>
+                    {
+                        let v = self.query.var(&id);
+                        self.query.head_var(v);
+                    }
+                    _ => return Err(ParseError::new(p, "expected head variable")),
+                }
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        self.expect(&Tok::Turnstile, "`:-`")?;
+        loop {
+            self.parse_item()?;
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.bump();
+                }
+                Some(Tok::Dot) => {
+                    self.bump();
+                    break;
+                }
+                None => break,
+                _ => {
+                    return Err(ParseError::new(self.pos(), "expected `,` or `.`"));
+                }
+            }
+        }
+        if self.peek().is_some() {
+            return Err(ParseError::new(self.pos(), "trailing input after query"));
+        }
+        Ok(self.query)
+    }
+}
+
+/// Parses a conjunctive query in the paper's datalog-like syntax, resolving
+/// service names against `schema`. The returned query is *not* yet
+/// validated — call [`ConjunctiveQuery::validate`].
+pub fn parse_query(src: &str, schema: &Schema) -> Result<ConjunctiveQuery, ParseError> {
+    let toks = lex(src)?;
+    let parser = Parser {
+        toks,
+        i: 0,
+        schema,
+        query: ConjunctiveQuery::new("q"),
+    };
+    parser.parse_query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryError;
+    use crate::schema::{ServiceBuilder, ServiceProfile};
+    use crate::value::DomainKind;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        ServiceBuilder::new(&mut s, "conf")
+            .attr_kinded("Topic", "Topic", DomainKind::Str)
+            .attr_kinded("Name", "ConfName", DomainKind::Str)
+            .attr_kinded("Start", "Date", DomainKind::Date)
+            .attr_kinded("End", "Date", DomainKind::Date)
+            .attr_kinded("City", "City", DomainKind::Str)
+            .pattern("ioooo")
+            .pattern("ooooi")
+            .profile(ServiceProfile::new(20.0, 1.2))
+            .register()
+            .expect("conf registers");
+        ServiceBuilder::new(&mut s, "weather")
+            .attr_kinded("City", "City", DomainKind::Str)
+            .attr_kinded("Temperature", "Temp", DomainKind::Float)
+            .attr_kinded("Date", "Date", DomainKind::Date)
+            .pattern("ioi")
+            .profile(ServiceProfile::new(0.05, 1.5))
+            .register()
+            .expect("weather registers");
+        s
+    }
+
+    #[test]
+    fn parses_simple_query() {
+        let s = schema();
+        let q = parse_query(
+            "q(Conf, City) :- conf('DB', Conf, Start, End, City), \
+             weather(City, Temp, Start), Temp >= 28, Start >= '2007/3/14'.",
+            &s,
+        )
+        .expect("parses");
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.head.len(), 2);
+        q.validate(&s).expect("valid");
+        // date constant recognized
+        match &q.predicates[1].rhs {
+            Expr::Term(Term::Const(Value::Date(d))) => assert_eq!(d.ymd(), (2007, 3, 14)),
+            other => panic!("expected date constant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_predicates() {
+        let s = schema();
+        let q = parse_query(
+            "q(C) :- conf('DB', C, S, E, City), E <= S + 180, S >= '2007/3/14'.",
+            &s,
+        )
+        .expect("parses");
+        assert_eq!(q.predicates.len(), 2);
+        match &q.predicates[0].rhs {
+            Expr::Add(_, _) => {}
+            other => panic!("expected Add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowercase_idents_are_constants() {
+        let s = schema();
+        let q = parse_query("q(C) :- conf(db, C, S, E, City).", &s).expect("parses");
+        assert_eq!(q.atoms[0].terms[0], Term::Const(Value::str("db")));
+    }
+
+    #[test]
+    fn unknown_service_is_error() {
+        let s = schema();
+        let err = parse_query("q(X) :- nope(X).", &s).expect_err("should fail");
+        assert!(err.message.contains("unknown service"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_caught_by_validate() {
+        let s = schema();
+        let q = parse_query("q(C) :- conf('DB', C).", &s).expect("parses");
+        assert!(matches!(
+            q.validate(&s),
+            Err(QueryError::AtomArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lexer_errors() {
+        let s = schema();
+        assert!(parse_query("q(X) :- conf('DB", &s).is_err()); // unterminated
+        assert!(parse_query("q(X) : conf('DB')", &s).is_err()); // bad turnstile
+        assert!(parse_query("q(X) :- conf('DB', X, S, E, C) # 1", &s).is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let s = schema();
+        let q = parse_query(
+            "% a comment\nq(C) :- // another\n  conf('DB', C, S, E, City).",
+            &s,
+        )
+        .expect("parses");
+        assert_eq!(q.atoms.len(), 1);
+    }
+
+    #[test]
+    fn selectivity_hints() {
+        let s = schema();
+        let q = parse_query(
+            "q(C) :- conf('DB', C, S, E, City), weather(City, T, S), \
+             T >= 28 @1.0, S >= '2007/3/14' @ 0.5.",
+            &s,
+        )
+        .expect("parses");
+        assert_eq!(q.predicates[0].selectivity_hint, Some(1.0));
+        assert_eq!(q.predicates[1].selectivity_hint, Some(0.5));
+        assert!(parse_query("q(C) :- conf('DB', C, S, E, X), S >= 1 @2.5.", &s).is_err());
+        assert!(parse_query("q(C) :- conf('DB', C, S, E, X), S >= 1 @x.", &s).is_err());
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let s = schema();
+        let q = parse_query("q(C) :- weather(City, T, D), T >= -5.5, conf('DB', C, S, E, City).", &s)
+            .expect("parses");
+        match &q.predicates[0].rhs {
+            Expr::Term(Term::Const(v)) => assert_eq!(*v, Value::float(-5.5)),
+            other => panic!("expected const, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn running_example_full_query_parses() {
+        let mut s = schema();
+        ServiceBuilder::new(&mut s, "flight")
+            .attr_kinded("From", "City", DomainKind::Str)
+            .attr_kinded("To", "City", DomainKind::Str)
+            .attr_kinded("OutDate", "Date", DomainKind::Date)
+            .attr_kinded("RetDate", "Date", DomainKind::Date)
+            .attr_kinded("OutTime", "Time", DomainKind::Str)
+            .attr_kinded("RetTime", "Time", DomainKind::Str)
+            .attr_kinded("Price", "Price", DomainKind::Float)
+            .pattern("iiiiooo")
+            .search()
+            .chunked(25)
+            .register()
+            .expect("flight registers");
+        ServiceBuilder::new(&mut s, "hotel")
+            .attr_kinded("Name", "HotelName", DomainKind::Str)
+            .attr_kinded("City", "City", DomainKind::Str)
+            .attr_kinded("Category", "Category", DomainKind::Str)
+            .attr_kinded("CheckInDate", "Date", DomainKind::Date)
+            .attr_kinded("CheckOutDate", "Date", DomainKind::Date)
+            .attr_kinded("Price", "Price", DomainKind::Float)
+            .pattern("oiiiio")
+            .search()
+            .chunked(5)
+            .register()
+            .expect("hotel registers");
+        let q = parse_query(
+            "q(Conf, City, HPrice, FPrice, Start, StartTime, End, EndTime, Hotel) :- \
+             flight('Milano', City, Start, End, StartTime, EndTime, FPrice), \
+             hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+             conf('DB', Conf, Start, End, City), \
+             weather(City, Temperature, Start), \
+             Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+             Temperature >= 28, FPrice + HPrice < 2000.",
+            &s,
+        )
+        .expect("parses");
+        q.validate(&s).expect("valid");
+        assert_eq!(q.atoms.len(), 4);
+        assert_eq!(q.predicates.len(), 4);
+        assert_eq!(q.head.len(), 9);
+        // round-trips through display and re-parse
+        let text = format!("{}", q.display(&s));
+        let q2 = parse_query(&text, &s).expect("round-trip parses");
+        assert_eq!(q2.atoms.len(), 4);
+        assert_eq!(q2.predicates.len(), 4);
+    }
+}

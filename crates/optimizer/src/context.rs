@@ -1,0 +1,49 @@
+//! Shared costing context threaded through the optimizer phases.
+
+use mdq_cost::estimate::{Annotation, CacheSetting, Estimator};
+use mdq_cost::metrics::CostMetric;
+use mdq_cost::selectivity::SelectivityModel;
+use mdq_model::schema::Schema;
+use mdq_plan::dag::Plan;
+
+/// Bundles everything needed to price a plan: schema, selectivity model,
+/// cache setting and the cost metric being minimised.
+#[derive(Clone, Copy)]
+pub struct CostContext<'a> {
+    /// Service signatures and domains.
+    pub schema: &'a Schema,
+    /// Predicate selectivity model.
+    pub selectivity: &'a SelectivityModel,
+    /// Cache setting assumed by the call estimator.
+    pub cache: CacheSetting,
+    /// The metric to minimise.
+    pub metric: &'a dyn CostMetric,
+}
+
+impl<'a> CostContext<'a> {
+    /// Creates a context.
+    pub fn new(
+        schema: &'a Schema,
+        selectivity: &'a SelectivityModel,
+        cache: CacheSetting,
+        metric: &'a dyn CostMetric,
+    ) -> Self {
+        CostContext {
+            schema,
+            selectivity,
+            cache,
+            metric,
+        }
+    }
+
+    /// Annotates a plan under this context's estimator settings.
+    pub fn annotate(&self, plan: &Plan) -> Annotation {
+        Estimator::new(self.schema, self.selectivity, self.cache).annotate(plan)
+    }
+
+    /// Annotates and prices a plan.
+    pub fn cost(&self, plan: &Plan) -> (f64, Annotation) {
+        let ann = self.annotate(plan);
+        (self.metric.cost(plan, &ann, self.schema), ann)
+    }
+}

@@ -1,0 +1,136 @@
+//! Reference exhaustive optimizer — the test oracle.
+//!
+//! Independently re-enumerates the *entire* solution space (every
+//! permissible access-pattern sequence × every admissible topology ×
+//! every fetch vector up to the caps) with plain nested loops and no
+//! pruning, and returns the true optimum. Exponential — only usable on
+//! small instances — but precisely because it shares no search machinery
+//! with [`crate::bnb`], agreement between the two is strong evidence the
+//! branch-and-bound never prunes the optimum away.
+
+use crate::context::CostContext;
+use mdq_model::binding::{permissible_sequences, SupplierMap};
+use mdq_model::query::ConjunctiveQuery;
+use mdq_plan::builder::{build_plan, StrategyRule};
+use mdq_plan::dag::Plan;
+use mdq_plan::poset::all_topologies;
+use std::sync::Arc;
+
+/// The exhaustive optimum: cheapest plan whose estimated output reaches
+/// `k`, or `None` when no plan does.
+pub fn exhaustive_optimum(
+    query: &Arc<ConjunctiveQuery>,
+    ctx: &CostContext<'_>,
+    strategy: &StrategyRule,
+    k: f64,
+    max_fetch: u64,
+) -> Option<(Plan, f64)> {
+    let n = query.atoms.len();
+    let mut best: Option<(Plan, f64)> = None;
+    for choice in permissible_sequences(query, ctx.schema) {
+        let suppliers = SupplierMap::build(query, ctx.schema, &choice);
+        for poset in all_topologies(n, &suppliers) {
+            let Ok(mut plan) = build_plan(
+                Arc::clone(query),
+                ctx.schema,
+                choice.clone(),
+                poset,
+                (0..n).collect(),
+                strategy,
+            ) else {
+                continue;
+            };
+            let chunked = plan.chunked_positions(ctx.schema);
+            let caps: Vec<u64> = chunked
+                .iter()
+                .map(|&pos| {
+                    ctx.schema
+                        .service(plan.query.atoms[plan.atoms[pos]].service)
+                        .max_fetches_from_decay()
+                        .unwrap_or(max_fetch)
+                        .min(max_fetch)
+                })
+                .collect();
+            let mut vector = vec![1u64; chunked.len()];
+            loop {
+                for (slot, &pos) in chunked.iter().enumerate() {
+                    plan.fetches[pos] = vector[slot];
+                }
+                let (cost, ann) = ctx.cost(&plan);
+                if ann.out_size() >= k {
+                    let better = best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true);
+                    if better {
+                        best = Some((plan.clone(), cost));
+                    }
+                }
+                // odometer increment
+                let mut i = 0;
+                loop {
+                    if i == vector.len() {
+                        break;
+                    }
+                    if vector[i] < caps[i] {
+                        vector[i] += 1;
+                        break;
+                    }
+                    vector[i] = 1;
+                    i += 1;
+                }
+                if i == vector.len() {
+                    break;
+                }
+                if vector.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::{optimize, OptimizerConfig};
+    use crate::test_fixtures::running_example_parts;
+    use mdq_cost::estimate::CacheSetting;
+    use mdq_cost::metrics::all_metrics;
+    use mdq_cost::selectivity::SelectivityModel;
+
+    /// The headline soundness test: on the running example, branch and
+    /// bound must agree with the independent exhaustive oracle under
+    /// every metric and cache setting (with a small fetch cap to keep the
+    /// oracle tractable).
+    #[test]
+    fn bnb_matches_exhaustive_oracle() {
+        let (schema, query) = running_example_parts();
+        let query = Arc::new(query);
+        let sel = SelectivityModel::default();
+        let strategy = StrategyRule::default();
+        for metric in all_metrics() {
+            for cache in CacheSetting::ALL {
+                let ctx = CostContext::new(&schema, &sel, cache, metric.as_ref());
+                let oracle = exhaustive_optimum(&query, &ctx, &strategy, 10.0, 8)
+                    .expect("oracle finds a plan");
+                let bnb = optimize(
+                    Arc::clone(&query),
+                    &schema,
+                    metric.as_ref(),
+                    &OptimizerConfig {
+                        cache,
+                        max_fetch: 8,
+                        ..OptimizerConfig::default()
+                    },
+                )
+                .expect("bnb finds a plan");
+                assert!(
+                    (oracle.1 - bnb.candidate.cost).abs() < 1e-9,
+                    "{} under {cache:?}: oracle {} vs bnb {}",
+                    metric.name(),
+                    oracle.1,
+                    bnb.candidate.cost
+                );
+            }
+        }
+    }
+}

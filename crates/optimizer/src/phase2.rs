@@ -1,0 +1,481 @@
+//! Phase 2 — selection of the plan topology (§4.2).
+//!
+//! Fixes the execution order of the services and the position of joins:
+//! the space is the set of admissible partial orders extending the
+//! access-pattern precedences (19 alternatives in Example 5.1). Branch
+//! and bound explores the paper's incremental batch construction; after
+//! each batch the partially constructed plan is priced (a lower bound on
+//! all completions, by metric monotonicity) and pruned against the
+//! incumbent.
+//!
+//! Heuristics (§4.2.1) seed the incumbent: **selective-serial** (one
+//! single path ordered by increasing erspi wherever possible — favours
+//! invocation-counting metrics) and **max-parallel** (always place every
+//! callable atom — favours time metrics).
+
+use crate::context::CostContext;
+use crate::phase3::{self, FetchHeuristic, FetchStats};
+use mdq_cost::estimate::Annotation;
+use mdq_model::binding::{callable_after, ApChoice, SupplierMap};
+use mdq_model::query::ConjunctiveQuery;
+use mdq_model::schema::Schema;
+use mdq_plan::builder::{build_plan, StrategyRule};
+use mdq_plan::dag::Plan;
+use mdq_plan::poset::{enumerate_topologies, PartialTopology, Poset, TopologyVisitor};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The §4.2.1 topology heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum TopologyHeuristic {
+    /// A single chain ordered by increasing erspi wherever admissible.
+    #[default]
+    SelectiveSerial,
+    /// Maximal parallelism: place every callable atom at each step.
+    MaxParallel,
+}
+
+/// A fully instantiated plan with its price.
+#[derive(Clone, Debug)]
+pub struct PlanCandidate {
+    /// The plan (fetch factors installed).
+    pub plan: Plan,
+    /// Cost under the optimization metric.
+    pub cost: f64,
+    /// Final annotation.
+    pub annotation: Annotation,
+    /// Whether the estimated output reaches the requested `k`.
+    pub meets_k: bool,
+}
+
+/// Effort counters for phase 2 (+ nested phase 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Phase2Stats {
+    /// Complete topologies reached by the enumeration.
+    pub topologies_complete: usize,
+    /// Partial topologies priced.
+    pub partials_considered: usize,
+    /// Partial topologies pruned by the incumbent bound.
+    pub partials_pruned: usize,
+    /// Aggregated phase-3 effort.
+    pub fetch: FetchStats,
+}
+
+/// Search-control options shared by phase 2/3.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// Fetch heuristic seeding phase 3.
+    pub fetch_heuristic: FetchHeuristic,
+    /// Cap on any single fetch factor.
+    pub max_fetch: u64,
+    /// Run the exact phase-3 frontier search after the heuristic.
+    pub explore_fetches: bool,
+    /// Use incumbent pruning (disable to measure raw search effort).
+    pub use_bounds: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            fetch_heuristic: FetchHeuristic::Greedy,
+            max_fetch: 64,
+            explore_fetches: true,
+            use_bounds: true,
+        }
+    }
+}
+
+/// Builds the selective-serial heuristic topology: a greedy chain taking,
+/// at each step, the callable atom with the smallest effective result
+/// size (erspi for bulk services, one chunk for chunked ones).
+pub fn selective_serial_topology(
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+    choice: &ApChoice,
+) -> Option<Poset> {
+    let n = query.atoms.len();
+    let size_of = |atom: usize| -> f64 {
+        let sig = schema.service(query.atoms[atom].service);
+        match sig.chunk_size() {
+            Some(cs) => cs as f64,
+            None => sig.profile.erspi,
+        }
+    };
+    let mut placed: HashSet<usize> = HashSet::new();
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    while placed.len() < n {
+        let callable = callable_after(query, schema, choice, &placed);
+        let next = callable
+            .into_iter()
+            .min_by(|&a, &b| size_of(a).total_cmp(&size_of(b)))?;
+        chain.push(next);
+        placed.insert(next);
+    }
+    let pairs: Vec<(usize, usize)> = chain.windows(2).map(|w| (w[0], w[1])).collect();
+    Poset::from_pairs(n, &pairs)
+}
+
+/// Builds the max-parallel heuristic topology: place all callable atoms
+/// at every step, each preceded by everything placed before.
+pub fn max_parallel_topology(
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+    choice: &ApChoice,
+) -> Option<Poset> {
+    let n = query.atoms.len();
+    let mut placed: HashSet<usize> = HashSet::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    while placed.len() < n {
+        let batch = callable_after(query, schema, choice, &placed);
+        if batch.is_empty() {
+            return None;
+        }
+        for &b in &batch {
+            for &a in &placed {
+                pairs.push((a, b));
+            }
+        }
+        placed.extend(batch);
+    }
+    Poset::from_pairs(n, &pairs)
+}
+
+/// Prices one complete topology: builds the plan, runs phase 3, returns
+/// the candidate.
+#[allow(clippy::too_many_arguments)]
+pub fn instantiate_topology(
+    query: &Arc<ConjunctiveQuery>,
+    ctx: &CostContext<'_>,
+    choice: &ApChoice,
+    poset: Poset,
+    strategy: &StrategyRule,
+    k: f64,
+    opts: &SearchOptions,
+    incumbent: Option<f64>,
+    fetch_stats: &mut FetchStats,
+) -> Option<PlanCandidate> {
+    let n = query.atoms.len();
+    let mut plan = build_plan(
+        Arc::clone(query),
+        ctx.schema,
+        choice.clone(),
+        poset,
+        (0..n).collect(),
+        strategy,
+    )
+    .ok()?;
+    let outcome = phase3::optimize_fetches(
+        &mut plan,
+        ctx,
+        k,
+        opts.fetch_heuristic,
+        opts.max_fetch,
+        opts.explore_fetches,
+        incumbent,
+        fetch_stats,
+    );
+    plan.fetches.copy_from_slice(&outcome.fetches);
+    Some(PlanCandidate {
+        plan,
+        cost: outcome.cost,
+        annotation: outcome.annotation,
+        meets_k: outcome.meets_k,
+    })
+}
+
+struct Phase2Visitor<'a, 'c> {
+    query: &'a Arc<ConjunctiveQuery>,
+    ctx: &'a CostContext<'c>,
+    choice: &'a ApChoice,
+    strategy: &'a StrategyRule,
+    k: f64,
+    opts: SearchOptions,
+    incumbent: f64,
+    best: Option<PlanCandidate>,
+    best_effort: Option<PlanCandidate>,
+    stats: Phase2Stats,
+}
+
+impl Phase2Visitor<'_, '_> {
+    fn consider(&mut self, candidate: PlanCandidate) {
+        if candidate.meets_k {
+            if candidate.cost < self.incumbent {
+                self.incumbent = candidate.cost;
+            }
+            let better = self
+                .best
+                .as_ref()
+                .map(|b| candidate.cost < b.cost)
+                .unwrap_or(true);
+            if better {
+                self.best = Some(candidate);
+            }
+        } else {
+            // best-effort fallback: maximise output, then minimise cost
+            let better = self
+                .best_effort
+                .as_ref()
+                .map(|b| {
+                    let (co, bo) = (candidate.annotation.out_size(), b.annotation.out_size());
+                    co > bo || (co == bo && candidate.cost < b.cost)
+                })
+                .unwrap_or(true);
+            if better {
+                self.best_effort = Some(candidate);
+            }
+        }
+    }
+}
+
+impl TopologyVisitor for Phase2Visitor<'_, '_> {
+    fn on_partial(&mut self, state: &PartialTopology) -> bool {
+        if !self.opts.use_bounds || self.best.is_none() {
+            return true;
+        }
+        self.stats.partials_considered += 1;
+        let mut placed: Vec<usize> = state.placed.iter().copied().collect();
+        placed.sort_unstable();
+        let sub = state.poset.restrict(&placed);
+        let Ok(prefix) = build_plan(
+            Arc::clone(self.query),
+            self.ctx.schema,
+            self.choice.clone(),
+            sub,
+            placed,
+            self.strategy,
+        ) else {
+            return true;
+        };
+        let (lower_bound, _) = self.ctx.cost(&prefix);
+        if lower_bound >= self.incumbent {
+            self.stats.partials_pruned += 1;
+            return false;
+        }
+        true
+    }
+
+    fn on_complete(&mut self, poset: &Poset) {
+        self.stats.topologies_complete += 1;
+        let incumbent = if self.opts.use_bounds {
+            Some(self.incumbent)
+        } else {
+            None
+        };
+        if let Some(cand) = instantiate_topology(
+            self.query,
+            self.ctx,
+            self.choice,
+            poset.clone(),
+            self.strategy,
+            self.k,
+            &self.opts,
+            incumbent,
+            &mut self.stats.fetch,
+        ) {
+            self.consider(cand);
+        }
+    }
+}
+
+/// Result of the phase-2 search for one access-pattern sequence.
+pub struct Phase2Outcome {
+    /// Best plan that reaches `k`, if any.
+    pub best: Option<PlanCandidate>,
+    /// Best best-effort plan when `k` is unreachable.
+    pub best_effort: Option<PlanCandidate>,
+    /// Search-effort counters.
+    pub stats: Phase2Stats,
+}
+
+/// Searches all admissible topologies for `choice`, seeding the incumbent
+/// with both §4.2.1 heuristics (and `initial_incumbent` carried over from
+/// previously explored pattern sequences).
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_topology(
+    query: &Arc<ConjunctiveQuery>,
+    ctx: &CostContext<'_>,
+    choice: &ApChoice,
+    strategy: &StrategyRule,
+    k: f64,
+    opts: SearchOptions,
+    initial_incumbent: Option<f64>,
+) -> Phase2Outcome {
+    let mut visitor = Phase2Visitor {
+        query,
+        ctx,
+        choice,
+        strategy,
+        k,
+        opts,
+        incumbent: initial_incumbent.unwrap_or(f64::INFINITY),
+        best: None,
+        best_effort: None,
+        stats: Phase2Stats::default(),
+    };
+
+    // Heuristic first choices build the initial upper bound (§4).
+    for heuristic in [TopologyHeuristic::SelectiveSerial, TopologyHeuristic::MaxParallel] {
+        let topo = match heuristic {
+            TopologyHeuristic::SelectiveSerial => {
+                selective_serial_topology(query, ctx.schema, choice)
+            }
+            TopologyHeuristic::MaxParallel => max_parallel_topology(query, ctx.schema, choice),
+        };
+        if let Some(poset) = topo {
+            if let Some(cand) = instantiate_topology(
+                query,
+                ctx,
+                choice,
+                poset,
+                strategy,
+                k,
+                &opts,
+                None,
+                &mut visitor.stats.fetch,
+            ) {
+                visitor.consider(cand);
+            }
+        }
+    }
+
+    let suppliers = SupplierMap::build(query, ctx.schema, choice);
+    enumerate_topologies(query.atoms.len(), &suppliers, &mut visitor);
+
+    Phase2Outcome {
+        best: visitor.best,
+        best_effort: visitor.best_effort,
+        stats: visitor.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::running_example_parts;
+    use mdq_cost::estimate::CacheSetting;
+    use mdq_cost::metrics::{ExecutionTime, RequestResponse};
+    use mdq_cost::selectivity::SelectivityModel;
+    use mdq_model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
+
+    #[test]
+    fn selective_serial_orders_by_erspi() {
+        let (schema, query) = running_example_parts();
+        let choice = ApChoice(vec![0, 0, 0, 0]);
+        let poset =
+            selective_serial_topology(&query, &schema, &choice).expect("chain exists");
+        assert!(poset.is_chain());
+        // conf must come first (only callable); then weather (0.05),
+        // hotel (chunk 5), flight (chunk 25)
+        assert_eq!(
+            poset.topological_order(),
+            vec![ATOM_CONF, ATOM_WEATHER, ATOM_HOTEL, ATOM_FLIGHT]
+        );
+    }
+
+    #[test]
+    fn max_parallel_puts_all_after_conf() {
+        let (schema, query) = running_example_parts();
+        let choice = ApChoice(vec![0, 0, 0, 0]);
+        let poset = max_parallel_topology(&query, &schema, &choice).expect("exists");
+        assert_eq!(poset.levels().len(), 2);
+        assert_eq!(poset.levels()[0], vec![ATOM_CONF]);
+        let mut batch = poset.levels()[1].clone();
+        batch.sort_unstable();
+        assert_eq!(batch, vec![ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER]);
+    }
+
+    #[test]
+    fn phase2_explores_19_topologies_for_alpha1() {
+        let (schema, query) = running_example_parts();
+        let query = Arc::new(query);
+        let choice = ApChoice(vec![0, 0, 0, 0]);
+        let sel = SelectivityModel::default();
+        let metric = RequestResponse;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let opts = SearchOptions {
+            use_bounds: false, // count the full space
+            ..SearchOptions::default()
+        };
+        let out = optimize_topology(
+            &query,
+            &ctx,
+            &choice,
+            &StrategyRule::default(),
+            10.0,
+            opts,
+            None,
+        );
+        assert_eq!(out.stats.topologies_complete, 19, "Example 5.1's plan count");
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn pruning_reduces_work_but_preserves_optimum() {
+        let (schema, query) = running_example_parts();
+        let query = Arc::new(query);
+        let choice = ApChoice(vec![0, 0, 0, 0]);
+        let sel = SelectivityModel::default();
+        let metric = ExecutionTime;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let free = optimize_topology(
+            &query,
+            &ctx,
+            &choice,
+            &StrategyRule::default(),
+            10.0,
+            SearchOptions {
+                use_bounds: false,
+                ..SearchOptions::default()
+            },
+            None,
+        );
+        let bounded = optimize_topology(
+            &query,
+            &ctx,
+            &choice,
+            &StrategyRule::default(),
+            10.0,
+            SearchOptions::default(),
+
+            None,
+        );
+        let (a, b) = (
+            free.best.as_ref().expect("optimum exists").cost,
+            bounded.best.as_ref().expect("optimum exists").cost,
+        );
+        assert!((a - b).abs() < 1e-9, "pruning changed the optimum: {a} vs {b}");
+        assert!(
+            bounded.stats.topologies_complete <= free.stats.topologies_complete,
+            "bounding should not explore more complete topologies"
+        );
+        assert!(bounded.stats.partials_pruned > 0, "some pruning must fire");
+    }
+
+    #[test]
+    fn etm_prefers_parallel_fig7d_shape() {
+        // Under ETM the optimal topology parallelises flight and hotel
+        // after weather (Fig. 7d / Fig. 8), per Example 5.1.
+        let (schema, query) = running_example_parts();
+        let query = Arc::new(query);
+        let choice = ApChoice(vec![0, 0, 0, 0]);
+        let sel = SelectivityModel::default();
+        let metric = ExecutionTime;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let out = optimize_topology(
+            &query,
+            &ctx,
+            &choice,
+            &StrategyRule::default(),
+            10.0,
+            SearchOptions::default(),
+            None,
+        );
+        let best = out.best.expect("optimum exists");
+        let poset = &best.plan.poset;
+        assert!(poset.lt(ATOM_CONF, ATOM_WEATHER));
+        assert!(poset.lt(ATOM_WEATHER, ATOM_FLIGHT));
+        assert!(poset.lt(ATOM_WEATHER, ATOM_HOTEL));
+        assert!(poset.incomparable(ATOM_FLIGHT, ATOM_HOTEL));
+        assert!(best.meets_k);
+    }
+}

@@ -1,0 +1,544 @@
+//! Phase 3 — assignment of fetch factors to chunked services (§4.3, §5.3.1).
+//!
+//! Once topology and access patterns are fixed, the only open parameters
+//! are the fetching factors `F_i` of the chunked services. The goal:
+//! produce at least `k` answers (`tout ≥ k`) at minimal cost. Provided
+//! here:
+//!
+//! * the **greedy** heuristic (increment the most tuples-per-cost
+//!   sensitive factor until `h ≥ k`);
+//! * the **square-is-better** heuristic (balance the number of tuples
+//!   explored across chunked services — suited to quickly decaying
+//!   rankings);
+//! * the closed forms of §5.3.1 for one (Eq. 5), two (Eq. 6/7) and `n`
+//!   chunked services;
+//! * an exact, dominance-pruned **frontier search** (§4.3.2) over minimal
+//!   feasible fetch vectors, with branch-and-bound against an incumbent.
+
+use crate::context::CostContext;
+use mdq_cost::estimate::Annotation;
+use mdq_plan::dag::Plan;
+
+/// The two §4.3.1 heuristics for initial fetch assignments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum FetchHeuristic {
+    /// "Greedy": repeatedly increment the factor with the best marginal
+    /// tuples-per-cost ratio.
+    #[default]
+    Greedy,
+    /// "Square is better": keep the number of *explored tuples*
+    /// (`F_i · cs_i`) balanced across chunked services, suited to
+    /// scenarios where ranking quality decays quickly.
+    ///
+    /// Note: the paper's text says factors are incremented "proportional
+    /// to chunk size", but its stated goal is that all services explore
+    /// *about the same number of tuples*; we implement the stated goal
+    /// (increment the service whose `F_i · cs_i` is currently smallest).
+    Square,
+}
+
+/// Outcome of fetch assignment for one plan.
+#[derive(Clone, Debug)]
+pub struct FetchOutcome {
+    /// Chosen fetch factor per plan-atom position.
+    pub fetches: Vec<u64>,
+    /// Plan cost under the context's metric.
+    pub cost: f64,
+    /// Final annotation.
+    pub annotation: Annotation,
+    /// Whether the estimated output reaches `k`. `false` only when decay
+    /// or fetch caps make `k` unreachable (§4.3.2) or the plan has no
+    /// fetch knobs and simply produces fewer tuples.
+    pub meets_k: bool,
+}
+
+/// Counters for phase-3 search effort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Fetch vectors whose cost was evaluated.
+    pub vectors_costed: usize,
+    /// Subtrees pruned by the incumbent bound.
+    pub pruned_by_bound: usize,
+    /// Subtrees pruned by infeasibility (even max fetches fall short).
+    pub pruned_infeasible: usize,
+}
+
+/// Per-position fetch caps: decay-derived bound `⌈d_i / cs_i⌉` when known
+/// (§4.3.2), otherwise `max_fetch`.
+pub fn fetch_caps(plan: &Plan, ctx: &CostContext<'_>, max_fetch: u64) -> Vec<u64> {
+    plan.atoms
+        .iter()
+        .map(|&a| {
+            let sig = ctx.schema.service(plan.query.atoms[a].service);
+            if sig.chunking.is_chunked() {
+                sig.max_fetches_from_decay().unwrap_or(max_fetch).min(max_fetch)
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+fn out_with(plan: &mut Plan, ctx: &CostContext<'_>, fetches: &[u64]) -> f64 {
+    plan.fetches.copy_from_slice(fetches);
+    ctx.annotate(plan).out_size()
+}
+
+fn cost_with(
+    plan: &mut Plan,
+    ctx: &CostContext<'_>,
+    fetches: &[u64],
+    stats: &mut FetchStats,
+) -> (f64, Annotation) {
+    plan.fetches.copy_from_slice(fetches);
+    stats.vectors_costed += 1;
+    ctx.cost(plan)
+}
+
+/// Closed form for a single chunked service (Eq. 5): `tout` is linear in
+/// `F`, so `F = ⌈k / tout(F = 1)⌉`.
+pub fn closed_form_single(out_at_one: f64, k: f64) -> u64 {
+    if out_at_one <= 0.0 {
+        return u64::MAX;
+    }
+    (k / out_at_one).ceil().max(1.0) as u64
+}
+
+/// Closed form for two *parallel* chunked services (Eq. 6): with
+/// `K′ = ⌈k / tout(1,1)⌉` and per-fetch costs `c₁`, `c₂` (weighted by the
+/// services' input cardinalities), the relaxed optimum is
+/// `F₁ = ⌈√(K′ c₂ / c₁)⌉`, `F₂ = ⌈√(K′ c₁ / c₂)⌉`.
+///
+/// This is the paper's formula verbatim — including its rounding, which
+/// can overshoot the true integer optimum (see the ablation bench): for
+/// Fig. 8 it yields exactly `F_flight = 3`, `F_hotel = 4`.
+pub fn closed_form_pair(out_at_ones: f64, k: f64, c1: f64, c2: f64) -> (u64, u64) {
+    if out_at_ones <= 0.0 {
+        return (u64::MAX, u64::MAX);
+    }
+    let kp = (k / out_at_ones).ceil().max(1.0);
+    let f1 = (kp * c2 / c1).sqrt().ceil().max(1.0) as u64;
+    let f2 = (kp * c1 / c2).sqrt().ceil().max(1.0) as u64;
+    (f1, f2)
+}
+
+/// Closed form for two *sequential* chunked services (Eq. 7): when `n₂`
+/// consumes `n₁`'s output, `t_in₂` grows linearly with `F₁`, so the
+/// cheapest assignment pushes all fetching downstream: `F₁ = 1`,
+/// `F₂ = ⌈K′⌉`.
+pub fn closed_form_sequential(out_at_ones: f64, k: f64) -> (u64, u64) {
+    if out_at_ones <= 0.0 {
+        return (u64::MAX, u64::MAX);
+    }
+    (1, (k / out_at_ones).ceil().max(1.0) as u64)
+}
+
+/// Generalised closed form for `n` parallel chunked services (§5.3.1's
+/// closing remark): minimising `Σ cᵢ Fᵢ` subject to `∏ Fᵢ = K′` gives
+/// `Fᵢ = (K′ · ∏ⱼ cⱼ)^{1/n} / cᵢ`.
+pub fn closed_form_n(out_at_ones: f64, k: f64, costs: &[f64]) -> Vec<u64> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if out_at_ones <= 0.0 {
+        return vec![u64::MAX; n];
+    }
+    let kp = (k / out_at_ones).ceil().max(1.0);
+    let log_sum: f64 = costs.iter().map(|c| c.max(f64::MIN_POSITIVE).ln()).sum();
+    let scale = ((kp.ln() + log_sum) / n as f64).exp();
+    costs
+        .iter()
+        .map(|c| (scale / c.max(f64::MIN_POSITIVE)).ceil().max(1.0) as u64)
+        .collect()
+}
+
+/// Computes a heuristic initial fetch vector (§4.3.1). Starts from all-1
+/// (already optimal if `h ≥ k`) and escalates until the output reaches
+/// `k` or every factor hits its cap.
+pub fn heuristic_fetches(
+    plan: &mut Plan,
+    ctx: &CostContext<'_>,
+    k: f64,
+    heuristic: FetchHeuristic,
+    caps: &[u64],
+) -> Vec<u64> {
+    let chunked = plan.chunked_positions(ctx.schema);
+    let mut f: Vec<u64> = vec![1; plan.atoms.len()];
+    if chunked.is_empty() {
+        return f;
+    }
+    let mut out = out_with(plan, ctx, &f);
+    let mut guard = 0usize;
+    while out < k && guard < 100_000 {
+        guard += 1;
+        let candidate = match heuristic {
+            FetchHeuristic::Greedy => {
+                // the position with the best Δtuples / Δcost for +1
+                let mut best: Option<(usize, f64)> = None;
+                for &pos in &chunked {
+                    if f[pos] >= caps[pos] {
+                        continue;
+                    }
+                    f[pos] += 1;
+                    let mut stats = FetchStats::default();
+                    let gain = out_with(plan, ctx, &f) - out;
+                    let (cost_after, _) = cost_with(plan, ctx, &f, &mut stats);
+                    f[pos] -= 1;
+                    let (cost_before, _) = cost_with(plan, ctx, &f, &mut stats);
+                    let dcost = (cost_after - cost_before).max(f64::MIN_POSITIVE);
+                    let ratio = gain / dcost;
+                    if best.map(|(_, r)| ratio > r).unwrap_or(true) {
+                        best = Some((pos, ratio));
+                    }
+                }
+                best.map(|(pos, _)| pos)
+            }
+            FetchHeuristic::Square => {
+                // the position with the fewest explored tuples F·cs
+                chunked
+                    .iter()
+                    .copied()
+                    .filter(|&pos| f[pos] < caps[pos])
+                    .min_by(|&a, &b| {
+                        let cs = |pos: usize| {
+                            ctx.schema
+                                .service(plan.query.atoms[plan.atoms[pos]].service)
+                                .chunk_size()
+                                .unwrap_or(1) as f64
+                        };
+                        (f[a] as f64 * cs(a)).total_cmp(&(f[b] as f64 * cs(b)))
+                    })
+            }
+        };
+        let Some(pos) = candidate else {
+            break; // all capped: k unreachable
+        };
+        f[pos] += 1;
+        out = out_with(plan, ctx, &f);
+    }
+    f
+}
+
+/// Exact phase-3 search: explores the frontier of minimal feasible fetch
+/// vectors (any vector dominated by a feasible one is skipped, §4.3.2),
+/// pruning with the incumbent bound (cost is monotone in every `Fᵢ`, so a
+/// partial assignment costed with the remaining factors at 1 lower-bounds
+/// its completions).
+///
+/// Returns the best outcome found, or `None` when even the caps cannot
+/// reach `k` *and* no fallback is allowed.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameterisation
+pub fn optimize_fetches(
+    plan: &mut Plan,
+    ctx: &CostContext<'_>,
+    k: f64,
+    heuristic: FetchHeuristic,
+    max_fetch: u64,
+    explore: bool,
+    incumbent: Option<f64>,
+    stats: &mut FetchStats,
+) -> FetchOutcome {
+    let caps = fetch_caps(plan, ctx, max_fetch);
+    let chunked = plan.chunked_positions(ctx.schema);
+
+    // No knobs: cost as-is.
+    if chunked.is_empty() {
+        let ones = vec![1u64; plan.atoms.len()];
+        let (cost, annotation) = cost_with(plan, ctx, &ones, stats);
+        let meets_k = annotation.out_size() >= k;
+        return FetchOutcome {
+            fetches: ones,
+            cost,
+            annotation,
+            meets_k,
+        };
+    }
+
+    // Feasibility at the caps (decay may make k unreachable, §4.3.2).
+    let capped: Vec<u64> = caps.clone();
+    let reachable = out_with(plan, ctx, &capped) >= k;
+
+    // Heuristic first choice → initial upper bound.
+    let init = if reachable {
+        heuristic_fetches(plan, ctx, k, heuristic, &caps)
+    } else {
+        capped // best effort: fetch everything allowed
+    };
+    let (init_cost, init_ann) = cost_with(plan, ctx, &init, stats);
+    let mut best = FetchOutcome {
+        meets_k: init_ann.out_size() >= k,
+        fetches: init,
+        cost: init_cost,
+        annotation: init_ann,
+    };
+
+    if !explore || !reachable {
+        return best;
+    }
+
+    // Frontier exploration with B&B.
+    let mut bound = match incumbent {
+        Some(b) => best.cost.min(b),
+        None => best.cost,
+    };
+    let mut current: Vec<u64> = vec![1; plan.atoms.len()];
+    explore_rec(
+        plan, ctx, k, &chunked, &caps, 0, &mut current, &mut bound, &mut best, stats,
+    );
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_rec(
+    plan: &mut Plan,
+    ctx: &CostContext<'_>,
+    k: f64,
+    chunked: &[usize],
+    caps: &[u64],
+    depth: usize,
+    current: &mut Vec<u64>,
+    bound: &mut f64,
+    best: &mut FetchOutcome,
+    stats: &mut FetchStats,
+) {
+    // Prune: remaining factors at cap still infeasible.
+    let mut probe = current.clone();
+    for &pos in &chunked[depth..] {
+        probe[pos] = caps[pos];
+    }
+    if out_with(plan, ctx, &probe) < k {
+        stats.pruned_infeasible += 1;
+        return;
+    }
+    // Prune: current partial (remaining at 1) already beats the bound.
+    let mut floor = current.clone();
+    for &pos in &chunked[depth..] {
+        floor[pos] = 1;
+    }
+    let (lb, _) = cost_with(plan, ctx, &floor, stats);
+    if lb >= *bound {
+        stats.pruned_by_bound += 1;
+        return;
+    }
+
+    if depth == chunked.len() - 1 {
+        // last factor: minimal feasible value via binary search
+        // (out is monotone non-decreasing in the factor)
+        let pos = chunked[depth];
+        let (mut lo, mut hi) = (1u64, caps[pos]);
+        let mut probe = current.clone();
+        probe[pos] = hi;
+        if out_with(plan, ctx, &probe) < k {
+            stats.pruned_infeasible += 1;
+            return;
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probe[pos] = mid;
+            if out_with(plan, ctx, &probe) >= k {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        probe[pos] = lo;
+        let (cost, ann) = cost_with(plan, ctx, &probe, stats);
+        if cost < *bound || (cost < best.cost) {
+            if cost < *bound {
+                *bound = cost;
+            }
+            if cost < best.cost || !best.meets_k {
+                *best = FetchOutcome {
+                    fetches: probe,
+                    cost,
+                    meets_k: ann.out_size() >= k,
+                    annotation: ann,
+                };
+            }
+        }
+        return;
+    }
+
+    let pos = chunked[depth];
+    for f in 1..=caps[pos] {
+        current[pos] = f;
+        explore_rec(
+            plan, ctx, k, chunked, caps, depth + 1, current, bound, best, stats,
+        );
+        // dominance: once (…, f, 1, …, 1) is feasible, any larger f is
+        // dominated (cost monotone) — stop raising this factor
+        let mut floor = current.clone();
+        for &p in &chunked[depth + 1..] {
+            floor[p] = 1;
+        }
+        if out_with(plan, ctx, &floor) >= k {
+            break;
+        }
+    }
+    current[pos] = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CostContext;
+    use crate::test_fixtures::{fig6_plan, running_example_parts};
+    use mdq_cost::estimate::CacheSetting;
+    use mdq_cost::metrics::{ExecutionTime, RequestResponse};
+    use mdq_cost::selectivity::SelectivityModel;
+    use mdq_model::examples::{ATOM_FLIGHT, ATOM_HOTEL};
+
+    /// Fig. 8: Eq. 6 with K′ = 8 and per-fetch costs τ_flight = 9.7,
+    /// τ_hotel = 4.9 yields F_flight = 3, F_hotel = 4.
+    #[test]
+    fn fig8_closed_form_pair() {
+        // tout(1,1) = Ξ(G)·cs₁·cs₂·σ = 1 · 25 · 5 · 0.01 = 1.25; k = 10
+        let (f_flight, f_hotel) = closed_form_pair(1.25, 10.0, 9.7, 4.9);
+        assert_eq!((f_flight, f_hotel), (3, 4));
+    }
+
+    #[test]
+    fn closed_form_single_rounds_up() {
+        assert_eq!(closed_form_single(1.25, 10.0), 8);
+        assert_eq!(closed_form_single(5.0, 10.0), 2);
+        assert_eq!(closed_form_single(20.0, 10.0), 1);
+        assert_eq!(closed_form_single(0.0, 10.0), u64::MAX);
+    }
+
+    #[test]
+    fn closed_form_sequential_pushes_downstream() {
+        assert_eq!(closed_form_sequential(1.25, 10.0), (1, 8));
+    }
+
+    #[test]
+    fn closed_form_n_matches_pair() {
+        let v = closed_form_n(1.25, 10.0, &[9.7, 4.9]);
+        // continuous optimum (K′·c₁c₂)^½ / cᵢ = (8·47.53)^½/cᵢ =
+        // 19.50/9.7 = 2.01 → 3, 19.50/4.9 = 3.98 → 4
+        assert_eq!(v, vec![3, 4]);
+        let single = closed_form_n(1.25, 10.0, &[1.0]);
+        assert_eq!(single, vec![8]);
+        assert!(closed_form_n(1.25, 10.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_reaches_k() {
+        let (mut plan, schema) = fig6_plan();
+        let sel = SelectivityModel::default();
+        let metric = RequestResponse;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let caps = fetch_caps(&plan, &ctx, 100);
+        let f = heuristic_fetches(&mut plan, &ctx, 10.0, FetchHeuristic::Greedy, &caps);
+        plan.fetches.copy_from_slice(&f);
+        assert!(ctx.annotate(&plan).out_size() >= 10.0);
+        // the product F_flight · F_hotel must cover K' = 8
+        assert!(f[ATOM_FLIGHT] * f[ATOM_HOTEL] >= 8);
+    }
+
+    #[test]
+    fn square_balances_explored_tuples() {
+        let (mut plan, schema) = fig6_plan();
+        let sel = SelectivityModel::default();
+        let metric = RequestResponse;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let caps = fetch_caps(&plan, &ctx, 100);
+        let f = heuristic_fetches(&mut plan, &ctx, 10.0, FetchHeuristic::Square, &caps);
+        // flight explores 25·F_fl tuples, hotel 5·F_h: balanced means
+        // F_h ≈ 5·F_fl
+        assert!(f[ATOM_HOTEL] > f[ATOM_FLIGHT]);
+        plan.fetches.copy_from_slice(&f);
+        assert!(ctx.annotate(&plan).out_size() >= 10.0);
+    }
+
+    #[test]
+    fn frontier_search_finds_true_optimum() {
+        // Under RRM with one-call cache, cost = 1 (conf) + 20 (weather)
+        // + F_fl + F_h and feasibility F_fl·F_h ≥ 8: the integer optimum
+        // is F_fl + F_h minimal = 3 + 3 (9 ≥ 8) → cost 27.
+        let (mut plan, schema) = fig6_plan();
+        let sel = SelectivityModel::default();
+        let metric = RequestResponse;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let mut stats = FetchStats::default();
+        let out = optimize_fetches(
+            &mut plan,
+            &ctx,
+            10.0,
+            FetchHeuristic::Greedy,
+            100,
+            true,
+            None,
+            &mut stats,
+        );
+        assert!(out.meets_k);
+        assert!(out.fetches[ATOM_FLIGHT] * out.fetches[ATOM_HOTEL] >= 8);
+        assert!((out.cost - 27.0).abs() < 1e-9, "cost = {}", out.cost);
+        assert!(stats.vectors_costed > 0);
+    }
+
+    #[test]
+    fn decay_caps_can_make_k_unreachable() {
+        let (mut schema, _) = running_example_parts();
+        // flights decay after 25 tuples (1 chunk), hotels after 5 (1 chunk)
+        let flight = schema.service_by_name("flight").expect("flight");
+        let hotel = schema.service_by_name("hotel").expect("hotel");
+        schema.service_mut(flight).profile.decay = Some(25);
+        schema.service_mut(hotel).profile.decay = Some(5);
+        let (mut plan, _) = fig6_plan();
+        let sel = SelectivityModel::default();
+        let metric = ExecutionTime;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let mut stats = FetchStats::default();
+        let out = optimize_fetches(
+            &mut plan,
+            &ctx,
+            10.0,
+            FetchHeuristic::Greedy,
+            100,
+            true,
+            None,
+            &mut stats,
+        );
+        // tout caps at 25·5·0.01 = 1.25 < 10
+        assert!(!out.meets_k);
+        assert_eq!(out.fetches[ATOM_FLIGHT], 1);
+        assert_eq!(out.fetches[ATOM_HOTEL], 1);
+    }
+
+    #[test]
+    fn no_chunked_services_is_a_noop() {
+        use mdq_model::binding::ApChoice;
+        use mdq_plan::builder::{build_plan, StrategyRule};
+        use mdq_plan::poset::Poset;
+        use std::sync::Arc;
+        let (schema, query) = running_example_parts();
+        let query = Arc::new(query);
+        // prefix plan with only conf and weather (both bulk)
+        let mut plan = build_plan(
+            Arc::clone(&query),
+            &schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            Poset::from_pairs(2, &[(0, 1)]).expect("valid"),
+            vec![mdq_model::examples::ATOM_CONF, mdq_model::examples::ATOM_WEATHER],
+            &StrategyRule::default(),
+        )
+        .expect("builds");
+        let sel = SelectivityModel::default();
+        let metric = RequestResponse;
+        let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
+        let mut stats = FetchStats::default();
+        let out = optimize_fetches(
+            &mut plan,
+            &ctx,
+            10.0,
+            FetchHeuristic::Greedy,
+            100,
+            true,
+            None,
+            &mut stats,
+        );
+        assert_eq!(out.fetches, vec![1, 1]);
+        assert!(!out.meets_k, "1 estimated tuple < k = 10");
+    }
+}

@@ -1,0 +1,382 @@
+//! Lowering a topology into an executable dataflow DAG.
+//!
+//! Given the chosen access patterns (phase 1) and the partial order over
+//! atoms (phase 2), the builder produces the operator DAG of Fig. 4/6:
+//! atoms chain into pipe joins along the order; where incomparable
+//! branches must merge — because a downstream atom needs both, or at the
+//! query output — explicit parallel-join nodes are inserted, marked with
+//! a rank-preserving strategy chosen by a [`StrategyRule`] (the paper
+//! fixes strategies per service pair at registration time, §3.3/§5).
+
+use crate::dag::{bound_vars_for, JoinStrategy, NodeId, NodeKind, Plan, PlanNode, Side};
+use crate::poset::Poset;
+use mdq_model::binding::{ApChoice, SupplierMap};
+use mdq_model::query::ConjunctiveQuery;
+use mdq_model::schema::{Schema, ServiceId, ServiceKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised while lowering a topology to a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// An atom's input variable is not covered by any predecessor under
+    /// the chosen access patterns — the topology is not admissible.
+    UncoveredInput {
+        /// Query atom index.
+        atom: usize,
+        /// Name of the uncovered variable.
+        var: String,
+    },
+    /// Mismatched sizes between poset, atom list or pattern choice.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UncoveredInput { atom, var } => write!(
+                f,
+                "atom #{atom}: input variable `{var}` is not supplied by any predecessor"
+            ),
+            BuildError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Chooses the strategy for each parallel join, emulating the paper's
+/// service-registration-time oracle: an explicit per-service-pair table
+/// with a default, plus the §3.3 guideline of preferring nested loop when
+/// one side's branch tip has a known small decay (a "highly selective"
+/// ranked stream).
+#[derive(Clone, Debug)]
+pub struct StrategyRule {
+    /// Fallback strategy when no pair entry applies.
+    pub default: JoinStrategy,
+    /// Per-(left service, right service) overrides.
+    pub pairs: HashMap<(ServiceId, ServiceId), JoinStrategy>,
+    /// When `true` (default), a side whose branch-tip service has a decay
+    /// bound small enough to be exhausted in one fetch is treated as the
+    /// selective outer of a nested loop.
+    pub prefer_nl_on_decay: bool,
+}
+
+impl Default for StrategyRule {
+    fn default() -> Self {
+        StrategyRule {
+            default: JoinStrategy::MergeScan,
+            pairs: HashMap::new(),
+            prefer_nl_on_decay: true,
+        }
+    }
+}
+
+impl StrategyRule {
+    /// A rule that always answers `strategy`.
+    pub fn fixed(strategy: JoinStrategy) -> Self {
+        StrategyRule {
+            default: strategy,
+            pairs: HashMap::new(),
+            prefer_nl_on_decay: false,
+        }
+    }
+
+    /// Registers a per-pair strategy (both orientations).
+    pub fn with_pair(mut self, a: ServiceId, b: ServiceId, strategy: JoinStrategy) -> Self {
+        self.pairs.insert((a, b), strategy);
+        let mirrored = match strategy {
+            JoinStrategy::NestedLoop { outer: Side::Left } => JoinStrategy::NestedLoop {
+                outer: Side::Right,
+            },
+            JoinStrategy::NestedLoop { outer: Side::Right } => JoinStrategy::NestedLoop {
+                outer: Side::Left,
+            },
+            JoinStrategy::MergeScan => JoinStrategy::MergeScan,
+        };
+        self.pairs.insert((b, a), mirrored);
+        self
+    }
+
+    /// Chooses a strategy for joining branches tipped by services
+    /// `left`/`right`.
+    pub fn choose(&self, schema: &Schema, left: Option<ServiceId>, right: Option<ServiceId>) -> JoinStrategy {
+        if let (Some(l), Some(r)) = (left, right) {
+            if let Some(&s) = self.pairs.get(&(l, r)) {
+                return s;
+            }
+            if self.prefer_nl_on_decay {
+                let small = |sid: ServiceId| {
+                    let sig = schema.service(sid);
+                    sig.kind == ServiceKind::Search
+                        && sig.max_fetches_from_decay().map(|f| f <= 1).unwrap_or(false)
+                };
+                match (small(l), small(r)) {
+                    (true, false) => return JoinStrategy::NestedLoop { outer: Side::Left },
+                    (false, true) => return JoinStrategy::NestedLoop { outer: Side::Right },
+                    _ => {}
+                }
+            }
+        }
+        self.default
+    }
+}
+
+/// Lowers `(choice, poset)` over `atoms` (query atom indices, one per
+/// poset position) into a [`Plan`].
+///
+/// `atoms` may be a strict subset of the query's atoms: the optimizer
+/// builds such *prefix plans* during branch-and-bound to obtain lower
+/// bounds. Admissibility of every covered atom is re-checked.
+pub fn build_plan(
+    query: Arc<ConjunctiveQuery>,
+    schema: &Schema,
+    choice: ApChoice,
+    poset: Poset,
+    atoms: Vec<usize>,
+    rule: &StrategyRule,
+) -> Result<Plan, BuildError> {
+    if poset.len() != atoms.len() {
+        return Err(BuildError::ShapeMismatch(format!(
+            "poset has {} positions, atom list has {}",
+            poset.len(),
+            atoms.len()
+        )));
+    }
+    if choice.len() != query.atoms.len() {
+        return Err(BuildError::ShapeMismatch(format!(
+            "pattern choice covers {} atoms, query has {}",
+            choice.len(),
+            query.atoms.len()
+        )));
+    }
+    // Admissibility: every position's input vars must be covered by its
+    // strict predecessors (mapping positions back to query atom indices).
+    let suppliers = SupplierMap::build(&query, schema, &choice);
+    for (pos, &atom) in atoms.iter().enumerate() {
+        let preds: std::collections::HashSet<usize> =
+            poset.predecessors(pos).map(|p| atoms[p]).collect();
+        if !suppliers.covered_by(atom, &preds) {
+            let var = suppliers.per_atom[atom]
+                .iter()
+                .find(|(_, sup)| !sup.iter().any(|s| preds.contains(s)))
+                .map(|(v, _)| query.var_name(*v).to_string())
+                .unwrap_or_else(|| "?".to_string());
+            return Err(BuildError::UncoveredInput { atom, var });
+        }
+    }
+
+    let mut nodes: Vec<PlanNode> = vec![PlanNode {
+        kind: NodeKind::Input,
+        inputs: Vec::new(),
+        bound_vars: Vec::new(),
+    }];
+    // `stream[pos]` = node producing the joined stream *including* atom at
+    // position `pos`; `tip[node]` = service tipping that stream (for the
+    // strategy oracle).
+    let mut stream: Vec<Option<NodeId>> = vec![None; atoms.len()];
+    let mut tip: HashMap<NodeId, ServiceId> = HashMap::new();
+
+    let push = |nodes: &mut Vec<PlanNode>, query: &ConjunctiveQuery, kind: NodeKind, inputs: Vec<NodeId>| -> NodeId {
+        let bound = bound_vars_for(query, nodes, &kind, &inputs);
+        nodes.push(PlanNode {
+            kind,
+            inputs,
+            bound_vars: bound,
+        });
+        NodeId(nodes.len() - 1)
+    };
+
+    // Joins the streams of several branches with a left-deep tree.
+    let join_streams = |nodes: &mut Vec<PlanNode>,
+                        tip: &mut HashMap<NodeId, ServiceId>,
+                        query: &ConjunctiveQuery,
+                        branches: &[NodeId]|
+     -> NodeId {
+        debug_assert!(!branches.is_empty());
+        let mut acc = branches[0];
+        for &b in &branches[1..] {
+            let on: Vec<_> = nodes[acc.0]
+                .bound_vars
+                .iter()
+                .copied()
+                .filter(|v| nodes[b.0].bound_vars.contains(v))
+                .collect();
+            let strategy = rule.choose(schema, tip.get(&acc).copied(), tip.get(&b).copied());
+            let id = push(
+                nodes,
+                query,
+                NodeKind::Join {
+                    left: acc,
+                    right: b,
+                    strategy,
+                    on,
+                },
+                vec![acc, b],
+            );
+            acc = id;
+        }
+        acc
+    };
+
+    for pos in poset.topological_order() {
+        let covering = poset.covering_predecessors(pos);
+        let upstream: NodeId = if covering.is_empty() {
+            NodeId(0)
+        } else {
+            let branches: Vec<NodeId> = covering
+                .iter()
+                .map(|&c| stream[c].expect("topological order guarantees placement"))
+                .collect();
+            join_streams(&mut nodes, &mut tip, &query, &branches)
+        };
+        let id = push(
+            &mut nodes,
+            &query,
+            NodeKind::Invoke { atom: atoms[pos] },
+            vec![upstream],
+        );
+        tip.insert(id, query.atoms[atoms[pos]].service);
+        stream[pos] = Some(id);
+    }
+
+    // Merge the maximal branches into the output.
+    let sinks: Vec<NodeId> = poset
+        .maximal_elements()
+        .into_iter()
+        .map(|pos| stream[pos].expect("placed"))
+        .collect();
+    let final_stream = join_streams(&mut nodes, &mut tip, &query, &sinks);
+    push(&mut nodes, &query, NodeKind::Output, vec![final_stream]);
+
+    let fetches = vec![1u64; atoms.len()];
+    let plan = Plan {
+        query,
+        choice,
+        poset,
+        atoms,
+        nodes,
+        fetches,
+    };
+    debug_assert_eq!(plan.check_invariants(), Ok(()));
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{running_example, RunningExample};
+    use mdq_model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
+
+    #[test]
+    fn rejects_inadmissible_topology() {
+        let RunningExample { schema, query, .. } = running_example();
+        let query = Arc::new(query);
+        let choice = ApChoice(vec![0, 0, 0, 0]);
+        // weather before conf: weather's City input has no supplier
+        let poset = Poset::from_pairs(4, &[(ATOM_WEATHER, ATOM_CONF)]).expect("valid poset");
+        let err = build_plan(
+            query,
+            &schema,
+            choice,
+            poset,
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect_err("must be inadmissible");
+        assert!(matches!(err, BuildError::UncoveredInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn prefix_plans_build() {
+        let RunningExample { schema, query, .. } = running_example();
+        let query = Arc::new(query);
+        let choice = ApChoice(vec![0, 0, 0, 0]);
+        // prefix covering only conf and weather
+        let poset = Poset::from_pairs(2, &[(0, 1)]).expect("valid");
+        let plan = build_plan(
+            query,
+            &schema,
+            choice,
+            poset,
+            vec![ATOM_CONF, ATOM_WEATHER],
+            &StrategyRule::default(),
+        )
+        .expect("prefix builds");
+        assert!(!plan.is_complete());
+        assert_eq!(plan.summary(&schema), "IN → conf → weather → OUT");
+    }
+
+    #[test]
+    fn strategy_rule_pair_table() {
+        let RunningExample { schema, query, .. } = running_example();
+        let flight_svc = query.atoms[ATOM_FLIGHT].service;
+        let hotel_svc = query.atoms[ATOM_HOTEL].service;
+        let rule = StrategyRule::default().with_pair(
+            flight_svc,
+            hotel_svc,
+            JoinStrategy::NestedLoop { outer: Side::Left },
+        );
+        assert_eq!(
+            rule.choose(&schema, Some(flight_svc), Some(hotel_svc)),
+            JoinStrategy::NestedLoop { outer: Side::Left }
+        );
+        assert_eq!(
+            rule.choose(&schema, Some(hotel_svc), Some(flight_svc)),
+            JoinStrategy::NestedLoop { outer: Side::Right },
+            "mirrored orientation"
+        );
+        let conf_svc = query.atoms[ATOM_CONF].service;
+        assert_eq!(
+            rule.choose(&schema, Some(conf_svc), Some(hotel_svc)),
+            JoinStrategy::MergeScan,
+            "default applies to unknown pairs"
+        );
+    }
+
+    #[test]
+    fn decay_triggers_nested_loop_preference() {
+        let RunningExample { mut schema, query, .. } = running_example();
+        let hotel_svc = query.atoms[ATOM_HOTEL].service;
+        let flight_svc = query.atoms[ATOM_FLIGHT].service;
+        // hotel decays within one chunk → selective side
+        schema.service_mut(hotel_svc).profile.decay = Some(4);
+        let rule = StrategyRule::default();
+        assert_eq!(
+            rule.choose(&schema, Some(flight_svc), Some(hotel_svc)),
+            JoinStrategy::NestedLoop { outer: Side::Right }
+        );
+        assert_eq!(
+            rule.choose(&schema, Some(hotel_svc), Some(flight_svc)),
+            JoinStrategy::NestedLoop { outer: Side::Left }
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let RunningExample { schema, query, .. } = running_example();
+        let query = Arc::new(query);
+        let poset = Poset::antichain(2);
+        let err = build_plan(
+            Arc::clone(&query),
+            &schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            poset,
+            vec![ATOM_CONF],
+            &StrategyRule::default(),
+        )
+        .expect_err("size mismatch");
+        assert!(matches!(err, BuildError::ShapeMismatch(_)));
+        let err = build_plan(
+            query,
+            &schema,
+            ApChoice(vec![0]),
+            Poset::antichain(1),
+            vec![ATOM_CONF],
+            &StrategyRule::default(),
+        )
+        .expect_err("choice mismatch");
+        assert!(matches!(err, BuildError::ShapeMismatch(_)));
+    }
+}

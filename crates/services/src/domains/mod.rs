@@ -1,0 +1,26 @@
+//! Ready-made simulated domains.
+//!
+//! [`travel`] is the paper's running example, calibrated to reproduce the
+//! §6 experiments. [`protein`], [`bibliography`] and [`news`] are the
+//! additional multi-domain scenarios the paper mentions (the protein
+//! query of §6's last paragraph; the expert-finding and event queries of
+//! the abstract), provided for the examples and for generality tests.
+
+pub mod bibliography;
+pub mod news;
+pub mod protein;
+pub mod travel;
+
+use crate::registry::ServiceRegistry;
+use mdq_model::query::ConjunctiveQuery;
+use mdq_model::schema::Schema;
+
+/// A simulated domain: schema, canonical query and runtime services.
+pub struct World {
+    /// Service signatures with profiles.
+    pub schema: Schema,
+    /// The domain's canonical multi-domain query.
+    pub query: ConjunctiveQuery,
+    /// Callable services with call counters.
+    pub registry: ServiceRegistry,
+}

@@ -1,0 +1,127 @@
+//! A compact news/event domain, after the abstract's third example query
+//! (*"Can I spend an April weekend in a city served by a low-cost direct
+//! flight from Milano offering a Mahler's symphony?"*, transposed to
+//! events + feeds): a ranked event search plus an exact venue lookup.
+//!
+//! Small on purpose — used by failure-injection tests and the quickstart
+//! example.
+
+use super::World;
+use crate::registry::ServiceRegistry;
+use crate::service::LatencyModel;
+use crate::synthetic::SyntheticSource;
+use mdq_model::parser::parse_query;
+use mdq_model::schema::{AccessPattern, Schema, ServiceBuilder, ServiceProfile};
+use mdq_model::value::{Date, DomainKind, Tuple, Value};
+
+/// Builds the events world.
+pub fn news_world() -> World {
+    let mut schema = Schema::new();
+    ServiceBuilder::new(&mut schema, "events")
+        .attr_kinded("Programme", "Programme", DomainKind::Str)
+        .attr_kinded("City", "City", DomainKind::Str)
+        .attr_kinded("Venue", "Venue", DomainKind::Str)
+        .attr_kinded("Date", "Date", DomainKind::Date)
+        .pattern("iooo")
+        .search()
+        .chunked(4)
+        .profile(ServiceProfile::new(4.0, 1.8))
+        .register()
+        .expect("events registers");
+    ServiceBuilder::new(&mut schema, "lowcost")
+        .attr_kinded("From", "City", DomainKind::Str)
+        .attr_kinded("To", "City", DomainKind::Str)
+        .attr_kinded("Price", "Price", DomainKind::Float)
+        .pattern("iio")
+        .profile(ServiceProfile::new(0.6, 1.0))
+        .register()
+        .expect("lowcost registers");
+
+    let cities = ["vienna", "amsterdam", "london", "munich", "paris", "prague"];
+    let mut event_rows = Vec::new();
+    for (i, city) in cities.iter().enumerate() {
+        for w in 0..2 {
+            event_rows.push(Tuple::new(vec![
+                Value::str("mahler-2"),
+                Value::str(*city),
+                Value::str(format!("{city}-hall-{w}")),
+                Value::Date(Date::from_ymd(2008, 4, 5 + (i as u32 * 2 + w) % 24)),
+            ]));
+        }
+    }
+    // only some destinations have low-cost direct flights from Milano
+    let mut flight_rows = Vec::new();
+    for (i, city) in cities.iter().enumerate() {
+        if i % 2 == 0 {
+            flight_rows.push(Tuple::new(vec![
+                Value::str("Milano"),
+                Value::str(*city),
+                Value::float(29.0 + i as f64 * 10.0),
+            ]));
+        }
+    }
+
+    let mut registry = ServiceRegistry::new();
+    registry.register(
+        schema.service_by_name("events").expect("events"),
+        SyntheticSource::new(
+            "events",
+            vec![AccessPattern::parse("iooo").expect("parses")],
+            event_rows,
+            Some(4),
+            LatencyModel::fixed(1.8),
+        ),
+    );
+    registry.register(
+        schema.service_by_name("lowcost").expect("lowcost"),
+        SyntheticSource::new(
+            "lowcost",
+            vec![AccessPattern::parse("iio").expect("parses")],
+            flight_rows,
+            None,
+            LatencyModel::fixed(1.0),
+        ),
+    );
+
+    let query = parse_query(
+        "q(City, Venue, Date, Price) :- \
+         events('mahler-2', City, Venue, Date), \
+         lowcost('Milano', City, Price), \
+         Price <= 60.0.",
+        &schema,
+    )
+    .expect("news query parses");
+    query.validate(&schema).expect("news query is valid");
+
+    World {
+        schema,
+        query,
+        registry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::binding::find_permissible;
+
+    #[test]
+    fn world_is_executable() {
+        let w = news_world();
+        assert!(find_permissible(&w.query, &w.schema).is_some());
+    }
+
+    #[test]
+    fn lowcost_is_selective() {
+        let w = news_world();
+        let lc = w
+            .registry
+            .get(w.schema.service_by_name("lowcost").expect("lowcost"))
+            .expect("registered")
+            .clone();
+        let hit = lc.fetch(0, &[Value::str("Milano"), Value::str("vienna")], 0);
+        assert_eq!(hit.tuples.len(), 1);
+        let miss = lc.fetch(0, &[Value::str("Milano"), Value::str("amsterdam")], 0);
+        assert!(miss.tuples.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # mdq-services — the simulated deep-web service substrate
+//!
+//! The paper's experiments (§6) wrap live 2008 web sites into services
+//! executed on a local test server. This crate is the from-scratch
+//! substitute: deterministic in-memory sources with the same observable
+//! behaviour (ranked tuples, chunked paging, access-pattern indexes,
+//! provider-side latency quirks), plus the *service registration*
+//! machinery of §5 (runtime registry, call accounting, sampling
+//! profiler).
+//!
+//! * [`service`] — the [`Service`](service::Service) trait, call
+//!   counters and latency models;
+//! * [`synthetic`] — ranked in-memory sources;
+//! * [`registry`] — schema-id → runtime-service bindings;
+//! * [`profiler`] — sampling estimation of erspi / τ / chunk size
+//!   (regenerates Table 1);
+//! * [`domains`] — ready-made worlds: the calibrated
+//!   [`travel`](domains::travel) running example, plus
+//!   [`protein`](domains::protein), [`bibliography`](domains::bibliography)
+//!   and [`news`](domains::news).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod domains;
+pub mod loader;
+pub mod profiler;
+pub mod registry;
+pub mod service;
+pub mod synthetic;
+
+/// Convenient glob-import surface: `use mdq_services::prelude::*;`.
+pub mod prelude {
+    pub use crate::domains::travel::{travel_world, TravelIds, TravelWorld};
+    pub use crate::domains::World;
+    pub use crate::loader::{parse_rows, source_from_text, LoadError};
+    pub use crate::profiler::{install, profile_service, ProfileReport};
+    pub use crate::registry::ServiceRegistry;
+    pub use crate::service::{CallCounter, Counted, InputKey, LatencyModel, Service, ServiceResponse};
+    pub use crate::synthetic::SyntheticSource;
+}

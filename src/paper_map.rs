@@ -1,0 +1,88 @@
+//! # Paper → API map
+//!
+//! A reading companion: every concept, definition, equation, table and
+//! figure of *Braga, Ceri, Daniel, Martinenghi: "Optimization of
+//! Multi-Domain Queries on the Web" (VLDB 2008)* and the item that
+//! implements it.
+//!
+//! ## §2 — Overview
+//!
+//! | Paper | Implementation |
+//! |---|---|
+//! | exact vs. search services (§2.1) | [`ServiceKind`](mdq_model::schema::ServiceKind) |
+//! | access patterns (§2.1) | [`AccessPattern`](mdq_model::schema::AccessPattern) |
+//! | erspi ξ, proliferative/selective (§2.1) | [`ServiceProfile`](mdq_model::schema::ServiceProfile) |
+//! | bulk vs. chunked, chunk size (§2.1) | [`Chunking`](mdq_model::schema::Chunking) |
+//! | query plans as DAGs (§2.2) | [`Plan`](mdq_plan::dag::Plan) |
+//! | "plan execution can be continued" (§2.2) | [`TopKExecution`](mdq_exec::topk::TopKExecution) |
+//! | query templates (§2.2) | [`QueryTemplate`](mdq_model::template::QueryTemplate), [`Mdq::prepare`](mdq_core::Mdq::prepare) |
+//! | sum cost metric (§2.3) | [`SumCost`](mdq_cost::metrics::SumCost) |
+//! | request-response metric (§2.3) | [`RequestResponse`](mdq_cost::metrics::RequestResponse) |
+//! | execution time metric (§2.3) | [`ExecutionTime`](mdq_cost::metrics::ExecutionTime) |
+//! | bottleneck metric (§2.3, after \[16\]) | [`Bottleneck`](mdq_cost::metrics::Bottleneck) |
+//! | time-to-screen metric (§2.3) | [`TimeToScreen`](mdq_cost::metrics::TimeToScreen) |
+//! | three-phase optimization (§2.4, Fig. 1) | [`optimize`](mdq_optimizer::bnb::optimize) |
+//! | the running example (§2.5) | [`mdq_model::examples`], [`travel_world`](mdq_services::domains::travel::travel_world) |
+//!
+//! ## §3 — Formal model
+//!
+//! | Paper | Implementation |
+//! |---|---|
+//! | signatures `s^α(A1…An)` (§3.1) | [`ServiceSignature`](mdq_model::schema::ServiceSignature) |
+//! | abstract domains (§3.1) | [`DomainInfo`](mdq_model::value::DomainInfo) |
+//! | conjunctive queries, safety (§3.1) | [`ConjunctiveQuery`](mdq_model::query::ConjunctiveQuery) |
+//! | datalog notation (Fig. 3) | [`parse_query`](mdq_model::parser::parse_query) |
+//! | decay `d` (§3.1) | [`ServiceProfile::decay`](mdq_model::schema::ServiceProfile) |
+//! | callable / executable / permissible (Def. 3.1) | [`mdq_model::binding`] |
+//! | linear existence check (\[21\], §3.2) | [`find_permissible`](mdq_model::binding::find_permissible) |
+//! | precedences `A ≺ B` (§3.3) | [`SupplierMap`](mdq_model::binding::SupplierMap) |
+//! | `callable_Q(N)` (§3.3) | [`callable_after`](mdq_model::binding::callable_after) |
+//! | visual plan syntax (Fig. 4) | [`mdq_plan::render`] |
+//! | NL / merge-scan joins (Fig. 5, \[4\]) | [`NlJoin`](mdq_exec::joins::NlJoin), [`MsJoin`](mdq_exec::joins::MsJoin) |
+//! | plan for the running example (Fig. 6) | `mdq-bench::experiments::fig8` |
+//! | `t_in`/`t_out` annotation (§3.4, Fig. 8) | [`Estimator::annotate`](mdq_cost::estimate::Estimator::annotate), [`explain`](mdq_cost::explain::explain) |
+//!
+//! ## §4 — Branch and bound
+//!
+//! | Paper | Implementation |
+//! |---|---|
+//! | "bound is better", `⪰IO` (§4.1.1) | [`mdq_model::cogency`] |
+//! | pattern-space exploration (§4.1.2) | [`mdq_optimizer::phase1`] |
+//! | "selective and parallel are better" (§4.2.1) | [`selective_serial_topology`](mdq_optimizer::phase2::selective_serial_topology), [`max_parallel_topology`](mdq_optimizer::phase2::max_parallel_topology) |
+//! | incremental DAG construction (§4.2.2) | [`enumerate_topologies`](mdq_plan::poset::enumerate_topologies) |
+//! | the 19-plan space (Example 5.1) | [`all_topologies`](mdq_plan::poset::all_topologies), `tests/running_example.rs` |
+//! | "greedy" / "square is better" (§4.3.1) | [`FetchHeuristic`](mdq_optimizer::phase3::FetchHeuristic) |
+//! | dominance-pruned fetch space (§4.3.2) | [`optimize_fetches`](mdq_optimizer::phase3::optimize_fetches) |
+//! | decay caps `⌈d/cs⌉` (§4.3.2) | [`ServiceSignature::max_fetches_from_decay`](mdq_model::schema::ServiceSignature::max_fetches_from_decay) |
+//!
+//! ## §5 — Execution settings and costs
+//!
+//! | Paper | Implementation |
+//! |---|---|
+//! | service registration / profiling (§5) | [`mdq_services::profiler`] |
+//! | multi-threading (§5) | [`mdq_exec::threaded`] |
+//! | no / one-call / optimal cache (§5.1) | [`ClientCache`](mdq_exec::cache::ClientCache), [`CacheSetting`](mdq_cost::estimate::CacheSetting) |
+//! | Eq. 1 (no-cache tout) / Eq. 2 (`N(n)` minimal contributors) | [`Estimator`](mdq_cost::estimate::Estimator) |
+//! | Eq. 3 (SCM) | [`SumCost`](mdq_cost::metrics::SumCost) |
+//! | Eq. 4 (ETM; see the monotonicity erratum) | [`ExecutionTime`](mdq_cost::metrics::ExecutionTime) |
+//! | Eq. 5/6/7 + n-ary closed forms (§5.3.1) | [`closed_form_single`](mdq_optimizer::phase3::closed_form_single), [`closed_form_pair`](mdq_optimizer::phase3::closed_form_pair), [`closed_form_sequential`](mdq_optimizer::phase3::closed_form_sequential), [`closed_form_n`](mdq_optimizer::phase3::closed_form_n) |
+//!
+//! ## §6 — Experiments
+//!
+//! | Paper | Implementation |
+//! |---|---|
+//! | wrapped services, profiles (Table 1) | [`travel_world`](mdq_services::domains::travel::travel_world), `mdq-bench::experiments::table1` |
+//! | plans S / P / O, cache matrix (Fig. 11) | `mdq-bench::experiments::fig11` |
+//! | answer screenshot (Fig. 10) | [`result_table`](mdq_exec::results::result_table) |
+//! | multithreading test | [`run_parallel_dispatch`](mdq_exec::threaded::run_parallel_dispatch) |
+//! | protein/bibliographic domains | [`mdq_services::domains::protein`], [`mdq_services::domains::bibliography`] |
+//!
+//! ## §7 — Related work turned feature
+//!
+//! | Paper | Implementation |
+//! |---|---|
+//! | WSMS baseline (\[16\]) | [`wsms_baseline`](mdq_optimizer::baseline_wsms::wsms_baseline) |
+//! | off-query expansion (`oldTown(City)`) | [`expand_for_executability`](mdq_optimizer::expansion::expand_for_executability) |
+//!
+//! Deviations and errata discovered during implementation are catalogued
+//! in `EXPERIMENTS.md` at the workspace root.

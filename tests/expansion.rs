@@ -1,0 +1,153 @@
+//! End-to-end off-query expansion (§7): the paper's `oldTown(City)`
+//! scenario executed against synthetic services, demonstrating the
+//! "subset of the answers" semantics.
+
+use mdq::prelude::*;
+use mdq::Mdq;
+
+/// Builds a world where `conf` is reachable only by city (`ooi`) and
+/// `weather` needs a city — no permissible sequence exists — plus an
+/// `oldtown` service enumerating a subset of cities.
+fn blocked_world() -> Mdq {
+    let mut engine = Mdq::new();
+    let conf = ServiceBuilder::new(engine.schema_mut(), "conf")
+        .attr_kinded("Topic", "Topic", DomainKind::Str)
+        .attr_kinded("Name", "ConfName", DomainKind::Str)
+        .attr_kinded("City", "City", DomainKind::Str)
+        .pattern("ooi")
+        .profile(ServiceProfile::new(2.0, 1.0))
+        .register()
+        .expect("conf registers");
+    let weather = ServiceBuilder::new(engine.schema_mut(), "weather")
+        .attr_kinded("City", "City", DomainKind::Str)
+        .attr_kinded("Temperature", "Temp", DomainKind::Float)
+        .pattern("io")
+        .profile(ServiceProfile::new(1.0, 1.0))
+        .register()
+        .expect("weather registers");
+    let oldtown = ServiceBuilder::new(engine.schema_mut(), "oldtown")
+        .attr_kinded("City", "City", DomainKind::Str)
+        .pattern("o")
+        .profile(ServiceProfile::new(3.0, 0.5))
+        .register()
+        .expect("oldtown registers");
+
+    let cities = ["rome", "florence", "siena", "bologna", "turin"];
+    let mut conf_rows = Vec::new();
+    for (i, city) in cities.iter().enumerate() {
+        conf_rows.push(Tuple::new(vec![
+            Value::str("DB"),
+            Value::str(format!("conf-{city}-{i}")),
+            Value::str(*city),
+        ]));
+    }
+    let weather_rows: Vec<Tuple> = cities
+        .iter()
+        .enumerate()
+        .map(|(i, city)| {
+            Tuple::new(vec![Value::str(*city), Value::float(20.0 + 3.0 * i as f64)])
+        })
+        .collect();
+    // oldtown knows only three of the five cities: the expansion's
+    // answers must be exactly the conferences in those three
+    let oldtown_rows: Vec<Tuple> = ["rome", "florence", "siena"]
+        .iter()
+        .map(|c| Tuple::new(vec![Value::str(*c)]))
+        .collect();
+
+    engine.registry_mut().register(
+        conf,
+        SyntheticSource::new(
+            "conf",
+            vec![AccessPattern::parse("ooi").expect("valid")],
+            conf_rows,
+            None,
+            LatencyModel::fixed(1.0),
+        ),
+    );
+    engine.registry_mut().register(
+        weather,
+        SyntheticSource::new(
+            "weather",
+            vec![AccessPattern::parse("io").expect("valid")],
+            weather_rows,
+            None,
+            LatencyModel::fixed(1.0),
+        ),
+    );
+    engine.registry_mut().register(
+        oldtown,
+        SyntheticSource::new(
+            "oldtown",
+            vec![AccessPattern::parse("o").expect("valid")],
+            oldtown_rows,
+            None,
+            LatencyModel::fixed(0.5),
+        ),
+    );
+    engine
+}
+
+const QUERY: &str = "q(Name, City, Temp) :- conf('DB', Name, City), weather(City, Temp).";
+
+#[test]
+fn plain_run_reports_not_executable() {
+    let engine = blocked_world();
+    match engine.run(QUERY, 10) {
+        Err(MdqError::Optimize(e)) => {
+            assert_eq!(e, OptimizeError::NotExecutable);
+        }
+        Err(other) => panic!("expected NotExecutable, got {other}"),
+        Ok(_) => panic!("expected NotExecutable"),
+    }
+}
+
+#[test]
+fn expansion_executes_and_returns_subset() {
+    let engine = blocked_world();
+    let (outcome, expansion) = engine
+        .run_with_expansion(QUERY, 10, 2)
+        .expect("expanded run succeeds");
+    assert!(!expansion.is_trivial());
+    assert_eq!(expansion.added.len(), 1);
+    // answers: exactly the conferences in oldtown's three cities
+    let mut cities: Vec<String> = outcome
+        .answers()
+        .iter()
+        .map(|a| format!("{}", a.get(1)))
+        .collect();
+    cities.sort();
+    cities.dedup();
+    assert_eq!(cities, vec!["'florence'", "'rome'", "'siena'"]);
+    assert_eq!(outcome.answers().len(), 3, "one conference per known city");
+    // every answer satisfies the original query's join semantics
+    for a in outcome.answers() {
+        assert!(format!("{}", a.get(0)).contains(&format!("{}", a.get(1)).replace('\'', "")));
+    }
+}
+
+#[test]
+fn expansion_budget_zero_fails() {
+    let engine = blocked_world();
+    match engine.run_with_expansion(QUERY, 10, 0) {
+        Err(MdqError::Expansion(ExpansionError::NoUsefulService { blocked })) => {
+            assert!(blocked.contains(&"City".to_string()));
+        }
+        Err(other) => panic!("expected expansion failure, got {other}"),
+        Ok(_) => panic!("expected expansion failure"),
+    }
+}
+
+#[test]
+fn executable_queries_skip_expansion() {
+    let engine = blocked_world();
+    let (outcome, expansion) = engine
+        .run_with_expansion(
+            "q(City, Temp) :- oldtown(City), weather(City, Temp).",
+            10,
+            2,
+        )
+        .expect("runs");
+    assert!(expansion.is_trivial());
+    assert_eq!(outcome.answers().len(), 3);
+}

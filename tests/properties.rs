@@ -1,0 +1,326 @@
+//! Property-based test suites (proptest) for the core invariants:
+//! topology enumeration, rank-preserving joins, estimator monotonicity,
+//! cache orderings, parser stability, and — most importantly — agreement
+//! between branch and bound and the exhaustive oracle under randomised
+//! service profiles.
+
+use mdq::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Topology enumeration
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every enumerated topology extends the required precedences, is a
+    /// valid strict partial order, and no two are equal.
+    #[test]
+    fn topologies_extend_constraints(pairs in proptest::collection::vec((0usize..4, 0usize..4), 0..4)) {
+        let Some(required) = Poset::from_pairs(4, &pairs.iter().copied().filter(|(a, b)| a != b).collect::<Vec<_>>()) else {
+            return Ok(()); // cyclic constraint set: nothing to enumerate
+        };
+        struct Constrained(Poset);
+        impl Admissibility for Constrained {
+            fn placeable(&self, b: usize, preds: &std::collections::HashSet<usize>) -> bool {
+                (0..self.0.len()).all(|a| !self.0.lt(a, b) || preds.contains(&a))
+            }
+        }
+        let all = all_topologies(4, &Constrained(required.clone()));
+        prop_assert!(!all.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for p in &all {
+            prop_assert!(p.check_invariants());
+            prop_assert!(p.extends(&required), "{p} must extend the constraints");
+            prop_assert!(seen.insert(format!("{p:?}")), "duplicate topology {p}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rank-preserving joins
+// ---------------------------------------------------------------------
+
+fn make_stream(var_key: u32, var_val: u32, keys: &[u8]) -> Vec<Binding> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            Binding::empty(4)
+                .bind_atom(
+                    &Atom {
+                        service: ServiceId(0),
+                        terms: vec![Term::Var(VarId(var_key)), Term::Var(VarId(var_val))],
+                    },
+                    &Tuple::new(vec![Value::Int(k as i64), Value::Int(i as i64)]),
+                )
+                .expect("binds")
+        })
+        .collect()
+}
+
+fn indices_of(results: &[Binding]) -> Vec<(i64, i64)> {
+    results
+        .iter()
+        .map(|b| {
+            let l = match b.get(VarId(1)) {
+                Some(Value::Int(v)) => *v,
+                _ => panic!("left index missing"),
+            };
+            let r = match b.get(VarId(2)) {
+                Some(Value::Int(v)) => *v,
+                _ => panic!("right index missing"),
+            };
+            (l, r)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MS and NL compute exactly the brute-force equi-join result set,
+    /// and both emission orders are consistent with the input rankings.
+    #[test]
+    fn joins_correct_and_rank_consistent(
+        left in proptest::collection::vec(0u8..4, 0..12),
+        right in proptest::collection::vec(0u8..4, 0..12),
+    ) {
+        let expected: Vec<(i64, i64)> = {
+            let mut v = Vec::new();
+            for (i, a) in left.iter().enumerate() {
+                for (j, b) in right.iter().enumerate() {
+                    if a == b {
+                        v.push((i as i64, j as i64));
+                    }
+                }
+            }
+            v.sort_unstable();
+            v
+        };
+        let ms: Vec<Binding> = MsJoin::new(
+            make_stream(0, 1, &left).into_iter(),
+            make_stream(0, 2, &right).into_iter(),
+            vec![VarId(0)],
+        )
+        .collect();
+        let nl: Vec<Binding> = NlJoin::new(
+            make_stream(0, 1, &left).into_iter(),
+            make_stream(0, 2, &right).into_iter(),
+            vec![VarId(0)],
+            true,
+        )
+        .collect();
+        for name_pairs in [("ms", indices_of(&ms)), ("nl", indices_of(&nl))] {
+            let (name, got) = name_pairs;
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &expected, "{} result set", name);
+            // rank consistency: a componentwise-dominating pair never
+            // appears after a dominated one
+            for (pa, &a) in got.iter().enumerate() {
+                for &b in got.iter().skip(pa + 1) {
+                    prop_assert!(
+                        !(b.0 <= a.0 && b.1 <= a.1 && b != a),
+                        "{}: {:?} emitted before dominating {:?}",
+                        name, a, b
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Estimator monotonicity and cache ordering
+// ---------------------------------------------------------------------
+
+fn fig6_plan_with(f_flight: u64, f_hotel: u64) -> (Plan, Schema) {
+    use mdq::model::examples::*;
+    let schema = running_example_schema();
+    let query = Arc::new(running_example_query(&schema));
+    let poset = Poset::from_pairs(
+        4,
+        &[
+            (ATOM_CONF, ATOM_WEATHER),
+            (ATOM_WEATHER, ATOM_FLIGHT),
+            (ATOM_WEATHER, ATOM_HOTEL),
+        ],
+    )
+    .expect("acyclic");
+    let mut plan = build_plan(
+        query,
+        &schema,
+        ApChoice(vec![0, 0, 0, 0]),
+        poset,
+        (0..4).collect(),
+        &StrategyRule::default(),
+    )
+    .expect("builds");
+    plan.set_fetch(ATOM_FLIGHT, f_flight);
+    plan.set_fetch(ATOM_HOTEL, f_hotel);
+    (plan, schema)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Output size and every metric are monotone in the fetch vector,
+    /// and per-node calls are ordered Optimal ≤ OneCall ≤ NoCache.
+    #[test]
+    fn estimates_monotone(f1 in 1u64..6, f2 in 1u64..6, d1 in 0u64..3, d2 in 0u64..3) {
+        let sel = SelectivityModel::default();
+        let (small, schema) = fig6_plan_with(f1, f2);
+        let (big, _) = fig6_plan_with(f1 + d1, f2 + d2);
+        for cache in CacheSetting::ALL {
+            let est = Estimator::new(&schema, &sel, cache);
+            let a = est.annotate(&small);
+            let b = est.annotate(&big);
+            prop_assert!(b.out_size() >= a.out_size() - 1e-9);
+            for metric in all_metrics() {
+                let ca = metric.cost(&small, &a, &schema);
+                let cb = metric.cost(&big, &b, &schema);
+                prop_assert!(cb >= ca - 1e-9, "{} monotone", metric.name());
+            }
+        }
+        let (plan, schema) = fig6_plan_with(f1, f2);
+        let none = Estimator::new(&schema, &sel, CacheSetting::NoCache).annotate(&plan);
+        let one = Estimator::new(&schema, &sel, CacheSetting::OneCall).annotate(&plan);
+        let opt = Estimator::new(&schema, &sel, CacheSetting::Optimal).annotate(&plan);
+        for i in 0..plan.nodes.len() {
+            prop_assert!(one.calls[i] <= none.calls[i] + 1e-9);
+            prop_assert!(opt.calls[i] <= one.calls[i] + 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser stability
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// display → parse → display is a fixpoint for queries assembled from
+    /// random subsets of the running example's atoms.
+    #[test]
+    fn parser_display_fixpoint(
+        use_hotel in proptest::bool::ANY,
+        use_weather in proptest::bool::ANY,
+        temp in 20i64..35,
+    ) {
+        let schema = mdq::model::examples::running_example_schema();
+        let mut text = String::from(
+            "q(Conf, City) :- conf('DB', Conf, Start, End, City)",
+        );
+        if use_hotel {
+            text.push_str(", hotel(Hotel, City, 'luxury', Start, End, HPrice)");
+        }
+        if use_weather {
+            text.push_str(", weather(City, Temp, Start)");
+            text.push_str(&format!(", Temp >= {temp}"));
+        }
+        text.push('.');
+        let q1 = parse_query(&text, &schema).expect("parses");
+        let d1 = format!("{}", q1.display(&schema));
+        let q2 = parse_query(&d1, &schema).expect("reparses");
+        let d2 = format!("{}", q2.display(&schema));
+        prop_assert_eq!(d1, d2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch and bound = exhaustive oracle under random profiles
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under randomised service statistics (erspi, response times, chunk
+    /// sizes, join selectivity), the branch-and-bound optimum equals the
+    /// independent exhaustive optimum for both ETM and RRM.
+    #[test]
+    fn bnb_equals_exhaustive_random_profiles(
+        conf_erspi in 2.0f64..30.0,
+        weather_erspi in 0.05f64..1.5,
+        tau_flight in 1.0f64..12.0,
+        tau_hotel in 1.0f64..12.0,
+        cs_flight in 5u32..30,
+        cs_hotel in 2u32..10,
+        sigma in 0.005f64..0.2,
+    ) {
+        let mut schema = mdq::model::examples::running_example_schema();
+        {
+            let id = schema.service_by_name("conf").expect("conf");
+            schema.service_mut(id).profile.erspi = conf_erspi;
+        }
+        {
+            let id = schema.service_by_name("weather").expect("weather");
+            schema.service_mut(id).profile.erspi = weather_erspi;
+        }
+        {
+            let id = schema.service_by_name("flight").expect("flight");
+            schema.service_mut(id).profile.response_time = tau_flight;
+            schema.service_mut(id).chunking = Chunking::Chunked { chunk_size: cs_flight };
+        }
+        {
+            let id = schema.service_by_name("hotel").expect("hotel");
+            schema.service_mut(id).profile.response_time = tau_hotel;
+            schema.service_mut(id).chunking = Chunking::Chunked { chunk_size: cs_hotel };
+        }
+        let mut query = mdq::model::examples::running_example_query(&schema);
+        query.predicates[3].selectivity_hint = Some(sigma);
+        let query = Arc::new(query);
+        let sel = SelectivityModel::default();
+        let strategy = StrategyRule::default();
+        for metric in [&ExecutionTime as &dyn CostMetric, &RequestResponse] {
+            let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, metric);
+            let oracle = exhaustive_optimum(&query, &ctx, &strategy, 8.0, 5);
+            let bnb = optimize(
+                Arc::clone(&query),
+                &schema,
+                metric,
+                &OptimizerConfig {
+                    k: 8,
+                    max_fetch: 5,
+                    ..OptimizerConfig::default()
+                },
+            )
+            .expect("bnb runs");
+            match oracle {
+                Some((_, oracle_cost)) => {
+                    prop_assert!(bnb.meets_k(), "oracle found a plan, bnb must too");
+                    prop_assert!(
+                        (oracle_cost - bnb.candidate.cost).abs() < 1e-6,
+                        "{}: oracle {} vs bnb {}",
+                        metric.name(), oracle_cost, bnb.candidate.cost
+                    );
+                }
+                None => prop_assert!(!bnb.meets_k(), "no feasible plan exists"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution invariance across seeds
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any world seed, all cache settings agree on the answer set and
+    /// the calibrated call counts still hold (they are seed-independent).
+    #[test]
+    fn calibration_is_seed_independent(seed in 0u64..1000) {
+        use mdq_bench::experiments::fig11::{run_cell, PlanShape};
+        let cell = run_cell(seed, PlanShape::S, CacheSetting::NoCache);
+        prop_assert_eq!(cell.weather, 71);
+        prop_assert_eq!(cell.flight, 16);
+        prop_assert_eq!(cell.hotel, 284);
+        let one = run_cell(seed, PlanShape::S, CacheSetting::OneCall);
+        prop_assert_eq!(one.hotel, 15);
+        prop_assert_eq!(cell.answers, one.answers);
+    }
+}
