@@ -1,90 +1,59 @@
-//! Criterion benches for the executors: the three cache settings on the
-//! travel world (Fig. 11's workload) and the pull-based top-k path.
+//! Benches for the executors: the three cache settings on the travel
+//! world (Fig. 11's workload) and the pull-based top-k path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdq_bench::experiments::fig11::{build_shape, PlanShape};
+use mdq_bench::harness::Bench;
 use mdq_exec::cache::CacheSetting;
 use mdq_exec::pipeline::{run, ExecConfig};
 use mdq_exec::topk::TopKExecution;
 use mdq_services::domains::travel::travel_world;
-use std::hint::black_box;
 
-fn bench_cache_settings(c: &mut Criterion) {
-    let mut group = c.benchmark_group("executor/plan-O");
-    group.sample_size(20);
+fn main() {
+    let bench = Bench::from_args();
+
     for cache in CacheSetting::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("cache", format!("{cache:?}")),
-            &cache,
-            |b, &cache| {
-                b.iter(|| {
-                    // fresh world per iteration: provider caches reset
-                    let w = travel_world(2008);
-                    let plan = build_shape(&w, PlanShape::O);
-                    run(
-                        black_box(&plan),
-                        &w.schema,
-                        &w.registry,
-                        &ExecConfig { cache, k: None },
-                    )
-                    .expect("executes")
-                })
-            },
-        );
+        bench.measure(&format!("executor/plan-O/cache/{cache:?}"), || {
+            // fresh world per iteration: provider caches reset
+            let w = travel_world(2008);
+            let plan = build_shape(&w, PlanShape::O);
+            run(
+                &plan,
+                &w.schema,
+                &w.registry,
+                &ExecConfig { cache, k: None },
+            )
+            .expect("executes")
+        });
     }
-    group.finish();
-}
 
-fn bench_plan_shapes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("executor/shapes");
-    group.sample_size(20);
     for shape in PlanShape::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("one-call", shape.label()),
-            &shape,
-            |b, &shape| {
-                b.iter(|| {
-                    let w = travel_world(2008);
-                    let plan = build_shape(&w, shape);
-                    run(
-                        &plan,
-                        &w.schema,
-                        &w.registry,
-                        &ExecConfig {
-                            cache: CacheSetting::OneCall,
-                            k: None,
-                        },
-                    )
-                    .expect("executes")
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_topk_pull(c: &mut Criterion) {
-    let mut group = c.benchmark_group("executor/topk");
-    group.sample_size(20);
-    for k in [1usize, 10, 100] {
-        group.bench_with_input(BenchmarkId::new("pull", k), &k, |b, &k| {
-            b.iter(|| {
+        bench.measure(
+            &format!("executor/shapes/one-call/{}", shape.label()),
+            || {
                 let w = travel_world(2008);
-                let plan = build_shape(&w, PlanShape::O);
-                let mut pull = TopKExecution::new(
+                let plan = build_shape(&w, shape);
+                run(
                     &plan,
                     &w.schema,
                     &w.registry,
-                    CacheSetting::OneCall,
-                    false,
+                    &ExecConfig {
+                        cache: CacheSetting::OneCall,
+                        k: None,
+                    },
                 )
-                .expect("builds");
-                pull.answers(k).len()
-            })
+                .expect("executes")
+            },
+        );
+    }
+
+    for k in [1usize, 10, 100] {
+        bench.measure(&format!("executor/topk/pull/{k}"), || {
+            let w = travel_world(2008);
+            let plan = build_shape(&w, PlanShape::O);
+            let mut pull =
+                TopKExecution::new(&plan, &w.schema, &w.registry, CacheSetting::OneCall, false)
+                    .expect("builds");
+            pull.answers(k).len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cache_settings, bench_plan_shapes, bench_topk_pull);
-criterion_main!(benches);

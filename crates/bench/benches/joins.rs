@@ -1,13 +1,12 @@
-//! Criterion benches for the rank-preserving join strategies: full-grid
+//! Benches for the rank-preserving join strategies: full-grid
 //! throughput and first-k latency on symmetric and asymmetric grids.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdq_bench::harness::Bench;
 use mdq_exec::binding::Binding;
 use mdq_exec::joins::{MsJoin, NlJoin};
 use mdq_model::query::{Atom, Term, VarId};
 use mdq_model::schema::ServiceId;
 use mdq_model::value::{Tuple, Value};
-use std::hint::black_box;
 
 fn stream(key_var: u32, val_var: u32, n: usize, distinct_keys: i64) -> Vec<Binding> {
     (0..n)
@@ -28,66 +27,51 @@ fn stream(key_var: u32, val_var: u32, n: usize, distinct_keys: i64) -> Vec<Bindi
         .collect()
 }
 
-fn bench_full_grid(c: &mut Criterion) {
-    let mut group = c.benchmark_group("joins/full");
+fn main() {
+    let bench = Bench::from_args();
+
     for n in [50usize, 100, 200] {
         let left = stream(0, 1, n, 10);
         let right = stream(0, 2, n, 10);
-        group.bench_with_input(BenchmarkId::new("ms", n), &n, |b, _| {
-            b.iter(|| {
-                MsJoin::new(
-                    black_box(left.clone()).into_iter(),
-                    black_box(right.clone()).into_iter(),
-                    vec![VarId(0)],
-                )
-                .count()
-            })
+        bench.measure(&format!("joins/full/ms/{n}"), || {
+            MsJoin::new(
+                left.clone().into_iter(),
+                right.clone().into_iter(),
+                vec![VarId(0)],
+            )
+            .count()
         });
-        group.bench_with_input(BenchmarkId::new("nl", n), &n, |b, _| {
-            b.iter(|| {
-                NlJoin::new(
-                    black_box(left.clone()).into_iter(),
-                    black_box(right.clone()).into_iter(),
-                    vec![VarId(0)],
-                    true,
-                )
-                .count()
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_first_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("joins/first-25");
-    // asymmetric grid: NL's sweet spot
-    let small = stream(0, 1, 5, 1);
-    let large = stream(0, 2, 2000, 1);
-    group.bench_function("nl-asymmetric", |b| {
-        b.iter(|| {
+        bench.measure(&format!("joins/full/nl/{n}"), || {
             NlJoin::new(
-                small.clone().into_iter(),
-                large.clone().into_iter(),
+                left.clone().into_iter(),
+                right.clone().into_iter(),
                 vec![VarId(0)],
                 true,
             )
-            .take(25)
             .count()
-        })
-    });
-    group.bench_function("ms-asymmetric", |b| {
-        b.iter(|| {
-            MsJoin::new(
-                small.clone().into_iter(),
-                large.clone().into_iter(),
-                vec![VarId(0)],
-            )
-            .take(25)
-            .count()
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-criterion_group!(benches, bench_full_grid, bench_first_k);
-criterion_main!(benches);
+    // asymmetric grid: NL's sweet spot
+    let small = stream(0, 1, 5, 1);
+    let large = stream(0, 2, 2000, 1);
+    bench.measure("joins/first-25/nl-asymmetric", || {
+        NlJoin::new(
+            small.clone().into_iter(),
+            large.clone().into_iter(),
+            vec![VarId(0)],
+            true,
+        )
+        .take(25)
+        .count()
+    });
+    bench.measure("joins/first-25/ms-asymmetric", || {
+        MsJoin::new(
+            small.clone().into_iter(),
+            large.clone().into_iter(),
+            vec![VarId(0)],
+        )
+        .take(25)
+        .count()
+    });
+}

@@ -1,18 +1,16 @@
-//! Criterion benches for the model layer: parsing, validation,
-//! executability analysis and cost estimation.
+//! Benches for the model layer: parsing, validation, executability
+//! analysis and cost estimation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mdq_bench::harness::Bench;
 use mdq_cost::estimate::{CacheSetting, Estimator};
 use mdq_cost::selectivity::SelectivityModel;
 use mdq_model::binding::ApChoice;
 use mdq_model::examples::{
-    running_example_query, running_example_schema, ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL,
-    ATOM_WEATHER,
+    running_example_query, running_example_schema, ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER,
 };
 use mdq_model::parser::parse_query;
 use mdq_plan::builder::{build_plan, StrategyRule};
 use mdq_plan::poset::Poset;
-use std::hint::black_box;
 use std::sync::Arc;
 
 const QUERY_TEXT: &str = "q(Conf, City, HPrice, FPrice, Start, StartTime, End, EndTime, Hotel) :- \
@@ -23,22 +21,19 @@ const QUERY_TEXT: &str = "q(Conf, City, HPrice, FPrice, Start, StartTime, End, E
     Start >= '2007/3/14', End <= '2007/3/14' + 180, \
     Temperature >= 28, FPrice + HPrice < 2000.";
 
-fn bench_parse(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_args();
+
     let schema = running_example_schema();
-    c.bench_function("model/parse-fig3", |b| {
-        b.iter(|| parse_query(black_box(QUERY_TEXT), &schema).expect("parses"))
+    bench.measure("model/parse-fig3", || {
+        parse_query(QUERY_TEXT, &schema).expect("parses")
     });
     let q = parse_query(QUERY_TEXT, &schema).expect("parses");
-    c.bench_function("model/validate", |b| {
-        b.iter(|| black_box(&q).validate(&schema).expect("valid"))
+    bench.measure("model/validate", || q.validate(&schema).expect("valid"));
+    bench.measure("model/executable-check", || {
+        mdq_model::binding::find_permissible(&q, &schema).expect("exists")
     });
-    c.bench_function("model/executable-check", |b| {
-        b.iter(|| mdq_model::binding::find_permissible(black_box(&q), &schema).expect("exists"))
-    });
-}
 
-fn bench_estimator(c: &mut Criterion) {
-    let schema = running_example_schema();
     let query = Arc::new(running_example_query(&schema));
     let poset = Poset::from_pairs(
         4,
@@ -62,12 +57,7 @@ fn bench_estimator(c: &mut Criterion) {
     plan.set_fetch(ATOM_HOTEL, 4);
     let sel = SelectivityModel::default();
     for cache in CacheSetting::ALL {
-        c.bench_function(&format!("cost/annotate-{cache:?}"), |b| {
-            let est = Estimator::new(&schema, &sel, cache);
-            b.iter(|| est.annotate(black_box(&plan)))
-        });
+        let est = Estimator::new(&schema, &sel, cache);
+        bench.measure(&format!("cost/annotate-{cache:?}"), || est.annotate(&plan));
     }
 }
-
-criterion_group!(benches, bench_parse, bench_estimator);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benches for the three-phase optimizer: full branch and
-//! bound vs blind enumeration vs the exhaustive oracle, per metric.
+//! Benches for the three-phase optimizer: full branch and bound vs
+//! blind enumeration vs the exhaustive oracle, per metric.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdq_bench::harness::Bench;
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::{ExecutionTime, RequestResponse, SumCost};
 use mdq_cost::selectivity::SelectivityModel;
@@ -10,71 +10,62 @@ use mdq_optimizer::bnb::{optimize, OptimizerConfig};
 use mdq_optimizer::context::CostContext;
 use mdq_optimizer::exhaustive::exhaustive_optimum;
 use mdq_plan::builder::StrategyRule;
-use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_optimize(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_args();
+
     let schema = running_example_schema();
     let query = Arc::new(running_example_query(&schema));
-    let mut group = c.benchmark_group("optimize/travel");
-    group.sample_size(20);
     for (name, metric) in [
         ("etm", &ExecutionTime as &dyn mdq_cost::metrics::CostMetric),
         ("rrm", &RequestResponse),
-        ("scm", &SumCost { join_cost_per_pair: 0.0 }),
+        (
+            "scm",
+            &SumCost {
+                join_cost_per_pair: 0.0,
+            },
+        ),
     ] {
-        group.bench_function(BenchmarkId::new("bnb", name), |b| {
-            b.iter(|| {
-                optimize(
-                    Arc::clone(&query),
-                    &schema,
-                    black_box(metric),
-                    &OptimizerConfig::default(),
-                )
-                .expect("optimizes")
-            })
-        });
-    }
-    group.bench_function("bnb/etm-no-bounds", |b| {
-        b.iter(|| {
+        bench.measure(&format!("optimize/travel/bnb/{name}"), || {
             optimize(
                 Arc::clone(&query),
                 &schema,
-                &ExecutionTime,
-                &OptimizerConfig {
-                    use_bounds: false,
-                    ..OptimizerConfig::default()
-                },
+                metric,
+                &OptimizerConfig::default(),
             )
             .expect("optimizes")
-        })
+        });
+    }
+    bench.measure("optimize/travel/bnb/etm-no-bounds", || {
+        optimize(
+            Arc::clone(&query),
+            &schema,
+            &ExecutionTime,
+            &OptimizerConfig {
+                use_bounds: false,
+                ..OptimizerConfig::default()
+            },
+        )
+        .expect("optimizes")
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("optimize/oracle");
-    group.sample_size(10);
-    group.bench_function("exhaustive-cap8", |b| {
+    {
         let sel = SelectivityModel::default();
         let metric = ExecutionTime;
         let ctx = CostContext::new(&schema, &sel, CacheSetting::OneCall, &metric);
         let strategy = StrategyRule::default();
-        b.iter(|| exhaustive_optimum(&query, &ctx, &strategy, 10.0, 8).expect("finds"))
-    });
-    group.finish();
-}
+        bench.measure("optimize/oracle/exhaustive-cap8", || {
+            exhaustive_optimum(&query, &ctx, &strategy, 10.0, 8).expect("finds")
+        });
+    }
 
-fn bench_phases(c: &mut Criterion) {
-    let schema = running_example_schema();
-    let query = Arc::new(running_example_query(&schema));
-    c.bench_function("phase1/permissible-sequences", |b| {
-        b.iter(|| mdq_model::binding::permissible_sequences(black_box(&query), &schema))
+    bench.measure("phase1/permissible-sequences", || {
+        mdq_model::binding::permissible_sequences(&query, &schema)
     });
-    c.bench_function("phase2/enumerate-19-topologies", |b| {
+    bench.measure("phase2/enumerate-19-topologies", || {
         let choice = mdq_model::binding::ApChoice(vec![0, 0, 0, 0]);
         let suppliers = mdq_model::binding::SupplierMap::build(&query, &schema, &choice);
-        b.iter(|| mdq_plan::poset::all_topologies(4, black_box(&suppliers)))
+        mdq_plan::poset::all_topologies(4, &suppliers)
     });
 }
-
-criterion_group!(benches, bench_optimize, bench_phases);
-criterion_main!(benches);

@@ -10,8 +10,7 @@ use mdq_cost::metrics::{ExecutionTime, RequestResponse};
 use mdq_cost::selectivity::SelectivityModel;
 use mdq_model::binding::ApChoice;
 use mdq_model::examples::{
-    running_example_query, running_example_schema, ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL,
-    ATOM_WEATHER,
+    running_example_query, running_example_schema, ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER,
 };
 use mdq_optimizer::baseline_wsms::wsms_baseline;
 use mdq_optimizer::bnb::{optimize, OptimizerConfig};
@@ -62,8 +61,10 @@ pub fn fetch_strategy_table() -> String {
     );
 
     let caps = vec![64u64; 4];
-    for (name, heuristic) in [("greedy", FetchHeuristic::Greedy), ("square", FetchHeuristic::Square)]
-    {
+    for (name, heuristic) in [
+        ("greedy", FetchHeuristic::Greedy),
+        ("square", FetchHeuristic::Square),
+    ] {
         let mut plan = base_plan.clone();
         let f = heuristic_fetches(&mut plan, &ctx, 10.0, heuristic, &caps);
         plan.fetches.copy_from_slice(&f);
@@ -120,7 +121,10 @@ pub fn baseline_table() -> String {
     let schema = running_example_schema();
     let query = Arc::new(running_example_query(&schema));
     let mut s = String::new();
-    let _ = writeln!(s, "WSMS baseline ([16]: bottleneck metric, exact services, F = 1):");
+    let _ = writeln!(
+        s,
+        "WSMS baseline ([16]: bottleneck metric, exact services, F = 1):"
+    );
     let baseline =
         wsms_baseline(Arc::clone(&query), &schema, &ExecutionTime).expect("baseline plans");
     let _ = writeln!(
@@ -168,7 +172,9 @@ pub fn domain_table() -> String {
         "{:<14} {:>6} {:>10} {:>12} {:>12} {:>10}",
         "domain", "atoms", "sequences", "topologies", "pruned", "cost"
     );
-    let mut row = |name: &str, schema: &mdq_model::schema::Schema, query: mdq_model::query::ConjunctiveQuery| {
+    let mut row = |name: &str,
+                   schema: &mdq_model::schema::Schema,
+                   query: mdq_model::query::ConjunctiveQuery| {
         let out = optimize(
             Arc::new(query),
             schema,

@@ -115,7 +115,10 @@ pub fn pruning_report() -> PruningReport {
     };
     let (cost_b, with_bounds) = run(true);
     let (cost_n, without_bounds) = run(false);
-    assert!((cost_b - cost_n).abs() < 1e-9, "pruning must not change the optimum");
+    assert!(
+        (cost_b - cost_n).abs() < 1e-9,
+        "pruning must not change the optimum"
+    );
     PruningReport {
         optimum: cost_b,
         with_bounds,

@@ -10,8 +10,7 @@ use mdq_cost::estimate::{CacheSetting, Estimator};
 use mdq_cost::selectivity::SelectivityModel;
 use mdq_model::binding::ApChoice;
 use mdq_model::examples::{
-    running_example_query, running_example_schema, ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL,
-    ATOM_WEATHER,
+    running_example_query, running_example_schema, ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER,
 };
 use mdq_optimizer::phase3::closed_form_pair;
 use mdq_plan::builder::{build_plan, StrategyRule};
@@ -113,11 +112,8 @@ pub fn compute() -> (Plan, Fig8Values) {
 pub fn fig9_plan() -> Plan {
     let schema = running_example_schema();
     let query = Arc::new(running_example_query(&schema));
-    let poset = Poset::from_pairs(
-        4,
-        &[(ATOM_CONF, ATOM_WEATHER), (ATOM_WEATHER, ATOM_FLIGHT)],
-    )
-    .expect("acyclic");
+    let poset = Poset::from_pairs(4, &[(ATOM_CONF, ATOM_WEATHER), (ATOM_WEATHER, ATOM_FLIGHT)])
+        .expect("acyclic");
     let flight_svc = query.atoms[ATOM_FLIGHT].service;
     let hotel_svc = query.atoms[ATOM_HOTEL].service;
     let rule = StrategyRule::default().with_pair(
@@ -144,7 +140,10 @@ pub fn render() -> String {
     let (plan, v) = compute();
     let schema = running_example_schema();
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 8 — fully instantiated physical plan (measured vs paper)");
+    let _ = writeln!(
+        s,
+        "Figure 8 — fully instantiated physical plan (measured vs paper)"
+    );
     let _ = writeln!(
         s,
         "F_flight = {} ({}), F_hotel = {} ({})",
@@ -154,7 +153,11 @@ pub fn render() -> String {
         let _ = writeln!(s, "t_out({name}) = {} ({})", v.t_out[i], PAPER.t_out[i]);
     }
     let _ = writeln!(s, "t_in(MS)  = {} ({})", v.join_in, PAPER.join_in);
-    let _ = writeln!(s, "t_out(MS) = {} ({})  — k = 10 reachable", v.join_out, PAPER.join_out);
+    let _ = writeln!(
+        s,
+        "t_out(MS) = {} ({})  — k = 10 reachable",
+        v.join_out, PAPER.join_out
+    );
     let _ = writeln!(s, "\n{}", to_ascii(&plan, &schema));
     // the EXPLAIN view: Fig. 8's in-box numbers as a table
     let sel = SelectivityModel::default();
@@ -180,10 +183,15 @@ mod tests {
     fn fig9_plan_builds_with_nl() {
         let fig9 = fig9_plan();
         fig9.check_invariants().expect("valid plan");
-        let has_nl = fig9
-            .nodes
-            .iter()
-            .any(|n| matches!(n.kind, NodeKind::Join { strategy: JoinStrategy::NestedLoop { .. }, .. }));
+        let has_nl = fig9.nodes.iter().any(|n| {
+            matches!(
+                n.kind,
+                NodeKind::Join {
+                    strategy: JoinStrategy::NestedLoop { .. },
+                    ..
+                }
+            )
+        });
         assert!(has_nl, "Fig. 9 uses a nested-loop join");
         assert_eq!(fig9.fetch_of(ATOM_FLIGHT), 3);
         assert_eq!(fig9.fetch_of(ATOM_HOTEL), 2);

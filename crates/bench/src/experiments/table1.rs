@@ -87,7 +87,11 @@ pub fn profile_all(seed: u64) -> Vec<ProfileReport> {
         })
         .collect();
     let flight_report = profile_service(
-        world.registry.get(world.ids.flight).expect("flight").as_ref(),
+        world
+            .registry
+            .get(world.ids.flight)
+            .expect("flight")
+            .as_ref(),
         0,
         ServiceKind::Search,
         Chunking::Chunked { chunk_size: 25 },

@@ -1,0 +1,60 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The workspace builds offline (no `criterion`), so the `benches/`
+//! targets use this: wall-clock timing with a warm-up pass, adaptive
+//! iteration counts, and a `name-substring` filter from the command
+//! line. Invoke through `cargo bench -p mdq-bench [-- <filter>]`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Iteration bounds.
+const MIN_ITERS: u32 = 5;
+const MAX_ITERS: u32 = 10_000;
+
+/// A benchmark runner: times closures and prints one line per entry.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Builds a runner from the process arguments (`cargo bench`
+    /// forwards everything after `--`; the harness flag `--bench` is
+    /// ignored, anything else filters benchmark names by substring).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Bench { filter }
+    }
+
+    /// Times `f`, printing `name: mean per iteration (iterations)`.
+    /// The closure's result is passed through [`black_box`] so the
+    /// optimiser cannot elide the work.
+    pub fn measure<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // warm-up + calibration pass
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            ((TARGET.as_nanos() / once.as_nanos()).max(1) as u32).clamp(MIN_ITERS, MAX_ITERS);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        let per_iter = total / iters;
+        println!("{name:<44} {per_iter:>12.2?}/iter ({iters} iters)");
+    }
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::from_args()
+    }
+}

@@ -13,10 +13,12 @@
 //! cargo run -p mdq-bench --bin run_experiments -- fig11
 //! ```
 //!
-//! Criterion micro-benchmarks live under `benches/`
-//! (`cargo bench -p mdq-bench`).
+//! Micro-benchmarks live under `benches/`, on the dependency-free
+//! [`harness`] (`cargo bench -p mdq-bench [-- <filter>]`).
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 /// One module per table / figure / ablation.
 pub mod experiments {

@@ -32,10 +32,10 @@ use mdq_exec::topk::TopKExecution;
 use mdq_model::parser::ParseError;
 use mdq_model::query::{ConjunctiveQuery, QueryError};
 use mdq_model::schema::{Schema, ServiceId};
+use mdq_model::template::{QueryTemplate, TemplateError};
 use mdq_model::value::Tuple;
 use mdq_optimizer::bnb::{optimize, OptimizeError, Optimized, OptimizerConfig};
 use mdq_optimizer::expansion::{expand_for_executability, Expansion, ExpansionError};
-use mdq_model::template::{QueryTemplate, TemplateError};
 use mdq_plan::builder::StrategyRule;
 use mdq_plan::dag::Plan;
 use mdq_services::domains::World;
@@ -450,6 +450,9 @@ mod tests {
             selectivity: SelectivityModel::default(),
             strategy: StrategyRule::default(),
         };
+        // the full Fig. 3 query: the date-window predicates matter — they
+        // are what steers the optimizer towards the conf-first plan that
+        // actually yields k answers on the calibrated world
         let out = engine
             .run(
                 "q(Conf, City, HPrice, FPrice, Hotel) :- \
@@ -457,6 +460,7 @@ mod tests {
                  hotel(Hotel, City, 'luxury', Start, End, HPrice), \
                  conf('DB', Conf, Start, End, City), \
                  weather(City, Temp, Start), \
+                 Start >= '2007/3/14', End <= '2007/3/14' + 180, \
                  Temp >= 28, FPrice + HPrice < 2000.",
                 10,
             )
@@ -492,11 +496,7 @@ mod tests {
             .optimize(query, &ExecutionTime, OptimizerConfig::default())
             .expect("optimizes");
         let mut pull = engine
-            .pull(
-                &optimized.candidate.plan,
-                CacheSetting::OneCall,
-                true,
-            )
+            .pull(&optimized.candidate.plan, CacheSetting::OneCall, true)
             .expect("builds");
         let first = pull.next_answer();
         assert!(first.is_some());

@@ -19,10 +19,10 @@
 //! cardinalities.
 
 use crate::selectivity::SelectivityModel;
-use mdq_plan::dag::{NodeId, NodeKind, Plan};
 use mdq_model::binding::input_vars;
 use mdq_model::query::VarId;
 use mdq_model::schema::{Chunking, Schema};
+use mdq_plan::dag::{NodeId, NodeKind, Plan};
 use std::collections::HashSet;
 
 /// The logical-caching settings of §5.1.
@@ -39,8 +39,11 @@ pub enum CacheSetting {
 
 impl CacheSetting {
     /// All three settings, in the paper's order.
-    pub const ALL: [CacheSetting; 3] =
-        [CacheSetting::NoCache, CacheSetting::OneCall, CacheSetting::Optimal];
+    pub const ALL: [CacheSetting; 3] = [
+        CacheSetting::NoCache,
+        CacheSetting::OneCall,
+        CacheSetting::Optimal,
+    ];
 
     /// Display name matching the paper's figures.
     pub fn label(self) -> &'static str {
@@ -125,8 +128,7 @@ impl<'a> Estimator<'a> {
                 .iter()
                 .enumerate()
                 .filter(|(k, p)| {
-                    !inherited.contains(k)
-                        && p.vars().iter().all(|v| node.bound_vars.contains(v))
+                    !inherited.contains(k) && p.vars().iter().all(|v| node.bound_vars.contains(v))
                 })
                 .map(|(k, _)| k)
                 .collect();
@@ -161,7 +163,9 @@ impl<'a> Estimator<'a> {
                     };
                     t_out[i] = stream * per_input * sigma_new;
                 }
-                NodeKind::Join { left, right, on, .. } => {
+                NodeKind::Join {
+                    left, right, on, ..
+                } => {
                     let (l, r) = (left.0, right.0);
                     t_in[i] = t_out[l] * t_out[r];
                     // Divergence node: the deepest common dataflow
@@ -318,11 +322,7 @@ mod tests {
     use mdq_plan::builder::{build_plan, StrategyRule};
     use std::sync::Arc;
 
-    fn annotate(
-        plan: &Plan,
-        schema: &Schema,
-        cache: CacheSetting,
-    ) -> Annotation {
+    fn annotate(plan: &Plan, schema: &Schema, cache: CacheSetting) -> Annotation {
         let sel = SelectivityModel::default();
         Estimator::new(schema, &sel, cache).annotate(plan)
     }
@@ -370,8 +370,16 @@ mod tests {
             .iter()
             .position(|n| matches!(n.kind, NodeKind::Join { .. }))
             .expect("join");
-        assert!((ann.t_in[join_idx] - 1500.0).abs() < 1e-9, "t_in = {}", ann.t_in[join_idx]);
-        assert!((ann.t_out[join_idx] - 15.0).abs() < 1e-9, "t_out = {}", ann.t_out[join_idx]);
+        assert!(
+            (ann.t_in[join_idx] - 1500.0).abs() < 1e-9,
+            "t_in = {}",
+            ann.t_in[join_idx]
+        );
+        assert!(
+            (ann.t_out[join_idx] - 15.0).abs() < 1e-9,
+            "t_out = {}",
+            ann.t_out[join_idx]
+        );
         assert!(ann.out_size() >= 10.0, "k = 10 answers reachable");
     }
 
@@ -395,8 +403,14 @@ mod tests {
         let calls = |pos: usize| ann.calls_of_atom(&plan, pos);
         assert!((calls(mdq_model::examples::ATOM_CONF) - 1.0).abs() < 1e-9);
         assert!((calls(mdq_model::examples::ATOM_WEATHER) - 20.0).abs() < 1e-9);
-        assert!((calls(ATOM_FLIGHT) - 1.0).abs() < 1e-9, "flight blocks by weather output");
-        assert!((calls(ATOM_HOTEL) - 1.0).abs() < 1e-9, "hotel blocks by weather output");
+        assert!(
+            (calls(ATOM_FLIGHT) - 1.0).abs() < 1e-9,
+            "flight blocks by weather output"
+        );
+        assert!(
+            (calls(ATOM_HOTEL) - 1.0).abs() < 1e-9,
+            "hotel blocks by weather output"
+        );
     }
 
     #[test]

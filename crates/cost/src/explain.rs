@@ -6,8 +6,8 @@
 //! printed inside the boxes of Fig. 8.
 
 use crate::estimate::Annotation;
-use mdq_plan::dag::{NodeKind, Plan};
 use mdq_model::schema::Schema;
+use mdq_plan::dag::{NodeKind, Plan};
 use std::fmt::Write as _;
 
 /// Renders an annotated plan as an aligned table: one row per node with
@@ -17,8 +17,18 @@ pub fn explain(plan: &Plan, schema: &Schema, ann: &Annotation) -> String {
     let mut rows: Vec<[String; 7]> = Vec::new();
     for (i, node) in plan.nodes.iter().enumerate() {
         let (op, fetch, calls, work) = match &node.kind {
-            NodeKind::Input => ("IN".to_string(), String::new(), String::new(), String::new()),
-            NodeKind::Output => ("OUT".to_string(), String::new(), String::new(), String::new()),
+            NodeKind::Input => (
+                "IN".to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+            NodeKind::Output => (
+                "OUT".to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
             NodeKind::Invoke { atom } => {
                 let sig = schema.service(plan.query.atoms[*atom].service);
                 let pos = plan.position_of(*atom).expect("covered");
@@ -56,7 +66,9 @@ pub fn explain(plan: &Plan, schema: &Schema, ann: &Annotation) -> String {
         ]);
     }
 
-    let headers = ["node", "operator", "fetch", "t_in", "calls", "t_out", "work"];
+    let headers = [
+        "node", "operator", "fetch", "t_in", "calls", "t_out", "work",
+    ];
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in &rows {
         for (i, cell) in row.iter().enumerate() {

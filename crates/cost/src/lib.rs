@@ -72,8 +72,7 @@ pub mod prelude {
     pub use crate::estimate::{Annotation, CacheSetting, Estimator};
     pub use crate::explain::explain;
     pub use crate::metrics::{
-        all_metrics, Bottleneck, CostMetric, ExecutionTime, RequestResponse, SumCost,
-        TimeToScreen,
+        all_metrics, Bottleneck, CostMetric, ExecutionTime, RequestResponse, SumCost, TimeToScreen,
     };
     pub use crate::selectivity::SelectivityModel;
 }

@@ -8,8 +8,8 @@
 //! is property-tested in this crate and in the optimizer.
 
 use crate::estimate::Annotation;
-use mdq_plan::dag::{NodeKind, Plan};
 use mdq_model::schema::Schema;
+use mdq_plan::dag::{NodeKind, Plan};
 
 /// A cost metric: maps an annotated plan to a non-negative cost.
 pub trait CostMetric {
@@ -140,14 +140,10 @@ impl CostMetric for ExecutionTime {
         plan.paths()
             .into_iter()
             .map(|path| {
-                let tau_sum: f64 = path
-                    .iter()
-                    .map(|id| node_tau(plan, schema, id.0))
-                    .sum();
+                let tau_sum: f64 = path.iter().map(|id| node_tau(plan, schema, id.0)).sum();
                 path.iter()
                     .map(|id| {
-                        node_work(plan, ann, schema, id.0) + tau_sum
-                            - node_tau(plan, schema, id.0)
+                        node_work(plan, ann, schema, id.0) + tau_sum - node_tau(plan, schema, id.0)
                     })
                     .fold(tau_sum, f64::max)
             })
@@ -256,7 +252,10 @@ mod tests {
         // F_hotel = 8 makes hotel the bottleneck (8·1·4.9 = 39.2 > 9.7)
         let etm = cost_of(&ExecutionTime, &plan, &schema, CacheSetting::OneCall);
         let expect = 8.0 * 1.0 * 4.9 + 1.2 + 9.7 + 1.5;
-        assert!((etm - expect).abs() < 1e-9, "ETM = {etm}, expected {expect}");
+        assert!(
+            (etm - expect).abs() < 1e-9,
+            "ETM = {etm}, expected {expect}"
+        );
     }
 
     /// Fig. 8's plan under ETM: the flight path is the slowest; on it the
@@ -267,7 +266,10 @@ mod tests {
         let (plan, schema) = make_plan(fig6_poset(), &[(ATOM_FLIGHT, 3), (ATOM_HOTEL, 4)]);
         let etm = cost_of(&ExecutionTime, &plan, &schema, CacheSetting::OneCall);
         let expect = 20.0 * 1.5 + 1.2 + 9.7;
-        assert!((etm - expect).abs() < 1e-9, "ETM = {etm}, expected {expect}");
+        assert!(
+            (etm - expect).abs() < 1e-9,
+            "ETM = {etm}, expected {expect}"
+        );
     }
 
     #[test]
@@ -298,7 +300,10 @@ mod tests {
         // serial plan must be strictly slower to first tuple
         let (serial, schema2) = make_plan(fig7a_serial_poset(), &[]);
         let tts_serial = cost_of(&TimeToScreen, &serial, &schema2, CacheSetting::OneCall);
-        assert!((tts_serial - 17.3).abs() < 1e-9, "TTS serial = {tts_serial}");
+        assert!(
+            (tts_serial - 17.3).abs() < 1e-9,
+            "TTS serial = {tts_serial}"
+        );
         assert!(tts_serial > tts);
     }
 

@@ -191,7 +191,10 @@ mod tests {
         let atom = atom_xy();
         let base = Binding::empty(2);
         let l = base
-            .bind_atom(&atom, &Tuple::new(vec![Value::str("k"), Value::Int(1), Value::Int(2)]))
+            .bind_atom(
+                &atom,
+                &Tuple::new(vec![Value::str("k"), Value::Int(1), Value::Int(2)]),
+            )
             .expect("unifies");
         let mut r = Binding::empty(2);
         r = r
@@ -222,7 +225,10 @@ mod tests {
     fn predicate_and_projection() {
         let atom = atom_xy();
         let b = Binding::empty(2)
-            .bind_atom(&atom, &Tuple::new(vec![Value::str("k"), Value::Int(3), Value::Int(4)]))
+            .bind_atom(
+                &atom,
+                &Tuple::new(vec![Value::str("k"), Value::Int(3), Value::Int(4)]),
+            )
             .expect("unifies");
         let p = Predicate::new(
             Expr::Add(Box::new(Expr::var(VarId(0))), Box::new(Expr::var(VarId(1)))),
@@ -243,7 +249,10 @@ mod tests {
     fn input_key_extraction() {
         let atom = atom_xy();
         let b = Binding::empty(2)
-            .bind_atom(&atom, &Tuple::new(vec![Value::str("k"), Value::Int(3), Value::Int(4)]))
+            .bind_atom(
+                &atom,
+                &Tuple::new(vec![Value::str("k"), Value::Int(3), Value::Int(4)]),
+            )
             .expect("unifies");
         // inputs at positions 0 (const) and 1 (X)
         let key = b.input_key(&atom, &[0, 1]).expect("all bound");

@@ -1,10 +1,16 @@
 //! Logical caching (§5.1): the three client-side cache settings.
 //!
-//! Caches map `(service, input key)` to the tuples previously fetched for
-//! that invocation. *One-call* keeps only the most recent entry per
-//! service — enough to absorb the "immediate second-call" redundancy that
-//! blocks of uniform tuples from proliferative services produce; *optimal*
-//! memoizes everything.
+//! The cache maps `(service, input key)` to the *pages* previously
+//! fetched for that invocation, in fetch order. *One-call* keeps only the
+//! most recent key per service — enough to absorb the "immediate
+//! second-call" redundancy that blocks of uniform tuples from
+//! proliferative services produce; *optimal* memoizes everything;
+//! *no cache* forwards every request.
+//!
+//! This is the storage half of the execution engine's single
+//! service-invocation path: the [`ServiceGateway`](crate::gateway)
+//! consults a [`PageCache`] before forwarding any page request, and every
+//! executor drives its service calls through that gateway.
 
 use mdq_model::schema::ServiceId;
 use mdq_model::value::{Tuple, Value};
@@ -12,38 +18,50 @@ use std::collections::HashMap;
 
 pub use mdq_cost::estimate::CacheSetting;
 
-/// The tuples previously fetched for one invocation key.
-#[derive(Clone, Debug)]
-pub struct CachedResult {
-    /// Concatenated pages, in rank order.
-    pub tuples: Vec<Tuple>,
-    /// Number of pages fetched.
-    pub pages: u32,
-    /// Whether the service reported no further pages.
+/// The pages previously fetched for one invocation key.
+#[derive(Clone, Debug, Default)]
+pub struct PageStore {
+    /// Fetched pages, in page order.
+    pub pages: Vec<Vec<Tuple>>,
+    /// Whether the service reported no further pages after the last one.
     pub exhausted: bool,
 }
 
-/// Per-service hit/miss counters.
+/// Per-service hit/miss counters (one event per *invocation*, i.e. per
+/// input binding reaching an invoke operator — not per page).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Invocations answered from the cache.
+    /// Invocations answered entirely from the cache.
     pub hits: u64,
-    /// Invocations forwarded to the service.
+    /// Invocations that forwarded at least one request.
     pub misses: u64,
 }
 
-/// A client-side logical cache in one of the three §5.1 settings.
-pub struct ClientCache {
+/// Outcome of a cache probe for one page.
+#[derive(Clone, Debug)]
+pub enum PageLookup {
+    /// The page is cached: its tuples, and whether more pages follow.
+    Hit(Vec<Tuple>, bool),
+    /// The invocation is known to be exhausted before this page — the
+    /// service has no such page, no request needed.
+    PastEnd,
+    /// The cache cannot answer; the request must be forwarded.
+    Unknown,
+}
+
+/// A client-side logical page cache in one of the three §5.1 settings.
+#[derive(Debug)]
+pub struct PageCache {
     setting: CacheSetting,
-    one_call: HashMap<ServiceId, (Vec<Value>, CachedResult)>,
-    optimal: HashMap<(ServiceId, Vec<Value>), CachedResult>,
+    one_call: HashMap<ServiceId, (Vec<Value>, PageStore)>,
+    optimal: HashMap<(ServiceId, Vec<Value>), PageStore>,
     stats: HashMap<ServiceId, CacheStats>,
 }
 
-impl ClientCache {
+impl PageCache {
     /// A fresh cache with the given setting.
     pub fn new(setting: CacheSetting) -> Self {
-        ClientCache {
+        PageCache {
             setting,
             one_call: HashMap::new(),
             optimal: HashMap::new(),
@@ -56,40 +74,86 @@ impl ClientCache {
         self.setting
     }
 
-    /// Looks up an invocation needing `pages` pages. A cached entry
-    /// serves the request if it has at least as many pages or is
-    /// exhausted. Records a hit/miss.
-    pub fn lookup(&mut self, service: ServiceId, key: &[Value], pages: u32) -> Option<CachedResult> {
-        let found = match self.setting {
+    fn store_of(&self, service: ServiceId, key: &[Value]) -> Option<&PageStore> {
+        match self.setting {
             CacheSetting::NoCache => None,
-            CacheSetting::OneCall => self.one_call.get(&service).and_then(|(k, r)| {
-                (k.as_slice() == key && (r.pages >= pages || r.exhausted)).then(|| r.clone())
-            }),
-            CacheSetting::Optimal => self
-                .optimal
-                .get(&(service, key.to_vec()))
-                .filter(|r| r.pages >= pages || r.exhausted)
-                .cloned(),
+            CacheSetting::OneCall => self
+                .one_call
+                .get(&service)
+                .filter(|(k, _)| k.as_slice() == key)
+                .map(|(_, s)| s),
+            CacheSetting::Optimal => self.optimal.get(&(service, key.to_vec())),
+        }
+    }
+
+    /// Probes the cache for page `page` of an invocation.
+    pub fn lookup(&self, service: ServiceId, key: &[Value], page: u32) -> PageLookup {
+        let Some(store) = self.store_of(service, key) else {
+            return PageLookup::Unknown;
         };
+        let p = page as usize;
+        if p < store.pages.len() {
+            let has_more = p + 1 < store.pages.len() || !store.exhausted;
+            return PageLookup::Hit(store.pages[p].clone(), has_more);
+        }
+        if store.exhausted {
+            PageLookup::PastEnd
+        } else {
+            PageLookup::Unknown
+        }
+    }
+
+    /// Stores a freshly fetched page. Pages are demanded in order per
+    /// invocation, so `page` is normally at most one past the stored
+    /// prefix; a non-contiguous store (an invocation whose earlier pages
+    /// were fetched before the one-call cache evicted its key) is
+    /// dropped — caching a stream with a hole would fabricate empty
+    /// pages on later lookups.
+    pub fn store(
+        &mut self,
+        service: ServiceId,
+        key: &[Value],
+        page: u32,
+        tuples: Vec<Tuple>,
+        has_more: bool,
+    ) {
+        let store = match self.setting {
+            CacheSetting::NoCache => return,
+            CacheSetting::OneCall => {
+                let entry = self
+                    .one_call
+                    .entry(service)
+                    .or_insert_with(|| (key.to_vec(), PageStore::default()));
+                if entry.0.as_slice() != key {
+                    if page != 0 {
+                        // mid-stream for a new key: keep the old entry
+                        // rather than caching a stream with a hole
+                        return;
+                    }
+                    *entry = (key.to_vec(), PageStore::default());
+                }
+                &mut entry.1
+            }
+            CacheSetting::Optimal => self.optimal.entry((service, key.to_vec())).or_default(),
+        };
+        if (page as usize) > store.pages.len() {
+            return; // non-contiguous: drop instead of padding with holes
+        }
+        if store.pages.len() == page as usize {
+            store.pages.push(tuples);
+        }
+        if !has_more {
+            store.exhausted = true;
+        }
+    }
+
+    /// Records one invocation-level hit or miss.
+    pub fn record_invocation(&mut self, service: ServiceId, hit: bool) {
         let stats = self.stats.entry(service).or_default();
-        if found.is_some() {
+        if hit {
             stats.hits += 1;
         } else {
             stats.misses += 1;
-        }
-        found
-    }
-
-    /// Stores the result of a performed invocation.
-    pub fn store(&mut self, service: ServiceId, key: Vec<Value>, result: CachedResult) {
-        match self.setting {
-            CacheSetting::NoCache => {}
-            CacheSetting::OneCall => {
-                self.one_call.insert(service, (key, result));
-            }
-            CacheSetting::Optimal => {
-                self.optimal.insert((service, key), result);
-            }
         }
     }
 
@@ -100,10 +164,12 @@ impl ClientCache {
 
     /// Sum of statistics over all services.
     pub fn total_stats(&self) -> CacheStats {
-        self.stats.values().fold(CacheStats::default(), |a, s| CacheStats {
-            hits: a.hits + s.hits,
-            misses: a.misses + s.misses,
-        })
+        self.stats
+            .values()
+            .fold(CacheStats::default(), |a, s| CacheStats {
+                hits: a.hits + s.hits,
+                misses: a.misses + s.misses,
+            })
     }
 }
 
@@ -115,86 +181,115 @@ mod tests {
         vec![Value::str(s)]
     }
 
-    fn result(n: usize) -> CachedResult {
-        CachedResult {
-            tuples: (0..n).map(|i| Tuple::new(vec![Value::Int(i as i64)])).collect(),
-            pages: 1,
-            exhausted: true,
-        }
+    fn page(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::new(vec![Value::Int(i as i64)]))
+            .collect()
     }
 
     #[test]
     fn no_cache_never_hits() {
-        let mut c = ClientCache::new(CacheSetting::NoCache);
+        let mut c = PageCache::new(CacheSetting::NoCache);
         let s = ServiceId(0);
-        assert!(c.lookup(s, &key("a"), 1).is_none());
-        c.store(s, key("a"), result(2));
-        assert!(c.lookup(s, &key("a"), 1).is_none());
-        assert_eq!(c.stats(s), CacheStats { hits: 0, misses: 2 });
+        c.store(s, &key("a"), 0, page(2), false);
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Unknown));
     }
 
     #[test]
-    fn one_call_remembers_only_last() {
-        let mut c = ClientCache::new(CacheSetting::OneCall);
+    fn one_call_remembers_only_last_key() {
+        let mut c = PageCache::new(CacheSetting::OneCall);
         let s = ServiceId(0);
-        assert!(c.lookup(s, &key("a"), 1).is_none());
-        c.store(s, key("a"), result(2));
-        assert!(c.lookup(s, &key("a"), 1).is_some(), "immediate second call");
-        c.store(s, key("b"), result(1));
-        assert!(c.lookup(s, &key("a"), 1).is_none(), "a was evicted by b");
-        assert!(c.lookup(s, &key("b"), 1).is_some());
-        assert_eq!(c.stats(s), CacheStats { hits: 2, misses: 2 });
+        c.store(s, &key("a"), 0, page(2), false);
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(t, false) if t.len() == 2));
+        c.store(s, &key("b"), 0, page(1), true);
+        assert!(
+            matches!(c.lookup(s, &key("a"), 0), PageLookup::Unknown),
+            "a was evicted by b"
+        );
+        assert!(matches!(c.lookup(s, &key("b"), 0), PageLookup::Hit(t, true) if t.len() == 1));
     }
 
     #[test]
     fn one_call_is_per_service() {
-        let mut c = ClientCache::new(CacheSetting::OneCall);
-        c.store(ServiceId(0), key("a"), result(1));
-        c.store(ServiceId(1), key("b"), result(1));
-        assert!(c.lookup(ServiceId(0), &key("a"), 1).is_some());
-        assert!(c.lookup(ServiceId(1), &key("b"), 1).is_some());
+        let mut c = PageCache::new(CacheSetting::OneCall);
+        c.store(ServiceId(0), &key("a"), 0, page(1), false);
+        c.store(ServiceId(1), &key("b"), 0, page(1), false);
+        assert!(matches!(
+            c.lookup(ServiceId(0), &key("a"), 0),
+            PageLookup::Hit(..)
+        ));
+        assert!(matches!(
+            c.lookup(ServiceId(1), &key("b"), 0),
+            PageLookup::Hit(..)
+        ));
     }
 
     #[test]
     fn optimal_remembers_everything() {
-        let mut c = ClientCache::new(CacheSetting::Optimal);
+        let mut c = PageCache::new(CacheSetting::Optimal);
         let s = ServiceId(0);
         for k in ["a", "b", "c"] {
-            assert!(c.lookup(s, &key(k), 1).is_none());
-            c.store(s, key(k), result(1));
+            assert!(matches!(c.lookup(s, &key(k), 0), PageLookup::Unknown));
+            c.store(s, &key(k), 0, page(1), false);
         }
         for k in ["a", "b", "c"] {
-            assert!(c.lookup(s, &key(k), 1).is_some());
+            assert!(matches!(c.lookup(s, &key(k), 0), PageLookup::Hit(..)));
         }
-        assert_eq!(c.stats(s), CacheStats { hits: 3, misses: 3 });
     }
 
     #[test]
-    fn page_aware_lookup() {
-        let mut c = ClientCache::new(CacheSetting::Optimal);
+    fn exhaustion_marks_later_pages_past_end() {
+        let mut c = PageCache::new(CacheSetting::Optimal);
         let s = ServiceId(0);
-        c.store(
-            s,
-            key("a"),
-            CachedResult {
-                tuples: vec![],
-                pages: 2,
-                exhausted: false,
-            },
+        c.store(s, &key("a"), 0, page(2), true);
+        c.store(s, &key("a"), 1, page(1), false);
+        assert!(
+            matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(_, true)),
+            "page 0 has a successor"
         );
-        assert!(c.lookup(s, &key("a"), 2).is_some(), "enough pages cached");
-        assert!(c.lookup(s, &key("a"), 3).is_none(), "needs a deeper fetch");
-        c.store(
-            s,
-            key("b"),
-            CachedResult {
-                tuples: vec![],
-                pages: 1,
-                exhausted: true,
-            },
+        assert!(
+            matches!(c.lookup(s, &key("a"), 1), PageLookup::Hit(_, false)),
+            "page 1 is the last"
         );
-        assert!(c.lookup(s, &key("b"), 5).is_some(), "exhausted serves any depth");
+        assert!(
+            matches!(c.lookup(s, &key("a"), 2), PageLookup::PastEnd),
+            "deeper requests need no forwarding"
+        );
+        // an open (non-exhausted) prefix cannot answer deeper requests
+        c.store(s, &key("b"), 0, page(2), true);
+        assert!(matches!(c.lookup(s, &key("b"), 1), PageLookup::Unknown));
+    }
+
+    #[test]
+    fn non_contiguous_store_is_dropped() {
+        // one-call: a key whose earlier pages predate an eviction must
+        // not evict the current entry or cache a stream with a hole
+        let mut c = PageCache::new(CacheSetting::OneCall);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(2), true);
+        c.store(s, &key("b"), 1, page(1), false);
+        assert!(
+            matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(..)),
+            "a survives the mid-stream store of b"
+        );
+        assert!(matches!(c.lookup(s, &key("b"), 0), PageLookup::Unknown));
+        // and no setting ever fabricates an empty page below a hole
+        let mut o = PageCache::new(CacheSetting::Optimal);
+        o.store(s, &key("a"), 2, page(1), false);
+        assert!(matches!(o.lookup(s, &key("a"), 0), PageLookup::Unknown));
+        assert!(matches!(o.lookup(s, &key("a"), 2), PageLookup::Unknown));
+    }
+
+    #[test]
+    fn invocation_stats_accumulate() {
+        let mut c = PageCache::new(CacheSetting::OneCall);
+        let s = ServiceId(0);
+        c.record_invocation(s, false);
+        c.record_invocation(s, true);
+        c.record_invocation(s, true);
+        assert_eq!(c.stats(s), CacheStats { hits: 2, misses: 1 });
         let t = c.total_stats();
         assert_eq!(t.hits + t.misses, 3);
+        assert_eq!(c.stats(ServiceId(9)), CacheStats::default());
     }
 }

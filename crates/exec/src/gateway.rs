@@ -1,0 +1,303 @@
+//! The service gateway — the *single* invocation path of the engine.
+//!
+//! Every executor (stage-materialised, pull-based top-k, parallel
+//! dispatch, real threads) drives its service calls through one
+//! [`ServiceGateway`]. The gateway owns:
+//!
+//! * **registry lookup** — runtime services are resolved once, up front,
+//!   so a missing registration surfaces as
+//!   [`ExecError::MissingService`] before any call is made;
+//! * **paging** — page requests are forwarded in order and accounted as
+//!   individual request-responses (the unit of every cost metric);
+//! * **the three §5.1 cache settings** — a [`PageCache`] consulted
+//!   before any forwarding.
+//!
+//! Drivers differ only in *how* they share the gateway:
+//! [`LocalGateway`] (single-threaded, `Rc<RefCell>`) for the
+//! materialised and pull executors, [`SharedGateway`] (`Arc<Mutex>`) for
+//! the real-thread dataflow engine. Both implement [`GatewayHandle`],
+//! the access trait the operators are generic over.
+
+use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup};
+use crate::operator::ExecError;
+use mdq_model::schema::{Schema, ServiceId};
+use mdq_model::value::{Tuple, Value};
+use mdq_plan::dag::Plan;
+use mdq_services::registry::ServiceRegistry;
+use mdq_services::service::Service;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// One page of results, as served by the gateway (from cache or from the
+/// service).
+#[derive(Clone, Debug)]
+pub struct PageFetch {
+    /// The page's tuples, in rank order.
+    pub tuples: Vec<Tuple>,
+    /// Whether the service holds further pages for this invocation.
+    pub has_more: bool,
+    /// Latency of the forwarded request-response; `None` when the page
+    /// was served from the client cache (cache hits are free).
+    pub forwarded_latency: Option<f64>,
+}
+
+/// The single service-invocation and caching path shared by all
+/// executors.
+pub struct ServiceGateway {
+    services: HashMap<ServiceId, Arc<dyn Service>>,
+    cache: PageCache,
+    calls: HashMap<ServiceId, u64>,
+    latency_sum: f64,
+    error: Option<ExecError>,
+}
+
+impl std::fmt::Debug for ServiceGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceGateway")
+            .field("services", &self.services.keys().collect::<Vec<_>>())
+            .field("cache", &self.cache)
+            .field("calls", &self.calls)
+            .field("latency_sum", &self.latency_sum)
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl ServiceGateway {
+    /// Builds a gateway for `plan`, resolving every invoked service in
+    /// the registry. Fails fast when a registration is missing.
+    pub fn new(
+        plan: &Plan,
+        schema: &Schema,
+        registry: &ServiceRegistry,
+        cache: CacheSetting,
+    ) -> Result<Self, ExecError> {
+        let mut services = HashMap::new();
+        for &atom in plan.atoms.iter() {
+            let svc_id = plan.query.atoms[atom].service;
+            let service = registry.get(svc_id).ok_or_else(|| {
+                ExecError::MissingService(schema.service(svc_id).name.to_string())
+            })?;
+            services.insert(svc_id, Arc::clone(service));
+        }
+        Ok(ServiceGateway {
+            services,
+            cache: PageCache::new(cache),
+            calls: HashMap::new(),
+            latency_sum: 0.0,
+            error: None,
+        })
+    }
+
+    /// The active cache setting.
+    pub fn cache_setting(&self) -> CacheSetting {
+        self.cache.setting()
+    }
+
+    /// Serves page `page` of the invocation `(service, pattern, key)`:
+    /// from the client cache when the setting allows, forwarding one
+    /// request-response otherwise.
+    pub fn fetch_page(
+        &mut self,
+        id: ServiceId,
+        pattern: usize,
+        key: &[Value],
+        page: u32,
+    ) -> PageFetch {
+        match self.cache.lookup(id, key, page) {
+            PageLookup::Hit(tuples, has_more) => PageFetch {
+                tuples,
+                has_more,
+                forwarded_latency: None,
+            },
+            PageLookup::PastEnd => PageFetch {
+                tuples: Vec::new(),
+                has_more: false,
+                forwarded_latency: None,
+            },
+            PageLookup::Unknown => {
+                let service = self
+                    .services
+                    .get(&id)
+                    .expect("gateway resolved all plan services at construction");
+                let r = service.fetch(pattern, key, page);
+                *self.calls.entry(id).or_insert(0) += 1;
+                self.latency_sum += r.latency;
+                self.cache
+                    .store(id, key, page, r.tuples.clone(), r.has_more);
+                PageFetch {
+                    tuples: r.tuples,
+                    has_more: r.has_more,
+                    forwarded_latency: Some(r.latency),
+                }
+            }
+        }
+    }
+
+    /// Records one invocation-level cache hit or miss for `id`.
+    pub fn record_invocation(&mut self, id: ServiceId, hit: bool) {
+        self.cache.record_invocation(id, hit);
+    }
+
+    /// Request-responses forwarded to `id` so far.
+    pub fn calls_to(&self, id: ServiceId) -> u64 {
+        self.calls.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Per-service forwarded-call counts.
+    pub fn calls(&self) -> &HashMap<ServiceId, u64> {
+        &self.calls
+    }
+
+    /// Total request-responses forwarded so far.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.values().sum()
+    }
+
+    /// Summed simulated latency of all forwarded calls.
+    pub fn total_latency(&self) -> f64 {
+        self.latency_sum
+    }
+
+    /// Invocation-level cache statistics for `id`.
+    pub fn cache_stats(&self, id: ServiceId) -> CacheStats {
+        self.cache.stats(id)
+    }
+
+    /// Marks the execution as failed; the first error wins.
+    pub fn poison(&mut self, err: ExecError) {
+        self.error.get_or_insert(err);
+    }
+
+    /// The recorded error, if any, without clearing it.
+    pub fn error(&self) -> Option<&ExecError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the recorded error, if any.
+    pub fn take_error(&mut self) -> Option<ExecError> {
+        self.error.take()
+    }
+}
+
+/// Shared access to a [`ServiceGateway`] — the one generic the operators
+/// need, so the same [`Invoke`](crate::operator::Invoke) code runs
+/// single-threaded and multi-threaded.
+pub trait GatewayHandle: Clone {
+    /// Runs `f` with exclusive access to the gateway.
+    fn with<R>(&self, f: impl FnOnce(&mut ServiceGateway) -> R) -> R;
+}
+
+/// Single-threaded gateway sharing for the materialised and pull
+/// drivers.
+#[derive(Clone)]
+pub struct LocalGateway(Rc<RefCell<ServiceGateway>>);
+
+impl LocalGateway {
+    /// Wraps a gateway.
+    pub fn new(gateway: ServiceGateway) -> Self {
+        LocalGateway(Rc::new(RefCell::new(gateway)))
+    }
+}
+
+impl GatewayHandle for LocalGateway {
+    fn with<R>(&self, f: impl FnOnce(&mut ServiceGateway) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+/// Thread-safe gateway sharing for the real-thread dataflow engine.
+#[derive(Clone)]
+pub struct SharedGateway(Arc<Mutex<ServiceGateway>>);
+
+impl SharedGateway {
+    /// Wraps a gateway.
+    pub fn new(gateway: ServiceGateway) -> Self {
+        SharedGateway(Arc::new(Mutex::new(gateway)))
+    }
+}
+
+impl GatewayHandle for SharedGateway {
+    fn with<R>(&self, f: impl FnOnce(&mut ServiceGateway) -> R) -> R {
+        f(&mut self.0.lock().expect("gateway lock poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::binding::ApChoice;
+    use mdq_model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
+    use mdq_plan::builder::{build_plan, StrategyRule};
+    use mdq_plan::poset::Poset;
+    use mdq_services::domains::travel::travel_world;
+
+    fn plan_o(world: &mdq_services::domains::travel::TravelWorld) -> Plan {
+        let poset = Poset::from_pairs(
+            4,
+            &[
+                (ATOM_CONF, ATOM_WEATHER),
+                (ATOM_WEATHER, ATOM_FLIGHT),
+                (ATOM_WEATHER, ATOM_HOTEL),
+            ],
+        )
+        .expect("valid");
+        build_plan(
+            Arc::new(world.query.clone()),
+            &world.schema,
+            ApChoice(vec![0, 0, 0, 0]),
+            poset,
+            (0..4).collect(),
+            &StrategyRule::default(),
+        )
+        .expect("builds")
+    }
+
+    #[test]
+    fn missing_service_fails_at_construction() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let empty = ServiceRegistry::new();
+        let err = ServiceGateway::new(&plan, &w.schema, &empty, CacheSetting::OneCall)
+            .expect_err("nothing registered");
+        assert!(matches!(err, ExecError::MissingService(_)));
+    }
+
+    #[test]
+    fn forwarding_counts_calls_and_latency() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let mut g = ServiceGateway::new(&plan, &w.schema, &w.registry, CacheSetting::OneCall)
+            .expect("builds");
+        let key = vec![Value::str("DB")];
+        let first = g.fetch_page(w.ids.conf, 0, &key, 0);
+        assert!(first.forwarded_latency.is_some());
+        assert_eq!(g.calls_to(w.ids.conf), 1);
+        let again = g.fetch_page(w.ids.conf, 0, &key, 0);
+        assert!(again.forwarded_latency.is_none(), "served from cache");
+        assert_eq!(g.calls_to(w.ids.conf), 1, "no extra forwarding");
+        assert_eq!(again.tuples.len(), first.tuples.len());
+        assert!(g.total_latency() > 0.0);
+    }
+
+    #[test]
+    fn poison_keeps_first_error() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let mut g = ServiceGateway::new(&plan, &w.schema, &w.registry, CacheSetting::NoCache)
+            .expect("builds");
+        g.poison(ExecError::UnboundInput {
+            service: "a".into(),
+        });
+        g.poison(ExecError::UnboundInput {
+            service: "b".into(),
+        });
+        match g.take_error() {
+            Some(ExecError::UnboundInput { service }) => assert_eq!(service, "a"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(g.take_error().is_none());
+    }
+}

@@ -215,10 +215,7 @@ mod tests {
                     .bind_atom(
                         &Atom {
                             service: ServiceId(0),
-                            terms: vec![
-                                Term::Var(VarId(var_key)),
-                                Term::Var(VarId(var_val)),
-                            ],
+                            terms: vec![Term::Var(VarId(var_key)), Term::Var(VarId(var_val))],
                         },
                         &Tuple::new(vec![Value::Int(k), Value::Int(v)]),
                     )
@@ -285,13 +282,8 @@ mod tests {
     fn nl_join_inner_major_order() {
         let outer = stream(0, 1, &[(1, 0), (1, 1)]);
         let inner = stream(0, 2, &[(1, 0), (1, 1)]);
-        let out: Vec<Binding> = NlJoin::new(
-            outer.into_iter(),
-            inner.into_iter(),
-            vec![VarId(0)],
-            true,
-        )
-        .collect();
+        let out: Vec<Binding> =
+            NlJoin::new(outer.into_iter(), inner.into_iter(), vec![VarId(0)], true).collect();
         let got = pairs_of(&out);
         assert_eq!(got, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
     }
@@ -354,13 +346,8 @@ mod tests {
     fn nl_emission_is_rank_consistent() {
         let outer = stream(0, 1, &[(1, 0), (1, 1)]);
         let inner = stream(0, 2, &[(1, 0), (1, 1), (1, 2)]);
-        let out: Vec<Binding> = NlJoin::new(
-            outer.into_iter(),
-            inner.into_iter(),
-            vec![VarId(0)],
-            true,
-        )
-        .collect();
+        let out: Vec<Binding> =
+            NlJoin::new(outer.into_iter(), inner.into_iter(), vec![VarId(0)], true).collect();
         let got: Vec<(usize, usize)> = pairs_of(&out)
             .into_iter()
             .map(|(y, z)| (y as usize, z as usize))
@@ -388,8 +375,7 @@ mod tests {
     fn cartesian_when_no_shared_vars() {
         let left = stream(0, 1, &[(1, 0), (2, 1)]);
         let right = stream(3, 2, &[(7, 0)]); // different key var → no overlap
-        let out: Vec<Binding> =
-            MsJoin::new(left.into_iter(), right.into_iter(), vec![]).collect();
+        let out: Vec<Binding> = MsJoin::new(left.into_iter(), right.into_iter(), vec![]).collect();
         assert_eq!(out.len(), 2, "cross product on empty join condition");
     }
 }

@@ -5,13 +5,29 @@
 //! service orchestration, rank-preserving join methods, logical caching
 //! and multi-threaded invocation.
 //!
+//! The crate is organised around one **streaming operator kernel** with a
+//! **single service-invocation path**:
+//!
+//! * [`operator`] — the pull-based [`Operator`](operator::Operator)
+//!   trait and the concrete
+//!   [`Invoke`](operator::Invoke) / [`Join`](operator::Join) /
+//!   [`Filter`](operator::Filter) / [`Select`](operator::Select)
+//!   operators, plus [`compile`](operator::compile) for whole plans;
+//! * [`gateway`] — the [`ServiceGateway`](gateway::ServiceGateway):
+//!   registry lookup, paging, call/latency accounting and the client
+//!   cache, behind single-threaded ([`LocalGateway`](gateway::LocalGateway))
+//!   or thread-safe ([`SharedGateway`](gateway::SharedGateway)) handles;
+//! * [`cache`] — the three §5.1 client cache settings
+//!   ([`PageCache`](cache::PageCache));
 //! * [`binding`] — variable bindings flowing through operators;
-//! * [`cache`] — the three §5.1 client cache settings;
 //! * [`joins`] — rank-preserving nested-loop and merge-scan joins;
-//! * [`plan_info`] — predicate placement and pattern metadata;
-//! * [`pipeline`] — the deterministic stage-materialised executor with
+//! * [`plan_info`] — predicate placement and pattern metadata.
+//!
+//! The three executors are thin drivers over that kernel:
+//!
+//! * [`pipeline`] — the deterministic stage-materialised driver with
 //!   virtual time (regenerates Fig. 11);
-//! * [`topk`] — the pull-based executor: first-k answers with early
+//! * [`topk`] — the pull-based driver: first-k answers with early
 //!   halting and "ask for more" continuation (§2.2);
 //! * [`threaded`] — parallel dispatch (virtual time) and a real
 //!   OS-thread dataflow engine with scaled latencies;
@@ -22,7 +38,9 @@
 
 pub mod binding;
 pub mod cache;
+pub mod gateway;
 pub mod joins;
+pub mod operator;
 pub mod pipeline;
 pub mod plan_info;
 pub mod results;
@@ -32,8 +50,12 @@ pub mod topk;
 /// Convenient glob-import surface: `use mdq_exec::prelude::*;`.
 pub mod prelude {
     pub use crate::binding::Binding;
-    pub use crate::cache::{CacheSetting, CacheStats, CachedResult, ClientCache};
+    pub use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup, PageStore};
+    pub use crate::gateway::{
+        GatewayHandle, LocalGateway, PageFetch, ServiceGateway, SharedGateway,
+    };
     pub use crate::joins::{MsJoin, NlJoin};
+    pub use crate::operator::{compile, Filter, Invoke, Join, Operator, Select};
     pub use crate::pipeline::{run, ExecConfig, ExecError, ExecReport, NodeTrace};
     pub use crate::plan_info::{analyze, PlanInfo};
     pub use crate::results::result_table;

@@ -1,0 +1,522 @@
+//! The streaming operator kernel shared by every executor.
+//!
+//! A plan node becomes a pull-based [`Operator`] — `next_binding()`
+//! yields the node's output stream one [`Binding`] at a time:
+//!
+//! * [`Invoke`] — drives service invocations through the
+//!   [`ServiceGateway`](crate::gateway::ServiceGateway): per upstream
+//!   binding it extracts the input key, pages through the service on
+//!   demand (within the phase-3 fetch budget, or elastically), and binds
+//!   result tuples;
+//! * [`Join`] — a rank-preserving parallel join in the plan's chosen
+//!   strategy (merge-scan or nested-loop, §3.3);
+//! * [`Filter`] — applies the predicates placed at a node;
+//! * [`Select`] — truncates a stream to the best `k` bindings.
+//!
+//! The three executors are thin drivers over this kernel: the
+//! stage-materialised engine drains one operator per node and accounts
+//! virtual time, the top-k engine pulls lazily from a [`compile`]d
+//! operator tree, and the threaded engine runs one operator per worker
+//! over channel streams. None of them invokes a service or touches a
+//! cache directly.
+
+use crate::binding::Binding;
+use crate::gateway::GatewayHandle;
+use crate::plan_info::PlanInfo;
+use mdq_model::query::{Atom, Predicate};
+use mdq_model::schema::{Schema, ServiceId};
+use mdq_model::value::{Tuple, Value};
+use mdq_plan::dag::{JoinStrategy, NodeKind, Plan, Side};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Execution failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A plan atom's service has no runtime registration.
+    MissingService(String),
+    /// An input variable was unbound when a node needed it (an
+    /// inadmissible plan slipped through — a bug upstream).
+    UnboundInput {
+        /// Service name of the starving atom.
+        service: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingService(s) => write!(f, "service `{s}` is not registered"),
+            ExecError::UnboundInput { service } => {
+                write!(f, "input variable unbound when invoking `{service}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A pull-based streaming operator: `next_binding()` yields the next
+/// output binding, `None` ends the stream.
+///
+/// Every `Iterator<Item = Binding>` is an operator (blanket impl), and a
+/// `Box<dyn Operator>` is itself an iterator — so operators compose with
+/// each other and with plain iterator adaptors.
+pub trait Operator {
+    /// Pulls the next binding.
+    fn next_binding(&mut self) -> Option<Binding>;
+}
+
+impl<I: Iterator<Item = Binding>> Operator for I {
+    fn next_binding(&mut self) -> Option<Binding> {
+        self.next()
+    }
+}
+
+impl Iterator for Box<dyn Operator + '_> {
+    type Item = Binding;
+    fn next(&mut self) -> Option<Binding> {
+        (**self).next_binding()
+    }
+}
+
+/// Paging state for the input binding currently being expanded.
+struct CurrentInput {
+    binding: Binding,
+    key: Vec<Value>,
+    next_page: u32,
+    buf: VecDeque<Tuple>,
+    done: bool,
+    /// Summed latency of the pages this input actually forwarded.
+    forwarded: f64,
+    any_forwarded: bool,
+}
+
+/// The invocation operator: extends each upstream binding with the
+/// tuples a service returns for it, paging on demand through the
+/// gateway.
+pub struct Invoke<I, G> {
+    upstream: I,
+    gateway: G,
+    svc_id: ServiceId,
+    service_name: String,
+    pattern: usize,
+    input_positions: Vec<usize>,
+    atom: Atom,
+    /// Page budget per input (the phase-3 fetch factor); `None` pages
+    /// elastically while downstream demand is unmet.
+    max_pages: Option<u32>,
+    /// Real seconds slept per simulated latency second on forwarded
+    /// calls (0 = no sleeping; used by the real-thread driver).
+    sleep_scale: f64,
+    current: Option<CurrentInput>,
+    /// One entry per input that forwarded at least one call: its summed
+    /// latency. The materialised drivers read this for virtual time.
+    input_latencies: Vec<f64>,
+    halted: bool,
+}
+
+impl<I, G> Invoke<I, G>
+where
+    I: Iterator<Item = Binding>,
+    G: GatewayHandle,
+{
+    /// Builds the invoke operator for plan node `node` (must be an
+    /// `Invoke` node) over `upstream`.
+    #[allow(clippy::too_many_arguments)] // one parameter per plan-node fact
+    pub fn for_node(
+        plan: &Plan,
+        schema: &Schema,
+        info: &PlanInfo,
+        node: usize,
+        upstream: I,
+        gateway: G,
+        elastic: bool,
+        sleep_scale: f64,
+    ) -> Self {
+        let NodeKind::Invoke { atom } = plan.nodes[node].kind else {
+            panic!("node {node} is not an invoke node");
+        };
+        let atom_ref = plan.query.atoms[atom].clone();
+        let svc_id = atom_ref.service;
+        let pos = plan.position_of(atom).expect("plan covers atom");
+        let max_pages = if elastic {
+            None
+        } else {
+            Some(plan.fetch_of(pos) as u32)
+        };
+        Invoke {
+            upstream,
+            gateway,
+            svc_id,
+            service_name: schema.service(svc_id).name.to_string(),
+            pattern: info.pattern_of_node[node],
+            input_positions: info.input_positions[node].clone(),
+            atom: atom_ref,
+            max_pages,
+            sleep_scale,
+            current: None,
+            input_latencies: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Summed forwarded latency per input (only inputs that forwarded at
+    /// least one call), in input order.
+    pub fn input_latencies(&self) -> &[f64] {
+        &self.input_latencies
+    }
+
+    /// Total forwarded latency of this node so far — its virtual busy
+    /// time under sequential execution.
+    pub fn busy(&self) -> f64 {
+        self.input_latencies.iter().sum()
+    }
+
+    /// Finishes the current input: records its forwarded latency and
+    /// its invocation-level cache outcome (a *hit* only when no page of
+    /// the whole invocation was forwarded).
+    fn close_current(&mut self) {
+        if let Some(cur) = self.current.take() {
+            if cur.next_page > 0 {
+                let svc = self.svc_id;
+                let hit = !cur.any_forwarded;
+                self.gateway.with(|g| g.record_invocation(svc, hit));
+            }
+            if cur.any_forwarded {
+                self.input_latencies.push(cur.forwarded);
+            }
+        }
+    }
+}
+
+impl<I, G> Iterator for Invoke<I, G>
+where
+    I: Iterator<Item = Binding>,
+    G: GatewayHandle,
+{
+    type Item = Binding;
+
+    fn next(&mut self) -> Option<Binding> {
+        loop {
+            if self.halted {
+                return None;
+            }
+            if let Some(cur) = &mut self.current {
+                if let Some(t) = cur.buf.pop_front() {
+                    if let Some(nb) = cur.binding.bind_atom(&self.atom, &t) {
+                        return Some(nb);
+                    }
+                    continue;
+                }
+                let within_budget = self.max_pages.map(|m| cur.next_page < m).unwrap_or(true);
+                if !cur.done && within_budget {
+                    let page = cur.next_page;
+                    let svc = self.svc_id;
+                    let pattern = self.pattern;
+                    let fetch = {
+                        let key = &cur.key;
+                        self.gateway.with(|g| g.fetch_page(svc, pattern, key, page))
+                    };
+                    cur.next_page += 1;
+                    if let Some(lat) = fetch.forwarded_latency {
+                        cur.forwarded += lat;
+                        cur.any_forwarded = true;
+                        if self.sleep_scale > 0.0 {
+                            std::thread::sleep(std::time::Duration::from_secs_f64(
+                                lat * self.sleep_scale,
+                            ));
+                        }
+                    }
+                    if !fetch.has_more {
+                        cur.done = true;
+                    }
+                    cur.buf = fetch.tuples.into();
+                    continue;
+                }
+                self.close_current();
+            }
+            let binding = self.upstream.next()?;
+            match binding.input_key(&self.atom, &self.input_positions) {
+                Some(key) => {
+                    self.current = Some(CurrentInput {
+                        binding,
+                        key,
+                        next_page: 0,
+                        buf: VecDeque::new(),
+                        done: false,
+                        forwarded: 0.0,
+                        any_forwarded: false,
+                    });
+                }
+                None => {
+                    self.halted = true;
+                    let err = ExecError::UnboundInput {
+                        service: self.service_name.clone(),
+                    };
+                    self.gateway.with(|g| g.poison(err));
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// The parallel-join operator: dispatches to the plan's chosen
+/// rank-preserving strategy (§3.3).
+pub struct Join<'a> {
+    inner: Box<dyn Iterator<Item = Binding> + 'a>,
+}
+
+impl<'a> Join<'a> {
+    /// Joins `left` and `right` on the shared variables `on` with the
+    /// given strategy. For nested loops, the strategy's `outer` side is
+    /// materialised first (it is chosen to be the selective one).
+    pub fn new<L, R>(
+        left: L,
+        right: R,
+        strategy: &JoinStrategy,
+        on: Vec<mdq_model::query::VarId>,
+    ) -> Self
+    where
+        L: Iterator<Item = Binding> + 'a,
+        R: Iterator<Item = Binding> + 'a,
+    {
+        let inner: Box<dyn Iterator<Item = Binding> + 'a> = match strategy {
+            JoinStrategy::MergeScan => Box::new(crate::joins::MsJoin::new(left, right, on)),
+            JoinStrategy::NestedLoop { outer: Side::Left } => {
+                Box::new(crate::joins::NlJoin::new(left, right, on, true))
+            }
+            JoinStrategy::NestedLoop { outer: Side::Right } => {
+                Box::new(crate::joins::NlJoin::new(right, left, on, false))
+            }
+        };
+        Join { inner }
+    }
+}
+
+impl Iterator for Join<'_> {
+    type Item = Binding;
+    fn next(&mut self) -> Option<Binding> {
+        self.inner.next()
+    }
+}
+
+/// The predicate-filter operator: passes bindings satisfying every
+/// predicate placed at the node.
+pub struct Filter<I> {
+    inner: I,
+    preds: Vec<Predicate>,
+}
+
+impl<I> Filter<I> {
+    /// Filters `inner` by `preds`.
+    pub fn new(inner: I, preds: Vec<Predicate>) -> Self {
+        Filter { inner, preds }
+    }
+
+    /// The predicates for plan node `node`.
+    pub fn for_node(plan: &Plan, info: &PlanInfo, node: usize, inner: I) -> Self {
+        let preds = info.preds_at_node[node]
+            .iter()
+            .map(|&p| plan.query.predicates[p].clone())
+            .collect();
+        Filter { inner, preds }
+    }
+}
+
+impl<I: Iterator<Item = Binding>> Iterator for Filter<I> {
+    type Item = Binding;
+    fn next(&mut self) -> Option<Binding> {
+        self.inner
+            .by_ref()
+            .find(|b| self.preds.iter().all(|p| b.eval_predicate(p) == Some(true)))
+    }
+}
+
+/// The selection operator: passes the first `k` bindings, then ends the
+/// stream (and stops pulling upstream — top-k halting).
+pub struct Select<I> {
+    inner: I,
+    remaining: usize,
+}
+
+impl<I> Select<I> {
+    /// Truncates `inner` to `k` bindings.
+    pub fn new(inner: I, k: usize) -> Self {
+        Select {
+            inner,
+            remaining: k,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Binding>> Iterator for Select<I> {
+    type Item = Binding;
+    fn next(&mut self) -> Option<Binding> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let b = self.inner.next()?;
+        self.remaining -= 1;
+        Some(b)
+    }
+}
+
+/// A lazily materialised shared node: the single execution of a plan
+/// node with more than one consumer.
+struct SharedNode {
+    op: Box<dyn Operator>,
+    buf: Vec<Binding>,
+    done: bool,
+}
+
+/// One consumer's cursor over a [`SharedNode`]: pulls drive the shared
+/// operator exactly once, every consumer replays the same stream.
+/// This is what makes the compiled plan a DAG rather than a tree —
+/// common subplans execute through one operator, so the pull executor
+/// forwards exactly the same calls as the materialised one.
+struct Tee {
+    shared: std::rc::Rc<std::cell::RefCell<SharedNode>>,
+    pos: usize,
+}
+
+impl Iterator for Tee {
+    type Item = Binding;
+    fn next(&mut self) -> Option<Binding> {
+        let mut s = self.shared.borrow_mut();
+        loop {
+            if self.pos < s.buf.len() {
+                let b = s.buf[self.pos].clone();
+                self.pos += 1;
+                return Some(b);
+            }
+            if s.done {
+                return None;
+            }
+            match s.op.next_binding() {
+                Some(b) => s.buf.push(b),
+                None => s.done = true,
+            }
+        }
+    }
+}
+
+/// Compiles `plan` (from its output node down) into a lazy operator DAG
+/// over `gateway` — the pull executor's engine. Nodes with several
+/// consumers are compiled once and shared through replaying cursors.
+/// With `elastic = true` the fetch factors become soft hints.
+pub fn compile<G: GatewayHandle + 'static>(
+    plan: &Plan,
+    schema: &Schema,
+    info: &PlanInfo,
+    gateway: &G,
+    elastic: bool,
+) -> Box<dyn Operator> {
+    let mut consumers = vec![0usize; plan.nodes.len()];
+    for node in &plan.nodes {
+        for inp in &node.inputs {
+            consumers[inp.0] += 1;
+        }
+    }
+    let mut shared = std::collections::HashMap::new();
+    compile_node(
+        plan,
+        schema,
+        info,
+        gateway,
+        elastic,
+        &consumers,
+        &mut shared,
+        plan.output_node().0,
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carrying compile state
+fn compile_node<G: GatewayHandle + 'static>(
+    plan: &Plan,
+    schema: &Schema,
+    info: &PlanInfo,
+    gateway: &G,
+    elastic: bool,
+    consumers: &[usize],
+    shared: &mut std::collections::HashMap<usize, std::rc::Rc<std::cell::RefCell<SharedNode>>>,
+    node: usize,
+) -> Box<dyn Operator> {
+    if consumers[node] > 1 {
+        if let Some(cell) = shared.get(&node) {
+            return Box::new(Tee {
+                shared: std::rc::Rc::clone(cell),
+                pos: 0,
+            });
+        }
+        let op = compile_raw(
+            plan, schema, info, gateway, elastic, consumers, shared, node,
+        );
+        let cell = std::rc::Rc::new(std::cell::RefCell::new(SharedNode {
+            op,
+            buf: Vec::new(),
+            done: false,
+        }));
+        shared.insert(node, std::rc::Rc::clone(&cell));
+        return Box::new(Tee {
+            shared: cell,
+            pos: 0,
+        });
+    }
+    compile_raw(
+        plan, schema, info, gateway, elastic, consumers, shared, node,
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carrying compile state
+fn compile_raw<G: GatewayHandle + 'static>(
+    plan: &Plan,
+    schema: &Schema,
+    info: &PlanInfo,
+    gateway: &G,
+    elastic: bool,
+    consumers: &[usize],
+    shared: &mut std::collections::HashMap<usize, std::rc::Rc<std::cell::RefCell<SharedNode>>>,
+    node: usize,
+) -> Box<dyn Operator> {
+    match &plan.nodes[node].kind {
+        NodeKind::Input => Box::new(std::iter::once(Binding::empty(plan.query.var_count()))),
+        NodeKind::Output => {
+            let up = plan.nodes[node].inputs[0].0;
+            let inner = compile_node(plan, schema, info, gateway, elastic, consumers, shared, up);
+            Box::new(Filter::for_node(plan, info, node, inner))
+        }
+        NodeKind::Invoke { .. } => {
+            let up = plan.nodes[node].inputs[0].0;
+            let upstream =
+                compile_node(plan, schema, info, gateway, elastic, consumers, shared, up);
+            let invoke = Invoke::for_node(
+                plan,
+                schema,
+                info,
+                node,
+                upstream,
+                gateway.clone(),
+                elastic,
+                0.0,
+            );
+            Box::new(Filter::for_node(plan, info, node, invoke))
+        }
+        NodeKind::Join {
+            left,
+            right,
+            strategy,
+            on,
+        } => {
+            let l = compile_node(
+                plan, schema, info, gateway, elastic, consumers, shared, left.0,
+            );
+            let r = compile_node(
+                plan, schema, info, gateway, elastic, consumers, shared, right.0,
+            );
+            let joined = Join::new(l, r, strategy, on.clone());
+            Box::new(Filter::for_node(plan, info, node, joined))
+        }
+    }
+}

@@ -9,19 +9,28 @@
 //! inputs have. The plan's execution time is the Output node's
 //! completion — the "total time" bars of Fig. 11, deterministic and
 //! independent of the host machine.
+//!
+//! This module is a thin *driver* over the [operator
+//! kernel](crate::operator): per node it drains one operator into a
+//! materialised stream and reads the invoke operator's forwarded
+//! latencies for the time accounting. The same driver, under the
+//! [`StageModel::ParallelDispatch`] stage-time model, implements the §6
+//! multithreading experiment (see
+//! [`run_parallel_dispatch`](crate::threaded::run_parallel_dispatch)).
 
 use crate::binding::Binding;
-use crate::cache::{CacheSetting, CachedResult, CacheStats, ClientCache};
-use crate::joins::{MsJoin, NlJoin};
+use crate::cache::{CacheSetting, CacheStats};
+use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway};
+use crate::operator::{Filter, Invoke, Join, Select};
 use crate::plan_info::analyze;
-use mdq_plan::dag::{JoinStrategy, NodeKind, Plan, Side};
+use mdq_model::rng::Rng;
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::Tuple;
+use mdq_plan::dag::{NodeKind, Plan};
 use mdq_services::registry::ServiceRegistry;
-use mdq_services::service::Service;
 use std::collections::HashMap;
-use std::fmt;
-use std::sync::Arc;
+
+pub use crate::operator::ExecError;
 
 /// Execution options.
 #[derive(Clone, Copy, Debug)]
@@ -80,81 +89,46 @@ impl ExecReport {
     }
 }
 
-/// Execution failures.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ExecError {
-    /// A plan atom's service has no runtime registration.
-    MissingService(String),
-    /// An input variable was unbound when a node needed it (an
-    /// inadmissible plan slipped through — a bug upstream).
-    UnboundInput {
-        /// Service name of the starving atom.
-        service: String,
+/// How a stage's busy time is derived from its forwarded-call latencies.
+pub(crate) enum StageModel {
+    /// One call at a time: busy = summed latency (the paper's
+    /// experimental engine).
+    Sequential,
+    /// All of a stage's calls dispatched to parallel workers at once
+    /// (§6's multithreading test): busy collapses towards the slowest
+    /// call, input order is shuffled to model racy completions.
+    ParallelDispatch {
+        /// Worker threads available per stage.
+        threads: usize,
+        /// Virtual seconds of thread-management overhead per input.
+        spawn_overhead: f64,
+        /// Seed for the completion-order shuffle.
+        shuffle_seed: u64,
     },
 }
 
-impl fmt::Display for ExecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExecError::MissingService(s) => write!(f, "service `{s}` is not registered"),
-            ExecError::UnboundInput { service } => {
-                write!(f, "input variable unbound when invoking `{service}`")
-            }
-        }
-    }
+/// Deterministic shuffle: the workspace PRNG seeded per (run, node).
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    Rng::new(seed).shuffle(items);
 }
 
-impl std::error::Error for ExecError {}
-
-/// Invokes `service` for one input key, fetching `pages` pages (stopping
-/// early when the service reports exhaustion). Returns the cached-result
-/// record plus the number of request-responses and their summed latency.
-pub(crate) fn fetch_pages(
-    service: &Arc<dyn Service>,
-    pattern: usize,
-    key: &[mdq_model::value::Value],
-    pages: u32,
-) -> (CachedResult, u64, f64) {
-    let mut tuples = Vec::new();
-    let mut latency = 0.0;
-    let mut calls = 0u64;
-    let mut exhausted = false;
-    let mut page = 0u32;
-    while page < pages {
-        let r = service.fetch(pattern, key, page);
-        calls += 1;
-        latency += r.latency;
-        tuples.extend(r.tuples);
-        page += 1;
-        if !r.has_more {
-            exhausted = true;
-            break;
-        }
-    }
-    (
-        CachedResult {
-            tuples,
-            pages: page,
-            exhausted,
-        },
-        calls,
-        latency,
-    )
-}
-
-/// Executes `plan` against the registered services.
-pub fn run(
+/// The materialised driver shared by [`run`] and
+/// [`run_parallel_dispatch`](crate::threaded::run_parallel_dispatch):
+/// drains one kernel operator per plan node, in node order, accounting
+/// stage time under the given model.
+pub(crate) fn run_materialised(
     plan: &Plan,
     schema: &Schema,
     registry: &ServiceRegistry,
-    config: &ExecConfig,
+    cache: CacheSetting,
+    k: Option<usize>,
+    stage: &StageModel,
 ) -> Result<ExecReport, ExecError> {
     let info = analyze(plan, schema);
+    let gateway = LocalGateway::new(ServiceGateway::new(plan, schema, registry, cache)?);
     let n = plan.nodes.len();
     let mut streams: Vec<Vec<Binding>> = vec![Vec::new(); n];
     let mut trace = vec![NodeTrace::default(); n];
-    let mut cache = ClientCache::new(config.cache);
-    let mut calls: HashMap<ServiceId, u64> = HashMap::new();
 
     for i in 0..n {
         let node = &plan.nodes[i];
@@ -168,50 +142,45 @@ pub fn run(
                     out_tuples: 1,
                 };
             }
-            NodeKind::Invoke { atom } => {
+            NodeKind::Invoke { .. } => {
                 let up = node.inputs[0].0;
-                let atom_ref = &plan.query.atoms[*atom];
-                let svc_id = atom_ref.service;
-                let sig = schema.service(svc_id);
-                let service = registry
-                    .get(svc_id)
-                    .ok_or_else(|| ExecError::MissingService(sig.name.to_string()))?;
-                let pos = plan.position_of(*atom).expect("plan covers atom");
-                let pages = plan.fetch_of(pos) as u32;
-                let mut busy = 0.0;
-                let mut out = Vec::new();
-                for b in &streams[up] {
-                    let key = b
-                        .input_key(atom_ref, &info.input_positions[i])
-                        .ok_or_else(|| ExecError::UnboundInput {
-                            service: sig.name.to_string(),
-                        })?;
-                    let result = match cache.lookup(svc_id, &key, pages) {
-                        Some(hit) => hit,
-                        None => {
-                            let (res, c, lat) =
-                                fetch_pages(service, info.pattern_of_node[i], &key, pages);
-                            *calls.entry(svc_id).or_insert(0) += c;
-                            busy += lat;
-                            cache.store(svc_id, key, res.clone());
-                            res
-                        }
-                    };
-                    for t in &result.tuples {
-                        if let Some(nb) = b.bind_atom(atom_ref, t) {
-                            if info.preds_at_node[i]
-                                .iter()
-                                .all(|&p| nb.eval_predicate(&plan.query.predicates[p]) == Some(true))
-                            {
-                                out.push(nb);
-                            }
-                        }
-                    }
+                let mut inputs = streams[up].clone();
+                if let StageModel::ParallelDispatch { shuffle_seed, .. } = stage {
+                    shuffle(&mut inputs, shuffle_seed ^ ((i as u64) << 7));
                 }
+                let in_tuples = inputs.len();
+                let mut invoke = Invoke::for_node(
+                    plan,
+                    schema,
+                    &info,
+                    i,
+                    inputs.into_iter(),
+                    gateway.clone(),
+                    false,
+                    0.0,
+                );
+                let out: Vec<Binding> = Filter::for_node(plan, &info, i, &mut invoke).collect();
+                if let Some(err) = gateway.with(|g| g.take_error()) {
+                    return Err(err);
+                }
+                let lats = invoke.input_latencies();
+                let busy = match stage {
+                    StageModel::Sequential => lats.iter().sum(),
+                    StageModel::ParallelDispatch {
+                        threads,
+                        spawn_overhead,
+                        ..
+                    } => {
+                        let total: f64 = lats.iter().sum();
+                        let slowest = lats.iter().copied().fold(0.0, f64::max);
+                        slowest.max(total / (*threads).max(1) as f64)
+                            + spawn_overhead * in_tuples as f64
+                    }
+                };
                 trace[i] = NodeTrace {
                     busy,
                     completion: trace[up].completion + busy,
-                    in_tuples: streams[up].len(),
+                    in_tuples,
                     out_tuples: out.len(),
                 };
                 streams[i] = out;
@@ -223,58 +192,33 @@ pub fn run(
                 on,
             } => {
                 let (l, r) = (left.0, right.0);
-                let joined: Vec<Binding> = match strategy {
-                    JoinStrategy::MergeScan => MsJoin::new(
+                let joined: Vec<Binding> = Filter::for_node(
+                    plan,
+                    &info,
+                    i,
+                    Join::new(
                         streams[l].iter().cloned(),
                         streams[r].iter().cloned(),
+                        strategy,
                         on.clone(),
-                    )
-                    .collect(),
-                    JoinStrategy::NestedLoop { outer: Side::Left } => NlJoin::new(
-                        streams[l].iter().cloned(),
-                        streams[r].iter().cloned(),
-                        on.clone(),
-                        true,
-                    )
-                    .collect(),
-                    JoinStrategy::NestedLoop { outer: Side::Right } => NlJoin::new(
-                        streams[r].iter().cloned(),
-                        streams[l].iter().cloned(),
-                        on.clone(),
-                        false,
-                    )
-                    .collect(),
-                };
-                let filtered: Vec<Binding> = joined
-                    .into_iter()
-                    .filter(|b| {
-                        info.preds_at_node[i].iter().all(|&p| {
-                            b.eval_predicate(&plan.query.predicates[p]) == Some(true)
-                        })
-                    })
-                    .collect();
+                    ),
+                )
+                .collect();
                 trace[i] = NodeTrace {
                     busy: 0.0,
                     completion: trace[l].completion.max(trace[r].completion),
                     in_tuples: streams[l].len() + streams[r].len(),
-                    out_tuples: filtered.len(),
+                    out_tuples: joined.len(),
                 };
-                streams[i] = filtered;
+                streams[i] = joined;
             }
             NodeKind::Output => {
                 let up = node.inputs[0].0;
-                let mut out: Vec<Binding> = streams[up]
-                    .iter()
-                    .filter(|b| {
-                        info.preds_at_node[i].iter().all(|&p| {
-                            b.eval_predicate(&plan.query.predicates[p]) == Some(true)
-                        })
-                    })
-                    .cloned()
-                    .collect();
-                if let Some(k) = config.k {
-                    out.truncate(k);
-                }
+                let filtered = Filter::for_node(plan, &info, i, streams[up].iter().cloned());
+                let out: Vec<Binding> = match k {
+                    Some(k) => Select::new(filtered, k).collect(),
+                    None => filtered.collect(),
+                };
                 trace[i] = NodeTrace {
                     busy: 0.0,
                     completion: trace[up].completion,
@@ -288,11 +232,16 @@ pub fn run(
 
     let out_idx = plan.output_node().0;
     let bindings = std::mem::take(&mut streams[out_idx]);
-    let answers = bindings.iter().map(|b| b.project_head(&plan.query)).collect();
-    let mut cache_stats = HashMap::new();
-    for id in registry.ids() {
-        cache_stats.insert(id, cache.stats(id));
-    }
+    let answers = bindings
+        .iter()
+        .map(|b| b.project_head(&plan.query))
+        .collect();
+    let (calls, cache_stats) = gateway.with(|g| {
+        (
+            g.calls().clone(),
+            registry.ids().map(|id| (id, g.cache_stats(id))).collect(),
+        )
+    });
     Ok(ExecReport {
         answers,
         bindings,
@@ -301,6 +250,23 @@ pub fn run(
         cache_stats,
         node_trace: trace,
     })
+}
+
+/// Executes `plan` against the registered services.
+pub fn run(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    config: &ExecConfig,
+) -> Result<ExecReport, ExecError> {
+    run_materialised(
+        plan,
+        schema,
+        registry,
+        config.cache,
+        config.k,
+        &StageModel::Sequential,
+    )
 }
 
 #[cfg(test)]
@@ -378,8 +344,7 @@ mod tests {
     fn answers_satisfy_all_predicates() {
         let w = travel_world(2008);
         let plan = plan_o(&w);
-        let report = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
-            .expect("executes");
+        let report = run(&plan, &w.schema, &w.registry, &ExecConfig::default()).expect("executes");
         // head: Conf City HPrice FPrice Start StartTime End EndTime Hotel
         for a in &report.answers {
             let h = a.get(2).as_f64().expect("HPrice");
@@ -392,8 +357,7 @@ mod tests {
     fn k_truncates_answers() {
         let w = travel_world(2008);
         let plan = plan_o(&w);
-        let full = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
-            .expect("executes");
+        let full = run(&plan, &w.schema, &w.registry, &ExecConfig::default()).expect("executes");
         let topk = run(
             &plan,
             &w.schema,
@@ -441,9 +405,8 @@ mod tests {
         let t = &report.node_trace;
         assert!(t[flight_node].completion > t[hotel_node].completion);
         assert!(
-            (t[join_node].completion
-                - t[flight_node].completion.max(t[hotel_node].completion))
-            .abs()
+            (t[join_node].completion - t[flight_node].completion.max(t[hotel_node].completion))
+                .abs()
                 < 1e-9
         );
         assert!((report.virtual_time - t[join_node].completion).abs() < 1e-9);

@@ -1,8 +1,8 @@
 //! Pre-execution plan analysis shared by all executors.
 
-use mdq_plan::dag::{NodeKind, Plan};
 use mdq_model::binding::ApChoice;
 use mdq_model::schema::Schema;
+use mdq_plan::dag::{NodeKind, Plan};
 use std::collections::HashSet;
 
 /// Per-node execution metadata derived from a plan.
@@ -36,9 +36,7 @@ pub fn analyze(plan: &Plan, schema: &Schema) -> PlanInfo {
             inherited.extend(applied[inp.0].iter().copied());
         }
         for (k, p) in plan.query.predicates.iter().enumerate() {
-            if !inherited.contains(&k)
-                && p.vars().iter().all(|v| node.bound_vars.contains(v))
-            {
+            if !inherited.contains(&k) && p.vars().iter().all(|v| node.bound_vars.contains(v)) {
                 preds_at_node[i].push(k);
                 inherited.insert(k);
             }

@@ -44,7 +44,12 @@ pub fn result_table(query: &ConjunctiveQuery, answers: &[Tuple], limit: usize) -
     rule(&mut out);
     for row in &rows {
         for (i, cell) in row.iter().enumerate() {
-            let _ = write!(out, "| {:w$} ", cell, w = widths.get(i).copied().unwrap_or(0));
+            let _ = write!(
+                out,
+                "| {:w$} ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(0)
+            );
         }
         let _ = writeln!(out, "|");
     }

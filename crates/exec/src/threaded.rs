@@ -1,31 +1,37 @@
 //! Multi-threaded execution (§5 "multi-threading", §6's separate test).
 //!
-//! Two flavours:
+//! Two flavours, both thin drivers over the [operator
+//! kernel](crate::operator):
 //!
 //! * [`run_parallel_dispatch`] — the §6 experiment model in virtual time:
-//!   within each stage, *all* available calls are dispatched to parallel
-//!   worker threads at once. Stage time collapses towards the slowest
-//!   single call (plus thread-management overhead), but completion order
-//!   is randomised — which, exactly as the paper reports, largely defeats
-//!   the one-call cache (284 → ~212 hotel calls instead of → 16).
+//!   the same materialised driver as [`crate::pipeline::run`], under the
+//!   parallel stage-time model — within each stage, *all* available calls
+//!   are dispatched to parallel worker threads at once. Stage time
+//!   collapses towards the slowest single call (plus thread-management
+//!   overhead), but completion order is randomised — which, exactly as
+//!   the paper reports, largely defeats the one-call cache
+//!   (284 → ~212 hotel calls instead of → 16).
 //!
 //! * [`run_threaded`] — a real OS-thread dataflow engine: one worker per
-//!   plan node connected by crossbeam channels, service latencies slept
-//!   at a configurable scale. Used to validate that the pipelined,
-//!   concurrent execution produces the same answers as the deterministic
-//!   executors, and that dropping the answer stream cancels upstream
-//!   fetching (top-k halting).
+//!   plan node connected by bounded channels, each worker driving its
+//!   node's kernel operator over a channel-fed upstream, service calls
+//!   shared through one thread-safe gateway, latencies slept at a
+//!   configurable scale. Used to validate that the pipelined, concurrent
+//!   execution produces the same answers as the deterministic executors,
+//!   and that dropping the answer stream cancels upstream fetching
+//!   (top-k halting).
 
 use crate::binding::Binding;
-use crate::cache::{CacheSetting, ClientCache};
-use crate::joins::{MsJoin, NlJoin};
-use crate::pipeline::{fetch_pages, ExecError, ExecReport, NodeTrace};
+use crate::cache::CacheSetting;
+use crate::gateway::{GatewayHandle, ServiceGateway, SharedGateway};
+use crate::operator::{ExecError, Filter, Invoke, Join};
+use crate::pipeline::{run_materialised, ExecReport, StageModel};
 use crate::plan_info::analyze;
-use mdq_plan::dag::{JoinStrategy, NodeKind, Plan, Side};
 use mdq_model::schema::{Schema, ServiceId};
+use mdq_plan::dag::{NodeKind, Plan};
 use mdq_services::registry::ServiceRegistry;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Options for [`run_parallel_dispatch`].
@@ -53,23 +59,6 @@ impl Default for ParallelConfig {
     }
 }
 
-#[inline]
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-fn shuffle<T>(items: &mut [T], seed: u64) {
-    // Fisher–Yates with a splitmix stream (deterministic, dependency-free)
-    for i in (1..items.len()).rev() {
-        let j = (splitmix64(seed ^ (i as u64)) % (i as u64 + 1)) as usize;
-        items.swap(i, j);
-    }
-}
-
 /// Stage-materialised execution where every stage dispatches all its
 /// calls to `threads` parallel workers. Virtual stage time:
 /// `max(slowest call, total latency / threads) + overhead · dispatched`.
@@ -80,148 +69,18 @@ pub fn run_parallel_dispatch(
     registry: &ServiceRegistry,
     config: &ParallelConfig,
 ) -> Result<ExecReport, ExecError> {
-    let info = analyze(plan, schema);
-    let n = plan.nodes.len();
-    let mut streams: Vec<Vec<Binding>> = vec![Vec::new(); n];
-    let mut trace = vec![NodeTrace::default(); n];
-    let mut cache = ClientCache::new(config.cache);
-    let mut calls: HashMap<ServiceId, u64> = HashMap::new();
-
-    for i in 0..n {
-        let node = &plan.nodes[i];
-        match &node.kind {
-            NodeKind::Input => {
-                streams[i] = vec![Binding::empty(plan.query.var_count())];
-                trace[i].out_tuples = 1;
-            }
-            NodeKind::Invoke { atom } => {
-                let up = node.inputs[0].0;
-                let atom_ref = &plan.query.atoms[*atom];
-                let svc_id = atom_ref.service;
-                let sig = schema.service(svc_id);
-                let service = registry
-                    .get(svc_id)
-                    .ok_or_else(|| ExecError::MissingService(sig.name.to_string()))?;
-                let pos = plan.position_of(*atom).expect("covered");
-                let pages = plan.fetch_of(pos) as u32;
-
-                let mut inputs: Vec<Binding> = streams[up].clone();
-                shuffle(&mut inputs, config.shuffle_seed ^ (i as u64) << 7);
-
-                let mut latencies: Vec<f64> = Vec::new();
-                let mut out = Vec::new();
-                for b in &inputs {
-                    let key = b
-                        .input_key(atom_ref, &info.input_positions[i])
-                        .ok_or_else(|| ExecError::UnboundInput {
-                            service: sig.name.to_string(),
-                        })?;
-                    let result = match cache.lookup(svc_id, &key, pages) {
-                        Some(hit) => hit,
-                        None => {
-                            let (res, c, lat) =
-                                fetch_pages(service, info.pattern_of_node[i], &key, pages);
-                            *calls.entry(svc_id).or_insert(0) += c;
-                            latencies.push(lat);
-                            cache.store(svc_id, key, res.clone());
-                            res
-                        }
-                    };
-                    for t in &result.tuples {
-                        if let Some(nb) = b.bind_atom(atom_ref, t) {
-                            if info.preds_at_node[i].iter().all(|&p| {
-                                nb.eval_predicate(&plan.query.predicates[p]) == Some(true)
-                            }) {
-                                out.push(nb);
-                            }
-                        }
-                    }
-                }
-                let total: f64 = latencies.iter().sum();
-                let slowest = latencies.iter().copied().fold(0.0, f64::max);
-                let busy = slowest.max(total / config.threads.max(1) as f64)
-                    + config.spawn_overhead * inputs.len() as f64;
-                trace[i] = NodeTrace {
-                    busy,
-                    completion: trace[up].completion + busy,
-                    in_tuples: inputs.len(),
-                    out_tuples: out.len(),
-                };
-                streams[i] = out;
-            }
-            NodeKind::Join {
-                left,
-                right,
-                strategy,
-                on,
-            } => {
-                let (l, r) = (left.0, right.0);
-                let joined: Vec<Binding> = match strategy {
-                    JoinStrategy::MergeScan => MsJoin::new(
-                        streams[l].iter().cloned(),
-                        streams[r].iter().cloned(),
-                        on.clone(),
-                    )
-                    .collect(),
-                    JoinStrategy::NestedLoop { outer: Side::Left } => NlJoin::new(
-                        streams[l].iter().cloned(),
-                        streams[r].iter().cloned(),
-                        on.clone(),
-                        true,
-                    )
-                    .collect(),
-                    JoinStrategy::NestedLoop { outer: Side::Right } => NlJoin::new(
-                        streams[r].iter().cloned(),
-                        streams[l].iter().cloned(),
-                        on.clone(),
-                        false,
-                    )
-                    .collect(),
-                };
-                let filtered: Vec<Binding> = joined
-                    .into_iter()
-                    .filter(|b| {
-                        info.preds_at_node[i]
-                            .iter()
-                            .all(|&p| b.eval_predicate(&plan.query.predicates[p]) == Some(true))
-                    })
-                    .collect();
-                trace[i] = NodeTrace {
-                    busy: 0.0,
-                    completion: trace[l].completion.max(trace[r].completion),
-                    in_tuples: streams[l].len() + streams[r].len(),
-                    out_tuples: filtered.len(),
-                };
-                streams[i] = filtered;
-            }
-            NodeKind::Output => {
-                let up = node.inputs[0].0;
-                streams[i] = streams[up].clone();
-                trace[i] = NodeTrace {
-                    busy: 0.0,
-                    completion: trace[up].completion,
-                    in_tuples: streams[up].len(),
-                    out_tuples: streams[up].len(),
-                };
-            }
-        }
-    }
-
-    let out_idx = plan.output_node().0;
-    let bindings = std::mem::take(&mut streams[out_idx]);
-    let answers = bindings.iter().map(|b| b.project_head(&plan.query)).collect();
-    let mut cache_stats = HashMap::new();
-    for id in registry.ids() {
-        cache_stats.insert(id, cache.stats(id));
-    }
-    Ok(ExecReport {
-        answers,
-        bindings,
-        virtual_time: trace[out_idx].completion,
-        calls,
-        cache_stats,
-        node_trace: trace,
-    })
+    run_materialised(
+        plan,
+        schema,
+        registry,
+        config.cache,
+        None,
+        &StageModel::ParallelDispatch {
+            threads: config.threads,
+            spawn_overhead: config.spawn_overhead,
+            shuffle_seed: config.shuffle_seed,
+        },
+    )
 }
 
 /// Options for the real-thread dataflow engine.
@@ -262,7 +121,7 @@ pub struct ThreadedReport {
 }
 
 struct ChannelStream {
-    rx: crossbeam::channel::Receiver<Binding>,
+    rx: mpsc::Receiver<Binding>,
 }
 
 impl Iterator for ChannelStream {
@@ -272,7 +131,29 @@ impl Iterator for ChannelStream {
     }
 }
 
-/// Runs `plan` with one OS thread per node, crossbeam channels between
+/// A producer-side edge: bounded towards streaming consumers (so top-k
+/// cancellation back-pressures upstream fetching), unbounded towards
+/// join consumers. A join must be able to buffer one side while the
+/// other lags — with bounded edges, a fan-out ancestor feeding both
+/// sides of a join deadlocks as soon as the join drains one side far
+/// ahead of the other (nested-loop joins materialise a whole side
+/// first). The buffering is bounded by the stream size, which the
+/// stage-materialised engine holds in memory anyway.
+enum EdgeSender {
+    Bounded(mpsc::SyncSender<Binding>),
+    Unbounded(mpsc::Sender<Binding>),
+}
+
+impl EdgeSender {
+    fn send(&self, b: Binding) -> Result<(), ()> {
+        match self {
+            EdgeSender::Bounded(tx) => tx.send(b).map_err(|_| ()),
+            EdgeSender::Unbounded(tx) => tx.send(b).map_err(|_| ()),
+        }
+    }
+}
+
+/// Runs `plan` with one OS thread per node, bounded channels between
 /// them, and service latencies slept at `time_scale`.
 pub fn run_threaded(
     plan: &Plan,
@@ -280,49 +161,41 @@ pub fn run_threaded(
     registry: &ServiceRegistry,
     config: &ThreadedConfig,
 ) -> Result<ThreadedReport, ExecError> {
-    use crossbeam::channel::bounded;
-
     let info = Arc::new(analyze(plan, schema));
-    let cache = Arc::new(Mutex::new(ClientCache::new(config.cache)));
-    let calls: Arc<Mutex<HashMap<ServiceId, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let gateway = SharedGateway::new(ServiceGateway::new(plan, schema, registry, config.cache)?);
     let n = plan.nodes.len();
 
     // one sender per (producer, consumer) edge; build consumer-side recvs
-    let mut senders: Vec<Vec<crossbeam::channel::Sender<Binding>>> = vec![Vec::new(); n];
-    let mut receivers: Vec<Vec<crossbeam::channel::Receiver<Binding>>> = vec![Vec::new(); n];
+    let mut senders: Vec<Vec<EdgeSender>> = (0..n).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<mpsc::Receiver<Binding>>> = (0..n).map(|_| Vec::new()).collect();
     for (i, node) in plan.nodes.iter().enumerate() {
+        let into_join = matches!(node.kind, NodeKind::Join { .. });
         for inp in &node.inputs {
-            let (tx, rx) = bounded::<Binding>(config.channel_capacity);
+            let (tx, rx) = if into_join {
+                let (tx, rx) = mpsc::channel::<Binding>();
+                (EdgeSender::Unbounded(tx), rx)
+            } else {
+                let (tx, rx) = mpsc::sync_channel::<Binding>(config.channel_capacity.max(1));
+                (EdgeSender::Bounded(tx), rx)
+            };
             senders[inp.0].push(tx);
             receivers[i].push(rx);
         }
     }
-    let (answer_tx, answer_rx) = bounded::<Binding>(config.channel_capacity);
-    senders[plan.output_node().0].push(answer_tx);
-
-    // validate services up front (workers can't return errors cleanly)
-    for atom in plan.atoms.iter() {
-        let svc_id = plan.query.atoms[*atom].service;
-        if registry.get(svc_id).is_none() {
-            return Err(ExecError::MissingService(
-                schema.service(svc_id).name.to_string(),
-            ));
-        }
-    }
+    let (answer_tx, answer_rx) = mpsc::sync_channel::<Binding>(config.channel_capacity.max(1));
+    senders[plan.output_node().0].push(EdgeSender::Bounded(answer_tx));
 
     let started = std::time::Instant::now();
-    std::thread::scope(|scope| {
+    let answers = std::thread::scope(|scope| {
         for i in 0..n {
             let node = plan.nodes[i].clone();
             let my_senders = std::mem::take(&mut senders[i]);
             let mut my_receivers = std::mem::take(&mut receivers[i]);
             let info = Arc::clone(&info);
-            let cache = Arc::clone(&cache);
-            let calls = Arc::clone(&calls);
+            let gateway = gateway.clone();
             let query = Arc::clone(&plan.query);
             let plan_ref = &*plan;
             let schema_ref = schema;
-            let registry_ref = registry;
             let time_scale = config.time_scale;
             scope.spawn(move || {
                 let send_all = |b: Binding| -> bool {
@@ -333,10 +206,12 @@ pub fn run_threaded(
                     }
                     true
                 };
-                let passes = |b: &Binding| {
-                    info.preds_at_node[i]
-                        .iter()
-                        .all(|&p| b.eval_predicate(&query.predicates[p]) == Some(true))
+                let forward = |stream: &mut dyn Iterator<Item = Binding>| {
+                    for b in stream {
+                        if !send_all(b) {
+                            break;
+                        }
+                    }
                 };
                 match &node.kind {
                     NodeKind::Input => {
@@ -344,82 +219,35 @@ pub fn run_threaded(
                     }
                     NodeKind::Output => {
                         let rx = my_receivers.pop().expect("output has one input");
-                        for b in (ChannelStream { rx }) {
-                            if !passes(&b) {
-                                continue;
-                            }
-                            if !send_all(b) {
-                                break;
-                            }
-                        }
+                        let mut stream = Filter::for_node(plan_ref, &info, i, ChannelStream { rx });
+                        forward(&mut stream);
                     }
-                    NodeKind::Invoke { atom } => {
+                    NodeKind::Invoke { .. } => {
                         let rx = my_receivers.pop().expect("invoke has one input");
-                        let atom_ref = &query.atoms[*atom];
-                        let svc_id = atom_ref.service;
-                        let service = registry_ref
-                            .get(svc_id)
-                            .expect("validated above")
-                            .clone();
-                        let pos = plan_ref.position_of(*atom).expect("covered");
-                        let pages = plan_ref.fetch_of(pos) as u32;
-                        let _ = schema_ref;
-                        'outer: for b in (ChannelStream { rx }) {
-                            let Some(key) = b.input_key(atom_ref, &info.input_positions[i])
-                            else {
-                                continue;
-                            };
-                            let cached = cache.lock().lookup(svc_id, &key, pages);
-                            let result = match cached {
-                                Some(hit) => hit,
-                                None => {
-                                    let (res, c, lat) = fetch_pages(
-                                        &service,
-                                        info.pattern_of_node[i],
-                                        &key,
-                                        pages,
-                                    );
-                                    *calls.lock().entry(svc_id).or_insert(0) += c;
-                                    if lat * time_scale > 0.0 {
-                                        std::thread::sleep(std::time::Duration::from_secs_f64(
-                                            lat * time_scale,
-                                        ));
-                                    }
-                                    cache.lock().store(svc_id, key, res.clone());
-                                    res
-                                }
-                            };
-                            for t in &result.tuples {
-                                if let Some(nb) = b.bind_atom(atom_ref, t) {
-                                    if passes(&nb) && !send_all(nb) {
-                                        break 'outer;
-                                    }
-                                }
-                            }
-                        }
+                        let invoke = Invoke::for_node(
+                            plan_ref,
+                            schema_ref,
+                            &info,
+                            i,
+                            ChannelStream { rx },
+                            gateway,
+                            false,
+                            time_scale,
+                        );
+                        let mut stream = Filter::for_node(plan_ref, &info, i, invoke);
+                        forward(&mut stream);
                     }
                     NodeKind::Join { strategy, on, .. } => {
                         let right_rx = my_receivers.pop().expect("join right");
                         let left_rx = my_receivers.pop().expect("join left");
-                        let l = ChannelStream { rx: left_rx };
-                        let r = ChannelStream { rx: right_rx };
-                        let joined: Box<dyn Iterator<Item = Binding>> = match strategy {
-                            JoinStrategy::MergeScan => Box::new(MsJoin::new(l, r, on.clone())),
-                            JoinStrategy::NestedLoop { outer: Side::Left } => {
-                                Box::new(NlJoin::new(l, r, on.clone(), true))
-                            }
-                            JoinStrategy::NestedLoop { outer: Side::Right } => {
-                                Box::new(NlJoin::new(r, l, on.clone(), false))
-                            }
-                        };
-                        for b in joined {
-                            if !passes(&b) {
-                                continue;
-                            }
-                            if !send_all(b) {
-                                break;
-                            }
-                        }
+                        let joined = Join::new(
+                            ChannelStream { rx: left_rx },
+                            ChannelStream { rx: right_rx },
+                            strategy,
+                            on.clone(),
+                        );
+                        let mut stream = Filter::for_node(plan_ref, &info, i, joined);
+                        forward(&mut stream);
                     }
                 }
                 // dropping my_senders closes downstream channels
@@ -437,13 +265,17 @@ pub fn run_threaded(
             }
         }
         drop(answer_rx);
-        let elapsed = started.elapsed().as_secs_f64();
-        let calls_map = calls.lock().clone();
-        Ok(ThreadedReport {
-            answers,
-            elapsed,
-            calls: calls_map,
-        })
+        answers
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let (calls, error) = gateway.with(|g| (g.calls().clone(), g.take_error()));
+    if let Some(err) = error {
+        return Err(err);
+    }
+    Ok(ThreadedReport {
+        answers,
+        elapsed,
+        calls,
     })
 }
 
@@ -511,8 +343,7 @@ mod tests {
     fn parallel_dispatch_same_answer_set() {
         let w = travel_world(2008);
         let plan = plan_s(&w);
-        let seq = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
-            .expect("sequential");
+        let seq = run(&plan, &w.schema, &w.registry, &ExecConfig::default()).expect("sequential");
         let par = run_parallel_dispatch(&plan, &w.schema, &w.registry, &ParallelConfig::default())
             .expect("parallel");
         let mut a = seq.answers.clone();
@@ -526,8 +357,7 @@ mod tests {
     fn real_threads_match_sequential_answers() {
         let w = travel_world(2008);
         let plan = plan_s(&w);
-        let seq = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
-            .expect("sequential");
+        let seq = run(&plan, &w.schema, &w.registry, &ExecConfig::default()).expect("sequential");
         let thr = run_threaded(
             &plan,
             &w.schema,
@@ -568,5 +398,15 @@ mod tests {
         // the full no-cache run makes 1 + 71 + 16 + 284 = 372 calls;
         // halting after 5 answers must cut that substantially
         assert!(total < 372, "early halt saved calls: {total}");
+    }
+
+    #[test]
+    fn missing_service_fails_before_spawning() {
+        let w = travel_world(2008);
+        let plan = plan_s(&w);
+        let empty = ServiceRegistry::new();
+        let err = run_threaded(&plan, &w.schema, &empty, &ThreadedConfig::default())
+            .expect_err("no services registered");
+        assert!(matches!(err, ExecError::MissingService(_)));
     }
 }

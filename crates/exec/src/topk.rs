@@ -3,232 +3,33 @@
 //! §2.2: "we retrieve only the fraction of tuples of proliferative
 //! services that are sufficient to obtain the first k query answers …
 //! we also assume that a plan execution can be continued, by producing
-//! more answers". This executor builds one lazy iterator per plan node
-//! and *pulls* answers one at a time: services are fetched page by page
-//! exactly as demanded downstream, so asking for `k` answers halts all
-//! proliferative retrieval as early as the join strategies allow — and
-//! asking again resumes where it stopped.
+//! more answers". This executor [`compile`]s the plan into one lazy
+//! operator tree over a shared [`ServiceGateway`] and *pulls* answers
+//! one at a time: services are fetched page by page exactly as demanded
+//! downstream, so asking for `k` answers halts all proliferative
+//! retrieval as early as the join strategies allow — and asking again
+//! resumes where it stopped.
 //!
 //! In *elastic* mode the phase-3 fetch factors are treated as a starting
 //! hint rather than a hard page budget: a node keeps paging (within the
 //! service's actual data) while downstream demand is unmet.
 
-use crate::binding::Binding;
 use crate::cache::CacheSetting;
+use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway};
+use crate::operator::{compile, ExecError, Operator};
 use crate::plan_info::analyze;
-use crate::joins::{MsJoin, NlJoin};
-use crate::pipeline::ExecError;
-use mdq_plan::dag::{JoinStrategy, NodeKind, Plan, Side};
-use mdq_model::query::{Atom, Predicate};
 use mdq_model::schema::{Schema, ServiceId};
-use mdq_model::value::{Tuple, Value};
+use mdq_model::value::Tuple;
+use mdq_plan::dag::Plan;
 use mdq_services::registry::ServiceRegistry;
-use mdq_services::service::Service;
-use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 use std::sync::Arc;
-
-/// Pages fetched so far for one invocation key.
-#[derive(Clone, Debug, Default)]
-struct PageStore {
-    pages: Vec<Vec<Tuple>>,
-    exhausted: bool,
-}
-
-/// Shared pull-execution state: the page-granular client cache and the
-/// per-service accounting.
-struct Shared {
-    setting: CacheSetting,
-    one_call: HashMap<ServiceId, (Vec<Value>, PageStore)>,
-    optimal: HashMap<(ServiceId, Vec<Value>), PageStore>,
-    calls: HashMap<ServiceId, u64>,
-    latency_sum: f64,
-}
-
-impl Shared {
-    fn new(setting: CacheSetting) -> Self {
-        Shared {
-            setting,
-            one_call: HashMap::new(),
-            optimal: HashMap::new(),
-            calls: HashMap::new(),
-            latency_sum: 0.0,
-        }
-    }
-
-    /// Returns page `page` for the invocation, fetching it if needed.
-    /// `None` when the service has no such page.
-    fn get_page(
-        &mut self,
-        id: ServiceId,
-        service: &Arc<dyn Service>,
-        pattern: usize,
-        key: &[Value],
-        page: u32,
-    ) -> Option<Vec<Tuple>> {
-        let store = match self.setting {
-            CacheSetting::NoCache => None,
-            CacheSetting::OneCall => self
-                .one_call
-                .get(&id)
-                .filter(|(k, _)| k.as_slice() == key)
-                .map(|(_, s)| s),
-            CacheSetting::Optimal => self.optimal.get(&(id, key.to_vec())),
-        };
-        if let Some(s) = store {
-            if (page as usize) < s.pages.len() {
-                return Some(s.pages[page as usize].clone());
-            }
-            if s.exhausted {
-                return None;
-            }
-        }
-        // fetch the missing page (sequential access guaranteed by the
-        // iterator protocol: pages are demanded in order)
-        let r = service.fetch(pattern, key, page);
-        *self.calls.entry(id).or_insert(0) += 1;
-        self.latency_sum += r.latency;
-        let tuples = r.tuples.clone();
-        let record = |s: &mut PageStore| {
-            // pages may arrive beyond a cold cache; pad defensively
-            while s.pages.len() < page as usize {
-                s.pages.push(Vec::new());
-            }
-            if s.pages.len() == page as usize {
-                s.pages.push(r.tuples.clone());
-            }
-            if !r.has_more {
-                s.exhausted = true;
-            }
-        };
-        match self.setting {
-            CacheSetting::NoCache => {}
-            CacheSetting::OneCall => {
-                let entry = self.one_call.entry(id).or_insert_with(|| (key.to_vec(), PageStore::default()));
-                if entry.0.as_slice() != key {
-                    *entry = (key.to_vec(), PageStore::default());
-                }
-                record(&mut entry.1);
-            }
-            CacheSetting::Optimal => {
-                let entry = self
-                    .optimal
-                    .entry((id, key.to_vec()))
-                    .or_default();
-                record(entry);
-            }
-        }
-        if tuples.is_empty() && page > 0 {
-            // an empty trailing page means exhaustion
-            return None;
-        }
-        if tuples.is_empty() {
-            None
-        } else {
-            Some(tuples)
-        }
-    }
-}
-
-struct InvokeIter {
-    upstream: Box<dyn Iterator<Item = Binding>>,
-    shared: Rc<RefCell<Shared>>,
-    service: Arc<dyn Service>,
-    svc_id: ServiceId,
-    pattern: usize,
-    input_positions: Vec<usize>,
-    atom: Atom,
-    preds: Vec<Predicate>,
-    /// Page budget per input (phase-3 fetch factor); `None` = elastic.
-    max_pages: Option<u32>,
-    current: Option<CurrentInput>,
-}
-
-struct CurrentInput {
-    binding: Binding,
-    key: Vec<Value>,
-    next_page: u32,
-    buf: VecDeque<Tuple>,
-    done: bool,
-}
-
-impl Iterator for InvokeIter {
-    type Item = Binding;
-
-    fn next(&mut self) -> Option<Binding> {
-        loop {
-            if let Some(cur) = &mut self.current {
-                if let Some(t) = cur.buf.pop_front() {
-                    if let Some(nb) = cur.binding.bind_atom(&self.atom, &t) {
-                        if self
-                            .preds
-                            .iter()
-                            .all(|p| nb.eval_predicate(p) == Some(true))
-                        {
-                            return Some(nb);
-                        }
-                    }
-                    continue;
-                }
-                let within_budget = self
-                    .max_pages
-                    .map(|m| cur.next_page < m)
-                    .unwrap_or(true);
-                if !cur.done && within_budget {
-                    let fetched = self.shared.borrow_mut().get_page(
-                        self.svc_id,
-                        &self.service,
-                        self.pattern,
-                        &cur.key,
-                        cur.next_page,
-                    );
-                    cur.next_page += 1;
-                    match fetched {
-                        Some(tuples) => {
-                            cur.buf = tuples.into();
-                        }
-                        None => cur.done = true,
-                    }
-                    continue;
-                }
-                self.current = None;
-            }
-            let binding = self.upstream.next()?;
-            let key = binding
-                .input_key(&self.atom, &self.input_positions)
-                .expect("admissible plans bind inputs before invocation");
-            self.current = Some(CurrentInput {
-                binding,
-                key,
-                next_page: 0,
-                buf: VecDeque::new(),
-                done: false,
-            });
-        }
-    }
-}
-
-struct FilterPreds<I> {
-    inner: I,
-    preds: Vec<Predicate>,
-}
-
-impl<I: Iterator<Item = Binding>> Iterator for FilterPreds<I> {
-    type Item = Binding;
-    fn next(&mut self) -> Option<Binding> {
-        self.inner
-            .by_ref()
-            .find(|b| self.preds.iter().all(|p| b.eval_predicate(p) == Some(true)))
-    }
-}
 
 /// A running pull execution: ask for answers one at a time, or in
 /// batches; execution state (fetched pages, cache, upstream cursors)
 /// persists between calls — the §2.2 "ask for more" continuation.
 pub struct TopKExecution {
-    iter: Box<dyn Iterator<Item = Binding>>,
-    shared: Rc<RefCell<Shared>>,
+    iter: Box<dyn Operator>,
+    gateway: LocalGateway,
     query: Arc<mdq_model::query::ConjunctiveQuery>,
 }
 
@@ -243,101 +44,29 @@ impl TopKExecution {
         elastic: bool,
     ) -> Result<Self, ExecError> {
         let info = analyze(plan, schema);
-        let shared = Rc::new(RefCell::new(Shared::new(cache)));
-        // recursively build iterators from the output node down
-        fn build(
-            plan: &Plan,
-            schema: &Schema,
-            registry: &ServiceRegistry,
-            info: &crate::plan_info::PlanInfo,
-            shared: &Rc<RefCell<Shared>>,
-            elastic: bool,
-            node: usize,
-        ) -> Result<Box<dyn Iterator<Item = Binding>>, ExecError> {
-            let preds: Vec<Predicate> = info.preds_at_node[node]
-                .iter()
-                .map(|&p| plan.query.predicates[p].clone())
-                .collect();
-            match &plan.nodes[node].kind {
-                NodeKind::Input => Ok(Box::new(
-                    std::iter::once(Binding::empty(plan.query.var_count())),
-                )),
-                NodeKind::Output => {
-                    let up = plan.nodes[node].inputs[0].0;
-                    let inner = build(plan, schema, registry, info, shared, elastic, up)?;
-                    Ok(Box::new(FilterPreds { inner, preds }))
-                }
-                NodeKind::Invoke { atom } => {
-                    let up = plan.nodes[node].inputs[0].0;
-                    let upstream = build(plan, schema, registry, info, shared, elastic, up)?;
-                    let atom_ref = plan.query.atoms[*atom].clone();
-                    let svc_id = atom_ref.service;
-                    let sig = schema.service(svc_id);
-                    let service = registry
-                        .get(svc_id)
-                        .ok_or_else(|| ExecError::MissingService(sig.name.to_string()))?
-                        .clone();
-                    let pos = plan.position_of(*atom).expect("covered");
-                    Ok(Box::new(InvokeIter {
-                        upstream,
-                        shared: Rc::clone(shared),
-                        service,
-                        svc_id,
-                        pattern: info.pattern_of_node[node],
-                        input_positions: info.input_positions[node].clone(),
-                        atom: atom_ref,
-                        preds,
-                        max_pages: if elastic {
-                            None
-                        } else {
-                            Some(plan.fetch_of(pos) as u32)
-                        },
-                        current: None,
-                    }))
-                }
-                NodeKind::Join {
-                    left,
-                    right,
-                    strategy,
-                    on,
-                } => {
-                    let l = build(plan, schema, registry, info, shared, elastic, left.0)?;
-                    let r = build(plan, schema, registry, info, shared, elastic, right.0)?;
-                    let joined: Box<dyn Iterator<Item = Binding>> = match strategy {
-                        JoinStrategy::MergeScan => Box::new(MsJoin::new(l, r, on.clone())),
-                        JoinStrategy::NestedLoop { outer: Side::Left } => {
-                            Box::new(NlJoin::new(l, r, on.clone(), true))
-                        }
-                        JoinStrategy::NestedLoop { outer: Side::Right } => {
-                            Box::new(NlJoin::new(r, l, on.clone(), false))
-                        }
-                    };
-                    Ok(Box::new(FilterPreds {
-                        inner: joined,
-                        preds,
-                    }))
-                }
-            }
-        }
-        let iter = build(
-            plan,
-            schema,
-            registry,
-            &info,
-            &shared,
-            elastic,
-            plan.output_node().0,
-        )?;
+        let gateway = LocalGateway::new(ServiceGateway::new(plan, schema, registry, cache)?);
+        let iter = compile(plan, schema, &info, &gateway, elastic);
         Ok(TopKExecution {
             iter,
-            shared,
+            gateway,
             query: Arc::clone(&plan.query),
         })
     }
 
-    /// Pulls the next answer (projected on the query head).
+    /// Pulls the next answer (projected on the query head). A stream
+    /// can also end because execution failed mid-pull (an inadmissible
+    /// plan reaching an unbound input) — check [`TopKExecution::error`]
+    /// to distinguish that from genuine exhaustion.
     pub fn next_answer(&mut self) -> Option<Tuple> {
-        self.iter.next().map(|b| b.project_head(&self.query))
+        self.iter
+            .next_binding()
+            .map(|b| b.project_head(&self.query))
+    }
+
+    /// The execution error that poisoned the stream, if any. Mirrors
+    /// the `Err` the materialised driver returns for the same plan.
+    pub fn error(&self) -> Option<ExecError> {
+        self.gateway.with(|g| g.error().cloned())
     }
 
     /// Pulls up to `k` further answers.
@@ -354,17 +83,17 @@ impl TopKExecution {
 
     /// Request-responses forwarded to `id` so far.
     pub fn calls_to(&self, id: ServiceId) -> u64 {
-        self.shared.borrow().calls.get(&id).copied().unwrap_or(0)
+        self.gateway.with(|g| g.calls_to(id))
     }
 
     /// Total request-responses so far.
     pub fn total_calls(&self) -> u64 {
-        self.shared.borrow().calls.values().sum()
+        self.gateway.with(|g| g.total_calls())
     }
 
     /// Summed simulated latency of all forwarded calls.
     pub fn total_latency(&self) -> f64 {
-        self.shared.borrow().latency_sum
+        self.gateway.with(|g| g.total_latency())
     }
 }
 
@@ -403,16 +132,10 @@ mod tests {
     fn pull_answers_match_materialised_run() {
         let w = travel_world(2008);
         let plan = plan_o(&w);
-        let full = run(&plan, &w.schema, &w.registry, &ExecConfig::default())
-            .expect("executes");
-        let mut pull = TopKExecution::new(
-            &plan,
-            &w.schema,
-            &w.registry,
-            CacheSetting::OneCall,
-            false,
-        )
-        .expect("builds");
+        let full = run(&plan, &w.schema, &w.registry, &ExecConfig::default()).expect("executes");
+        let mut pull =
+            TopKExecution::new(&plan, &w.schema, &w.registry, CacheSetting::OneCall, false)
+                .expect("builds");
         let pulled = pull.answers(usize::MAX >> 1);
         let mut a = full.answers.clone();
         let mut b = pulled.clone();

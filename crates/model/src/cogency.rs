@@ -60,11 +60,7 @@ pub fn most_cogent(
 ) -> Vec<ApChoice> {
     candidates
         .iter()
-        .filter(|a| {
-            !candidates
-                .iter()
-                .any(|b| more_cogent(query, schema, b, a))
-        })
+        .filter(|a| !candidates.iter().any(|b| more_cogent(query, schema, b, a)))
         .cloned()
         .collect()
 }
@@ -83,9 +79,7 @@ pub fn exploration_order(
             .atoms
             .iter()
             .enumerate()
-            .map(|(i, atom)| {
-                schema.service(atom.service).patterns[c.pattern_of(i)].input_count()
-            })
+            .map(|(i, atom)| schema.service(atom.service).patterns[c.pattern_of(i)].input_count())
             .sum()
     };
     let mut ordered: Vec<ApChoice> = Vec::with_capacity(candidates.len());

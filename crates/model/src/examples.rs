@@ -129,10 +129,7 @@ mod tests {
         let s = running_example_schema();
         let q = running_example_query(&s);
         assert_eq!(q.atoms.len(), 4);
-        assert_eq!(
-            s.service(q.atoms[ATOM_CONF].service).name.as_ref(),
-            "conf"
-        );
+        assert_eq!(s.service(q.atoms[ATOM_CONF].service).name.as_ref(), "conf");
         assert_eq!(
             s.service(q.atoms[ATOM_WEATHER].service).name.as_ref(),
             "weather"

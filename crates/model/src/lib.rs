@@ -29,6 +29,7 @@ pub mod cogency;
 pub mod examples;
 pub mod parser;
 pub mod query;
+pub mod rng;
 pub mod schema;
 pub mod template;
 pub mod value;
@@ -36,18 +37,17 @@ pub mod value;
 /// Convenient glob-import surface: `use mdq_model::prelude::*;`.
 pub mod prelude {
     pub use crate::binding::{
-        callable_after, executable, find_permissible, permissible_sequences, ApChoice,
-        SupplierMap,
+        callable_after, executable, find_permissible, permissible_sequences, ApChoice, SupplierMap,
     };
     pub use crate::cogency::{exploration_order, most_cogent};
     pub use crate::parser::{parse_query, ParseError};
     pub use crate::query::{
         Atom, CmpOp, ConjunctiveQuery, Expr, Predicate, QueryError, Term, VarId,
     };
-    pub use crate::template::{QueryTemplate, TemplateError};
     pub use crate::schema::{
         AccessPattern, ArgMode, Chunking, Schema, SchemaError, ServiceBuilder, ServiceId,
         ServiceKind, ServiceProfile, ServiceSignature,
     };
+    pub use crate::template::{QueryTemplate, TemplateError};
     pub use crate::value::{Date, DomainId, DomainInfo, DomainKind, Tuple, Value, F64};
 }

@@ -53,10 +53,10 @@ impl std::error::Error for ParseError {}
 
 #[derive(Clone, Debug, PartialEq)]
 enum Tok {
-    Ident(String),  // starts with letter or underscore
+    Ident(String), // starts with letter or underscore
     Int(i64),
     Float(f64),
-    Str(String),    // quoted
+    Str(String), // quoted
     LParen,
     RParen,
     Comma,
@@ -107,137 +107,138 @@ impl<'a> Lexer<'a> {
         }
         let start = self.pos;
         let b = self.bytes[self.pos];
-        let tok = match b {
-            b'(' => {
-                self.pos += 1;
-                Tok::LParen
-            }
-            b')' => {
-                self.pos += 1;
-                Tok::RParen
-            }
-            b',' => {
-                self.pos += 1;
-                Tok::Comma
-            }
-            b'.' => {
-                self.pos += 1;
-                Tok::Dot
-            }
-            b'+' => {
-                self.pos += 1;
-                Tok::Plus
-            }
-            b'*' => {
-                self.pos += 1;
-                Tok::Star
-            }
-            b'@' => {
-                self.pos += 1;
-                Tok::At
-            }
-            b'-' => {
-                self.pos += 1;
-                Tok::Minus
-            }
-            b':' => {
-                if self.bytes.get(self.pos + 1) == Some(&b'-') {
-                    self.pos += 2;
-                    Tok::Turnstile
-                } else {
-                    return Err(ParseError::new(start, "expected `:-`"));
-                }
-            }
-            b'<' => {
-                if self.bytes.get(self.pos + 1) == Some(&b'=') {
-                    self.pos += 2;
-                    Tok::Cmp(CmpOp::Le)
-                } else {
+        let tok =
+            match b {
+                b'(' => {
                     self.pos += 1;
-                    Tok::Cmp(CmpOp::Lt)
+                    Tok::LParen
                 }
-            }
-            b'>' => {
-                if self.bytes.get(self.pos + 1) == Some(&b'=') {
-                    self.pos += 2;
-                    Tok::Cmp(CmpOp::Ge)
-                } else {
+                b')' => {
                     self.pos += 1;
-                    Tok::Cmp(CmpOp::Gt)
+                    Tok::RParen
                 }
-            }
-            b'=' => {
-                self.pos += 1;
-                Tok::Cmp(CmpOp::Eq)
-            }
-            b'!' => {
-                if self.bytes.get(self.pos + 1) == Some(&b'=') {
-                    self.pos += 2;
-                    Tok::Cmp(CmpOp::Ne)
-                } else {
-                    return Err(ParseError::new(start, "expected `!=`"));
-                }
-            }
-            b'\'' | b'"' => {
-                let quote = b;
-                self.pos += 1;
-                let s_start = self.pos;
-                while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                b',' => {
                     self.pos += 1;
+                    Tok::Comma
                 }
-                if self.pos >= self.bytes.len() {
-                    return Err(ParseError::new(start, "unterminated string literal"));
+                b'.' => {
+                    self.pos += 1;
+                    Tok::Dot
                 }
-                let s = self.src[s_start..self.pos].to_string();
-                self.pos += 1; // closing quote
-                Tok::Str(s)
-            }
-            b'0'..=b'9' => {
-                let mut end = self.pos;
-                let mut is_float = false;
-                while end < self.bytes.len() {
-                    match self.bytes[end] {
-                        b'0'..=b'9' => end += 1,
-                        b'.' if !is_float
-                            && end + 1 < self.bytes.len()
-                            && self.bytes[end + 1].is_ascii_digit() =>
-                        {
-                            is_float = true;
-                            end += 1;
-                        }
-                        _ => break,
+                b'+' => {
+                    self.pos += 1;
+                    Tok::Plus
+                }
+                b'*' => {
+                    self.pos += 1;
+                    Tok::Star
+                }
+                b'@' => {
+                    self.pos += 1;
+                    Tok::At
+                }
+                b'-' => {
+                    self.pos += 1;
+                    Tok::Minus
+                }
+                b':' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'-') {
+                        self.pos += 2;
+                        Tok::Turnstile
+                    } else {
+                        return Err(ParseError::new(start, "expected `:-`"));
                     }
                 }
-                let text = &self.src[self.pos..end];
-                self.pos = end;
-                if is_float {
-                    Tok::Float(text.parse().map_err(|_| {
-                        ParseError::new(start, format!("invalid float `{text}`"))
-                    })?)
-                } else {
-                    Tok::Int(text.parse().map_err(|_| {
-                        ParseError::new(start, format!("invalid integer `{text}`"))
-                    })?)
+                b'<' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::Cmp(CmpOp::Le)
+                    } else {
+                        self.pos += 1;
+                        Tok::Cmp(CmpOp::Lt)
+                    }
                 }
-            }
-            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
-                let mut end = self.pos;
-                while end < self.bytes.len()
-                    && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
-                {
-                    end += 1;
+                b'>' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::Cmp(CmpOp::Ge)
+                    } else {
+                        self.pos += 1;
+                        Tok::Cmp(CmpOp::Gt)
+                    }
                 }
-                let ident = self.src[self.pos..end].to_string();
-                self.pos = end;
-                Tok::Ident(ident)
-            }
-            other => {
-                return Err(ParseError::new(
-                    start,
-                    format!("unexpected character `{}`", other as char),
-                ))
-            }
-        };
+                b'=' => {
+                    self.pos += 1;
+                    Tok::Cmp(CmpOp::Eq)
+                }
+                b'!' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::Cmp(CmpOp::Ne)
+                    } else {
+                        return Err(ParseError::new(start, "expected `!=`"));
+                    }
+                }
+                b'\'' | b'"' => {
+                    let quote = b;
+                    self.pos += 1;
+                    let s_start = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(ParseError::new(start, "unterminated string literal"));
+                    }
+                    let s = self.src[s_start..self.pos].to_string();
+                    self.pos += 1; // closing quote
+                    Tok::Str(s)
+                }
+                b'0'..=b'9' => {
+                    let mut end = self.pos;
+                    let mut is_float = false;
+                    while end < self.bytes.len() {
+                        match self.bytes[end] {
+                            b'0'..=b'9' => end += 1,
+                            b'.' if !is_float
+                                && end + 1 < self.bytes.len()
+                                && self.bytes[end + 1].is_ascii_digit() =>
+                            {
+                                is_float = true;
+                                end += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let text = &self.src[self.pos..end];
+                    self.pos = end;
+                    if is_float {
+                        Tok::Float(text.parse().map_err(|_| {
+                            ParseError::new(start, format!("invalid float `{text}`"))
+                        })?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| {
+                            ParseError::new(start, format!("invalid integer `{text}`"))
+                        })?)
+                    }
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let mut end = self.pos;
+                    while end < self.bytes.len()
+                        && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    let ident = self.src[self.pos..end].to_string();
+                    self.pos = end;
+                    Tok::Ident(ident)
+                }
+                other => {
+                    return Err(ParseError::new(
+                        start,
+                        format!("unexpected character `{}`", other as char),
+                    ))
+                }
+            };
         Ok(Some((start, tok)))
     }
 }
@@ -264,10 +265,7 @@ impl<'a> Parser<'a> {
     }
 
     fn pos(&self) -> usize {
-        self.toks
-            .get(self.i)
-            .map(|(p, _)| *p)
-            .unwrap_or(usize::MAX)
+        self.toks.get(self.i).map(|(p, _)| *p).unwrap_or(usize::MAX)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -363,9 +361,10 @@ impl<'a> Parser<'a> {
                 Some(Tok::Ident(id)) => id,
                 _ => unreachable!("peeked an identifier"),
             };
-            let service = self.schema.service_by_name(&name).ok_or_else(|| {
-                ParseError::new(p, format!("unknown service `{name}`"))
-            })?;
+            let service = self
+                .schema
+                .service_by_name(&name)
+                .ok_or_else(|| ParseError::new(p, format!("unknown service `{name}`")))?;
             self.expect(&Tok::LParen, "`(`")?;
             let mut terms = Vec::new();
             if !matches!(self.peek(), Some(Tok::RParen)) {
@@ -422,9 +421,7 @@ impl<'a> Parser<'a> {
             loop {
                 let p = self.pos();
                 match self.bump() {
-                    Some(Tok::Ident(id))
-                        if id.starts_with(|c: char| c.is_ascii_uppercase()) =>
-                    {
+                    Some(Tok::Ident(id)) if id.starts_with(|c: char| c.is_ascii_uppercase()) => {
                         let v = self.query.var(&id);
                         self.query.head_var(v);
                     }
@@ -604,8 +601,11 @@ mod tests {
     #[test]
     fn negative_numbers() {
         let s = schema();
-        let q = parse_query("q(C) :- weather(City, T, D), T >= -5.5, conf('DB', C, S, E, City).", &s)
-            .expect("parses");
+        let q = parse_query(
+            "q(C) :- weather(City, T, D), T >= -5.5, conf('DB', C, S, E, City).",
+            &s,
+        )
+        .expect("parses");
         match &q.predicates[0].rhs {
             Expr::Term(Term::Const(v)) => assert_eq!(*v, Value::float(-5.5)),
             other => panic!("expected const, got {other:?}"),

@@ -294,7 +294,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::UnsafeHeadVar(v) => {
-                write!(f, "head variable `{v}` does not occur in the body (unsafe query)")
+                write!(
+                    f,
+                    "head variable `{v}` does not occur in the body (unsafe query)"
+                )
             }
             QueryError::UnsafePredicateVar(v) => {
                 write!(f, "predicate variable `{v}` does not occur in any atom")
@@ -417,9 +420,7 @@ impl ConjunctiveQuery {
         for p in &self.predicates {
             for v in p.vars() {
                 if !body_vars.contains(&v) {
-                    return Err(QueryError::UnsafePredicateVar(
-                        self.var_name(v).to_string(),
-                    ));
+                    return Err(QueryError::UnsafePredicateVar(self.var_name(v).to_string()));
                 }
             }
         }
@@ -557,11 +558,7 @@ mod tests {
         q.head_var(z);
         q.atom(a, vec![Term::Const(Value::str("k")), Term::Var(y)]);
         q.atom(b, vec![Term::Var(y), Term::Var(z)]);
-        q.predicate(Predicate::new(
-            Expr::var(z),
-            CmpOp::Gt,
-            Expr::constant(1.5),
-        ));
+        q.predicate(Predicate::new(Expr::var(z), CmpOp::Gt, Expr::constant(1.5)));
         q.validate(&s).expect("valid");
         assert_eq!(q.shared_vars(0, 1), vec![y]);
         let occ = q.var_occurrences();
@@ -577,10 +574,7 @@ mod tests {
         let w = q.var("W");
         q.head_var(w);
         q.atom(a, vec![Term::Const(Value::str("k")), Term::Var(y)]);
-        assert!(matches!(
-            q.validate(&s),
-            Err(QueryError::UnsafeHeadVar(_))
-        ));
+        assert!(matches!(q.validate(&s), Err(QueryError::UnsafeHeadVar(_))));
         let mut q2 = ConjunctiveQuery::new("q");
         let y2 = q2.var("Y");
         q2.head_var(y2);
@@ -659,7 +653,11 @@ mod tests {
         q.head_var(z);
         q.atom(a, vec![Term::Const(Value::str("k")), Term::Var(y)]);
         q.atom(b, vec![Term::Var(y), Term::Var(z)]);
-        q.predicate(Predicate::new(Expr::var(z), CmpOp::Ge, Expr::constant(1i64)));
+        q.predicate(Predicate::new(
+            Expr::var(z),
+            CmpOp::Ge,
+            Expr::constant(1i64),
+        ));
         let text = format!("{}", q.display(&s));
         assert_eq!(text, "q(Z) :- a('k', Y), b(Y, Z), Z >= 1.");
     }

@@ -1,0 +1,175 @@
+//! A small deterministic PRNG for the simulated worlds and the
+//! randomized test harnesses.
+//!
+//! The workspace builds fully offline, so instead of the `rand` crate we
+//! use a self-contained xoshiro256** generator seeded through splitmix64
+//! (the reference seeding procedure). Determinism matters more than
+//! statistical strength here: the calibrated worlds promise identical
+//! cardinalities for every seed, and the property tests must replay
+//! failures from a printed seed.
+
+/// Splitmix64 step — also used standalone for cheap hash-like streams.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the generator (any seed is fine, including 0).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(x);
+        }
+        Rng { s }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform index in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range_usize(0, items.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(42);
+        for _ in 0..1000 {
+            let f = r.range_f64(2.0, 3.5);
+            assert!((2.0..3.5).contains(&f));
+            let i = r.range_i64(-4, 9);
+            assert!((-4..9).contains(&i));
+            let u = r.range_usize(1, 2);
+            assert_eq!(u, 1, "singleton range");
+        }
+    }
+
+    #[test]
+    fn f64_covers_unit_interval() {
+        let mut r = Rng::new(3);
+        let vals: Vec<f64> = (0..1000).map(|_| r.f64()).collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        assert!(vals.iter().any(|&v| v < 0.1));
+        assert!(vals.iter().any(|&v| v > 0.9));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements do move");
+    }
+
+    #[test]
+    fn choose_and_bool() {
+        let mut r = Rng::new(11);
+        assert!(r.choose::<u8>(&[]).is_none());
+        let items = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(items.contains(r.choose(&items).expect("non-empty")));
+        }
+        let heads = (0..2000).filter(|_| r.bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "fair-ish coin: {heads}");
+    }
+}

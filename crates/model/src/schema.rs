@@ -96,10 +96,7 @@ impl AccessPattern {
     ///
     /// Patterns of different arity are incomparable (returns `false`).
     pub fn at_least_as_cogent(&self, other: &AccessPattern) -> bool {
-        self.arity() == other.arity()
-            && other
-                .inputs()
-                .all(|i| self.mode(i) == ArgMode::In)
+        self.arity() == other.arity() && other.inputs().all(|i| self.mode(i) == ArgMode::In)
     }
 
     /// Strict cogency: `self ≻IO other`.

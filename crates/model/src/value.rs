@@ -491,7 +491,10 @@ mod tests {
         assert_eq!(later.ymd(), (2007, 9, 10));
         assert!(Date::parse("2007/13/1").is_none());
         assert!(Date::parse("not-a-date").is_none());
-        assert_eq!(Date::parse("2008-08-24").map(|d| d.ymd()), Some((2008, 8, 24)));
+        assert_eq!(
+            Date::parse("2008-08-24").map(|d| d.ymd()),
+            Some((2008, 8, 24))
+        );
     }
 
     #[test]
@@ -534,7 +537,10 @@ mod tests {
         let c = t.concat(&u);
         assert_eq!(c.arity(), 3);
         assert_eq!(c.get(2), &Value::float(2.0));
-        assert_eq!(c.project(&[2, 0]).values(), &[Value::float(2.0), Value::Int(1)]);
+        assert_eq!(
+            c.project(&[2, 0]).values(),
+            &[Value::float(2.0), Value::Int(1)]
+        );
         assert_eq!(format!("{t}"), "⟨1, 'x'⟩");
     }
 

@@ -113,7 +113,10 @@ mod tests {
             .expect("baseline plans the running example");
         assert!(out.plan.poset.is_chain());
         assert!(out.bottleneck_cost > 0.0);
-        assert!(out.plan.fetches.iter().all(|&f| f == 1), "[16] has no fetch notion");
+        assert!(
+            out.plan.fetches.iter().all(|&f| f == 1),
+            "[16] has no fetch notion"
+        );
     }
 
     /// The paper's argument (§2.3): a bottleneck-optimal chain is not
@@ -123,8 +126,8 @@ mod tests {
     fn baseline_plan_is_not_etm_competitive() {
         let (schema, query) = running_example_parts();
         let query = Arc::new(query);
-        let baseline = wsms_baseline(Arc::clone(&query), &schema, &ExecutionTime)
-            .expect("baseline plans");
+        let baseline =
+            wsms_baseline(Arc::clone(&query), &schema, &ExecutionTime).expect("baseline plans");
         let ours = optimize(
             query,
             &schema,

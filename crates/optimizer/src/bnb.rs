@@ -334,13 +334,8 @@ mod tests {
             schema.service_mut(id).profile.decay = Some(1);
         }
         let query = Arc::new(mdq_model::examples::running_example_query(&schema));
-        let out = optimize(
-            query,
-            &schema,
-            &ExecutionTime,
-            &OptimizerConfig::default(),
-        )
-        .expect("optimizes best-effort");
+        let out = optimize(query, &schema, &ExecutionTime, &OptimizerConfig::default())
+            .expect("optimizes best-effort");
         assert!(!out.meets_k());
         assert!(out.candidate.annotation.out_size() < 10.0);
     }

@@ -90,15 +90,17 @@ fn blocked_variables(query: &ConjunctiveQuery, schema: &Schema) -> Vec<VarId> {
             }
             let sig = schema.service(atom.service);
             for pattern in &sig.patterns {
-                let callable = atom.terms.iter().enumerate().all(|(p, t)| {
-                    match pattern.mode(p) {
+                let callable = atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .all(|(p, t)| match pattern.mode(p) {
                         ArgMode::In => match t {
                             Term::Const(_) => true,
                             Term::Var(v) => bound.contains(v),
                         },
                         ArgMode::Out => true,
-                    }
-                });
+                    });
                 if callable {
                     reached.insert(i);
                     bound.extend(atom.vars());
@@ -273,9 +275,7 @@ fn find_seeder(
                 continue;
             }
             for (pi, pattern) in sig.patterns.iter().enumerate() {
-                let outputs_domain = pattern
-                    .outputs()
-                    .any(|pos| sig.domains[pos] == var_domain);
+                let outputs_domain = pattern.outputs().any(|pos| sig.domains[pos] == var_domain);
                 if !outputs_domain {
                     continue;
                 }
@@ -308,15 +308,17 @@ fn find_permissible_prefix(
             }
             let sig = schema.service(atom.service);
             for (pi, pattern) in sig.patterns.iter().enumerate() {
-                let callable = atom.terms.iter().enumerate().all(|(p, t)| {
-                    match pattern.mode(p) {
+                let callable = atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .all(|(p, t)| match pattern.mode(p) {
                         ArgMode::In => match t {
                             Term::Const(_) => true,
                             Term::Var(v) => bound.contains(v),
                         },
                         ArgMode::Out => true,
-                    }
-                });
+                    });
                 if callable {
                     done.insert(i);
                     reached.push((i, pi));
@@ -403,8 +405,8 @@ mod tests {
     #[test]
     fn executable_queries_pass_through() {
         let schema = blocked_city_schema(true);
-        let query = parse_query("q(City) :- oldtown(City), weather(City, T).", &schema)
-            .expect("parses");
+        let query =
+            parse_query("q(City) :- oldtown(City), weather(City, T).", &schema).expect("parses");
         let exp = expand_for_executability(&query, &schema, 2).expect("trivial");
         assert!(exp.is_trivial());
         assert_eq!(exp.query.atoms.len(), query.atoms.len());

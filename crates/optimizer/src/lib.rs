@@ -32,8 +32,8 @@ pub mod phase3;
 #[cfg(test)]
 pub(crate) mod test_fixtures {
     //! Shared fixtures for this crate's unit tests.
-    use mdq_model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
     use mdq_model::binding::ApChoice;
+    use mdq_model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
     use mdq_model::query::ConjunctiveQuery;
     use mdq_model::schema::Schema;
     use mdq_plan::builder::{build_plan, StrategyRule};

@@ -16,10 +16,7 @@ use std::sync::Arc;
 /// Permissible sequences in "bound is better" exploration order: the most
 /// cogent sequences first (they bind more inputs, promising smaller
 /// intermediate results), then the dominated rest.
-pub fn ordered_sequences(
-    query: &ConjunctiveQuery,
-    ctx: &CostContext<'_>,
-) -> Vec<ApChoice> {
+pub fn ordered_sequences(query: &ConjunctiveQuery, ctx: &CostContext<'_>) -> Vec<ApChoice> {
     let all = mdq_model::binding::permissible_sequences(query, ctx.schema);
     exploration_order(query, ctx.schema, &all)
 }

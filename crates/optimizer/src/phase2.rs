@@ -314,7 +314,10 @@ pub fn optimize_topology(
     };
 
     // Heuristic first choices build the initial upper bound (§4).
-    for heuristic in [TopologyHeuristic::SelectiveSerial, TopologyHeuristic::MaxParallel] {
+    for heuristic in [
+        TopologyHeuristic::SelectiveSerial,
+        TopologyHeuristic::MaxParallel,
+    ] {
         let topo = match heuristic {
             TopologyHeuristic::SelectiveSerial => {
                 selective_serial_topology(query, ctx.schema, choice)
@@ -361,8 +364,7 @@ mod tests {
     fn selective_serial_orders_by_erspi() {
         let (schema, query) = running_example_parts();
         let choice = ApChoice(vec![0, 0, 0, 0]);
-        let poset =
-            selective_serial_topology(&query, &schema, &choice).expect("chain exists");
+        let poset = selective_serial_topology(&query, &schema, &choice).expect("chain exists");
         assert!(poset.is_chain());
         // conf must come first (only callable); then weather (0.05),
         // hotel (chunk 5), flight (chunk 25)
@@ -405,7 +407,10 @@ mod tests {
             opts,
             None,
         );
-        assert_eq!(out.stats.topologies_complete, 19, "Example 5.1's plan count");
+        assert_eq!(
+            out.stats.topologies_complete, 19,
+            "Example 5.1's plan count"
+        );
         assert!(out.best.is_some());
     }
 
@@ -436,14 +441,16 @@ mod tests {
             &StrategyRule::default(),
             10.0,
             SearchOptions::default(),
-
             None,
         );
         let (a, b) = (
             free.best.as_ref().expect("optimum exists").cost,
             bounded.best.as_ref().expect("optimum exists").cost,
         );
-        assert!((a - b).abs() < 1e-9, "pruning changed the optimum: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "pruning changed the optimum: {a} vs {b}"
+        );
         assert!(
             bounded.stats.topologies_complete <= free.stats.topologies_complete,
             "bounding should not explore more complete topologies"

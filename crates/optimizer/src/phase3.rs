@@ -71,7 +71,9 @@ pub fn fetch_caps(plan: &Plan, ctx: &CostContext<'_>, max_fetch: u64) -> Vec<u64
         .map(|&a| {
             let sig = ctx.schema.service(plan.query.atoms[a].service);
             if sig.chunking.is_chunked() {
-                sig.max_fetches_from_decay().unwrap_or(max_fetch).min(max_fetch)
+                sig.max_fetches_from_decay()
+                    .unwrap_or(max_fetch)
+                    .min(max_fetch)
             } else {
                 1
             }
@@ -284,7 +286,16 @@ pub fn optimize_fetches(
     };
     let mut current: Vec<u64> = vec![1; plan.atoms.len()];
     explore_rec(
-        plan, ctx, k, &chunked, &caps, 0, &mut current, &mut bound, &mut best, stats,
+        plan,
+        ctx,
+        k,
+        &chunked,
+        &caps,
+        0,
+        &mut current,
+        &mut bound,
+        &mut best,
+        stats,
     );
     best
 }
@@ -364,7 +375,16 @@ fn explore_rec(
     for f in 1..=caps[pos] {
         current[pos] = f;
         explore_rec(
-            plan, ctx, k, chunked, caps, depth + 1, current, bound, best, stats,
+            plan,
+            ctx,
+            k,
+            chunked,
+            caps,
+            depth + 1,
+            current,
+            bound,
+            best,
+            stats,
         );
         // dominance: once (…, f, 1, …, 1) is feasible, any larger f is
         // dominated (cost monotone) — stop raising this factor
@@ -520,7 +540,10 @@ mod tests {
             &schema,
             ApChoice(vec![0, 0, 0, 0]),
             Poset::from_pairs(2, &[(0, 1)]).expect("valid"),
-            vec![mdq_model::examples::ATOM_CONF, mdq_model::examples::ATOM_WEATHER],
+            vec![
+                mdq_model::examples::ATOM_CONF,
+                mdq_model::examples::ATOM_WEATHER,
+            ],
             &StrategyRule::default(),
         )
         .expect("builds");

@@ -87,12 +87,12 @@ impl StrategyRule {
     pub fn with_pair(mut self, a: ServiceId, b: ServiceId, strategy: JoinStrategy) -> Self {
         self.pairs.insert((a, b), strategy);
         let mirrored = match strategy {
-            JoinStrategy::NestedLoop { outer: Side::Left } => JoinStrategy::NestedLoop {
-                outer: Side::Right,
-            },
-            JoinStrategy::NestedLoop { outer: Side::Right } => JoinStrategy::NestedLoop {
-                outer: Side::Left,
-            },
+            JoinStrategy::NestedLoop { outer: Side::Left } => {
+                JoinStrategy::NestedLoop { outer: Side::Right }
+            }
+            JoinStrategy::NestedLoop { outer: Side::Right } => {
+                JoinStrategy::NestedLoop { outer: Side::Left }
+            }
             JoinStrategy::MergeScan => JoinStrategy::MergeScan,
         };
         self.pairs.insert((b, a), mirrored);
@@ -101,7 +101,12 @@ impl StrategyRule {
 
     /// Chooses a strategy for joining branches tipped by services
     /// `left`/`right`.
-    pub fn choose(&self, schema: &Schema, left: Option<ServiceId>, right: Option<ServiceId>) -> JoinStrategy {
+    pub fn choose(
+        &self,
+        schema: &Schema,
+        left: Option<ServiceId>,
+        right: Option<ServiceId>,
+    ) -> JoinStrategy {
         if let (Some(l), Some(r)) = (left, right) {
             if let Some(&s) = self.pairs.get(&(l, r)) {
                 return s;
@@ -110,7 +115,10 @@ impl StrategyRule {
                 let small = |sid: ServiceId| {
                     let sig = schema.service(sid);
                     sig.kind == ServiceKind::Search
-                        && sig.max_fetches_from_decay().map(|f| f <= 1).unwrap_or(false)
+                        && sig
+                            .max_fetches_from_decay()
+                            .map(|f| f <= 1)
+                            .unwrap_or(false)
                 };
                 match (small(l), small(r)) {
                     (true, false) => return JoinStrategy::NestedLoop { outer: Side::Left },
@@ -178,7 +186,11 @@ pub fn build_plan(
     let mut stream: Vec<Option<NodeId>> = vec![None; atoms.len()];
     let mut tip: HashMap<NodeId, ServiceId> = HashMap::new();
 
-    let push = |nodes: &mut Vec<PlanNode>, query: &ConjunctiveQuery, kind: NodeKind, inputs: Vec<NodeId>| -> NodeId {
+    let push = |nodes: &mut Vec<PlanNode>,
+                query: &ConjunctiveQuery,
+                kind: NodeKind,
+                inputs: Vec<NodeId>|
+     -> NodeId {
         let bound = bound_vars_for(query, nodes, &kind, &inputs);
         nodes.push(PlanNode {
             kind,
@@ -337,7 +349,9 @@ mod tests {
 
     #[test]
     fn decay_triggers_nested_loop_preference() {
-        let RunningExample { mut schema, query, .. } = running_example();
+        let RunningExample {
+            mut schema, query, ..
+        } = running_example();
         let hotel_svc = query.atoms[ATOM_HOTEL].service;
         let flight_svc = query.atoms[ATOM_FLIGHT].service;
         // hotel decays within one chunk → selective side

@@ -123,7 +123,10 @@ impl Plan {
     /// The node executing plan-atom position `pos`, if present.
     pub fn node_of_atom(&self, pos: usize) -> Option<NodeId> {
         let atom = self.atoms[pos];
-        self.nodes.iter().position(|n| matches!(n.kind, NodeKind::Invoke { atom: a } if a == atom)).map(NodeId)
+        self.nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Invoke { atom: a } if a == atom))
+            .map(NodeId)
     }
 
     /// Position of query atom `atom` within this plan, if covered.
@@ -313,11 +316,8 @@ mod tests {
         let query = Arc::new(query);
         // atom order in the parsed query: flight=0, hotel=1, conf=2, weather=3
         let choice = ApChoice(vec![0, 0, 0, 0]);
-        let poset = Poset::from_pairs(
-            4,
-            &[(2, 3), (3, 0), (3, 1), (2, 0), (2, 1)],
-        )
-        .expect("valid poset");
+        let poset =
+            Poset::from_pairs(4, &[(2, 3), (3, 0), (3, 1), (2, 0), (2, 1)]).expect("valid poset");
         let plan = build_plan(
             Arc::clone(&query),
             &schema,

@@ -136,9 +136,7 @@ impl Poset {
         let mut out = Vec::new();
         for a in 0..self.n {
             for b in 0..self.n {
-                if self.lt(a, b)
-                    && !(0..self.n).any(|c| self.lt(a, c) && self.lt(c, b))
-                {
+                if self.lt(a, b) && !(0..self.n).any(|c| self.lt(a, c) && self.lt(c, b)) {
                     out.push((a, b));
                 }
             }
@@ -380,7 +378,16 @@ fn recurse<A: Admissibility, V: TopologyVisitor>(
     let k = feasible.len();
     for mask in 1u64..(1 << k) {
         let members: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
-        assign_preds(n, admissible, visitor, state, &feasible, &members, 0, &mut Vec::new());
+        assign_preds(
+            n,
+            admissible,
+            visitor,
+            state,
+            &feasible,
+            &members,
+            0,
+            &mut Vec::new(),
+        );
     }
 }
 
@@ -419,7 +426,16 @@ fn assign_preds<A: Admissibility, V: TopologyVisitor>(
     let (_, opts) = &feasible[members[idx]];
     for o in 0..opts.len() {
         chosen.push(o);
-        assign_preds(n, admissible, visitor, state, feasible, members, idx + 1, chosen);
+        assign_preds(
+            n,
+            admissible,
+            visitor,
+            state,
+            feasible,
+            members,
+            idx + 1,
+            chosen,
+        );
         chosen.pop();
     }
 }
@@ -430,7 +446,10 @@ fn enumerate_antichains(elems: &[usize], poset: &Poset) -> Vec<Vec<usize>> {
     let m = elems.len();
     let mut out = Vec::new();
     'mask: for mask in 0u64..(1 << m) {
-        let set: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).map(|i| elems[i]).collect();
+        let set: Vec<usize> = (0..m)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| elems[i])
+            .collect();
         for i in 0..set.len() {
             for j in i + 1..set.len() {
                 if !poset.incomparable(set[i], set[j]) {

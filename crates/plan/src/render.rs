@@ -38,7 +38,9 @@ pub fn to_dot(plan: &Plan, schema: &Schema) -> String {
                     let _ = write!(label, "\\nF={f}");
                 }
                 let (shape, extra) = match (sig.kind, sig.chunking.is_chunked()) {
-                    (ServiceKind::Search, _) => ("trapezium", ", style=filled, fillcolor=lightgrey"),
+                    (ServiceKind::Search, _) => {
+                        ("trapezium", ", style=filled, fillcolor=lightgrey")
+                    }
                     (ServiceKind::Exact, true) => ("box3d", ""),
                     (ServiceKind::Exact, false) => ("box", ""),
                 };
@@ -150,8 +152,14 @@ mod tests {
         let (plan, schema) = fig6_plan();
         let dot = to_dot(&plan, &schema);
         assert!(dot.starts_with("digraph plan {"));
-        assert!(dot.contains("label=\"conf*\""), "conf is proliferative exact:\n{dot}");
-        assert!(dot.contains("shape=trapezium"), "search services are trapezia");
+        assert!(
+            dot.contains("label=\"conf*\""),
+            "conf is proliferative exact:\n{dot}"
+        );
+        assert!(
+            dot.contains("shape=trapezium"),
+            "search services are trapezia"
+        );
         assert!(dot.contains("F=3"), "flight fetch factor shown");
         assert!(dot.contains("F=4"), "hotel fetch factor shown");
         assert!(dot.contains("shape=diamond"), "join node present");

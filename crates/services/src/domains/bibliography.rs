@@ -11,10 +11,9 @@ use crate::registry::ServiceRegistry;
 use crate::service::LatencyModel;
 use crate::synthetic::SyntheticSource;
 use mdq_model::parser::parse_query;
+use mdq_model::rng::Rng;
 use mdq_model::schema::{AccessPattern, Schema, ServiceBuilder, ServiceProfile};
 use mdq_model::value::{DomainKind, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of authors in the synthetic community.
 pub const AUTHORS: usize = 40;
@@ -45,7 +44,7 @@ pub fn bibliography_world(seed: u64) -> World {
         .register()
         .expect("projects registers");
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let author = |i: usize| format!("author{:02}", i + 1);
 
     // Publications: relevance-ranked per topic; prolific authors appear
@@ -56,7 +55,7 @@ pub fn bibliography_world(seed: u64) -> World {
         for a in 0..AUTHORS {
             let papers = 1 + (AUTHORS - a) / 6; // earlier authors: more papers
             for p in 0..papers {
-                let relevance = (AUTHORS - a) as f64 * 3.0 + rng.gen_range(0.0..10.0);
+                let relevance = (AUTHORS - a) as f64 * 3.0 + rng.range_f64(0.0, 10.0);
                 let year = 2003 + ((a * 5 + p * 3) % 6) as i64;
                 scored.push((
                     relevance,
@@ -65,7 +64,7 @@ pub fn bibliography_world(seed: u64) -> World {
                         Value::str(author(a)),
                         Value::str(format!("{topic}-paper-{a}-{p}")),
                         Value::Int(year),
-                        Value::Int(rng.gen_range(0..400)),
+                        Value::Int(rng.range_i64(0, 400)),
                     ]),
                 ));
             }
@@ -83,7 +82,7 @@ pub fn bibliography_world(seed: u64) -> World {
                 Value::str(author(a)),
                 Value::str(format!("project-{a}")),
                 Value::str(programme),
-                Value::float((rng.gen_range(0.4..3.0f64) * 100.0).round() * 10_000.0),
+                Value::float((rng.range_f64(0.4, 3.0) * 100.0).round() * 10_000.0),
             ]));
         }
     }

@@ -12,10 +12,9 @@ use crate::registry::ServiceRegistry;
 use crate::service::LatencyModel;
 use crate::synthetic::SyntheticSource;
 use mdq_model::parser::parse_query;
+use mdq_model::rng::Rng;
 use mdq_model::schema::{AccessPattern, Schema, ServiceBuilder, ServiceProfile};
 use mdq_model::value::{DomainKind, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of human glycolysis proteins planted in KEGG.
 pub const GLYCOLYSIS_PROTEINS: usize = 24;
@@ -59,7 +58,7 @@ pub fn protein_world(seed: u64) -> World {
         .register()
         .expect("uniprot registers");
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let human_acc = |i: usize| format!("P{:05}", 10000 + i);
     let mouse_acc = |i: usize| format!("Q{:05}", 20000 + i);
 
@@ -97,7 +96,7 @@ pub fn protein_world(seed: u64) -> World {
     for i in 0..60 {
         let hits = 8 + (i % 25);
         for h in 0..hits {
-            let score = 990.0 - h as f64 * 17.0 - rng.gen_range(0.0..5.0);
+            let score = 990.0 - h as f64 * 17.0 - rng.range_f64(0.0, 5.0);
             let organism = if h % 3 == 0 { "rat" } else { "mouse" };
             blast_rows.push((
                 i,

@@ -28,11 +28,9 @@ use crate::registry::ServiceRegistry;
 use crate::service::LatencyModel;
 use crate::synthetic::SyntheticSource;
 use mdq_model::query::ConjunctiveQuery;
+use mdq_model::rng::Rng;
 use mdq_model::schema::{AccessPattern, Schema, ServiceId};
 use mdq_model::value::{Date, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Number of conference tuples for topic 'DB'.
 pub const CONF_TUPLES: usize = 71;
@@ -102,7 +100,7 @@ pub fn travel_world(seed: u64) -> TravelWorld {
         hotel: schema.service_by_name("hotel").expect("hotel"),
     };
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let cities: Vec<String> = (0..DISTINCT_CITIES).map(city_name).collect();
 
     // City layout (indices into `cities`):
@@ -133,7 +131,7 @@ pub fn travel_world(seed: u64) -> TravelWorld {
     // can collide; we pick second-occurrence leaders that avoid all
     // three boundaries.
     let mut first: Vec<usize> = (0..DISTINCT_CITIES).collect();
-    first.shuffle(&mut rng);
+    rng.shuffle(&mut first);
     let position_in_first = |c: usize| {
         first
             .iter()
@@ -150,10 +148,12 @@ pub fn travel_world(seed: u64) -> TravelWorld {
     cold_doubles.sort_by_key(|&c| position_in_first(c));
     // boundary cities the second part must not lead with
     let last_hot_first = *first
-        .iter().rfind(|&&c| is_hot(c))
+        .iter()
+        .rfind(|&&c| is_hot(c))
         .expect("hot cities exist");
     let last_served_hot_first = *first
-        .iter().rfind(|&&c| is_hot(c) && has_flight(c))
+        .iter()
+        .rfind(|&&c| is_hot(c) && has_flight(c))
         .expect("served hot cities exist");
     let rot = hot_doubles
         .iter()
@@ -224,7 +224,7 @@ pub fn travel_world(seed: u64) -> TravelWorld {
             12 + (c % 7) // cold served cities: incidental counts
         };
         for r in 0..n {
-            let price = 180.0 + r as f64 * 35.0 + rng.gen_range(0.0..20.0);
+            let price = 180.0 + r as f64 * 35.0 + rng.range_f64(0.0, 20.0);
             flight_rows.push((
                 price,
                 Tuple::new(vec![
@@ -241,8 +241,8 @@ pub fn travel_world(seed: u64) -> TravelWorld {
     }
     flight_rows.sort_by(|a, b| a.0.total_cmp(&b.0));
     let flight_rows: Vec<Tuple> = flight_rows.into_iter().map(|(_, t)| t).collect();
-    let hot_total: usize = HOT_DOUBLE_FLIGHTS.iter().sum::<usize>() * 2
-        + HOT_SINGLE_FLIGHTS.iter().sum::<usize>();
+    let hot_total: usize =
+        HOT_DOUBLE_FLIGHTS.iter().sum::<usize>() * 2 + HOT_SINGLE_FLIGHTS.iter().sum::<usize>();
     debug_assert_eq!(hot_total, HOT_FLIGHT_TUPLES);
 
     // hotel rows: ≥ 5 luxury hotels per city (first chunk suffices for
@@ -250,7 +250,7 @@ pub fn travel_world(seed: u64) -> TravelWorld {
     let mut hotel_rows: Vec<(f64, Tuple)> = Vec::new();
     for c in 0..DISTINCT_CITIES {
         for h in 0..7 {
-            let price = 350.0 + h as f64 * 120.0 + rng.gen_range(0.0..40.0);
+            let price = 350.0 + h as f64 * 120.0 + rng.range_f64(0.0, 40.0);
             let category = if h < 5 { "luxury" } else { "standard" };
             hotel_rows.push((
                 price,
@@ -512,7 +512,10 @@ mod tests {
                 }
             }
         }
-        assert!(answers >= 10, "at least k = 10 answers exist, got {answers}");
+        assert!(
+            answers >= 10,
+            "at least k = 10 answers exist, got {answers}"
+        );
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub mod prelude {
     pub use crate::loader::{parse_rows, source_from_text, LoadError};
     pub use crate::profiler::{install, profile_service, ProfileReport};
     pub use crate::registry::ServiceRegistry;
-    pub use crate::service::{CallCounter, Counted, InputKey, LatencyModel, Service, ServiceResponse};
+    pub use crate::service::{
+        CallCounter, Counted, InputKey, LatencyModel, Service, ServiceResponse,
+    };
     pub use crate::synthetic::SyntheticSource;
 }

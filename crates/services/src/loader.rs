@@ -72,11 +72,7 @@ pub fn parse_rows(
         if cells.len() != kinds.len() {
             return Err(LoadError {
                 line: line_no,
-                message: format!(
-                    "expected {} columns, found {}",
-                    kinds.len(),
-                    cells.len()
-                ),
+                message: format!("expected {} columns, found {}", kinds.len(), cells.len()),
             });
         }
         let values: Result<Vec<Value>, LoadError> = cells
@@ -121,7 +117,9 @@ pub fn source_from_text(
     latency: LatencyModel,
 ) -> Result<SyntheticSource, LoadError> {
     let rows = parse_rows(text, delimiter, kinds)?;
-    Ok(SyntheticSource::new(name, patterns, rows, chunk_size, latency))
+    Ok(SyntheticSource::new(
+        name, patterns, rows, chunk_size, latency,
+    ))
 }
 
 #[cfg(test)]
@@ -163,8 +161,7 @@ ir\tIntro to Information Retrieval\t2008\t59.00
 
     #[test]
     fn typed_cell_errors_are_located() {
-        let err = parse_rows("db\tx\tnot-a-year\t1.0\n", '\t', &kinds())
-            .expect_err("bad int");
+        let err = parse_rows("db\tx\tnot-a-year\t1.0\n", '\t', &kinds()).expect_err("bad int");
         assert_eq!(err.line, 1);
         assert!(err.message.contains("not-a-year"), "{err}");
     }
@@ -208,10 +205,7 @@ ir\tIntro to Information Retrieval\t2008\t59.00
             &[DomainKind::Date, DomainKind::Bool],
         )
         .expect("parses");
-        assert_eq!(
-            rows[0].get(0),
-            &Value::Date(Date::from_ymd(2007, 3, 14))
-        );
+        assert_eq!(rows[0].get(0), &Value::Date(Date::from_ymd(2007, 3, 14)));
         assert_eq!(rows[0].get(1), &Value::Bool(true));
         assert_eq!(rows[1].get(1), &Value::Bool(false));
     }

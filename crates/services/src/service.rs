@@ -9,9 +9,9 @@
 //! [`Schema`]: mdq_model::schema::Schema
 
 use mdq_model::value::{Tuple, Value};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// The values bound to the input positions of an access pattern, in
 /// position order — the cache/index key of an invocation.
@@ -148,7 +148,7 @@ impl Clone for LatencyModel {
             empty_latency: self.empty_latency,
             server_cache_latency: self.server_cache_latency,
             seed: self.seed,
-            seen: Mutex::new(self.seen.lock().clone()),
+            seen: Mutex::new(self.seen.lock().expect("latency state poisoned").clone()),
             counter: AtomicU64::new(self.counter.load(Ordering::Relaxed)),
         }
     }
@@ -191,7 +191,7 @@ impl LatencyModel {
     /// Deterministic for a fixed seed and call order.
     pub fn sample(&self, pattern: usize, key: &[Value], result_tuples: usize) -> f64 {
         let repeat = {
-            let mut seen = self.seen.lock();
+            let mut seen = self.seen.lock().expect("latency state poisoned");
             !seen.insert((pattern, key.to_vec()))
         };
         if repeat {
@@ -213,7 +213,7 @@ impl LatencyModel {
 
     /// Forgets all previously seen inputs (fresh provider cache).
     pub fn reset(&self) {
-        self.seen.lock().clear();
+        self.seen.lock().expect("latency state poisoned").clear();
         self.counter.store(0, Ordering::Relaxed);
     }
 }

@@ -53,8 +53,7 @@ impl SyntheticSource {
                 let mut idx: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
                 let inputs: Vec<usize> = p.inputs().collect();
                 for (i, row) in rows.iter().enumerate() {
-                    let key: Vec<Value> =
-                        inputs.iter().map(|&pos| row.get(pos).clone()).collect();
+                    let key: Vec<Value> = inputs.iter().map(|&pos| row.get(pos).clone()).collect();
                     idx.entry(key).or_default().push(i as u32);
                 }
                 idx
@@ -127,7 +126,10 @@ impl Service for SyntheticSource {
                 }
             }
         };
-        let tuples: Vec<Tuple> = slice.iter().map(|&i| self.rows[i as usize].clone()).collect();
+        let tuples: Vec<Tuple> = slice
+            .iter()
+            .map(|&i| self.rows[i as usize].clone())
+            .collect();
         // the latency key includes the page so that each fetch is a
         // distinct request-response (server caches key on full request)
         let mut key = inputs.to_vec();
@@ -149,11 +151,31 @@ mod tests {
         // s(City, Name, Price) with patterns ioo (by city) and ooo (scan),
         // ranked by price, chunk size 2
         let rows = vec![
-            Tuple::new(vec![Value::str("rome"), Value::str("h1"), Value::float(100.0)]),
-            Tuple::new(vec![Value::str("rome"), Value::str("h2"), Value::float(150.0)]),
-            Tuple::new(vec![Value::str("oslo"), Value::str("h3"), Value::float(180.0)]),
-            Tuple::new(vec![Value::str("rome"), Value::str("h4"), Value::float(220.0)]),
-            Tuple::new(vec![Value::str("rome"), Value::str("h5"), Value::float(300.0)]),
+            Tuple::new(vec![
+                Value::str("rome"),
+                Value::str("h1"),
+                Value::float(100.0),
+            ]),
+            Tuple::new(vec![
+                Value::str("rome"),
+                Value::str("h2"),
+                Value::float(150.0),
+            ]),
+            Tuple::new(vec![
+                Value::str("oslo"),
+                Value::str("h3"),
+                Value::float(180.0),
+            ]),
+            Tuple::new(vec![
+                Value::str("rome"),
+                Value::str("h4"),
+                Value::float(220.0),
+            ]),
+            Tuple::new(vec![
+                Value::str("rome"),
+                Value::str("h5"),
+                Value::float(300.0),
+            ]),
         ];
         SyntheticSource::new(
             "hotel",

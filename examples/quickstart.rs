@@ -86,7 +86,10 @@ fn main() {
         .expect("query runs");
 
     println!("chosen plan : {}", outcome.plan().summary(engine.schema()));
-    println!("est. cost   : {:.2} (execution-time metric)", outcome.estimated_cost());
+    println!(
+        "est. cost   : {:.2} (execution-time metric)",
+        outcome.estimated_cost()
+    );
     println!("virtual time: {:.2}s", outcome.virtual_time());
     println!(
         "calls       : bookstore={} library={}",

@@ -19,16 +19,17 @@ use mdq::Mdq;
 fn main() {
     let world = travel_world(2008);
     let ids = world.ids;
-    // Selectivity hints (`@σ`, §3.4): the date and temperature selections
-    // are already folded into the Table 1 erspi of conf and weather, so
-    // they carry σ = 1; the price predicate carries Fig. 8's σ = 0.01.
+    // Default selectivities for the selections (claiming σ = 1 for the
+    // temperature predicate steers the optimizer into a hotel-scan plan
+    // that finds no hot-city answers — only ~16 of 71 conference tuples
+    // are hot); the price predicate carries Fig. 8's σ = 0.01.
     let query_text = "q(Conf, City, HPrice, FPrice, Start, End, Hotel) :- \
         flight('Milano', City, Start, End, StartTime, EndTime, FPrice), \
         hotel(Hotel, City, 'luxury', Start, End, HPrice), \
         conf('DB', Conf, Start, End, City), \
         weather(City, Temperature, Start), \
-        Start >= '2007/3/14' @1.0, End <= '2007/3/14' + 180 @1.0, \
-        Temperature >= 28 @1.0, FPrice + HPrice < 2000 @0.01.";
+        Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+        Temperature >= 28, FPrice + HPrice < 2000 @0.01.";
 
     let mut engine = Mdq::from_world(mdq::services::domains::World {
         schema: world.schema,
@@ -56,7 +57,10 @@ fn main() {
         .expect("optimizes");
     let plan = &optimized.candidate.plan;
 
-    println!("=== chosen plan (ETM = {:.1}) ===", optimized.candidate.cost);
+    println!(
+        "=== chosen plan (ETM = {:.1}) ===",
+        optimized.candidate.cost
+    );
     println!("{}", to_ascii(plan, engine.schema()));
     println!("--- Graphviz DOT (render with `dot -Tsvg`) ---");
     println!("{}", to_dot(plan, engine.schema()));
@@ -94,10 +98,7 @@ fn main() {
             },
         )
         .expect("executes");
-    println!(
-        "{}",
-        result_table(&plan.query, &report.answers, 10)
-    );
+    println!("{}", result_table(&plan.query, &report.answers, 10));
 
     println!("=== pull-based continuation (§2.2: 'ask for more') ===");
     let mut pull = engine
@@ -113,10 +114,7 @@ fn main() {
         println!("  {a}");
     }
     let more = pull.answers(3);
-    println!(
-        "3 more answers — cumulative {} calls",
-        pull.total_calls()
-    );
+    println!("3 more answers — cumulative {} calls", pull.total_calls());
     for a in &more {
         println!("  {a}");
     }

@@ -13,7 +13,7 @@
 //! | access patterns (§2.1) | [`AccessPattern`](mdq_model::schema::AccessPattern) |
 //! | erspi ξ, proliferative/selective (§2.1) | [`ServiceProfile`](mdq_model::schema::ServiceProfile) |
 //! | bulk vs. chunked, chunk size (§2.1) | [`Chunking`](mdq_model::schema::Chunking) |
-//! | query plans as DAGs (§2.2) | [`Plan`](mdq_plan::dag::Plan) |
+//! | query plans as DAGs (§2.2) | [`Plan`](mdq_plan::dag::Plan), executed via [`compile`](mdq_exec::operator::compile) (shared subplans run once) |
 //! | "plan execution can be continued" (§2.2) | [`TopKExecution`](mdq_exec::topk::TopKExecution) |
 //! | query templates (§2.2) | [`QueryTemplate`](mdq_model::template::QueryTemplate), [`Mdq::prepare`](mdq_core::Mdq::prepare) |
 //! | sum cost metric (§2.3) | [`SumCost`](mdq_cost::metrics::SumCost) |
@@ -60,8 +60,9 @@
 //! | Paper | Implementation |
 //! |---|---|
 //! | service registration / profiling (§5) | [`mdq_services::profiler`] |
+//! | execution environment (§5) | the [operator kernel](mdq_exec::operator): [`Invoke`](mdq_exec::operator::Invoke) / [`Join`](mdq_exec::operator::Join) / [`Filter`](mdq_exec::operator::Filter) / [`Select`](mdq_exec::operator::Select) over one [`ServiceGateway`](mdq_exec::gateway::ServiceGateway) |
 //! | multi-threading (§5) | [`mdq_exec::threaded`] |
-//! | no / one-call / optimal cache (§5.1) | [`ClientCache`](mdq_exec::cache::ClientCache), [`CacheSetting`](mdq_cost::estimate::CacheSetting) |
+//! | no / one-call / optimal cache (§5.1) | [`PageCache`](mdq_exec::cache::PageCache) (inside the gateway), [`CacheSetting`](mdq_cost::estimate::CacheSetting) |
 //! | Eq. 1 (no-cache tout) / Eq. 2 (`N(n)` minimal contributors) | [`Estimator`](mdq_cost::estimate::Estimator) |
 //! | Eq. 3 (SCM) | [`SumCost`](mdq_cost::metrics::SumCost) |
 //! | Eq. 4 (ETM; see the monotonicity erratum) | [`ExecutionTime`](mdq_cost::metrics::ExecutionTime) |

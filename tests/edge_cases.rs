@@ -182,34 +182,29 @@ fn deep_elastic_paging() {
     assert_eq!(pull.calls_to(svc), 4);
 }
 
-/// The one-call cache refetches when a deeper fetch is requested for the
-/// same key (page-aware lookup).
+/// The one-call page cache forwards deeper fetches for a known key, and
+/// marks exhaustion so no probing call is made past the end.
 #[test]
 fn one_call_cache_page_upgrade() {
-    let mut cache = ClientCache::new(CacheSetting::OneCall);
+    let mut cache = PageCache::new(CacheSetting::OneCall);
     let id = ServiceId(0);
     let key = vec![Value::str("k")];
-    cache.store(
-        id,
-        key.clone(),
-        CachedResult {
-            tuples: vec![],
-            pages: 1,
-            exhausted: false,
-        },
+    cache.store(id, &key, 0, vec![], true);
+    assert!(matches!(cache.lookup(id, &key, 0), PageLookup::Hit(..)));
+    assert!(
+        matches!(cache.lookup(id, &key, 1), PageLookup::Unknown),
+        "needs a deeper fetch"
     );
-    assert!(cache.lookup(id, &key, 1).is_some());
-    assert!(cache.lookup(id, &key, 3).is_none(), "needs deeper fetch");
-    cache.store(
-        id,
-        key.clone(),
-        CachedResult {
-            tuples: vec![],
-            pages: 3,
-            exhausted: true,
-        },
+    cache.store(id, &key, 1, vec![], true);
+    cache.store(id, &key, 2, vec![], false);
+    assert!(matches!(
+        cache.lookup(id, &key, 2),
+        PageLookup::Hit(_, false)
+    ));
+    assert!(
+        matches!(cache.lookup(id, &key, 5), PageLookup::PastEnd),
+        "exhaustion answers any deeper request"
     );
-    assert!(cache.lookup(id, &key, 5).is_some(), "exhausted serves all");
 }
 
 /// Date arithmetic across month/year boundaries, used by the query's

@@ -160,10 +160,7 @@ fn missing_runtime_service_errors() {
     let mut engine = mdq::Mdq::new();
     *engine.schema_mut() = schema;
     // no registry entries at all
-    match engine.run(
-        "q(C) :- conf('DB', C, S, E, City), weather(City, T, S).",
-        3,
-    ) {
+    match engine.run("q(C) :- conf('DB', C, S, E, City), weather(City, T, S).", 3) {
         Err(err) => assert!(matches!(err, mdq::MdqError::Exec(_)), "{err}"),
         Ok(_) => panic!("expected a MissingService error"),
     }

@@ -1,0 +1,198 @@
+//! Cross-executor equivalence: the three drivers over the shared
+//! operator kernel — stage-materialised, pull-based top-k and the real
+//! OS-thread dataflow engine — must return **identical answer sets and
+//! identical per-service call counts** on randomized travel-world plans,
+//! under every cache setting. The parallel-dispatch driver shuffles its
+//! inputs (its point is showing the cache degradation), so it must agree
+//! on answers but is exempt from the call-count check.
+//!
+//! Plans are randomized over topology (random admissible precedence
+//! pairs), fetch factors and cache setting, generated with the
+//! workspace's deterministic [`Rng`](mdq::model::rng::Rng); assertion
+//! messages carry the case description for replay.
+
+use mdq::model::examples::{ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL, ATOM_WEATHER};
+use mdq::model::rng::Rng;
+use mdq::prelude::*;
+use std::sync::Arc;
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+    v.sort();
+    v
+}
+
+/// Builds a random admissible α1 plan over the travel world: conf first
+/// (it alone is callable from the query constants), then a random
+/// acyclic set of extra precedences among weather / flight / hotel, and
+/// random fetch factors for the chunked services.
+fn random_plan(rng: &mut Rng, world: &mdq_services::domains::travel::TravelWorld) -> Plan {
+    let mut pairs = vec![
+        (ATOM_CONF, ATOM_WEATHER),
+        (ATOM_CONF, ATOM_FLIGHT),
+        (ATOM_CONF, ATOM_HOTEL),
+    ];
+    // a random linear refinement over the tail atoms keeps the poset
+    // acyclic; each candidate edge joins independently
+    let mut tail = [ATOM_WEATHER, ATOM_FLIGHT, ATOM_HOTEL];
+    rng.shuffle(&mut tail);
+    for i in 0..tail.len() {
+        for j in (i + 1)..tail.len() {
+            if rng.bool(0.5) {
+                pairs.push((tail[i], tail[j]));
+            }
+        }
+    }
+    let poset = Poset::from_pairs(4, &pairs).expect("acyclic by construction");
+    let mut plan = build_plan(
+        Arc::new(world.query.clone()),
+        &world.schema,
+        ApChoice(vec![0, 0, 0, 0]),
+        poset,
+        (0..4).collect(),
+        &StrategyRule::default(),
+    )
+    .expect("conf-first α1 plans are admissible");
+    plan.set_fetch(ATOM_FLIGHT, rng.range_u64(1, 4));
+    plan.set_fetch(ATOM_HOTEL, rng.range_u64(1, 5));
+    plan
+}
+
+/// The materialised, pull and threaded drivers agree on answers *and*
+/// call counts; parallel dispatch agrees on answers.
+#[test]
+fn randomized_plans_executors_agree() {
+    let mut rng = Rng::new(0xEC_EC);
+    for case in 0..12 {
+        let cache = *rng.choose(&CacheSetting::ALL).expect("three settings");
+        let w = travel_world(2008);
+        let plan = random_plan(&mut rng, &w);
+        let desc = format!(
+            "case {case}: cache {cache:?}, fetches {:?}, poset {}",
+            plan.fetches, plan.poset
+        );
+
+        let pipeline = run(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ExecConfig { cache, k: None },
+        )
+        .unwrap_or_else(|e| panic!("{desc}: pipeline fails: {e}"));
+        let baseline = sorted(pipeline.answers.clone());
+
+        // pull executor, drained to exhaustion
+        let mut pull = TopKExecution::new(&plan, &w.schema, &w.registry, cache, false)
+            .unwrap_or_else(|e| panic!("{desc}: pull fails: {e}"));
+        let pulled = sorted(pull.answers(1 << 20));
+        assert!(
+            pull.error().is_none(),
+            "{desc}: pull stream poisoned: {:?}",
+            pull.error()
+        );
+        assert_eq!(pulled, baseline, "{desc}: pull answers");
+
+        // real-thread dataflow engine
+        let thr = run_threaded(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ThreadedConfig {
+                cache,
+                time_scale: 0.0,
+                channel_capacity: 8,
+                k: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{desc}: threaded fails: {e}"));
+        assert_eq!(
+            sorted(thr.answers.clone()),
+            baseline,
+            "{desc}: threaded answers"
+        );
+
+        // parallel dispatch: same answers (its shuffled invocation order
+        // legitimately changes the call counts)
+        let par = run_parallel_dispatch(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ParallelConfig {
+                cache,
+                shuffle_seed: case as u64,
+                ..ParallelConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{desc}: parallel fails: {e}"));
+        assert_eq!(
+            sorted(par.answers.clone()),
+            baseline,
+            "{desc}: parallel answers"
+        );
+
+        // call counts: every deterministic driver forwards exactly the
+        // same number of request-responses to every service
+        for (name, id) in [
+            ("conf", w.ids.conf),
+            ("weather", w.ids.weather),
+            ("flight", w.ids.flight),
+            ("hotel", w.ids.hotel),
+        ] {
+            let p = pipeline.calls_to(id);
+            assert_eq!(
+                pull.calls_to(id),
+                p,
+                "{desc}: pull vs pipeline calls to {name}"
+            );
+            assert_eq!(
+                thr.calls.get(&id).copied().unwrap_or(0),
+                p,
+                "{desc}: threaded vs pipeline calls to {name}"
+            );
+        }
+    }
+}
+
+/// Early halting never changes *which* answers arrive, only how many
+/// calls are spent: the first k pulled answers are a prefix-equivalent
+/// subset of the materialised answer set.
+#[test]
+fn randomized_plans_topk_prefix_is_subset() {
+    let mut rng = Rng::new(0x70CC);
+    for case in 0..8 {
+        let w = travel_world(2008);
+        let plan = random_plan(&mut rng, &w);
+        let k = rng.range_usize(1, 12);
+        let full = run(
+            &plan,
+            &w.schema,
+            &w.registry,
+            &ExecConfig {
+                cache: CacheSetting::OneCall,
+                k: None,
+            },
+        )
+        .expect("pipeline");
+        let full_set = sorted(full.answers.clone());
+        let mut pull =
+            TopKExecution::new(&plan, &w.schema, &w.registry, CacheSetting::OneCall, false)
+                .expect("pull");
+        let first_k = pull.answers(k);
+        assert_eq!(
+            first_k.len(),
+            k.min(full_set.len()),
+            "case {case}: k={k} answers available"
+        );
+        for a in &first_k {
+            assert!(
+                full_set.binary_search(a).is_ok(),
+                "case {case}: pulled answer {a} missing from materialised set"
+            );
+        }
+        if !first_k.is_empty() && first_k.len() < full_set.len() {
+            assert!(
+                pull.total_calls() <= full.calls.values().sum::<u64>(),
+                "case {case}: early halt never spends more calls"
+            );
+        }
+    }
+}

@@ -44,9 +44,7 @@ fn blocked_world() -> Mdq {
     let weather_rows: Vec<Tuple> = cities
         .iter()
         .enumerate()
-        .map(|(i, city)| {
-            Tuple::new(vec![Value::str(*city), Value::float(20.0 + 3.0 * i as f64)])
-        })
+        .map(|(i, city)| Tuple::new(vec![Value::str(*city), Value::float(20.0 + 3.0 * i as f64)]))
         .collect();
     // oldtown knows only three of the five cities: the expansion's
     // answers must be exactly the conferences in those three

@@ -4,8 +4,8 @@
 //! merge-scan).
 
 use mdq::prelude::*;
-use mdq_bench::experiments::fig8::fig9_plan;
 use mdq_bench::experiments::fig11::{build_shape, PlanShape};
+use mdq_bench::experiments::fig8::fig9_plan;
 
 fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
     v.sort();

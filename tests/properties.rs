@@ -1,26 +1,35 @@
-//! Property-based test suites (proptest) for the core invariants:
-//! topology enumeration, rank-preserving joins, estimator monotonicity,
-//! cache orderings, parser stability, and — most importantly — agreement
+//! Property-based test suites for the core invariants: topology
+//! enumeration, rank-preserving joins, estimator monotonicity, cache
+//! orderings, parser stability, and — most importantly — agreement
 //! between branch and bound and the exhaustive oracle under randomised
 //! service profiles.
+//!
+//! Cases are generated with the workspace's deterministic
+//! [`Rng`](mdq::model::rng::Rng) (the workspace builds offline, without
+//! `proptest`); every assertion carries the case number, so a failure
+//! names the seed that reproduces it.
 
+use mdq::model::rng::Rng;
 use mdq::prelude::*;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // Topology enumeration
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every enumerated topology extends the required precedences, is a
-    /// valid strict partial order, and no two are equal.
-    #[test]
-    fn topologies_extend_constraints(pairs in proptest::collection::vec((0usize..4, 0usize..4), 0..4)) {
-        let Some(required) = Poset::from_pairs(4, &pairs.iter().copied().filter(|(a, b)| a != b).collect::<Vec<_>>()) else {
-            return Ok(()); // cyclic constraint set: nothing to enumerate
+/// Every enumerated topology extends the required precedences, is a
+/// valid strict partial order, and no two are equal.
+#[test]
+fn topologies_extend_constraints() {
+    let mut rng = Rng::new(0x0007);
+    for case in 0..64 {
+        let n_pairs = rng.range_usize(0, 4);
+        let pairs: Vec<(usize, usize)> = (0..n_pairs)
+            .map(|_| (rng.range_usize(0, 4), rng.range_usize(0, 4)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let Some(required) = Poset::from_pairs(4, &pairs) else {
+            continue; // cyclic constraint set: nothing to enumerate
         };
         struct Constrained(Poset);
         impl Admissibility for Constrained {
@@ -29,12 +38,18 @@ proptest! {
             }
         }
         let all = all_topologies(4, &Constrained(required.clone()));
-        prop_assert!(!all.is_empty());
+        assert!(!all.is_empty(), "case {case}: {pairs:?}");
         let mut seen = std::collections::HashSet::new();
         for p in &all {
-            prop_assert!(p.check_invariants());
-            prop_assert!(p.extends(&required), "{p} must extend the constraints");
-            prop_assert!(seen.insert(format!("{p:?}")), "duplicate topology {p}");
+            assert!(p.check_invariants(), "case {case}");
+            assert!(
+                p.extends(&required),
+                "case {case}: {p} must extend the constraints {pairs:?}"
+            );
+            assert!(
+                seen.insert(format!("{p:?}")),
+                "case {case}: duplicate topology {p}"
+            );
         }
     }
 }
@@ -77,16 +92,18 @@ fn indices_of(results: &[Binding]) -> Vec<(i64, i64)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// MS and NL compute exactly the brute-force equi-join result set,
-    /// and both emission orders are consistent with the input rankings.
-    #[test]
-    fn joins_correct_and_rank_consistent(
-        left in proptest::collection::vec(0u8..4, 0..12),
-        right in proptest::collection::vec(0u8..4, 0..12),
-    ) {
+/// MS and NL compute exactly the brute-force equi-join result set, and
+/// both emission orders are consistent with the input rankings.
+#[test]
+fn joins_correct_and_rank_consistent() {
+    let mut rng = Rng::new(0x1013);
+    for case in 0..128 {
+        let left: Vec<u8> = (0..rng.range_usize(0, 12))
+            .map(|_| rng.range_u64(0, 4) as u8)
+            .collect();
+        let right: Vec<u8> = (0..rng.range_usize(0, 12))
+            .map(|_| rng.range_u64(0, 4) as u8)
+            .collect();
         let expected: Vec<(i64, i64)> = {
             let mut v = Vec::new();
             for (i, a) in left.iter().enumerate() {
@@ -112,19 +129,20 @@ proptest! {
             true,
         )
         .collect();
-        for name_pairs in [("ms", indices_of(&ms)), ("nl", indices_of(&nl))] {
-            let (name, got) = name_pairs;
+        for (name, got) in [("ms", indices_of(&ms)), ("nl", indices_of(&nl))] {
             let mut sorted = got.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(&sorted, &expected, "{} result set", name);
+            assert_eq!(
+                sorted, expected,
+                "case {case}: {name} result set on {left:?} ⋈ {right:?}"
+            );
             // rank consistency: a componentwise-dominating pair never
             // appears after a dominated one
             for (pa, &a) in got.iter().enumerate() {
                 for &b in got.iter().skip(pa + 1) {
-                    prop_assert!(
+                    assert!(
                         !(b.0 <= a.0 && b.1 <= a.1 && b != a),
-                        "{}: {:?} emitted before dominating {:?}",
-                        name, a, b
+                        "case {case}: {name}: {a:?} emitted before dominating {b:?}"
                     );
                 }
             }
@@ -163,13 +181,16 @@ fn fig6_plan_with(f_flight: u64, f_hotel: u64) -> (Plan, Schema) {
     (plan, schema)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Output size and every metric are monotone in the fetch vector,
-    /// and per-node calls are ordered Optimal ≤ OneCall ≤ NoCache.
-    #[test]
-    fn estimates_monotone(f1 in 1u64..6, f2 in 1u64..6, d1 in 0u64..3, d2 in 0u64..3) {
+/// Output size and every metric are monotone in the fetch vector, and
+/// per-node calls are ordered Optimal ≤ OneCall ≤ NoCache.
+#[test]
+fn estimates_monotone() {
+    let mut rng = Rng::new(0x2025);
+    for case in 0..64 {
+        let f1 = rng.range_u64(1, 6);
+        let f2 = rng.range_u64(1, 6);
+        let d1 = rng.range_u64(0, 3);
+        let d2 = rng.range_u64(0, 3);
         let sel = SelectivityModel::default();
         let (small, schema) = fig6_plan_with(f1, f2);
         let (big, _) = fig6_plan_with(f1 + d1, f2 + d2);
@@ -177,11 +198,18 @@ proptest! {
             let est = Estimator::new(&schema, &sel, cache);
             let a = est.annotate(&small);
             let b = est.annotate(&big);
-            prop_assert!(b.out_size() >= a.out_size() - 1e-9);
+            assert!(
+                b.out_size() >= a.out_size() - 1e-9,
+                "case {case}: out_size monotone (F {f1},{f2} + {d1},{d2})"
+            );
             for metric in all_metrics() {
                 let ca = metric.cost(&small, &a, &schema);
                 let cb = metric.cost(&big, &b, &schema);
-                prop_assert!(cb >= ca - 1e-9, "{} monotone", metric.name());
+                assert!(
+                    cb >= ca - 1e-9,
+                    "case {case}: {} monotone ({ca} vs {cb})",
+                    metric.name()
+                );
             }
         }
         let (plan, schema) = fig6_plan_with(f1, f2);
@@ -189,8 +217,11 @@ proptest! {
         let one = Estimator::new(&schema, &sel, CacheSetting::OneCall).annotate(&plan);
         let opt = Estimator::new(&schema, &sel, CacheSetting::Optimal).annotate(&plan);
         for i in 0..plan.nodes.len() {
-            prop_assert!(one.calls[i] <= none.calls[i] + 1e-9);
-            prop_assert!(opt.calls[i] <= one.calls[i] + 1e-9);
+            assert!(
+                one.calls[i] <= none.calls[i] + 1e-9,
+                "case {case}, node {i}"
+            );
+            assert!(opt.calls[i] <= one.calls[i] + 1e-9, "case {case}, node {i}");
         }
     }
 }
@@ -199,21 +230,17 @@ proptest! {
 // Parser stability
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// display → parse → display is a fixpoint for queries assembled from
-    /// random subsets of the running example's atoms.
-    #[test]
-    fn parser_display_fixpoint(
-        use_hotel in proptest::bool::ANY,
-        use_weather in proptest::bool::ANY,
-        temp in 20i64..35,
-    ) {
+/// display → parse → display is a fixpoint for queries assembled from
+/// random subsets of the running example's atoms.
+#[test]
+fn parser_display_fixpoint() {
+    let mut rng = Rng::new(0x3031);
+    for case in 0..64 {
+        let use_hotel = rng.bool(0.5);
+        let use_weather = rng.bool(0.5);
+        let temp = rng.range_i64(20, 35);
         let schema = mdq::model::examples::running_example_schema();
-        let mut text = String::from(
-            "q(Conf, City) :- conf('DB', Conf, Start, End, City)",
-        );
+        let mut text = String::from("q(Conf, City) :- conf('DB', Conf, Start, End, City)");
         if use_hotel {
             text.push_str(", hotel(Hotel, City, 'luxury', Start, End, HPrice)");
         }
@@ -226,7 +253,7 @@ proptest! {
         let d1 = format!("{}", q1.display(&schema));
         let q2 = parse_query(&d1, &schema).expect("reparses");
         let d2 = format!("{}", q2.display(&schema));
-        prop_assert_eq!(d1, d2);
+        assert_eq!(d1, d2, "case {case}: fixpoint for {text}");
     }
 }
 
@@ -234,22 +261,20 @@ proptest! {
 // Branch and bound = exhaustive oracle under random profiles
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Under randomised service statistics (erspi, response times, chunk
-    /// sizes, join selectivity), the branch-and-bound optimum equals the
-    /// independent exhaustive optimum for both ETM and RRM.
-    #[test]
-    fn bnb_equals_exhaustive_random_profiles(
-        conf_erspi in 2.0f64..30.0,
-        weather_erspi in 0.05f64..1.5,
-        tau_flight in 1.0f64..12.0,
-        tau_hotel in 1.0f64..12.0,
-        cs_flight in 5u32..30,
-        cs_hotel in 2u32..10,
-        sigma in 0.005f64..0.2,
-    ) {
+/// Under randomised service statistics (erspi, response times, chunk
+/// sizes, join selectivity), the branch-and-bound optimum equals the
+/// independent exhaustive optimum for both ETM and RRM.
+#[test]
+fn bnb_equals_exhaustive_random_profiles() {
+    let mut rng = Rng::new(0x4047);
+    for case in 0..12 {
+        let conf_erspi = rng.range_f64(2.0, 30.0);
+        let weather_erspi = rng.range_f64(0.05, 1.5);
+        let tau_flight = rng.range_f64(1.0, 12.0);
+        let tau_hotel = rng.range_f64(1.0, 12.0);
+        let cs_flight = rng.range_u64(5, 30) as u32;
+        let cs_hotel = rng.range_u64(2, 10) as u32;
+        let sigma = rng.range_f64(0.005, 0.2);
         let mut schema = mdq::model::examples::running_example_schema();
         {
             let id = schema.service_by_name("conf").expect("conf");
@@ -262,12 +287,16 @@ proptest! {
         {
             let id = schema.service_by_name("flight").expect("flight");
             schema.service_mut(id).profile.response_time = tau_flight;
-            schema.service_mut(id).chunking = Chunking::Chunked { chunk_size: cs_flight };
+            schema.service_mut(id).chunking = Chunking::Chunked {
+                chunk_size: cs_flight,
+            };
         }
         {
             let id = schema.service_by_name("hotel").expect("hotel");
             schema.service_mut(id).profile.response_time = tau_hotel;
-            schema.service_mut(id).chunking = Chunking::Chunked { chunk_size: cs_hotel };
+            schema.service_mut(id).chunking = Chunking::Chunked {
+                chunk_size: cs_hotel,
+            };
         }
         let mut query = mdq::model::examples::running_example_query(&schema);
         query.predicates[3].selectivity_hint = Some(sigma);
@@ -290,14 +319,19 @@ proptest! {
             .expect("bnb runs");
             match oracle {
                 Some((_, oracle_cost)) => {
-                    prop_assert!(bnb.meets_k(), "oracle found a plan, bnb must too");
-                    prop_assert!(
+                    assert!(
+                        bnb.meets_k(),
+                        "case {case}: oracle found a plan, bnb must too"
+                    );
+                    assert!(
                         (oracle_cost - bnb.candidate.cost).abs() < 1e-6,
-                        "{}: oracle {} vs bnb {}",
-                        metric.name(), oracle_cost, bnb.candidate.cost
+                        "case {case}: {}: oracle {} vs bnb {}",
+                        metric.name(),
+                        oracle_cost,
+                        bnb.candidate.cost
                     );
                 }
-                None => prop_assert!(!bnb.meets_k(), "no feasible plan exists"),
+                None => assert!(!bnb.meets_k(), "case {case}: no feasible plan exists"),
             }
         }
     }
@@ -307,20 +341,20 @@ proptest! {
 // Execution invariance across seeds
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// For any world seed, all cache settings agree on the answer set and
-    /// the calibrated call counts still hold (they are seed-independent).
-    #[test]
-    fn calibration_is_seed_independent(seed in 0u64..1000) {
-        use mdq_bench::experiments::fig11::{run_cell, PlanShape};
+/// For any world seed, all cache settings agree on the answer set and
+/// the calibrated call counts still hold (they are seed-independent).
+#[test]
+fn calibration_is_seed_independent() {
+    use mdq_bench::experiments::fig11::{run_cell, PlanShape};
+    let mut rng = Rng::new(0x5059);
+    for case in 0..8 {
+        let seed = rng.range_u64(0, 1000);
         let cell = run_cell(seed, PlanShape::S, CacheSetting::NoCache);
-        prop_assert_eq!(cell.weather, 71);
-        prop_assert_eq!(cell.flight, 16);
-        prop_assert_eq!(cell.hotel, 284);
+        assert_eq!(cell.weather, 71, "case {case}, seed {seed}");
+        assert_eq!(cell.flight, 16, "case {case}, seed {seed}");
+        assert_eq!(cell.hotel, 284, "case {case}, seed {seed}");
         let one = run_cell(seed, PlanShape::S, CacheSetting::OneCall);
-        prop_assert_eq!(one.hotel, 15);
-        prop_assert_eq!(cell.answers, one.answers);
+        assert_eq!(one.hotel, 15, "case {case}, seed {seed}");
+        assert_eq!(cell.answers, one.answers, "case {case}, seed {seed}");
     }
 }

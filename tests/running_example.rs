@@ -30,7 +30,10 @@ fn example_41_golden() {
     let (schema, query) = schema_and_query();
     let seqs = permissible_sequences(&query, &schema);
     assert_eq!(seqs.len(), 3);
-    assert!(!seqs.contains(&ApChoice(vec![0, 0, 1, 0])), "α3 impermissible");
+    assert!(
+        !seqs.contains(&ApChoice(vec![0, 0, 1, 0])),
+        "α3 impermissible"
+    );
     let best = most_cogent(&query, &schema, &seqs);
     assert_eq!(best.len(), 2);
 }
@@ -116,6 +119,10 @@ fn facade_answers_running_example() {
         query: world.query,
         registry: world.registry,
     });
+    // the Fig. 3 query with its default selectivities: hard-coding
+    // optimistic hints (e.g. `Temp >= 28 @1.0`) makes the optimizer pick
+    // a hotel-scan plan whose real output is empty — the calibrated
+    // world's cheap hotels all sit in cold cities
     let out = engine
         .run(
             "q(Conf, City, HPrice, FPrice, Hotel) :- \
@@ -123,8 +130,8 @@ fn facade_answers_running_example() {
              hotel(Hotel, City, 'luxury', Start, End, HPrice), \
              conf('DB', Conf, Start, End, City), \
              weather(City, Temp, Start), \
-             Start >= '2007/3/14' @1.0, End <= '2007/3/14' + 180 @1.0, \
-             Temp >= 28 @1.0, FPrice + HPrice < 2000 @0.01.",
+             Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+             Temp >= 28, FPrice + HPrice < 2000.",
             10,
         )
         .expect("runs");
@@ -162,7 +169,9 @@ fn optimizer_beats_measured_plans() {
     )
     .expect("rebuilds");
     let mut chosen = chosen;
-    chosen.fetches.copy_from_slice(&optimized.candidate.plan.fetches);
+    chosen
+        .fetches
+        .copy_from_slice(&optimized.candidate.plan.fetches);
     let chosen_report = mdq::exec::pipeline::run(
         &chosen,
         &world.schema,

@@ -73,9 +73,18 @@ fn alternative_sequences_answer_subsets() {
         let poset = Poset::from_pairs(
             4,
             &[
-                (mdq::model::examples::ATOM_CONF, mdq::model::examples::ATOM_WEATHER),
-                (mdq::model::examples::ATOM_WEATHER, mdq::model::examples::ATOM_FLIGHT),
-                (mdq::model::examples::ATOM_WEATHER, mdq::model::examples::ATOM_HOTEL),
+                (
+                    mdq::model::examples::ATOM_CONF,
+                    mdq::model::examples::ATOM_WEATHER,
+                ),
+                (
+                    mdq::model::examples::ATOM_WEATHER,
+                    mdq::model::examples::ATOM_FLIGHT,
+                ),
+                (
+                    mdq::model::examples::ATOM_WEATHER,
+                    mdq::model::examples::ATOM_HOTEL,
+                ),
             ],
         )
         .expect("acyclic");
