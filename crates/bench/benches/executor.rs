@@ -56,4 +56,6 @@ fn main() {
             pull.answers(k).len()
         });
     }
+
+    bench.write_json("executor");
 }

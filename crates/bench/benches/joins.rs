@@ -74,4 +74,6 @@ fn main() {
         .take(25)
         .count()
     });
+
+    bench.write_json("joins");
 }

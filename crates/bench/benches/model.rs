@@ -60,4 +60,6 @@ fn main() {
         let est = Estimator::new(&schema, &sel, cache);
         bench.measure(&format!("cost/annotate-{cache:?}"), || est.annotate(&plan));
     }
+
+    bench.write_json("model");
 }

@@ -68,4 +68,6 @@ fn main() {
         let suppliers = mdq_model::binding::SupplierMap::build(&query, &schema, &choice);
         mdq_plan::poset::all_topologies(4, &suppliers)
     });
+
+    bench.write_json("optimizer");
 }

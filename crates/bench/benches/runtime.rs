@@ -1,0 +1,65 @@
+//! Throughput benches for the `mdq-runtime` serving layer: N concurrent
+//! queries through a [`QueryServer`], with and without the plan cache
+//! and the cross-query shared page cache doing their work.
+//!
+//! Emits `BENCH_runtime.json` at the workspace root.
+
+use mdq_bench::harness::Bench;
+use mdq_runtime::{QueryServer, RuntimeConfig};
+use mdq_services::domains::news::news_world;
+
+const QUERY: &str = "q(City, Venue, Price) :- events('mahler-2', City, Venue, D), \
+                     lowcost('Milano', City, Price), Price <= 60.0.";
+
+/// Submits `n` identical queries concurrently and drains every session.
+fn drive(server: &QueryServer, n: usize) -> usize {
+    let sessions: Vec<_> = (0..n).map(|_| server.submit(QUERY, Some(5))).collect();
+    sessions
+        .into_iter()
+        .map(|s| s.collect().expect("runs").answers.len())
+        .sum()
+}
+
+fn main() {
+    let bench = Bench::from_args();
+    const N: usize = 16;
+
+    // warm server: plan cache + shared page cache already populated, so
+    // the steady-state cost is queueing + cached execution
+    let warm = QueryServer::from_world(news_world(), RuntimeConfig::default());
+    drive(&warm, N);
+    bench.measure(&format!("runtime/{N}-queries/warm"), || drive(&warm, N));
+
+    // cold with plan cache: every iteration starts a fresh server, so
+    // the first query optimizes and the other N-1 reuse its plan
+    bench.measure(&format!("runtime/{N}-queries/cold/plan-cache"), || {
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        drive(&server, N)
+    });
+
+    // cold without plan cache: all N queries run the optimizer
+    bench.measure(&format!("runtime/{N}-queries/cold/no-plan-cache"), || {
+        let server = QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                plan_cache_capacity: 0,
+                ..RuntimeConfig::default()
+            },
+        );
+        drive(&server, N)
+    });
+
+    // single worker vs. the default pool, cold, plan cache on
+    bench.measure(&format!("runtime/{N}-queries/cold/1-worker"), || {
+        let server = QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        drive(&server, N)
+    });
+
+    bench.write_json("runtime");
+}

@@ -4,8 +4,16 @@
 //! targets use this: wall-clock timing with a warm-up pass, adaptive
 //! iteration counts, and a `name-substring` filter from the command
 //! line. Invoke through `cargo bench -p mdq-bench [-- <filter>]`.
+//!
+//! Besides the per-line console output, every run records its results;
+//! a bench target ends with [`Bench::write_json`], which emits a
+//! machine-readable `BENCH_<target>.json` at the workspace root so the
+//! perf trajectory is tracked across PRs. Set `MDQ_BENCH_DIR` to
+//! redirect the output directory.
 
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per benchmark.
@@ -14,9 +22,22 @@ const TARGET: Duration = Duration::from_millis(300);
 const MIN_ITERS: u32 = 5;
 const MAX_ITERS: u32 = 10_000;
 
-/// A benchmark runner: times closures and prints one line per entry.
+/// One measured entry.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (`target/case/...`).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Iterations measured (after the warm-up/calibration pass).
+    pub iters: u32,
+}
+
+/// A benchmark runner: times closures, prints one line per entry and
+/// records every result for JSON emission.
 pub struct Bench {
     filter: Option<String>,
+    results: RefCell<Vec<BenchResult>>,
 }
 
 impl Bench {
@@ -25,7 +46,10 @@ impl Bench {
     /// ignored, anything else filters benchmark names by substring).
     pub fn from_args() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
-        Bench { filter }
+        Bench {
+            filter,
+            results: RefCell::new(Vec::new()),
+        }
     }
 
     /// Times `f`, printing `name: mean per iteration (iterations)`.
@@ -50,11 +74,115 @@ impl Bench {
         let total = start.elapsed();
         let per_iter = total / iters;
         println!("{name:<44} {per_iter:>12.2?}/iter ({iters} iters)");
+        self.results.borrow_mut().push(BenchResult {
+            name: name.to_string(),
+            mean_ns: per_iter.as_nanos(),
+            iters,
+        });
     }
+
+    /// The results recorded so far, in measurement order.
+    pub fn results(&self) -> Vec<BenchResult> {
+        self.results.borrow().clone()
+    }
+
+    /// Writes the recorded results as `BENCH_<target>.json` (workspace
+    /// root, or `MDQ_BENCH_DIR`) and returns the path. A filtered run
+    /// that measured nothing writes nothing and returns `None`.
+    pub fn write_json(&self, target: &str) -> Option<PathBuf> {
+        let results = self.results.borrow();
+        if results.is_empty() {
+            return None;
+        }
+        let dir = std::env::var_os("MDQ_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                // crates/bench/../.. = the workspace root
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("..")
+                    .join("..")
+            });
+        let dir = dir.canonicalize().unwrap_or(dir);
+        let path = dir.join(format!("BENCH_{target}.json"));
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"target\": \"{}\",\n", escape(target)));
+        json.push_str("  \"unit\": \"ns/iter\",\n");
+        json.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}{}\n",
+                escape(&r.name),
+                r.mean_ns,
+                r.iters,
+                if i + 1 < results.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(&path, json) {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("could not write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping (names are ASCII identifiers + `/`).
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 impl Default for Bench {
     fn default() -> Self {
         Bench::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serialises() {
+        let bench = Bench {
+            filter: None,
+            results: RefCell::new(Vec::new()),
+        };
+        bench.measure("unit/no-op", || 1 + 1);
+        let results = bench.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "unit/no-op");
+        assert!(results[0].iters >= MIN_ITERS);
+        let dir = std::env::temp_dir().join("mdq-bench-harness-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::env::set_var("MDQ_BENCH_DIR", &dir);
+        let path = bench.write_json("unit").expect("writes");
+        std::env::remove_var("MDQ_BENCH_DIR");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        assert!(text.contains("\"target\": \"unit\""), "{text}");
+        assert!(text.contains("\"name\": \"unit/no-op\""), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filter_skips_and_writes_nothing() {
+        let bench = Bench {
+            filter: Some("nomatch".into()),
+            results: RefCell::new(Vec::new()),
+        };
+        bench.measure("unit/no-op", || 1);
+        assert!(bench.results().is_empty());
+        assert!(bench.write_json("unit").is_none());
     }
 }

@@ -9,8 +9,20 @@
 //!   [`ExecError::MissingService`] before any call is made;
 //! * **paging** — page requests are forwarded in order and accounted as
 //!   individual request-responses (the unit of every cost metric);
-//! * **the three §5.1 cache settings** — a [`PageCache`] consulted
-//!   before any forwarding.
+//! * **admission control** — an optional per-query *call budget*: once a
+//!   query has forwarded that many request-responses, further fetches are
+//!   refused and the execution fails with
+//!   [`ExecError::CallBudgetExhausted`].
+//!
+//! Cache and accounting live one level down, in a [`SharedServiceState`]:
+//! the §5.1 [`PageCache`], cumulative per-service call/latency counters,
+//! per-service concurrency limits and single-flight page deduplication.
+//! A stand-alone execution owns a private state
+//! ([`ServiceGateway::new`] — the paper's one-query-at-a-time setting);
+//! the `mdq-runtime` serving layer hands *one* `Arc`-shared state to
+//! every concurrent query ([`ServiceGateway::with_shared`]), so pages
+//! fetched by one query are hits for the next and service-call
+//! accounting spans the whole workload.
 //!
 //! Drivers differ only in *how* they share the gateway:
 //! [`LocalGateway`] (single-threaded, `Rc<RefCell>`) for the
@@ -26,9 +38,9 @@ use mdq_plan::dag::Plan;
 use mdq_services::registry::ServiceRegistry;
 use mdq_services::service::Service;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One page of results, as served by the gateway (from cache or from the
 /// service).
@@ -43,13 +55,173 @@ pub struct PageFetch {
     pub forwarded_latency: Option<f64>,
 }
 
-/// The single service-invocation and caching path shared by all
-/// executors.
+impl PageFetch {
+    fn empty() -> Self {
+        PageFetch {
+            tuples: Vec::new(),
+            has_more: false,
+            forwarded_latency: None,
+        }
+    }
+}
+
+/// Releases a single-flight claim and its concurrency-limit slot, then
+/// wakes the waiters. Lives across the `service.fetch` call so the
+/// claim is released even if the service panics.
+struct FlightGuard<'a> {
+    shared: &'a SharedServiceState,
+    id: ServiceId,
+    key: &'a [Value],
+    page: u32,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock().expect("shared state lock");
+            inner
+                .fetching
+                .remove(&(self.id, self.key.to_vec(), self.page));
+            if let Some(n) = inner.in_flight.get_mut(&self.id) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        self.shared.changed.notify_all();
+    }
+}
+
+/// The interior state guarded by [`SharedServiceState`]'s mutex.
+struct SharedInner {
+    cache: PageCache,
+    /// Cumulative request-responses forwarded per service, across every
+    /// execution sharing this state.
+    calls: HashMap<ServiceId, u64>,
+    /// Cumulative simulated latency of all forwarded calls.
+    latency_sum: f64,
+    /// Pages currently being fetched from a service (single-flight:
+    /// concurrent demands for the same page wait instead of duplicating
+    /// the request-response).
+    fetching: HashSet<(ServiceId, Vec<Value>, u32)>,
+    /// Request-responses currently in flight per service (for the
+    /// concurrency limit).
+    in_flight: HashMap<ServiceId, usize>,
+}
+
+impl SharedInner {
+    /// Whether `(id, key, page)` is being fetched right now. A linear
+    /// scan: the set is bounded by concurrent in-flight fetches, and
+    /// probing it borrowed avoids cloning the key on every cache probe.
+    fn contains_flight(&self, id: ServiceId, key: &[Value], page: u32) -> bool {
+        self.fetching
+            .iter()
+            .any(|(i, k, p)| *i == id && *p == page && k.as_slice() == key)
+    }
+}
+
+/// Cross-query shared execution state: the client [`PageCache`],
+/// cumulative call/latency accounting, single-flight page deduplication
+/// and per-service concurrency limits.
+///
+/// Every [`ServiceGateway`] sits on top of one of these. A private state
+/// per execution reproduces the engine's historical behaviour exactly;
+/// one state `Arc`-shared by many concurrent executions is what turns
+/// the §5.1 cache into a *server-side* cache amortised across a
+/// workload.
+pub struct SharedServiceState {
+    inner: Mutex<SharedInner>,
+    changed: Condvar,
+    setting: CacheSetting,
+    /// Max request-responses in flight per service; `0` = unlimited.
+    per_service_limit: usize,
+}
+
+impl std::fmt::Debug for SharedServiceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("shared state lock");
+        f.debug_struct("SharedServiceState")
+            .field("setting", &self.setting)
+            .field("per_service_limit", &self.per_service_limit)
+            .field("calls", &inner.calls)
+            .field("latency_sum", &inner.latency_sum)
+            .finish()
+    }
+}
+
+impl SharedServiceState {
+    /// A fresh state with the given cache setting and per-service
+    /// concurrency limit (`0` = unlimited).
+    pub fn new(setting: CacheSetting, per_service_limit: usize) -> Self {
+        SharedServiceState {
+            inner: Mutex::new(SharedInner {
+                cache: PageCache::new(setting),
+                calls: HashMap::new(),
+                latency_sum: 0.0,
+                fetching: HashSet::new(),
+                in_flight: HashMap::new(),
+            }),
+            changed: Condvar::new(),
+            setting,
+            per_service_limit,
+        }
+    }
+
+    /// The cache setting this state was built with.
+    pub fn setting(&self) -> CacheSetting {
+        self.setting
+    }
+
+    /// Cumulative request-responses forwarded per service.
+    pub fn calls(&self) -> HashMap<ServiceId, u64> {
+        self.inner.lock().expect("shared state lock").calls.clone()
+    }
+
+    /// Cumulative request-responses forwarded, all services.
+    pub fn total_calls(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("shared state lock")
+            .calls
+            .values()
+            .sum()
+    }
+
+    /// Cumulative simulated latency of all forwarded calls.
+    pub fn total_latency(&self) -> f64 {
+        self.inner.lock().expect("shared state lock").latency_sum
+    }
+
+    /// Cumulative invocation-level cache statistics for `id`.
+    pub fn cache_stats(&self, id: ServiceId) -> CacheStats {
+        self.inner
+            .lock()
+            .expect("shared state lock")
+            .cache
+            .stats(id)
+    }
+
+    /// Cumulative invocation-level cache statistics, all services.
+    pub fn total_cache_stats(&self) -> CacheStats {
+        self.inner
+            .lock()
+            .expect("shared state lock")
+            .cache
+            .total_stats()
+    }
+}
+
+/// The single service-invocation and caching path of one execution.
+///
+/// Per-execution accounting (`calls_to`, `total_latency`, `cache_stats`,
+/// the poisoned error, the call budget) lives here; the page cache and
+/// cumulative accounting live in the [`SharedServiceState`] underneath,
+/// which may be private to this execution or shared across a workload.
 pub struct ServiceGateway {
     services: HashMap<ServiceId, Arc<dyn Service>>,
-    cache: PageCache,
+    shared: Arc<SharedServiceState>,
     calls: HashMap<ServiceId, u64>,
     latency_sum: f64,
+    stats: HashMap<ServiceId, CacheStats>,
+    budget: Option<u64>,
     error: Option<ExecError>,
 }
 
@@ -57,22 +229,42 @@ impl std::fmt::Debug for ServiceGateway {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceGateway")
             .field("services", &self.services.keys().collect::<Vec<_>>())
-            .field("cache", &self.cache)
             .field("calls", &self.calls)
             .field("latency_sum", &self.latency_sum)
+            .field("budget", &self.budget)
             .field("error", &self.error)
             .finish()
     }
 }
 
 impl ServiceGateway {
-    /// Builds a gateway for `plan`, resolving every invoked service in
-    /// the registry. Fails fast when a registration is missing.
+    /// Builds a gateway for `plan` over a *private* state — the paper's
+    /// one-query-at-a-time setting. Resolves every invoked service in
+    /// the registry; fails fast when a registration is missing.
     pub fn new(
         plan: &Plan,
         schema: &Schema,
         registry: &ServiceRegistry,
         cache: CacheSetting,
+    ) -> Result<Self, ExecError> {
+        Self::with_shared(
+            plan,
+            schema,
+            registry,
+            Arc::new(SharedServiceState::new(cache, 0)),
+            None,
+        )
+    }
+
+    /// Builds a gateway for `plan` over an existing (typically
+    /// `Arc`-shared, cross-query) state, with an optional per-query
+    /// forwarded-call budget.
+    pub fn with_shared(
+        plan: &Plan,
+        schema: &Schema,
+        registry: &ServiceRegistry,
+        shared: Arc<SharedServiceState>,
+        budget: Option<u64>,
     ) -> Result<Self, ExecError> {
         let mut services = HashMap::new();
         for &atom in plan.atoms.iter() {
@@ -84,21 +276,35 @@ impl ServiceGateway {
         }
         Ok(ServiceGateway {
             services,
-            cache: PageCache::new(cache),
+            shared,
             calls: HashMap::new(),
             latency_sum: 0.0,
+            stats: HashMap::new(),
+            budget: budget.filter(|&b| b > 0),
             error: None,
         })
     }
 
     /// The active cache setting.
     pub fn cache_setting(&self) -> CacheSetting {
-        self.cache.setting()
+        self.shared.setting()
+    }
+
+    /// The state underneath (shared across queries when this gateway was
+    /// built with [`ServiceGateway::with_shared`]).
+    pub fn shared_state(&self) -> &Arc<SharedServiceState> {
+        &self.shared
     }
 
     /// Serves page `page` of the invocation `(service, pattern, key)`:
     /// from the client cache when the setting allows, forwarding one
     /// request-response otherwise.
+    ///
+    /// Forwarding is subject to admission control (the per-query call
+    /// budget — exhaustion poisons the execution and serves an empty
+    /// page), single-flight deduplication (a page already being fetched
+    /// by a concurrent execution is awaited, not re-requested) and the
+    /// per-service concurrency limit.
     pub fn fetch_page(
         &mut self,
         id: ServiceId,
@@ -106,64 +312,125 @@ impl ServiceGateway {
         key: &[Value],
         page: u32,
     ) -> PageFetch {
-        match self.cache.lookup(id, key, page) {
-            PageLookup::Hit(tuples, has_more) => PageFetch {
-                tuples,
-                has_more,
-                forwarded_latency: None,
-            },
-            PageLookup::PastEnd => PageFetch {
-                tuples: Vec::new(),
-                has_more: false,
-                forwarded_latency: None,
-            },
-            PageLookup::Unknown => {
-                let service = self
-                    .services
-                    .get(&id)
-                    .expect("gateway resolved all plan services at construction");
-                let r = service.fetch(pattern, key, page);
-                *self.calls.entry(id).or_insert(0) += 1;
-                self.latency_sum += r.latency;
-                self.cache
-                    .store(id, key, page, r.tuples.clone(), r.has_more);
-                PageFetch {
-                    tuples: r.tuples,
-                    has_more: r.has_more,
-                    forwarded_latency: Some(r.latency),
+        let mut inner = self.shared.inner.lock().expect("shared state lock");
+        loop {
+            match inner.cache.lookup(id, key, page) {
+                PageLookup::Hit(tuples, has_more) => {
+                    return PageFetch {
+                        tuples,
+                        has_more,
+                        forwarded_latency: None,
+                    };
+                }
+                PageLookup::PastEnd => return PageFetch::empty(),
+                PageLookup::Unknown => {}
+            }
+            // another execution is fetching this very page: wait for it,
+            // then re-probe the cache (under `NoCache` the store is a
+            // no-op and we fall through to forwarding our own request)
+            if inner.contains_flight(id, key, page) {
+                inner = self.changed_wait(inner);
+                continue;
+            }
+            // admission control: the query's forwarded-call budget
+            if let Some(budget) = self.budget {
+                if self.total_calls() >= budget {
+                    drop(inner);
+                    self.poison(ExecError::CallBudgetExhausted { budget });
+                    return PageFetch::empty();
                 }
             }
+            // per-service concurrency limit
+            let in_flight = inner.in_flight.get(&id).copied().unwrap_or(0);
+            if self.shared.per_service_limit > 0 && in_flight >= self.shared.per_service_limit {
+                inner = self.changed_wait(inner);
+                continue;
+            }
+            inner.fetching.insert((id, key.to_vec(), page));
+            *inner.in_flight.entry(id).or_insert(0) += 1;
+            drop(inner);
+            // releases the claim + slot and notifies, on return AND on
+            // unwind — a panicking service must not wedge the waiters
+            let guard = FlightGuard {
+                shared: &self.shared,
+                id,
+                key,
+                page,
+            };
+
+            let service = self
+                .services
+                .get(&id)
+                .expect("gateway resolved all plan services at construction");
+            let r = service.fetch(pattern, key, page);
+
+            {
+                let mut inner = self.shared.inner.lock().expect("shared state lock");
+                *inner.calls.entry(id).or_insert(0) += 1;
+                inner.latency_sum += r.latency;
+                inner
+                    .cache
+                    .store(id, key, page, r.tuples.clone(), r.has_more);
+            }
+            drop(guard);
+
+            *self.calls.entry(id).or_insert(0) += 1;
+            self.latency_sum += r.latency;
+            return PageFetch {
+                tuples: r.tuples,
+                has_more: r.has_more,
+                forwarded_latency: Some(r.latency),
+            };
         }
     }
 
-    /// Records one invocation-level cache hit or miss for `id`.
-    pub fn record_invocation(&mut self, id: ServiceId, hit: bool) {
-        self.cache.record_invocation(id, hit);
+    fn changed_wait<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, SharedInner>,
+    ) -> std::sync::MutexGuard<'a, SharedInner> {
+        self.shared.changed.wait(guard).expect("shared state lock")
     }
 
-    /// Request-responses forwarded to `id` so far.
+    /// Records one invocation-level cache hit or miss for `id`, both in
+    /// this execution's statistics and in the shared state's.
+    pub fn record_invocation(&mut self, id: ServiceId, hit: bool) {
+        let stats = self.stats.entry(id).or_default();
+        if hit {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        self.shared
+            .inner
+            .lock()
+            .expect("shared state lock")
+            .cache
+            .record_invocation(id, hit);
+    }
+
+    /// Request-responses this execution forwarded to `id` so far.
     pub fn calls_to(&self, id: ServiceId) -> u64 {
         self.calls.get(&id).copied().unwrap_or(0)
     }
 
-    /// Per-service forwarded-call counts.
+    /// This execution's per-service forwarded-call counts.
     pub fn calls(&self) -> &HashMap<ServiceId, u64> {
         &self.calls
     }
 
-    /// Total request-responses forwarded so far.
+    /// Total request-responses this execution forwarded so far.
     pub fn total_calls(&self) -> u64 {
         self.calls.values().sum()
     }
 
-    /// Summed simulated latency of all forwarded calls.
+    /// Summed simulated latency of this execution's forwarded calls.
     pub fn total_latency(&self) -> f64 {
         self.latency_sum
     }
 
-    /// Invocation-level cache statistics for `id`.
+    /// This execution's invocation-level cache statistics for `id`.
     pub fn cache_stats(&self, id: ServiceId) -> CacheStats {
-        self.cache.stats(id)
+        self.stats.get(&id).copied().unwrap_or_default()
     }
 
     /// Marks the execution as failed; the first error wins.
@@ -299,5 +566,93 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(g.take_error().is_none());
+    }
+
+    #[test]
+    fn shared_state_serves_cross_gateway_hits() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(SharedServiceState::new(CacheSetting::Optimal, 0));
+        let key = vec![Value::str("DB")];
+        let mut g1 =
+            ServiceGateway::with_shared(&plan, &w.schema, &w.registry, Arc::clone(&shared), None)
+                .expect("builds");
+        let first = g1.fetch_page(w.ids.conf, 0, &key, 0);
+        assert!(first.forwarded_latency.is_some());
+        // a *second* gateway over the same state hits without forwarding
+        let mut g2 =
+            ServiceGateway::with_shared(&plan, &w.schema, &w.registry, Arc::clone(&shared), None)
+                .expect("builds");
+        let again = g2.fetch_page(w.ids.conf, 0, &key, 0);
+        assert!(again.forwarded_latency.is_none(), "cross-query cache hit");
+        assert_eq!(again.tuples.len(), first.tuples.len());
+        assert_eq!(g2.total_calls(), 0, "g2 forwarded nothing");
+        assert_eq!(shared.total_calls(), 1, "one call across the workload");
+    }
+
+    #[test]
+    fn call_budget_poisons_and_refuses() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(SharedServiceState::new(CacheSetting::NoCache, 0));
+        let mut g = ServiceGateway::with_shared(&plan, &w.schema, &w.registry, shared, Some(2))
+            .expect("builds");
+        let key = vec![Value::str("DB")];
+        assert!(g
+            .fetch_page(w.ids.conf, 0, &key, 0)
+            .forwarded_latency
+            .is_some());
+        assert!(g
+            .fetch_page(w.ids.conf, 0, &key, 1)
+            .forwarded_latency
+            .is_some());
+        let refused = g.fetch_page(w.ids.conf, 0, &key, 2);
+        assert!(refused.forwarded_latency.is_none());
+        assert!(refused.tuples.is_empty() && !refused.has_more);
+        assert_eq!(g.total_calls(), 2, "budget capped forwarding");
+        assert!(matches!(
+            g.take_error(),
+            Some(ExecError::CallBudgetExhausted { budget: 2 })
+        ));
+    }
+
+    #[test]
+    fn concurrent_same_page_is_fetched_once() {
+        // 8 threads demand the same page through 8 gateways over one
+        // shared state: single-flight + the shared cache must forward
+        // exactly one request-response, and everyone sees the same page.
+        let w = Arc::new(travel_world(2008));
+        let plan = Arc::new(plan_o(&w));
+        let shared = Arc::new(SharedServiceState::new(CacheSetting::Optimal, 2));
+        let key = vec![Value::str("DB")];
+        let pages: Vec<Vec<Tuple>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let w = Arc::clone(&w);
+                    let plan = Arc::clone(&plan);
+                    let shared = Arc::clone(&shared);
+                    let key = key.clone();
+                    scope.spawn(move || {
+                        let mut g = ServiceGateway::with_shared(
+                            &plan,
+                            &w.schema,
+                            &w.registry,
+                            shared,
+                            None,
+                        )
+                        .expect("builds");
+                        g.fetch_page(w.ids.conf, 0, &key, 0).tuples
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("joins"))
+                .collect()
+        });
+        assert_eq!(shared.total_calls(), 1, "single-flight deduplicates");
+        for p in &pages[1..] {
+            assert_eq!(p, &pages[0], "every waiter sees the fetched page");
+        }
     }
 }

@@ -14,9 +14,13 @@
 //!   [`Filter`](operator::Filter) / [`Select`](operator::Select)
 //!   operators, plus [`compile`](operator::compile) for whole plans;
 //! * [`gateway`] — the [`ServiceGateway`](gateway::ServiceGateway):
-//!   registry lookup, paging, call/latency accounting and the client
-//!   cache, behind single-threaded ([`LocalGateway`](gateway::LocalGateway))
-//!   or thread-safe ([`SharedGateway`](gateway::SharedGateway)) handles;
+//!   registry lookup, paging, per-query accounting and admission
+//!   control, behind single-threaded
+//!   ([`LocalGateway`](gateway::LocalGateway)) or thread-safe
+//!   ([`SharedGateway`](gateway::SharedGateway)) handles — over a
+//!   [`SharedServiceState`](gateway::SharedServiceState) (client cache,
+//!   cumulative accounting, single-flight, per-service concurrency
+//!   limits) that `mdq-runtime` `Arc`-shares across concurrent queries;
 //! * [`cache`] — the three §5.1 client cache settings
 //!   ([`PageCache`](cache::PageCache));
 //! * [`binding`] — variable bindings flowing through operators;
@@ -52,11 +56,11 @@ pub mod prelude {
     pub use crate::binding::Binding;
     pub use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup, PageStore};
     pub use crate::gateway::{
-        GatewayHandle, LocalGateway, PageFetch, ServiceGateway, SharedGateway,
+        GatewayHandle, LocalGateway, PageFetch, ServiceGateway, SharedGateway, SharedServiceState,
     };
     pub use crate::joins::{MsJoin, NlJoin};
     pub use crate::operator::{compile, Filter, Invoke, Join, Operator, Select};
-    pub use crate::pipeline::{run, ExecConfig, ExecError, ExecReport, NodeTrace};
+    pub use crate::pipeline::{run, run_with_shared, ExecConfig, ExecError, ExecReport, NodeTrace};
     pub use crate::plan_info::{analyze, PlanInfo};
     pub use crate::results::result_table;
     pub use crate::threaded::{

@@ -41,6 +41,12 @@ pub enum ExecError {
         /// Service name of the starving atom.
         service: String,
     },
+    /// Admission control: the execution reached its per-query
+    /// forwarded-call budget and further service requests were refused.
+    CallBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -49,6 +55,12 @@ impl fmt::Display for ExecError {
             ExecError::MissingService(s) => write!(f, "service `{s}` is not registered"),
             ExecError::UnboundInput { service } => {
                 write!(f, "input variable unbound when invoking `{service}`")
+            }
+            ExecError::CallBudgetExhausted { budget } => {
+                write!(
+                    f,
+                    "per-query call budget of {budget} request-responses exhausted"
+                )
             }
         }
     }

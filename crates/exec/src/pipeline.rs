@@ -20,7 +20,7 @@
 
 use crate::binding::Binding;
 use crate::cache::{CacheSetting, CacheStats};
-use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway};
+use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway, SharedServiceState};
 use crate::operator::{Filter, Invoke, Join, Select};
 use crate::plan_info::analyze;
 use mdq_model::rng::Rng;
@@ -120,12 +120,12 @@ pub(crate) fn run_materialised(
     plan: &Plan,
     schema: &Schema,
     registry: &ServiceRegistry,
-    cache: CacheSetting,
+    gateway: ServiceGateway,
     k: Option<usize>,
     stage: &StageModel,
 ) -> Result<ExecReport, ExecError> {
     let info = analyze(plan, schema);
-    let gateway = LocalGateway::new(ServiceGateway::new(plan, schema, registry, cache)?);
+    let gateway = LocalGateway::new(gateway);
     let n = plan.nodes.len();
     let mut streams: Vec<Vec<Binding>> = vec![Vec::new(); n];
     let mut trace = vec![NodeTrace::default(); n];
@@ -263,8 +263,31 @@ pub fn run(
         plan,
         schema,
         registry,
-        config.cache,
+        ServiceGateway::new(plan, schema, registry, config.cache)?,
         config.k,
+        &StageModel::Sequential,
+    )
+}
+
+/// Executes `plan` over an existing (typically `Arc`-shared,
+/// cross-query) [`SharedServiceState`], with an optional per-query
+/// forwarded-call budget — the serving-layer entry point. The state's
+/// cache setting governs; pages another query fetched through the same
+/// state are hits here.
+pub fn run_with_shared(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    shared: std::sync::Arc<SharedServiceState>,
+    budget: Option<u64>,
+    k: Option<usize>,
+) -> Result<ExecReport, ExecError> {
+    run_materialised(
+        plan,
+        schema,
+        registry,
+        ServiceGateway::with_shared(plan, schema, registry, shared, budget)?,
+        k,
         &StageModel::Sequential,
     )
 }

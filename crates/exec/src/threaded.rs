@@ -73,7 +73,7 @@ pub fn run_parallel_dispatch(
         plan,
         schema,
         registry,
-        config.cache,
+        ServiceGateway::new(plan, schema, registry, config.cache)?,
         None,
         &StageModel::ParallelDispatch {
             threads: config.threads,

@@ -15,7 +15,7 @@
 //! service's actual data) while downstream demand is unmet.
 
 use crate::cache::CacheSetting;
-use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway};
+use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway, SharedServiceState};
 use crate::operator::{compile, ExecError, Operator};
 use crate::plan_info::analyze;
 use mdq_model::schema::{Schema, ServiceId};
@@ -43,8 +43,42 @@ impl TopKExecution {
         cache: CacheSetting,
         elastic: bool,
     ) -> Result<Self, ExecError> {
+        Self::over(
+            plan,
+            schema,
+            ServiceGateway::new(plan, schema, registry, cache)?,
+            elastic,
+        )
+    }
+
+    /// Prepares a pull execution over an existing (typically
+    /// `Arc`-shared, cross-query) [`SharedServiceState`], with an
+    /// optional per-query forwarded-call budget — the serving-layer
+    /// entry point.
+    pub fn with_shared(
+        plan: &Plan,
+        schema: &Schema,
+        registry: &ServiceRegistry,
+        shared: Arc<SharedServiceState>,
+        budget: Option<u64>,
+        elastic: bool,
+    ) -> Result<Self, ExecError> {
+        Self::over(
+            plan,
+            schema,
+            ServiceGateway::with_shared(plan, schema, registry, shared, budget)?,
+            elastic,
+        )
+    }
+
+    fn over(
+        plan: &Plan,
+        schema: &Schema,
+        gateway: ServiceGateway,
+        elastic: bool,
+    ) -> Result<Self, ExecError> {
         let info = analyze(plan, schema);
-        let gateway = LocalGateway::new(ServiceGateway::new(plan, schema, registry, cache)?);
+        let gateway = LocalGateway::new(gateway);
         let iter = compile(plan, schema, &info, &gateway, elastic);
         Ok(TopKExecution {
             iter,

@@ -1,0 +1,284 @@
+//! Template normalization and query fingerprints.
+//!
+//! §2.2 observes that "optimization is performed for each query
+//! template": queries submitted by different users through the same form
+//! differ only in variable spelling and predicate order, and a serving
+//! layer (following Roy et al.'s multi-query optimization line) wants to
+//! recognise them as one template so the branch-and-bound optimizer runs
+//! once per shape, not once per submission.
+//!
+//! [`fingerprint`] maps a [`ConjunctiveQuery`] to a 64-bit
+//! [`QueryFingerprint`] of its *canonical form* ([`canonical_text`]):
+//!
+//! * **alpha-renaming invariant** — variables are renumbered by first
+//!   occurrence in a canonical atom order, so `q(X) :- s('k', X)` and
+//!   `q(Foo) :- s('k', Foo)` collide;
+//! * **predicate-order invariant** — selection predicates are rendered
+//!   and sorted, so swapping `T >= 28, P < 2000` collides with the
+//!   reverse order;
+//! * **constants and shape preserved** — a different constant, service,
+//!   arity, head ordering or predicate operator yields a different
+//!   canonical form. Two queries with equal fingerprints are (up to hash
+//!   collision on the 64-bit digest) the same query up to renaming, so a
+//!   plan optimized for one is valid for the other.
+//!
+//! The plan cache of `mdq-runtime` keys on this fingerprint (plus `k`).
+//!
+//! Known limitation (safe direction): atoms whose name-independent sort
+//! keys tie — e.g. a self-join invoking one service twice with the same
+//! constant/variable pattern — keep their submission order, so listing
+//! such atoms in a different order can produce a *different* fingerprint
+//! for a semantically identical query. That only costs a spurious
+//! plan-cache miss (the optimizer reruns); equal fingerprints still
+//! always mean equal templates.
+
+use crate::query::{ConjunctiveQuery, Expr, Term};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A 64-bit digest of a query's canonical form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryFingerprint(pub u64);
+
+impl fmt::Display for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Fingerprints `query`: FNV-1a over [`canonical_text`].
+pub fn fingerprint(query: &ConjunctiveQuery) -> QueryFingerprint {
+    QueryFingerprint(fnv1a(canonical_text(query).as_bytes()))
+}
+
+/// The canonical rendering the fingerprint hashes: atoms in a
+/// name-independent order with variables renumbered by first occurrence,
+/// then sorted predicates, then the head positions.
+///
+/// The query *name* is deliberately excluded — `q(...)` and `q2(...)`
+/// with identical bodies are the same template.
+pub fn canonical_text(query: &ConjunctiveQuery) -> String {
+    // 1. order atoms by a key that does not mention variable identity
+    //    beyond the atom's own repetition pattern (stable, so equal keys
+    //    keep submission order — a deterministic tie-break);
+    let mut order: Vec<usize> = (0..query.atoms.len()).collect();
+    let keys: Vec<String> = query.atoms.iter().map(local_atom_key).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+
+    // 2. renumber variables by first occurrence scanning atoms in that
+    //    order (safety guarantees every head/predicate variable occurs
+    //    in some atom, so the map is total);
+    let mut canon: HashMap<u32, usize> = HashMap::new();
+    for &a in &order {
+        for t in &query.atoms[a].terms {
+            if let Term::Var(v) = t {
+                let next = canon.len();
+                canon.entry(v.0).or_insert(next);
+            }
+        }
+    }
+
+    let render_term = |t: &Term, out: &mut String| match t {
+        Term::Var(v) => {
+            let _ = write!(out, "?{}", canon.get(&v.0).copied().unwrap_or(usize::MAX));
+        }
+        Term::Const(c) => {
+            let _ = write!(out, "{c}");
+        }
+    };
+
+    let mut text = String::new();
+    for &a in &order {
+        let atom = &query.atoms[a];
+        let _ = write!(text, "a{}(", atom.service.0);
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            render_term(t, &mut text);
+        }
+        text.push_str(");");
+    }
+
+    // 3. predicates rendered with canonical variables, then sorted —
+    //    conjunction is order-free;
+    let mut preds: Vec<String> = query
+        .predicates
+        .iter()
+        .map(|p| {
+            let mut s = String::new();
+            render_expr(&p.lhs, &render_term, &mut s);
+            let _ = write!(s, "{}", p.op);
+            render_expr(&p.rhs, &render_term, &mut s);
+            if let Some(sigma) = p.selectivity_hint {
+                // a hint steers the optimizer, so it is part of the shape
+                let _ = write!(s, "@{sigma}");
+            }
+            s
+        })
+        .collect();
+    preds.sort();
+    for p in &preds {
+        text.push_str(p);
+        text.push(';');
+    }
+
+    // 4. the head: output positions in order.
+    text.push_str("h:");
+    for (i, v) in query.head.iter().enumerate() {
+        if i > 0 {
+            text.push(',');
+        }
+        let _ = write!(text, "?{}", canon.get(&v.0).copied().unwrap_or(usize::MAX));
+    }
+    text
+}
+
+fn render_expr(e: &Expr, render_term: &impl Fn(&Term, &mut String), out: &mut String) {
+    match e {
+        Expr::Term(t) => render_term(t, out),
+        Expr::Add(a, b) => {
+            out.push('(');
+            render_expr(a, render_term, out);
+            out.push('+');
+            render_expr(b, render_term, out);
+            out.push(')');
+        }
+        Expr::Sub(a, b) => {
+            out.push('(');
+            render_expr(a, render_term, out);
+            out.push('-');
+            render_expr(b, render_term, out);
+            out.push(')');
+        }
+        Expr::Mul(a, b) => {
+            out.push('(');
+            render_expr(a, render_term, out);
+            out.push('*');
+            render_expr(b, render_term, out);
+            out.push(')');
+        }
+    }
+}
+
+/// An atom sort key independent of global variable names: the service id
+/// plus, per position, either the constant or the position of the
+/// variable's first occurrence *within this atom* (its repetition
+/// pattern).
+fn local_atom_key(atom: &crate::query::Atom) -> String {
+    let mut locals: HashMap<u32, usize> = HashMap::new();
+    let mut key = format!("a{}(", atom.service.0);
+    for (i, t) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        match t {
+            Term::Var(v) => {
+                let next = locals.len();
+                let idx = *locals.entry(v.0).or_insert(next);
+                let _ = write!(key, "v{idx}");
+            }
+            Term::Const(c) => {
+                let _ = write!(key, "{c}");
+            }
+        }
+    }
+    key.push(')');
+    key
+}
+
+/// FNV-1a, 64-bit: stable across platforms and runs (unlike
+/// `DefaultHasher`, whose output is unspecified between releases).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::running_example_schema;
+    use crate::parser::parse_query;
+
+    fn fp(text: &str) -> QueryFingerprint {
+        let schema = running_example_schema();
+        let q = parse_query(text, &schema).expect("parses");
+        fingerprint(&q)
+    }
+
+    const BASE: &str = "q(Conf, City) :- conf('DB', Conf, S, E, City), \
+                        weather(City, T, S), T >= 28.";
+
+    #[test]
+    fn alpha_renaming_is_invariant() {
+        let renamed = "q(C2, Town) :- conf('DB', C2, From, To, Town), \
+                       weather(Town, Temp, From), Temp >= 28.";
+        assert_eq!(fp(BASE), fp(renamed));
+    }
+
+    #[test]
+    fn head_name_is_ignored() {
+        let other_name = "answers(Conf, City) :- conf('DB', Conf, S, E, City), \
+                          weather(City, T, S), T >= 28.";
+        assert_eq!(fp(BASE), fp(other_name));
+    }
+
+    #[test]
+    fn predicate_order_is_invariant() {
+        let a = "q(City) :- conf('DB', C, S, E, City), weather(City, T, S), \
+                 T >= 28, T <= 35.";
+        let b = "q(City) :- conf('DB', C, S, E, City), weather(City, T, S), \
+                 T <= 35, T >= 28.";
+        assert_eq!(fp(a), fp(b));
+    }
+
+    #[test]
+    fn different_constant_differs() {
+        let other = "q(Conf, City) :- conf('AI', Conf, S, E, City), \
+                     weather(City, T, S), T >= 28.";
+        assert_ne!(fp(BASE), fp(other));
+    }
+
+    #[test]
+    fn different_shape_differs() {
+        // dropped predicate
+        let no_pred = "q(Conf, City) :- conf('DB', Conf, S, E, City), \
+                       weather(City, T, S).";
+        assert_ne!(fp(BASE), fp(no_pred));
+        // different operator
+        let other_op = "q(Conf, City) :- conf('DB', Conf, S, E, City), \
+                        weather(City, T, S), T > 28.";
+        assert_ne!(fp(BASE), fp(other_op));
+        // different head ordering
+        let swapped_head = "q(City, Conf) :- conf('DB', Conf, S, E, City), \
+                            weather(City, T, S), T >= 28.";
+        assert_ne!(fp(BASE), fp(swapped_head));
+    }
+
+    #[test]
+    fn join_structure_is_part_of_the_shape() {
+        // weather joined on the conference start date vs. its end date:
+        // same atoms, same constants, different variable wiring
+        let on_start = "q(City) :- conf('DB', C, S, E, City), weather(City, T, S).";
+        let on_end = "q(City) :- conf('DB', C, S, E, City), weather(City, T, E).";
+        assert_ne!(fp(on_start), fp(on_end));
+    }
+
+    #[test]
+    fn canonical_text_is_stable() {
+        let schema = running_example_schema();
+        let q = parse_query(BASE, &schema).expect("parses");
+        assert_eq!(canonical_text(&q), canonical_text(&q));
+        // and the digest is the documented FNV of that text
+        assert_eq!(
+            fingerprint(&q).0,
+            fnv1a(canonical_text(&q).as_bytes()),
+            "fingerprint hashes the canonical text"
+        );
+    }
+}

@@ -15,7 +15,9 @@
 //! * [`binding`] — callability / executability / permissible pattern
 //!   sequences (Def. 3.1) and supplier/precedence analysis;
 //! * [`cogency`] — the `⪰IO` order and the "bound is better" heuristic
-//!   (§4.1.1).
+//!   (§4.1.1);
+//! * [`fingerprint`] — template normalization: alpha-renaming- and
+//!   predicate-order-invariant query fingerprints for plan caching.
 //!
 //! Downstream crates build plans (`mdq-plan`), estimate costs
 //! (`mdq-cost`), optimize (`mdq-optimizer`) and execute (`mdq-exec`) on
@@ -27,6 +29,7 @@
 pub mod binding;
 pub mod cogency;
 pub mod examples;
+pub mod fingerprint;
 pub mod parser;
 pub mod query;
 pub mod rng;
@@ -40,6 +43,7 @@ pub mod prelude {
         callable_after, executable, find_permissible, permissible_sequences, ApChoice, SupplierMap,
     };
     pub use crate::cogency::{exploration_order, most_cogent};
+    pub use crate::fingerprint::{canonical_text, fingerprint, QueryFingerprint};
     pub use crate::parser::{parse_query, ParseError};
     pub use crate::query::{
         Atom, CmpOp, ConjunctiveQuery, Expr, Predicate, QueryError, Term, VarId,

@@ -1,0 +1,58 @@
+//! # mdq-runtime — the concurrent multi-query serving layer
+//!
+//! The paper optimizes and executes one multi-domain query at a time;
+//! this crate is the layer a production deployment puts in front of
+//! that machinery, following the multi-query optimization line of
+//! *Roy et al., "Efficient and Extensible Algorithms for Multi Query
+//! Optimization"*: amortize optimization and service calls *across*
+//! concurrent queries.
+//!
+//! ```text
+//!  submit() ──► queue ──► worker pool (std threads)
+//!                              │
+//!                  fingerprint ▼ (mdq_model::fingerprint)
+//!                        ┌───────────┐  miss   ┌────────────────┐
+//!                        │ plan cache│ ───────► branch-and-bound│
+//!                        │ (LRU)     │ ◄─────── optimizer       │
+//!                        └─────┬─────┘  insert └────────────────┘
+//!                          hit │
+//!                              ▼
+//!                  pull executor over the shared gateway
+//!                              │
+//!              ┌───────────────▼────────────────┐
+//!              │ SharedServiceState (mdq-exec)  │
+//!              │ page cache · call accounting · │
+//!              │ single-flight · per-service    │
+//!              │ concurrency limits             │
+//!              └────────────────────────────────┘
+//! ```
+//!
+//! * [`server`] — the [`QueryServer`](server::QueryServer): worker
+//!   pool, submission queue, plan cache, admission control;
+//! * [`plan_cache`] — the fingerprint-keyed LRU in front of the
+//!   optimizer;
+//! * [`session`] — the [`QuerySession`](session::QuerySession) handle
+//!   streaming answers and per-query statistics;
+//! * [`metrics`] — the [`MetricsSnapshot`](metrics::MetricsSnapshot):
+//!   QPS, plan-cache and page-cache hit rates, per-service calls and
+//!   the wall-latency histogram.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod plan_cache;
+pub mod server;
+pub mod session;
+
+pub use metrics::MetricsSnapshot;
+pub use server::{QueryServer, RuntimeConfig};
+pub use session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEvent};
+
+/// Convenient glob-import surface: `use mdq_runtime::prelude::*;`.
+pub mod prelude {
+    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::plan_cache::{PlanCache, PlanKey};
+    pub use crate::server::{QueryServer, RuntimeConfig};
+    pub use crate::session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEvent};
+}

@@ -1,0 +1,188 @@
+//! Server metrics: cheap atomic counters sampled into a
+//! [`MetricsSnapshot`].
+
+use mdq_exec::gateway::SharedServiceState;
+use mdq_model::schema::Schema;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Upper bucket bounds of the per-query wall-latency histogram, in
+/// seconds (the last bucket is unbounded).
+pub const LATENCY_BOUNDS: [f64; 9] = [0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0];
+
+/// Live counters; one instance per server, updated lock-free by the
+/// workers.
+pub(crate) struct Metrics {
+    started: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) plan_cache_hits: AtomicU64,
+    pub(crate) plan_cache_misses: AtomicU64,
+    pub(crate) optimizer_invocations: AtomicU64,
+    /// `LATENCY_BOUNDS.len() + 1` buckets (last = overflow).
+    latency_buckets: [AtomicU64; LATENCY_BOUNDS.len() + 1],
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            optimizer_invocations: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one completed query's wall latency.
+    pub(crate) fn observe_latency(&self, seconds: f64) {
+        let idx = LATENCY_BOUNDS
+            .iter()
+            .position(|&b| seconds <= b)
+            .unwrap_or(LATENCY_BOUNDS.len());
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples every counter plus the shared gateway state into a
+    /// consistent-enough snapshot (counters are relaxed; exactness
+    /// across counters is not guaranteed mid-flight).
+    pub(crate) fn snapshot(&self, shared: &SharedServiceState, schema: &Schema) -> MetricsSnapshot {
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let plan_hits = self.plan_cache_hits.load(Ordering::Relaxed);
+        let plan_misses = self.plan_cache_misses.load(Ordering::Relaxed);
+        let page = shared.total_cache_stats();
+        let mut per_service: Vec<(String, u64)> = shared
+            .calls()
+            .into_iter()
+            .map(|(id, n)| (schema.service(id).name.to_string(), n))
+            .collect();
+        per_service.sort();
+        MetricsSnapshot {
+            uptime_seconds: uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            qps: completed as f64 / uptime,
+            plan_cache_hits: plan_hits,
+            plan_cache_misses: plan_misses,
+            plan_cache_hit_rate: rate(plan_hits, plan_misses),
+            optimizer_invocations: self.optimizer_invocations.load(Ordering::Relaxed),
+            page_cache_hits: page.hits,
+            page_cache_misses: page.misses,
+            page_cache_hit_rate: rate(page.hits, page.misses),
+            total_service_calls: shared.total_calls(),
+            total_service_latency: shared.total_latency(),
+            per_service_calls: per_service,
+            latency_buckets: LATENCY_BOUNDS
+                .iter()
+                .copied()
+                .map(Some)
+                .chain(std::iter::once(None))
+                .zip(
+                    self.latency_buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed)),
+                )
+                .collect(),
+        }
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// A point-in-time view of the server's counters — QPS, plan-cache and
+/// page-cache hit rates, per-service call accounting and the per-query
+/// wall-latency histogram.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Queries accepted by `submit`.
+    pub submitted: u64,
+    /// Queries that completed with an answer stream.
+    pub completed: u64,
+    /// Queries that failed (parse, optimize, execution, budget).
+    pub failed: u64,
+    /// Completed queries per second of uptime.
+    pub qps: f64,
+    /// Plan-cache hits (optimizer skipped).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (optimizer ran).
+    pub plan_cache_misses: u64,
+    /// `hits / (hits + misses)`; 0 when the cache is untouched.
+    pub plan_cache_hit_rate: f64,
+    /// Branch-and-bound invocations since start.
+    pub optimizer_invocations: u64,
+    /// Invocation-level page-cache hits across the shared state.
+    pub page_cache_hits: u64,
+    /// Invocation-level page-cache misses across the shared state.
+    pub page_cache_misses: u64,
+    /// `hits / (hits + misses)`; 0 when nothing was invoked.
+    pub page_cache_hit_rate: f64,
+    /// Request-responses forwarded to services, whole workload.
+    pub total_service_calls: u64,
+    /// Summed simulated latency of all forwarded calls, seconds.
+    pub total_service_latency: f64,
+    /// Forwarded calls per service, sorted by name.
+    pub per_service_calls: Vec<(String, u64)>,
+    /// Per-query wall-latency histogram: `(upper bound in seconds —
+    /// `None` for the overflow bucket — , count)`.
+    pub latency_buckets: Vec<(Option<f64>, u64)>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.2}s · submitted {} · completed {} · failed {} · {:.1} q/s",
+            self.uptime_seconds, self.submitted, self.completed, self.failed, self.qps
+        )?;
+        writeln!(
+            f,
+            "plan cache: {} hits / {} misses ({:.0}%) · optimizer ran {}×",
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_hit_rate * 100.0,
+            self.optimizer_invocations
+        )?;
+        writeln!(
+            f,
+            "page cache: {} hits / {} misses ({:.0}%)",
+            self.page_cache_hits,
+            self.page_cache_misses,
+            self.page_cache_hit_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "service calls: {} total, {:.1}s simulated latency",
+            self.total_service_calls, self.total_service_latency
+        )?;
+        for (name, n) in &self.per_service_calls {
+            writeln!(f, "  {name:<12} {n}")?;
+        }
+        write!(f, "query wall latency:")?;
+        for (bound, n) in &self.latency_buckets {
+            if *n == 0 {
+                continue;
+            }
+            match bound {
+                Some(b) => write!(f, " ≤{b}s:{n}")?,
+                None => write!(f, " >1s:{n}")?,
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,139 @@
+//! The fingerprint-keyed plan cache.
+//!
+//! Following Roy et al.'s multi-query optimization line: queries with
+//! the same [`QueryFingerprint`](mdq_model::fingerprint::QueryFingerprint)
+//! (alpha-renaming- and predicate-order-invariant, constants included)
+//! and the same `k` are the same template, so the three-phase
+//! branch-and-bound plan chosen for the first submission is valid for
+//! every repeat. A small LRU bound keeps the cache from growing with
+//! workload cardinality.
+
+use mdq_model::fingerprint::QueryFingerprint;
+use mdq_plan::dag::Plan;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: the normalized query shape plus the answer target (phase-3
+/// fetch factors are chosen for a specific `k`).
+pub type PlanKey = (QueryFingerprint, u64);
+
+/// An LRU map from [`PlanKey`] to the optimized plan.
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<PlanKey, (Arc<Plan>, u64)>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (`0` disables caching —
+    /// every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up a plan, refreshing its recency.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<Plan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(plan, used)| {
+            *used = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Inserts a plan, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<Plan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (plan, self.tick));
+    }
+
+    /// Cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::binding::ApChoice;
+    use mdq_model::examples::{
+        running_example_query, running_example_schema, ATOM_CONF, ATOM_FLIGHT, ATOM_HOTEL,
+        ATOM_WEATHER,
+    };
+    use mdq_model::fingerprint::fingerprint;
+    use mdq_plan::builder::{build_plan, StrategyRule};
+    use mdq_plan::poset::Poset;
+
+    fn some_plan() -> Arc<Plan> {
+        let schema = running_example_schema();
+        let query = running_example_query(&schema);
+        let poset = Poset::from_pairs(
+            4,
+            &[
+                (ATOM_CONF, ATOM_WEATHER),
+                (ATOM_WEATHER, ATOM_FLIGHT),
+                (ATOM_WEATHER, ATOM_HOTEL),
+            ],
+        )
+        .expect("valid");
+        Arc::new(
+            build_plan(
+                Arc::new(query),
+                &schema,
+                ApChoice(vec![0, 0, 0, 0]),
+                poset,
+                (0..4).collect(),
+                &StrategyRule::default(),
+            )
+            .expect("builds"),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let plan = some_plan();
+        let fp = fingerprint(&plan.query);
+        let mut cache = PlanCache::new(2);
+        cache.insert((fp, 1), Arc::clone(&plan));
+        cache.insert((fp, 2), Arc::clone(&plan));
+        assert!(cache.get(&(fp, 1)).is_some(), "refreshes 1");
+        cache.insert((fp, 3), Arc::clone(&plan)); // evicts 2, the coldest
+        assert!(cache.get(&(fp, 2)).is_none());
+        assert!(cache.get(&(fp, 1)).is_some());
+        assert!(cache.get(&(fp, 3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let plan = some_plan();
+        let fp = fingerprint(&plan.query);
+        let mut cache = PlanCache::new(0);
+        cache.insert((fp, 1), plan);
+        assert!(cache.get(&(fp, 1)).is_none());
+        assert!(cache.is_empty());
+    }
+}

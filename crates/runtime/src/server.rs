@@ -1,0 +1,484 @@
+//! The [`QueryServer`]: a fixed worker pool draining a submission queue,
+//! a fingerprint-keyed plan cache in front of the branch-and-bound
+//! optimizer, and one cross-query
+//! [`SharedServiceState`](mdq_exec::gateway::SharedServiceState) so the
+//! §5.1 page cache and call accounting span the whole workload.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan_cache::{PlanCache, PlanKey};
+use crate::session::{QuerySession, QueryStats, SessionEvent};
+use mdq_core::Mdq;
+use mdq_cost::estimate::CacheSetting;
+use mdq_cost::metrics::ExecutionTime;
+use mdq_exec::gateway::SharedServiceState;
+use mdq_exec::topk::TopKExecution;
+use mdq_model::fingerprint::fingerprint;
+use mdq_optimizer::bnb::OptimizerConfig;
+use mdq_plan::dag::Plan;
+use mdq_services::domains::World;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server policies. The defaults suit the simulated worlds: a small
+/// pool, the *optimal* (memoize-everything) cache shared across
+/// queries, a bounded plan cache and no per-query call budget.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Shared client-cache setting (§5.1) — cross-query, so `Optimal`
+    /// turns repeated invocations from different queries into hits.
+    pub cache: CacheSetting,
+    /// Plans kept by the fingerprint-keyed LRU (`0` disables plan
+    /// caching: every query runs the optimizer).
+    pub plan_cache_capacity: usize,
+    /// Max request-responses in flight per service across the whole
+    /// server (`0` = unlimited).
+    pub per_service_concurrency: usize,
+    /// Admission control: max request-responses one query may forward
+    /// before it is failed (`None` = unlimited).
+    pub call_budget: Option<u64>,
+    /// Answer target used when `submit` is called without an explicit
+    /// `k`.
+    pub default_k: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            cache: CacheSetting::Optimal,
+            plan_cache_capacity: 256,
+            per_service_concurrency: 4,
+            call_budget: None,
+            default_k: 10,
+        }
+    }
+}
+
+/// State shared by the server handle and every worker.
+struct ServerState {
+    engine: Mdq,
+    config: RuntimeConfig,
+    shared: Arc<SharedServiceState>,
+    plans: Mutex<PlanState>,
+    /// Signalled when a plan lands in (or drops out of) the cache, so
+    /// workers waiting on a single-flight optimization re-probe.
+    plan_ready: std::sync::Condvar,
+    metrics: Metrics,
+}
+
+/// The plan cache plus the keys currently being optimized
+/// (single-flight: concurrent submissions of one template wait for the
+/// first optimization instead of duplicating it).
+struct PlanState {
+    cache: PlanCache,
+    optimizing: std::collections::HashSet<PlanKey>,
+}
+
+struct Job {
+    text: String,
+    k: u64,
+    events: mpsc::Sender<SessionEvent>,
+}
+
+/// A concurrent multi-query server over one engine (schema + services).
+///
+/// ```
+/// use mdq_runtime::server::{QueryServer, RuntimeConfig};
+/// use mdq_services::domains::news::news_world;
+///
+/// let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+/// let session = server.submit(
+///     "q(City, Venue, Price) :- events('mahler-2', City, Venue, D), \
+///      lowcost('Milano', City, Price), Price <= 60.0.",
+///     Some(5),
+/// );
+/// let result = session.collect().expect("runs");
+/// assert!(!result.answers.is_empty());
+/// server.shutdown();
+/// ```
+pub struct QueryServer {
+    state: Arc<ServerState>,
+    queue: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl QueryServer {
+    /// Starts a server over `engine` with the given policies.
+    pub fn new(engine: Mdq, config: RuntimeConfig) -> Self {
+        let state = Arc::new(ServerState {
+            shared: Arc::new(SharedServiceState::new(
+                config.cache,
+                config.per_service_concurrency,
+            )),
+            plans: Mutex::new(PlanState {
+                cache: PlanCache::new(config.plan_cache_capacity),
+                optimizing: std::collections::HashSet::new(),
+            }),
+            plan_ready: std::sync::Condvar::new(),
+            metrics: Metrics::new(),
+            engine,
+            config,
+        });
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let job = match rx.lock().expect("queue lock").recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // queue closed: shutdown
+                    };
+                    process(&state, job);
+                })
+            })
+            .collect();
+        QueryServer {
+            state,
+            queue: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Starts a server over a ready-made simulated [`World`].
+    pub fn from_world(world: World, config: RuntimeConfig) -> Self {
+        Self::new(Mdq::from_world(world), config)
+    }
+
+    /// Submits query text for execution; `k` defaults to the server's
+    /// `default_k`. Returns immediately with a [`QuerySession`]
+    /// streaming answers as a worker produces them.
+    pub fn submit(&self, text: &str, k: Option<u64>) -> QuerySession {
+        let (events, rx) = mpsc::channel();
+        self.state.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            text: text.to_string(),
+            k: k.unwrap_or(self.state.config.default_k),
+            events,
+        };
+        let rejected = match &*self.queue.lock().expect("queue lock") {
+            Some(tx) => {
+                // a send can only fail if every worker died; surface it
+                // as a failed session rather than panicking the caller
+                match tx.send(job) {
+                    Ok(()) => None,
+                    Err(mpsc::SendError(job)) => Some((job, "server has no live workers")),
+                }
+            }
+            None => Some((job, "server is shut down")),
+        };
+        if let Some((job, reason)) = rejected {
+            // a rejected submission is a failed query: keep the
+            // submitted = completed + failed + in-flight invariant
+            self.state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.events.send(SessionEvent::Failed(reason.into()));
+        }
+        QuerySession { rx }
+    }
+
+    /// The engine this server executes against.
+    pub fn engine(&self) -> &Mdq {
+        &self.state.engine
+    }
+
+    /// The cross-query shared gateway state (page cache + accounting).
+    pub fn shared_state(&self) -> &Arc<SharedServiceState> {
+        &self.state.shared
+    }
+
+    /// Plans currently held by the plan cache.
+    pub fn cached_plans(&self) -> usize {
+        self.state
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .cache
+            .len()
+    }
+
+    /// Samples the server's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state
+            .metrics
+            .snapshot(&self.state.shared, self.state.engine.schema())
+    }
+
+    /// Stops accepting submissions, drains the queue and joins the
+    /// workers. Called automatically on drop; explicit calls make the
+    /// drain point visible in calling code.
+    pub fn shutdown(&self) {
+        drop(self.queue.lock().expect("queue lock").take());
+        for handle in self.workers.lock().expect("workers lock").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Probes the plan cache. On a miss the key is claimed for
+/// single-flight optimization: concurrent submissions of the same
+/// template block here until the first worker's plan lands, instead of
+/// all running the optimizer. Returns `None` when the caller must
+/// optimize (it then owns the claim and must release it). With plan
+/// caching disabled (`capacity == 0`) every call misses immediately —
+/// no claims, no waiting.
+fn lookup_single_flight(state: &ServerState, key: &PlanKey) -> Option<Arc<Plan>> {
+    if state.config.plan_cache_capacity == 0 {
+        return None;
+    }
+    let mut plans = state.plans.lock().expect("plan cache lock");
+    loop {
+        if let Some(plan) = plans.cache.get(key) {
+            return Some(plan);
+        }
+        if plans.optimizing.insert(*key) {
+            return None;
+        }
+        plans = state
+            .plan_ready
+            .wait(plans)
+            .expect("plan cache lock poisoned");
+    }
+}
+
+/// Releases a single-flight optimization claim and wakes the waiters —
+/// on return AND on unwind, so a panicking optimizer cannot leave every
+/// future submission of the template blocked on the Condvar.
+struct ClaimGuard<'a> {
+    state: &'a ServerState,
+    key: PlanKey,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        // tolerate a poisoned lock: this runs during unwind, and a
+        // second panic here would abort the process
+        let mut plans = self
+            .state
+            .plans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        plans.optimizing.remove(&self.key);
+        drop(plans);
+        self.state.plan_ready.notify_all();
+    }
+}
+
+/// One query, start to finish, on a worker thread: parse → plan-cache
+/// probe (miss: optimize + insert) → pull-based execution over the
+/// shared gateway state, streaming each answer to the session.
+fn process(state: &ServerState, job: Job) {
+    let started = Instant::now();
+    let fail = |reason: String| {
+        state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = job.events.send(SessionEvent::Failed(reason));
+    };
+
+    let query = match state.engine.parse(&job.text) {
+        Ok(q) => q,
+        Err(e) => return fail(e.to_string()),
+    };
+
+    let key = (fingerprint(&query), job.k);
+    let cached = lookup_single_flight(state, &key);
+    let plan_cache_hit = cached.is_some();
+    let plan: Arc<Plan> = match cached {
+        Some(plan) => {
+            state
+                .metrics
+                .plan_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            plan
+        }
+        None => {
+            // the claim from `lookup_single_flight` is released by this
+            // guard even if the optimizer panics
+            let claim = ClaimGuard { state, key };
+            state
+                .metrics
+                .plan_cache_misses
+                .fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .optimizer_invocations
+                .fetch_add(1, Ordering::Relaxed);
+            let optimized = state.engine.optimize(
+                query,
+                &ExecutionTime,
+                OptimizerConfig {
+                    k: job.k,
+                    cache: state.config.cache,
+                    ..OptimizerConfig::default()
+                },
+            );
+            let plan = optimized.map(|o| Arc::new(o.candidate.plan));
+            if let Ok(plan) = &plan {
+                state
+                    .plans
+                    .lock()
+                    .expect("plan cache lock")
+                    .cache
+                    .insert(key, Arc::clone(plan));
+            }
+            drop(claim);
+            match plan {
+                Ok(plan) => plan,
+                Err(e) => return fail(e.to_string()),
+            }
+        }
+    };
+
+    let mut pull = match TopKExecution::with_shared(
+        &plan,
+        state.engine.schema(),
+        state.engine.registry(),
+        Arc::clone(&state.shared),
+        state.config.call_budget,
+        false,
+    ) {
+        Ok(p) => p,
+        Err(e) => return fail(e.to_string()),
+    };
+    let mut produced = 0u64;
+    while produced < job.k {
+        match pull.next_answer() {
+            Some(answer) => {
+                produced += 1;
+                if job.events.send(SessionEvent::Answer(answer)).is_err() {
+                    break; // session dropped: stop pulling (cancellation)
+                }
+            }
+            None => break,
+        }
+    }
+    if let Some(err) = pull.error() {
+        return fail(err.to_string());
+    }
+
+    let wall = started.elapsed().as_secs_f64();
+    state.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    state.metrics.observe_latency(wall);
+    let _ = job.events.send(SessionEvent::Done(QueryStats {
+        plan_cache_hit,
+        forwarded_calls: pull.total_calls(),
+        forwarded_latency: pull.total_latency(),
+        wall_seconds: wall,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_services::domains::news::news_world;
+    use mdq_services::domains::travel::travel_world;
+
+    const NEWS_QUERY: &str = "q(City, Venue, Price) :- events('mahler-2', City, Venue, D), \
+                              lowcost('Milano', City, Price), Price <= 60.0.";
+
+    fn travel_engine() -> Mdq {
+        let w = travel_world(2008);
+        Mdq::from_world(World {
+            schema: w.schema,
+            query: w.query,
+            registry: w.registry,
+        })
+    }
+
+    const TRAVEL_QUERY: &str = "q(Conf, City, HPrice, FPrice, Hotel) :- \
+         flight('Milano', City, Start, End, ST, ET, FPrice), \
+         hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+         conf('DB', Conf, Start, End, City), \
+         weather(City, Temp, Start), \
+         Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+         Temp >= 28, FPrice + HPrice < 2000.";
+
+    #[test]
+    fn serves_answers_and_counts_metrics() {
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        let result = server.submit(NEWS_QUERY, Some(5)).collect().expect("runs");
+        assert!(!result.answers.is_empty());
+        assert!(!result.stats.plan_cache_hit, "first submission optimizes");
+        let m = server.metrics();
+        assert_eq!((m.submitted, m.completed, m.failed), (1, 1, 0));
+        assert_eq!(m.optimizer_invocations, 1);
+        assert!(m.total_service_calls > 0);
+    }
+
+    #[test]
+    fn repeated_shape_hits_the_plan_cache() {
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        let first = server.submit(NEWS_QUERY, Some(5)).collect().expect("runs");
+        // alpha-renamed + reordered predicate: same fingerprint
+        let renamed = "q(Town, Where, Cost) :- events('mahler-2', Town, Where, Day), \
+                       lowcost('Milano', Town, Cost), Cost <= 60.0.";
+        let second = server.submit(renamed, Some(5)).collect().expect("runs");
+        assert!(second.stats.plan_cache_hit, "renamed query reuses the plan");
+        assert_eq!(first.answers, second.answers);
+        let m = server.metrics();
+        assert_eq!(m.optimizer_invocations, 1, "optimizer ran once");
+        assert_eq!(m.plan_cache_hits, 1);
+        assert_eq!(server.cached_plans(), 1);
+    }
+
+    #[test]
+    fn different_k_is_a_different_plan() {
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        server.submit(NEWS_QUERY, Some(3)).collect().expect("runs");
+        let other_k = server.submit(NEWS_QUERY, Some(5)).collect().expect("runs");
+        assert!(!other_k.stats.plan_cache_hit, "fetch factors depend on k");
+        assert_eq!(server.metrics().optimizer_invocations, 2);
+    }
+
+    #[test]
+    fn parse_errors_fail_the_session() {
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        let err = server
+            .submit("q(X) :- nosuch(X).", None)
+            .collect()
+            .expect_err("bad query");
+        assert!(err.to_string().contains("query failed"));
+        let m = server.metrics();
+        assert_eq!((m.submitted, m.failed), (1, 1));
+    }
+
+    #[test]
+    fn call_budget_rejects_expensive_queries() {
+        let server = QueryServer::new(
+            travel_engine(),
+            RuntimeConfig {
+                call_budget: Some(3),
+                ..RuntimeConfig::default()
+            },
+        );
+        let err = server
+            .submit(TRAVEL_QUERY, Some(10))
+            .collect()
+            .expect_err("budget of 3 cannot cover the travel query");
+        assert!(
+            err.to_string().contains("budget"),
+            "admission-control error: {err}"
+        );
+        assert_eq!(server.metrics().failed, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_cleanly() {
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        server.shutdown();
+        let err = server
+            .submit(NEWS_QUERY, None)
+            .collect()
+            .expect_err("server is down");
+        assert!(err.to_string().contains("shut down"), "{err}");
+    }
+}

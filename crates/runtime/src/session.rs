@@ -1,0 +1,88 @@
+//! The client side of a submitted query: a [`QuerySession`] handle
+//! streaming answers as the worker produces them.
+
+use mdq_model::value::Tuple;
+use std::fmt;
+use std::sync::mpsc;
+
+/// One event of a query's answer stream.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// The next answer, projected on the query head, in rank order.
+    Answer(Tuple),
+    /// The stream ended normally; per-query statistics.
+    Done(QueryStats),
+    /// The query failed (parse, validation, optimization, execution or
+    /// admission control); human-readable reason.
+    Failed(String),
+}
+
+/// Per-query statistics reported with [`SessionEvent::Done`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// Whether the plan came from the plan cache (optimizer skipped).
+    pub plan_cache_hit: bool,
+    /// Request-responses this query forwarded to services (pages served
+    /// by the shared cache are free and not counted).
+    pub forwarded_calls: u64,
+    /// Summed simulated latency of the forwarded calls, seconds.
+    pub forwarded_latency: f64,
+    /// Wall-clock seconds from dequeue to completion.
+    pub wall_seconds: f64,
+}
+
+/// Errors surfaced when collecting a session.
+#[derive(Clone, Debug)]
+pub enum RuntimeError {
+    /// The query failed; human-readable reason from the worker.
+    Query(String),
+    /// The server shut down before finishing the query.
+    Disconnected,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Query(reason) => write!(f, "query failed: {reason}"),
+            RuntimeError::Disconnected => write!(f, "server shut down before the query finished"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Everything a completed session produced.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Answers in rank order.
+    pub answers: Vec<Tuple>,
+    /// Per-query statistics.
+    pub stats: QueryStats,
+}
+
+/// A live query submission: iterate events as the worker streams them,
+/// or [`collect`](QuerySession::collect) everything at once.
+pub struct QuerySession {
+    pub(crate) rx: mpsc::Receiver<SessionEvent>,
+}
+
+impl QuerySession {
+    /// Blocks for the next event; `None` once the stream is finished
+    /// (after `Done`/`Failed`, or if the server dropped the query).
+    pub fn next_event(&self) -> Option<SessionEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Drains the stream: every answer plus the final statistics.
+    pub fn collect(self) -> Result<QueryResult, RuntimeError> {
+        let mut answers = Vec::new();
+        loop {
+            match self.rx.recv() {
+                Ok(SessionEvent::Answer(t)) => answers.push(t),
+                Ok(SessionEvent::Done(stats)) => return Ok(QueryResult { answers, stats }),
+                Ok(SessionEvent::Failed(reason)) => return Err(RuntimeError::Query(reason)),
+                Err(_) => return Err(RuntimeError::Disconnected),
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The serving layer end to end: two [`QueryServer`]s (one per
+//! federation — travel and bibliography), a mixed workload of repeated
+//! query shapes submitted concurrently, and the metrics snapshot
+//! showing what the runtime amortized.
+//!
+//! ```sh
+//! cargo run --example query_server
+//! ```
+
+use mdq::services::domains::bibliography::bibliography_world;
+use mdq::services::domains::travel::travel_world;
+use mdq::services::domains::World;
+use mdq::{Mdq, QueryServer, RuntimeConfig};
+
+const TRAVEL_TEMPLATE: &str = "q(Conf, City, HPrice, FPrice, Hotel) :- \
+     flight('Milano', City, Start, End, ST, ET, FPrice), \
+     hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+     conf('DB', Conf, Start, End, City), \
+     weather(City, Temp, Start), \
+     Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+     Temp >= 28, FPrice + HPrice < {budget}.";
+
+const BIBLIO_QUERY: &str = "q(Author, Title, Project, Funding) :- \
+     pubsearch('service computing', Author, Title, Year, Cits), \
+     projects(Author, Project, 'FP7', Funding), \
+     Year >= 2005.";
+
+fn main() {
+    let config = RuntimeConfig {
+        workers: 4,
+        per_service_concurrency: 2,
+        ..RuntimeConfig::default()
+    };
+
+    let tw = travel_world(2008);
+    let travel = QueryServer::new(
+        Mdq::from_world(World {
+            schema: tw.schema,
+            query: tw.query,
+            registry: tw.registry,
+        }),
+        config,
+    );
+    let biblio = QueryServer::from_world(bibliography_world(7), config);
+
+    // The mixed workload: 12 travel submissions across three price
+    // budgets (three distinct templates — different constants are
+    // different fingerprints) interleaved with 6 bibliographic ones.
+    let mut sessions = Vec::new();
+    for round in 0..6 {
+        let budget = 1600 + (round % 3) * 200;
+        let text = TRAVEL_TEMPLATE.replace("{budget}", &budget.to_string());
+        sessions.push(("travel", travel.submit(&text, Some(5))));
+        sessions.push(("travel", travel.submit(&text, Some(5))));
+        sessions.push(("biblio", biblio.submit(BIBLIO_QUERY, Some(5))));
+    }
+
+    let mut answers = 0usize;
+    let mut plan_hits = 0usize;
+    for (domain, session) in sessions {
+        match session.collect() {
+            Ok(result) => {
+                answers += result.answers.len();
+                plan_hits += result.stats.plan_cache_hit as usize;
+                if let Some(first) = result.answers.first() {
+                    println!(
+                        "{domain:<7} {} answers, first: {first}  [{}]",
+                        result.answers.len(),
+                        if result.stats.plan_cache_hit {
+                            "plan cache hit"
+                        } else {
+                            "optimized"
+                        }
+                    );
+                }
+            }
+            Err(e) => println!("{domain:<7} failed: {e}"),
+        }
+    }
+    println!("\n{answers} answers total, {plan_hits} plan-cache hits across 18 submissions");
+
+    println!("\n── travel server metrics ──");
+    println!("{}", travel.metrics());
+    println!("\n── bibliography server metrics ──");
+    println!("{}", biblio.metrics());
+
+    travel.shutdown();
+    biblio.shutdown();
+}

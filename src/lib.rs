@@ -19,6 +19,7 @@
 //! | [`cost`] | cardinality/call estimation, the five cost metrics |
 //! | [`optimizer`] | the three-phase branch and bound + baselines |
 //! | [`exec`] | caches, rank-preserving joins, three executors |
+//! | [`runtime`] | concurrent multi-query server: worker pool, plan cache, shared gateway, metrics |
 //!
 //! ```
 //! use mdq::Mdq;
@@ -46,9 +47,13 @@ pub use mdq_exec as exec;
 pub use mdq_model as model;
 pub use mdq_optimizer as optimizer;
 pub use mdq_plan as plan;
+pub use mdq_runtime as runtime;
 pub use mdq_services as services;
+
+pub use mdq_runtime::{MetricsSnapshot, QueryServer, RuntimeConfig};
 
 /// Re-exports of the full public API.
 pub mod prelude {
     pub use mdq_core::prelude::*;
+    pub use mdq_runtime::prelude::*;
 }

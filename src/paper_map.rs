@@ -85,5 +85,19 @@
 //! | WSMS baseline (\[16\]) | [`wsms_baseline`](mdq_optimizer::baseline_wsms::wsms_baseline) |
 //! | off-query expansion (`oldTown(City)`) | [`expand_for_executability`](mdq_optimizer::expansion::expand_for_executability) |
 //!
+//! ## Beyond the paper — the serving layer
+//!
+//! The paper runs one query at a time; the ROADMAP's production goal
+//! adds a concurrent serving layer following Roy et al.'s multi-query
+//! optimization line (see PAPERS.md):
+//!
+//! | Concept | Implementation |
+//! |---|---|
+//! | "optimization is performed for each query template" (§2.2), across users | [`fingerprint`](mdq_model::fingerprint::fingerprint) + the [`PlanCache`](mdq_runtime::plan_cache::PlanCache) |
+//! | concurrent multi-query server | [`QueryServer`](mdq_runtime::server::QueryServer) (worker pool, streaming [`QuerySession`](mdq_runtime::session::QuerySession)s) |
+//! | §5.1 cache, amortized across a workload | [`SharedServiceState`](mdq_exec::gateway::SharedServiceState) (single-flight, per-service concurrency limits) |
+//! | admission control | [`RuntimeConfig::call_budget`](mdq_runtime::server::RuntimeConfig), [`ExecError::CallBudgetExhausted`](mdq_exec::operator::ExecError) |
+//! | observability | [`MetricsSnapshot`](mdq_runtime::metrics::MetricsSnapshot) (QPS, hit rates, latency histogram) |
+//!
 //! Deviations and errata discovered during implementation are catalogued
 //! in `EXPERIMENTS.md` at the workspace root.

@@ -1,0 +1,111 @@
+//! Integration coverage for the template-normalization fingerprint
+//! (`mdq::model::fingerprint`) — the plan-cache key of the serving
+//! layer: alpha-renaming and predicate order must not matter; constants
+//! and shape must.
+
+use mdq::model::fingerprint::{canonical_text, fingerprint, QueryFingerprint};
+use mdq::model::template::QueryTemplate;
+use mdq::model::value::Value;
+use mdq::services::domains::travel::travel_world;
+use mdq::Mdq;
+
+fn engine() -> Mdq {
+    let w = travel_world(2008);
+    Mdq::from_world(mdq::services::domains::World {
+        schema: w.schema,
+        query: w.query,
+        registry: w.registry,
+    })
+}
+
+fn fp(engine: &Mdq, text: &str) -> QueryFingerprint {
+    fingerprint(&engine.parse(text).expect("parses"))
+}
+
+const FULL: &str = "q(Conf, City, HPrice, FPrice, Hotel) :- \
+     flight('Milano', City, Start, End, ST, ET, FPrice), \
+     hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+     conf('DB', Conf, Start, End, City), \
+     weather(City, Temp, Start), \
+     Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+     Temp >= 28, FPrice + HPrice < 2000.";
+
+#[test]
+fn alpha_renaming_and_predicate_order_are_invisible() {
+    let e = engine();
+    // every variable renamed, predicates listed in a different order
+    let variant = "q(C, Town, HP, FP, H) :- \
+         flight('Milano', Town, S, E, T1, T2, FP), \
+         hotel(H, Town, 'luxury', S, E, HP), \
+         conf('DB', C, S, E, Town), \
+         weather(Town, Deg, S), \
+         FP + HP < 2000, Deg >= 28, \
+         E <= '2007/3/14' + 180, S >= '2007/3/14'.";
+    assert_eq!(fp(&e, FULL), fp(&e, variant));
+}
+
+#[test]
+fn constants_are_part_of_the_template() {
+    let e = engine();
+    let other_topic = FULL.replace("'DB'", "'AI'");
+    let other_budget = FULL.replace("2000", "1800");
+    let base = fp(&e, FULL);
+    assert_ne!(base, fp(&e, &other_topic));
+    assert_ne!(base, fp(&e, &other_budget));
+    assert_ne!(fp(&e, &other_topic), fp(&e, &other_budget));
+}
+
+#[test]
+fn shape_changes_change_the_fingerprint() {
+    let e = engine();
+    let base = fp(&e, FULL);
+    // one atom fewer
+    let no_weather = "q(Conf, City, HPrice, FPrice, Hotel) :- \
+         flight('Milano', City, Start, End, ST, ET, FPrice), \
+         hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+         conf('DB', Conf, Start, End, City), \
+         Start >= '2007/3/14', FPrice + HPrice < 2000.";
+    assert_ne!(base, fp(&e, no_weather));
+    // same atoms, different head projection
+    let narrower_head = "q(Conf, City) :- \
+         flight('Milano', City, Start, End, ST, ET, FPrice), \
+         hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+         conf('DB', Conf, Start, End, City), \
+         weather(City, Temp, Start), \
+         Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+         Temp >= 28, FPrice + HPrice < 2000.";
+    assert_ne!(base, fp(&e, narrower_head));
+}
+
+#[test]
+fn template_instantiations_share_fingerprints_per_binding() {
+    // §2.2: the same form resubmitted with the same keywords is the
+    // same template instance — and the plan cache treats it as such
+    let e = engine();
+    let template = QueryTemplate::new(
+        "q(Conf, City) :- conf($topic, Conf, S, E, City), \
+         weather(City, T, S), T >= $min.",
+    )
+    .expect("builds");
+    let inst = |topic: &str, min: i64| {
+        let q = template
+            .instantiate(
+                e.schema(),
+                &[("topic", Value::str(topic)), ("min", Value::Int(min))],
+            )
+            .expect("instantiates");
+        fingerprint(&q)
+    };
+    assert_eq!(inst("DB", 28), inst("DB", 28), "same keywords, same key");
+    assert_ne!(inst("DB", 28), inst("AI", 28), "keyword is part of the key");
+    assert_ne!(inst("DB", 28), inst("DB", 30));
+}
+
+#[test]
+fn canonical_text_is_deterministic_across_parses() {
+    let e = engine();
+    let a = e.parse(FULL).expect("parses");
+    let b = e.parse(FULL).expect("parses");
+    assert_eq!(canonical_text(&a), canonical_text(&b));
+    assert_eq!(format!("{}", fingerprint(&a)).len(), 16, "hex digest");
+}
