@@ -70,6 +70,7 @@ pub fn profile_all(seed: u64) -> Vec<ProfileReport> {
         chunk_size: None,
         avg_response_size: Some(total as f64 / conf_rows.len() as f64),
         avg_response_time: latency / conf_rows.len() as f64,
+        failure_rate: 0.0,
         samples: conf_rows.len(),
     };
 

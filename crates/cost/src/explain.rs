@@ -33,7 +33,7 @@ pub fn explain(plan: &Plan, schema: &Schema, ann: &Annotation) -> String {
                 let sig = schema.service(plan.query.atoms[*atom].service);
                 let pos = plan.position_of(*atom).expect("covered");
                 let f = plan.fetch_of(pos);
-                let work = f as f64 * ann.calls[i] * sig.profile.response_time;
+                let work = f as f64 * ann.calls[i] * sig.profile.effective_response_time();
                 (
                     format!("invoke {}", sig.name),
                     if sig.chunking.is_chunked() {

@@ -22,27 +22,29 @@ pub trait CostMetric {
 
 /// Per-node work of an invoke node: `F_n · calls_n · τ_n`
 /// (the `F_n · t^in_n · τ_n` term of Eq. 4, with `t^in` refined to the
-/// cache-aware call count per §5.3's closing remark).
+/// cache-aware call count per §5.3's closing remark). `τ` is the
+/// *effective* response time — inflated by the expected attempts per
+/// successful call when the profiler observed a failure rate — so
+/// re-planning penalizes flaky services.
 fn node_work(plan: &Plan, ann: &Annotation, schema: &Schema, idx: usize) -> f64 {
     match plan.nodes[idx].kind {
         NodeKind::Invoke { atom } => {
             let sig = schema.service(plan.query.atoms[atom].service);
             let pos = plan.position_of(atom).expect("covered");
-            plan.fetch_of(pos) as f64 * ann.calls[idx] * sig.profile.response_time
+            plan.fetch_of(pos) as f64 * ann.calls[idx] * sig.profile.effective_response_time()
         }
         _ => 0.0,
     }
 }
 
-/// Response time τ of the service behind a node (0 for non-invoke nodes).
+/// Effective response time τ of the service behind a node (0 for
+/// non-invoke nodes); failure-rate inflated like [`node_work`].
 fn node_tau(plan: &Plan, schema: &Schema, idx: usize) -> f64 {
     match plan.nodes[idx].kind {
-        NodeKind::Invoke { atom } => {
-            schema
-                .service(plan.query.atoms[atom].service)
-                .profile
-                .response_time
-        }
+        NodeKind::Invoke { atom } => schema
+            .service(plan.query.atoms[atom].service)
+            .profile
+            .effective_response_time(),
         _ => 0.0,
     }
 }
@@ -366,6 +368,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// An observed failure rate inflates a flaky service's effective τ,
+    /// so time-based metrics penalize plans that lean on it — the
+    /// re-planning half of the fault model.
+    #[test]
+    fn failure_rate_penalizes_flaky_services() {
+        let (plan, mut schema) = make_plan(fig6_poset(), &[(ATOM_FLIGHT, 3), (ATOM_HOTEL, 4)]);
+        let base = cost_of(&ExecutionTime, &plan, &schema, CacheSetting::OneCall);
+        let weather = schema.service_by_name("weather").expect("weather");
+        schema.service_mut(weather).profile.failure_rate = 0.5;
+        let flaky = cost_of(&ExecutionTime, &plan, &schema, CacheSetting::OneCall);
+        // weather was the bottleneck (30 s work): doubling its expected
+        // attempts doubles that work
+        assert!(
+            flaky > base + 25.0,
+            "flaky ETM {flaky} should far exceed healthy {base}"
+        );
+        // request counting is unaffected: failures change time, not the
+        // billable-call estimate
+        let rr_healthy = cost_of(&RequestResponse, &plan, &schema, CacheSetting::OneCall);
+        schema.service_mut(weather).profile.failure_rate = 0.0;
+        let rr_base = cost_of(&RequestResponse, &plan, &schema, CacheSetting::OneCall);
+        assert!((rr_healthy - rr_base).abs() < 1e-12);
     }
 
     #[test]

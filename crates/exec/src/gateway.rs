@@ -14,9 +14,21 @@
 //!   refused and the execution fails with
 //!   [`ExecError::CallBudgetExhausted`].
 //!
+//! * **resilience** — services may fault
+//!   ([`ServiceFault`](mdq_services::service::ServiceFault)): the
+//!   gateway retries each page under a per-service [`RetryPolicy`]
+//!   (bounded attempts, deterministic backoff accounting in simulated
+//!   seconds, call-budget aware), and when retries exhaust it *degrades*
+//!   the page instead of failing the query — the execution completes
+//!   with [`PartialResults`] naming the degraded services and their
+//!   [`FaultStats`].
+//!
 //! Cache and accounting live one level down, in a [`SharedServiceState`]:
 //! the §5.1 [`PageCache`], cumulative per-service call/latency counters,
-//! per-service concurrency limits and single-flight page deduplication.
+//! per-service concurrency limits, single-flight page deduplication and
+//! the failed-page memo (a page whose retries exhausted is published so
+//! single-flight waiters wake with the fault — and later fetchers skip
+//! the fault storm — instead of hanging or re-fetching).
 //! A stand-alone execution owns a private state
 //! ([`ServiceGateway::new`] — the paper's one-query-at-a-time setting);
 //! the `mdq-runtime` serving layer hands *one* `Arc`-shared state to
@@ -36,11 +48,144 @@ use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::{Tuple, Value};
 use mdq_plan::dag::Plan;
 use mdq_services::registry::ServiceRegistry;
-use mdq_services::service::Service;
+use mdq_services::service::{Service, ServiceFault};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Bounded-retry policy for faulted service calls.
+///
+/// Backoff is *accounted*, not slept: the simulated seconds of each
+/// wait (`base_backoff · multiplier^attempt`, or the provider's
+/// `retry_after` when larger) are charged to the page's forwarded
+/// latency and recorded in [`FaultStats::backoff_seconds`], keeping
+/// chaos runs deterministic and wall-clock free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Simulated seconds waited before the first retry.
+    pub base_backoff: f64,
+    /// Backoff growth factor per further retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: 0.5,
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every fault immediately degrades its page.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        base_backoff: 0.0,
+        multiplier: 1.0,
+    };
+
+    /// `retries` attempts with the default backoff schedule.
+    pub fn retries(n: u32) -> Self {
+        RetryPolicy {
+            max_retries: n,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Simulated seconds waited before retry number `attempt + 1`
+    /// (after failed attempt index `attempt`).
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        self.base_backoff * self.multiplier.powi(attempt.min(30) as i32)
+    }
+}
+
+/// Per-service fault accounting, kept both per execution (in the
+/// [`ServiceGateway`]) and cumulatively (in the
+/// [`SharedServiceState`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Attempts that came back as provider errors.
+    pub errors: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Attempts that were throttled.
+    pub rate_limited: u64,
+    /// Retries issued after faulted attempts.
+    pub retries: u64,
+    /// Simulated seconds of backoff accounted before those retries.
+    pub backoff_seconds: f64,
+    /// Pages given up on after exhausting the retry budget.
+    pub exhausted: u64,
+}
+
+impl FaultStats {
+    /// Faulted attempts of any kind.
+    pub fn total_faults(&self) -> u64 {
+        self.errors + self.timeouts + self.rate_limited
+    }
+
+    fn classify(&mut self, fault: &ServiceFault) {
+        match fault {
+            ServiceFault::Error { .. } => self.errors += 1,
+            ServiceFault::Timeout { .. } => self.timeouts += 1,
+            ServiceFault::RateLimited { .. } => self.rate_limited += 1,
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.errors += other.errors;
+        self.timeouts += other.timeouts;
+        self.rate_limited += other.rate_limited;
+        self.retries += other.retries;
+        self.backoff_seconds += other.backoff_seconds;
+        self.exhausted += other.exhausted;
+    }
+}
+
+/// One degraded service of a partially completed execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedService {
+    /// Service name (matches the schema signature).
+    pub service: String,
+    /// The fault accounting of this execution against that service.
+    pub stats: FaultStats,
+    /// The fault that exhausted the last retry budget.
+    pub last_fault: ServiceFault,
+}
+
+/// The outcome of an execution that survived degraded services: the
+/// answers produced are valid but possibly incomplete, and this names
+/// which services degraded (sorted by name) instead of poisoning the
+/// whole query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialResults {
+    /// Every service that had at least one page degrade, sorted by
+    /// name.
+    pub degraded: Vec<DegradedService>,
+}
+
+impl PartialResults {
+    /// Whether `service` is among the degraded.
+    pub fn names(&self, service: &str) -> bool {
+        self.degraded.iter().any(|d| d.service == service)
+    }
+}
+
+impl std::fmt::Display for PartialResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "partial results; degraded:")?;
+        for d in &self.degraded {
+            write!(f, " {} ({})", d.service, d.last_fault)?;
+        }
+        Ok(())
+    }
+}
 
 /// One page of results, as served by the gateway (from cache or from the
 /// service).
@@ -50,9 +195,15 @@ pub struct PageFetch {
     pub tuples: Vec<Tuple>,
     /// Whether the service holds further pages for this invocation.
     pub has_more: bool,
-    /// Latency of the forwarded request-response; `None` when the page
-    /// was served from the client cache (cache hits are free).
+    /// Summed simulated seconds this page's forwarding consumed —
+    /// attempt latencies (faulted ones included) plus accounted
+    /// backoff; `None` when the page was served from the client cache
+    /// or the failed-page memo (no forwarding happened).
     pub forwarded_latency: Option<f64>,
+    /// The fault that permanently degraded this page, once the retry
+    /// budget was exhausted. The page is then empty and final
+    /// (`has_more = false`): execution continues with partial results.
+    pub fault: Option<ServiceFault>,
 }
 
 impl PageFetch {
@@ -61,27 +212,37 @@ impl PageFetch {
             tuples: Vec::new(),
             has_more: false,
             forwarded_latency: None,
+            fault: None,
+        }
+    }
+
+    fn failed(fault: ServiceFault, forwarded_latency: Option<f64>) -> Self {
+        PageFetch {
+            tuples: Vec::new(),
+            has_more: false,
+            forwarded_latency,
+            fault: Some(fault),
         }
     }
 }
 
 /// Releases a single-flight claim and its concurrency-limit slot, then
-/// wakes the waiters. Lives across the `service.fetch` call so the
-/// claim is released even if the service panics.
-struct FlightGuard<'a> {
-    shared: &'a SharedServiceState,
+/// wakes the waiters. Lives across the whole `try_fetch`-and-retry
+/// sequence so the claim is released even if the service panics.
+struct FlightGuard {
+    shared: Arc<SharedServiceState>,
     id: ServiceId,
-    key: &'a [Value],
+    key: Vec<Value>,
     page: u32,
 }
 
-impl Drop for FlightGuard<'_> {
+impl Drop for FlightGuard {
     fn drop(&mut self) {
         {
             let mut inner = self.shared.inner.lock().expect("shared state lock");
             inner
                 .fetching
-                .remove(&(self.id, self.key.to_vec(), self.page));
+                .remove(&(self.id, std::mem::take(&mut self.key), self.page));
             if let Some(n) = inner.in_flight.get_mut(&self.id) {
                 *n = n.saturating_sub(1);
             }
@@ -105,6 +266,17 @@ struct SharedInner {
     /// Request-responses currently in flight per service (for the
     /// concurrency limit).
     in_flight: HashMap<ServiceId, usize>,
+    /// Pages whose retry budget exhausted, with the terminal fault.
+    /// Published *before* the single-flight claim is released, so a
+    /// waiter blocked on the failing leader wakes with the error
+    /// instead of hanging or re-fetching the fault storm. Entries are
+    /// held until [`SharedServiceState::clear_failed_pages`] — no
+    /// execution re-probes a condemned page, so recovery after an
+    /// outage is an explicit operator action.
+    failed: HashMap<(ServiceId, Vec<Value>, u32), ServiceFault>,
+    /// Cumulative fault accounting per service, across every execution
+    /// sharing this state.
+    faults: HashMap<ServiceId, FaultStats>,
 }
 
 impl SharedInner {
@@ -115,6 +287,19 @@ impl SharedInner {
         self.fetching
             .iter()
             .any(|(i, k, p)| *i == id && *p == page && k.as_slice() == key)
+    }
+
+    /// The terminal fault of a permanently degraded page, if any.
+    /// Iterated borrowed for the same reason as [`contains_flight`]:
+    /// probing must not clone the key, and the memo stays small (one
+    /// entry per page that exhausted its retries).
+    ///
+    /// [`contains_flight`]: SharedInner::contains_flight
+    fn failed_for(&self, id: ServiceId, key: &[Value], page: u32) -> Option<&ServiceFault> {
+        self.failed
+            .iter()
+            .find(|((i, k, p), _)| *i == id && *p == page && k.as_slice() == key)
+            .map(|(_, f)| f)
     }
 }
 
@@ -133,6 +318,10 @@ pub struct SharedServiceState {
     setting: CacheSetting,
     /// Max request-responses in flight per service; `0` = unlimited.
     per_service_limit: usize,
+    /// Retry policy applied when a service has no override.
+    retry: RetryPolicy,
+    /// Per-service retry-policy overrides (immutable after build).
+    retry_overrides: HashMap<ServiceId, RetryPolicy>,
 }
 
 impl std::fmt::Debug for SharedServiceState {
@@ -158,11 +347,33 @@ impl SharedServiceState {
                 latency_sum: 0.0,
                 fetching: HashSet::new(),
                 in_flight: HashMap::new(),
+                failed: HashMap::new(),
+                faults: HashMap::new(),
             }),
             changed: Condvar::new(),
             setting,
             per_service_limit,
+            retry: RetryPolicy::default(),
+            retry_overrides: HashMap::new(),
         }
+    }
+
+    /// Sets the default retry policy (builder style, before sharing).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the retry policy of one service (builder style,
+    /// before sharing).
+    pub fn with_service_retry(mut self, id: ServiceId, retry: RetryPolicy) -> Self {
+        self.retry_overrides.insert(id, retry);
+        self
+    }
+
+    /// The retry policy in force for `id`.
+    pub fn retry_policy(&self, id: ServiceId) -> RetryPolicy {
+        self.retry_overrides.get(&id).copied().unwrap_or(self.retry)
     }
 
     /// The cache setting this state was built with.
@@ -188,6 +399,40 @@ impl SharedServiceState {
     /// Cumulative simulated latency of all forwarded calls.
     pub fn total_latency(&self) -> f64 {
         self.inner.lock().expect("shared state lock").latency_sum
+    }
+
+    /// Cumulative fault accounting per service, across every execution
+    /// sharing this state.
+    pub fn fault_stats(&self) -> HashMap<ServiceId, FaultStats> {
+        self.inner.lock().expect("shared state lock").faults.clone()
+    }
+
+    /// Cumulative fault accounting, all services.
+    pub fn total_fault_stats(&self) -> FaultStats {
+        let inner = self.inner.lock().expect("shared state lock");
+        let mut total = FaultStats::default();
+        for s in inner.faults.values() {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Pages currently memoized as permanently degraded.
+    pub fn failed_pages(&self) -> usize {
+        self.inner.lock().expect("shared state lock").failed.len()
+    }
+
+    /// Forgets every memoized page failure, returning how many were
+    /// dropped. The memo is deliberately held until cleared — nothing
+    /// re-probes a condemned page, so nothing can organically heal it —
+    /// which makes this the recovery lever for a long-lived state after
+    /// a service outage ends (re-exposed as
+    /// `QueryServer::forget_failed_pages` in `mdq-runtime`).
+    pub fn clear_failed_pages(&self) -> usize {
+        let mut inner = self.inner.lock().expect("shared state lock");
+        let n = inner.failed.len();
+        inner.failed.clear();
+        n
     }
 
     /// Cumulative invocation-level cache statistics for `id`.
@@ -223,6 +468,11 @@ pub struct ServiceGateway {
     stats: HashMap<ServiceId, CacheStats>,
     budget: Option<u64>,
     error: Option<ExecError>,
+    faults: HashMap<ServiceId, FaultStats>,
+    /// Services with at least one degraded page, with the terminal
+    /// fault observed (ordered, so partial results report stably).
+    degraded: BTreeSet<ServiceId>,
+    last_faults: HashMap<ServiceId, ServiceFault>,
 }
 
 impl std::fmt::Debug for ServiceGateway {
@@ -282,6 +532,9 @@ impl ServiceGateway {
             stats: HashMap::new(),
             budget: budget.filter(|&b| b > 0),
             error: None,
+            faults: HashMap::new(),
+            degraded: BTreeSet::new(),
+            last_faults: HashMap::new(),
         })
     }
 
@@ -303,8 +556,12 @@ impl ServiceGateway {
     /// Forwarding is subject to admission control (the per-query call
     /// budget — exhaustion poisons the execution and serves an empty
     /// page), single-flight deduplication (a page already being fetched
-    /// by a concurrent execution is awaited, not re-requested) and the
-    /// per-service concurrency limit.
+    /// by a concurrent execution is awaited, not re-requested), the
+    /// per-service concurrency limit, and the per-service
+    /// [`RetryPolicy`]: faulted attempts are retried with accounted
+    /// backoff while the retry and call budgets allow; a page whose
+    /// retries exhaust is memoized as failed and served as a degraded
+    /// (empty, final) page — see [`ServiceGateway::partial_results`].
     pub fn fetch_page(
         &mut self,
         id: ServiceId,
@@ -320,10 +577,20 @@ impl ServiceGateway {
                         tuples,
                         has_more,
                         forwarded_latency: None,
+                        fault: None,
                     };
                 }
                 PageLookup::PastEnd => return PageFetch::empty(),
                 PageLookup::Unknown => {}
+            }
+            // a page that already exhausted someone's retry budget is
+            // served from the failed-page memo: no fault storm, and a
+            // single-flight waiter woken by a failing leader lands here
+            if let Some(fault) = inner.failed_for(id, key, page) {
+                let fault = fault.clone();
+                drop(inner);
+                self.note_degraded(id, fault.clone());
+                return PageFetch::failed(fault, None);
             }
             // another execution is fetching this very page: wait for it,
             // then re-probe the cache (under `NoCache` the store is a
@@ -352,36 +619,121 @@ impl ServiceGateway {
             // releases the claim + slot and notifies, on return AND on
             // unwind — a panicking service must not wedge the waiters
             let guard = FlightGuard {
-                shared: &self.shared,
+                shared: Arc::clone(&self.shared),
                 id,
-                key,
+                key: key.to_vec(),
                 page,
             };
 
-            let service = self
-                .services
-                .get(&id)
-                .expect("gateway resolved all plan services at construction");
-            let r = service.fetch(pattern, key, page);
-
-            {
-                let mut inner = self.shared.inner.lock().expect("shared state lock");
-                *inner.calls.entry(id).or_insert(0) += 1;
-                inner.latency_sum += r.latency;
-                inner
-                    .cache
-                    .store(id, key, page, r.tuples.clone(), r.has_more);
+            let service = Arc::clone(
+                self.services
+                    .get(&id)
+                    .expect("gateway resolved all plan services at construction"),
+            );
+            let policy = self.shared.retry_policy(id);
+            let mut attempt: u32 = 0;
+            // simulated seconds this page consumed: attempt latencies
+            // (faulted ones included) plus accounted backoff
+            let mut spent = 0.0;
+            loop {
+                match service.try_fetch(pattern, key, page) {
+                    Ok(r) => {
+                        spent += r.latency;
+                        {
+                            let mut inner = self.shared.inner.lock().expect("shared state lock");
+                            *inner.calls.entry(id).or_insert(0) += 1;
+                            inner.latency_sum += r.latency;
+                            inner
+                                .cache
+                                .store(id, key, page, r.tuples.clone(), r.has_more);
+                        }
+                        drop(guard);
+                        *self.calls.entry(id).or_insert(0) += 1;
+                        self.latency_sum += r.latency;
+                        return PageFetch {
+                            tuples: r.tuples,
+                            has_more: r.has_more,
+                            forwarded_latency: Some(spent),
+                            fault: None,
+                        };
+                    }
+                    Err(fault) => {
+                        let fault_latency = fault.latency();
+                        spent += fault_latency;
+                        *self.calls.entry(id).or_insert(0) += 1;
+                        self.latency_sum += fault_latency;
+                        let local = self.faults.entry(id).or_default();
+                        local.classify(&fault);
+                        // a retry is allowed while both the policy and
+                        // the per-query call budget have room
+                        let budget_ok = self
+                            .budget
+                            .map(|b| self.calls.values().sum::<u64>() < b)
+                            .unwrap_or(true);
+                        let retrying = attempt < policy.max_retries && budget_ok;
+                        let wait = if retrying {
+                            let base = policy.backoff(attempt);
+                            let wait = match &fault {
+                                ServiceFault::RateLimited { retry_after, .. } => {
+                                    retry_after.max(base)
+                                }
+                                _ => base,
+                            };
+                            local.retries += 1;
+                            local.backoff_seconds += wait;
+                            spent += wait;
+                            Some(wait)
+                        } else {
+                            local.exhausted += 1;
+                            None
+                        };
+                        {
+                            let mut inner = self.shared.inner.lock().expect("shared state lock");
+                            *inner.calls.entry(id).or_insert(0) += 1;
+                            inner.latency_sum += fault_latency;
+                            let shared = inner.faults.entry(id).or_default();
+                            shared.classify(&fault);
+                            match wait {
+                                Some(wait) => {
+                                    shared.retries += 1;
+                                    shared.backoff_seconds += wait;
+                                }
+                                None => {
+                                    shared.exhausted += 1;
+                                    // publish the terminal fault while
+                                    // still holding the single-flight
+                                    // claim: waiters wake into the memo.
+                                    // ONLY a genuinely exhausted retry
+                                    // policy condemns the page globally
+                                    // — one query running out of its
+                                    // own call budget says nothing
+                                    // about the page, and other
+                                    // queries must stay free to retry
+                                    if attempt >= policy.max_retries {
+                                        inner
+                                            .failed
+                                            .insert((id, key.to_vec(), page), fault.clone());
+                                    }
+                                }
+                            }
+                        }
+                        if wait.is_some() {
+                            attempt += 1;
+                            continue;
+                        }
+                        drop(guard);
+                        self.note_degraded(id, fault.clone());
+                        return PageFetch::failed(fault, Some(spent));
+                    }
+                }
             }
-            drop(guard);
-
-            *self.calls.entry(id).or_insert(0) += 1;
-            self.latency_sum += r.latency;
-            return PageFetch {
-                tuples: r.tuples,
-                has_more: r.has_more,
-                forwarded_latency: Some(r.latency),
-            };
         }
+    }
+
+    /// Records that `id` served a degraded page to this execution.
+    fn note_degraded(&mut self, id: ServiceId, fault: ServiceFault) {
+        self.degraded.insert(id);
+        self.last_faults.insert(id, fault);
     }
 
     fn changed_wait<'a>(
@@ -431,6 +783,54 @@ impl ServiceGateway {
     /// This execution's invocation-level cache statistics for `id`.
     pub fn cache_stats(&self, id: ServiceId) -> CacheStats {
         self.stats.get(&id).copied().unwrap_or_default()
+    }
+
+    /// This execution's fault accounting per service.
+    pub fn fault_stats(&self) -> &HashMap<ServiceId, FaultStats> {
+        &self.faults
+    }
+
+    /// This execution's fault accounting for `id`.
+    pub fn fault_stats_for(&self, id: ServiceId) -> FaultStats {
+        self.faults.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Retries this execution issued against `id`.
+    pub fn retries_to(&self, id: ServiceId) -> u64 {
+        self.fault_stats_for(id).retries
+    }
+
+    /// Whether any service served this execution a degraded page.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
+    /// The partial-results report of this execution: `None` when every
+    /// page was served healthily, otherwise the degraded services in
+    /// name order with their fault accounting.
+    pub fn partial_results(&self) -> Option<PartialResults> {
+        if self.degraded.is_empty() {
+            return None;
+        }
+        let mut degraded: Vec<DegradedService> = self
+            .degraded
+            .iter()
+            .map(|id| DegradedService {
+                service: self
+                    .services
+                    .get(id)
+                    .map(|s| s.name().to_string())
+                    .unwrap_or_else(|| format!("service#{}", id.0)),
+                stats: self.fault_stats_for(*id),
+                last_fault: self
+                    .last_faults
+                    .get(id)
+                    .cloned()
+                    .expect("degraded services record their terminal fault"),
+            })
+            .collect();
+        degraded.sort_by(|a, b| a.service.cmp(&b.service));
+        Some(PartialResults { degraded })
     }
 
     /// Marks the execution as failed; the first error wins.

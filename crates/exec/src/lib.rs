@@ -20,7 +20,12 @@
 //!   ([`SharedGateway`](gateway::SharedGateway)) handles — over a
 //!   [`SharedServiceState`](gateway::SharedServiceState) (client cache,
 //!   cumulative accounting, single-flight, per-service concurrency
-//!   limits) that `mdq-runtime` `Arc`-shares across concurrent queries;
+//!   limits, failed-page memo) that `mdq-runtime` `Arc`-shares across
+//!   concurrent queries — with per-service
+//!   [`RetryPolicy`](gateway::RetryPolicy) resilience: faulted calls
+//!   are retried with accounted backoff and exhausted pages degrade
+//!   into [`PartialResults`](gateway::PartialResults) instead of
+//!   failing the query;
 //! * [`cache`] — the three §5.1 client cache settings
 //!   ([`PageCache`](cache::PageCache));
 //! * [`binding`] — variable bindings flowing through operators;
@@ -56,7 +61,8 @@ pub mod prelude {
     pub use crate::binding::Binding;
     pub use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup, PageStore};
     pub use crate::gateway::{
-        GatewayHandle, LocalGateway, PageFetch, ServiceGateway, SharedGateway, SharedServiceState,
+        DegradedService, FaultStats, GatewayHandle, LocalGateway, PageFetch, PartialResults,
+        RetryPolicy, ServiceGateway, SharedGateway, SharedServiceState,
     };
     pub use crate::joins::{MsJoin, NlJoin};
     pub use crate::operator::{compile, Filter, Invoke, Join, Operator, Select};

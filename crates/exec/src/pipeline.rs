@@ -20,7 +20,9 @@
 
 use crate::binding::Binding;
 use crate::cache::{CacheSetting, CacheStats};
-use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway, SharedServiceState};
+use crate::gateway::{
+    FaultStats, GatewayHandle, LocalGateway, PartialResults, ServiceGateway, SharedServiceState,
+};
 use crate::operator::{Filter, Invoke, Join, Select};
 use crate::plan_info::analyze;
 use mdq_model::rng::Rng;
@@ -80,12 +82,27 @@ pub struct ExecReport {
     pub cache_stats: HashMap<ServiceId, CacheStats>,
     /// Per-node trace, indexed like `plan.nodes`.
     pub node_trace: Vec<NodeTrace>,
+    /// Fault accounting per service (empty with healthy services).
+    pub fault_stats: HashMap<ServiceId, FaultStats>,
+    /// `Some` when at least one service degraded: the answers are valid
+    /// but possibly incomplete, and this names the degraded services.
+    pub partial: Option<PartialResults>,
 }
 
 impl ExecReport {
     /// Calls forwarded to `id` (0 when the service was never invoked).
     pub fn calls_to(&self, id: ServiceId) -> u64 {
         self.calls.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Retries issued against `id` during this run.
+    pub fn retries_to(&self, id: ServiceId) -> u64 {
+        self.fault_stats.get(&id).map(|s| s.retries).unwrap_or(0)
+    }
+
+    /// Whether the run completed with every service healthy.
+    pub fn is_complete(&self) -> bool {
+        self.partial.is_none()
     }
 }
 
@@ -236,10 +253,12 @@ pub(crate) fn run_materialised(
         .iter()
         .map(|b| b.project_head(&plan.query))
         .collect();
-    let (calls, cache_stats) = gateway.with(|g| {
+    let (calls, cache_stats, fault_stats, partial) = gateway.with(|g| {
         (
             g.calls().clone(),
             registry.ids().map(|id| (id, g.cache_stats(id))).collect(),
+            g.fault_stats().clone(),
+            g.partial_results(),
         )
     });
     Ok(ExecReport {
@@ -249,6 +268,8 @@ pub(crate) fn run_materialised(
         calls,
         cache_stats,
         node_trace: trace,
+        fault_stats,
+        partial,
     })
 }
 

@@ -23,7 +23,7 @@
 
 use crate::binding::Binding;
 use crate::cache::CacheSetting;
-use crate::gateway::{GatewayHandle, ServiceGateway, SharedGateway};
+use crate::gateway::{FaultStats, GatewayHandle, PartialResults, ServiceGateway, SharedGateway};
 use crate::operator::{ExecError, Filter, Invoke, Join};
 use crate::pipeline::{run_materialised, ExecReport, StageModel};
 use crate::plan_info::analyze;
@@ -118,6 +118,17 @@ pub struct ThreadedReport {
     pub elapsed: f64,
     /// Request-responses forwarded per service.
     pub calls: HashMap<ServiceId, u64>,
+    /// Fault accounting per service (empty with healthy services).
+    pub fault_stats: HashMap<ServiceId, FaultStats>,
+    /// `Some` when at least one service degraded during the run.
+    pub partial: Option<PartialResults>,
+}
+
+impl ThreadedReport {
+    /// Retries issued against `id` during this run.
+    pub fn retries_to(&self, id: ServiceId) -> u64 {
+        self.fault_stats.get(&id).map(|s| s.retries).unwrap_or(0)
+    }
 }
 
 struct ChannelStream {
@@ -268,7 +279,14 @@ pub fn run_threaded(
         answers
     });
     let elapsed = started.elapsed().as_secs_f64();
-    let (calls, error) = gateway.with(|g| (g.calls().clone(), g.take_error()));
+    let (calls, error, fault_stats, partial) = gateway.with(|g| {
+        (
+            g.calls().clone(),
+            g.take_error(),
+            g.fault_stats().clone(),
+            g.partial_results(),
+        )
+    });
     if let Some(err) = error {
         return Err(err);
     }
@@ -276,6 +294,8 @@ pub fn run_threaded(
         answers,
         elapsed,
         calls,
+        fault_stats,
+        partial,
     })
 }
 

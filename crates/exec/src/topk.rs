@@ -129,6 +129,22 @@ impl TopKExecution {
     pub fn total_latency(&self) -> f64 {
         self.gateway.with(|g| g.total_latency())
     }
+
+    /// Fault accounting per service so far (empty while healthy).
+    pub fn fault_stats(&self) -> std::collections::HashMap<ServiceId, crate::gateway::FaultStats> {
+        self.gateway.with(|g| g.fault_stats().clone())
+    }
+
+    /// Retries issued against `id` so far.
+    pub fn retries_to(&self, id: ServiceId) -> u64 {
+        self.gateway.with(|g| g.retries_to(id))
+    }
+
+    /// The partial-results report so far: `Some` once any service has
+    /// served this execution a degraded page.
+    pub fn partial_results(&self) -> Option<crate::gateway::PartialResults> {
+        self.gateway.with(|g| g.partial_results())
+    }
 }
 
 #[cfg(test)]

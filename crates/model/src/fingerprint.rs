@@ -188,10 +188,21 @@ fn local_atom_key(atom: &crate::query::Atom) -> String {
     key
 }
 
+/// The FNV-1a 64-bit offset basis — the initial state for
+/// [`fnv1a_append`] chains.
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a, 64-bit: stable across platforms and runs (unlike
 /// `DefaultHasher`, whose output is unspecified between releases).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// The workspace's single specified hash — also used by the fault
+/// model's identity-keyed schedules (`mdq_services::fault`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_append(FNV1A_OFFSET, bytes)
+}
+
+/// Incremental FNV-1a: folds `bytes` into an existing state `h`
+/// (start from [`FNV1A_OFFSET`]).
+pub fn fnv1a_append(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);

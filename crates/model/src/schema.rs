@@ -180,6 +180,13 @@ pub struct ServiceProfile {
     /// below the threshold of interest (§3.1), if known. Bounds the number
     /// of useful fetches by `⌈d / cs⌉`.
     pub decay: Option<u64>,
+    /// `φ` — observed failure rate per request-response (errors,
+    /// timeouts and throttling over attempts), learned by the sampling
+    /// profiler at registration/re-estimation time (§5). The cost
+    /// metrics inflate a flaky service's effective response time by the
+    /// expected attempts per successful call, so re-planning penalizes
+    /// unreliable services.
+    pub failure_rate: f64,
 }
 
 impl Default for ServiceProfile {
@@ -189,6 +196,7 @@ impl Default for ServiceProfile {
             response_time: 1.0,
             invocation_cost: 1.0,
             decay: None,
+            failure_rate: 0.0,
         }
     }
 }
@@ -213,6 +221,25 @@ impl ServiceProfile {
     pub fn with_decay(mut self, decay: u64) -> Self {
         self.decay = Some(decay);
         self
+    }
+
+    /// Sets the observed failure rate `φ` (clamped to `[0, 0.95]` so a
+    /// fully dead service still yields finite costs).
+    pub fn with_failure_rate(mut self, rate: f64) -> Self {
+        self.failure_rate = rate.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Expected request-responses per *successful* call given the
+    /// observed failure rate: `1 / (1 − φ)` (geometric retries).
+    pub fn expected_attempts(&self) -> f64 {
+        1.0 / (1.0 - self.failure_rate.clamp(0.0, 0.95))
+    }
+
+    /// Response time `τ` inflated by the expected attempts — what a
+    /// resilient client actually waits per successful call.
+    pub fn effective_response_time(&self) -> f64 {
+        self.response_time * self.expected_attempts()
     }
 
     /// Whether an invocation is *proliferative* (ξ > 1) as opposed to
@@ -671,6 +698,20 @@ mod tests {
         sig.chunking = Chunking::Bulk;
         sig.profile.decay = Some(3);
         assert_eq!(sig.max_fetches_from_decay(), None);
+    }
+
+    #[test]
+    fn failure_rate_inflates_effective_time() {
+        let healthy = ServiceProfile::new(1.0, 4.0);
+        assert!((healthy.expected_attempts() - 1.0).abs() < 1e-12);
+        assert!((healthy.effective_response_time() - 4.0).abs() < 1e-12);
+        let flaky = ServiceProfile::new(1.0, 4.0).with_failure_rate(0.5);
+        assert!((flaky.expected_attempts() - 2.0).abs() < 1e-12);
+        assert!((flaky.effective_response_time() - 8.0).abs() < 1e-12);
+        // dead services clamp to finite costs
+        let dead = ServiceProfile::new(1.0, 4.0).with_failure_rate(1.0);
+        assert!(dead.expected_attempts().is_finite());
+        assert!((dead.failure_rate - 0.95).abs() < 1e-12);
     }
 
     #[test]

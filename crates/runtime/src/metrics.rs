@@ -21,6 +21,18 @@ pub(crate) struct Metrics {
     pub(crate) plan_cache_hits: AtomicU64,
     pub(crate) plan_cache_misses: AtomicU64,
     pub(crate) optimizer_invocations: AtomicU64,
+    /// Queries that completed with at least one degraded service.
+    pub(crate) partial_completions: AtomicU64,
+    /// Retries issued by workers after faulted service calls,
+    /// attributed per query as it finishes — reconciles with the shared
+    /// gateway state's cumulative [`FaultStats`].
+    ///
+    /// [`FaultStats`]: mdq_exec::gateway::FaultStats
+    pub(crate) retries: AtomicU64,
+    /// Service calls that timed out, attributed per query.
+    pub(crate) timeouts: AtomicU64,
+    /// Service calls that were throttled, attributed per query.
+    pub(crate) rate_limited: AtomicU64,
     /// `LATENCY_BOUNDS.len() + 1` buckets (last = overflow).
     latency_buckets: [AtomicU64; LATENCY_BOUNDS.len() + 1],
 }
@@ -35,7 +47,25 @@ impl Metrics {
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
             optimizer_invocations: AtomicU64::new(0),
+            partial_completions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Attributes one finished query's fault accounting (its gateway's
+    /// summed [`FaultStats`]) to the server counters.
+    ///
+    /// [`FaultStats`]: mdq_exec::gateway::FaultStats
+    pub(crate) fn observe_faults(&self, faults: &mdq_exec::gateway::FaultStats, partial: bool) {
+        self.retries.fetch_add(faults.retries, Ordering::Relaxed);
+        self.timeouts.fetch_add(faults.timeouts, Ordering::Relaxed);
+        self.rate_limited
+            .fetch_add(faults.rate_limited, Ordering::Relaxed);
+        if partial {
+            self.partial_completions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -73,6 +103,10 @@ impl Metrics {
             plan_cache_misses: plan_misses,
             plan_cache_hit_rate: rate(plan_hits, plan_misses),
             optimizer_invocations: self.optimizer_invocations.load(Ordering::Relaxed),
+            partial_completions: self.partial_completions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
             page_cache_hits: page.hits,
             page_cache_misses: page.misses,
             page_cache_hit_rate: rate(page.hits, page.misses),
@@ -126,6 +160,15 @@ pub struct MetricsSnapshot {
     pub plan_cache_hit_rate: f64,
     /// Branch-and-bound invocations since start.
     pub optimizer_invocations: u64,
+    /// Queries that completed with at least one degraded service
+    /// (partial answer streams).
+    pub partial_completions: u64,
+    /// Retries issued after faulted service calls, whole workload.
+    pub retries: u64,
+    /// Service calls that timed out, whole workload.
+    pub timeouts: u64,
+    /// Service calls that were throttled, whole workload.
+    pub rate_limited: u64,
     /// Invocation-level page-cache hits across the shared state.
     pub page_cache_hits: u64,
     /// Invocation-level page-cache misses across the shared state.
@@ -169,6 +212,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "service calls: {} total, {:.1}s simulated latency",
             self.total_service_calls, self.total_service_latency
+        )?;
+        writeln!(
+            f,
+            "faults: {} retries · {} timeouts · {} rate-limited · {} partial completions",
+            self.retries, self.timeouts, self.rate_limited, self.partial_completions
         )?;
         for (name, n) in &self.per_service_calls {
             writeln!(f, "  {name:<12} {n}")?;

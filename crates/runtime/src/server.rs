@@ -10,7 +10,7 @@ use crate::session::{QuerySession, QueryStats, SessionEvent};
 use mdq_core::Mdq;
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::ExecutionTime;
-use mdq_exec::gateway::SharedServiceState;
+use mdq_exec::gateway::{FaultStats, RetryPolicy, SharedServiceState};
 use mdq_exec::topk::TopKExecution;
 use mdq_model::fingerprint::fingerprint;
 use mdq_optimizer::bnb::OptimizerConfig;
@@ -40,6 +40,10 @@ pub struct RuntimeConfig {
     /// Admission control: max request-responses one query may forward
     /// before it is failed (`None` = unlimited).
     pub call_budget: Option<u64>,
+    /// Retry policy applied to faulted service calls (bounded retries
+    /// with deterministic backoff accounting; exhausted pages degrade
+    /// the query into partial results instead of failing it).
+    pub retry: RetryPolicy,
     /// Answer target used when `submit` is called without an explicit
     /// `k`.
     pub default_k: u64,
@@ -53,6 +57,7 @@ impl Default for RuntimeConfig {
             plan_cache_capacity: 256,
             per_service_concurrency: 4,
             call_budget: None,
+            retry: RetryPolicy::default(),
             default_k: 10,
         }
     }
@@ -110,10 +115,10 @@ impl QueryServer {
     /// Starts a server over `engine` with the given policies.
     pub fn new(engine: Mdq, config: RuntimeConfig) -> Self {
         let state = Arc::new(ServerState {
-            shared: Arc::new(SharedServiceState::new(
-                config.cache,
-                config.per_service_concurrency,
-            )),
+            shared: Arc::new(
+                SharedServiceState::new(config.cache, config.per_service_concurrency)
+                    .with_retry(config.retry),
+            ),
             plans: Mutex::new(PlanState {
                 cache: PlanCache::new(config.plan_cache_capacity),
                 optimizing: std::collections::HashSet::new(),
@@ -189,6 +194,15 @@ impl QueryServer {
     /// The cross-query shared gateway state (page cache + accounting).
     pub fn shared_state(&self) -> &Arc<SharedServiceState> {
         &self.state.shared
+    }
+
+    /// Forgets every memoized page failure in the shared gateway state,
+    /// returning how many were dropped — the operator's recovery lever
+    /// after a service outage ends (condemned pages are never re-probed
+    /// on their own, so they stay degraded until this is called or the
+    /// server restarts).
+    pub fn forget_failed_pages(&self) -> usize {
+        self.state.shared.clear_failed_pages()
     }
 
     /// Plans currently held by the plan cache.
@@ -361,9 +375,20 @@ fn process(state: &ServerState, job: Job) {
             None => break,
         }
     }
+    let mut faults = FaultStats::default();
+    for s in pull.fault_stats().values() {
+        faults.merge(s);
+    }
     if let Some(err) = pull.error() {
+        // even a failed query attributes its fault accounting, so the
+        // server counters reconcile with the shared gateway state
+        state.metrics.observe_faults(&faults, false);
         return fail(err.to_string());
     }
+    // degraded services don't fail the query: the session completes
+    // with partial results naming them
+    let partial = pull.partial_results();
+    state.metrics.observe_faults(&faults, partial.is_some());
 
     let wall = started.elapsed().as_secs_f64();
     state.metrics.completed.fetch_add(1, Ordering::Relaxed);
@@ -373,6 +398,11 @@ fn process(state: &ServerState, job: Job) {
         forwarded_calls: pull.total_calls(),
         forwarded_latency: pull.total_latency(),
         wall_seconds: wall,
+        retries: faults.retries,
+        timeouts: faults.timeouts,
+        degraded_services: partial
+            .map(|p| p.degraded.into_iter().map(|d| d.service).collect())
+            .unwrap_or_default(),
     }));
 }
 

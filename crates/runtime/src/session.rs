@@ -18,17 +18,33 @@ pub enum SessionEvent {
 }
 
 /// Per-query statistics reported with [`SessionEvent::Done`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct QueryStats {
     /// Whether the plan came from the plan cache (optimizer skipped).
     pub plan_cache_hit: bool,
     /// Request-responses this query forwarded to services (pages served
-    /// by the shared cache are free and not counted).
+    /// by the shared cache are free and not counted; faulted attempts
+    /// are counted).
     pub forwarded_calls: u64,
     /// Summed simulated latency of the forwarded calls, seconds.
     pub forwarded_latency: f64,
     /// Wall-clock seconds from dequeue to completion.
     pub wall_seconds: f64,
+    /// Retries this query issued after faulted service calls.
+    pub retries: u64,
+    /// Service calls of this query that timed out.
+    pub timeouts: u64,
+    /// Names of the services that served this query degraded pages
+    /// (empty = the answer stream is complete).
+    pub degraded_services: Vec<String>,
+}
+
+impl QueryStats {
+    /// Whether the query completed with partial results (at least one
+    /// service degraded).
+    pub fn is_partial(&self) -> bool {
+        !self.degraded_services.is_empty()
+    }
 }
 
 /// Errors surfaced when collecting a session.
@@ -58,6 +74,14 @@ pub struct QueryResult {
     pub answers: Vec<Tuple>,
     /// Per-query statistics.
     pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Whether the answers are partial (some service degraded; see
+    /// [`QueryStats::degraded_services`]).
+    pub fn is_partial(&self) -> bool {
+        self.stats.is_partial()
+    }
 }
 
 /// A live query submission: iterate events as the worker streams them,

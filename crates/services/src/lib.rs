@@ -9,7 +9,10 @@
 //! profiler).
 //!
 //! * [`service`] — the [`Service`](service::Service) trait, call
-//!   counters and latency models;
+//!   counters, latency models and [`ServiceFault`](service::ServiceFault);
+//! * [`fault`] — deterministic fault injection:
+//!   [`FaultProfile`](fault::FaultProfile) wrappers with seeded or
+//!   scripted error/timeout/rate-limit/latency-spike schedules;
 //! * [`synthetic`] — ranked in-memory sources;
 //! * [`registry`] — schema-id → runtime-service bindings;
 //! * [`profiler`] — sampling estimation of erspi / τ / chunk size
@@ -23,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod domains;
+pub mod fault;
 pub mod loader;
 pub mod profiler;
 pub mod registry;
@@ -33,11 +37,14 @@ pub mod synthetic;
 pub mod prelude {
     pub use crate::domains::travel::{travel_world, TravelIds, TravelWorld};
     pub use crate::domains::World;
+    pub use crate::fault::{
+        FaultConfig, FaultInjections, FaultPlan, FaultProfile, FaultRule, PlannedFault,
+    };
     pub use crate::loader::{parse_rows, source_from_text, LoadError};
     pub use crate::profiler::{install, profile_service, ProfileReport};
     pub use crate::registry::ServiceRegistry;
     pub use crate::service::{
-        CallCounter, Counted, InputKey, LatencyModel, Service, ServiceResponse,
+        CallCounter, Counted, InputKey, LatencyModel, Service, ServiceFault, ServiceResponse,
     };
     pub use crate::synthetic::SyntheticSource;
 }

@@ -24,8 +24,12 @@ pub struct ProfileReport {
     /// as `None` for chunked services, matching Table 1's "-" entries
     /// (their size per call is `cs · F`, not an intrinsic constant).
     pub avg_response_size: Option<f64>,
-    /// Average response time per request, seconds.
+    /// Average response time per request, seconds (faulted attempts
+    /// contribute the simulated seconds they consumed).
     pub avg_response_time: f64,
+    /// Observed failure rate: faulted sample invocations over all
+    /// sample invocations (errors, timeouts, throttling alike).
+    pub failure_rate: f64,
     /// Number of sample invocations issued.
     pub samples: usize,
 }
@@ -53,6 +57,14 @@ impl ProfileReport {
 /// chunked services, only the first page — the per-fetch behaviour is
 /// what the cost model consumes).
 ///
+/// Sampling goes through the fallible
+/// [`try_fetch`](Service::try_fetch) path, so a degraded provider's
+/// error/timeout/throttle behaviour is *observed*: faulted samples
+/// count into [`ProfileReport::failure_rate`] (and contribute the
+/// simulated seconds they consumed to the average response time), the
+/// same way the paper's registration samples live services as they
+/// actually behave.
+///
 /// `signature_kind`/`chunking` come from the declared signature;
 /// `sample_inputs` is a set of representative input bindings for
 /// `pattern` (the paper derives them "from several test queries").
@@ -65,13 +77,21 @@ pub fn profile_service(
 ) -> ProfileReport {
     let mut total_tuples = 0usize;
     let mut total_latency = 0.0f64;
+    let mut failures = 0usize;
     let mut observed_chunk: Option<u32> = chunking.chunk_size();
     for inputs in sample_inputs {
-        let r = service.fetch(pattern, inputs, 0);
-        total_tuples += r.tuples.len();
-        total_latency += r.latency;
-        if chunking.is_chunked() && r.has_more {
-            observed_chunk = Some(r.tuples.len() as u32);
+        match service.try_fetch(pattern, inputs, 0) {
+            Ok(r) => {
+                total_tuples += r.tuples.len();
+                total_latency += r.latency;
+                if chunking.is_chunked() && r.has_more {
+                    observed_chunk = Some(r.tuples.len() as u32);
+                }
+            }
+            Err(fault) => {
+                failures += 1;
+                total_latency += fault.latency();
+            }
         }
     }
     let n = sample_inputs.len().max(1);
@@ -89,6 +109,7 @@ pub fn profile_service(
             Some(total_tuples as f64 / n as f64)
         },
         avg_response_time: total_latency / n as f64,
+        failure_rate: failures as f64 / n as f64,
         samples: n,
     }
 }
@@ -99,6 +120,7 @@ pub fn profile_service(
 pub fn install(schema: &mut Schema, id: ServiceId, report: &ProfileReport) {
     let sig = schema.service_mut(id);
     sig.profile.response_time = report.avg_response_time;
+    sig.profile.failure_rate = report.failure_rate.clamp(0.0, 0.95);
     if let Some(size) = report.avg_response_size {
         sig.profile.erspi = size;
     }
@@ -158,6 +180,33 @@ mod tests {
         let row = report.table_row();
         assert!(row.contains("search"), "{row}");
         assert!(row.contains('5'), "{row}");
+    }
+
+    #[test]
+    fn profiler_learns_failure_rates() {
+        use crate::fault::{FaultPlan, FaultProfile, PlannedFault};
+        let mut w = travel_world(1);
+        let conf = w.registry.get(w.ids.conf).expect("conf").clone();
+        // the 'DB' sample always times out, the 'AI' sample is healthy
+        let flaky = FaultProfile::scripted(
+            conf,
+            FaultPlan::new().fail_inputs(vec![Value::str("DB")], u32::MAX, PlannedFault::Timeout),
+        );
+        let report = profile_service(
+            &flaky,
+            0,
+            ServiceKind::Exact,
+            Chunking::Bulk,
+            &[vec![Value::str("DB")], vec![Value::str("AI")]],
+        );
+        assert!((report.failure_rate - 0.5).abs() < 1e-12, "{report:?}");
+        install(&mut w.schema, w.ids.conf, &report);
+        let profile = &w.schema.service(w.ids.conf).profile;
+        assert!((profile.failure_rate - 0.5).abs() < 1e-12);
+        assert!(
+            profile.effective_response_time() > profile.response_time,
+            "flakiness penalizes the effective τ"
+        );
     }
 
     #[test]

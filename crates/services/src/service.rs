@@ -9,6 +9,7 @@
 //! [`Schema`]: mdq_model::schema::Schema
 
 use mdq_model::value::{Tuple, Value};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -16,6 +17,66 @@ use std::sync::Mutex;
 /// The values bound to the input positions of an access pattern, in
 /// position order — the cache/index key of an invocation.
 pub type InputKey = Vec<Value>;
+
+/// The degraded behaviours a wrapped web service exhibits (§6 wraps
+/// live 2008 sites, whose real-world failure modes — error pages,
+/// timeouts, throttling — the infallible simulation otherwise hides).
+///
+/// Every variant carries the *simulated* seconds the failed
+/// request-response consumed on the client side, so fault handling is
+/// accounted in the same virtual-time currency as successful calls.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceFault {
+    /// The provider answered, but with an error page.
+    Error {
+        /// Human-readable provider message.
+        message: String,
+        /// Simulated seconds until the error page arrived.
+        latency: f64,
+    },
+    /// No answer arrived within the client's deadline.
+    Timeout {
+        /// The deadline the client waited out, in simulated seconds.
+        deadline: f64,
+    },
+    /// The provider throttled the client.
+    RateLimited {
+        /// Provider-suggested wait before the next attempt, seconds.
+        retry_after: f64,
+        /// Simulated seconds until the throttle response arrived.
+        latency: f64,
+    },
+}
+
+impl ServiceFault {
+    /// Simulated seconds the failed request-response consumed.
+    pub fn latency(&self) -> f64 {
+        match self {
+            ServiceFault::Error { latency, .. } => *latency,
+            ServiceFault::Timeout { deadline } => *deadline,
+            ServiceFault::RateLimited { latency, .. } => *latency,
+        }
+    }
+
+    /// Whether the fault is a timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ServiceFault::Timeout { .. })
+    }
+}
+
+impl fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceFault::Error { message, .. } => write!(f, "service error: {message}"),
+            ServiceFault::Timeout { deadline } => {
+                write!(f, "timed out after {deadline}s")
+            }
+            ServiceFault::RateLimited { retry_after, .. } => {
+                write!(f, "rate limited (retry after {retry_after}s)")
+            }
+        }
+    }
+}
 
 /// One page of results from a service invocation.
 #[derive(Clone, Debug)]
@@ -42,6 +103,43 @@ pub trait Service: Send + Sync {
     ///
     /// Bulk services return everything at page 0 with `has_more = false`.
     fn fetch(&self, pattern: usize, inputs: &[Value], page: u32) -> ServiceResponse;
+
+    /// Fallible fetch: like [`Service::fetch`], but a degraded provider
+    /// may return a [`ServiceFault`] instead of a page.
+    ///
+    /// This is the entry point the execution engine's gateway and the
+    /// profiler use. The default implementation never faults, so plain
+    /// simulated sources stay infallible; fault-injecting wrappers
+    /// ([`FaultProfile`](crate::fault::FaultProfile)) override it.
+    fn try_fetch(
+        &self,
+        pattern: usize,
+        inputs: &[Value],
+        page: u32,
+    ) -> Result<ServiceResponse, ServiceFault> {
+        Ok(self.fetch(pattern, inputs, page))
+    }
+}
+
+/// Forwarding impl so wrappers can hold `Arc<dyn Service>` handles
+/// (e.g. to re-wrap an already-registered service with faults).
+impl<S: Service + ?Sized> Service for Arc<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn fetch(&self, pattern: usize, inputs: &[Value], page: u32) -> ServiceResponse {
+        (**self).fetch(pattern, inputs, page)
+    }
+
+    fn try_fetch(
+        &self,
+        pattern: usize,
+        inputs: &[Value],
+        page: u32,
+    ) -> Result<ServiceResponse, ServiceFault> {
+        (**self).try_fetch(pattern, inputs, page)
+    }
 }
 
 /// Thread-safe per-service invocation counters, used to reproduce the
@@ -114,6 +212,22 @@ impl<S: Service> Service for Counted<S> {
     fn fetch(&self, pattern: usize, inputs: &[Value], page: u32) -> ServiceResponse {
         let r = self.inner.fetch(pattern, inputs, page);
         self.counter.record(r.tuples.len(), r.latency);
+        r
+    }
+
+    fn try_fetch(
+        &self,
+        pattern: usize,
+        inputs: &[Value],
+        page: u32,
+    ) -> Result<ServiceResponse, ServiceFault> {
+        // faulted attempts are request-responses too: count them, with
+        // the simulated seconds the failed round trip consumed
+        let r = self.inner.try_fetch(pattern, inputs, page);
+        match &r {
+            Ok(resp) => self.counter.record(resp.tuples.len(), resp.latency),
+            Err(fault) => self.counter.record(0, fault.latency()),
+        }
         r
     }
 }

@@ -1,0 +1,110 @@
+//! The fault model end to end: a [`QueryServer`] over a travel
+//! federation whose services are flaky — seeded errors/timeouts/rate
+//! limits on the proliferative services and one permanently dead
+//! endpoint — showing bounded retries, partial results naming the
+//! degraded service, and the chaos counters in the metrics snapshot.
+//!
+//! ```sh
+//! cargo run --example chaos_server
+//! ```
+
+use mdq::exec::gateway::RetryPolicy;
+use mdq::model::value::Value;
+use mdq::services::domains::travel::travel_world;
+use mdq::services::domains::World;
+use mdq::services::fault::{FaultConfig, FaultPlan, FaultProfile, PlannedFault};
+use mdq::{Mdq, QueryServer, RuntimeConfig};
+
+fn travel_query(topic: &str, budget: u32) -> String {
+    format!(
+        "q(Conf, City, HPrice, FPrice, Hotel) :- \
+         flight('Milano', City, Start, End, ST, ET, FPrice), \
+         hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+         conf('{topic}', Conf, Start, End, City), \
+         weather(City, Temp, Start), \
+         Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+         Temp >= 28, FPrice + HPrice < {budget}.0."
+    )
+}
+
+fn main() {
+    // wrap the simulated 2008 sites with real-world failure modes
+    let mut w = travel_world(2008);
+    let conf = w.ids.conf;
+    let inner = w.registry.get(conf).expect("conf").clone();
+    // conference-service.com answers 'DB' fine but times out forever
+    // on 'AI' — a permanently dead endpoint
+    w.registry.register(
+        conf,
+        FaultProfile::scripted(
+            inner,
+            FaultPlan::new().fail_inputs(vec![Value::str("AI")], u32::MAX, PlannedFault::Timeout),
+        ),
+    );
+    for (name, id, seed) in [
+        ("weather", w.ids.weather, 11u64),
+        ("flight", w.ids.flight, 23),
+    ] {
+        let inner = w.registry.get(id).expect("registered").clone();
+        let cfg = FaultConfig::seeded(seed)
+            .with_errors(0.06)
+            .with_rate_limits(0.04)
+            .with_spikes(0.05, 3.0);
+        w.registry.register(id, FaultProfile::seeded(inner, cfg));
+        println!("wrapped {name}: 6% errors, 4% throttling, 5% latency spikes");
+    }
+    println!("wrapped conf: topic 'AI' times out forever\n");
+
+    let server = QueryServer::new(
+        Mdq::from_world(World {
+            schema: w.schema,
+            query: w.query,
+            registry: w.registry,
+        }),
+        RuntimeConfig {
+            workers: 8,
+            per_service_concurrency: 2,
+            retry: RetryPolicy::retries(3),
+            ..RuntimeConfig::default()
+        },
+    );
+
+    // 20 concurrent queries: mostly the healthy topic, a few dead ones
+    let sessions: Vec<_> = (0..20)
+        .map(|i| {
+            if i % 5 == 4 {
+                server.submit(&travel_query("AI", 2000), Some(5))
+            } else {
+                server.submit(&travel_query("DB", 1400 + 200 * (i as u32 % 4)), Some(5))
+            }
+        })
+        .collect();
+
+    let (mut complete, mut partial) = (0usize, 0usize);
+    for (i, session) in sessions.into_iter().enumerate() {
+        match session.collect() {
+            Ok(result) if result.is_partial() => {
+                partial += 1;
+                println!(
+                    "query {i:>2}: PARTIAL — {} answers, degraded: {:?}, {} retries",
+                    result.answers.len(),
+                    result.stats.degraded_services,
+                    result.stats.retries
+                );
+            }
+            Ok(result) => {
+                complete += 1;
+                println!(
+                    "query {i:>2}: complete — {} answers, {} retries absorbed",
+                    result.answers.len(),
+                    result.stats.retries
+                );
+            }
+            Err(e) => println!("query {i:>2}: failed: {e}"),
+        }
+    }
+    println!("\n{complete} complete + {partial} partial, 0 hung\n");
+    println!("── server metrics ──");
+    println!("{}", server.metrics());
+    server.shutdown();
+}

@@ -14,11 +14,11 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`model`] | values, schemas, access patterns, conjunctive queries, parser |
-//! | [`services`] | simulated deep-web sources, registry, profiler, domains |
+//! | [`services`] | simulated deep-web sources, fault injection, registry, profiler, domains |
 //! | [`plan`] | topologies (posets), plan DAGs, join strategies, rendering |
 //! | [`cost`] | cardinality/call estimation, the five cost metrics |
 //! | [`optimizer`] | the three-phase branch and bound + baselines |
-//! | [`exec`] | caches, rank-preserving joins, three executors |
+//! | [`exec`] | caches, rank-preserving joins, retry-resilient gateway, three executors |
 //! | [`runtime`] | concurrent multi-query server: worker pool, plan cache, shared gateway, metrics |
 //!
 //! ```

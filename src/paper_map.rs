@@ -99,5 +99,23 @@
 //! | admission control | [`RuntimeConfig::call_budget`](mdq_runtime::server::RuntimeConfig), [`ExecError::CallBudgetExhausted`](mdq_exec::operator::ExecError) |
 //! | observability | [`MetricsSnapshot`](mdq_runtime::metrics::MetricsSnapshot) (QPS, hit rates, latency histogram) |
 //!
+//! ## Beyond the paper — the fault model
+//!
+//! §6 wraps live 2008 web sites whose real-world behaviour includes
+//! error pages, timeouts, throttling and latency spikes; the engine the
+//! paper describes simply assumes they answer. The fault model makes
+//! that unreliability a first-class, deterministically testable
+//! scenario:
+//!
+//! | Concept | Implementation |
+//! |---|---|
+//! | wrapped services misbehave (errors/timeouts/throttling/spikes) | [`ServiceFault`](mdq_services::service::ServiceFault), [`Service::try_fetch`](mdq_services::service::Service::try_fetch), [`FaultProfile`](mdq_services::fault::FaultProfile) (seeded [`FaultConfig`](mdq_services::fault::FaultConfig) / scripted [`FaultPlan`](mdq_services::fault::FaultPlan)) |
+//! | bounded retries with deterministic backoff accounting | [`RetryPolicy`](mdq_exec::gateway::RetryPolicy) in the gateway (call-budget aware; `retry_after` respected) |
+//! | degraded services surface, queries survive | [`PartialResults`](mdq_exec::gateway::PartialResults) / [`DegradedService`](mdq_exec::gateway::DegradedService) on every driver's report, [`QueryStats::degraded_services`](mdq_runtime::session::QueryStats) per session |
+//! | failed pages never poison caches or waiters | the failed-page memo in [`SharedServiceState`](mdq_exec::gateway::SharedServiceState) (single-flight waiters wake with the error) |
+//! | chaos accounting | [`FaultStats`](mdq_exec::gateway::FaultStats), the retry/timeout/rate-limit/partial counters of [`MetricsSnapshot`](mdq_runtime::metrics::MetricsSnapshot) |
+//! | §5 registration samples real behaviour | [`ProfileReport::failure_rate`](mdq_services::profiler::ProfileReport) via `try_fetch`, installed into [`ServiceProfile::failure_rate`](mdq_model::schema::ServiceProfile) |
+//! | re-planning penalizes flaky services | [`ServiceProfile::effective_response_time`](mdq_model::schema::ServiceProfile::effective_response_time) (`τ / (1−φ)`) consumed by every time-based [cost metric](mdq_cost::metrics) |
+//!
 //! Deviations and errata discovered during implementation are catalogued
 //! in `EXPERIMENTS.md` at the workspace root.

@@ -152,6 +152,124 @@ fn randomized_plans_executors_agree() {
     }
 }
 
+/// Rebuilds the travel world with every service wrapped in a seeded
+/// [`FaultProfile`]: the fault schedule is a function of call identity
+/// only, so identically-seeded worlds replay identical faults no matter
+/// which driver (or thread interleaving) issues the calls.
+fn faulty_world(fault_seed: u64) -> mdq_services::domains::travel::TravelWorld {
+    use mdq::services::fault::{FaultConfig, FaultProfile};
+    let mut w = travel_world(2008);
+    let ids = [w.ids.conf, w.ids.weather, w.ids.flight, w.ids.hotel];
+    for id in ids {
+        let inner = w.registry.get(id).expect("registered").clone();
+        let cfg = FaultConfig::seeded(fault_seed ^ id.0 as u64)
+            .with_errors(0.10)
+            .with_timeouts(0.06)
+            .with_rate_limits(0.04)
+            .with_spikes(0.05, 3.0);
+        w.registry.register(id, FaultProfile::seeded(inner, cfg));
+    }
+    w
+}
+
+/// Seeded-fault equivalence: all three deterministic drivers produce
+/// identical answers, identical per-service call counts (faulted
+/// attempts included) and identical retry counts under the same seeded
+/// fault schedule — and agree on which services, if any, degraded.
+#[test]
+fn randomized_plans_executors_agree_under_seeded_faults() {
+    let mut rng = Rng::new(0xFA_17);
+    for case in 0..8 {
+        let cache = *rng.choose(&CacheSetting::ALL).expect("three settings");
+        let fault_seed = rng.next_u64();
+        let plan = random_plan(&mut rng, &travel_world(2008));
+        let desc = format!(
+            "case {case}: cache {cache:?}, fault seed {fault_seed:#x}, fetches {:?}, poset {}",
+            plan.fetches, plan.poset
+        );
+
+        // each driver gets a freshly wrapped world so per-identity
+        // attempt counters start from zero every time
+        let wp = faulty_world(fault_seed);
+        let pipeline = run(
+            &plan,
+            &wp.schema,
+            &wp.registry,
+            &ExecConfig { cache, k: None },
+        )
+        .unwrap_or_else(|e| panic!("{desc}: pipeline fails: {e}"));
+        let baseline = sorted(pipeline.answers.clone());
+
+        let wq = faulty_world(fault_seed);
+        let mut pull = TopKExecution::new(&plan, &wq.schema, &wq.registry, cache, false)
+            .unwrap_or_else(|e| panic!("{desc}: pull fails: {e}"));
+        let pulled = sorted(pull.answers(1 << 20));
+        assert_eq!(pulled, baseline, "{desc}: pull answers");
+
+        let wt = faulty_world(fault_seed);
+        let thr = run_threaded(
+            &plan,
+            &wt.schema,
+            &wt.registry,
+            &ThreadedConfig {
+                cache,
+                time_scale: 0.0,
+                channel_capacity: 8,
+                k: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{desc}: threaded fails: {e}"));
+        assert_eq!(
+            sorted(thr.answers.clone()),
+            baseline,
+            "{desc}: threaded answers"
+        );
+
+        // identical attempts AND identical retries, service by service
+        let pull_faults = pull.fault_stats();
+        for (name, id) in [
+            ("conf", wp.ids.conf),
+            ("weather", wp.ids.weather),
+            ("flight", wp.ids.flight),
+            ("hotel", wp.ids.hotel),
+        ] {
+            let calls = pipeline.calls_to(id);
+            assert_eq!(
+                pull.calls_to(id),
+                calls,
+                "{desc}: pull vs pipeline calls to {name}"
+            );
+            assert_eq!(
+                thr.calls.get(&id).copied().unwrap_or(0),
+                calls,
+                "{desc}: threaded vs pipeline calls to {name}"
+            );
+            let retries = pipeline.retries_to(id);
+            assert_eq!(
+                pull_faults.get(&id).map(|s| s.retries).unwrap_or(0),
+                retries,
+                "{desc}: pull vs pipeline retries to {name}"
+            );
+            assert_eq!(
+                thr.retries_to(id),
+                retries,
+                "{desc}: threaded vs pipeline retries to {name}"
+            );
+        }
+
+        // and on the degraded-service report itself
+        assert_eq!(
+            pull.partial_results(),
+            pipeline.partial,
+            "{desc}: pull vs pipeline partial report"
+        );
+        assert_eq!(
+            thr.partial, pipeline.partial,
+            "{desc}: threaded vs pipeline partial report"
+        );
+    }
+}
+
 /// Early halting never changes *which* answers arrive, only how many
 /// calls are spent: the first k pulled answers are a prefix-equivalent
 /// subset of the materialised answer set.
