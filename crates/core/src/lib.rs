@@ -24,9 +24,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use mdq_cost::divergence::{refresh_profiles, AdaptiveConfig, ObservedService};
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::{CostMetric, ExecutionTime};
 use mdq_cost::selectivity::SelectivityModel;
+use mdq_exec::adaptive::{AdaptiveOutcome, ReplanRequest, Replanner};
+use mdq_exec::gateway::SharedServiceState;
 use mdq_exec::pipeline::{ExecConfig, ExecError, ExecReport};
 use mdq_exec::topk::TopKExecution;
 use mdq_model::parser::ParseError;
@@ -35,7 +38,9 @@ use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::template::{QueryTemplate, TemplateError};
 use mdq_model::value::Tuple;
 use mdq_optimizer::bnb::{optimize, OptimizeError, Optimized, OptimizerConfig};
+use mdq_optimizer::context::CostContext;
 use mdq_optimizer::expansion::{expand_for_executability, Expansion, ExpansionError};
+use mdq_optimizer::replan::reoptimize_suffix;
 use mdq_plan::builder::StrategyRule;
 use mdq_plan::dag::Plan;
 use mdq_services::domains::World;
@@ -344,6 +349,156 @@ impl Default for Mdq {
     }
 }
 
+/// The optimizer-backed [`Replanner`]: at a suspension point it clones
+/// the schema, refreshes the profiles of every observed service from
+/// the execution's live statistics, re-runs the three-phase search over
+/// the unexecuted suffix ([`reoptimize_suffix`]),
+/// and splices the result in only when it is a *strict* improvement
+/// over the running plan re-priced under the same refreshed schema —
+/// a confirmed plan never churns.
+pub struct OptimizerReplanner<'a> {
+    schema: &'a Schema,
+    metric: &'a dyn CostMetric,
+    config: OptimizerConfig,
+    min_calls: u64,
+}
+
+impl<'a> OptimizerReplanner<'a> {
+    /// Builds a re-planner over the engine's registration-time schema.
+    /// `config` should match the configuration the running plan was
+    /// optimized with (same `k`, cache setting, strategy rule).
+    pub fn new(schema: &'a Schema, metric: &'a dyn CostMetric, config: OptimizerConfig) -> Self {
+        OptimizerReplanner {
+            schema,
+            metric,
+            config,
+            min_calls: 1,
+        }
+    }
+
+    /// Requires this many observed calls before a service's profile is
+    /// refreshed (mirrors [`AdaptiveConfig::min_calls`]).
+    pub fn with_min_calls(mut self, min_calls: u64) -> Self {
+        self.min_calls = min_calls;
+        self
+    }
+
+    /// Refreshes a clone of the base schema from `observed`.
+    fn refreshed(
+        &self,
+        observed: &std::collections::HashMap<ServiceId, ObservedService>,
+    ) -> Schema {
+        let mut schema = self.schema.clone();
+        refresh_profiles(&mut schema, observed, self.min_calls);
+        schema
+    }
+}
+
+impl Replanner for OptimizerReplanner<'_> {
+    fn replan(&mut self, req: &ReplanRequest<'_>) -> Option<mdq_plan::dag::Plan> {
+        let schema = self.refreshed(req.observed);
+        let redone =
+            reoptimize_suffix(req.plan, req.executed, &schema, self.metric, &self.config).ok()?;
+        // splice only a strict improvement: both plans priced under the
+        // *refreshed* schema, so the comparison is apples to apples
+        let ctx = CostContext::new(
+            &schema,
+            &self.config.selectivity,
+            self.config.cache,
+            self.metric,
+        );
+        let (current_cost, _) = ctx.cost(req.plan);
+        (redone.candidate.cost + 1e-9 < current_cost).then_some(redone.candidate.plan)
+    }
+}
+
+/// Everything produced by [`Mdq::run_adaptive`].
+pub struct AdaptiveRunOutcome {
+    /// The initial optimization (the plan execution started with).
+    pub optimized: Optimized,
+    /// The adaptive execution: final report, re-plan count and events,
+    /// and the plan that actually produced the answers.
+    pub outcome: AdaptiveOutcome,
+}
+
+impl AdaptiveRunOutcome {
+    /// The answers, projected on the query head.
+    pub fn answers(&self) -> &[Tuple] {
+        &self.outcome.report.answers
+    }
+
+    /// Re-plans performed mid-flight.
+    pub fn replans(&self) -> u32 {
+        self.outcome.replans
+    }
+}
+
+impl Mdq {
+    /// Builds the optimizer-backed re-planner for this engine's schema
+    /// (selectivity model and strategy rule injected, like
+    /// [`Mdq::optimize`]).
+    pub fn replanner<'a>(
+        &'a self,
+        metric: &'a dyn CostMetric,
+        mut config: OptimizerConfig,
+    ) -> OptimizerReplanner<'a> {
+        config.selectivity = self.selectivity;
+        config.strategy = self.strategy.clone();
+        OptimizerReplanner::new(&self.schema, metric, config)
+    }
+
+    /// Parse → optimize → execute *adaptively*: the stage-materialised
+    /// driver with mid-flight re-optimization under `adaptive`, over a
+    /// fresh memoizing shared gateway state (so a re-plan re-demands
+    /// only cached pages). Uses the execution-time metric, mirroring
+    /// [`Mdq::run`].
+    pub fn run_adaptive(
+        &self,
+        text: &str,
+        k: u64,
+        adaptive: &AdaptiveConfig,
+    ) -> Result<AdaptiveRunOutcome, MdqError> {
+        let query = self.parse(text)?;
+        let config = OptimizerConfig {
+            k,
+            cache: CacheSetting::Optimal,
+            ..OptimizerConfig::default()
+        };
+        let optimized = self.optimize(query, &ExecutionTime, config.clone())?;
+        let shared = std::sync::Arc::new(SharedServiceState::new(
+            mdq_exec::cache::CacheSetting::Optimal,
+            0,
+        ));
+        let mut replanner = self.replanner(&ExecutionTime, config);
+        let outcome = mdq_exec::adaptive::run_adaptive(
+            &optimized.candidate.plan,
+            &self.schema,
+            &self.registry,
+            shared,
+            None,
+            Some(k as usize),
+            adaptive,
+            &mut replanner,
+        )?;
+        Ok(AdaptiveRunOutcome { optimized, outcome })
+    }
+
+    /// Seeds the schema's service profiles from live gateway
+    /// observations
+    /// ([`SharedServiceState::observed_snapshot`]), replacing a separate
+    /// sampling-profiler pass: every service observed for at least
+    /// `min_calls` forwarded calls gets its response time, failure rate
+    /// and (for bulk services) erspi refreshed. Returns how many
+    /// profiles changed.
+    pub fn seed_profiles_from_observed(
+        &mut self,
+        observed: &std::collections::HashMap<ServiceId, ObservedService>,
+        min_calls: u64,
+    ) -> usize {
+        refresh_profiles(&mut self.schema, observed, min_calls)
+    }
+}
+
 /// A query template optimized once (per §2.2) and re-executable with
 /// fresh keyword bindings.
 pub struct PreparedQuery {
@@ -407,7 +562,9 @@ impl RunOutcome {
 
 /// Re-exports of the full public API, one `use` away.
 pub mod prelude {
-    pub use crate::{Mdq, MdqError, PreparedQuery, RunOutcome};
+    pub use crate::{
+        AdaptiveRunOutcome, Mdq, MdqError, OptimizerReplanner, PreparedQuery, RunOutcome,
+    };
     pub use mdq_cost::prelude::*;
     pub use mdq_exec::prelude::*;
     pub use mdq_model::prelude::*;

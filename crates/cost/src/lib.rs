@@ -11,11 +11,15 @@
 //! * [`metrics`] — the five cost metrics: sum cost (Eq. 3),
 //!   request-response, execution time (Eq. 4), bottleneck (\[16\]'s metric,
 //!   kept as baseline) and time-to-screen — all monotonic w.r.t. plan
-//!   construction, as branch and bound requires.
+//!   construction, as branch and bound requires;
+//! * [`divergence`] — estimate-vs-observation drift: the trigger metric
+//!   and profile-refresh path of adaptive mid-flight re-optimization;
+//! * [`explain`] — EXPLAIN-style rendering of annotated plans (Fig. 8).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod divergence;
 pub mod estimate;
 pub mod explain;
 pub mod metrics;
@@ -69,6 +73,10 @@ pub(crate) mod test_fixtures {
 
 /// Convenient glob-import surface: `use mdq_cost::prelude::*;`.
 pub mod prelude {
+    pub use crate::divergence::{
+        diverging_services, profile_divergence, refresh_profiles, AdaptiveConfig, ObservedService,
+        ServiceDivergence,
+    };
     pub use crate::estimate::{Annotation, CacheSetting, Estimator};
     pub use crate::explain::explain;
     pub use crate::metrics::{

@@ -1,0 +1,642 @@
+//! Adaptive mid-flight re-optimization: plan splicing at explicit
+//! suspension points.
+//!
+//! The optimizer commits to a plan using *estimated* service statistics;
+//! the gateway observes the real ones
+//! ([`ServiceGateway::observed_stats`]). The adaptive drivers close that
+//! loop **during** execution:
+//!
+//! 1. execution proceeds to a *suspension point* — an explicit operator
+//!    boundary where no service call is in flight (a completed invoke
+//!    stage for the materialised drivers, an answer boundary for the
+//!    pull driver);
+//! 2. the observed per-service statistics are compared against the
+//!    schema estimates
+//!    ([`diverging_services`]
+//!    under the session's [`AdaptiveConfig`]);
+//! 3. when the drift crosses the configured ratio, a [`Replanner`] is
+//!    asked to re-optimize the *unexecuted suffix* of the DAG against
+//!    refreshed profiles, and the returned plan is **spliced in**: the
+//!    execution restarts under the new plan over the *same* gateway, so
+//!    every page fetched before the splice is served from the shared
+//!    [`PageCache`](crate::cache::PageCache) — a re-plan never repeats a
+//!    service call for data it already has (run the gateway state with
+//!    [`CacheSetting::Optimal`](crate::cache::CacheSetting) to make that
+//!    guarantee unconditional).
+//!
+//! Three drivers implement the loop, all deterministic:
+//!
+//! * [`run_adaptive`] — the stage-materialised engine (suspends after
+//!   every invoke stage);
+//! * [`run_adaptive_dispatch`] — the same stage loop with each stage's
+//!   invocations fanned out over real OS threads (stage outputs are
+//!   reassembled in input order, so answers and — under the memoizing
+//!   cache — call counts match the sequential driver exactly);
+//! * [`AdaptiveTopK`] — the pull-based top-k driver (suspends between
+//!   answers; re-plans cover the whole plan, since a pull execution
+//!   never provably completes an atom).
+//!
+//! Re-planning is rate-limited per query ([`AdaptiveConfig`]): a
+//! bounded number of re-plans, a check cadence in forwarded calls, and
+//! a *settled* set so a divergence the re-planner has already examined
+//! (and declined to act on) does not re-trigger the optimizer at every
+//! subsequent suspension point.
+
+use crate::binding::Binding;
+use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway, SharedGateway};
+use crate::operator::{compile, ExecError, Filter, Invoke, Join, Operator, Select};
+use crate::pipeline::{ExecReport, NodeTrace};
+use crate::plan_info::analyze;
+use mdq_cost::divergence::{diverging_services, ObservedService, ServiceDivergence};
+use mdq_model::schema::{Schema, ServiceId};
+use mdq_model::value::Tuple;
+use mdq_plan::dag::{NodeKind, Plan};
+use mdq_services::registry::ServiceRegistry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+pub use mdq_cost::divergence::AdaptiveConfig;
+
+/// Everything a [`Replanner`] gets to see at a suspension point.
+pub struct ReplanRequest<'a> {
+    /// The currently running plan.
+    pub plan: &'a Plan,
+    /// Query-atom indices whose invoke stages have fully executed, in
+    /// execution order. Empty for the pull driver (its continuation
+    /// semantics never complete an atom provably), in which case the
+    /// whole plan is up for re-optimization.
+    pub executed: &'a [usize],
+    /// Per-service observations of this execution's forwarded calls.
+    pub observed: &'a HashMap<ServiceId, ObservedService>,
+    /// The services that tripped the divergence threshold (sorted by
+    /// service id).
+    pub diverged: &'a [ServiceDivergence],
+    /// Re-plans already performed for this query.
+    pub replans_so_far: u32,
+}
+
+/// Re-optimizes the unexecuted suffix of a plan against observed
+/// statistics. Return `Some(plan)` to splice a better plan in, `None`
+/// to confirm the running plan (the divergence is then marked settled
+/// and does not re-trigger until a *new* service starts diverging).
+///
+/// The optimizer-backed implementation lives in `mdq-core`
+/// (`OptimizerReplanner`); closures implement the trait directly, which
+/// the tests use for scripted re-plans.
+pub trait Replanner {
+    /// Decides whether to splice a new plan in at this suspension point.
+    fn replan(&mut self, req: &ReplanRequest<'_>) -> Option<Plan>;
+}
+
+impl<F: FnMut(&ReplanRequest<'_>) -> Option<Plan>> Replanner for F {
+    fn replan(&mut self, req: &ReplanRequest<'_>) -> Option<Plan> {
+        self(req)
+    }
+}
+
+/// One performed re-plan (splice), for explain/debug output.
+#[derive(Clone, Debug)]
+pub struct ReplanEvent {
+    /// How many invoke stages had executed when the splice happened
+    /// (0 for the pull driver).
+    pub after_stages: usize,
+    /// Names of the services that tripped the threshold.
+    pub services: Vec<String>,
+    /// The worst observed divergence ratio among them.
+    pub worst_ratio: f64,
+}
+
+/// The outcome of an adaptive execution.
+#[derive(Clone, Debug)]
+pub struct AdaptiveOutcome {
+    /// The execution report of the *final* plan. Calls, cache, fault
+    /// and partial-results accounting span the whole adaptive
+    /// execution, splices included; answers, bindings and the node
+    /// trace describe the final plan's pass.
+    pub report: ExecReport,
+    /// Re-plans performed (0 = the estimates held up).
+    pub replans: u32,
+    /// One entry per performed re-plan.
+    pub events: Vec<ReplanEvent>,
+    /// The plan that produced the answers (identical to the input plan
+    /// when `replans == 0`).
+    pub final_plan: Plan,
+    /// The execution's final per-service observations — feed to
+    /// [`refresh_profiles`](mdq_cost::divergence::refresh_profiles) to
+    /// seed the schema for later queries (or to explain the final plan
+    /// under the statistics that were actually observed).
+    pub observed: HashMap<ServiceId, ObservedService>,
+}
+
+/// The shared re-plan decision logic: cadence, rate limiting and the
+/// settled set. Deterministic — its decisions depend only on the
+/// gateway's observed statistics at the suspension point.
+struct Controller {
+    cfg: AdaptiveConfig,
+    replans: u32,
+    events: Vec<ReplanEvent>,
+    last_check_calls: u64,
+    /// Services whose divergence the re-planner has already examined;
+    /// cleared when a splice happens.
+    settled: BTreeSet<ServiceId>,
+}
+
+impl Controller {
+    fn new(cfg: AdaptiveConfig) -> Self {
+        Controller {
+            cfg,
+            replans: 0,
+            events: Vec::new(),
+            last_check_calls: 0,
+            settled: BTreeSet::new(),
+        }
+    }
+
+    /// Runs the divergence check at a suspension point; returns the
+    /// spliced plan when the re-planner produced one.
+    fn consider<G: GatewayHandle>(
+        &mut self,
+        plan: &Plan,
+        schema: &Schema,
+        executed: &[usize],
+        gateway: &G,
+        replanner: &mut dyn Replanner,
+    ) -> Option<Plan> {
+        if self.replans >= self.cfg.max_replans {
+            return None;
+        }
+        let total = gateway.with(|g| g.total_calls());
+        if total.saturating_sub(self.last_check_calls) < self.cfg.check_every_calls.max(1) {
+            return None;
+        }
+        self.last_check_calls = total;
+        let observed = gateway.with(|g| g.observed_stats().clone());
+        let diverged = diverging_services(schema, &observed, &self.cfg);
+        if diverged.is_empty() || diverged.iter().all(|d| self.settled.contains(&d.service)) {
+            return None;
+        }
+        let req = ReplanRequest {
+            plan,
+            executed,
+            observed: &observed,
+            diverged: &diverged,
+            replans_so_far: self.replans,
+        };
+        let outcome = replanner.replan(&req);
+        // either way the re-planner has now seen these services; only a
+        // *new* diverging service re-triggers it (a splice re-arms all)
+        if outcome.is_some() {
+            self.settled.clear();
+            self.replans += 1;
+            self.events.push(ReplanEvent {
+                after_stages: executed.len(),
+                services: diverged
+                    .iter()
+                    .map(|d| schema.service(d.service).name.to_string())
+                    .collect(),
+                worst_ratio: diverged.iter().fold(1.0, |m, d| d.ratio.max(m)),
+            });
+        }
+        self.settled.extend(diverged.iter().map(|d| d.service));
+        outcome
+    }
+}
+
+/// Drains one invoke stage: `inputs` through the node's invoke + filter
+/// operators, either in place or fanned out over `threads` OS threads
+/// (outputs reassembled in input order). Returns the stage's output
+/// stream and its summed forwarded latency.
+fn run_invoke_stage(
+    plan: &Plan,
+    schema: &Schema,
+    info: &crate::plan_info::PlanInfo,
+    node: usize,
+    inputs: Vec<Binding>,
+    gateway: &SharedGateway,
+    threads: usize,
+) -> (Vec<Binding>, f64) {
+    if threads <= 1 || inputs.len() <= 1 {
+        let mut invoke = Invoke::for_node(
+            plan,
+            schema,
+            info,
+            node,
+            inputs.into_iter(),
+            gateway.clone(),
+            false,
+            0.0,
+        );
+        let out: Vec<Binding> = Filter::for_node(plan, info, node, &mut invoke).collect();
+        return (out, invoke.busy());
+    }
+    // contiguous chunks keep the reassembled output in input order, so
+    // the fan-out is answer-identical to the sequential stage
+    let chunk = inputs.len().div_ceil(threads);
+    let chunks: Vec<Vec<Binding>> = inputs.chunks(chunk).map(|c| c.to_vec()).collect::<Vec<_>>();
+    let results: Vec<(Vec<Binding>, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let gateway = gateway.clone();
+                scope.spawn(move || {
+                    let mut invoke = Invoke::for_node(
+                        plan,
+                        schema,
+                        info,
+                        node,
+                        chunk.into_iter(),
+                        gateway,
+                        false,
+                        0.0,
+                    );
+                    let out: Vec<Binding> =
+                        Filter::for_node(plan, info, node, &mut invoke).collect();
+                    (out, invoke.busy())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stage worker joins"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    let mut busy = 0.0;
+    for (part, lat) in results {
+        out.extend(part);
+        busy += lat;
+    }
+    (out, busy)
+}
+
+/// The adaptive stage-materialised engine shared by [`run_adaptive`]
+/// and [`run_adaptive_dispatch`].
+#[allow(clippy::too_many_arguments)] // entry points bundle these below
+fn run_adaptive_stages(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    shared: Arc<crate::gateway::SharedServiceState>,
+    budget: Option<u64>,
+    k: Option<usize>,
+    cfg: &AdaptiveConfig,
+    replanner: &mut dyn Replanner,
+    threads: usize,
+) -> Result<AdaptiveOutcome, ExecError> {
+    let gateway = SharedGateway::new(ServiceGateway::with_shared(
+        plan, schema, registry, shared, budget,
+    )?);
+    let mut plan = plan.clone();
+    let mut ctl = Controller::new(*cfg);
+    'restart: loop {
+        let info = analyze(&plan, schema);
+        let n = plan.nodes.len();
+        let total_invokes = plan
+            .nodes
+            .iter()
+            .filter(|nd| matches!(nd.kind, NodeKind::Invoke { .. }))
+            .count();
+        let mut streams: Vec<Vec<Binding>> = vec![Vec::new(); n];
+        let mut trace = vec![NodeTrace::default(); n];
+        let mut executed: Vec<usize> = Vec::new();
+
+        for i in 0..n {
+            let node = &plan.nodes[i];
+            match &node.kind {
+                NodeKind::Input => {
+                    streams[i] = vec![Binding::empty(plan.query.var_count())];
+                    trace[i] = NodeTrace {
+                        busy: 0.0,
+                        completion: 0.0,
+                        in_tuples: 0,
+                        out_tuples: 1,
+                    };
+                }
+                NodeKind::Invoke { atom } => {
+                    let up = node.inputs[0].0;
+                    let inputs = streams[up].clone();
+                    let in_tuples = inputs.len();
+                    let (out, busy) =
+                        run_invoke_stage(&plan, schema, &info, i, inputs, &gateway, threads);
+                    if let Some(err) = gateway.with(|g| g.take_error()) {
+                        return Err(err);
+                    }
+                    trace[i] = NodeTrace {
+                        busy,
+                        completion: trace[up].completion + busy,
+                        in_tuples,
+                        out_tuples: out.len(),
+                    };
+                    streams[i] = out;
+                    executed.push(*atom);
+                    // suspension point: the stage is complete, no call
+                    // is in flight — safe to splice a new suffix in
+                    if executed.len() < total_invokes {
+                        if let Some(new_plan) =
+                            ctl.consider(&plan, schema, &executed, &gateway, replanner)
+                        {
+                            plan = new_plan;
+                            continue 'restart;
+                        }
+                    }
+                }
+                NodeKind::Join {
+                    left,
+                    right,
+                    strategy,
+                    on,
+                } => {
+                    let (l, r) = (left.0, right.0);
+                    let joined: Vec<Binding> = Filter::for_node(
+                        &plan,
+                        &info,
+                        i,
+                        Join::new(
+                            streams[l].iter().cloned(),
+                            streams[r].iter().cloned(),
+                            strategy,
+                            on.clone(),
+                        ),
+                    )
+                    .collect();
+                    trace[i] = NodeTrace {
+                        busy: 0.0,
+                        completion: trace[l].completion.max(trace[r].completion),
+                        in_tuples: streams[l].len() + streams[r].len(),
+                        out_tuples: joined.len(),
+                    };
+                    streams[i] = joined;
+                }
+                NodeKind::Output => {
+                    let up = node.inputs[0].0;
+                    let filtered = Filter::for_node(&plan, &info, i, streams[up].iter().cloned());
+                    let out: Vec<Binding> = match k {
+                        Some(k) => Select::new(filtered, k).collect(),
+                        None => filtered.collect(),
+                    };
+                    trace[i] = NodeTrace {
+                        busy: 0.0,
+                        completion: trace[up].completion,
+                        in_tuples: streams[up].len(),
+                        out_tuples: out.len(),
+                    };
+                    streams[i] = out;
+                }
+            }
+        }
+
+        let out_idx = plan.output_node().0;
+        let bindings = std::mem::take(&mut streams[out_idx]);
+        let answers = bindings
+            .iter()
+            .map(|b| b.project_head(&plan.query))
+            .collect();
+        let (calls, cache_stats, fault_stats, partial, observed) = gateway.with(|g| {
+            (
+                g.calls().clone(),
+                registry.ids().map(|id| (id, g.cache_stats(id))).collect(),
+                g.fault_stats().clone(),
+                g.partial_results(),
+                g.observed_stats().clone(),
+            )
+        });
+        let report = ExecReport {
+            answers,
+            bindings,
+            virtual_time: trace[out_idx].completion,
+            calls,
+            cache_stats,
+            node_trace: trace,
+            fault_stats,
+            partial,
+        };
+        return Ok(AdaptiveOutcome {
+            report,
+            replans: ctl.replans,
+            events: ctl.events,
+            final_plan: plan,
+            observed,
+        });
+    }
+}
+
+/// Adaptive stage-materialised execution over a shared gateway state:
+/// the pipeline driver with a divergence check (and possible plan
+/// splice) after every completed invoke stage.
+///
+/// `k` truncates the answer list like
+/// [`ExecConfig::k`](crate::pipeline::ExecConfig); `budget` is the
+/// per-query forwarded-call budget.
+#[allow(clippy::too_many_arguments)] // serving-layer entry point: one knob per policy
+pub fn run_adaptive(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    shared: Arc<crate::gateway::SharedServiceState>,
+    budget: Option<u64>,
+    k: Option<usize>,
+    cfg: &AdaptiveConfig,
+    replanner: &mut dyn Replanner,
+) -> Result<AdaptiveOutcome, ExecError> {
+    run_adaptive_stages(plan, schema, registry, shared, budget, k, cfg, replanner, 1)
+}
+
+/// Like [`run_adaptive`], with every invoke stage's calls dispatched
+/// over `threads` real OS threads (the adaptive variant of the threaded
+/// driver). Stage outputs are reassembled in input order, so the run is
+/// answer-identical to [`run_adaptive`]; under the memoizing cache
+/// setting the call counts are identical too (single-flight
+/// deduplicates concurrent demands for one page).
+#[allow(clippy::too_many_arguments)] // serving-layer entry point: one knob per policy
+pub fn run_adaptive_dispatch(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    shared: Arc<crate::gateway::SharedServiceState>,
+    budget: Option<u64>,
+    k: Option<usize>,
+    threads: usize,
+    cfg: &AdaptiveConfig,
+    replanner: &mut dyn Replanner,
+) -> Result<AdaptiveOutcome, ExecError> {
+    run_adaptive_stages(
+        plan,
+        schema,
+        registry,
+        shared,
+        budget,
+        k,
+        cfg,
+        replanner,
+        threads.max(2),
+    )
+}
+
+/// The adaptive pull-based top-k execution: answers are pulled one at a
+/// time; between answers (the pull driver's suspension points) the
+/// divergence check runs, and a splice recompiles the new plan over the
+/// *same* gateway — fetched pages replay from cache, and the bindings
+/// already handed out are tracked as a multiset so the spliced stream
+/// skips exactly one instance of each before emitting further answers
+/// (a splice never re-emits, while legitimate duplicate answers —
+/// projection queries, duplicate source tuples — still flow exactly as
+/// in the frozen driver; with zero re-plans no skipping happens at
+/// all).
+pub struct AdaptiveTopK<'a> {
+    schema: &'a Schema,
+    registry: &'a ServiceRegistry,
+    plan: Plan,
+    gateway: LocalGateway,
+    iter: Box<dyn Operator>,
+    ctl: Controller,
+    /// Every binding emitted so far, in emission order (all splices).
+    emitted: Vec<Binding>,
+    /// Instances of already-emitted bindings the current (spliced)
+    /// stream must still skip — rebuilt from `emitted` at each splice,
+    /// empty before the first one.
+    skip: BTreeMap<Binding, usize>,
+    elastic: bool,
+}
+
+impl<'a> AdaptiveTopK<'a> {
+    /// Prepares an adaptive pull execution over an existing (typically
+    /// `Arc`-shared) gateway state — the serving-layer entry point.
+    pub fn with_shared(
+        plan: &Plan,
+        schema: &'a Schema,
+        registry: &'a ServiceRegistry,
+        shared: Arc<crate::gateway::SharedServiceState>,
+        budget: Option<u64>,
+        elastic: bool,
+        cfg: &AdaptiveConfig,
+    ) -> Result<Self, ExecError> {
+        let gateway = LocalGateway::new(ServiceGateway::with_shared(
+            plan, schema, registry, shared, budget,
+        )?);
+        let info = analyze(plan, schema);
+        let iter = compile(plan, schema, &info, &gateway, elastic);
+        Ok(AdaptiveTopK {
+            schema,
+            registry,
+            plan: plan.clone(),
+            gateway,
+            iter,
+            ctl: Controller::new(*cfg),
+            emitted: Vec::new(),
+            skip: BTreeMap::new(),
+            elastic,
+        })
+    }
+
+    /// Runs the suspension-point check; splices and recompiles when the
+    /// re-planner produced a better plan.
+    fn maybe_replan(&mut self, replanner: &mut dyn Replanner) {
+        // the pull driver re-plans the whole plan: its continuation
+        // semantics never fully execute an atom, so nothing is pinned
+        if let Some(new_plan) =
+            self.ctl
+                .consider(&self.plan, self.schema, &[], &self.gateway, replanner)
+        {
+            self.plan = new_plan;
+            let info = analyze(&self.plan, self.schema);
+            self.iter = compile(&self.plan, self.schema, &info, &self.gateway, self.elastic);
+            // the spliced stream replays from the start: skip exactly
+            // one instance of every binding already handed out
+            self.skip.clear();
+            for b in &self.emitted {
+                *self.skip.entry(b.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Pulls the next answer not yet emitted, re-planning at answer
+    /// boundaries when the observations have drifted. `None` once the
+    /// (possibly spliced) plan is exhausted — check
+    /// [`AdaptiveTopK::error`] to distinguish failure from exhaustion.
+    pub fn next_answer(&mut self, replanner: &mut dyn Replanner) -> Option<Tuple> {
+        loop {
+            self.maybe_replan(replanner);
+            let binding = self.iter.next_binding()?;
+            if let Some(n) = self.skip.get_mut(&binding) {
+                // an instance already emitted before the last splice
+                *n -= 1;
+                if *n == 0 {
+                    self.skip.remove(&binding);
+                }
+                continue;
+            }
+            let answer = binding.project_head(&self.plan.query);
+            self.emitted.push(binding);
+            return Some(answer);
+        }
+    }
+
+    /// Pulls up to `k` further answers.
+    pub fn answers(&mut self, k: usize, replanner: &mut dyn Replanner) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(k.min(1024));
+        for _ in 0..k {
+            match self.next_answer(replanner) {
+                Some(a) => out.push(a),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Re-plans performed so far.
+    pub fn replans(&self) -> u32 {
+        self.ctl.replans
+    }
+
+    /// One event per performed re-plan.
+    pub fn events(&self) -> &[ReplanEvent] {
+        &self.ctl.events
+    }
+
+    /// The currently running plan (the splice result after a re-plan).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The registry this execution resolves services from.
+    pub fn registry(&self) -> &ServiceRegistry {
+        self.registry
+    }
+
+    /// Request-responses forwarded to `id` so far (all splices).
+    pub fn calls_to(&self, id: ServiceId) -> u64 {
+        self.gateway.with(|g| g.calls_to(id))
+    }
+
+    /// Total request-responses forwarded so far (all splices).
+    pub fn total_calls(&self) -> u64 {
+        self.gateway.with(|g| g.total_calls())
+    }
+
+    /// Summed simulated latency of the forwarded calls.
+    pub fn total_latency(&self) -> f64 {
+        self.gateway.with(|g| g.total_latency())
+    }
+
+    /// Fault accounting per service so far (spans all splices — a
+    /// retry spent before a re-plan stays counted exactly once).
+    pub fn fault_stats(&self) -> HashMap<ServiceId, crate::gateway::FaultStats> {
+        self.gateway.with(|g| g.fault_stats().clone())
+    }
+
+    /// Per-service observations of this execution's forwarded calls so
+    /// far (all splices).
+    pub fn observed_stats(&self) -> HashMap<ServiceId, ObservedService> {
+        self.gateway.with(|g| g.observed_stats().clone())
+    }
+
+    /// The partial-results report so far.
+    pub fn partial_results(&self) -> Option<crate::gateway::PartialResults> {
+        self.gateway.with(|g| g.partial_results())
+    }
+
+    /// The execution error that poisoned the stream, if any.
+    pub fn error(&self) -> Option<ExecError> {
+        self.gateway.with(|g| g.error().cloned())
+    }
+}

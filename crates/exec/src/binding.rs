@@ -10,7 +10,11 @@ use mdq_model::value::{Tuple, Value};
 use std::sync::Arc;
 
 /// A (partial) assignment of query variables, cheap to clone.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The ordering and hash are positional over the bound values — what
+/// lets the adaptive pull driver track emitted bindings as a multiset
+/// across plan splices.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Binding {
     values: Arc<[Option<Value>]>,
 }

@@ -15,7 +15,7 @@
 //!   [`ExecError::CallBudgetExhausted`].
 //!
 //! * **resilience** — services may fault
-//!   ([`ServiceFault`](mdq_services::service::ServiceFault)): the
+//!   ([`ServiceFault`]): the
 //!   gateway retries each page under a per-service [`RetryPolicy`]
 //!   (bounded attempts, deterministic backoff accounting in simulated
 //!   seconds, call-budget aware), and when retries exhaust it *degrades*
@@ -44,6 +44,7 @@
 
 use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup};
 use crate::operator::ExecError;
+use mdq_cost::divergence::ObservedService;
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::{Tuple, Value};
 use mdq_plan::dag::Plan;
@@ -277,6 +278,10 @@ struct SharedInner {
     /// Cumulative fault accounting per service, across every execution
     /// sharing this state.
     faults: HashMap<ServiceId, FaultStats>,
+    /// Cumulative per-service observations of forwarded calls (size,
+    /// latency, failures) — the live substitute for a sampling-profiler
+    /// pass, see [`SharedServiceState::observed_snapshot`].
+    observed: HashMap<ServiceId, ObservedService>,
 }
 
 impl SharedInner {
@@ -349,6 +354,7 @@ impl SharedServiceState {
                 in_flight: HashMap::new(),
                 failed: HashMap::new(),
                 faults: HashMap::new(),
+                observed: HashMap::new(),
             }),
             changed: Condvar::new(),
             setting,
@@ -417,6 +423,25 @@ impl SharedServiceState {
         total
     }
 
+    /// Snapshot of the cumulative per-service observations (tuples,
+    /// latency and faults of every forwarded call) across all
+    /// executions sharing this state.
+    ///
+    /// This is the serving layer's substitute for a sampling-profiler
+    /// pass: feed the snapshot to
+    /// [`refresh_profiles`](mdq_cost::divergence::refresh_profiles) to
+    /// seed or re-seed the schema's [`ServiceProfile`]s from live
+    /// gateway accounting.
+    ///
+    /// [`ServiceProfile`]: mdq_model::schema::ServiceProfile
+    pub fn observed_snapshot(&self) -> HashMap<ServiceId, ObservedService> {
+        self.inner
+            .lock()
+            .expect("shared state lock")
+            .observed
+            .clone()
+    }
+
     /// Pages currently memoized as permanently degraded.
     pub fn failed_pages(&self) -> usize {
         self.inner.lock().expect("shared state lock").failed.len()
@@ -469,6 +494,9 @@ pub struct ServiceGateway {
     budget: Option<u64>,
     error: Option<ExecError>,
     faults: HashMap<ServiceId, FaultStats>,
+    /// Per-service observations of this execution's forwarded calls —
+    /// what the adaptive drivers compare against the schema estimates.
+    observed: HashMap<ServiceId, ObservedService>,
     /// Services with at least one degraded page, with the terminal
     /// fault observed (ordered, so partial results report stably).
     degraded: BTreeSet<ServiceId>,
@@ -533,6 +561,7 @@ impl ServiceGateway {
             budget: budget.filter(|&b| b > 0),
             error: None,
             faults: HashMap::new(),
+            observed: HashMap::new(),
             degraded: BTreeSet::new(),
             last_faults: HashMap::new(),
         })
@@ -644,12 +673,21 @@ impl ServiceGateway {
                             *inner.calls.entry(id).or_insert(0) += 1;
                             inner.latency_sum += r.latency;
                             inner
+                                .observed
+                                .entry(id)
+                                .or_default()
+                                .record_ok(r.tuples.len(), r.latency);
+                            inner
                                 .cache
                                 .store(id, key, page, r.tuples.clone(), r.has_more);
                         }
                         drop(guard);
                         *self.calls.entry(id).or_insert(0) += 1;
                         self.latency_sum += r.latency;
+                        self.observed
+                            .entry(id)
+                            .or_default()
+                            .record_ok(r.tuples.len(), r.latency);
                         return PageFetch {
                             tuples: r.tuples,
                             has_more: r.has_more,
@@ -662,6 +700,10 @@ impl ServiceGateway {
                         spent += fault_latency;
                         *self.calls.entry(id).or_insert(0) += 1;
                         self.latency_sum += fault_latency;
+                        self.observed
+                            .entry(id)
+                            .or_default()
+                            .record_fault(fault_latency);
                         let local = self.faults.entry(id).or_default();
                         local.classify(&fault);
                         // a retry is allowed while both the policy and
@@ -691,6 +733,11 @@ impl ServiceGateway {
                             let mut inner = self.shared.inner.lock().expect("shared state lock");
                             *inner.calls.entry(id).or_insert(0) += 1;
                             inner.latency_sum += fault_latency;
+                            inner
+                                .observed
+                                .entry(id)
+                                .or_default()
+                                .record_fault(fault_latency);
                             let shared = inner.faults.entry(id).or_default();
                             shared.classify(&fault);
                             match wait {
@@ -788,6 +835,16 @@ impl ServiceGateway {
     /// This execution's fault accounting per service.
     pub fn fault_stats(&self) -> &HashMap<ServiceId, FaultStats> {
         &self.faults
+    }
+
+    /// This execution's per-service observations of forwarded calls —
+    /// the live statistics the adaptive drivers compare against the
+    /// schema's registered [`ServiceProfile`]s. Cache hits are not
+    /// observations (no call was forwarded) and do not appear here.
+    ///
+    /// [`ServiceProfile`]: mdq_model::schema::ServiceProfile
+    pub fn observed_stats(&self) -> &HashMap<ServiceId, ObservedService> {
+        &self.observed
     }
 
     /// This execution's fault accounting for `id`.

@@ -41,10 +41,18 @@
 //! * [`threaded`] — parallel dispatch (virtual time) and a real
 //!   OS-thread dataflow engine with scaled latencies;
 //! * [`results`] — answer-table rendering (Fig. 10).
+//!
+//! [`adaptive`] closes the estimate→observation loop *mid-flight*: at
+//! explicit suspension points the drivers compare the gateway's
+//! observed per-service statistics against the schema estimates and,
+//! past a configurable divergence, splice in a re-optimized plan suffix
+//! — fetched pages replay from the shared cache, so a re-plan never
+//! repeats a service call for data it already has.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adaptive;
 pub mod binding;
 pub mod cache;
 pub mod gateway;
@@ -58,6 +66,10 @@ pub mod topk;
 
 /// Convenient glob-import surface: `use mdq_exec::prelude::*;`.
 pub mod prelude {
+    pub use crate::adaptive::{
+        run_adaptive, run_adaptive_dispatch, AdaptiveConfig, AdaptiveOutcome, AdaptiveTopK,
+        ReplanEvent, ReplanRequest, Replanner,
+    };
     pub use crate::binding::Binding;
     pub use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup, PageStore};
     pub use crate::gateway::{

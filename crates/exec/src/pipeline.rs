@@ -14,7 +14,7 @@
 //! kernel](crate::operator): per node it drains one operator into a
 //! materialised stream and reads the invoke operator's forwarded
 //! latencies for the time accounting. The same driver, under the
-//! [`StageModel::ParallelDispatch`] stage-time model, implements the §6
+//! parallel-dispatch stage-time model, implements the §6
 //! multithreading experiment (see
 //! [`run_parallel_dispatch`](crate::threaded::run_parallel_dispatch)).
 

@@ -15,7 +15,9 @@
 //! [`bnb`] drives the phases with a shared incumbent; [`exhaustive`] is
 //! the independent oracle used to verify the search never prunes the
 //! optimum; [`baseline_wsms`] reimplements the Srivastava et al. \[16\]
-//! baseline the paper compares against.
+//! baseline the paper compares against; [`replan`] re-runs the search
+//! over the unexecuted suffix of a running plan for adaptive mid-flight
+//! re-optimization.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +30,7 @@ pub mod expansion;
 pub mod phase1;
 pub mod phase2;
 pub mod phase3;
+pub mod replan;
 
 #[cfg(test)]
 pub(crate) mod test_fixtures {
@@ -85,6 +88,7 @@ pub mod prelude {
     };
     pub use crate::phase3::{
         closed_form_n, closed_form_pair, closed_form_sequential, closed_form_single,
-        FetchHeuristic, FetchOutcome, FetchStats,
+        optimize_fetches_pinned, FetchHeuristic, FetchOutcome, FetchStats,
     };
+    pub use crate::replan::reoptimize_suffix;
 }

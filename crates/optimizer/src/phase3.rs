@@ -166,7 +166,25 @@ pub fn heuristic_fetches(
     caps: &[u64],
 ) -> Vec<u64> {
     let chunked = plan.chunked_positions(ctx.schema);
-    let mut f: Vec<u64> = vec![1; plan.atoms.len()];
+    let base = vec![1; plan.atoms.len()];
+    heuristic_fetches_from(plan, ctx, k, heuristic, caps, &base, &chunked)
+}
+
+/// [`heuristic_fetches`] generalised to a base vector and an explicit
+/// set of open positions: positions outside `open` stay at their `base`
+/// value — how suffix re-planning pins the factors of already-executed
+/// stages while re-tuning the rest.
+fn heuristic_fetches_from(
+    plan: &mut Plan,
+    ctx: &CostContext<'_>,
+    k: f64,
+    heuristic: FetchHeuristic,
+    caps: &[u64],
+    base: &[u64],
+    open: &[usize],
+) -> Vec<u64> {
+    let chunked = open.to_vec();
+    let mut f: Vec<u64> = base.to_vec();
     if chunked.is_empty() {
         return f;
     }
@@ -241,16 +259,56 @@ pub fn optimize_fetches(
     incumbent: Option<f64>,
     stats: &mut FetchStats,
 ) -> FetchOutcome {
-    let caps = fetch_caps(plan, ctx, max_fetch);
-    let chunked = plan.chunked_positions(ctx.schema);
+    optimize_fetches_pinned(
+        plan,
+        ctx,
+        k,
+        heuristic,
+        max_fetch,
+        explore,
+        incumbent,
+        stats,
+        &[],
+    )
+}
 
-    // No knobs: cost as-is.
-    if chunked.is_empty() {
-        let ones = vec![1u64; plan.atoms.len()];
-        let (cost, annotation) = cost_with(plan, ctx, &ones, stats);
+/// [`optimize_fetches`] with some positions *pinned* to fixed values:
+/// the adaptive re-planner's entry point. A pinned position is excluded
+/// from the search — its factor stays exactly as given — so the fetch
+/// decisions of already-executed plan stages (whose pages are already
+/// paid for) survive a mid-flight re-optimization while the unexecuted
+/// suffix is re-tuned against refreshed statistics.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameterisation
+pub fn optimize_fetches_pinned(
+    plan: &mut Plan,
+    ctx: &CostContext<'_>,
+    k: f64,
+    heuristic: FetchHeuristic,
+    max_fetch: u64,
+    explore: bool,
+    incumbent: Option<f64>,
+    stats: &mut FetchStats,
+    pinned: &[(usize, u64)],
+) -> FetchOutcome {
+    let mut caps = fetch_caps(plan, ctx, max_fetch);
+    let mut base: Vec<u64> = vec![1; plan.atoms.len()];
+    for &(pos, value) in pinned {
+        let value = value.max(1);
+        base[pos] = value;
+        caps[pos] = value;
+    }
+    let open: Vec<usize> = plan
+        .chunked_positions(ctx.schema)
+        .into_iter()
+        .filter(|pos| pinned.iter().all(|&(p, _)| p != *pos))
+        .collect();
+
+    // No knobs: cost as-is (pinned values included).
+    if open.is_empty() {
+        let (cost, annotation) = cost_with(plan, ctx, &base, stats);
         let meets_k = annotation.out_size() >= k;
         return FetchOutcome {
-            fetches: ones,
+            fetches: base,
             cost,
             annotation,
             meets_k,
@@ -263,7 +321,7 @@ pub fn optimize_fetches(
 
     // Heuristic first choice → initial upper bound.
     let init = if reachable {
-        heuristic_fetches(plan, ctx, k, heuristic, &caps)
+        heuristic_fetches_from(plan, ctx, k, heuristic, &caps, &base, &open)
     } else {
         capped // best effort: fetch everything allowed
     };
@@ -279,17 +337,17 @@ pub fn optimize_fetches(
         return best;
     }
 
-    // Frontier exploration with B&B.
+    // Frontier exploration with B&B over the open positions.
     let mut bound = match incumbent {
         Some(b) => best.cost.min(b),
         None => best.cost,
     };
-    let mut current: Vec<u64> = vec![1; plan.atoms.len()];
+    let mut current: Vec<u64> = base.clone();
     explore_rec(
         plan,
         ctx,
         k,
-        &chunked,
+        &open,
         &caps,
         0,
         &mut current,

@@ -27,13 +27,13 @@
 //!              └────────────────────────────────┘
 //! ```
 //!
-//! * [`server`] — the [`QueryServer`](server::QueryServer): worker
+//! * [`server`] — the [`QueryServer`]: worker
 //!   pool, submission queue, plan cache, admission control;
 //! * [`plan_cache`] — the fingerprint-keyed LRU in front of the
 //!   optimizer;
-//! * [`session`] — the [`QuerySession`](session::QuerySession) handle
+//! * [`session`] — the [`QuerySession`] handle
 //!   streaming answers and per-query statistics;
-//! * [`metrics`] — the [`MetricsSnapshot`](metrics::MetricsSnapshot):
+//! * [`metrics`] — the [`MetricsSnapshot`]:
 //!   QPS, plan-cache and page-cache hit rates, per-service calls and
 //!   the wall-latency histogram.
 

@@ -33,6 +33,10 @@ pub(crate) struct Metrics {
     pub(crate) timeouts: AtomicU64,
     /// Service calls that were throttled, attributed per query.
     pub(crate) rate_limited: AtomicU64,
+    /// Adaptive mid-flight re-plans, attributed per query as it
+    /// finishes — reconciles with the summed
+    /// [`QueryStats::replans`](crate::session::QueryStats::replans).
+    pub(crate) replans: AtomicU64,
     /// `LATENCY_BOUNDS.len() + 1` buckets (last = overflow).
     latency_buckets: [AtomicU64; LATENCY_BOUNDS.len() + 1],
 }
@@ -51,6 +55,7 @@ impl Metrics {
             retries: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -107,6 +112,7 @@ impl Metrics {
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
             page_cache_hits: page.hits,
             page_cache_misses: page.misses,
             page_cache_hit_rate: rate(page.hits, page.misses),
@@ -169,6 +175,9 @@ pub struct MetricsSnapshot {
     pub timeouts: u64,
     /// Service calls that were throttled, whole workload.
     pub rate_limited: u64,
+    /// Adaptive mid-flight re-plans, whole workload (0 with adaptivity
+    /// disabled).
+    pub replans: u64,
     /// Invocation-level page-cache hits across the shared state.
     pub page_cache_hits: u64,
     /// Invocation-level page-cache misses across the shared state.
@@ -218,6 +227,7 @@ impl fmt::Display for MetricsSnapshot {
             "faults: {} retries · {} timeouts · {} rate-limited · {} partial completions",
             self.retries, self.timeouts, self.rate_limited, self.partial_completions
         )?;
+        writeln!(f, "adaptive: {} re-plans", self.replans)?;
         for (name, n) in &self.per_service_calls {
             writeln!(f, "  {name:<12} {n}")?;
         }

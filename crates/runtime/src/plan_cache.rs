@@ -1,7 +1,7 @@
 //! The fingerprint-keyed plan cache.
 //!
 //! Following Roy et al.'s multi-query optimization line: queries with
-//! the same [`QueryFingerprint`](mdq_model::fingerprint::QueryFingerprint)
+//! the same [`QueryFingerprint`]
 //! (alpha-renaming- and predicate-order-invariant, constants included)
 //! and the same `k` are the same template, so the three-phase
 //! branch-and-bound plan chosen for the first submission is valid for

@@ -1,18 +1,21 @@
 //! The [`QueryServer`]: a fixed worker pool draining a submission queue,
 //! a fingerprint-keyed plan cache in front of the branch-and-bound
 //! optimizer, and one cross-query
-//! [`SharedServiceState`](mdq_exec::gateway::SharedServiceState) so the
+//! [`SharedServiceState`] so the
 //! §5.1 page cache and call accounting span the whole workload.
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{PlanCache, PlanKey};
 use crate::session::{QuerySession, QueryStats, SessionEvent};
-use mdq_core::Mdq;
+use mdq_core::{Mdq, OptimizerReplanner};
+use mdq_cost::divergence::AdaptiveConfig;
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::ExecutionTime;
+use mdq_exec::adaptive::AdaptiveTopK;
 use mdq_exec::gateway::{FaultStats, RetryPolicy, SharedServiceState};
 use mdq_exec::topk::TopKExecution;
 use mdq_model::fingerprint::fingerprint;
+use mdq_model::value::Tuple;
 use mdq_optimizer::bnb::OptimizerConfig;
 use mdq_plan::dag::Plan;
 use mdq_services::domains::World;
@@ -44,6 +47,13 @@ pub struct RuntimeConfig {
     /// with deterministic backoff accounting; exhausted pages degrade
     /// the query into partial results instead of failing it).
     pub retry: RetryPolicy,
+    /// Adaptive mid-flight re-optimization policy: `Some` makes every
+    /// query compare observed service statistics against the estimates
+    /// at its suspension points and splice in a re-optimized plan when
+    /// they drift past the configured ratio (a query that re-planned
+    /// publishes its better plan back to the plan cache under the same
+    /// fingerprint). `None` (the default) freezes plans as optimized.
+    pub adaptive: Option<AdaptiveConfig>,
     /// Answer target used when `submit` is called without an explicit
     /// `k`.
     pub default_k: u64,
@@ -58,6 +68,7 @@ impl Default for RuntimeConfig {
             per_service_concurrency: 4,
             call_budget: None,
             retry: RetryPolicy::default(),
+            adaptive: None,
             default_k: 10,
         }
     }
@@ -352,20 +363,60 @@ fn process(state: &ServerState, job: Job) {
         }
     };
 
-    let mut pull = match TopKExecution::with_shared(
-        &plan,
-        state.engine.schema(),
-        state.engine.registry(),
-        Arc::clone(&state.shared),
-        state.config.call_budget,
-        false,
-    ) {
-        Ok(p) => p,
-        Err(e) => return fail(e.to_string()),
+    // the pull engine: frozen by default; with an [`AdaptiveConfig`]
+    // the adaptive variant checks observed-vs-estimated statistics at
+    // answer boundaries and splices re-optimized plans in mid-flight
+    enum Exec<'e> {
+        Frozen(TopKExecution),
+        Adaptive(Box<AdaptiveTopK<'e>>, Box<OptimizerReplanner<'e>>),
+    }
+    impl Exec<'_> {
+        fn next_answer(&mut self) -> Option<Tuple> {
+            match self {
+                Exec::Frozen(pull) => pull.next_answer(),
+                Exec::Adaptive(pull, replanner) => pull.next_answer(replanner.as_mut()),
+            }
+        }
+    }
+
+    let mut exec = match &state.config.adaptive {
+        Some(adaptive) => {
+            let replanner = state.engine.replanner(
+                &ExecutionTime,
+                OptimizerConfig {
+                    k: job.k,
+                    cache: state.config.cache,
+                    ..OptimizerConfig::default()
+                },
+            );
+            match AdaptiveTopK::with_shared(
+                &plan,
+                state.engine.schema(),
+                state.engine.registry(),
+                Arc::clone(&state.shared),
+                state.config.call_budget,
+                false,
+                adaptive,
+            ) {
+                Ok(a) => Exec::Adaptive(Box::new(a), Box::new(replanner)),
+                Err(e) => return fail(e.to_string()),
+            }
+        }
+        None => match TopKExecution::with_shared(
+            &plan,
+            state.engine.schema(),
+            state.engine.registry(),
+            Arc::clone(&state.shared),
+            state.config.call_budget,
+            false,
+        ) {
+            Ok(p) => Exec::Frozen(p),
+            Err(e) => return fail(e.to_string()),
+        },
     };
     let mut produced = 0u64;
     while produced < job.k {
-        match pull.next_answer() {
+        match exec.next_answer() {
             Some(answer) => {
                 produced += 1;
                 if job.events.send(SessionEvent::Answer(answer)).is_err() {
@@ -375,19 +426,57 @@ fn process(state: &ServerState, job: Job) {
             None => break,
         }
     }
+    let (per_service_faults, error, partial, forwarded_calls, forwarded_latency, replans) =
+        match &exec {
+            Exec::Frozen(pull) => (
+                pull.fault_stats(),
+                pull.error(),
+                pull.partial_results(),
+                pull.total_calls(),
+                pull.total_latency(),
+                0u32,
+            ),
+            Exec::Adaptive(pull, _) => (
+                pull.fault_stats(),
+                pull.error(),
+                pull.partial_results(),
+                pull.total_calls(),
+                pull.total_latency(),
+                pull.replans(),
+            ),
+        };
     let mut faults = FaultStats::default();
-    for s in pull.fault_stats().values() {
+    for s in per_service_faults.values() {
         faults.merge(s);
     }
-    if let Some(err) = pull.error() {
+    if let Some(err) = error {
         // even a failed query attributes its fault accounting, so the
         // server counters reconcile with the shared gateway state
         state.metrics.observe_faults(&faults, false);
         return fail(err.to_string());
     }
+    // re-plans are attributed on completion only — failed queries emit
+    // no QueryStats, and the server counter must reconcile exactly with
+    // the summed per-query replans
+    state
+        .metrics
+        .replans
+        .fetch_add(replans as u64, Ordering::Relaxed);
+    // a query that re-planned found a better plan for its template:
+    // publish it under the same fingerprint so the next submission
+    // starts from the corrected plan instead of the stale one
+    if replans > 0 {
+        if let Exec::Adaptive(pull, _) = &exec {
+            state
+                .plans
+                .lock()
+                .expect("plan cache lock")
+                .cache
+                .insert(key, Arc::new(pull.plan().clone()));
+        }
+    }
     // degraded services don't fail the query: the session completes
     // with partial results naming them
-    let partial = pull.partial_results();
     state.metrics.observe_faults(&faults, partial.is_some());
 
     let wall = started.elapsed().as_secs_f64();
@@ -395,11 +484,12 @@ fn process(state: &ServerState, job: Job) {
     state.metrics.observe_latency(wall);
     let _ = job.events.send(SessionEvent::Done(QueryStats {
         plan_cache_hit,
-        forwarded_calls: pull.total_calls(),
-        forwarded_latency: pull.total_latency(),
+        forwarded_calls,
+        forwarded_latency,
         wall_seconds: wall,
         retries: faults.retries,
         timeouts: faults.timeouts,
+        replans,
         degraded_services: partial
             .map(|p| p.degraded.into_iter().map(|d| d.service).collect())
             .unwrap_or_default(),
@@ -499,6 +589,99 @@ mod tests {
             "admission-control error: {err}"
         );
         assert_eq!(server.metrics().failed, 1);
+    }
+
+    const CATALOG_QUERY: &str = "q(Item, Part, Vendor, Price) :- seed('widgets', Item), \
+         parts(Item, Part), offers(Part, Vendor, Price), Price <= 100.0.";
+
+    fn adaptive_config() -> RuntimeConfig {
+        RuntimeConfig {
+            adaptive: Some(AdaptiveConfig::default()),
+            workers: 1,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_server_replans_and_publishes_the_better_plan() {
+        let c = mdq_services::domains::catalog::catalog_world(true);
+        let server = QueryServer::new(Mdq::from_world(c.world), adaptive_config());
+        let first = server
+            .submit(CATALOG_QUERY, Some(10))
+            .collect()
+            .expect("runs");
+        assert!(
+            first.stats.replans >= 1,
+            "the mis-estimate forces a re-plan"
+        );
+        let m = server.metrics();
+        assert_eq!(m.replans, first.stats.replans as u64, "metrics reconcile");
+        assert_eq!(server.cached_plans(), 1, "the corrected plan is published");
+
+        // the re-submitted template starts from the corrected plan: a
+        // plan-cache hit, zero further re-plans (its pages replay from
+        // the shared cache, which is no observation at all), and the
+        // same answers
+        let second = server
+            .submit(CATALOG_QUERY, Some(10))
+            .collect()
+            .expect("runs");
+        assert!(second.stats.plan_cache_hit);
+        assert_eq!(second.stats.replans, 0);
+        assert_eq!(first.answers, second.answers);
+        assert_eq!(
+            server.metrics().replans,
+            (first.stats.replans + second.stats.replans) as u64,
+            "summed per-query replans reconcile with the server counter"
+        );
+    }
+
+    #[test]
+    fn adaptive_server_is_quiet_on_truthful_estimates() {
+        let c = mdq_services::domains::catalog::catalog_world(false);
+        let server = QueryServer::new(Mdq::from_world(c.world), adaptive_config());
+        let result = server
+            .submit(CATALOG_QUERY, Some(10))
+            .collect()
+            .expect("runs");
+        assert_eq!(result.stats.replans, 0, "no divergence, no re-plan");
+        assert_eq!(server.metrics().replans, 0);
+    }
+
+    #[test]
+    fn frozen_server_reports_zero_replans() {
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        let result = server.submit(NEWS_QUERY, Some(5)).collect().expect("runs");
+        assert_eq!(result.stats.replans, 0);
+        assert_eq!(server.metrics().replans, 0);
+    }
+
+    #[test]
+    fn adaptive_replan_under_faults_counts_retries_once() {
+        use mdq_services::fault::{FaultConfig, FaultProfile};
+        let mut c = mdq_services::domains::catalog::catalog_world(true);
+        for id in [c.ids.seed, c.ids.parts, c.ids.offers] {
+            let inner = c.world.registry.get(id).expect("registered").clone();
+            let cfg = FaultConfig::seeded(0x5EED ^ id.0 as u64)
+                .with_errors(0.08)
+                .with_timeouts(0.04);
+            c.world
+                .registry
+                .register(id, FaultProfile::seeded(inner, cfg));
+        }
+        let server = QueryServer::new(Mdq::from_world(c.world), adaptive_config());
+        let result = server
+            .submit(CATALOG_QUERY, Some(10))
+            .collect()
+            .expect("runs despite faults");
+        assert!(result.stats.replans >= 1, "degraded observations re-plan");
+        // a single query on a fresh server: its attributed retries must
+        // equal the shared gateway's cumulative count exactly — a retry
+        // spent before the splice is never re-counted after it
+        let shared = server.shared_state().total_fault_stats();
+        assert_eq!(result.stats.retries, shared.retries);
+        assert_eq!(server.metrics().retries, shared.retries);
+        assert_eq!(result.stats.timeouts, shared.timeouts);
     }
 
     #[test]

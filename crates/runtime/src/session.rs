@@ -30,10 +30,17 @@ pub struct QueryStats {
     pub forwarded_latency: f64,
     /// Wall-clock seconds from dequeue to completion.
     pub wall_seconds: f64,
-    /// Retries this query issued after faulted service calls.
+    /// Retries this query issued after faulted service calls. Spans the
+    /// whole execution — a retry spent before an adaptive re-plan stays
+    /// counted exactly once.
     pub retries: u64,
     /// Service calls of this query that timed out.
     pub timeouts: u64,
+    /// Adaptive mid-flight re-plans performed while executing this
+    /// query (0 unless the server runs with an
+    /// [`AdaptiveConfig`](mdq_cost::divergence::AdaptiveConfig) and the
+    /// observations drifted past its threshold).
+    pub replans: u32,
     /// Names of the services that served this query degraded pages
     /// (empty = the answer stream is complete).
     pub degraded_services: Vec<String>,

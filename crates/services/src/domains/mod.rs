@@ -5,8 +5,12 @@
 //! additional multi-domain scenarios the paper mentions (the protein
 //! query of §6's last paragraph; the expert-finding and event queries of
 //! the abstract), provided for the examples and for generality tests.
+//! [`catalog`] is a purpose-built adaptive-execution scenario whose
+//! registered estimates can deliberately contradict the services' true
+//! behaviour.
 
 pub mod bibliography;
+pub mod catalog;
 pub mod news;
 pub mod protein;
 pub mod travel;

@@ -117,5 +117,26 @@
 //! | §5 registration samples real behaviour | [`ProfileReport::failure_rate`](mdq_services::profiler::ProfileReport) via `try_fetch`, installed into [`ServiceProfile::failure_rate`](mdq_model::schema::ServiceProfile) |
 //! | re-planning penalizes flaky services | [`ServiceProfile::effective_response_time`](mdq_model::schema::ServiceProfile::effective_response_time) (`τ / (1−φ)`) consumed by every time-based [cost metric](mdq_cost::metrics) |
 //!
+//! ## Beyond the paper — adaptive mid-flight re-optimization
+//!
+//! The paper's cost model (§2.3, §5.2–5.3) consumes statistics sampled
+//! at registration time and §5 prescribes periodic re-estimation; the
+//! adaptive layer closes that loop *during* execution, re-running the
+//! optimizer over the unexecuted plan suffix when observations drift
+//! (the multi-query reuse of already-materialized sub-results follows
+//! Roy et al., see PAPERS.md):
+//!
+//! | Concept | Implementation |
+//! |---|---|
+//! | estimated profiles ξ/τ/φ (§5, Table 1) vs. live observations | [`ObservedService`](mdq_cost::divergence::ObservedService), exported by [`ServiceGateway::observed_stats`](mdq_exec::gateway::ServiceGateway::observed_stats) / [`SharedServiceState::observed_snapshot`](mdq_exec::gateway::SharedServiceState::observed_snapshot) |
+//! | when is the drift worth acting on | [`profile_divergence`](mdq_cost::divergence::profile_divergence), [`diverging_services`](mdq_cost::divergence::diverging_services) under an [`AdaptiveConfig`](mdq_cost::divergence::AdaptiveConfig) |
+//! | §5 "periodic re-estimation", without a sampling pass | [`refresh_profiles`](mdq_cost::divergence::refresh_profiles), [`Mdq::seed_profiles_from_observed`](mdq_core::Mdq::seed_profiles_from_observed) |
+//! | re-optimizing the unexecuted suffix (patterns/order/fetches of executed stages frozen) | [`reoptimize_suffix`](mdq_optimizer::replan::reoptimize_suffix), [`optimize_fetches_pinned`](mdq_optimizer::phase3::optimize_fetches_pinned) |
+//! | suspension points + plan splice in the drivers | [`mdq_exec::adaptive`]: [`run_adaptive`](mdq_exec::adaptive::run_adaptive) (stage-materialised), [`run_adaptive_dispatch`](mdq_exec::adaptive::run_adaptive_dispatch) (stage-threaded), [`AdaptiveTopK`](mdq_exec::adaptive::AdaptiveTopK) (pull) |
+//! | a re-plan never repeats a paid-for call | the §5.1 [`PageCache`](mdq_exec::cache::PageCache) replay across splices (`tests/adaptive_replan.rs`) |
+//! | the optimizer-backed re-planner | [`OptimizerReplanner`](mdq_core::OptimizerReplanner), [`Mdq::run_adaptive`](mdq_core::Mdq::run_adaptive) |
+//! | serving policy, per-query accounting, plan publication | [`RuntimeConfig::adaptive`](mdq_runtime::server::RuntimeConfig), [`QueryStats::replans`](mdq_runtime::session::QueryStats), [`MetricsSnapshot::replans`](mdq_runtime::metrics::MetricsSnapshot) |
+//! | the mis-estimated evaluation workload | [`catalog_world`](mdq_services::domains::catalog::catalog_world), `crates/bench/benches/adaptive.rs` → `BENCH_adaptive.json` |
+//!
 //! Deviations and errata discovered during implementation are catalogued
 //! in `EXPERIMENTS.md` at the workspace root.

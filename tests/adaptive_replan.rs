@@ -1,0 +1,346 @@
+//! Adaptive mid-flight re-optimization, end to end on the catalog
+//! world: a deliberately mis-estimated workload must trigger a re-plan
+//! that completes with strictly fewer total service calls than the
+//! frozen plan, pages fetched before the splice must never be
+//! re-requested, and a well-estimated workload must see zero re-plans
+//! (no overhead when the estimates hold).
+
+use mdq::cost::divergence::AdaptiveConfig;
+use mdq::exec::adaptive::{run_adaptive, ReplanRequest};
+use mdq::exec::cache::CacheSetting as ExecCache;
+use mdq::exec::gateway::SharedServiceState;
+use mdq::prelude::*;
+use mdq::services::domains::catalog::{catalog_world, CatalogWorld, SEED_ITEMS};
+use std::sync::Arc;
+
+const K: u64 = 10;
+
+fn engine_of(c: CatalogWorld) -> (Mdq, mdq::services::domains::catalog::CatalogIds) {
+    (Mdq::from_world(c.world), c.ids)
+}
+
+fn query_text(c: &CatalogWorld) -> String {
+    // the canonical catalog query, as text for the facade entry points
+    let _ = c;
+    "q(Item, Part, Vendor, Price) :- seed('widgets', Item), parts(Item, Part), \
+     offers(Part, Vendor, Price), Price <= 100.0."
+        .to_string()
+}
+
+/// The frozen plan executed as-is over a fresh memoizing shared state:
+/// the baseline the adaptive run must beat.
+fn frozen_calls(engine: &Mdq, text: &str) -> (u64, Plan) {
+    let query = engine.parse(text).expect("parses");
+    let optimized = engine
+        .optimize(
+            query,
+            &ExecutionTime,
+            OptimizerConfig {
+                k: K,
+                cache: mdq::cost::estimate::CacheSetting::Optimal,
+                ..OptimizerConfig::default()
+            },
+        )
+        .expect("optimizes");
+    let shared = Arc::new(SharedServiceState::new(ExecCache::Optimal, 0));
+    let report = run_with_shared(
+        &optimized.candidate.plan,
+        engine.schema(),
+        engine.registry(),
+        Arc::clone(&shared),
+        None,
+        Some(K as usize),
+    )
+    .expect("frozen run executes");
+    (
+        report.calls.values().sum(),
+        optimized.candidate.plan.clone(),
+    )
+}
+
+#[test]
+fn mis_estimated_workload_replans_and_saves_calls() {
+    let (engine, ids) = engine_of(catalog_world(true));
+    let text = query_text(&catalog_world(true));
+    let (frozen, frozen_plan) = frozen_calls(&engine, &text);
+
+    let out = engine
+        .run_adaptive(&text, K, &AdaptiveConfig::default())
+        .expect("adaptive run executes");
+    let adaptive: u64 = out.outcome.report.calls.values().sum();
+
+    assert!(out.replans() >= 1, "the mis-estimate must force a re-plan");
+    assert!(
+        adaptive < frozen,
+        "adaptive ({adaptive} calls) must beat the frozen plan ({frozen} calls)"
+    );
+    // the stale registration made the optimizer over-fetch the chunked
+    // suffix; the savings are substantial, not marginal
+    assert!(
+        adaptive * 2 <= frozen,
+        "adaptive ({adaptive}) should halve the frozen bill ({frozen})"
+    );
+    // answers are genuine top-k answers of the final plan
+    assert_eq!(out.answers().len(), K as usize);
+    for a in out.answers() {
+        assert!(a.get(3).as_f64().expect("price") <= 100.0);
+    }
+    // the re-plan event names the drifted service
+    assert_eq!(out.outcome.events.len(), out.replans() as usize);
+    assert!(out.outcome.events[0]
+        .services
+        .contains(&"parts".to_string()));
+    assert!(out.outcome.events[0].worst_ratio > 10.0);
+    // the splice kept the executed prefix: seed and parts fetch factors
+    // and patterns unchanged
+    let fp = &out.outcome.final_plan;
+    for atom in 0..2 {
+        assert_eq!(fp.choice.0[atom], frozen_plan.choice.0[atom]);
+    }
+    // and the suffix was re-tuned down: strictly fewer offer pages
+    let offers_pos = fp
+        .atoms
+        .iter()
+        .position(|&a| fp.query.atoms[a].service == ids.offers)
+        .expect("offers covered");
+    assert!(
+        fp.fetch_of(offers_pos) < frozen_plan.fetch_of(offers_pos),
+        "re-planned F ({}) must undercut the frozen F ({})",
+        fp.fetch_of(offers_pos),
+        frozen_plan.fetch_of(offers_pos)
+    );
+}
+
+#[test]
+fn replan_never_repeats_a_cached_page() {
+    // every (service, key, page) the adaptive execution demands is
+    // forwarded exactly once: total forwarded calls equal the distinct
+    // page-cache misses, splices notwithstanding
+    let (engine, ids) = engine_of(catalog_world(true));
+    let text = query_text(&catalog_world(true));
+    let out = engine
+        .run_adaptive(&text, K, &AdaptiveConfig::default())
+        .expect("adaptive run executes");
+    assert!(out.replans() >= 1);
+    // the prefix was re-executed after the splice, yet seed and parts
+    // forwarded exactly one call per distinct input
+    assert_eq!(out.outcome.report.calls_to(ids.seed), 1);
+    assert_eq!(
+        out.outcome.report.calls_to(ids.parts),
+        SEED_ITEMS as u64,
+        "one parts call per seeded item, splice included"
+    );
+}
+
+#[test]
+fn below_threshold_divergence_causes_zero_replans() {
+    let (engine, _) = engine_of(catalog_world(false));
+    let text = query_text(&catalog_world(false));
+    let (frozen, _) = frozen_calls(&engine, &text);
+
+    let out = engine
+        .run_adaptive(&text, K, &AdaptiveConfig::default())
+        .expect("adaptive run executes");
+    assert_eq!(out.replans(), 0, "truthful estimates must not re-plan");
+    assert!(out.outcome.events.is_empty());
+    let adaptive: u64 = out.outcome.report.calls.values().sum();
+    assert_eq!(
+        adaptive, frozen,
+        "zero re-plans means zero overhead: identical call bills"
+    );
+    assert_eq!(out.answers().len(), K as usize);
+}
+
+#[test]
+fn max_replans_zero_disables_adaptivity() {
+    let (engine, _) = engine_of(catalog_world(true));
+    let text = query_text(&catalog_world(true));
+    let (frozen, _) = frozen_calls(&engine, &text);
+    let out = engine
+        .run_adaptive(
+            &text,
+            K,
+            &AdaptiveConfig {
+                max_replans: 0,
+                ..AdaptiveConfig::default()
+            },
+        )
+        .expect("adaptive run executes");
+    assert_eq!(out.replans(), 0);
+    let adaptive: u64 = out.outcome.report.calls.values().sum();
+    assert_eq!(adaptive, frozen, "disabled adaptivity = the frozen plan");
+}
+
+/// A head that projects body variables away makes duplicate answers
+/// legal output; the adaptive pull driver must preserve them — exactly
+/// like the frozen driver when no splice happens, and with the same
+/// multiset as the adaptive stage driver when one does.
+#[test]
+fn projection_duplicates_survive_adaptive_pull() {
+    use mdq::exec::adaptive::AdaptiveTopK;
+    let projected = "q(Item, Part) :- seed('widgets', Item), parts(Item, Part), \
+         offers(Part, Vendor, Price), Price <= 100.0.";
+    let plan_for = |engine: &Mdq| {
+        let query = engine.parse(projected).expect("parses");
+        engine
+            .optimize(
+                query,
+                &ExecutionTime,
+                OptimizerConfig {
+                    k: K,
+                    cache: mdq::cost::estimate::CacheSetting::Optimal,
+                    ..OptimizerConfig::default()
+                },
+            )
+            .expect("optimizes")
+            .candidate
+            .plan
+    };
+
+    // truthful world, zero re-plans: the adaptive pull stream must be
+    // *identical* (order and duplicates) to the frozen pull stream
+    let (engine, _) = engine_of(catalog_world(false));
+    let plan = plan_for(&engine);
+    let shared = Arc::new(SharedServiceState::new(ExecCache::Optimal, 0));
+    let mut frozen = TopKExecution::with_shared(
+        &plan,
+        engine.schema(),
+        engine.registry(),
+        shared,
+        None,
+        false,
+    )
+    .expect("frozen pull builds");
+    let frozen_answers = frozen.answers(1 << 20);
+    let mut dedup = frozen_answers.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert!(
+        dedup.len() < frozen_answers.len(),
+        "the projection must produce duplicate heads"
+    );
+    let shared = Arc::new(SharedServiceState::new(ExecCache::Optimal, 0));
+    let mut replanner = engine.replanner(
+        &ExecutionTime,
+        OptimizerConfig {
+            k: K,
+            cache: mdq::cost::estimate::CacheSetting::Optimal,
+            ..OptimizerConfig::default()
+        },
+    );
+    let mut adaptive = AdaptiveTopK::with_shared(
+        &plan,
+        engine.schema(),
+        engine.registry(),
+        shared,
+        None,
+        false,
+        &AdaptiveConfig::default(),
+    )
+    .expect("adaptive pull builds");
+    let adaptive_answers = adaptive.answers(1 << 20, &mut replanner);
+    assert_eq!(adaptive.replans(), 0);
+    assert_eq!(
+        adaptive_answers, frozen_answers,
+        "no splice: the adaptive stream is the frozen stream"
+    );
+
+    // mis-estimated world, ≥1 splice: the pull multiset must equal the
+    // adaptive stage driver's on the same final plan — duplicates kept
+    let (engine, _) = engine_of(catalog_world(true));
+    let plan = plan_for(&engine);
+    let shared = Arc::new(SharedServiceState::new(ExecCache::Optimal, 0));
+    let mut replanner = engine.replanner(
+        &ExecutionTime,
+        OptimizerConfig {
+            k: K,
+            cache: mdq::cost::estimate::CacheSetting::Optimal,
+            ..OptimizerConfig::default()
+        },
+    );
+    let stage = run_adaptive(
+        &plan,
+        engine.schema(),
+        engine.registry(),
+        shared,
+        None,
+        None,
+        &AdaptiveConfig::default(),
+        &mut replanner,
+    )
+    .expect("stage driver executes");
+    assert!(stage.replans >= 1);
+    let shared = Arc::new(SharedServiceState::new(ExecCache::Optimal, 0));
+    let mut replanner = engine.replanner(
+        &ExecutionTime,
+        OptimizerConfig {
+            k: K,
+            cache: mdq::cost::estimate::CacheSetting::Optimal,
+            ..OptimizerConfig::default()
+        },
+    );
+    let mut pull = AdaptiveTopK::with_shared(
+        &plan,
+        engine.schema(),
+        engine.registry(),
+        shared,
+        None,
+        false,
+        &AdaptiveConfig::default(),
+    )
+    .expect("adaptive pull builds");
+    let pulled = pull.answers(1 << 20, &mut replanner);
+    assert_eq!(pull.replans(), stage.replans);
+    let mut a = stage.report.answers.clone();
+    let mut b = pulled;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "spliced pull keeps the duplicate multiset");
+    let mut dedup = a.clone();
+    dedup.dedup();
+    assert!(dedup.len() < a.len(), "duplicates survive the splice");
+}
+
+#[test]
+fn settled_divergence_does_not_rerun_the_optimizer() {
+    // a replanner that refuses must be consulted once per diverging
+    // service set, not at every subsequent suspension point
+    let c = catalog_world(true);
+    let engine = Mdq::from_world(c.world);
+    let text = query_text(&catalog_world(true));
+    let query = engine.parse(&text).expect("parses");
+    let optimized = engine
+        .optimize(
+            query,
+            &ExecutionTime,
+            OptimizerConfig {
+                k: K,
+                cache: mdq::cost::estimate::CacheSetting::Optimal,
+                ..OptimizerConfig::default()
+            },
+        )
+        .expect("optimizes");
+    let shared = Arc::new(SharedServiceState::new(ExecCache::Optimal, 0));
+    let mut consults = 0u32;
+    let mut refuse = |_req: &ReplanRequest<'_>| {
+        consults += 1;
+        None
+    };
+    let out = run_adaptive(
+        &optimized.candidate.plan,
+        engine.schema(),
+        engine.registry(),
+        shared,
+        None,
+        Some(K as usize),
+        &AdaptiveConfig::default(),
+        &mut refuse,
+    )
+    .expect("executes");
+    assert_eq!(out.replans, 0);
+    drop(out);
+    assert_eq!(
+        consults, 1,
+        "a settled divergence must not re-trigger the re-planner"
+    );
+}

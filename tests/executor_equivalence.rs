@@ -270,6 +270,182 @@ fn randomized_plans_executors_agree_under_seeded_faults() {
     }
 }
 
+/// Builds the adaptive-equivalence fixture: a freshly mis-estimated
+/// catalog world (optionally fault-wrapped with a seeded schedule), the
+/// plan its stale estimates produce, and a fresh memoizing shared
+/// state. Every driver gets its own copy so fault-attempt counters and
+/// cache state start from zero.
+fn adaptive_fixture(
+    fault_seed: Option<u64>,
+) -> (
+    mdq::services::domains::catalog::CatalogWorld,
+    Plan,
+    std::sync::Arc<SharedServiceState>,
+) {
+    use mdq::services::fault::{FaultConfig, FaultProfile};
+    let mut c = mdq::services::domains::catalog::catalog_world(true);
+    if let Some(seed) = fault_seed {
+        for id in [c.ids.seed, c.ids.parts, c.ids.offers] {
+            let inner = c.world.registry.get(id).expect("registered").clone();
+            let cfg = FaultConfig::seeded(seed ^ id.0 as u64)
+                .with_errors(0.08)
+                .with_timeouts(0.04);
+            c.world
+                .registry
+                .register(id, FaultProfile::seeded(inner, cfg));
+        }
+    }
+    let optimized = optimize(
+        Arc::new(c.world.query.clone()),
+        &c.world.schema,
+        &ExecutionTime,
+        &OptimizerConfig {
+            k: 10,
+            cache: mdq::cost::estimate::CacheSetting::Optimal,
+            ..OptimizerConfig::default()
+        },
+    )
+    .expect("optimizes");
+    let shared = Arc::new(SharedServiceState::new(CacheSetting::Optimal, 0));
+    (c, optimized.candidate.plan, shared)
+}
+
+fn adaptive_replanner<'a>(
+    world: &'a mdq::services::domains::catalog::CatalogWorld,
+) -> OptimizerReplanner<'a> {
+    OptimizerReplanner::new(
+        &world.world.schema,
+        &ExecutionTime,
+        OptimizerConfig {
+            k: 10,
+            cache: mdq::cost::estimate::CacheSetting::Optimal,
+            ..OptimizerConfig::default()
+        },
+    )
+}
+
+/// The adaptive variant of the equivalence suite: on a mis-estimated
+/// workload that forces at least one re-plan, the adaptive
+/// stage-materialised, stage-threaded and pull drivers must produce
+/// identical answer sets, identical per-service call counts and
+/// identical re-plan counts — healthy and under a seeded fault
+/// schedule (where retries spent before the splice must stay counted
+/// exactly once).
+#[test]
+fn adaptive_drivers_agree_on_answers_calls_and_replans() {
+    for fault_seed in [None, Some(0xAD_A9u64)] {
+        let desc = match fault_seed {
+            None => "healthy".to_string(),
+            Some(s) => format!("seeded faults {s:#x}"),
+        };
+
+        let (wp, plan, shared) = adaptive_fixture(fault_seed);
+        let mut rp = adaptive_replanner(&wp);
+        let pipeline = run_adaptive(
+            &plan,
+            &wp.world.schema,
+            &wp.world.registry,
+            shared,
+            None,
+            None,
+            &mdq::cost::divergence::AdaptiveConfig::default(),
+            &mut rp,
+        )
+        .unwrap_or_else(|e| panic!("{desc}: adaptive pipeline fails: {e}"));
+        assert!(
+            pipeline.replans >= 1,
+            "{desc}: the mis-estimate must force a re-plan"
+        );
+        let baseline = sorted(pipeline.report.answers.clone());
+        assert!(!baseline.is_empty(), "{desc}: answers exist");
+
+        let (wt, plan_t, shared_t) = adaptive_fixture(fault_seed);
+        let mut rp = adaptive_replanner(&wt);
+        let threaded = run_adaptive_dispatch(
+            &plan_t,
+            &wt.world.schema,
+            &wt.world.registry,
+            shared_t,
+            None,
+            None,
+            4,
+            &mdq::cost::divergence::AdaptiveConfig::default(),
+            &mut rp,
+        )
+        .unwrap_or_else(|e| panic!("{desc}: adaptive threaded fails: {e}"));
+        assert_eq!(
+            sorted(threaded.report.answers.clone()),
+            baseline,
+            "{desc}: threaded answers"
+        );
+        assert_eq!(
+            threaded.replans, pipeline.replans,
+            "{desc}: threaded replans"
+        );
+
+        let (wq, plan_q, shared_q) = adaptive_fixture(fault_seed);
+        let mut rp = adaptive_replanner(&wq);
+        let mut pull = AdaptiveTopK::with_shared(
+            &plan_q,
+            &wq.world.schema,
+            &wq.world.registry,
+            shared_q,
+            None,
+            false,
+            &mdq::cost::divergence::AdaptiveConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{desc}: adaptive pull fails: {e}"));
+        let pulled = sorted(pull.answers(1 << 20, &mut rp));
+        assert!(
+            pull.error().is_none(),
+            "{desc}: pull poisoned: {:?}",
+            pull.error()
+        );
+        assert_eq!(pulled, baseline, "{desc}: pull answers");
+        assert_eq!(pull.replans(), pipeline.replans, "{desc}: pull replans");
+
+        // identical per-service forwarded calls (faulted attempts
+        // included) and identical retries, driver by driver
+        for (name, id) in [
+            ("seed", wp.ids.seed),
+            ("parts", wp.ids.parts),
+            ("offers", wp.ids.offers),
+        ] {
+            let calls = pipeline.report.calls_to(id);
+            assert_eq!(
+                threaded.report.calls_to(id),
+                calls,
+                "{desc}: threaded vs pipeline calls to {name}"
+            );
+            assert_eq!(
+                pull.calls_to(id),
+                calls,
+                "{desc}: pull vs pipeline calls to {name}"
+            );
+            let retries = pipeline.report.retries_to(id);
+            assert_eq!(
+                threaded.report.retries_to(id),
+                retries,
+                "{desc}: threaded vs pipeline retries to {name}"
+            );
+            assert_eq!(
+                pull.fault_stats().get(&id).map(|s| s.retries).unwrap_or(0),
+                retries,
+                "{desc}: pull vs pipeline retries to {name}"
+            );
+        }
+        assert_eq!(
+            pull.partial_results(),
+            pipeline.report.partial,
+            "{desc}: pull vs pipeline partial report"
+        );
+        assert_eq!(
+            threaded.report.partial, pipeline.report.partial,
+            "{desc}: threaded vs pipeline partial report"
+        );
+    }
+}
+
 /// Early halting never changes *which* answers arrive, only how many
 /// calls are spent: the first k pulled answers are a prefix-equivalent
 /// subset of the materialised answer set.
