@@ -1,0 +1,143 @@
+//! Multi-query-optimization benches: 16-query workloads through the
+//! [`QueryServer`] with and without the admission batcher + sub-result
+//! store, on overlapping (shared `conf → weather` prefix) and disjoint
+//! (distinct per-member prefixes) templates, warm and cold.
+//!
+//! Besides the timings, the committed `BENCH_mqo.json` pins the *call*
+//! gauges — the acceptance currency of the MQO layer: the overlapping
+//! cold workload must forward ≥40% fewer service calls with MQO on
+//! than the page-cache-only baseline (`tests/mqo_sharing.rs` asserts
+//! the same bound on every run).
+
+use mdq_bench::harness::Bench;
+use mdq_core::Mdq;
+use mdq_cost::estimate::CacheSetting;
+use mdq_runtime::{QueryServer, RuntimeConfig};
+use mdq_services::domains::travel::travel_world;
+use mdq_services::domains::World;
+use std::time::Duration;
+
+fn engine() -> Mdq {
+    let w = travel_world(2008);
+    Mdq::from_world(World {
+        schema: w.schema,
+        query: w.query,
+        registry: w.registry,
+    })
+}
+
+/// Near-threshold budgets: every member searches deep into the shared
+/// `conf('DB') → weather` prefix (same workload as the acceptance test).
+fn overlapping() -> Vec<String> {
+    (0..16)
+        .map(|i| {
+            let budget = 520 + i * 10;
+            travel_query("Start >= '2007/3/14'", budget)
+        })
+        .collect()
+}
+
+/// Distinct start-date constants: the date predicate lands on `conf`,
+/// the chain's first invocation, so no two members share any prefix.
+fn disjoint() -> Vec<String> {
+    (0..16)
+        .map(|i| {
+            let day = 10 + (i % 16);
+            travel_query(&format!("Start >= '2007/3/{day}'"), 520 + i * 10)
+        })
+        .collect()
+}
+
+fn travel_query(start_pred: &str, budget: u32) -> String {
+    format!(
+        "q(Conf, City, HPrice, FPrice, Hotel) :- \
+         flight('Milano', City, Start, End, ST, ET, FPrice), \
+         hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+         conf('DB', Conf, Start, End, City), \
+         weather(City, Temp, Start), \
+         {start_pred}, End <= '2007/3/14' + 180, \
+         Temp >= 28, FPrice + HPrice < {budget}.0."
+    )
+}
+
+fn baseline_config() -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 8,
+        cache: CacheSetting::OneCall,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn mqo_config() -> RuntimeConfig {
+    RuntimeConfig {
+        sub_results: 64,
+        batch_window: Some(Duration::from_millis(5)),
+        batch_max: 16,
+        ..baseline_config()
+    }
+}
+
+fn drive(server: &QueryServer, queries: &[String]) -> usize {
+    let sessions: Vec<_> = queries.iter().map(|q| server.submit(q, Some(5))).collect();
+    sessions
+        .into_iter()
+        .map(|s| s.collect().expect("runs").answers.len())
+        .sum()
+}
+
+fn main() {
+    let bench = Bench::from_args();
+    let overlap = overlapping();
+    let disjointq = disjoint();
+
+    for (workload, queries) in [("overlap-16", &overlap), ("disjoint-16", &disjointq)] {
+        for (mode, config) in [("mqo-off", baseline_config()), ("mqo-on", mqo_config())] {
+            // cold: a fresh server per iteration — plan cache, page
+            // cache and sub-result store all start empty
+            bench.measure(&format!("mqo/{workload}/{mode}/cold"), || {
+                let server = QueryServer::new(engine(), config);
+                drive(&server, queries)
+            });
+            // warm: stores already populated — steady-state serving
+            let server = QueryServer::new(engine(), config);
+            drive(&server, queries);
+            bench.measure(&format!("mqo/{workload}/{mode}/warm"), || {
+                drive(&server, queries)
+            });
+        }
+    }
+
+    // the call gauges the acceptance bound is pinned on: one cold run
+    // of each arm on each workload
+    for (workload, queries) in [("overlap-16", &overlap), ("disjoint-16", &disjointq)] {
+        let mut calls = Vec::new();
+        for (mode, config) in [("mqo-off", baseline_config()), ("mqo-on", mqo_config())] {
+            let server = QueryServer::new(engine(), config);
+            drive(&server, queries);
+            let total = server.shared_state().total_calls();
+            let m = server.metrics();
+            bench.gauge(&format!("mqo/{workload}/{mode}/cold-calls"), total, "calls");
+            if mode == "mqo-on" {
+                bench.gauge(
+                    &format!("mqo/{workload}/sub-result-replays"),
+                    m.sub_result_hits,
+                    "replays",
+                );
+                bench.gauge(
+                    &format!("mqo/{workload}/calls-saved"),
+                    m.sub_result_calls_saved,
+                    "calls",
+                );
+            }
+            calls.push(total);
+        }
+        let saved_pct = (100.0 * (1.0 - calls[1] as f64 / calls[0] as f64)).max(0.0);
+        bench.gauge(
+            &format!("mqo/{workload}/calls-saved-by-mqo"),
+            saved_pct as u64,
+            "percent",
+        );
+    }
+
+    bench.write_json("mqo");
+}

@@ -33,11 +33,25 @@ pub struct BenchResult {
     pub iters: u32,
 }
 
+/// One recorded gauge: a named counter pinned alongside the timings
+/// (call counts, savings ratios — anything worth tracking across PRs
+/// that is not a wall time).
+#[derive(Clone, Debug)]
+pub struct GaugeResult {
+    /// Gauge name (`target/case/...`).
+    pub name: String,
+    /// The recorded value.
+    pub value: u64,
+    /// The value's unit, e.g. `"calls"` or `"percent"`.
+    pub unit: String,
+}
+
 /// A benchmark runner: times closures, prints one line per entry and
 /// records every result for JSON emission.
 pub struct Bench {
     filter: Option<String>,
     results: RefCell<Vec<BenchResult>>,
+    gauges: RefCell<Vec<GaugeResult>>,
 }
 
 impl Bench {
@@ -49,7 +63,19 @@ impl Bench {
         Bench {
             filter,
             results: RefCell::new(Vec::new()),
+            gauges: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Records a named counter (unfiltered — gauges are cheap and the
+    /// committed JSON should always carry the full set).
+    pub fn gauge(&self, name: &str, value: u64, unit: &str) {
+        println!("{name:<44} {value:>12} {unit}");
+        self.gauges.borrow_mut().push(GaugeResult {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
     }
 
     /// Times `f`, printing `name: mean per iteration (iterations)`.
@@ -91,6 +117,7 @@ impl Bench {
     /// that measured nothing writes nothing and returns `None`.
     pub fn write_json(&self, target: &str) -> Option<PathBuf> {
         let results = self.results.borrow();
+        let gauges = self.gauges.borrow();
         if results.is_empty() {
             return None;
         }
@@ -117,7 +144,21 @@ impl Bench {
                 if i + 1 < results.len() { "," } else { "" }
             ));
         }
-        json.push_str("  ]\n}\n");
+        if gauges.is_empty() {
+            json.push_str("  ]\n}\n");
+        } else {
+            json.push_str("  ],\n  \"gauges\": [\n");
+            for (i, g) in gauges.iter().enumerate() {
+                json.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{}\n",
+                    escape(&g.name),
+                    g.value,
+                    escape(&g.unit),
+                    if i + 1 < gauges.len() { "," } else { "" }
+                ));
+            }
+            json.push_str("  ]\n}\n");
+        }
         match std::fs::write(&path, json) {
             Ok(()) => {
                 println!("wrote {}", path.display());
@@ -158,8 +199,10 @@ mod tests {
         let bench = Bench {
             filter: None,
             results: RefCell::new(Vec::new()),
+            gauges: RefCell::new(Vec::new()),
         };
         bench.measure("unit/no-op", || 1 + 1);
+        bench.gauge("unit/gauge", 42, "calls");
         let results = bench.results();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].name, "unit/no-op");
@@ -172,6 +215,10 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("reads");
         assert!(text.contains("\"target\": \"unit\""), "{text}");
         assert!(text.contains("\"name\": \"unit/no-op\""), "{text}");
+        assert!(
+            text.contains("\"name\": \"unit/gauge\", \"value\": 42, \"unit\": \"calls\""),
+            "{text}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -180,6 +227,7 @@ mod tests {
         let bench = Bench {
             filter: Some("nomatch".into()),
             results: RefCell::new(Vec::new()),
+            gauges: RefCell::new(Vec::new()),
         };
         bench.measure("unit/no-op", || 1);
         assert!(bench.results().is_empty());

@@ -28,6 +28,7 @@ use mdq_cost::divergence::{refresh_profiles, AdaptiveConfig, ObservedService};
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::{CostMetric, ExecutionTime};
 use mdq_cost::selectivity::SelectivityModel;
+use mdq_cost::shared::SharedWorkOracle;
 use mdq_exec::adaptive::{AdaptiveOutcome, ReplanRequest, Replanner};
 use mdq_exec::gateway::SharedServiceState;
 use mdq_exec::pipeline::{ExecConfig, ExecError, ExecReport};
@@ -37,10 +38,9 @@ use mdq_model::query::{ConjunctiveQuery, QueryError};
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::template::{QueryTemplate, TemplateError};
 use mdq_model::value::Tuple;
-use mdq_optimizer::bnb::{optimize, OptimizeError, Optimized, OptimizerConfig};
+use mdq_optimizer::bnb::{OptimizeError, Optimized, OptimizerConfig};
 use mdq_optimizer::context::CostContext;
 use mdq_optimizer::expansion::{expand_for_executability, Expansion, ExpansionError};
-use mdq_optimizer::replan::reoptimize_suffix;
 use mdq_plan::builder::StrategyRule;
 use mdq_plan::dag::Plan;
 use mdq_services::domains::World;
@@ -184,11 +184,33 @@ impl Mdq {
         &self,
         query: ConjunctiveQuery,
         metric: &dyn CostMetric,
+        config: OptimizerConfig,
+    ) -> Result<Optimized, MdqError> {
+        self.optimize_shared(query, metric, config, &mdq_cost::shared::NOTHING_SHARED)
+    }
+
+    /// [`Mdq::optimize`] with a [`SharedWorkOracle`]: candidate plans
+    /// are priced with already-materialized invoke prefixes discounted,
+    /// so the search prefers plans that start with work the serving
+    /// layer has paid for. The serving layer passes its shared gateway
+    /// state (whose sub-result store implements the oracle) or the
+    /// admission batcher's combined view of a batch being planned.
+    pub fn optimize_shared(
+        &self,
+        query: ConjunctiveQuery,
+        metric: &dyn CostMetric,
         mut config: OptimizerConfig,
+        oracle: &dyn SharedWorkOracle,
     ) -> Result<Optimized, MdqError> {
         config.selectivity = self.selectivity;
         config.strategy = self.strategy.clone();
-        Ok(optimize(Arc::new(query), &self.schema, metric, &config)?)
+        Ok(mdq_optimizer::bnb::optimize_shared(
+            Arc::new(query),
+            &self.schema,
+            metric,
+            &config,
+            oracle,
+        )?)
     }
 
     /// Executes a plan with the stage-materialised engine.
@@ -352,7 +374,8 @@ impl Default for Mdq {
 /// The optimizer-backed [`Replanner`]: at a suspension point it clones
 /// the schema, refreshes the profiles of every observed service from
 /// the execution's live statistics, re-runs the three-phase search over
-/// the unexecuted suffix ([`reoptimize_suffix`]),
+/// the unexecuted suffix
+/// ([`reoptimize_suffix_shared`](mdq_optimizer::replan::reoptimize_suffix_shared)),
 /// and splices the result in only when it is a *strict* improvement
 /// over the running plan re-priced under the same refreshed schema —
 /// a confirmed plan never churns.
@@ -361,6 +384,10 @@ pub struct OptimizerReplanner<'a> {
     metric: &'a dyn CostMetric,
     config: OptimizerConfig,
     min_calls: u64,
+    /// Shared-work oracle consulted when pricing suffix candidates: a
+    /// splice prefers plans whose invoke prefix the serving layer has
+    /// already materialized. `None` = nothing shared (standalone).
+    oracle: Option<Arc<dyn SharedWorkOracle + Send + Sync>>,
 }
 
 impl<'a> OptimizerReplanner<'a> {
@@ -373,6 +400,7 @@ impl<'a> OptimizerReplanner<'a> {
             metric,
             config,
             min_calls: 1,
+            oracle: None,
         }
     }
 
@@ -380,6 +408,14 @@ impl<'a> OptimizerReplanner<'a> {
     /// refreshed (mirrors [`AdaptiveConfig::min_calls`]).
     pub fn with_min_calls(mut self, min_calls: u64) -> Self {
         self.min_calls = min_calls;
+        self
+    }
+
+    /// Consults `oracle` when pricing re-plan candidates, so a splice
+    /// prefers suffix plans that start with already-materialized work.
+    /// The serving layer passes its shared gateway state here.
+    pub fn with_oracle(mut self, oracle: Arc<dyn SharedWorkOracle + Send + Sync>) -> Self {
+        self.oracle = Some(oracle);
         self
     }
 
@@ -397,16 +433,29 @@ impl<'a> OptimizerReplanner<'a> {
 impl Replanner for OptimizerReplanner<'_> {
     fn replan(&mut self, req: &ReplanRequest<'_>) -> Option<mdq_plan::dag::Plan> {
         let schema = self.refreshed(req.observed);
-        let redone =
-            reoptimize_suffix(req.plan, req.executed, &schema, self.metric, &self.config).ok()?;
+        let oracle: &dyn SharedWorkOracle = match &self.oracle {
+            Some(o) => o.as_ref(),
+            None => &mdq_cost::shared::NOTHING_SHARED,
+        };
+        let redone = mdq_optimizer::replan::reoptimize_suffix_shared(
+            req.plan,
+            req.executed,
+            &schema,
+            self.metric,
+            &self.config,
+            oracle,
+        )
+        .ok()?;
         // splice only a strict improvement: both plans priced under the
-        // *refreshed* schema, so the comparison is apples to apples
+        // *refreshed* schema (and the same shared-work discount), so
+        // the comparison is apples to apples
         let ctx = CostContext::new(
             &schema,
             &self.config.selectivity,
             self.config.cache,
             self.metric,
-        );
+        )
+        .with_oracle(oracle);
         let (current_cost, _) = ctx.cost(req.plan);
         (redone.candidate.cost + 1e-9 < current_cost).then_some(redone.candidate.plan)
     }

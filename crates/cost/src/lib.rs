@@ -14,6 +14,9 @@
 //!   construction, as branch and bound requires;
 //! * [`divergence`] — estimate-vs-observation drift: the trigger metric
 //!   and profile-refresh path of adaptive mid-flight re-optimization;
+//! * [`shared`] — cross-query shared-work awareness: the
+//!   [`SharedWorkOracle`](shared::SharedWorkOracle) the serving layer
+//!   answers and the call discount for already-materialized prefixes;
 //! * [`explain`] — EXPLAIN-style rendering of annotated plans (Fig. 8).
 
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod estimate;
 pub mod explain;
 pub mod metrics;
 pub mod selectivity;
+pub mod shared;
 
 #[cfg(test)]
 pub(crate) mod test_fixtures {
@@ -83,4 +87,5 @@ pub mod prelude {
         all_metrics, Bottleneck, CostMetric, ExecutionTime, RequestResponse, SumCost, TimeToScreen,
     };
     pub use crate::selectivity::SelectivityModel;
+    pub use crate::shared::{discount_materialized, NothingShared, SharedWorkOracle};
 }

@@ -121,6 +121,33 @@ impl Binding {
             .collect()
     }
 
+    /// A binding over `nvars` variables with `vars[i]` bound to
+    /// `row[i]` — how a materialized sub-result row (values in canonical
+    /// variable order) replays into a subscriber's own variable space.
+    pub fn from_row(nvars: usize, vars: &[VarId], row: &[Value]) -> Self {
+        debug_assert_eq!(vars.len(), row.len());
+        let mut values = vec![None; nvars];
+        for (v, val) in vars.iter().zip(row) {
+            values[v.0 as usize] = Some(val.clone());
+        }
+        Binding {
+            values: values.into(),
+        }
+    }
+
+    /// The values of `vars`, in order — the canonical row a materialized
+    /// sub-result stores. Every listed variable must be bound (prefix
+    /// invocations bind all their atoms' variables).
+    pub fn to_row(&self, vars: &[VarId]) -> Vec<Value> {
+        vars.iter()
+            .map(|v| {
+                self.get(*v)
+                    .cloned()
+                    .expect("prefix bindings bind every chain variable")
+            })
+            .collect()
+    }
+
     /// The input-key values for an atom under an access pattern's input
     /// positions: constants inline, variables from the binding. `None`
     /// if an input variable is unbound (the plan is being executed out

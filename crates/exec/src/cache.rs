@@ -49,23 +49,42 @@ pub enum PageLookup {
     Unknown,
 }
 
-/// A client-side logical page cache in one of the three §5.1 settings.
+/// A client-side logical page cache in one of the three §5.1 settings,
+/// optionally bounded to a number of distinct invocation keys
+/// ([`PageCache::with_capacity`]) — a production cache cannot memoize
+/// an unbounded workload, so the *optimal* setting becomes an LRU over
+/// invocations and replacements are counted as evictions.
 #[derive(Debug)]
 pub struct PageCache {
     setting: CacheSetting,
+    /// Max distinct invocation keys held (`usize::MAX` = unbounded, the
+    /// paper's idealised optimal cache; `0` disables caching entirely).
+    capacity: usize,
+    tick: u64,
     one_call: HashMap<ServiceId, (Vec<Value>, PageStore)>,
-    optimal: HashMap<(ServiceId, Vec<Value>), PageStore>,
+    optimal: HashMap<(ServiceId, Vec<Value>), (PageStore, u64)>,
     stats: HashMap<ServiceId, CacheStats>,
+    evictions: u64,
 }
 
 impl PageCache {
-    /// A fresh cache with the given setting.
+    /// A fresh unbounded cache with the given setting.
     pub fn new(setting: CacheSetting) -> Self {
+        Self::with_capacity(setting, usize::MAX)
+    }
+
+    /// A fresh cache bounded to `capacity` distinct invocation keys
+    /// (`0` disables caching — every lookup misses, every store is
+    /// dropped — mirroring `PlanCache::new(0)`).
+    pub fn with_capacity(setting: CacheSetting, capacity: usize) -> Self {
         PageCache {
             setting,
+            capacity,
+            tick: 0,
             one_call: HashMap::new(),
             optimal: HashMap::new(),
             stats: HashMap::new(),
+            evictions: 0,
         }
     }
 
@@ -74,7 +93,16 @@ impl PageCache {
         self.setting
     }
 
-    fn store_of(&self, service: ServiceId, key: &[Value]) -> Option<&PageStore> {
+    /// Invocation entries dropped to respect the capacity bound (LRU
+    /// evictions under *optimal*, key replacements under *one-call*).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn store_of(&mut self, service: ServiceId, key: &[Value]) -> Option<&PageStore> {
+        if self.capacity == 0 {
+            return None;
+        }
         match self.setting {
             CacheSetting::NoCache => None,
             CacheSetting::OneCall => self
@@ -82,12 +110,22 @@ impl PageCache {
                 .get(&service)
                 .filter(|(k, _)| k.as_slice() == key)
                 .map(|(_, s)| s),
-            CacheSetting::Optimal => self.optimal.get(&(service, key.to_vec())),
+            CacheSetting::Optimal => {
+                self.tick += 1;
+                let tick = self.tick;
+                self.optimal
+                    .get_mut(&(service, key.to_vec()))
+                    .map(|(s, used)| {
+                        *used = tick;
+                        &*s
+                    })
+            }
         }
     }
 
-    /// Probes the cache for page `page` of an invocation.
-    pub fn lookup(&self, service: ServiceId, key: &[Value], page: u32) -> PageLookup {
+    /// Probes the cache for page `page` of an invocation (refreshing
+    /// the invocation's LRU recency under a bounded *optimal* setting).
+    pub fn lookup(&mut self, service: ServiceId, key: &[Value], page: u32) -> PageLookup {
         let Some(store) = self.store_of(service, key) else {
             return PageLookup::Unknown;
         };
@@ -117,6 +155,9 @@ impl PageCache {
         tuples: Vec<Tuple>,
         has_more: bool,
     ) {
+        if self.capacity == 0 {
+            return;
+        }
         let store = match self.setting {
             CacheSetting::NoCache => return,
             CacheSetting::OneCall => {
@@ -130,11 +171,32 @@ impl PageCache {
                         // rather than caching a stream with a hole
                         return;
                     }
+                    // the one-call cache replaces its per-service entry
                     *entry = (key.to_vec(), PageStore::default());
+                    self.evictions += 1;
                 }
                 &mut entry.1
             }
-            CacheSetting::Optimal => self.optimal.entry((service, key.to_vec())).or_default(),
+            CacheSetting::Optimal => {
+                let full_key = (service, key.to_vec());
+                if self.optimal.len() >= self.capacity && !self.optimal.contains_key(&full_key) {
+                    // bounded: evict the least-recently-used invocation
+                    if let Some(oldest) = self
+                        .optimal
+                        .iter()
+                        .min_by_key(|(_, (_, used))| *used)
+                        .map(|(k, _)| k.clone())
+                    {
+                        self.optimal.remove(&oldest);
+                        self.evictions += 1;
+                    }
+                }
+                self.tick += 1;
+                let tick = self.tick;
+                let (store, used) = self.optimal.entry(full_key).or_default();
+                *used = tick;
+                store
+            }
         };
         if (page as usize) > store.pages.len() {
             return; // non-contiguous: drop instead of padding with holes
@@ -278,6 +340,40 @@ mod tests {
         o.store(s, &key("a"), 2, page(1), false);
         assert!(matches!(o.lookup(s, &key("a"), 0), PageLookup::Unknown));
         assert!(matches!(o.lookup(s, &key("a"), 2), PageLookup::Unknown));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PageCache::with_capacity(CacheSetting::Optimal, 0);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(2), false);
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Unknown));
+        assert_eq!(c.evictions(), 0, "nothing stored, nothing evicted");
+    }
+
+    #[test]
+    fn bounded_optimal_evicts_lru_invocations() {
+        let mut c = PageCache::with_capacity(CacheSetting::Optimal, 2);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(1), false);
+        c.store(s, &key("b"), 0, page(1), false);
+        // touch a so b is the coldest
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(..)));
+        c.store(s, &key("c"), 0, page(1), false);
+        assert_eq!(c.evictions(), 1);
+        assert!(matches!(c.lookup(s, &key("b"), 0), PageLookup::Unknown));
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(..)));
+        assert!(matches!(c.lookup(s, &key("c"), 0), PageLookup::Hit(..)));
+    }
+
+    #[test]
+    fn one_call_replacements_count_as_evictions() {
+        let mut c = PageCache::new(CacheSetting::OneCall);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(1), false);
+        assert_eq!(c.evictions(), 0, "first entry replaces nothing");
+        c.store(s, &key("b"), 0, page(1), false);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

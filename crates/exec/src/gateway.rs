@@ -45,6 +45,8 @@
 use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup};
 use crate::operator::ExecError;
 use mdq_cost::divergence::ObservedService;
+use mdq_cost::shared::SharedWorkOracle;
+use mdq_model::fingerprint::SubplanSignature;
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::{Tuple, Value};
 use mdq_plan::dag::Plan;
@@ -282,6 +284,84 @@ struct SharedInner {
     /// latency, failures) — the live substitute for a sampling-profiler
     /// pass, see [`SharedServiceState::observed_snapshot`].
     observed: HashMap<ServiceId, ObservedService>,
+    /// The signature-keyed sub-result store: materialized invoke-prefix
+    /// binding streams, shared across every query on this state.
+    sub: SubResultInner,
+}
+
+/// One materialized invoke prefix: the bindings its chain produced, as
+/// rows of values in the signature's canonical variable order. Rows
+/// are `Arc`-shared so a replay under the state mutex is a refcount
+/// bump, never a deep copy.
+struct SubResultEntry {
+    rows: Arc<Vec<Vec<Value>>>,
+    /// Forwarded request-responses the materializing execution spent
+    /// producing this prefix — what a replay saves its subscriber.
+    cost_calls: u64,
+    /// LRU recency stamp.
+    used: u64,
+}
+
+/// The sub-result store's interior (guarded by the shared-state mutex).
+struct SubResultInner {
+    /// Max materialized prefixes held (`0` disables the store).
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<SubplanSignature, SubResultEntry>,
+    /// Signatures currently being materialized (single-flight: a query
+    /// whose prefix is being computed waits and replays, instead of
+    /// duplicating the chain's service calls).
+    computing: HashSet<SubplanSignature>,
+    stats: SubResultStats,
+}
+
+impl SubResultInner {
+    fn new(capacity: usize) -> Self {
+        SubResultInner {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            computing: HashSet::new(),
+            stats: SubResultStats::default(),
+        }
+    }
+}
+
+/// Counters of the signature-keyed sub-result store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubResultStats {
+    /// Executions that replayed a materialized prefix.
+    pub hits: u64,
+    /// Executions whose chain had no materialized prefix to replay.
+    pub misses: u64,
+    /// Materialized prefixes dropped by the LRU bound.
+    pub evictions: u64,
+    /// Summed materializing cost of every replayed entry — the calls a
+    /// cold, uncached subscriber would have forwarded to produce the
+    /// prefix itself (an upper bound on the actual saving when the
+    /// page cache would have absorbed part of the work).
+    pub calls_saved: u64,
+    /// Prefixes currently materialized.
+    pub entries: u64,
+}
+
+/// The `Arc`-shared canonical rows of one materialized prefix.
+pub(crate) type SubResultRows = Arc<Vec<Vec<Value>>>;
+
+/// What [`SharedServiceState::resolve_prefixes`] decided for one
+/// execution's invoke-prefix chain.
+pub(crate) enum PrefixResolution {
+    /// The store is disabled — execute the plan as compiled.
+    Disabled,
+    /// Replay and/or materialize.
+    Resolved {
+        /// `(chain level, canonical rows, cost in calls)` of the longest
+        /// materialized prefix; `None` when nothing replays.
+        replay: Option<(usize, SubResultRows, u64)>,
+        /// Chain levels (1-based) this execution claimed for
+        /// materialization: it must publish or abandon every one.
+        claimed: Vec<usize>,
+    },
 }
 
 impl SharedInner {
@@ -343,7 +423,10 @@ impl std::fmt::Debug for SharedServiceState {
 
 impl SharedServiceState {
     /// A fresh state with the given cache setting and per-service
-    /// concurrency limit (`0` = unlimited).
+    /// concurrency limit (`0` = unlimited). The page cache is unbounded
+    /// and the sub-result store disabled — the PR 2 serving behaviour;
+    /// see [`SharedServiceState::with_page_capacity`] and
+    /// [`SharedServiceState::with_sub_results`].
     pub fn new(setting: CacheSetting, per_service_limit: usize) -> Self {
         SharedServiceState {
             inner: Mutex::new(SharedInner {
@@ -355,6 +438,7 @@ impl SharedServiceState {
                 failed: HashMap::new(),
                 faults: HashMap::new(),
                 observed: HashMap::new(),
+                sub: SubResultInner::new(0),
             }),
             changed: Condvar::new(),
             setting,
@@ -362,6 +446,29 @@ impl SharedServiceState {
             retry: RetryPolicy::default(),
             retry_overrides: HashMap::new(),
         }
+    }
+
+    /// Bounds the shared page cache to `capacity` distinct invocation
+    /// keys (`0` disables client-side page caching; `usize::MAX` keeps
+    /// it unbounded). Builder style, before sharing.
+    pub fn with_page_capacity(self, capacity: usize) -> Self {
+        {
+            let mut inner = self.inner.lock().expect("shared state lock");
+            inner.cache = PageCache::with_capacity(self.setting, capacity);
+        }
+        self
+    }
+
+    /// Enables the signature-keyed sub-result store with room for
+    /// `capacity` materialized invoke prefixes (`0` — the default —
+    /// disables cross-query sub-result sharing). Builder style, before
+    /// sharing.
+    pub fn with_sub_results(self, capacity: usize) -> Self {
+        {
+            let mut inner = self.inner.lock().expect("shared state lock");
+            inner.sub = SubResultInner::new(capacity);
+        }
+        self
     }
 
     /// Sets the default retry policy (builder style, before sharing).
@@ -476,6 +583,172 @@ impl SharedServiceState {
             .expect("shared state lock")
             .cache
             .total_stats()
+    }
+
+    /// Page-cache invocation entries dropped to respect the configured
+    /// capacity bound.
+    pub fn page_cache_evictions(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("shared state lock")
+            .cache
+            .evictions()
+    }
+
+    /// Cumulative simulated latency of forwarded calls, per service —
+    /// read off the per-service observations, which accumulate at
+    /// exactly the sites the total does, so
+    /// `Σ per_service_latency == total_latency` always.
+    pub fn per_service_latency(&self) -> HashMap<ServiceId, f64> {
+        self.inner
+            .lock()
+            .expect("shared state lock")
+            .observed
+            .iter()
+            .map(|(id, o)| (*id, o.latency))
+            .collect()
+    }
+
+    /// Counters of the sub-result store (all zero while disabled).
+    pub fn sub_result_stats(&self) -> SubResultStats {
+        let inner = self.inner.lock().expect("shared state lock");
+        SubResultStats {
+            entries: inner.sub.entries.len() as u64,
+            ..inner.sub.stats
+        }
+    }
+
+    /// Decides, for one execution whose chain carries `sigs` (level 1
+    /// first), what to replay from the sub-result store and what the
+    /// execution must materialize. Single-flight: when a wanted level
+    /// is being materialized by a concurrent execution, this blocks
+    /// until that level is published (then replays it) or abandoned
+    /// (then claims it). Every claimed level must later be
+    /// [`publish_sub_result`]ed or [`abandon_sub_results`]ed.
+    ///
+    /// With `materialize = false` the call is read-only: the longest
+    /// already-materialized prefix still replays (free work is free),
+    /// but nothing is claimed and nothing is waited for — the caller
+    /// has no evidence anyone will reuse this prefix and must not pay
+    /// the eager-drain cost.
+    ///
+    /// [`publish_sub_result`]: SharedServiceState::publish_sub_result
+    /// [`abandon_sub_results`]: SharedServiceState::abandon_sub_results
+    pub(crate) fn resolve_prefixes(
+        &self,
+        sigs: &[SubplanSignature],
+        materialize: bool,
+    ) -> PrefixResolution {
+        let mut inner = self.inner.lock().expect("shared state lock");
+        if inner.sub.capacity == 0 || sigs.is_empty() {
+            return PrefixResolution::Disabled;
+        }
+        loop {
+            let hit = (0..sigs.len())
+                .rev()
+                .find(|&i| inner.sub.entries.contains_key(&sigs[i]));
+            let from = hit.map(|i| i + 1).unwrap_or(0);
+            if materialize && (from..sigs.len()).any(|i| inner.sub.computing.contains(&sigs[i])) {
+                // a concurrent execution is materializing a level we
+                // want: wait for its publish/abandon, then re-resolve
+                inner = self.changed.wait(inner).expect("shared state lock");
+                continue;
+            }
+            let replay = match hit {
+                Some(i) => {
+                    inner.sub.tick += 1;
+                    let tick = inner.sub.tick;
+                    inner.sub.stats.hits += 1;
+                    let entry = inner.sub.entries.get_mut(&sigs[i]).expect("present");
+                    entry.used = tick;
+                    let (rows, cost) = (Arc::clone(&entry.rows), entry.cost_calls);
+                    inner.sub.stats.calls_saved += cost;
+                    Some((i + 1, rows, cost))
+                }
+                None => {
+                    inner.sub.stats.misses += 1;
+                    None
+                }
+            };
+            let mut claimed = Vec::new();
+            if materialize {
+                for (i, sig) in sigs.iter().enumerate().skip(from) {
+                    if inner.sub.computing.insert(*sig) {
+                        claimed.push(i + 1);
+                    }
+                }
+            }
+            return PrefixResolution::Resolved { replay, claimed };
+        }
+    }
+
+    /// Publishes a materialized prefix under `sig`: releases the
+    /// single-flight claim, stores the rows (LRU-evicting when full)
+    /// and wakes every waiter.
+    pub(crate) fn publish_sub_result(
+        &self,
+        sig: SubplanSignature,
+        rows: Vec<Vec<Value>>,
+        cost_calls: u64,
+    ) {
+        {
+            let mut inner = self.inner.lock().expect("shared state lock");
+            inner.sub.computing.remove(&sig);
+            if inner.sub.capacity > 0 {
+                if inner.sub.entries.len() >= inner.sub.capacity
+                    && !inner.sub.entries.contains_key(&sig)
+                {
+                    if let Some(oldest) = inner
+                        .sub
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.used)
+                        .map(|(k, _)| *k)
+                    {
+                        inner.sub.entries.remove(&oldest);
+                        inner.sub.stats.evictions += 1;
+                    }
+                }
+                inner.sub.tick += 1;
+                let used = inner.sub.tick;
+                inner.sub.entries.insert(
+                    sig,
+                    SubResultEntry {
+                        rows: Arc::new(rows),
+                        cost_calls,
+                        used,
+                    },
+                );
+            }
+        }
+        self.changed.notify_all();
+    }
+
+    /// Releases single-flight claims without publishing (the
+    /// materializing execution errored, exhausted its budget or saw a
+    /// degraded page — a partial prefix must never replay to others).
+    pub(crate) fn abandon_sub_results(&self, sigs: &[SubplanSignature]) {
+        if sigs.is_empty() {
+            return;
+        }
+        {
+            let mut inner = self.inner.lock().expect("shared state lock");
+            for sig in sigs {
+                inner.sub.computing.remove(sig);
+            }
+        }
+        self.changed.notify_all();
+    }
+}
+
+/// The serving layer's shared state *is* the optimizer's shared-work
+/// oracle: a prefix counts as materialized when its rows are stored or
+/// a concurrent execution is publishing them right now (it will be
+/// free by the time a plan starting with it executes).
+impl SharedWorkOracle for SharedServiceState {
+    fn is_materialized(&self, sig: SubplanSignature) -> bool {
+        let inner = self.inner.lock().expect("shared state lock");
+        inner.sub.entries.contains_key(&sig) || inner.sub.computing.contains(&sig)
     }
 }
 

@@ -74,10 +74,10 @@ pub mod prelude {
     pub use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup, PageStore};
     pub use crate::gateway::{
         DegradedService, FaultStats, GatewayHandle, LocalGateway, PageFetch, PartialResults,
-        RetryPolicy, ServiceGateway, SharedGateway, SharedServiceState,
+        RetryPolicy, ServiceGateway, SharedGateway, SharedServiceState, SubResultStats,
     };
     pub use crate::joins::{MsJoin, NlJoin};
-    pub use crate::operator::{compile, Filter, Invoke, Join, Operator, Select};
+    pub use crate::operator::{compile, compile_with, Filter, Invoke, Join, Operator, Select};
     pub use crate::pipeline::{run, run_with_shared, ExecConfig, ExecError, ExecReport, NodeTrace};
     pub use crate::plan_info::{analyze, PlanInfo};
     pub use crate::results::result_table;

@@ -425,6 +425,23 @@ pub fn compile<G: GatewayHandle + 'static>(
     gateway: &G,
     elastic: bool,
 ) -> Box<dyn Operator> {
+    compile_with(plan, schema, info, gateway, elastic, None)
+}
+
+/// [`compile`] with an optional *subtree override*: the operator stands
+/// in for the named plan node (filters included), and the nodes beneath
+/// it are never compiled. This is how a materialized or replayed invoke
+/// prefix (`mdq-runtime`'s sub-result sharing) is spliced under the
+/// rest of the plan — a multi-consumer override node still goes through
+/// the shared replay cursor, so fan-outs see one stream.
+pub fn compile_with<G: GatewayHandle + 'static>(
+    plan: &Plan,
+    schema: &Schema,
+    info: &PlanInfo,
+    gateway: &G,
+    elastic: bool,
+    mut override_op: Option<(usize, Box<dyn Operator>)>,
+) -> Box<dyn Operator> {
     let mut consumers = vec![0usize; plan.nodes.len()];
     for node in &plan.nodes {
         for inp in &node.inputs {
@@ -440,6 +457,7 @@ pub fn compile<G: GatewayHandle + 'static>(
         elastic,
         &consumers,
         &mut shared,
+        &mut override_op,
         plan.output_node().0,
     )
 }
@@ -453,6 +471,7 @@ fn compile_node<G: GatewayHandle + 'static>(
     elastic: bool,
     consumers: &[usize],
     shared: &mut std::collections::HashMap<usize, std::rc::Rc<std::cell::RefCell<SharedNode>>>,
+    override_op: &mut Option<(usize, Box<dyn Operator>)>,
     node: usize,
 ) -> Box<dyn Operator> {
     if consumers[node] > 1 {
@@ -463,7 +482,15 @@ fn compile_node<G: GatewayHandle + 'static>(
             });
         }
         let op = compile_raw(
-            plan, schema, info, gateway, elastic, consumers, shared, node,
+            plan,
+            schema,
+            info,
+            gateway,
+            elastic,
+            consumers,
+            shared,
+            override_op,
+            node,
         );
         let cell = std::rc::Rc::new(std::cell::RefCell::new(SharedNode {
             op,
@@ -477,7 +504,15 @@ fn compile_node<G: GatewayHandle + 'static>(
         });
     }
     compile_raw(
-        plan, schema, info, gateway, elastic, consumers, shared, node,
+        plan,
+        schema,
+        info,
+        gateway,
+        elastic,
+        consumers,
+        shared,
+        override_op,
+        node,
     )
 }
 
@@ -490,19 +525,45 @@ fn compile_raw<G: GatewayHandle + 'static>(
     elastic: bool,
     consumers: &[usize],
     shared: &mut std::collections::HashMap<usize, std::rc::Rc<std::cell::RefCell<SharedNode>>>,
+    override_op: &mut Option<(usize, Box<dyn Operator>)>,
     node: usize,
 ) -> Box<dyn Operator> {
+    if override_op.as_ref().is_some_and(|(n, _)| *n == node) {
+        // the subtree at this node is already accounted for (replayed
+        // or eagerly materialized): stand its stream in, compile nothing
+        // beneath it
+        return override_op.take().expect("checked above").1;
+    }
     match &plan.nodes[node].kind {
         NodeKind::Input => Box::new(std::iter::once(Binding::empty(plan.query.var_count()))),
         NodeKind::Output => {
             let up = plan.nodes[node].inputs[0].0;
-            let inner = compile_node(plan, schema, info, gateway, elastic, consumers, shared, up);
+            let inner = compile_node(
+                plan,
+                schema,
+                info,
+                gateway,
+                elastic,
+                consumers,
+                shared,
+                override_op,
+                up,
+            );
             Box::new(Filter::for_node(plan, info, node, inner))
         }
         NodeKind::Invoke { .. } => {
             let up = plan.nodes[node].inputs[0].0;
-            let upstream =
-                compile_node(plan, schema, info, gateway, elastic, consumers, shared, up);
+            let upstream = compile_node(
+                plan,
+                schema,
+                info,
+                gateway,
+                elastic,
+                consumers,
+                shared,
+                override_op,
+                up,
+            );
             let invoke = Invoke::for_node(
                 plan,
                 schema,
@@ -522,10 +583,26 @@ fn compile_raw<G: GatewayHandle + 'static>(
             on,
         } => {
             let l = compile_node(
-                plan, schema, info, gateway, elastic, consumers, shared, left.0,
+                plan,
+                schema,
+                info,
+                gateway,
+                elastic,
+                consumers,
+                shared,
+                override_op,
+                left.0,
             );
             let r = compile_node(
-                plan, schema, info, gateway, elastic, consumers, shared, right.0,
+                plan,
+                schema,
+                info,
+                gateway,
+                elastic,
+                consumers,
+                shared,
+                override_op,
+                right.0,
             );
             let joined = Join::new(l, r, strategy, on.clone());
             Box::new(Filter::for_node(plan, info, node, joined))

@@ -3,7 +3,8 @@
 //! §2.2: "we retrieve only the fraction of tuples of proliferative
 //! services that are sufficient to obtain the first k query answers …
 //! we also assume that a plan execution can be continued, by producing
-//! more answers". This executor [`compile`]s the plan into one lazy
+//! more answers". This executor [`compile`](crate::operator::compile)s
+//! the plan into one lazy
 //! operator tree over a shared [`ServiceGateway`] and *pulls* answers
 //! one at a time: services are fetched page by page exactly as demanded
 //! downstream, so asking for `k` answers halts all proliferative
@@ -14,13 +15,18 @@
 //! hint rather than a hard page budget: a node keeps paging (within the
 //! service's actual data) while downstream demand is unmet.
 
+use crate::binding::Binding;
 use crate::cache::CacheSetting;
-use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway, SharedServiceState};
-use crate::operator::{compile, ExecError, Operator};
-use crate::plan_info::analyze;
+use crate::gateway::{
+    GatewayHandle, LocalGateway, PrefixResolution, ServiceGateway, SharedServiceState,
+};
+use crate::operator::{compile_with, ExecError, Filter, Invoke, Operator};
+use crate::plan_info::{analyze, PlanInfo};
+use mdq_model::fingerprint::SubplanSignature;
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::Tuple;
 use mdq_plan::dag::Plan;
+use mdq_plan::signature::invoke_prefixes;
 use mdq_services::registry::ServiceRegistry;
 use std::sync::Arc;
 
@@ -31,6 +37,140 @@ pub struct TopKExecution {
     iter: Box<dyn Operator>,
     gateway: LocalGateway,
     query: Arc<mdq_model::query::ConjunctiveQuery>,
+    /// Materialized prefixes this execution replayed (0 or 1).
+    sub_result_hits: u64,
+    /// Forwarded calls the replay saved (the replayed entry's
+    /// materializing cost).
+    sub_calls_saved: u64,
+}
+
+/// What sub-result resolution produced for one pull execution.
+struct PrefixOutcome {
+    /// Stream standing in for a plan node's whole subtree, if any.
+    override_op: Option<(usize, Box<dyn Operator>)>,
+    sub_result_hits: u64,
+    calls_saved: u64,
+}
+
+impl PrefixOutcome {
+    fn none() -> Self {
+        PrefixOutcome {
+            override_op: None,
+            sub_result_hits: 0,
+            calls_saved: 0,
+        }
+    }
+}
+
+/// Releases unpublished single-flight claims on drop, so a panicking
+/// materialization can never leave waiters blocked.
+struct SubClaims {
+    shared: Arc<SharedServiceState>,
+    remaining: Vec<SubplanSignature>,
+}
+
+impl SubClaims {
+    fn mark_published(&mut self, sig: SubplanSignature) {
+        self.remaining.retain(|s| *s != sig);
+    }
+}
+
+impl Drop for SubClaims {
+    fn drop(&mut self) {
+        self.shared.abandon_sub_results(&self.remaining);
+    }
+}
+
+/// The multi-query-optimization hook of the pull executor: probes the
+/// shared state's sub-result store for this plan's invoke-prefix chain.
+/// The longest already-materialized prefix *replays* (its bindings
+/// stand in for the chain's subtree — zero service calls); the levels
+/// beyond it are claimed single-flight and *eagerly materialized* (the
+/// chain is drained here, its rows published for every later
+/// subscriber). With the store disabled — the default — this is a no-op
+/// and execution is exactly the pre-MQO pull engine.
+///
+/// A materialization that turns unhealthy (poisoned gateway, degraded
+/// page) publishes nothing: a partial prefix must never replay to
+/// others, and the drained stream still serves *this* execution, which
+/// observed the degradation itself.
+fn prepare_shared_prefix(
+    plan: &Plan,
+    schema: &Schema,
+    info: &PlanInfo,
+    gateway: &LocalGateway,
+    elastic: bool,
+    materialize: bool,
+) -> PrefixOutcome {
+    if elastic {
+        // elastic paging is demand-driven: its streams are not a
+        // deterministic function of the plan, so they never share
+        return PrefixOutcome::none();
+    }
+    let shared = gateway.with(|g| Arc::clone(g.shared_state()));
+    let prefixes = invoke_prefixes(plan);
+    if prefixes.is_empty() {
+        return PrefixOutcome::none();
+    }
+    let sigs: Vec<SubplanSignature> = prefixes.iter().map(|p| p.signature).collect();
+    let (replay, claimed) = match shared.resolve_prefixes(&sigs, materialize) {
+        PrefixResolution::Disabled => return PrefixOutcome::none(),
+        PrefixResolution::Resolved { replay, claimed } => (replay, claimed),
+    };
+
+    let nvars = plan.query.var_count();
+    let mut hits = 0u64;
+    let mut base_cost = 0u64;
+    let mut level = 0usize;
+    let mut base: Box<dyn Operator> = match replay {
+        Some((lvl, rows, cost)) => {
+            hits = 1;
+            base_cost = cost;
+            level = lvl;
+            let vars = prefixes[lvl - 1].vars.clone();
+            // rows are Arc-shared with the store: bind per row on pull,
+            // never deep-copy the materialized set
+            Box::new((0..rows.len()).map(move |i| Binding::from_row(nvars, &vars, &rows[i])))
+        }
+        None => Box::new(std::iter::once(Binding::empty(nvars))),
+    };
+
+    let mut claims = SubClaims {
+        shared: Arc::clone(&shared),
+        remaining: claimed.iter().map(|&l| sigs[l - 1]).collect(),
+    };
+    let start_calls = gateway.with(|g| g.total_calls());
+    for &lvl in &claimed {
+        let node = prefixes[lvl - 1].node;
+        let invoke = Invoke::for_node(plan, schema, info, node, base, gateway.clone(), false, 0.0);
+        let drained: Vec<Binding> = Filter::for_node(plan, info, node, invoke).collect();
+        let healthy = gateway.with(|g| g.error().is_none() && !g.is_degraded());
+        if healthy {
+            let cost = base_cost + gateway.with(|g| g.total_calls()) - start_calls;
+            let rows = drained
+                .iter()
+                .map(|b| b.to_row(&prefixes[lvl - 1].vars))
+                .collect();
+            shared.publish_sub_result(sigs[lvl - 1], rows, cost);
+            claims.mark_published(sigs[lvl - 1]);
+        }
+        base = Box::new(drained.into_iter());
+        level = lvl;
+        if !healthy {
+            // the guard abandons the remaining claims on drop
+            break;
+        }
+    }
+    drop(claims);
+
+    if level == 0 {
+        return PrefixOutcome::none();
+    }
+    PrefixOutcome {
+        override_op: Some((prefixes[level - 1].node, base)),
+        sub_result_hits: hits,
+        calls_saved: base_cost,
+    }
 }
 
 impl TopKExecution {
@@ -48,13 +188,18 @@ impl TopKExecution {
             schema,
             ServiceGateway::new(plan, schema, registry, cache)?,
             elastic,
+            true,
         )
     }
 
     /// Prepares a pull execution over an existing (typically
     /// `Arc`-shared, cross-query) [`SharedServiceState`], with an
     /// optional per-query forwarded-call budget — the serving-layer
-    /// entry point.
+    /// entry point. Sub-result sharing (when the state's store is
+    /// enabled) is fully opportunistic: already-materialized prefixes
+    /// replay, unmaterialized ones are claimed and materialized here;
+    /// see [`TopKExecution::with_shared_mqo`] to keep the replay but
+    /// skip the eager materialization.
     pub fn with_shared(
         plan: &Plan,
         schema: &Schema,
@@ -63,11 +208,32 @@ impl TopKExecution {
         budget: Option<u64>,
         elastic: bool,
     ) -> Result<Self, ExecError> {
+        Self::with_shared_mqo(plan, schema, registry, shared, budget, elastic, true)
+    }
+
+    /// [`TopKExecution::with_shared`] with explicit control over
+    /// sub-result *materialization*: with `materialize = false` the
+    /// execution still replays an already-materialized prefix (free
+    /// work is free) but never eagerly drains its own chain to publish
+    /// one. The admission batcher passes `false` for queries whose
+    /// prefix overlaps nothing — paying the eager-drain cost for a
+    /// prefix nobody else wants is the classic MQO anti-pattern.
+    #[allow(clippy::too_many_arguments)] // serving-layer entry point: one knob per policy
+    pub fn with_shared_mqo(
+        plan: &Plan,
+        schema: &Schema,
+        registry: &ServiceRegistry,
+        shared: Arc<SharedServiceState>,
+        budget: Option<u64>,
+        elastic: bool,
+        materialize: bool,
+    ) -> Result<Self, ExecError> {
         Self::over(
             plan,
             schema,
             ServiceGateway::with_shared(plan, schema, registry, shared, budget)?,
             elastic,
+            materialize,
         )
     }
 
@@ -76,14 +242,18 @@ impl TopKExecution {
         schema: &Schema,
         gateway: ServiceGateway,
         elastic: bool,
+        materialize: bool,
     ) -> Result<Self, ExecError> {
         let info = analyze(plan, schema);
         let gateway = LocalGateway::new(gateway);
-        let iter = compile(plan, schema, &info, &gateway, elastic);
+        let prep = prepare_shared_prefix(plan, schema, &info, &gateway, elastic, materialize);
+        let iter = compile_with(plan, schema, &info, &gateway, elastic, prep.override_op);
         Ok(TopKExecution {
             iter,
             gateway,
             query: Arc::clone(&plan.query),
+            sub_result_hits: prep.sub_result_hits,
+            sub_calls_saved: prep.calls_saved,
         })
     }
 
@@ -144,6 +314,21 @@ impl TopKExecution {
     /// served this execution a degraded page.
     pub fn partial_results(&self) -> Option<crate::gateway::PartialResults> {
         self.gateway.with(|g| g.partial_results())
+    }
+
+    /// Materialized invoke prefixes this execution replayed from the
+    /// shared sub-result store (0 with the store disabled, at most 1 —
+    /// the longest materialized prefix of the plan's chain).
+    pub fn sub_result_hits(&self) -> u64 {
+        self.sub_result_hits
+    }
+
+    /// Forwarded service calls the replay saved this execution — the
+    /// materializing cost of the replayed entry. Reconciles with the
+    /// shared state's cumulative
+    /// [`SubResultStats::calls_saved`](crate::gateway::SubResultStats).
+    pub fn sub_result_calls_saved(&self) -> u64 {
+        self.sub_calls_saved
     }
 }
 
@@ -234,6 +419,109 @@ mod tests {
         let second_batch = pull.answers(5);
         assert_eq!(second_batch.len(), 5);
         assert_ne!(first_batch, second_batch, "progresses through results");
+    }
+
+    #[test]
+    fn sub_result_store_replays_shared_prefixes() {
+        // two pull executions of the same plan over one shared state
+        // with the sub-result store on: the first materializes the
+        // conf → weather prefix, the second replays it without touching
+        // either service — and still produces identical answers
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(
+            crate::gateway::SharedServiceState::new(CacheSetting::NoCache, 0).with_sub_results(8),
+        );
+        let mut first = TopKExecution::with_shared(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::clone(&shared),
+            None,
+            false,
+        )
+        .expect("builds");
+        let a = first.answers(usize::MAX >> 1);
+        assert_eq!(first.sub_result_hits(), 0, "nothing to replay yet");
+        let stats = shared.sub_result_stats();
+        assert!(stats.entries >= 2, "conf and conf→weather materialized");
+        let conf_calls = shared.calls().get(&w.ids.conf).copied().unwrap_or(0);
+        let weather_calls = shared.calls().get(&w.ids.weather).copied().unwrap_or(0);
+
+        let mut second = TopKExecution::with_shared(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::clone(&shared),
+            None,
+            false,
+        )
+        .expect("builds");
+        let b = second.answers(usize::MAX >> 1);
+        assert_eq!(a, b, "replayed prefix yields identical answers");
+        assert_eq!(second.sub_result_hits(), 1);
+        assert!(second.sub_result_calls_saved() > 0);
+        // no-cache shared state: only the replay can explain the flat
+        // call counts on the prefix services
+        assert_eq!(
+            shared.calls().get(&w.ids.conf).copied().unwrap_or(0),
+            conf_calls,
+            "conf not re-invoked"
+        );
+        assert_eq!(
+            shared.calls().get(&w.ids.weather).copied().unwrap_or(0),
+            weather_calls,
+            "weather not re-invoked"
+        );
+        assert_eq!(shared.sub_result_stats().hits, 1);
+        assert_eq!(
+            shared.sub_result_stats().calls_saved,
+            second.sub_result_calls_saved(),
+            "per-execution attribution reconciles with the store"
+        );
+    }
+
+    #[test]
+    fn disabled_store_changes_nothing() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        // default shared state: store capacity 0
+        let shared = Arc::new(crate::gateway::SharedServiceState::new(
+            CacheSetting::NoCache,
+            0,
+        ));
+        let mut a = TopKExecution::with_shared(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::clone(&shared),
+            None,
+            false,
+        )
+        .expect("builds");
+        let one = a.next_answer();
+        assert!(one.is_some());
+        assert_eq!(a.sub_result_hits(), 0);
+        let stats = shared.sub_result_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        // lazy as ever: one answer must not have drained the plan
+        let mut full = TopKExecution::with_shared(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::new(crate::gateway::SharedServiceState::new(
+                CacheSetting::NoCache,
+                0,
+            )),
+            None,
+            false,
+        )
+        .expect("builds");
+        full.answers(usize::MAX >> 1);
+        assert!(
+            a.total_calls() < full.total_calls(),
+            "no eager materialization with the store off"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! plan-cache miss (the optimizer reruns); equal fingerprints still
 //! always mean equal templates.
 
-use crate::query::{ConjunctiveQuery, Expr, Term};
+use crate::query::{ConjunctiveQuery, Expr, Term, VarId};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -45,6 +45,139 @@ impl fmt::Display for QueryFingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}", self.0)
     }
+}
+
+/// A 64-bit digest of the canonical form of an *invoke prefix* — the
+/// serial chain of service invocations a plan executes before its first
+/// parallel split. Two prefixes with equal signatures perform exactly
+/// the same work (same services in the same execution order, same
+/// access patterns, same fetch factors, same constants, same predicates
+/// applied along the way) even when they come from *different* query
+/// templates, so the bindings the first one materializes can be
+/// replayed to the second — the unit of cross-query multi-query
+/// optimization (Roy et al.).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubplanSignature(pub u64);
+
+impl fmt::Display for SubplanSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One invocation step of a subplan prefix, in execution order.
+#[derive(Clone, Debug)]
+pub struct PrefixStep {
+    /// Index of the invoked atom in `query.atoms`.
+    pub atom: usize,
+    /// Chosen access-pattern index for that atom.
+    pub pattern: usize,
+    /// Phase-3 fetch factor (pages per input; 1 for bulk services).
+    pub fetch: u64,
+    /// Indices of the query predicates applied right after this
+    /// invocation (the first node where all their variables are bound).
+    pub preds: Vec<usize>,
+}
+
+/// A subplan signature plus the replay mapping that goes with it.
+#[derive(Clone, Debug)]
+pub struct SubplanSig {
+    /// The order- and renaming-invariant digest.
+    pub signature: SubplanSignature,
+    /// This query's variables in canonical first-occurrence order:
+    /// position `i` holds the variable the canonical form calls `?i`.
+    /// Two prefixes with equal signatures have `vars` of equal length,
+    /// and position-wise corresponding variables carry the same values
+    /// — materialized rows stored in canonical order replay into any
+    /// subscriber through its own `vars`.
+    pub vars: Vec<VarId>,
+}
+
+/// Signs the invoke prefix described by `steps` over `query`.
+///
+/// The canonical form is invariant under alpha-renaming and under the
+/// order atoms/predicates are *listed* in the source query (the steps
+/// themselves arrive in execution order, which is part of the work and
+/// therefore part of the signature). Service identity, access pattern,
+/// fetch factor, arity, constants and predicate operators are all
+/// preserved; the query head is deliberately excluded — a prefix's
+/// downstream is open.
+pub fn subplan_signature(query: &ConjunctiveQuery, steps: &[PrefixStep]) -> SubplanSig {
+    let (text, vars) = subplan_canonical_text(query, steps);
+    SubplanSig {
+        signature: SubplanSignature(fnv1a(text.as_bytes())),
+        vars,
+    }
+}
+
+/// The canonical rendering [`subplan_signature`] hashes, plus the
+/// canonical variable order (the replay mapping).
+pub fn subplan_canonical_text(
+    query: &ConjunctiveQuery,
+    steps: &[PrefixStep],
+) -> (String, Vec<VarId>) {
+    // variables renumbered by first occurrence scanning the steps in
+    // execution order; every predicate applied at a step only mentions
+    // variables bound by that step or earlier, so the map is total
+    let mut canon: HashMap<u32, usize> = HashMap::new();
+    let mut vars: Vec<VarId> = Vec::new();
+    for step in steps {
+        for t in &query.atoms[step.atom].terms {
+            if let Term::Var(v) = t {
+                if let std::collections::hash_map::Entry::Vacant(e) = canon.entry(v.0) {
+                    e.insert(vars.len());
+                    vars.push(*v);
+                }
+            }
+        }
+    }
+
+    let render_term = |t: &Term, out: &mut String| match t {
+        Term::Var(v) => {
+            let _ = write!(out, "?{}", canon.get(&v.0).copied().unwrap_or(usize::MAX));
+        }
+        Term::Const(c) => {
+            let _ = write!(out, "{c}");
+        }
+    };
+
+    let mut text = String::new();
+    for step in steps {
+        let atom = &query.atoms[step.atom];
+        let _ = write!(text, "a{}p{}f{}(", atom.service.0, step.pattern, step.fetch);
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            render_term(t, &mut text);
+        }
+        text.push(')');
+        // predicates applied at this step, rendered then sorted —
+        // conjunction is order-free
+        let mut preds: Vec<String> = step
+            .preds
+            .iter()
+            .map(|&k| {
+                let p = &query.predicates[k];
+                let mut s = String::new();
+                render_expr(&p.lhs, &render_term, &mut s);
+                let _ = write!(s, "{}", p.op);
+                render_expr(&p.rhs, &render_term, &mut s);
+                if let Some(sigma) = p.selectivity_hint {
+                    let _ = write!(s, "@{sigma}");
+                }
+                s
+            })
+            .collect();
+        preds.sort();
+        for p in &preds {
+            text.push('[');
+            text.push_str(p);
+            text.push(']');
+        }
+        text.push(';');
+    }
+    (text, vars)
 }
 
 /// Fingerprints `query`: FNV-1a over [`canonical_text`].
@@ -278,6 +411,88 @@ mod tests {
         let on_start = "q(City) :- conf('DB', C, S, E, City), weather(City, T, S).";
         let on_end = "q(City) :- conf('DB', C, S, E, City), weather(City, T, E).";
         assert_ne!(fp(on_start), fp(on_end));
+    }
+
+    fn prefix_steps(_query: &ConjunctiveQuery, atoms: &[usize]) -> Vec<PrefixStep> {
+        // pattern 0, fetch 1, no predicates — the shape-only signature
+        atoms
+            .iter()
+            .map(|&atom| PrefixStep {
+                atom,
+                pattern: 0,
+                fetch: 1,
+                preds: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn subplan_signature_is_alpha_invariant() {
+        let schema = running_example_schema();
+        let a = parse_query(BASE, &schema).expect("parses");
+        let renamed = "q(C2, Town) :- conf('DB', C2, From, To, Town), \
+                       weather(Town, Temp, From), Temp >= 28.";
+        let b = parse_query(renamed, &schema).expect("parses");
+        let sa = subplan_signature(&a, &prefix_steps(&a, &[0, 1]));
+        let sb = subplan_signature(&b, &prefix_steps(&b, &[0, 1]));
+        assert_eq!(sa.signature, sb.signature);
+        assert_eq!(sa.vars.len(), sb.vars.len(), "replay mappings align");
+    }
+
+    #[test]
+    fn subplan_signature_ignores_source_atom_order() {
+        // the steps arrive in *execution* order; listing the atoms in a
+        // different order in the query text must not matter
+        let schema = running_example_schema();
+        let a = parse_query(BASE, &schema).expect("parses");
+        let swapped = "q(Conf, City) :- weather(City, T, S), \
+                       conf('DB', Conf, S, E, City), T >= 28.";
+        let b = parse_query(swapped, &schema).expect("parses");
+        // execution order conf → weather in both: atom indices differ
+        let sa = subplan_signature(&a, &prefix_steps(&a, &[0, 1]));
+        let sb = subplan_signature(&b, &prefix_steps(&b, &[1, 0]));
+        assert_eq!(sa.signature, sb.signature);
+    }
+
+    #[test]
+    fn subplan_signature_preserves_work_parameters() {
+        let schema = running_example_schema();
+        let q = parse_query(BASE, &schema).expect("parses");
+        let base = subplan_signature(&q, &prefix_steps(&q, &[0, 1]));
+        // a different constant is different work
+        let other = parse_query(&BASE.replace("'DB'", "'AI'"), &schema).expect("parses");
+        assert_ne!(
+            base.signature,
+            subplan_signature(&other, &prefix_steps(&other, &[0, 1])).signature
+        );
+        // a different fetch factor fetches a different stream
+        let mut steps = prefix_steps(&q, &[0, 1]);
+        steps[1].fetch = 3;
+        assert_ne!(base.signature, subplan_signature(&q, &steps).signature);
+        // a different access pattern is different work
+        let mut steps = prefix_steps(&q, &[0, 1]);
+        steps[1].pattern = 1;
+        assert_ne!(base.signature, subplan_signature(&q, &steps).signature);
+        // an applied predicate filters the stream
+        let mut steps = prefix_steps(&q, &[0, 1]);
+        steps[1].preds = vec![0];
+        assert_ne!(base.signature, subplan_signature(&q, &steps).signature);
+        // a shorter prefix is a different prefix
+        assert_ne!(
+            base.signature,
+            subplan_signature(&q, &prefix_steps(&q, &[0])).signature
+        );
+    }
+
+    #[test]
+    fn subplan_vars_follow_first_occurrence() {
+        let schema = running_example_schema();
+        let q = parse_query(BASE, &schema).expect("parses");
+        let sig = subplan_signature(&q, &prefix_steps(&q, &[0, 1]));
+        // conf('DB', Conf, S, E, City) then weather(City, T, S): the
+        // canonical order is Conf, S, E, City, T
+        let names: Vec<&str> = sig.vars.iter().map(|v| q.var_name(*v)).collect();
+        assert_eq!(names, vec!["Conf", "S", "E", "City", "T"]);
     }
 
     #[test]

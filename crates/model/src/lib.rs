@@ -43,7 +43,10 @@ pub mod prelude {
         callable_after, executable, find_permissible, permissible_sequences, ApChoice, SupplierMap,
     };
     pub use crate::cogency::{exploration_order, most_cogent};
-    pub use crate::fingerprint::{canonical_text, fingerprint, QueryFingerprint};
+    pub use crate::fingerprint::{
+        canonical_text, fingerprint, subplan_canonical_text, subplan_signature, PrefixStep,
+        QueryFingerprint, SubplanSig, SubplanSignature,
+    };
     pub use crate::parser::{parse_query, ParseError};
     pub use crate::query::{
         Atom, CmpOp, ConjunctiveQuery, Expr, Predicate, QueryError, Term, VarId,

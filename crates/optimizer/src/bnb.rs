@@ -14,6 +14,7 @@ use crate::phase3::FetchHeuristic;
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::CostMetric;
 use mdq_cost::selectivity::SelectivityModel;
+use mdq_cost::shared::SharedWorkOracle;
 use mdq_model::query::ConjunctiveQuery;
 use mdq_model::schema::Schema;
 use mdq_plan::builder::StrategyRule;
@@ -123,10 +124,33 @@ pub fn optimize(
     metric: &dyn CostMetric,
     config: &OptimizerConfig,
 ) -> Result<Optimized, OptimizeError> {
+    optimize_shared(
+        query,
+        schema,
+        metric,
+        config,
+        &mdq_cost::shared::NOTHING_SHARED,
+    )
+}
+
+/// [`optimize`] with a [`SharedWorkOracle`]: every candidate is priced
+/// with the calls of its longest already-materialized invoke prefix
+/// discounted, so the search prefers plans that start with work another
+/// concurrent query has paid for. With
+/// [`NothingShared`](mdq_cost::shared::NothingShared) this *is*
+/// [`optimize`].
+pub fn optimize_shared(
+    query: Arc<ConjunctiveQuery>,
+    schema: &Schema,
+    metric: &dyn CostMetric,
+    config: &OptimizerConfig,
+    oracle: &dyn SharedWorkOracle,
+) -> Result<Optimized, OptimizeError> {
     if query.atoms.is_empty() {
         return Err(OptimizeError::EmptyQuery);
     }
-    let ctx = CostContext::new(schema, &config.selectivity, config.cache, metric);
+    let ctx =
+        CostContext::new(schema, &config.selectivity, config.cache, metric).with_oracle(oracle);
     let sequences = ordered_sequences(&query, &ctx);
     if sequences.is_empty() {
         return Err(OptimizeError::NotExecutable);

@@ -3,11 +3,16 @@
 use mdq_cost::estimate::{Annotation, CacheSetting, Estimator};
 use mdq_cost::metrics::CostMetric;
 use mdq_cost::selectivity::SelectivityModel;
+use mdq_cost::shared::{discount_materialized, SharedWorkOracle, NOTHING_SHARED};
 use mdq_model::schema::Schema;
 use mdq_plan::dag::Plan;
 
 /// Bundles everything needed to price a plan: schema, selectivity model,
-/// cache setting and the cost metric being minimised.
+/// cache setting, the cost metric being minimised — and the
+/// [`SharedWorkOracle`] the serving layer answers about work other
+/// queries have already materialized (defaults to
+/// [`NothingShared`](mdq_cost::shared::NothingShared), which reproduces
+/// the paper's standalone costing exactly).
 #[derive(Clone, Copy)]
 pub struct CostContext<'a> {
     /// Service signatures and domains.
@@ -18,10 +23,12 @@ pub struct CostContext<'a> {
     pub cache: CacheSetting,
     /// The metric to minimise.
     pub metric: &'a dyn CostMetric,
+    /// Already-materialized shared work to discount when pricing.
+    pub oracle: &'a dyn SharedWorkOracle,
 }
 
 impl<'a> CostContext<'a> {
-    /// Creates a context.
+    /// Creates a context with nothing shared (standalone costing).
     pub fn new(
         schema: &'a Schema,
         selectivity: &'a SelectivityModel,
@@ -33,7 +40,14 @@ impl<'a> CostContext<'a> {
             selectivity,
             cache,
             metric,
+            oracle: &NOTHING_SHARED,
         }
+    }
+
+    /// Replaces the shared-work oracle (builder style).
+    pub fn with_oracle(mut self, oracle: &'a dyn SharedWorkOracle) -> Self {
+        self.oracle = oracle;
+        self
     }
 
     /// Annotates a plan under this context's estimator settings.
@@ -41,9 +55,11 @@ impl<'a> CostContext<'a> {
         Estimator::new(self.schema, self.selectivity, self.cache).annotate(plan)
     }
 
-    /// Annotates and prices a plan.
+    /// Annotates and prices a plan, discounting the calls of the
+    /// longest invoke prefix the oracle reports materialized.
     pub fn cost(&self, plan: &Plan) -> (f64, Annotation) {
-        let ann = self.annotate(plan);
+        let mut ann = self.annotate(plan);
+        discount_materialized(plan, &mut ann, self.oracle);
         (self.metric.cost(plan, &ann, self.schema), ann)
     }
 }

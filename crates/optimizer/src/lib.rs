@@ -78,7 +78,9 @@ pub(crate) mod test_fixtures {
 /// Convenient glob-import surface: `use mdq_optimizer::prelude::*;`.
 pub mod prelude {
     pub use crate::baseline_wsms::{wsms_baseline, WsmsPlan};
-    pub use crate::bnb::{optimize, OptimizeError, Optimized, OptimizerConfig, OptimizerStats};
+    pub use crate::bnb::{
+        optimize, optimize_shared, OptimizeError, Optimized, OptimizerConfig, OptimizerStats,
+    };
     pub use crate::context::CostContext;
     pub use crate::exhaustive::exhaustive_optimum;
     pub use crate::expansion::{expand_for_executability, Expansion, ExpansionError};
@@ -90,5 +92,5 @@ pub mod prelude {
         closed_form_n, closed_form_pair, closed_form_sequential, closed_form_single,
         optimize_fetches_pinned, FetchHeuristic, FetchOutcome, FetchStats,
     };
-    pub use crate::replan::reoptimize_suffix;
+    pub use crate::replan::{reoptimize_suffix, reoptimize_suffix_shared};
 }

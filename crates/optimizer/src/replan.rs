@@ -28,7 +28,7 @@
 //! re-planning against the stale estimates would reproduce the plan
 //! that is being abandoned.
 
-use crate::bnb::{optimize, OptimizeError, Optimized, OptimizerConfig, OptimizerStats};
+use crate::bnb::{OptimizeError, Optimized, OptimizerConfig, OptimizerStats};
 use crate::context::CostContext;
 use crate::phase1::ordered_sequences;
 use crate::phase2::{Phase2Stats, PlanCandidate};
@@ -220,15 +220,39 @@ pub fn reoptimize_suffix(
     metric: &dyn CostMetric,
     config: &OptimizerConfig,
 ) -> Result<Optimized, OptimizeError> {
+    reoptimize_suffix_shared(
+        current,
+        executed,
+        schema,
+        metric,
+        config,
+        &mdq_cost::shared::NOTHING_SHARED,
+    )
+}
+
+/// [`reoptimize_suffix`] with a
+/// [`SharedWorkOracle`](mdq_cost::shared::SharedWorkOracle): suffix
+/// candidates are priced with already-materialized invoke prefixes
+/// discounted, so an adaptive splice prefers plans whose head another
+/// concurrent query has materialized.
+pub fn reoptimize_suffix_shared(
+    current: &Plan,
+    executed: &[usize],
+    schema: &Schema,
+    metric: &dyn CostMetric,
+    config: &OptimizerConfig,
+    oracle: &dyn mdq_cost::shared::SharedWorkOracle,
+) -> Result<Optimized, OptimizeError> {
     let query = Arc::clone(&current.query);
     if query.atoms.is_empty() {
         return Err(OptimizeError::EmptyQuery);
     }
     debug_assert!(current.is_complete(), "only complete plans are executed");
     if executed.is_empty() {
-        return optimize(query, schema, metric, config);
+        return crate::bnb::optimize_shared(query, schema, metric, config, oracle);
     }
-    let ctx = CostContext::new(schema, &config.selectivity, config.cache, metric);
+    let ctx =
+        CostContext::new(schema, &config.selectivity, config.cache, metric).with_oracle(oracle);
     if executed.len() == query.atoms.len() {
         // every stage ran: nothing to re-plan, re-price the plan as-is
         let (cost, annotation) = ctx.cost(current);
@@ -351,6 +375,7 @@ pub fn reoptimize_suffix(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bnb::optimize;
     use crate::test_fixtures::fig6_plan;
     use mdq_cost::estimate::CacheSetting;
     use mdq_cost::metrics::{ExecutionTime, RequestResponse};

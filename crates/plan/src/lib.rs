@@ -11,7 +11,9 @@
 //! * [`builder`] — lowering a topology + access-pattern choice into a
 //!   plan, with the per-service-pair join-strategy oracle;
 //! * [`render`] — Graphviz DOT and ASCII rendering in Fig. 4's visual
-//!   syntax.
+//!   syntax;
+//! * [`signature`] — invoke-prefix signatures: the canonical digests
+//!   cross-query multi-query optimization keys shared work on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -20,6 +22,7 @@ pub mod builder;
 pub mod dag;
 pub mod poset;
 pub mod render;
+pub mod signature;
 
 #[cfg(test)]
 pub(crate) mod test_fixtures {
@@ -48,4 +51,5 @@ pub mod prelude {
         TopologyVisitor, Unconstrained,
     };
     pub use crate::render::{to_ascii, to_dot};
+    pub use crate::signature::{invoke_prefixes, PlanPrefix};
 }

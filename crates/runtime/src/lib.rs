@@ -8,8 +8,12 @@
 //! concurrent queries.
 //!
 //! ```text
-//!  submit() ──► queue ──► worker pool (std threads)
-//!                              │
+//!  submit() ──► [admission batcher] ──► worker pool (std threads)
+//!               (batch_window: plans a       │
+//!                burst as one unit, flags    │
+//!                overlapping invoke          │
+//!                prefixes, prices them free  │
+//!                via the SharedWorkOracle)   │
 //!                  fingerprint ▼ (mdq_model::fingerprint)
 //!                        ┌───────────┐  miss   ┌────────────────┐
 //!                        │ plan cache│ ───────► branch-and-bound│
@@ -18,10 +22,15 @@
 //!                          hit │
 //!                              ▼
 //!                  pull executor over the shared gateway
+//!                  (longest materialized invoke prefix replays;
+//!                   flagged prefixes materialize single-flight)
 //!                              │
 //!              ┌───────────────▼────────────────┐
 //!              │ SharedServiceState (mdq-exec)  │
-//!              │ page cache · call accounting · │
+//!              │ page cache (bounded LRU) ·     │
+//!              │ sub-result store (signature →  │
+//!              │ materialized prefix rows) ·    │
+//!              │ call/latency accounting ·      │
 //!              │ single-flight · per-service    │
 //!              │ concurrency limits             │
 //!              └────────────────────────────────┘

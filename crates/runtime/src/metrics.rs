@@ -37,6 +37,15 @@ pub(crate) struct Metrics {
     /// finishes — reconciles with the summed
     /// [`QueryStats::replans`](crate::session::QueryStats::replans).
     pub(crate) replans: AtomicU64,
+    /// Batch members whose invoke prefix overlapped another member's
+    /// (or an already-materialized prefix) at admission-planning time.
+    pub(crate) shared_prefix_hits: AtomicU64,
+    /// Materialized prefixes replayed, attributed per query —
+    /// reconciles with the sub-result store's cumulative hits.
+    pub(crate) sub_result_hits: AtomicU64,
+    /// Forwarded calls saved by those replays, attributed per query —
+    /// reconciles with the store's cumulative `calls_saved`.
+    pub(crate) sub_result_calls_saved: AtomicU64,
     /// `LATENCY_BOUNDS.len() + 1` buckets (last = overflow).
     latency_buckets: [AtomicU64; LATENCY_BOUNDS.len() + 1],
 }
@@ -56,6 +65,9 @@ impl Metrics {
             timeouts: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
             replans: AtomicU64::new(0),
+            shared_prefix_hits: AtomicU64::new(0),
+            sub_result_hits: AtomicU64::new(0),
+            sub_result_calls_saved: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -98,6 +110,13 @@ impl Metrics {
             .map(|(id, n)| (schema.service(id).name.to_string(), n))
             .collect();
         per_service.sort();
+        let mut per_service_latency: Vec<(String, f64)> = shared
+            .per_service_latency()
+            .into_iter()
+            .map(|(id, l)| (schema.service(id).name.to_string(), l))
+            .collect();
+        per_service_latency.sort_by(|a, b| a.0.cmp(&b.0));
+        let sub = shared.sub_result_stats();
         MetricsSnapshot {
             uptime_seconds: uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -116,9 +135,16 @@ impl Metrics {
             page_cache_hits: page.hits,
             page_cache_misses: page.misses,
             page_cache_hit_rate: rate(page.hits, page.misses),
+            page_cache_evictions: shared.page_cache_evictions(),
+            shared_prefix_hits: self.shared_prefix_hits.load(Ordering::Relaxed),
+            sub_result_hits: self.sub_result_hits.load(Ordering::Relaxed),
+            sub_result_calls_saved: self.sub_result_calls_saved.load(Ordering::Relaxed),
+            sub_results_materialized: sub.entries,
+            sub_result_evictions: sub.evictions,
             total_service_calls: shared.total_calls(),
             total_service_latency: shared.total_latency(),
             per_service_calls: per_service,
+            per_service_latency,
             latency_buckets: LATENCY_BOUNDS
                 .iter()
                 .copied()
@@ -184,12 +210,39 @@ pub struct MetricsSnapshot {
     pub page_cache_misses: u64,
     /// `hits / (hits + misses)`; 0 when nothing was invoked.
     pub page_cache_hit_rate: f64,
+    /// Page-cache invocation entries dropped by the configured capacity
+    /// bound ([`RuntimeConfig::page_cache_entries`]).
+    ///
+    /// [`RuntimeConfig::page_cache_entries`]: crate::server::RuntimeConfig::page_cache_entries
+    pub page_cache_evictions: u64,
+    /// Queries whose invoke prefix the admission batcher saw overlap
+    /// another batch member's (or already-materialized work) at
+    /// planning time.
+    pub shared_prefix_hits: u64,
+    /// Materialized prefixes replayed from the sub-result store,
+    /// attributed per query — reconciles with the store's cumulative
+    /// hit count.
+    pub sub_result_hits: u64,
+    /// Forwarded service calls those replays saved (the materializing
+    /// cost of each replayed prefix).
+    pub sub_result_calls_saved: u64,
+    /// Invoke prefixes currently materialized in the sub-result store.
+    pub sub_results_materialized: u64,
+    /// Materialized prefixes dropped by the store's LRU bound
+    /// ([`RuntimeConfig::sub_results`]).
+    ///
+    /// [`RuntimeConfig::sub_results`]: crate::server::RuntimeConfig::sub_results
+    pub sub_result_evictions: u64,
     /// Request-responses forwarded to services, whole workload.
     pub total_service_calls: u64,
     /// Summed simulated latency of all forwarded calls, seconds.
     pub total_service_latency: f64,
     /// Forwarded calls per service, sorted by name.
     pub per_service_calls: Vec<(String, u64)>,
+    /// Summed simulated latency per service, sorted by name —
+    /// `Σ == total_service_latency` exactly (both accumulate at the
+    /// same gateway sites).
+    pub per_service_latency: Vec<(String, f64)>,
     /// Per-query wall-latency histogram: `(upper bound in seconds —
     /// `None` for the overflow bucket — , count)`.
     pub latency_buckets: Vec<(Option<f64>, u64)>,
@@ -228,8 +281,24 @@ impl fmt::Display for MetricsSnapshot {
             self.retries, self.timeouts, self.rate_limited, self.partial_completions
         )?;
         writeln!(f, "adaptive: {} re-plans", self.replans)?;
+        writeln!(
+            f,
+            "mqo: {} shared-prefix admissions · {} sub-result replays saving {} calls · {} materialized ({} evicted, page cache {} evicted)",
+            self.shared_prefix_hits,
+            self.sub_result_hits,
+            self.sub_result_calls_saved,
+            self.sub_results_materialized,
+            self.sub_result_evictions,
+            self.page_cache_evictions
+        )?;
         for (name, n) in &self.per_service_calls {
-            writeln!(f, "  {name:<12} {n}")?;
+            let latency = self
+                .per_service_latency
+                .iter()
+                .find(|(l, _)| l == name)
+                .map(|(_, l)| *l)
+                .unwrap_or(0.0);
+            writeln!(f, "  {name:<12} {n} calls · {latency:.1}s")?;
         }
         write!(f, "query wall latency:")?;
         for (bound, n) in &self.latency_buckets {

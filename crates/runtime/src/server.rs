@@ -11,6 +11,7 @@ use mdq_core::{Mdq, OptimizerReplanner};
 use mdq_cost::divergence::AdaptiveConfig;
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::ExecutionTime;
+use mdq_cost::shared::SharedWorkOracle;
 use mdq_exec::adaptive::AdaptiveTopK;
 use mdq_exec::gateway::{FaultStats, RetryPolicy, SharedServiceState};
 use mdq_exec::topk::TopKExecution;
@@ -54,6 +55,34 @@ pub struct RuntimeConfig {
     /// publishes its better plan back to the plan cache under the same
     /// fingerprint). `None` (the default) freezes plans as optimized.
     pub adaptive: Option<AdaptiveConfig>,
+    /// Bounded capacity of the shared page cache, in distinct
+    /// invocation keys: `usize::MAX` (the default) is the unbounded
+    /// idealised cache, `0` disables client-side page caching entirely
+    /// (mirroring `PlanCache::new(0)`), anything between is an LRU
+    /// whose evictions surface in
+    /// [`MetricsSnapshot::page_cache_evictions`].
+    ///
+    /// [`MetricsSnapshot::page_cache_evictions`]: crate::metrics::MetricsSnapshot::page_cache_evictions
+    pub page_cache_entries: usize,
+    /// Capacity of the signature-keyed sub-result store, in
+    /// materialized invoke prefixes. `0` (the default) disables
+    /// cross-query sub-result sharing — execution is exactly the PR 2
+    /// page-cache-only serving path.
+    pub sub_results: usize,
+    /// Admission batching: `Some(window)` groups submissions arriving
+    /// within the window (up to [`RuntimeConfig::batch_max`], and
+    /// naturally whatever queued up while the workers were busy) and
+    /// plans them *as a batch* — overlapping invoke prefixes across
+    /// members are detected, counted as
+    /// [`MetricsSnapshot::shared_prefix_hits`] and discounted by the
+    /// optimizer's shared-work oracle, so the batch unifies on shared
+    /// work instead of paying for it per member. `None` (the default)
+    /// dispatches every submission immediately.
+    ///
+    /// [`MetricsSnapshot::shared_prefix_hits`]: crate::metrics::MetricsSnapshot::shared_prefix_hits
+    pub batch_window: Option<std::time::Duration>,
+    /// Max queries admitted into one batch.
+    pub batch_max: usize,
     /// Answer target used when `submit` is called without an explicit
     /// `k`.
     pub default_k: u64,
@@ -69,6 +98,10 @@ impl Default for RuntimeConfig {
             call_budget: None,
             retry: RetryPolicy::default(),
             adaptive: None,
+            page_cache_entries: usize::MAX,
+            sub_results: 0,
+            batch_window: None,
+            batch_max: 16,
             default_k: 10,
         }
     }
@@ -83,8 +116,17 @@ struct ServerState {
     /// Signalled when a plan lands in (or drops out of) the cache, so
     /// workers waiting on a single-flight optimization re-probe.
     plan_ready: std::sync::Condvar,
+    /// Prefix signatures seen at admission (batching only): a prefix
+    /// admitted once before is popular enough to materialize when it
+    /// shows up again, even if its first carrier ran unshared.
+    admitted_prefixes: Mutex<std::collections::HashSet<mdq_model::fingerprint::SubplanSignature>>,
     metrics: Metrics,
 }
+
+/// Bound on the admitted-prefix memory; reaching it clears the set (a
+/// coarse reset is fine — the set only steers a materialize-or-not
+/// heuristic, never correctness).
+const ADMITTED_PREFIX_CAP: usize = 16_384;
 
 /// The plan cache plus the keys currently being optimized
 /// (single-flight: concurrent submissions of one template wait for the
@@ -98,6 +140,19 @@ struct Job {
     text: String,
     k: u64,
     events: mpsc::Sender<SessionEvent>,
+    /// Filled by the admission batcher: plan resolved at batch-planning
+    /// time plus batch bookkeeping. `None` = the worker plans.
+    prepared: Option<Prepared>,
+}
+
+/// What the admission batcher resolved for one batch member.
+struct Prepared {
+    plan: Arc<Plan>,
+    key: PlanKey,
+    plan_cache_hit: bool,
+    /// The member's invoke prefix overlapped another member's (or
+    /// already-materialized work) at planning time.
+    shared_prefix: bool,
 }
 
 /// A concurrent multi-query server over one engine (schema + services).
@@ -128,35 +183,53 @@ impl QueryServer {
         let state = Arc::new(ServerState {
             shared: Arc::new(
                 SharedServiceState::new(config.cache, config.per_service_concurrency)
-                    .with_retry(config.retry),
+                    .with_retry(config.retry)
+                    .with_page_capacity(config.page_cache_entries)
+                    .with_sub_results(config.sub_results),
             ),
             plans: Mutex::new(PlanState {
                 cache: PlanCache::new(config.plan_cache_capacity),
                 optimizing: std::collections::HashSet::new(),
             }),
             plan_ready: std::sync::Condvar::new(),
+            admitted_prefixes: Mutex::new(std::collections::HashSet::new()),
             metrics: Metrics::new(),
             engine,
             config,
         });
-        let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
+        let (submit_tx, submit_rx) = mpsc::channel::<Job>();
+        let mut workers = Vec::new();
+        let work_rx = match config.batch_window {
+            Some(window) => {
+                // the admission batcher sits between the submission
+                // queue and the worker pool: it groups arrivals, plans
+                // each batch with cross-member shared-prefix detection
+                // and forwards the prepared jobs
+                let (work_tx, work_rx) = mpsc::channel::<Job>();
                 let state = Arc::clone(&state);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    let job = match rx.lock().expect("queue lock").recv() {
-                        Ok(job) => job,
-                        Err(_) => return, // queue closed: shutdown
-                    };
-                    process(&state, job);
-                })
+                let max = config.batch_max.max(1);
+                workers.push(std::thread::spawn(move || {
+                    batch_loop(&state, submit_rx, work_tx, window, max)
+                }));
+                work_rx
+            }
+            None => submit_rx,
+        };
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        workers.extend((0..config.workers.max(1)).map(|_| {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&work_rx);
+            std::thread::spawn(move || loop {
+                let job = match rx.lock().expect("queue lock").recv() {
+                    Ok(job) => job,
+                    Err(_) => return, // queue closed: shutdown
+                };
+                process(&state, job);
             })
-            .collect();
+        }));
         QueryServer {
             state,
-            queue: Mutex::new(Some(tx)),
+            queue: Mutex::new(Some(submit_tx)),
             workers: Mutex::new(workers),
         }
     }
@@ -176,6 +249,7 @@ impl QueryServer {
             text: text.to_string(),
             k: k.unwrap_or(self.state.config.default_k),
             events,
+            prepared: None,
         };
         let rejected = match &*self.queue.lock().expect("queue lock") {
             Some(tx) => {
@@ -299,6 +373,235 @@ impl Drop for ClaimGuard<'_> {
     }
 }
 
+/// The admission batcher: drains the submission queue into batches —
+/// the first arrival opens a batch, further arrivals join until the
+/// window elapses or the batch is full (while workers are busy, queued
+/// submissions join naturally) — plans each batch as a unit and
+/// forwards the prepared jobs to the worker pool.
+fn batch_loop(
+    state: &Arc<ServerState>,
+    rx: mpsc::Receiver<Job>,
+    tx: mpsc::Sender<Job>,
+    window: std::time::Duration,
+    max: usize,
+) {
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // submissions closed: shutdown
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + window;
+        while batch.len() < max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(_) => break, // window elapsed or submissions closed
+            }
+        }
+        for job in plan_batch(state, batch) {
+            if tx.send(job).is_err() {
+                return; // every worker died
+            }
+        }
+    }
+}
+
+/// The batch's view of already-materialized work while it is being
+/// planned: the sub-result store plus the prefixes of members planned
+/// earlier in this very batch (they *will* be materialized by the time
+/// a later member executes — single-flight makes exactly one member pay).
+struct BatchOracle<'a> {
+    shared: &'a SharedServiceState,
+    batch: &'a std::collections::HashSet<mdq_model::fingerprint::SubplanSignature>,
+}
+
+impl mdq_cost::shared::SharedWorkOracle for BatchOracle<'_> {
+    fn is_materialized(&self, sig: mdq_model::fingerprint::SubplanSignature) -> bool {
+        self.batch.contains(&sig) || self.shared.is_materialized(sig)
+    }
+}
+
+/// Plans every member of a batch and returns the jobs to forward:
+/// plan-cache probe, optimizer run on a miss (priced under the batch's
+/// shared-work oracle), then cross-member overlap detection — a member
+/// whose invoke prefix matches another member's (or already-materialized
+/// work) is a *shared-prefix hit* and the only kind of member told to
+/// materialize. Members that fail to optimize fail their session right
+/// here (counted exactly once); parse failures are forwarded unprepared
+/// and surface through the worker's ordinary path.
+///
+/// With adaptivity enabled the batch is planned *standalone* and
+/// nothing is flagged: the adaptive executor re-prices plans mid-flight
+/// and never replays sub-results, so a shared-work discount would steer
+/// it toward savings it cannot collect (materialized pages still replay
+/// through the shared page cache either way).
+fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
+    use mdq_model::fingerprint::SubplanSignature;
+    let use_oracle = state.config.adaptive.is_none();
+    let mut seen: std::collections::HashSet<SubplanSignature> = std::collections::HashSet::new();
+    // signatures per member, for the second (overlap-marking) pass
+    let mut member_sigs: Vec<Vec<SubplanSignature>> = Vec::with_capacity(batch.len());
+    let mut out: Vec<Job> = Vec::with_capacity(batch.len());
+    for mut job in batch {
+        let Ok(query) = state.engine.parse(&job.text) else {
+            member_sigs.push(Vec::new());
+            out.push(job); // the worker re-parses and fails the session
+            continue;
+        };
+        let key = (fingerprint(&query), job.k);
+        let cached = if state.config.plan_cache_capacity == 0 {
+            None
+        } else {
+            state.plans.lock().expect("plan cache lock").cache.get(&key)
+        };
+        let (plan, hit) = match cached {
+            Some(plan) => {
+                state
+                    .metrics
+                    .plan_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                (plan, true)
+            }
+            None => {
+                state
+                    .metrics
+                    .plan_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .optimizer_invocations
+                    .fetch_add(1, Ordering::Relaxed);
+                let oracle = BatchOracle {
+                    shared: &state.shared,
+                    batch: &seen,
+                };
+                let config = OptimizerConfig {
+                    k: job.k,
+                    cache: state.config.cache,
+                    ..OptimizerConfig::default()
+                };
+                let optimized = if use_oracle {
+                    state.engine.optimize_shared(
+                        query.clone(),
+                        &ExecutionTime,
+                        config.clone(),
+                        &oracle,
+                    )
+                } else {
+                    state
+                        .engine
+                        .optimize(query.clone(), &ExecutionTime, config.clone())
+                };
+                match optimized {
+                    Ok(o) => {
+                        let plan = Arc::new(o.candidate.plan);
+                        // a plan chosen under the batch's transient
+                        // discount must not become the template's
+                        // durable plan: the cache is keyed by
+                        // (fingerprint, k) alone and outlives the
+                        // materialization. Publish the standalone
+                        // optimum instead (one more optimizer run,
+                        // honestly counted); the batch member itself
+                        // still executes the discounted plan — its
+                        // prefix *is* materialized for this batch
+                        let discounted = use_oracle
+                            && mdq_plan::signature::invoke_prefixes(&plan)
+                                .iter()
+                                .any(|p| oracle.is_materialized(p.signature));
+                        let durable = if discounted {
+                            state
+                                .metrics
+                                .optimizer_invocations
+                                .fetch_add(1, Ordering::Relaxed);
+                            state
+                                .engine
+                                .optimize(query, &ExecutionTime, config)
+                                .ok()
+                                .map(|o| Arc::new(o.candidate.plan))
+                        } else {
+                            Some(Arc::clone(&plan))
+                        };
+                        if let Some(durable) = durable {
+                            state
+                                .plans
+                                .lock()
+                                .expect("plan cache lock")
+                                .cache
+                                .insert(key, durable);
+                        }
+                        (plan, false)
+                    }
+                    Err(e) => {
+                        // fail the session here — the worker must not
+                        // re-run (and re-count) the optimizer
+                        state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.events.send(SessionEvent::Failed(e.to_string()));
+                        continue;
+                    }
+                }
+            }
+        };
+        let sigs: Vec<SubplanSignature> = mdq_plan::signature::invoke_prefixes(&plan)
+            .iter()
+            .map(|p| p.signature)
+            .collect();
+        member_sigs.push(sigs.clone());
+        job.prepared = Some(Prepared {
+            plan,
+            key,
+            plan_cache_hit: hit,
+            shared_prefix: false, // marked in the second pass
+        });
+        out.push(job);
+        seen.extend(sigs);
+    }
+    if !use_oracle {
+        return out;
+    }
+    // second pass: a member shares a prefix when any of its signatures
+    // occurs in another member, was admitted by an earlier batch, or is
+    // already materialized in the store — only those members are told
+    // to materialize (paying the eager drain for a prefix nobody else
+    // wants is the classic MQO anti-pattern)
+    let mut counts: std::collections::HashMap<SubplanSignature, usize> =
+        std::collections::HashMap::new();
+    for sigs in &member_sigs {
+        for s in sigs {
+            *counts.entry(*s).or_insert(0) += 1;
+        }
+    }
+    let mut admitted = state
+        .admitted_prefixes
+        .lock()
+        .expect("admitted prefixes lock");
+    for (job, sigs) in out.iter_mut().zip(&member_sigs) {
+        let Some(prepared) = job.prepared.as_mut() else {
+            continue;
+        };
+        let shared = sigs.iter().any(|s| {
+            counts.get(s).copied().unwrap_or(0) > 1
+                || admitted.contains(s)
+                || state.shared.is_materialized(*s)
+        });
+        if shared {
+            prepared.shared_prefix = true;
+            state
+                .metrics
+                .shared_prefix_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if admitted.len() > ADMITTED_PREFIX_CAP {
+        admitted.clear();
+    }
+    admitted.extend(member_sigs.iter().flatten().copied());
+    out
+}
+
 /// One query, start to finish, on a worker thread: parse → plan-cache
 /// probe (miss: optimize + insert) → pull-based execution over the
 /// shared gateway state, streaming each answer to the session.
@@ -309,57 +612,72 @@ fn process(state: &ServerState, job: Job) {
         let _ = job.events.send(SessionEvent::Failed(reason));
     };
 
-    let query = match state.engine.parse(&job.text) {
-        Ok(q) => q,
-        Err(e) => return fail(e.to_string()),
-    };
-
-    let key = (fingerprint(&query), job.k);
-    let cached = lookup_single_flight(state, &key);
-    let plan_cache_hit = cached.is_some();
-    let plan: Arc<Plan> = match cached {
-        Some(plan) => {
-            state
-                .metrics
-                .plan_cache_hits
-                .fetch_add(1, Ordering::Relaxed);
-            plan
-        }
+    // prepared by the admission batcher, or resolved here (parse →
+    // plan-cache probe with single-flight → optimize on a miss). A
+    // batched query materializes sub-results only when the batcher saw
+    // its prefix overlap; without batching every query is opportunistic
+    let (key, plan, plan_cache_hit, shared_prefix, materialize) = match job.prepared {
+        Some(p) => (
+            p.key,
+            p.plan,
+            p.plan_cache_hit,
+            p.shared_prefix,
+            p.shared_prefix,
+        ),
         None => {
-            // the claim from `lookup_single_flight` is released by this
-            // guard even if the optimizer panics
-            let claim = ClaimGuard { state, key };
-            state
-                .metrics
-                .plan_cache_misses
-                .fetch_add(1, Ordering::Relaxed);
-            state
-                .metrics
-                .optimizer_invocations
-                .fetch_add(1, Ordering::Relaxed);
-            let optimized = state.engine.optimize(
-                query,
-                &ExecutionTime,
-                OptimizerConfig {
-                    k: job.k,
-                    cache: state.config.cache,
-                    ..OptimizerConfig::default()
-                },
-            );
-            let plan = optimized.map(|o| Arc::new(o.candidate.plan));
-            if let Ok(plan) = &plan {
-                state
-                    .plans
-                    .lock()
-                    .expect("plan cache lock")
-                    .cache
-                    .insert(key, Arc::clone(plan));
-            }
-            drop(claim);
-            match plan {
-                Ok(plan) => plan,
+            let query = match state.engine.parse(&job.text) {
+                Ok(q) => q,
                 Err(e) => return fail(e.to_string()),
-            }
+            };
+            let key = (fingerprint(&query), job.k);
+            let cached = lookup_single_flight(state, &key);
+            let plan_cache_hit = cached.is_some();
+            let plan: Arc<Plan> = match cached {
+                Some(plan) => {
+                    state
+                        .metrics
+                        .plan_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    plan
+                }
+                None => {
+                    // the claim from `lookup_single_flight` is released
+                    // by this guard even if the optimizer panics
+                    let claim = ClaimGuard { state, key };
+                    state
+                        .metrics
+                        .plan_cache_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    state
+                        .metrics
+                        .optimizer_invocations
+                        .fetch_add(1, Ordering::Relaxed);
+                    let optimized = state.engine.optimize(
+                        query,
+                        &ExecutionTime,
+                        OptimizerConfig {
+                            k: job.k,
+                            cache: state.config.cache,
+                            ..OptimizerConfig::default()
+                        },
+                    );
+                    let plan = optimized.map(|o| Arc::new(o.candidate.plan));
+                    if let Ok(plan) = &plan {
+                        state
+                            .plans
+                            .lock()
+                            .expect("plan cache lock")
+                            .cache
+                            .insert(key, Arc::clone(plan));
+                    }
+                    drop(claim);
+                    match plan {
+                        Ok(plan) => plan,
+                        Err(e) => return fail(e.to_string()),
+                    }
+                }
+            };
+            (key, plan, plan_cache_hit, false, true)
         }
     };
 
@@ -381,14 +699,20 @@ fn process(state: &ServerState, job: Job) {
 
     let mut exec = match &state.config.adaptive {
         Some(adaptive) => {
-            let replanner = state.engine.replanner(
-                &ExecutionTime,
-                OptimizerConfig {
-                    k: job.k,
-                    cache: state.config.cache,
-                    ..OptimizerConfig::default()
-                },
-            );
+            // the re-planner consults the shared state as its
+            // shared-work oracle: a splice prefers suffix plans whose
+            // invoke prefix is already materialized
+            let replanner = state
+                .engine
+                .replanner(
+                    &ExecutionTime,
+                    OptimizerConfig {
+                        k: job.k,
+                        cache: state.config.cache,
+                        ..OptimizerConfig::default()
+                    },
+                )
+                .with_oracle(Arc::clone(&state.shared) as Arc<_>);
             match AdaptiveTopK::with_shared(
                 &plan,
                 state.engine.schema(),
@@ -402,13 +726,14 @@ fn process(state: &ServerState, job: Job) {
                 Err(e) => return fail(e.to_string()),
             }
         }
-        None => match TopKExecution::with_shared(
+        None => match TopKExecution::with_shared_mqo(
             &plan,
             state.engine.schema(),
             state.engine.registry(),
             Arc::clone(&state.shared),
             state.config.call_budget,
             false,
+            materialize,
         ) {
             Ok(p) => Exec::Frozen(p),
             Err(e) => return fail(e.to_string()),
@@ -426,29 +751,54 @@ fn process(state: &ServerState, job: Job) {
             None => break,
         }
     }
-    let (per_service_faults, error, partial, forwarded_calls, forwarded_latency, replans) =
-        match &exec {
-            Exec::Frozen(pull) => (
-                pull.fault_stats(),
-                pull.error(),
-                pull.partial_results(),
-                pull.total_calls(),
-                pull.total_latency(),
-                0u32,
-            ),
-            Exec::Adaptive(pull, _) => (
-                pull.fault_stats(),
-                pull.error(),
-                pull.partial_results(),
-                pull.total_calls(),
-                pull.total_latency(),
-                pull.replans(),
-            ),
-        };
+    let (
+        per_service_faults,
+        error,
+        partial,
+        forwarded_calls,
+        forwarded_latency,
+        replans,
+        sub_result_hits,
+        sub_result_calls_saved,
+    ) = match &exec {
+        Exec::Frozen(pull) => (
+            pull.fault_stats(),
+            pull.error(),
+            pull.partial_results(),
+            pull.total_calls(),
+            pull.total_latency(),
+            0u32,
+            pull.sub_result_hits(),
+            pull.sub_result_calls_saved(),
+        ),
+        Exec::Adaptive(pull, _) => (
+            pull.fault_stats(),
+            pull.error(),
+            pull.partial_results(),
+            pull.total_calls(),
+            pull.total_latency(),
+            pull.replans(),
+            // the adaptive pull driver executes its own chain (a splice
+            // invalidates a replayed prefix), so it never replays
+            0u64,
+            0u64,
+        ),
+    };
     let mut faults = FaultStats::default();
     for s in per_service_faults.values() {
         faults.merge(s);
     }
+    // sub-result attribution happens success or fail, like faults: the
+    // store counted the replay when the execution was built, and the
+    // server counters must reconcile with it exactly
+    state
+        .metrics
+        .sub_result_hits
+        .fetch_add(sub_result_hits, Ordering::Relaxed);
+    state
+        .metrics
+        .sub_result_calls_saved
+        .fetch_add(sub_result_calls_saved, Ordering::Relaxed);
     if let Some(err) = error {
         // even a failed query attributes its fault accounting, so the
         // server counters reconcile with the shared gateway state
@@ -490,6 +840,9 @@ fn process(state: &ServerState, job: Job) {
         retries: faults.retries,
         timeouts: faults.timeouts,
         replans,
+        shared_prefix_hit: shared_prefix,
+        sub_result_hits,
+        sub_result_calls_saved,
         degraded_services: partial
             .map(|p| p.degraded.into_iter().map(|d| d.service).collect())
             .unwrap_or_default(),
@@ -693,5 +1046,62 @@ mod tests {
             .collect()
             .expect_err("server is down");
         assert!(err.to_string().contains("shut down"), "{err}");
+    }
+
+    fn batching_config() -> RuntimeConfig {
+        RuntimeConfig {
+            sub_results: 16,
+            batch_window: Some(std::time::Duration::from_millis(5)),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn batched_unoptimizable_query_fails_once_and_counts_once() {
+        // parseable but not executable (weather alone has no permissible
+        // pattern): the batcher must fail the session itself, without a
+        // second optimizer run or double-counted metrics in the worker
+        let server = QueryServer::new(travel_engine(), batching_config());
+        let err = server
+            .submit("q(City) :- weather(City, Temp, Day).", Some(5))
+            .collect()
+            .expect_err("not executable");
+        assert!(err.to_string().contains("not executable"), "{err}");
+        let m = server.metrics();
+        assert_eq!((m.submitted, m.failed, m.completed), (1, 1, 0));
+        assert_eq!(m.optimizer_invocations, 1, "optimized exactly once");
+        assert_eq!(m.plan_cache_misses, 1);
+        // batched parse failures still surface through the worker path
+        let err = server
+            .submit("q(X) :- nosuch(X).", Some(5))
+            .collect()
+            .expect_err("parse error");
+        assert!(err.to_string().contains("query failed"), "{err}");
+        assert_eq!(server.metrics().failed, 2);
+    }
+
+    #[test]
+    fn adaptive_batches_plan_standalone_and_flag_nothing() {
+        // with adaptivity on, the adaptive executor never replays
+        // sub-results, so the batcher must not flag shared prefixes
+        // (nor optimize under a discount it cannot realize)
+        let c = mdq_services::domains::catalog::catalog_world(false);
+        let server = QueryServer::new(
+            Mdq::from_world(c.world),
+            RuntimeConfig {
+                adaptive: Some(AdaptiveConfig::default()),
+                ..batching_config()
+            },
+        );
+        let sessions: Vec<_> = (0..4)
+            .map(|_| server.submit(CATALOG_QUERY, Some(5)))
+            .collect();
+        for s in sessions {
+            s.collect().expect("runs");
+        }
+        let m = server.metrics();
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.shared_prefix_hits, 0, "adaptive batches flag nothing");
+        assert_eq!(m.sub_result_hits, 0, "the adaptive path never replays");
     }
 }

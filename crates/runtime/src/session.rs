@@ -41,6 +41,18 @@ pub struct QueryStats {
     /// [`AdaptiveConfig`](mdq_cost::divergence::AdaptiveConfig) and the
     /// observations drifted past its threshold).
     pub replans: u32,
+    /// Whether the admission batcher saw this query's invoke prefix
+    /// overlap another batch member's (or an already-materialized
+    /// prefix) at planning time.
+    pub shared_prefix_hit: bool,
+    /// Materialized invoke prefixes this query replayed from the
+    /// sub-result store instead of re-invoking (0 or 1; always 0 with
+    /// the store disabled).
+    pub sub_result_hits: u64,
+    /// Forwarded service calls the replay saved this query — the
+    /// materializing cost of the replayed prefix. Reconciles with the
+    /// shared gateway state's cumulative accounting.
+    pub sub_result_calls_saved: u64,
     /// Names of the services that served this query degraded pages
     /// (empty = the answer stream is complete).
     pub degraded_services: Vec<String>,

@@ -1,7 +1,10 @@
 //! The serving layer end to end: two [`QueryServer`]s (one per
 //! federation — travel and bibliography), a mixed workload of repeated
 //! query shapes submitted concurrently, and the metrics snapshot
-//! showing what the runtime amortized.
+//! showing what the runtime amortized — the travel server runs with the
+//! full multi-query-optimization stack (admission batching + the
+//! signature-keyed sub-result store), so overlapping invoke prefixes
+//! across *different* templates are materialized once and replayed.
 //!
 //! ```sh
 //! cargo run --example query_server
@@ -11,6 +14,7 @@ use mdq::services::domains::bibliography::bibliography_world;
 use mdq::services::domains::travel::travel_world;
 use mdq::services::domains::World;
 use mdq::{Mdq, QueryServer, RuntimeConfig};
+use std::time::Duration;
 
 const TRAVEL_TEMPLATE: &str = "q(Conf, City, HPrice, FPrice, Hotel) :- \
      flight('Milano', City, Start, End, ST, ET, FPrice), \
@@ -39,7 +43,14 @@ fn main() {
             query: tw.query,
             registry: tw.registry,
         }),
-        config,
+        RuntimeConfig {
+            // MQO on: admit in small batches, share invoke prefixes —
+            // the three travel budgets are different templates, but
+            // they all start with the same conf('DB') → weather chain
+            sub_results: 32,
+            batch_window: Some(Duration::from_millis(10)),
+            ..config
+        },
     );
     let biblio = QueryServer::from_world(bibliography_world(7), config);
 

@@ -95,9 +95,12 @@
 //! |---|---|
 //! | "optimization is performed for each query template" (§2.2), across users | [`fingerprint`](mdq_model::fingerprint::fingerprint) + the [`PlanCache`](mdq_runtime::plan_cache::PlanCache) |
 //! | concurrent multi-query server | [`QueryServer`](mdq_runtime::server::QueryServer) (worker pool, streaming [`QuerySession`](mdq_runtime::session::QuerySession)s) |
-//! | §5.1 cache, amortized across a workload | [`SharedServiceState`](mdq_exec::gateway::SharedServiceState) (single-flight, per-service concurrency limits) |
+//! | §5.1 cache, amortized across a workload | [`SharedServiceState`](mdq_exec::gateway::SharedServiceState) (single-flight, per-service concurrency limits, bounded via [`RuntimeConfig::page_cache_entries`](mdq_runtime::server::RuntimeConfig)) |
 //! | admission control | [`RuntimeConfig::call_budget`](mdq_runtime::server::RuntimeConfig), [`ExecError::CallBudgetExhausted`](mdq_exec::operator::ExecError) |
-//! | observability | [`MetricsSnapshot`](mdq_runtime::metrics::MetricsSnapshot) (QPS, hit rates, latency histogram) |
+//! | observability | [`MetricsSnapshot`](mdq_runtime::metrics::MetricsSnapshot) (QPS, hit rates, per-service calls *and* latency, latency histogram) |
+//! | §5's per-call pricing, shared across queries (Roy et al.'s common-subexpression materialization) | [`subplan_signature`](mdq_model::fingerprint::subplan_signature) / [`invoke_prefixes`](mdq_plan::signature::invoke_prefixes) keying the sub-result store in [`SharedServiceState`](mdq_exec::gateway::SharedServiceState) ([`SubResultStats`](mdq_exec::gateway::SubResultStats)) |
+//! | costing that knows what is already paid for | [`SharedWorkOracle`](mdq_cost::shared::SharedWorkOracle) + [`discount_materialized`](mdq_cost::shared::discount_materialized), consulted by [`optimize_shared`](mdq_optimizer::bnb::optimize_shared) and the adaptive [`OptimizerReplanner`](mdq_core::OptimizerReplanner) |
+//! | batch admission: plan a burst as one unit | [`RuntimeConfig::batch_window`](mdq_runtime::server::RuntimeConfig), [`QueryStats::shared_prefix_hit`](mdq_runtime::session::QueryStats), [`MetricsSnapshot::shared_prefix_hits`](mdq_runtime::metrics::MetricsSnapshot) / [`sub_result_hits`](mdq_runtime::metrics::MetricsSnapshot::sub_result_hits) / [`sub_result_calls_saved`](mdq_runtime::metrics::MetricsSnapshot::sub_result_calls_saved) |
 //!
 //! ## Beyond the paper — the fault model
 //!
