@@ -4,6 +4,7 @@
 use mdq_bench::harness::Bench;
 use mdq_exec::binding::Binding;
 use mdq_exec::joins::{MsJoin, NlJoin};
+use mdq_exec::operator::{drain_all, Operator, Source, DEFAULT_BATCH};
 use mdq_model::query::{Atom, Term, VarId};
 use mdq_model::schema::ServiceId;
 use mdq_model::value::{Tuple, Value};
@@ -34,21 +35,27 @@ fn main() {
         let left = stream(0, 1, n, 10);
         let right = stream(0, 2, n, 10);
         bench.measure(&format!("joins/full/ms/{n}"), || {
-            MsJoin::new(
-                left.clone().into_iter(),
-                right.clone().into_iter(),
-                vec![VarId(0)],
+            drain_all(
+                MsJoin::new(
+                    Source(left.clone().into_iter()),
+                    Source(right.clone().into_iter()),
+                    vec![VarId(0)],
+                ),
+                DEFAULT_BATCH,
             )
-            .count()
+            .len()
         });
         bench.measure(&format!("joins/full/nl/{n}"), || {
-            NlJoin::new(
-                left.clone().into_iter(),
-                right.clone().into_iter(),
-                vec![VarId(0)],
-                true,
+            drain_all(
+                NlJoin::new(
+                    Source(left.clone().into_iter()),
+                    Source(right.clone().into_iter()),
+                    vec![VarId(0)],
+                    true,
+                ),
+                DEFAULT_BATCH,
             )
-            .count()
+            .len()
         });
     }
 
@@ -56,23 +63,25 @@ fn main() {
     let small = stream(0, 1, 5, 1);
     let large = stream(0, 2, 2000, 1);
     bench.measure("joins/first-25/nl-asymmetric", || {
-        NlJoin::new(
-            small.clone().into_iter(),
-            large.clone().into_iter(),
+        let mut join = NlJoin::new(
+            Source(small.clone().into_iter()),
+            Source(large.clone().into_iter()),
             vec![VarId(0)],
             true,
-        )
-        .take(25)
-        .count()
+        );
+        let mut out = mdq_exec::operator::Batch::new();
+        join.next_batch(25, &mut out);
+        out.len()
     });
     bench.measure("joins/first-25/ms-asymmetric", || {
-        MsJoin::new(
-            small.clone().into_iter(),
-            large.clone().into_iter(),
+        let mut join = MsJoin::new(
+            Source(small.clone().into_iter()),
+            Source(large.clone().into_iter()),
             vec![VarId(0)],
-        )
-        .take(25)
-        .count()
+        );
+        let mut out = mdq_exec::operator::Batch::new();
+        join.next_batch(25, &mut out);
+        out.len()
     });
 
     bench.write_json("joins");

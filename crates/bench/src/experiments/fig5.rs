@@ -13,6 +13,7 @@
 
 use mdq_exec::binding::Binding;
 use mdq_exec::joins::{MsJoin, NlJoin};
+use mdq_exec::operator::Operator;
 use mdq_model::query::{Atom, Term, VarId};
 use mdq_model::schema::ServiceId;
 use mdq_model::value::{Tuple, Value};
@@ -20,15 +21,16 @@ use std::cell::Cell;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
-/// Pull-counting wrapper around a binding stream.
+/// Pull-counting wrapper around a binding stream. Counts per binding
+/// (the default batched path loops `next_binding`), so the consumption
+/// numbers stay exact under the batched kernel.
 struct Counted<I> {
     inner: I,
     count: Rc<Cell<usize>>,
 }
 
-impl<I: Iterator<Item = Binding>> Iterator for Counted<I> {
-    type Item = Binding;
-    fn next(&mut self) -> Option<Binding> {
+impl<I: Iterator<Item = Binding>> Operator for Counted<I> {
+    fn next_binding(&mut self) -> Option<Binding> {
         let n = self.inner.next();
         if n.is_some() {
             self.count.set(self.count.get() + 1);
@@ -77,7 +79,7 @@ pub fn nl_consumption(n_left: usize, n_right: usize, k: usize) -> Consumption {
     };
     let mut join = NlJoin::new(left, right, vec![VarId(0)], true);
     for _ in 0..k {
-        if join.next().is_none() {
+        if join.next_binding().is_none() {
             break;
         }
     }
@@ -101,7 +103,7 @@ pub fn ms_consumption(n_left: usize, n_right: usize, k: usize) -> Consumption {
     };
     let mut join = MsJoin::new(left, right, vec![VarId(0)]);
     for _ in 0..k {
-        if join.next().is_none() {
+        if join.next_binding().is_none() {
             break;
         }
     }

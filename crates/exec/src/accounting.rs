@@ -1,0 +1,186 @@
+//! Off-hot-path accounting for the shared execution state.
+//!
+//! Call, latency, fault and invocation-level cache counters used to
+//! live inside the single `SharedServiceState` mutex, so every page
+//! fetch serialized metrics against caching. They now accumulate in
+//! **per-gateway cells** ([`AcctCell`]) — each execution's hot path
+//! locks only its own uncontended cell — and readers *merge* the cells
+//! (plus the retired totals of dropped gateways) on demand through the
+//! [`Accounting`] registry.
+//!
+//! This module is the **only** place the counter fields are touched:
+//! the hot path writes through `record_*`, readers go through
+//! [`Accounting::merged`], and retired gateways fold in through
+//! [`Accounting::retire`]. CI greps that nothing outside this module
+//! reaches the fields directly, so hot-path lock traffic cannot creep
+//! back in.
+
+use crate::cache::CacheStats;
+use crate::gateway::FaultStats;
+use mdq_cost::divergence::ObservedService;
+use mdq_model::schema::ServiceId;
+use mdq_services::service::ServiceFault;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, Weak};
+
+/// One merged (or per-worker) set of cumulative gateway counters.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Counters {
+    /// Request-responses forwarded per service.
+    pub calls: HashMap<ServiceId, u64>,
+    /// Summed simulated latency of all forwarded calls.
+    pub latency_sum: f64,
+    /// Fault accounting per service.
+    pub faults: HashMap<ServiceId, FaultStats>,
+    /// Per-service observations of forwarded calls.
+    pub observed: HashMap<ServiceId, ObservedService>,
+    /// Invocation-level cache hit/miss counters per service.
+    pub invocations: HashMap<ServiceId, CacheStats>,
+}
+
+impl Counters {
+    /// Accumulates `self` into `into` — the single merge primitive every
+    /// cross-worker read goes through.
+    pub fn merge_into(&self, into: &mut Counters) {
+        for (id, n) in &self.calls {
+            *into.calls.entry(*id).or_insert(0) += n;
+        }
+        into.latency_sum += self.latency_sum;
+        for (id, f) in &self.faults {
+            into.faults.entry(*id).or_default().merge(f);
+        }
+        for (id, o) in &self.observed {
+            into.observed.entry(*id).or_default().merge(o);
+        }
+        for (id, c) in &self.invocations {
+            let e = into.invocations.entry(*id).or_default();
+            e.hits += c.hits;
+            e.misses += c.misses;
+        }
+    }
+}
+
+/// One gateway's private counter cell. The owning execution is the only
+/// hot-path writer, so the mutex is uncontended; readers lock it briefly
+/// during a merge.
+pub(crate) struct AcctCell {
+    counters: Mutex<Counters>,
+}
+
+impl AcctCell {
+    fn update(&self, f: impl FnOnce(&mut Counters)) {
+        f(&mut self.counters.lock().expect("accounting cell lock"));
+    }
+
+    /// Records one successful forwarded call.
+    pub fn record_ok(&self, id: ServiceId, tuples: usize, latency: f64) {
+        self.update(|c| {
+            *c.calls.entry(id).or_insert(0) += 1;
+            c.latency_sum += latency;
+            c.observed.entry(id).or_default().record_ok(tuples, latency);
+        });
+    }
+
+    /// Records one faulted forwarded attempt.
+    pub fn record_fault(&self, id: ServiceId, fault: &ServiceFault, latency: f64) {
+        self.update(|c| {
+            *c.calls.entry(id).or_insert(0) += 1;
+            c.latency_sum += latency;
+            c.observed.entry(id).or_default().record_fault(latency);
+            c.faults.entry(id).or_default().classify(fault);
+        });
+    }
+
+    /// Records a retry issued after a faulted attempt, with its
+    /// accounted backoff.
+    pub fn record_retry(&self, id: ServiceId, backoff: f64) {
+        self.update(|c| {
+            let f = c.faults.entry(id).or_default();
+            f.retries += 1;
+            f.backoff_seconds += backoff;
+        });
+    }
+
+    /// Records a page given up on (retry budget or call budget spent).
+    pub fn record_exhausted(&self, id: ServiceId) {
+        self.update(|c| c.faults.entry(id).or_default().exhausted += 1);
+    }
+
+    /// Records one invocation-level cache hit or miss.
+    pub fn record_invocation(&self, id: ServiceId, hit: bool) {
+        self.update(|c| {
+            let s = c.invocations.entry(id).or_default();
+            if hit {
+                s.hits += 1;
+            } else {
+                s.misses += 1;
+            }
+        });
+    }
+}
+
+struct Registry {
+    /// Folded counters of every retired (dropped) gateway.
+    retired: Counters,
+    /// Live per-gateway cells.
+    cells: Vec<Weak<AcctCell>>,
+}
+
+/// The cross-worker accounting registry owned by the shared state:
+/// hands out cells, folds them back in on gateway drop, and merges
+/// retired + live totals for every snapshot read.
+pub(crate) struct Accounting {
+    inner: Mutex<Registry>,
+}
+
+impl Default for Accounting {
+    fn default() -> Self {
+        Accounting {
+            inner: Mutex::new(Registry {
+                retired: Counters::default(),
+                cells: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl Accounting {
+    /// Registers a new per-gateway cell.
+    pub fn register(&self) -> Arc<AcctCell> {
+        let cell = Arc::new(AcctCell {
+            counters: Mutex::new(Counters::default()),
+        });
+        let mut inner = self.inner.lock().expect("accounting registry lock");
+        inner.cells.retain(|w| w.strong_count() > 0);
+        inner.cells.push(Arc::downgrade(&cell));
+        cell
+    }
+
+    /// Folds a dropping gateway's cell into the retired totals.
+    pub fn retire(&self, cell: &Arc<AcctCell>) {
+        let mut inner = self.inner.lock().expect("accounting registry lock");
+        let counters = cell.counters.lock().expect("accounting cell lock");
+        let mut retired = std::mem::take(&mut inner.retired);
+        counters.merge_into(&mut retired);
+        inner.retired = retired;
+        drop(counters);
+        inner
+            .cells
+            .retain(|w| w.upgrade().is_some_and(|c| !Arc::ptr_eq(&c, cell)));
+    }
+
+    /// Merges retired totals with every live cell — the read side of
+    /// all cumulative accounting.
+    pub fn merged(&self) -> Counters {
+        let inner = self.inner.lock().expect("accounting registry lock");
+        let mut out = Counters::default();
+        inner.retired.merge_into(&mut out);
+        for cell in inner.cells.iter().filter_map(Weak::upgrade) {
+            cell.counters
+                .lock()
+                .expect("accounting cell lock")
+                .merge_into(&mut out);
+        }
+        out
+    }
+}

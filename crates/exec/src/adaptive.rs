@@ -44,7 +44,9 @@
 
 use crate::binding::Binding;
 use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway, SharedGateway};
-use crate::operator::{compile, ExecError, Filter, Invoke, Join, Operator, Select};
+use crate::operator::{
+    compile, drain_all, ExecError, Filter, Invoke, Join, Operator, Select, Source, DEFAULT_BATCH,
+};
 use crate::pipeline::{ExecReport, NodeTrace};
 use crate::plan_info::analyze;
 use mdq_cost::divergence::{diverging_services, ObservedService, ServiceDivergence};
@@ -206,6 +208,7 @@ impl Controller {
 /// operators, either in place or fanned out over `threads` OS threads
 /// (outputs reassembled in input order). Returns the stage's output
 /// stream and its summed forwarded latency.
+#[allow(clippy::too_many_arguments)] // private stage helper: plan context + tuning knobs
 fn run_invoke_stage(
     plan: &Plan,
     schema: &Schema,
@@ -214,6 +217,7 @@ fn run_invoke_stage(
     inputs: Vec<Binding>,
     gateway: &SharedGateway,
     threads: usize,
+    batch: usize,
 ) -> (Vec<Binding>, f64) {
     if threads <= 1 || inputs.len() <= 1 {
         let mut invoke = Invoke::for_node(
@@ -221,12 +225,12 @@ fn run_invoke_stage(
             schema,
             info,
             node,
-            inputs.into_iter(),
+            Source(inputs.into_iter()),
             gateway.clone(),
             false,
             0.0,
         );
-        let out: Vec<Binding> = Filter::for_node(plan, info, node, &mut invoke).collect();
+        let out = drain_all(Filter::for_node(plan, info, node, &mut invoke), batch);
         return (out, invoke.busy());
     }
     // contiguous chunks keep the reassembled output in input order, so
@@ -244,13 +248,12 @@ fn run_invoke_stage(
                         schema,
                         info,
                         node,
-                        chunk.into_iter(),
+                        Source(chunk.into_iter()),
                         gateway,
                         false,
                         0.0,
                     );
-                    let out: Vec<Binding> =
-                        Filter::for_node(plan, info, node, &mut invoke).collect();
+                    let out = drain_all(Filter::for_node(plan, info, node, &mut invoke), batch);
                     (out, invoke.busy())
                 })
             })
@@ -282,7 +285,9 @@ fn run_adaptive_stages(
     cfg: &AdaptiveConfig,
     replanner: &mut dyn Replanner,
     threads: usize,
+    batch: usize,
 ) -> Result<AdaptiveOutcome, ExecError> {
+    let batch = batch.max(1);
     let gateway = SharedGateway::new(ServiceGateway::with_shared(
         plan, schema, registry, shared, budget,
     )?);
@@ -317,7 +322,7 @@ fn run_adaptive_stages(
                     let inputs = streams[up].clone();
                     let in_tuples = inputs.len();
                     let (out, busy) =
-                        run_invoke_stage(&plan, schema, &info, i, inputs, &gateway, threads);
+                        run_invoke_stage(&plan, schema, &info, i, inputs, &gateway, threads, batch);
                     if let Some(err) = gateway.with(|g| g.take_error()) {
                         return Err(err);
                     }
@@ -347,18 +352,20 @@ fn run_adaptive_stages(
                     on,
                 } => {
                     let (l, r) = (left.0, right.0);
-                    let joined: Vec<Binding> = Filter::for_node(
-                        &plan,
-                        &info,
-                        i,
-                        Join::new(
-                            streams[l].iter().cloned(),
-                            streams[r].iter().cloned(),
-                            strategy,
-                            on.clone(),
+                    let joined = drain_all(
+                        Filter::for_node(
+                            &plan,
+                            &info,
+                            i,
+                            Join::new(
+                                Source(streams[l].iter().cloned()),
+                                Source(streams[r].iter().cloned()),
+                                strategy,
+                                on.clone(),
+                            ),
                         ),
-                    )
-                    .collect();
+                        batch,
+                    );
                     trace[i] = NodeTrace {
                         busy: 0.0,
                         completion: trace[l].completion.max(trace[r].completion),
@@ -369,10 +376,11 @@ fn run_adaptive_stages(
                 }
                 NodeKind::Output => {
                     let up = node.inputs[0].0;
-                    let filtered = Filter::for_node(&plan, &info, i, streams[up].iter().cloned());
+                    let filtered =
+                        Filter::for_node(&plan, &info, i, Source(streams[up].iter().cloned()));
                     let out: Vec<Binding> = match k {
-                        Some(k) => Select::new(filtered, k).collect(),
-                        None => filtered.collect(),
+                        Some(k) => drain_all(Select::new(filtered, k), batch),
+                        None => drain_all(filtered, batch),
                     };
                     trace[i] = NodeTrace {
                         busy: 0.0,
@@ -438,7 +446,38 @@ pub fn run_adaptive(
     cfg: &AdaptiveConfig,
     replanner: &mut dyn Replanner,
 ) -> Result<AdaptiveOutcome, ExecError> {
-    run_adaptive_stages(plan, schema, registry, shared, budget, k, cfg, replanner, 1)
+    run_adaptive_stages(
+        plan,
+        schema,
+        registry,
+        shared,
+        budget,
+        k,
+        cfg,
+        replanner,
+        1,
+        DEFAULT_BATCH,
+    )
+}
+
+/// [`run_adaptive`] with an explicit operator batch size. Answers,
+/// call counts, retries and re-plan decisions are invariant under
+/// `batch` — the equivalence suite sweeps it to prove as much.
+#[allow(clippy::too_many_arguments)] // serving-layer entry point: one knob per policy
+pub fn run_adaptive_with_batch(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    shared: Arc<crate::gateway::SharedServiceState>,
+    budget: Option<u64>,
+    k: Option<usize>,
+    cfg: &AdaptiveConfig,
+    replanner: &mut dyn Replanner,
+    batch: usize,
+) -> Result<AdaptiveOutcome, ExecError> {
+    run_adaptive_stages(
+        plan, schema, registry, shared, budget, k, cfg, replanner, 1, batch,
+    )
 }
 
 /// Like [`run_adaptive`], with every invoke stage's calls dispatched
@@ -469,6 +508,7 @@ pub fn run_adaptive_dispatch(
         cfg,
         replanner,
         threads.max(2),
+        DEFAULT_BATCH,
     )
 }
 

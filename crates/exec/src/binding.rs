@@ -148,6 +148,16 @@ impl Binding {
             .collect()
     }
 
+    /// Whether two bindings share the same underlying value storage —
+    /// true exactly when one is an `Arc` clone of the other. This is
+    /// the observability hook for the zero-copy replay guarantee: a
+    /// materialized sub-result replayed to a subscriber in the same
+    /// variable space must share storage with the stored row, never
+    /// deep-copy it.
+    pub fn shares_storage(&self, other: &Binding) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+
     /// The input-key values for an atom under an access pattern's input
     /// positions: constants inline, variables from the binding. `None`
     /// if an input variable is unbound (the plan is being executed out

@@ -8,7 +8,10 @@
 //!   so a missing registration surfaces as
 //!   [`ExecError::MissingService`] before any call is made;
 //! * **paging** — page requests are forwarded in order and accounted as
-//!   individual request-responses (the unit of every cost metric);
+//!   individual request-responses (the unit of every cost metric), and
+//!   runs of already-cached pages are served in one batched probe
+//!   ([`ServiceGateway::fetch_page_run`]) so the batched operator
+//!   kernel pays one lock acquisition per run, not per tuple;
 //! * **admission control** — an optional per-query *call budget*: once a
 //!   query has forwarded that many request-responses, further fetches are
 //!   refused and the execution fails with
@@ -23,12 +26,25 @@
 //!   with [`PartialResults`] naming the degraded services and their
 //!   [`FaultStats`].
 //!
-//! Cache and accounting live one level down, in a [`SharedServiceState`]:
-//! the §5.1 [`PageCache`], cumulative per-service call/latency counters,
-//! per-service concurrency limits, single-flight page deduplication and
-//! the failed-page memo (a page whose retries exhausted is published so
-//! single-flight waiters wake with the fault — and later fetchers skip
-//! the fault storm — instead of hanging or re-fetching).
+//! Cache and accounting live one level down, in a [`SharedServiceState`]
+//! — but no longer behind one mutex. The shared state is **partitioned**
+//! so concurrent executions stop serializing each other:
+//!
+//! * the §5.1 [`PageCache`] is split into independently locked *shards*,
+//!   routed by `(service, input-key)` hash; single-flight page
+//!   deduplication and the failed-page memo (a page whose retries
+//!   exhausted is published so single-flight waiters wake with the fault
+//!   instead of hanging or re-fetching) live with their shard, so two
+//!   queries touching different invocations never contend;
+//! * the per-service concurrency limit has its own tiny flow-control
+//!   lock, held only to acquire or release a slot — never across a
+//!   fetch;
+//! * the sub-result store (materialized invoke prefixes) has its own
+//!   lock and condition variable;
+//! * cumulative call/latency/fault/observation accounting accumulates in
+//!   per-gateway cells (`crate::accounting`) and is merged on
+//!   snapshot, so metrics never serialize the page path at all.
+//!
 //! A stand-alone execution owns a private state
 //! ([`ServiceGateway::new`] — the paper's one-query-at-a-time setting);
 //! the `mdq-runtime` serving layer hands *one* `Arc`-shared state to
@@ -42,11 +58,14 @@
 //! the real-thread dataflow engine. Both implement [`GatewayHandle`],
 //! the access trait the operators are generic over.
 
+use crate::accounting::{Accounting, AcctCell};
+use crate::binding::Binding;
 use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup};
 use crate::operator::ExecError;
 use mdq_cost::divergence::ObservedService;
 use mdq_cost::shared::SharedWorkOracle;
 use mdq_model::fingerprint::SubplanSignature;
+use mdq_model::query::VarId;
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::{Tuple, Value};
 use mdq_plan::dag::Plan;
@@ -54,6 +73,7 @@ use mdq_services::registry::ServiceRegistry;
 use mdq_services::service::{Service, ServiceFault};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -132,7 +152,7 @@ impl FaultStats {
         self.errors + self.timeouts + self.rate_limited
     }
 
-    fn classify(&mut self, fault: &ServiceFault) {
+    pub(crate) fn classify(&mut self, fault: &ServiceFault) {
         match fault {
             ServiceFault::Error { .. } => self.errors += 1,
             ServiceFault::Timeout { .. } => self.timeouts += 1,
@@ -229,11 +249,12 @@ impl PageFetch {
     }
 }
 
-/// Releases a single-flight claim and its concurrency-limit slot, then
-/// wakes the waiters. Lives across the whole `try_fetch`-and-retry
+/// Releases a single-flight claim on its page shard, then wakes the
+/// shard's waiters. Lives across the whole `try_fetch`-and-retry
 /// sequence so the claim is released even if the service panics.
 struct FlightGuard {
     shared: Arc<SharedServiceState>,
+    shard: usize,
     id: ServiceId,
     key: Vec<Value>,
     page: u32,
@@ -241,34 +262,59 @@ struct FlightGuard {
 
 impl Drop for FlightGuard {
     fn drop(&mut self) {
+        let shard = &self.shared.shards[self.shard];
         {
-            let mut inner = self.shared.inner.lock().expect("shared state lock");
+            let mut inner = shard.inner.lock().expect("page shard lock");
             inner
                 .fetching
                 .remove(&(self.id, std::mem::take(&mut self.key), self.page));
-            if let Some(n) = inner.in_flight.get_mut(&self.id) {
-                *n = n.saturating_sub(1);
-            }
         }
-        self.shared.changed.notify_all();
+        shard.changed.notify_all();
     }
 }
 
-/// The interior state guarded by [`SharedServiceState`]'s mutex.
-struct SharedInner {
+/// A held per-service concurrency slot. Dropping it releases the slot
+/// under the flow-control lock and wakes limit waiters.
+struct FlowSlot {
+    shared: Arc<SharedServiceState>,
+    id: ServiceId,
+}
+
+impl Drop for FlowSlot {
+    fn drop(&mut self) {
+        {
+            let mut flow = self.shared.flow.lock().expect("flow-control lock");
+            if let Some(n) = flow.get_mut(&self.id) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        self.shared.flow_changed.notify_all();
+    }
+}
+
+/// How many independently locked page shards an unbounded shared state
+/// uses. A *bounded* page cache collapses to a single shard so the
+/// capacity bound and LRU order stay exactly global (eviction decisions
+/// must see every invocation key).
+const PAGE_SHARDS: usize = 8;
+
+/// One independently locked partition of the page-serving state: a
+/// slice of the §5.1 [`PageCache`] plus the single-flight set and
+/// failed-page memo for the invocations routed here.
+struct PageShard {
+    inner: Mutex<ShardInner>,
+    /// Signalled when a flight claim on this shard is released —
+    /// single-flight waiters park here.
+    changed: Condvar,
+}
+
+/// The interior of one [`PageShard`].
+struct ShardInner {
     cache: PageCache,
-    /// Cumulative request-responses forwarded per service, across every
-    /// execution sharing this state.
-    calls: HashMap<ServiceId, u64>,
-    /// Cumulative simulated latency of all forwarded calls.
-    latency_sum: f64,
     /// Pages currently being fetched from a service (single-flight:
     /// concurrent demands for the same page wait instead of duplicating
     /// the request-response).
     fetching: HashSet<(ServiceId, Vec<Value>, u32)>,
-    /// Request-responses currently in flight per service (for the
-    /// concurrency limit).
-    in_flight: HashMap<ServiceId, usize>,
     /// Pages whose retry budget exhausted, with the terminal fault.
     /// Published *before* the single-flight claim is released, so a
     /// waiter blocked on the failing leader wakes with the error
@@ -277,24 +323,65 @@ struct SharedInner {
     /// execution re-probes a condemned page, so recovery after an
     /// outage is an explicit operator action.
     failed: HashMap<(ServiceId, Vec<Value>, u32), ServiceFault>,
-    /// Cumulative fault accounting per service, across every execution
-    /// sharing this state.
-    faults: HashMap<ServiceId, FaultStats>,
-    /// Cumulative per-service observations of forwarded calls (size,
-    /// latency, failures) — the live substitute for a sampling-profiler
-    /// pass, see [`SharedServiceState::observed_snapshot`].
-    observed: HashMap<ServiceId, ObservedService>,
-    /// The signature-keyed sub-result store: materialized invoke-prefix
-    /// binding streams, shared across every query on this state.
-    sub: SubResultInner,
 }
 
-/// One materialized invoke prefix: the bindings its chain produced, as
-/// rows of values in the signature's canonical variable order. Rows
-/// are `Arc`-shared so a replay under the state mutex is a refcount
-/// bump, never a deep copy.
+impl ShardInner {
+    /// Whether `(id, key, page)` is being fetched right now. A linear
+    /// scan: the set is bounded by concurrent in-flight fetches, and
+    /// probing it borrowed avoids cloning the key on every cache probe.
+    fn contains_flight(&self, id: ServiceId, key: &[Value], page: u32) -> bool {
+        self.fetching
+            .iter()
+            .any(|(i, k, p)| *i == id && *p == page && k.as_slice() == key)
+    }
+
+    /// The terminal fault of a permanently degraded page, if any.
+    /// Iterated borrowed for the same reason as [`contains_flight`]:
+    /// probing must not clone the key, and the memo stays small (one
+    /// entry per page that exhausted its retries).
+    ///
+    /// [`contains_flight`]: ShardInner::contains_flight
+    fn failed_for(&self, id: ServiceId, key: &[Value], page: u32) -> Option<&ServiceFault> {
+        self.failed
+            .iter()
+            .find(|((i, k, p), _)| *i == id && *p == page && k.as_slice() == key)
+            .map(|(_, f)| f)
+    }
+}
+
+fn build_shards(setting: CacheSetting, capacity: usize) -> Box<[PageShard]> {
+    // a bounded cache needs one shard to keep its LRU order and
+    // capacity bound exactly global; unbounded (and disabled) caches
+    // shard freely because no store ever looks across invocations
+    let shards = if capacity == 0 || capacity == usize::MAX {
+        PAGE_SHARDS
+    } else {
+        1
+    };
+    (0..shards)
+        .map(|_| PageShard {
+            inner: Mutex::new(ShardInner {
+                cache: PageCache::with_capacity(setting, capacity),
+                fetching: HashSet::new(),
+                failed: HashMap::new(),
+            }),
+            changed: Condvar::new(),
+        })
+        .collect()
+}
+
+/// One materialized invoke prefix: the bindings its chain produced,
+/// `Arc`-shared so a replay is a refcount bump, never a deep copy. The
+/// publisher's variable list and variable-space width ride along so a
+/// subscriber in the *same* space clones the `Arc` directly, and one in
+/// a different space can remap.
 struct SubResultEntry {
-    rows: Arc<Vec<Vec<Value>>>,
+    rows: SubResultRows,
+    /// The chain variables the rows bind, in the signature's canonical
+    /// order (the publisher's numbering).
+    vars: Arc<[VarId]>,
+    /// Variable-space width of the publishing execution.
+    nvars: usize,
     /// Forwarded request-responses the materializing execution spent
     /// producing this prefix — what a replay saves its subscriber.
     cost_calls: u64,
@@ -302,7 +389,8 @@ struct SubResultEntry {
     used: u64,
 }
 
-/// The sub-result store's interior (guarded by the shared-state mutex).
+/// The sub-result store's interior (guarded by its own lock — the page
+/// shards never wait on a materialization and vice versa).
 struct SubResultInner {
     /// Max materialized prefixes held (`0` disables the store).
     capacity: usize,
@@ -345,8 +433,22 @@ pub struct SubResultStats {
     pub entries: u64,
 }
 
-/// The `Arc`-shared canonical rows of one materialized prefix.
-pub(crate) type SubResultRows = Arc<Vec<Vec<Value>>>;
+/// The `Arc`-shared bindings of one materialized prefix.
+pub(crate) type SubResultRows = Arc<Vec<Binding>>;
+
+/// A materialized prefix handed to a subscriber for replay.
+pub(crate) struct ReplayEntry {
+    /// Chain level (1-based) the prefix covers.
+    pub level: usize,
+    /// The prefix's bindings, `Arc`-shared with the store.
+    pub rows: SubResultRows,
+    /// The publisher's chain variables, in canonical order.
+    pub vars: Arc<[VarId]>,
+    /// The publisher's variable-space width.
+    pub nvars: usize,
+    /// Forwarded calls the publisher spent producing the prefix.
+    pub cost_calls: u64,
+}
 
 /// What [`SharedServiceState::resolve_prefixes`] decided for one
 /// execution's invoke-prefix chain.
@@ -355,42 +457,18 @@ pub(crate) enum PrefixResolution {
     Disabled,
     /// Replay and/or materialize.
     Resolved {
-        /// `(chain level, canonical rows, cost in calls)` of the longest
-        /// materialized prefix; `None` when nothing replays.
-        replay: Option<(usize, SubResultRows, u64)>,
+        /// The longest materialized prefix to replay, if any.
+        replay: Option<ReplayEntry>,
         /// Chain levels (1-based) this execution claimed for
         /// materialization: it must publish or abandon every one.
         claimed: Vec<usize>,
     },
 }
 
-impl SharedInner {
-    /// Whether `(id, key, page)` is being fetched right now. A linear
-    /// scan: the set is bounded by concurrent in-flight fetches, and
-    /// probing it borrowed avoids cloning the key on every cache probe.
-    fn contains_flight(&self, id: ServiceId, key: &[Value], page: u32) -> bool {
-        self.fetching
-            .iter()
-            .any(|(i, k, p)| *i == id && *p == page && k.as_slice() == key)
-    }
-
-    /// The terminal fault of a permanently degraded page, if any.
-    /// Iterated borrowed for the same reason as [`contains_flight`]:
-    /// probing must not clone the key, and the memo stays small (one
-    /// entry per page that exhausted its retries).
-    ///
-    /// [`contains_flight`]: SharedInner::contains_flight
-    fn failed_for(&self, id: ServiceId, key: &[Value], page: u32) -> Option<&ServiceFault> {
-        self.failed
-            .iter()
-            .find(|((i, k, p), _)| *i == id && *p == page && k.as_slice() == key)
-            .map(|(_, f)| f)
-    }
-}
-
-/// Cross-query shared execution state: the client [`PageCache`],
-/// cumulative call/latency accounting, single-flight page deduplication
-/// and per-service concurrency limits.
+/// Cross-query shared execution state: the sharded client [`PageCache`]
+/// with per-shard single-flight deduplication, the flow-control lock
+/// enforcing per-service concurrency limits, the sub-result store, and
+/// the merge-on-read accounting registry.
 ///
 /// Every [`ServiceGateway`] sits on top of one of these. A private state
 /// per execution reproduces the engine's historical behaviour exactly;
@@ -398,8 +476,19 @@ impl SharedInner {
 /// the §5.1 cache into a *server-side* cache amortised across a
 /// workload.
 pub struct SharedServiceState {
-    inner: Mutex<SharedInner>,
-    changed: Condvar,
+    /// Independently locked page-serving partitions, routed by
+    /// `(service, input-key)` hash.
+    shards: Box<[PageShard]>,
+    /// Request-responses currently in flight per service — only
+    /// consulted when `per_service_limit > 0`, and only ever locked to
+    /// acquire or release a slot, never across a fetch.
+    flow: Mutex<HashMap<ServiceId, usize>>,
+    flow_changed: Condvar,
+    /// The signature-keyed sub-result store, behind its own lock.
+    sub: Mutex<SubResultInner>,
+    sub_changed: Condvar,
+    /// Merge-on-read cumulative accounting (see [`crate::accounting`]).
+    acct: Accounting,
     setting: CacheSetting,
     /// Max request-responses in flight per service; `0` = unlimited.
     per_service_limit: usize,
@@ -411,12 +500,13 @@ pub struct SharedServiceState {
 
 impl std::fmt::Debug for SharedServiceState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("shared state lock");
+        let merged = self.acct.merged();
         f.debug_struct("SharedServiceState")
             .field("setting", &self.setting)
             .field("per_service_limit", &self.per_service_limit)
-            .field("calls", &inner.calls)
-            .field("latency_sum", &inner.latency_sum)
+            .field("shards", &self.shards.len())
+            .field("calls", &merged.calls)
+            .field("latency_sum", &merged.latency_sum)
             .finish()
     }
 }
@@ -429,18 +519,12 @@ impl SharedServiceState {
     /// [`SharedServiceState::with_sub_results`].
     pub fn new(setting: CacheSetting, per_service_limit: usize) -> Self {
         SharedServiceState {
-            inner: Mutex::new(SharedInner {
-                cache: PageCache::new(setting),
-                calls: HashMap::new(),
-                latency_sum: 0.0,
-                fetching: HashSet::new(),
-                in_flight: HashMap::new(),
-                failed: HashMap::new(),
-                faults: HashMap::new(),
-                observed: HashMap::new(),
-                sub: SubResultInner::new(0),
-            }),
-            changed: Condvar::new(),
+            shards: build_shards(setting, usize::MAX),
+            flow: Mutex::new(HashMap::new()),
+            flow_changed: Condvar::new(),
+            sub: Mutex::new(SubResultInner::new(0)),
+            sub_changed: Condvar::new(),
+            acct: Accounting::default(),
             setting,
             per_service_limit,
             retry: RetryPolicy::default(),
@@ -450,12 +534,11 @@ impl SharedServiceState {
 
     /// Bounds the shared page cache to `capacity` distinct invocation
     /// keys (`0` disables client-side page caching; `usize::MAX` keeps
-    /// it unbounded). Builder style, before sharing.
-    pub fn with_page_capacity(self, capacity: usize) -> Self {
-        {
-            let mut inner = self.inner.lock().expect("shared state lock");
-            inner.cache = PageCache::with_capacity(self.setting, capacity);
-        }
+    /// it unbounded). Builder style, before sharing. A bounded cache
+    /// collapses to a single shard so eviction order stays globally
+    /// exact.
+    pub fn with_page_capacity(mut self, capacity: usize) -> Self {
+        self.shards = build_shards(self.setting, capacity);
         self
     }
 
@@ -463,11 +546,8 @@ impl SharedServiceState {
     /// `capacity` materialized invoke prefixes (`0` — the default —
     /// disables cross-query sub-result sharing). Builder style, before
     /// sharing.
-    pub fn with_sub_results(self, capacity: usize) -> Self {
-        {
-            let mut inner = self.inner.lock().expect("shared state lock");
-            inner.sub = SubResultInner::new(capacity);
-        }
+    pub fn with_sub_results(mut self, capacity: usize) -> Self {
+        self.sub = Mutex::new(SubResultInner::new(capacity));
         self
     }
 
@@ -494,37 +574,66 @@ impl SharedServiceState {
         self.setting
     }
 
+    /// How many independently locked page shards this state runs.
+    pub fn page_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an invocation's pages are routed to. Under `OneCall`
+    /// the key is excluded from the hash: that setting keeps one cached
+    /// invocation *per service*, and replacement is only exact when
+    /// every key of a service lands on the same shard.
+    fn shard_idx(&self, id: ServiceId, key: &[Value]) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        id.hash(&mut h);
+        if !matches!(self.setting, CacheSetting::OneCall) {
+            key.hash(&mut h);
+        }
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Blocks until a concurrency slot for `id` is free, then claims it.
+    fn acquire_slot(self: &Arc<Self>, id: ServiceId) -> FlowSlot {
+        let mut flow = self.flow.lock().expect("flow-control lock");
+        while flow.get(&id).copied().unwrap_or(0) >= self.per_service_limit {
+            flow = self.flow_changed.wait(flow).expect("flow-control lock");
+        }
+        *flow.entry(id).or_insert(0) += 1;
+        FlowSlot {
+            shared: Arc::clone(self),
+            id,
+        }
+    }
+
     /// Cumulative request-responses forwarded per service.
     pub fn calls(&self) -> HashMap<ServiceId, u64> {
-        self.inner.lock().expect("shared state lock").calls.clone()
+        self.acct.merged().calls
     }
 
     /// Cumulative request-responses forwarded, all services.
     pub fn total_calls(&self) -> u64 {
-        self.inner
-            .lock()
-            .expect("shared state lock")
-            .calls
-            .values()
-            .sum()
+        self.acct.merged().calls.values().sum()
     }
 
     /// Cumulative simulated latency of all forwarded calls.
     pub fn total_latency(&self) -> f64 {
-        self.inner.lock().expect("shared state lock").latency_sum
+        self.acct.merged().latency_sum
     }
 
     /// Cumulative fault accounting per service, across every execution
     /// sharing this state.
     pub fn fault_stats(&self) -> HashMap<ServiceId, FaultStats> {
-        self.inner.lock().expect("shared state lock").faults.clone()
+        self.acct.merged().faults
     }
 
     /// Cumulative fault accounting, all services.
     pub fn total_fault_stats(&self) -> FaultStats {
-        let inner = self.inner.lock().expect("shared state lock");
+        let merged = self.acct.merged();
         let mut total = FaultStats::default();
-        for s in inner.faults.values() {
+        for s in merged.faults.values() {
             total.merge(s);
         }
         total
@@ -542,16 +651,15 @@ impl SharedServiceState {
     ///
     /// [`ServiceProfile`]: mdq_model::schema::ServiceProfile
     pub fn observed_snapshot(&self) -> HashMap<ServiceId, ObservedService> {
-        self.inner
-            .lock()
-            .expect("shared state lock")
-            .observed
-            .clone()
+        self.acct.merged().observed
     }
 
     /// Pages currently memoized as permanently degraded.
     pub fn failed_pages(&self) -> usize {
-        self.inner.lock().expect("shared state lock").failed.len()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("page shard lock").failed.len())
+            .sum()
     }
 
     /// Forgets every memoized page failure, returning how many were
@@ -561,38 +669,43 @@ impl SharedServiceState {
     /// a service outage ends (re-exposed as
     /// `QueryServer::forget_failed_pages` in `mdq-runtime`).
     pub fn clear_failed_pages(&self) -> usize {
-        let mut inner = self.inner.lock().expect("shared state lock");
-        let n = inner.failed.len();
-        inner.failed.clear();
+        let mut n = 0;
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.lock().expect("page shard lock");
+            n += inner.failed.len();
+            inner.failed.clear();
+        }
         n
     }
 
     /// Cumulative invocation-level cache statistics for `id`.
     pub fn cache_stats(&self, id: ServiceId) -> CacheStats {
-        self.inner
-            .lock()
-            .expect("shared state lock")
-            .cache
-            .stats(id)
+        self.acct
+            .merged()
+            .invocations
+            .get(&id)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Cumulative invocation-level cache statistics, all services.
     pub fn total_cache_stats(&self) -> CacheStats {
-        self.inner
-            .lock()
-            .expect("shared state lock")
-            .cache
-            .total_stats()
+        let merged = self.acct.merged();
+        let mut total = CacheStats::default();
+        for s in merged.invocations.values() {
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
     }
 
     /// Page-cache invocation entries dropped to respect the configured
-    /// capacity bound.
+    /// capacity bound, summed across shards.
     pub fn page_cache_evictions(&self) -> u64 {
-        self.inner
-            .lock()
-            .expect("shared state lock")
-            .cache
-            .evictions()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("page shard lock").cache.evictions())
+            .sum()
     }
 
     /// Cumulative simulated latency of forwarded calls, per service —
@@ -600,21 +713,31 @@ impl SharedServiceState {
     /// exactly the sites the total does, so
     /// `Σ per_service_latency == total_latency` always.
     pub fn per_service_latency(&self) -> HashMap<ServiceId, f64> {
-        self.inner
-            .lock()
-            .expect("shared state lock")
+        self.acct
+            .merged()
             .observed
             .iter()
             .map(|(id, o)| (*id, o.latency))
             .collect()
     }
 
+    /// Registers a fresh accounting cell for a gateway over this state.
+    pub(crate) fn register_cell(&self) -> Arc<AcctCell> {
+        self.acct.register()
+    }
+
+    /// Folds a dropping gateway's accounting cell into the retired
+    /// totals.
+    pub(crate) fn retire_cell(&self, cell: &Arc<AcctCell>) {
+        self.acct.retire(cell)
+    }
+
     /// Counters of the sub-result store (all zero while disabled).
     pub fn sub_result_stats(&self) -> SubResultStats {
-        let inner = self.inner.lock().expect("shared state lock");
+        let sub = self.sub.lock().expect("sub-result lock");
         SubResultStats {
-            entries: inner.sub.entries.len() as u64,
-            ..inner.sub.stats
+            entries: sub.entries.len() as u64,
+            ..sub.stats
         }
     }
 
@@ -639,41 +762,47 @@ impl SharedServiceState {
         sigs: &[SubplanSignature],
         materialize: bool,
     ) -> PrefixResolution {
-        let mut inner = self.inner.lock().expect("shared state lock");
-        if inner.sub.capacity == 0 || sigs.is_empty() {
+        let mut sub = self.sub.lock().expect("sub-result lock");
+        if sub.capacity == 0 || sigs.is_empty() {
             return PrefixResolution::Disabled;
         }
         loop {
             let hit = (0..sigs.len())
                 .rev()
-                .find(|&i| inner.sub.entries.contains_key(&sigs[i]));
+                .find(|&i| sub.entries.contains_key(&sigs[i]));
             let from = hit.map(|i| i + 1).unwrap_or(0);
-            if materialize && (from..sigs.len()).any(|i| inner.sub.computing.contains(&sigs[i])) {
+            if materialize && (from..sigs.len()).any(|i| sub.computing.contains(&sigs[i])) {
                 // a concurrent execution is materializing a level we
                 // want: wait for its publish/abandon, then re-resolve
-                inner = self.changed.wait(inner).expect("shared state lock");
+                sub = self.sub_changed.wait(sub).expect("sub-result lock");
                 continue;
             }
             let replay = match hit {
                 Some(i) => {
-                    inner.sub.tick += 1;
-                    let tick = inner.sub.tick;
-                    inner.sub.stats.hits += 1;
-                    let entry = inner.sub.entries.get_mut(&sigs[i]).expect("present");
+                    sub.tick += 1;
+                    let tick = sub.tick;
+                    sub.stats.hits += 1;
+                    let entry = sub.entries.get_mut(&sigs[i]).expect("present");
                     entry.used = tick;
-                    let (rows, cost) = (Arc::clone(&entry.rows), entry.cost_calls);
-                    inner.sub.stats.calls_saved += cost;
-                    Some((i + 1, rows, cost))
+                    let replay = ReplayEntry {
+                        level: i + 1,
+                        rows: Arc::clone(&entry.rows),
+                        vars: Arc::clone(&entry.vars),
+                        nvars: entry.nvars,
+                        cost_calls: entry.cost_calls,
+                    };
+                    sub.stats.calls_saved += replay.cost_calls;
+                    Some(replay)
                 }
                 None => {
-                    inner.sub.stats.misses += 1;
+                    sub.stats.misses += 1;
                     None
                 }
             };
             let mut claimed = Vec::new();
             if materialize {
                 for (i, sig) in sigs.iter().enumerate().skip(from) {
-                    if inner.sub.computing.insert(*sig) {
+                    if sub.computing.insert(*sig) {
                         claimed.push(i + 1);
                     }
                 }
@@ -683,45 +812,48 @@ impl SharedServiceState {
     }
 
     /// Publishes a materialized prefix under `sig`: releases the
-    /// single-flight claim, stores the rows (LRU-evicting when full)
-    /// and wakes every waiter.
+    /// single-flight claim, stores the bindings (LRU-evicting when
+    /// full) and wakes every waiter. `vars` is the chain's canonical
+    /// variable list and `nvars` the publisher's variable-space width —
+    /// a subscriber in the same space replays the `Arc` directly.
     pub(crate) fn publish_sub_result(
         &self,
         sig: SubplanSignature,
-        rows: Vec<Vec<Value>>,
+        rows: Vec<Binding>,
+        vars: Arc<[VarId]>,
+        nvars: usize,
         cost_calls: u64,
     ) {
         {
-            let mut inner = self.inner.lock().expect("shared state lock");
-            inner.sub.computing.remove(&sig);
-            if inner.sub.capacity > 0 {
-                if inner.sub.entries.len() >= inner.sub.capacity
-                    && !inner.sub.entries.contains_key(&sig)
-                {
-                    if let Some(oldest) = inner
-                        .sub
+            let mut sub = self.sub.lock().expect("sub-result lock");
+            sub.computing.remove(&sig);
+            if sub.capacity > 0 {
+                if sub.entries.len() >= sub.capacity && !sub.entries.contains_key(&sig) {
+                    if let Some(oldest) = sub
                         .entries
                         .iter()
                         .min_by_key(|(_, e)| e.used)
                         .map(|(k, _)| *k)
                     {
-                        inner.sub.entries.remove(&oldest);
-                        inner.sub.stats.evictions += 1;
+                        sub.entries.remove(&oldest);
+                        sub.stats.evictions += 1;
                     }
                 }
-                inner.sub.tick += 1;
-                let used = inner.sub.tick;
-                inner.sub.entries.insert(
+                sub.tick += 1;
+                let used = sub.tick;
+                sub.entries.insert(
                     sig,
                     SubResultEntry {
                         rows: Arc::new(rows),
+                        vars,
+                        nvars,
                         cost_calls,
                         used,
                     },
                 );
             }
         }
-        self.changed.notify_all();
+        self.sub_changed.notify_all();
     }
 
     /// Releases single-flight claims without publishing (the
@@ -732,12 +864,12 @@ impl SharedServiceState {
             return;
         }
         {
-            let mut inner = self.inner.lock().expect("shared state lock");
+            let mut sub = self.sub.lock().expect("sub-result lock");
             for sig in sigs {
-                inner.sub.computing.remove(sig);
+                sub.computing.remove(sig);
             }
         }
-        self.changed.notify_all();
+        self.sub_changed.notify_all();
     }
 }
 
@@ -747,8 +879,8 @@ impl SharedServiceState {
 /// free by the time a plan starting with it executes).
 impl SharedWorkOracle for SharedServiceState {
     fn is_materialized(&self, sig: SubplanSignature) -> bool {
-        let inner = self.inner.lock().expect("shared state lock");
-        inner.sub.entries.contains_key(&sig) || inner.sub.computing.contains(&sig)
+        let sub = self.sub.lock().expect("sub-result lock");
+        sub.entries.contains_key(&sig) || sub.computing.contains(&sig)
     }
 }
 
@@ -761,6 +893,10 @@ impl SharedWorkOracle for SharedServiceState {
 pub struct ServiceGateway {
     services: HashMap<ServiceId, Arc<dyn Service>>,
     shared: Arc<SharedServiceState>,
+    /// This gateway's cell in the shared accounting registry: the hot
+    /// path's only cumulative-accounting touch point, retired back into
+    /// the shared totals on drop.
+    acct: Arc<AcctCell>,
     calls: HashMap<ServiceId, u64>,
     latency_sum: f64,
     stats: HashMap<ServiceId, CacheStats>,
@@ -785,6 +921,12 @@ impl std::fmt::Debug for ServiceGateway {
             .field("budget", &self.budget)
             .field("error", &self.error)
             .finish()
+    }
+}
+
+impl Drop for ServiceGateway {
+    fn drop(&mut self) {
+        self.shared.retire_cell(&self.acct);
     }
 }
 
@@ -825,9 +967,11 @@ impl ServiceGateway {
             })?;
             services.insert(svc_id, Arc::clone(service));
         }
+        let acct = shared.register_cell();
         Ok(ServiceGateway {
             services,
             shared,
+            acct,
             calls: HashMap::new(),
             latency_sum: 0.0,
             stats: HashMap::new(),
@@ -871,8 +1015,12 @@ impl ServiceGateway {
         key: &[Value],
         page: u32,
     ) -> PageFetch {
-        let mut inner = self.shared.inner.lock().expect("shared state lock");
-        loop {
+        let shared = Arc::clone(&self.shared);
+        let shard_i = shared.shard_idx(id, key);
+        let shard = &shared.shards[shard_i];
+        let mut slot: Option<FlowSlot> = None;
+        let mut inner = shard.inner.lock().expect("page shard lock");
+        let guard = loop {
             match inner.cache.lookup(id, key, page) {
                 PageLookup::Hit(tuples, has_more) => {
                     return PageFetch {
@@ -891,163 +1039,208 @@ impl ServiceGateway {
             if let Some(fault) = inner.failed_for(id, key, page) {
                 let fault = fault.clone();
                 drop(inner);
+                drop(slot);
                 self.note_degraded(id, fault.clone());
                 return PageFetch::failed(fault, None);
             }
             // another execution is fetching this very page: wait for it,
             // then re-probe the cache (under `NoCache` the store is a
-            // no-op and we fall through to forwarding our own request)
+            // no-op and we fall through to forwarding our own request).
+            // Any held concurrency slot is released first — slots count
+            // forwarded fetches, not sleepers
             if inner.contains_flight(id, key, page) {
-                inner = self.changed_wait(inner);
+                slot = None;
+                inner = shard.changed.wait(inner).expect("page shard lock");
                 continue;
             }
             // admission control: the query's forwarded-call budget
             if let Some(budget) = self.budget {
                 if self.total_calls() >= budget {
                     drop(inner);
+                    drop(slot);
                     self.poison(ExecError::CallBudgetExhausted { budget });
                     return PageFetch::empty();
                 }
             }
-            // per-service concurrency limit
-            let in_flight = inner.in_flight.get(&id).copied().unwrap_or(0);
-            if self.shared.per_service_limit > 0 && in_flight >= self.shared.per_service_limit {
-                inner = self.changed_wait(inner);
-                continue;
+            // per-service concurrency limit: slots come from the
+            // flow-control lock, never held together with a shard lock
+            if shared.per_service_limit > 0 && slot.is_none() {
+                drop(inner);
+                slot = Some(shared.acquire_slot(id));
+                inner = shard.inner.lock().expect("page shard lock");
+                continue; // re-probe: the page may have landed meanwhile
             }
             inner.fetching.insert((id, key.to_vec(), page));
-            *inner.in_flight.entry(id).or_insert(0) += 1;
             drop(inner);
-            // releases the claim + slot and notifies, on return AND on
-            // unwind — a panicking service must not wedge the waiters
-            let guard = FlightGuard {
-                shared: Arc::clone(&self.shared),
+            // releases the claim and notifies, on return AND on unwind —
+            // a panicking service must not wedge the waiters
+            break FlightGuard {
+                shared: Arc::clone(&shared),
+                shard: shard_i,
                 id,
                 key: key.to_vec(),
                 page,
             };
+        };
 
-            let service = Arc::clone(
-                self.services
-                    .get(&id)
-                    .expect("gateway resolved all plan services at construction"),
-            );
-            let policy = self.shared.retry_policy(id);
-            let mut attempt: u32 = 0;
-            // simulated seconds this page consumed: attempt latencies
-            // (faulted ones included) plus accounted backoff
-            let mut spent = 0.0;
-            loop {
-                match service.try_fetch(pattern, key, page) {
-                    Ok(r) => {
-                        spent += r.latency;
-                        {
-                            let mut inner = self.shared.inner.lock().expect("shared state lock");
-                            *inner.calls.entry(id).or_insert(0) += 1;
-                            inner.latency_sum += r.latency;
-                            inner
-                                .observed
-                                .entry(id)
-                                .or_default()
-                                .record_ok(r.tuples.len(), r.latency);
-                            inner
-                                .cache
-                                .store(id, key, page, r.tuples.clone(), r.has_more);
-                        }
-                        drop(guard);
-                        *self.calls.entry(id).or_insert(0) += 1;
-                        self.latency_sum += r.latency;
-                        self.observed
-                            .entry(id)
-                            .or_default()
-                            .record_ok(r.tuples.len(), r.latency);
-                        return PageFetch {
-                            tuples: r.tuples,
-                            has_more: r.has_more,
-                            forwarded_latency: Some(spent),
-                            fault: None,
-                        };
+        let service = Arc::clone(
+            self.services
+                .get(&id)
+                .expect("gateway resolved all plan services at construction"),
+        );
+        let policy = shared.retry_policy(id);
+        let mut attempt: u32 = 0;
+        // simulated seconds this page consumed: attempt latencies
+        // (faulted ones included) plus accounted backoff
+        let mut spent = 0.0;
+        loop {
+            match service.try_fetch(pattern, key, page) {
+                Ok(r) => {
+                    spent += r.latency;
+                    self.acct.record_ok(id, r.tuples.len(), r.latency);
+                    {
+                        let mut inner = shard.inner.lock().expect("page shard lock");
+                        inner
+                            .cache
+                            .store(id, key, page, r.tuples.clone(), r.has_more);
                     }
-                    Err(fault) => {
-                        let fault_latency = fault.latency();
-                        spent += fault_latency;
-                        *self.calls.entry(id).or_insert(0) += 1;
-                        self.latency_sum += fault_latency;
-                        self.observed
-                            .entry(id)
-                            .or_default()
-                            .record_fault(fault_latency);
-                        let local = self.faults.entry(id).or_default();
-                        local.classify(&fault);
-                        // a retry is allowed while both the policy and
-                        // the per-query call budget have room
-                        let budget_ok = self
-                            .budget
-                            .map(|b| self.calls.values().sum::<u64>() < b)
-                            .unwrap_or(true);
-                        let retrying = attempt < policy.max_retries && budget_ok;
-                        let wait = if retrying {
-                            let base = policy.backoff(attempt);
-                            let wait = match &fault {
-                                ServiceFault::RateLimited { retry_after, .. } => {
-                                    retry_after.max(base)
-                                }
-                                _ => base,
-                            };
-                            local.retries += 1;
-                            local.backoff_seconds += wait;
-                            spent += wait;
-                            Some(wait)
-                        } else {
-                            local.exhausted += 1;
-                            None
+                    drop(guard);
+                    drop(slot);
+                    *self.calls.entry(id).or_insert(0) += 1;
+                    self.latency_sum += r.latency;
+                    self.observed
+                        .entry(id)
+                        .or_default()
+                        .record_ok(r.tuples.len(), r.latency);
+                    return PageFetch {
+                        tuples: r.tuples,
+                        has_more: r.has_more,
+                        forwarded_latency: Some(spent),
+                        fault: None,
+                    };
+                }
+                Err(fault) => {
+                    let fault_latency = fault.latency();
+                    spent += fault_latency;
+                    *self.calls.entry(id).or_insert(0) += 1;
+                    self.latency_sum += fault_latency;
+                    self.observed
+                        .entry(id)
+                        .or_default()
+                        .record_fault(fault_latency);
+                    let local = self.faults.entry(id).or_default();
+                    local.classify(&fault);
+                    // a retry is allowed while both the policy and
+                    // the per-query call budget have room
+                    let budget_ok = self
+                        .budget
+                        .map(|b| self.calls.values().sum::<u64>() < b)
+                        .unwrap_or(true);
+                    let retrying = attempt < policy.max_retries && budget_ok;
+                    let wait = if retrying {
+                        let base = policy.backoff(attempt);
+                        let wait = match &fault {
+                            ServiceFault::RateLimited { retry_after, .. } => retry_after.max(base),
+                            _ => base,
                         };
-                        {
-                            let mut inner = self.shared.inner.lock().expect("shared state lock");
-                            *inner.calls.entry(id).or_insert(0) += 1;
-                            inner.latency_sum += fault_latency;
-                            inner
-                                .observed
-                                .entry(id)
-                                .or_default()
-                                .record_fault(fault_latency);
-                            let shared = inner.faults.entry(id).or_default();
-                            shared.classify(&fault);
-                            match wait {
-                                Some(wait) => {
-                                    shared.retries += 1;
-                                    shared.backoff_seconds += wait;
-                                }
-                                None => {
-                                    shared.exhausted += 1;
-                                    // publish the terminal fault while
-                                    // still holding the single-flight
-                                    // claim: waiters wake into the memo.
-                                    // ONLY a genuinely exhausted retry
-                                    // policy condemns the page globally
-                                    // — one query running out of its
-                                    // own call budget says nothing
-                                    // about the page, and other
-                                    // queries must stay free to retry
-                                    if attempt >= policy.max_retries {
-                                        inner
-                                            .failed
-                                            .insert((id, key.to_vec(), page), fault.clone());
-                                    }
-                                }
+                        local.retries += 1;
+                        local.backoff_seconds += wait;
+                        spent += wait;
+                        Some(wait)
+                    } else {
+                        local.exhausted += 1;
+                        None
+                    };
+                    self.acct.record_fault(id, &fault, fault_latency);
+                    match wait {
+                        Some(wait) => self.acct.record_retry(id, wait),
+                        None => {
+                            self.acct.record_exhausted(id);
+                            // publish the terminal fault while still
+                            // holding the single-flight claim: waiters
+                            // wake into the memo. ONLY a genuinely
+                            // exhausted retry policy condemns the page
+                            // globally — one query running out of its
+                            // own call budget says nothing about the
+                            // page, and other queries must stay free
+                            // to retry
+                            if attempt >= policy.max_retries {
+                                let mut inner = shard.inner.lock().expect("page shard lock");
+                                inner.failed.insert((id, key.to_vec(), page), fault.clone());
                             }
                         }
-                        if wait.is_some() {
-                            attempt += 1;
-                            continue;
-                        }
-                        drop(guard);
-                        self.note_degraded(id, fault.clone());
-                        return PageFetch::failed(fault, Some(spent));
                     }
+                    if wait.is_some() {
+                        attempt += 1;
+                        continue;
+                    }
+                    drop(guard);
+                    drop(slot);
+                    self.note_degraded(id, fault.clone());
+                    return PageFetch::failed(fault, Some(spent));
                 }
             }
         }
+    }
+
+    /// Serves up to `max_pages` consecutive pages of one invocation
+    /// starting at `first_page`, pushing one [`PageFetch`] per page
+    /// served.
+    ///
+    /// Runs of already-cached pages are drained under a **single**
+    /// shard-lock acquisition — the batched kernel's amortization of
+    /// per-page lock traffic — ending early at the invocation's last
+    /// page. Forwarding stays exactly as lazy as tuple-at-a-time
+    /// demand: only when the *first* requested page is uncached does
+    /// the run forward that one page through the full
+    /// [`fetch_page`](ServiceGateway::fetch_page) path (single-flight,
+    /// flow control, retries); a run that served cached pages stops
+    /// *before* the first miss, leaving it to a later demand that may
+    /// never come.
+    pub fn fetch_page_run(
+        &mut self,
+        id: ServiceId,
+        pattern: usize,
+        key: &[Value],
+        first_page: u32,
+        max_pages: usize,
+        out: &mut Vec<PageFetch>,
+    ) {
+        let end = first_page.saturating_add(max_pages.min(u32::MAX as usize) as u32);
+        let mut page = first_page;
+        {
+            let shared = Arc::clone(&self.shared);
+            let shard = &shared.shards[shared.shard_idx(id, key)];
+            let mut inner = shard.inner.lock().expect("page shard lock");
+            while page < end {
+                match inner.cache.lookup(id, key, page) {
+                    PageLookup::Hit(tuples, has_more) => {
+                        let last = !has_more;
+                        out.push(PageFetch {
+                            tuples,
+                            has_more,
+                            forwarded_latency: None,
+                            fault: None,
+                        });
+                        page += 1;
+                        if last {
+                            return;
+                        }
+                    }
+                    PageLookup::PastEnd => {
+                        out.push(PageFetch::empty());
+                        return;
+                    }
+                    PageLookup::Unknown => break,
+                }
+            }
+        }
+        if page > first_page || page >= end {
+            // served at least one cached page (or exhausted the run):
+            // the next uncached page is *not* forwarded speculatively
+            return;
+        }
+        out.push(self.fetch_page(id, pattern, key, page));
     }
 
     /// Records that `id` served a degraded page to this execution.
@@ -1056,15 +1249,8 @@ impl ServiceGateway {
         self.last_faults.insert(id, fault);
     }
 
-    fn changed_wait<'a>(
-        &self,
-        guard: std::sync::MutexGuard<'a, SharedInner>,
-    ) -> std::sync::MutexGuard<'a, SharedInner> {
-        self.shared.changed.wait(guard).expect("shared state lock")
-    }
-
     /// Records one invocation-level cache hit or miss for `id`, both in
-    /// this execution's statistics and in the shared state's.
+    /// this execution's statistics and in the shared accounting.
     pub fn record_invocation(&mut self, id: ServiceId, hit: bool) {
         let stats = self.stats.entry(id).or_default();
         if hit {
@@ -1072,12 +1258,7 @@ impl ServiceGateway {
         } else {
             stats.misses += 1;
         }
-        self.shared
-            .inner
-            .lock()
-            .expect("shared state lock")
-            .cache
-            .record_invocation(id, hit);
+        self.acct.record_invocation(id, hit);
     }
 
     /// Request-responses this execution forwarded to `id` so far.
@@ -1321,6 +1502,86 @@ mod tests {
     }
 
     #[test]
+    fn dropped_gateways_fold_into_shared_totals() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(SharedServiceState::new(CacheSetting::Optimal, 0));
+        let key = vec![Value::str("DB")];
+        {
+            let mut g = ServiceGateway::with_shared(
+                &plan,
+                &w.schema,
+                &w.registry,
+                Arc::clone(&shared),
+                None,
+            )
+            .expect("builds");
+            g.fetch_page(w.ids.conf, 0, &key, 0);
+            g.record_invocation(w.ids.conf, false);
+        }
+        // the gateway is gone; its cell must have retired into the
+        // shared totals
+        assert_eq!(shared.total_calls(), 1);
+        assert!(shared.total_latency() > 0.0);
+        assert_eq!(shared.cache_stats(w.ids.conf).misses, 1);
+    }
+
+    #[test]
+    fn page_run_drains_cached_pages_in_one_call() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(SharedServiceState::new(CacheSetting::Optimal, 0));
+        let key = vec![Value::str("DB")];
+        let mut g1 =
+            ServiceGateway::with_shared(&plan, &w.schema, &w.registry, Arc::clone(&shared), None)
+                .expect("builds");
+        let mut pages: u32 = 0;
+        loop {
+            let f = g1.fetch_page(w.ids.conf, 0, &key, pages);
+            pages += 1;
+            if !f.has_more {
+                break;
+            }
+        }
+        let forwarded = shared.total_calls();
+        assert_eq!(forwarded, u64::from(pages), "each page forwarded once");
+        let mut g2 =
+            ServiceGateway::with_shared(&plan, &w.schema, &w.registry, Arc::clone(&shared), None)
+                .expect("builds");
+        let mut run = Vec::new();
+        g2.fetch_page_run(w.ids.conf, 0, &key, 0, pages as usize + 3, &mut run);
+        assert_eq!(run.len(), pages as usize, "run ends at the stream end");
+        assert!(
+            run.iter().all(|f| f.forwarded_latency.is_none()),
+            "every page in the run came from cache"
+        );
+        assert_eq!(shared.total_calls(), forwarded, "no re-forwarding");
+    }
+
+    #[test]
+    fn page_run_forwards_lazily() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let mut g = ServiceGateway::new(&plan, &w.schema, &w.registry, CacheSetting::Optimal)
+            .expect("builds");
+        let key = vec![Value::str("DB")];
+        // cold: a run of 4 forwards exactly ONE page — pages past the
+        // first miss wait for actual demand
+        let mut run = Vec::new();
+        g.fetch_page_run(w.ids.conf, 0, &key, 0, 4, &mut run);
+        assert_eq!(run.len(), 1, "only the demanded page is forwarded");
+        assert!(run[0].forwarded_latency.is_some());
+        assert_eq!(g.total_calls(), 1);
+        // part-warm: the cached page is served, and the run stops
+        // *before* forwarding the next page
+        let mut run2 = Vec::new();
+        g.fetch_page_run(w.ids.conf, 0, &key, 0, 4, &mut run2);
+        assert_eq!(run2.len(), 1);
+        assert!(run2[0].forwarded_latency.is_none(), "cache hit");
+        assert_eq!(g.total_calls(), 1, "no speculative forwarding");
+    }
+
+    #[test]
     fn call_budget_poisons_and_refuses() {
         let w = travel_world(2008);
         let plan = plan_o(&w);
@@ -1384,5 +1645,19 @@ mod tests {
         for p in &pages[1..] {
             assert_eq!(p, &pages[0], "every waiter sees the fetched page");
         }
+    }
+
+    #[test]
+    fn bounded_cache_uses_one_shard_unbounded_uses_many() {
+        let unbounded = SharedServiceState::new(CacheSetting::Optimal, 0);
+        assert!(unbounded.page_shards() > 1);
+        let bounded = SharedServiceState::new(CacheSetting::Optimal, 0).with_page_capacity(4);
+        assert_eq!(
+            bounded.page_shards(),
+            1,
+            "global LRU needs a single eviction domain"
+        );
+        let disabled = SharedServiceState::new(CacheSetting::NoCache, 0).with_page_capacity(0);
+        assert!(disabled.page_shards() > 1, "no cache, no eviction domain");
     }
 }

@@ -8,23 +8,82 @@
 //! services' opaque relevance orders (§1), and it is property-tested.
 //!
 //! * **Nested loop** (`NlJoin`): materialise the *outer* (selective) side
-//!   first, then sweep the inner stream; grid scanned row by row.
+//!   first and index it by its equi-join key; each inner tuple then
+//!   probes the hash index instead of sweeping the whole outer side.
+//!   Candidate lists keep the outer scan order, so the emission order is
+//!   byte-identical to the original row-by-row grid sweep.
 //! * **Merge scan** (`MsJoin`): pull both sides in lockstep and traverse
 //!   the grid by anti-diagonals (Fig. 5).
 
 use crate::binding::Binding;
+use crate::operator::{drain_into, Batch, Operator};
 use mdq_model::query::VarId;
+use mdq_model::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One component of a hash-join key: a canonical, hashable image of an
+/// `Option<&Value>` under which two bindings merge on a join variable
+/// exactly when their key parts are equal — up to the benign false
+/// positive of distinct `i64`s sharing an `f64` image, which the
+/// per-candidate [`Binding::merge`] re-verification rejects.
+///
+/// Soundness: [`Value::join_eq`] equality is `total_cmp` equality on
+/// the `as_f64` image for every numeric pairing (and `total_cmp`
+/// equality is bit equality), and kind+content equality otherwise — so
+/// `join_eq` never holds across two distinct `KeyPart`s. A join
+/// variable unbound on *both* sides also merges, hence the explicit
+/// `Unbound` part.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Num(u64),
+    Str(Arc<str>),
+    Bool(bool),
+    Null,
+    Unbound,
+}
+
+fn key_part(v: Option<&Value>) -> KeyPart {
+    match v {
+        None => KeyPart::Unbound,
+        Some(Value::Null) => KeyPart::Null,
+        Some(Value::Bool(b)) => KeyPart::Bool(*b),
+        Some(Value::Str(s)) => KeyPart::Str(Arc::clone(s)),
+        Some(other) => KeyPart::Num(
+            other
+                .as_f64()
+                .expect("Int/Float/Date all have an f64 image")
+                .to_bits(),
+        ),
+    }
+}
+
+fn join_key(b: &Binding, on: &[VarId]) -> Vec<KeyPart> {
+    on.iter().map(|&v| key_part(b.get(v))).collect()
+}
+
+/// The inner tuple currently probing the outer index.
+struct Probe {
+    inner: Binding,
+    /// Outer-side candidate indices in outer scan order.
+    cands: Arc<[usize]>,
+    pos: usize,
+}
 
 /// Nested-loop rank-preserving join. The outer side is fully materialised
-/// up front (it is chosen to be the selective one, §3.3); pairs are
-/// emitted inner-major: for each inner tuple, all outer matches.
+/// up front (it is chosen to be the selective one, §3.3) into a hash
+/// index over the equi-join key; pairs are emitted inner-major: for each
+/// inner tuple, all outer matches in outer order — exactly the emission
+/// order of the naive grid sweep, at probe cost.
 pub struct NlJoin<O, I> {
     outer_src: Option<O>,
     outer: Vec<Binding>,
+    /// Equi-key buckets over the outer side; with an empty `on` every
+    /// outer binding lands in the single empty-key bucket (full scan).
+    index: HashMap<Vec<KeyPart>, Arc<[usize]>>,
     inner: I,
     on: Vec<VarId>,
-    current_inner: Option<Binding>,
-    outer_idx: usize,
+    probe: Option<Probe>,
     /// When `true`, emitted pairs put the outer binding on the left of
     /// the merge (association only affects nothing semantically — merge
     /// is symmetric — but keeps provenance conventions tidy).
@@ -33,61 +92,85 @@ pub struct NlJoin<O, I> {
 
 impl<O, I> NlJoin<O, I>
 where
-    O: Iterator<Item = Binding>,
-    I: Iterator<Item = Binding>,
+    O: Operator,
+    I: Operator,
 {
     /// Creates a nested-loop join; `outer` is the selective side.
     pub fn new(outer: O, inner: I, on: Vec<VarId>, outer_is_left: bool) -> Self {
         NlJoin {
             outer_src: Some(outer),
             outer: Vec::new(),
+            index: HashMap::new(),
             inner,
             on,
-            current_inner: None,
-            outer_idx: 0,
+            probe: None,
             outer_is_left,
         }
     }
 
     fn ensure_outer(&mut self) {
-        if let Some(src) = self.outer_src.take() {
-            self.outer = src.collect();
+        if let Some(mut src) = self.outer_src.take() {
+            let mut outer = Vec::new();
+            drain_into(&mut src, 256, &mut outer);
+            let mut buckets: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
+            for (i, b) in outer.iter().enumerate() {
+                buckets.entry(join_key(b, &self.on)).or_default().push(i);
+            }
+            self.index = buckets
+                .into_iter()
+                .map(|(k, v)| (k, Arc::from(v)))
+                .collect();
+            self.outer = outer;
         }
     }
-}
 
-impl<O, I> Iterator for NlJoin<O, I>
-where
-    O: Iterator<Item = Binding>,
-    I: Iterator<Item = Binding>,
-{
-    type Item = Binding;
-
-    fn next(&mut self) -> Option<Binding> {
+    fn pull_next(&mut self) -> Option<Binding> {
         self.ensure_outer();
         if self.outer.is_empty() {
             return None;
         }
         loop {
-            if self.current_inner.is_none() {
-                self.current_inner = Some(self.inner.next()?);
-                self.outer_idx = 0;
+            if self.probe.is_none() {
+                // the inner side is pulled strictly one binding at a
+                // time: bulk-pulling it would over-demand upstream
+                // service calls beyond what this join actually consumes
+                let inner = self.inner.next_binding()?;
+                let cands = self
+                    .index
+                    .get(&join_key(&inner, &self.on))
+                    .cloned()
+                    .unwrap_or_else(|| Arc::from(Vec::new()));
+                self.probe = Some(Probe {
+                    inner,
+                    cands,
+                    pos: 0,
+                });
             }
-            let inner = self.current_inner.as_ref().expect("just set");
-            while self.outer_idx < self.outer.len() {
-                let o = &self.outer[self.outer_idx];
-                self.outer_idx += 1;
+            let p = self.probe.as_mut().expect("just set");
+            while p.pos < p.cands.len() {
+                let o = &self.outer[p.cands[p.pos]];
+                p.pos += 1;
                 let merged = if self.outer_is_left {
-                    o.merge(inner, &self.on)
+                    o.merge(&p.inner, &self.on)
                 } else {
-                    inner.merge(o, &self.on)
+                    p.inner.merge(o, &self.on)
                 };
                 if let Some(m) = merged {
                     return Some(m);
                 }
             }
-            self.current_inner = None;
+            self.probe = None;
         }
+    }
+}
+
+impl<O, I> Operator for NlJoin<O, I>
+where
+    O: Operator,
+    I: Operator,
+{
+    fn next_binding(&mut self) -> Option<Binding> {
+        self.pull_next()
     }
 }
 
@@ -96,8 +179,8 @@ where
 pub struct MsJoin<L, R> {
     left: L,
     right: R,
-    lbuf: Vec<Binding>,
-    rbuf: Vec<Binding>,
+    lbuf: Batch,
+    rbuf: Batch,
     l_done: bool,
     r_done: bool,
     on: Vec<VarId>,
@@ -108,8 +191,8 @@ pub struct MsJoin<L, R> {
 
 impl<L, R> MsJoin<L, R>
 where
-    L: Iterator<Item = Binding>,
-    R: Iterator<Item = Binding>,
+    L: Operator,
+    R: Operator,
 {
     /// Creates a merge-scan join.
     pub fn new(left: L, right: R, on: Vec<VarId>) -> Self {
@@ -128,7 +211,7 @@ where
 
     fn pull_left(&mut self, upto: usize) {
         while !self.l_done && self.lbuf.len() <= upto {
-            match self.left.next() {
+            match self.left.next_binding() {
                 Some(b) => self.lbuf.push(b),
                 None => self.l_done = true,
             }
@@ -137,22 +220,14 @@ where
 
     fn pull_right(&mut self, upto: usize) {
         while !self.r_done && self.rbuf.len() <= upto {
-            match self.right.next() {
+            match self.right.next_binding() {
                 Some(b) => self.rbuf.push(b),
                 None => self.r_done = true,
             }
         }
     }
-}
 
-impl<L, R> Iterator for MsJoin<L, R>
-where
-    L: Iterator<Item = Binding>,
-    R: Iterator<Item = Binding>,
-{
-    type Item = Binding;
-
-    fn next(&mut self) -> Option<Binding> {
+    fn pull_next(&mut self) -> Option<Binding> {
         loop {
             // a provably empty side empties the grid
             if (self.l_done && self.lbuf.is_empty()) || (self.r_done && self.rbuf.is_empty()) {
@@ -198,9 +273,20 @@ where
     }
 }
 
+impl<L, R> Operator for MsJoin<L, R>
+where
+    L: Operator,
+    R: Operator,
+{
+    fn next_binding(&mut self) -> Option<Binding> {
+        self.pull_next()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::operator::{drain_all, Source};
     use mdq_model::query::{Atom, Term};
     use mdq_model::schema::ServiceId;
     use mdq_model::value::{Tuple, Value};
@@ -222,6 +308,10 @@ mod tests {
                     .expect("binds")
             })
             .collect()
+    }
+
+    fn src(items: Vec<Binding>) -> Source<std::vec::IntoIter<Binding>> {
+        Source(items.into_iter())
     }
 
     fn pairs_of(results: &[Binding]) -> Vec<(i64, i64)> {
@@ -246,8 +336,7 @@ mod tests {
         // left: X in {1,2}, right: X in {1,3}: only X=1 matches
         let left = stream(0, 1, &[(1, 10), (2, 11), (1, 12)]);
         let right = stream(0, 2, &[(1, 20), (3, 21), (1, 22)]);
-        let out: Vec<Binding> =
-            MsJoin::new(left.into_iter(), right.into_iter(), vec![VarId(0)]).collect();
+        let out = drain_all(MsJoin::new(src(left), src(right), vec![VarId(0)]), 16);
         let got = pairs_of(&out);
         let mut sorted = got.clone();
         sorted.sort_unstable();
@@ -259,8 +348,7 @@ mod tests {
         // identical keys: all pairs join; diagonal order expected
         let left = stream(0, 1, &[(1, 0), (1, 1), (1, 2)]);
         let right = stream(0, 2, &[(1, 0), (1, 1), (1, 2)]);
-        let out: Vec<Binding> =
-            MsJoin::new(left.into_iter(), right.into_iter(), vec![VarId(0)]).collect();
+        let out = drain_all(MsJoin::new(src(left), src(right), vec![VarId(0)]), 16);
         let got = pairs_of(&out);
         assert_eq!(
             got,
@@ -282,8 +370,10 @@ mod tests {
     fn nl_join_inner_major_order() {
         let outer = stream(0, 1, &[(1, 0), (1, 1)]);
         let inner = stream(0, 2, &[(1, 0), (1, 1)]);
-        let out: Vec<Binding> =
-            NlJoin::new(outer.into_iter(), inner.into_iter(), vec![VarId(0)], true).collect();
+        let out = drain_all(
+            NlJoin::new(src(outer), src(inner), vec![VarId(0)], true),
+            16,
+        );
         let got = pairs_of(&out);
         assert_eq!(got, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
     }
@@ -292,24 +382,51 @@ mod tests {
     fn joins_agree_on_result_set() {
         let l = &[(1, 0), (2, 1), (1, 2), (3, 3)];
         let r = &[(1, 0), (1, 1), (2, 2), (4, 3)];
-        let ms: Vec<Binding> = MsJoin::new(
-            stream(0, 1, l).into_iter(),
-            stream(0, 2, r).into_iter(),
-            vec![VarId(0)],
-        )
-        .collect();
-        let nl: Vec<Binding> = NlJoin::new(
-            stream(0, 1, l).into_iter(),
-            stream(0, 2, r).into_iter(),
-            vec![VarId(0)],
-            true,
-        )
-        .collect();
+        let ms = drain_all(
+            MsJoin::new(src(stream(0, 1, l)), src(stream(0, 2, r)), vec![VarId(0)]),
+            16,
+        );
+        let nl = drain_all(
+            NlJoin::new(
+                src(stream(0, 1, l)),
+                src(stream(0, 2, r)),
+                vec![VarId(0)],
+                true,
+            ),
+            16,
+        );
         let (mut a, mut b) = (pairs_of(&ms), pairs_of(&nl));
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
         assert_eq!(a.len(), 2 * 2 + 1); // X=1: 2×2, X=2: 1×1
+    }
+
+    /// The hash index must match numerics across kinds exactly like
+    /// `Value::join_eq`: `Int(1)` joins `Float(1.0)`.
+    #[test]
+    fn nl_join_matches_numerics_across_kinds() {
+        let outer: Vec<Binding> = stream(0, 1, &[(1, 0), (2, 1)]);
+        // right side binds X as Float
+        let right: Vec<Binding> = [(1.0f64, 5i64), (3.0, 6)]
+            .iter()
+            .map(|&(k, v)| {
+                Binding::empty(4)
+                    .bind_atom(
+                        &Atom {
+                            service: ServiceId(0),
+                            terms: vec![Term::Var(VarId(0)), Term::Var(VarId(2))],
+                        },
+                        &Tuple::new(vec![Value::float(k), Value::Int(v)]),
+                    )
+                    .expect("binds")
+            })
+            .collect();
+        let out = drain_all(
+            NlJoin::new(src(outer), src(right), vec![VarId(0)], true),
+            16,
+        );
+        assert_eq!(pairs_of(&out), vec![(0, 5)]);
     }
 
     /// The rank-consistency property: if a pair dominates another
@@ -332,8 +449,7 @@ mod tests {
         // ranks double as ids: all same key, sizes 4 × 3
         let left = stream(0, 1, &[(1, 0), (1, 1), (1, 2), (1, 3)]);
         let right = stream(0, 2, &[(1, 0), (1, 1), (1, 2)]);
-        let out: Vec<Binding> =
-            MsJoin::new(left.into_iter(), right.into_iter(), vec![VarId(0)]).collect();
+        let out = drain_all(MsJoin::new(src(left), src(right), vec![VarId(0)]), 16);
         let got: Vec<(usize, usize)> = pairs_of(&out)
             .into_iter()
             .map(|(y, z)| (y as usize, z as usize))
@@ -346,8 +462,10 @@ mod tests {
     fn nl_emission_is_rank_consistent() {
         let outer = stream(0, 1, &[(1, 0), (1, 1)]);
         let inner = stream(0, 2, &[(1, 0), (1, 1), (1, 2)]);
-        let out: Vec<Binding> =
-            NlJoin::new(outer.into_iter(), inner.into_iter(), vec![VarId(0)], true).collect();
+        let out = drain_all(
+            NlJoin::new(src(outer), src(inner), vec![VarId(0)], true),
+            16,
+        );
         let got: Vec<(usize, usize)> = pairs_of(&out)
             .into_iter()
             .map(|(y, z)| (y as usize, z as usize))
@@ -359,15 +477,15 @@ mod tests {
     fn empty_sides() {
         let empty: Vec<Binding> = Vec::new();
         let right = stream(0, 2, &[(1, 0)]);
-        let ms: Vec<Binding> = MsJoin::new(
-            empty.clone().into_iter(),
-            right.clone().into_iter(),
-            vec![VarId(0)],
-        )
-        .collect();
+        let ms = drain_all(
+            MsJoin::new(src(empty.clone()), src(right.clone()), vec![VarId(0)]),
+            16,
+        );
         assert!(ms.is_empty());
-        let nl: Vec<Binding> =
-            NlJoin::new(empty.into_iter(), right.into_iter(), vec![VarId(0)], true).collect();
+        let nl = drain_all(
+            NlJoin::new(src(empty), src(right), vec![VarId(0)], true),
+            16,
+        );
         assert!(nl.is_empty());
     }
 
@@ -375,7 +493,7 @@ mod tests {
     fn cartesian_when_no_shared_vars() {
         let left = stream(0, 1, &[(1, 0), (2, 1)]);
         let right = stream(3, 2, &[(7, 0)]); // different key var → no overlap
-        let out: Vec<Binding> = MsJoin::new(left.into_iter(), right.into_iter(), vec![]).collect();
+        let out = drain_all(MsJoin::new(src(left), src(right), vec![]), 16);
         assert_eq!(out.len(), 2, "cross product on empty join condition");
     }
 }

@@ -5,31 +5,36 @@
 //! service orchestration, rank-preserving join methods, logical caching
 //! and multi-threaded invocation.
 //!
-//! The crate is organised around one **streaming operator kernel** with a
+//! The crate is organised around one **batched operator kernel** with a
 //! **single service-invocation path**:
 //!
-//! * [`operator`] — the pull-based [`Operator`](operator::Operator)
-//!   trait and the concrete
+//! * [`operator`] — the pull-based, batch-native
+//!   [`Operator`](operator::Operator) trait (`next_binding` for
+//!   tuple-at-a-time semantics, `next_batch` moving whole
+//!   [`Batch`](operator::Batch)es per hop) and the concrete
 //!   [`Invoke`](operator::Invoke) / [`Join`](operator::Join) /
 //!   [`Filter`](operator::Filter) / [`Select`](operator::Select)
 //!   operators, plus [`compile`](operator::compile) for whole plans;
 //! * [`gateway`] — the [`ServiceGateway`](gateway::ServiceGateway):
-//!   registry lookup, paging, per-query accounting and admission
-//!   control, behind single-threaded
+//!   registry lookup, paging (with batched cached-page runs), per-query
+//!   accounting and admission control, behind single-threaded
 //!   ([`LocalGateway`](gateway::LocalGateway)) or thread-safe
 //!   ([`SharedGateway`](gateway::SharedGateway)) handles — over a
-//!   [`SharedServiceState`](gateway::SharedServiceState) (client cache,
-//!   cumulative accounting, single-flight, per-service concurrency
-//!   limits, failed-page memo) that `mdq-runtime` `Arc`-shares across
-//!   concurrent queries — with per-service
-//!   [`RetryPolicy`](gateway::RetryPolicy) resilience: faulted calls
-//!   are retried with accounted backoff and exhausted pages degrade
-//!   into [`PartialResults`](gateway::PartialResults) instead of
-//!   failing the query;
+//!   [`SharedServiceState`](gateway::SharedServiceState): the client
+//!   cache partitioned into independently locked shards, single-flight
+//!   and the failed-page memo per shard, a dedicated flow-control lock
+//!   for per-service concurrency limits, a separately locked sub-result
+//!   store, and merge-on-read accounting (`accounting` cells) —
+//!   `Arc`-shared by `mdq-runtime` across concurrent queries — with
+//!   per-service [`RetryPolicy`](gateway::RetryPolicy) resilience:
+//!   faulted calls are retried with accounted backoff and exhausted
+//!   pages degrade into [`PartialResults`](gateway::PartialResults)
+//!   instead of failing the query;
 //! * [`cache`] — the three §5.1 client cache settings
 //!   ([`PageCache`](cache::PageCache));
 //! * [`binding`] — variable bindings flowing through operators;
-//! * [`joins`] — rank-preserving nested-loop and merge-scan joins;
+//! * [`joins`] — rank-preserving hash-indexed nested-loop and
+//!   merge-scan joins;
 //! * [`plan_info`] — predicate placement and pattern metadata.
 //!
 //! The three executors are thin drivers over that kernel:
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub(crate) mod accounting;
 pub mod adaptive;
 pub mod binding;
 pub mod cache;
@@ -67,8 +73,8 @@ pub mod topk;
 /// Convenient glob-import surface: `use mdq_exec::prelude::*;`.
 pub mod prelude {
     pub use crate::adaptive::{
-        run_adaptive, run_adaptive_dispatch, AdaptiveConfig, AdaptiveOutcome, AdaptiveTopK,
-        ReplanEvent, ReplanRequest, Replanner,
+        run_adaptive, run_adaptive_dispatch, run_adaptive_with_batch, AdaptiveConfig,
+        AdaptiveOutcome, AdaptiveTopK, ReplanEvent, ReplanRequest, Replanner,
     };
     pub use crate::binding::Binding;
     pub use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup, PageStore};
@@ -77,12 +83,18 @@ pub mod prelude {
         RetryPolicy, ServiceGateway, SharedGateway, SharedServiceState, SubResultStats,
     };
     pub use crate::joins::{MsJoin, NlJoin};
-    pub use crate::operator::{compile, compile_with, Filter, Invoke, Join, Operator, Select};
-    pub use crate::pipeline::{run, run_with_shared, ExecConfig, ExecError, ExecReport, NodeTrace};
+    pub use crate::operator::{
+        compile, compile_with, drain_all, drain_into, Batch, Filter, Invoke, Join, Operator,
+        Select, Source, DEFAULT_BATCH,
+    };
+    pub use crate::pipeline::{
+        run, run_with_batch, run_with_shared, ExecConfig, ExecError, ExecReport, NodeTrace,
+    };
     pub use crate::plan_info::{analyze, PlanInfo};
     pub use crate::results::result_table;
     pub use crate::threaded::{
-        run_parallel_dispatch, run_threaded, ParallelConfig, ThreadedConfig, ThreadedReport,
+        run_parallel_dispatch, run_parallel_dispatch_with_batch, run_threaded,
+        run_threaded_with_batch, ParallelConfig, ThreadedConfig, ThreadedReport,
     };
     pub use crate::topk::TopKExecution;
 }

@@ -1,17 +1,32 @@
 //! The streaming operator kernel shared by every executor.
 //!
 //! A plan node becomes a pull-based [`Operator`] — `next_binding()`
-//! yields the node's output stream one [`Binding`] at a time:
+//! yields the node's output stream one [`Binding`] at a time, and
+//! `next_batch()` moves a whole [`Batch`] of bindings per hop (same
+//! stream, amortized dispatch):
 //!
 //! * [`Invoke`] — drives service invocations through the
 //!   [`ServiceGateway`](crate::gateway::ServiceGateway): per upstream
 //!   binding it extracts the input key, pages through the service on
 //!   demand (within the phase-3 fetch budget, or elastically), and binds
-//!   result tuples;
+//!   result tuples; consecutive cached pages are fetched as one run
+//!   under a single gateway lock acquisition;
 //! * [`Join`] — a rank-preserving parallel join in the plan's chosen
 //!   strategy (merge-scan or nested-loop, §3.3);
 //! * [`Filter`] — applies the predicates placed at a node;
 //! * [`Select`] — truncates a stream to the best `k` bindings.
+//!
+//! Batches carry *canonical rows*: a [`Binding`] is an `Arc`-shared
+//! value row, so moving it between operators — or replaying it through
+//! a `Tee` fan-out — is a reference-count bump, never a per-value
+//! deep copy.
+//!
+//! **Demand-exactness.** `next_batch(max, out)` must perform exactly
+//! the work of `max` successive `next_binding()` calls: same upstream
+//! pulls, same service requests, same accounting. Returning fewer than
+//! `max` bindings means the stream is exhausted. This is what makes
+//! answer sets *and per-service call counts* invariant under batch
+//! size — the equivalence suite sweeps batch sizes to pin it.
 //!
 //! The three executors are thin drivers over this kernel: the
 //! stage-materialised engine drains one operator per node and accounts
@@ -68,20 +83,57 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A batch of canonical rows moved per operator hop.
+pub type Batch = Vec<Binding>;
+
+/// Default number of bindings moved per operator hop.
+pub const DEFAULT_BATCH: usize = 64;
+
 /// A pull-based streaming operator: `next_binding()` yields the next
-/// output binding, `None` ends the stream.
+/// output binding, `None` ends the stream; `next_batch()` yields up to
+/// `max` bindings per call.
 ///
-/// Every `Iterator<Item = Binding>` is an operator (blanket impl), and a
-/// `Box<dyn Operator>` is itself an iterator — so operators compose with
-/// each other and with plain iterator adaptors.
+/// Implementations of `next_batch` must be **demand-exact**: the call
+/// performs precisely the work of `max` successive `next_binding()`
+/// calls (same upstream demand, same service requests), and a return
+/// value below `max` means the stream is exhausted.
 pub trait Operator {
     /// Pulls the next binding.
     fn next_binding(&mut self) -> Option<Binding>;
+
+    /// Appends up to `max` bindings to `out`, returning how many were
+    /// appended. The default loops `next_binding`; operators with a
+    /// cheaper bulk path override it.
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_binding() {
+                Some(b) => {
+                    out.push(b);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
-impl<I: Iterator<Item = Binding>> Operator for I {
+impl<T: Operator + ?Sized> Operator for &mut T {
     fn next_binding(&mut self) -> Option<Binding> {
-        self.next()
+        (**self).next_binding()
+    }
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        (**self).next_batch(max, out)
+    }
+}
+
+impl<T: Operator + ?Sized> Operator for Box<T> {
+    fn next_binding(&mut self) -> Option<Binding> {
+        (**self).next_binding()
+    }
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        (**self).next_batch(max, out)
     }
 }
 
@@ -90,6 +142,34 @@ impl Iterator for Box<dyn Operator + '_> {
     fn next(&mut self) -> Option<Binding> {
         (**self).next_binding()
     }
+}
+
+/// Adapts any binding iterator into an [`Operator`] — the root of every
+/// compiled plan and the shim for materialised intermediate stages.
+pub struct Source<I>(pub I);
+
+impl<I: Iterator<Item = Binding>> Operator for Source<I> {
+    fn next_binding(&mut self) -> Option<Binding> {
+        self.0.next()
+    }
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        let before = out.len();
+        out.extend(self.0.by_ref().take(max));
+        out.len() - before
+    }
+}
+
+/// Drains `op` to exhaustion in `batch`-sized steps.
+pub fn drain_all(mut op: impl Operator, batch: usize) -> Batch {
+    let mut out = Vec::new();
+    drain_into(&mut op, batch, &mut out);
+    out
+}
+
+/// Appends every remaining binding of `op` to `out`, `batch` at a time.
+pub fn drain_into(op: &mut impl Operator, batch: usize, out: &mut Batch) {
+    let batch = batch.max(1);
+    while op.next_batch(batch, out) == batch {}
 }
 
 /// Paging state for the input binding currently being expanded.
@@ -125,12 +205,14 @@ pub struct Invoke<I, G> {
     /// One entry per input that forwarded at least one call: its summed
     /// latency. The materialised drivers read this for virtual time.
     input_latencies: Vec<f64>,
+    /// Reused scratch for batched page runs.
+    page_buf: Vec<crate::gateway::PageFetch>,
     halted: bool,
 }
 
 impl<I, G> Invoke<I, G>
 where
-    I: Iterator<Item = Binding>,
+    I: Operator,
     G: GatewayHandle,
 {
     /// Builds the invoke operator for plan node `node` (must be an
@@ -169,6 +251,7 @@ where
             sleep_scale,
             current: None,
             input_latencies: Vec::new(),
+            page_buf: Vec::new(),
             halted: false,
         }
     }
@@ -200,16 +283,8 @@ where
             }
         }
     }
-}
 
-impl<I, G> Iterator for Invoke<I, G>
-where
-    I: Iterator<Item = Binding>,
-    G: GatewayHandle,
-{
-    type Item = Binding;
-
-    fn next(&mut self) -> Option<Binding> {
+    fn pull_next(&mut self) -> Option<Binding> {
         loop {
             if self.halted {
                 return None;
@@ -223,32 +298,50 @@ where
                 }
                 let within_budget = self.max_pages.map(|m| cur.next_page < m).unwrap_or(true);
                 if !cur.done && within_budget {
-                    let page = cur.next_page;
+                    // request the remaining page budget as one run: the
+                    // gateway serves consecutive *cached* pages under a
+                    // single lock acquisition and stops the run at the
+                    // first page that must be forwarded — so the
+                    // forwarded-call sequence is identical to paging
+                    // tuple-at-a-time, only the lock traffic amortizes.
+                    // Elastic paging stays demand-driven one page at a
+                    // time (cached pages beyond demand are free, but
+                    // elastic demand itself must stay lazy).
+                    let first = cur.next_page;
+                    let want = match self.max_pages {
+                        Some(m) => (m - first) as usize,
+                        None => 1,
+                    };
                     let svc = self.svc_id;
                     let pattern = self.pattern;
-                    let fetch = {
+                    self.page_buf.clear();
+                    {
                         let key = &cur.key;
-                        self.gateway.with(|g| g.fetch_page(svc, pattern, key, page))
-                    };
-                    cur.next_page += 1;
-                    if let Some(lat) = fetch.forwarded_latency {
-                        cur.forwarded += lat;
-                        cur.any_forwarded = true;
-                        if self.sleep_scale > 0.0 {
-                            std::thread::sleep(std::time::Duration::from_secs_f64(
-                                lat * self.sleep_scale,
-                            ));
+                        let buf = &mut self.page_buf;
+                        self.gateway
+                            .with(|g| g.fetch_page_run(svc, pattern, key, first, want, buf));
+                    }
+                    for fetch in self.page_buf.drain(..) {
+                        cur.next_page += 1;
+                        if let Some(lat) = fetch.forwarded_latency {
+                            cur.forwarded += lat;
+                            cur.any_forwarded = true;
+                            if self.sleep_scale > 0.0 {
+                                std::thread::sleep(std::time::Duration::from_secs_f64(
+                                    lat * self.sleep_scale,
+                                ));
+                            }
                         }
+                        if !fetch.has_more {
+                            cur.done = true;
+                        }
+                        cur.buf.extend(fetch.tuples);
                     }
-                    if !fetch.has_more {
-                        cur.done = true;
-                    }
-                    cur.buf = fetch.tuples.into();
                     continue;
                 }
                 self.close_current();
             }
-            let binding = self.upstream.next()?;
+            let binding = self.upstream.next_binding()?;
             match binding.input_key(&self.atom, &self.input_positions) {
                 Some(key) => {
                     self.current = Some(CurrentInput {
@@ -274,10 +367,20 @@ where
     }
 }
 
+impl<I, G> Operator for Invoke<I, G>
+where
+    I: Operator,
+    G: GatewayHandle,
+{
+    fn next_binding(&mut self) -> Option<Binding> {
+        self.pull_next()
+    }
+}
+
 /// The parallel-join operator: dispatches to the plan's chosen
 /// rank-preserving strategy (§3.3).
 pub struct Join<'a> {
-    inner: Box<dyn Iterator<Item = Binding> + 'a>,
+    inner: Box<dyn Operator + 'a>,
 }
 
 impl<'a> Join<'a> {
@@ -291,10 +394,10 @@ impl<'a> Join<'a> {
         on: Vec<mdq_model::query::VarId>,
     ) -> Self
     where
-        L: Iterator<Item = Binding> + 'a,
-        R: Iterator<Item = Binding> + 'a,
+        L: Operator + 'a,
+        R: Operator + 'a,
     {
-        let inner: Box<dyn Iterator<Item = Binding> + 'a> = match strategy {
+        let inner: Box<dyn Operator + 'a> = match strategy {
             JoinStrategy::MergeScan => Box::new(crate::joins::MsJoin::new(left, right, on)),
             JoinStrategy::NestedLoop { outer: Side::Left } => {
                 Box::new(crate::joins::NlJoin::new(left, right, on, true))
@@ -307,10 +410,12 @@ impl<'a> Join<'a> {
     }
 }
 
-impl Iterator for Join<'_> {
-    type Item = Binding;
-    fn next(&mut self) -> Option<Binding> {
-        self.inner.next()
+impl Operator for Join<'_> {
+    fn next_binding(&mut self) -> Option<Binding> {
+        self.inner.next_binding()
+    }
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        self.inner.next_batch(max, out)
     }
 }
 
@@ -319,12 +424,18 @@ impl Iterator for Join<'_> {
 pub struct Filter<I> {
     inner: I,
     preds: Vec<Predicate>,
+    /// Reused scratch for batched filtering.
+    scratch: Batch,
 }
 
 impl<I> Filter<I> {
     /// Filters `inner` by `preds`.
     pub fn new(inner: I, preds: Vec<Predicate>) -> Self {
-        Filter { inner, preds }
+        Filter {
+            inner,
+            preds,
+            scratch: Vec::new(),
+        }
     }
 
     /// The predicates for plan node `node`.
@@ -333,16 +444,47 @@ impl<I> Filter<I> {
             .iter()
             .map(|&p| plan.query.predicates[p].clone())
             .collect();
-        Filter { inner, preds }
+        Filter::new(inner, preds)
+    }
+
+    fn passes(&self, b: &Binding) -> bool {
+        self.preds.iter().all(|p| b.eval_predicate(p) == Some(true))
     }
 }
 
-impl<I: Iterator<Item = Binding>> Iterator for Filter<I> {
-    type Item = Binding;
-    fn next(&mut self) -> Option<Binding> {
-        self.inner
-            .by_ref()
-            .find(|b| self.preds.iter().all(|p| b.eval_predicate(p) == Some(true)))
+impl<I: Operator> Operator for Filter<I> {
+    fn next_binding(&mut self) -> Option<Binding> {
+        loop {
+            let b = self.inner.next_binding()?;
+            if self.passes(&b) {
+                return Some(b);
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        // Pull the inner stream in chunks of exactly the *outstanding*
+        // demand. This is demand-exact: if the chunk fills the target,
+        // every chunk element passed — a sequential puller would have
+        // pulled precisely the same bindings; if any element failed, the
+        // target is still open and the loop continues.
+        let mut n = 0;
+        while n < max {
+            let want = max - n;
+            self.scratch.clear();
+            let got = self.inner.next_batch(want, &mut self.scratch);
+            let preds = &self.preds;
+            for b in self.scratch.drain(..) {
+                if preds.iter().all(|p| b.eval_predicate(p) == Some(true)) {
+                    out.push(b);
+                    n += 1;
+                }
+            }
+            if got < want {
+                break; // inner exhausted
+            }
+        }
+        n
     }
 }
 
@@ -363,15 +505,21 @@ impl<I> Select<I> {
     }
 }
 
-impl<I: Iterator<Item = Binding>> Iterator for Select<I> {
-    type Item = Binding;
-    fn next(&mut self) -> Option<Binding> {
+impl<I: Operator> Operator for Select<I> {
+    fn next_binding(&mut self) -> Option<Binding> {
         if self.remaining == 0 {
             return None;
         }
-        let b = self.inner.next()?;
+        let b = self.inner.next_binding()?;
         self.remaining -= 1;
         Some(b)
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        let want = max.min(self.remaining);
+        let got = self.inner.next_batch(want, out);
+        self.remaining -= got;
+        got
     }
 }
 
@@ -379,7 +527,7 @@ impl<I: Iterator<Item = Binding>> Iterator for Select<I> {
 /// node with more than one consumer.
 struct SharedNode {
     op: Box<dyn Operator>,
-    buf: Vec<Binding>,
+    buf: Batch,
     done: bool,
 }
 
@@ -387,15 +535,15 @@ struct SharedNode {
 /// operator exactly once, every consumer replays the same stream.
 /// This is what makes the compiled plan a DAG rather than a tree —
 /// common subplans execute through one operator, so the pull executor
-/// forwards exactly the same calls as the materialised one.
+/// forwards exactly the same calls as the materialised one. Replay is
+/// an `Arc` refcount bump per binding, never a value deep copy.
 struct Tee {
     shared: std::rc::Rc<std::cell::RefCell<SharedNode>>,
     pos: usize,
 }
 
-impl Iterator for Tee {
-    type Item = Binding;
-    fn next(&mut self) -> Option<Binding> {
+impl Operator for Tee {
+    fn next_binding(&mut self) -> Option<Binding> {
         let mut s = self.shared.borrow_mut();
         loop {
             if self.pos < s.buf.len() {
@@ -411,6 +559,33 @@ impl Iterator for Tee {
                 None => s.done = true,
             }
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        let mut s = self.shared.borrow_mut();
+        let mut n = 0;
+        while n < max {
+            if self.pos < s.buf.len() {
+                // serve a run straight from the shared buffer
+                let take = (s.buf.len() - self.pos).min(max - n);
+                out.extend_from_slice(&s.buf[self.pos..self.pos + take]);
+                self.pos += take;
+                n += take;
+                continue;
+            }
+            if s.done {
+                break;
+            }
+            // 1:1 passthrough, so outstanding demand maps directly onto
+            // the shared operator — demand-exact by construction
+            let need = max - n;
+            let shared = &mut *s;
+            let got = shared.op.next_batch(need, &mut shared.buf);
+            if got == 0 {
+                shared.done = true;
+            }
+        }
+        n
     }
 }
 
@@ -535,7 +710,9 @@ fn compile_raw<G: GatewayHandle + 'static>(
         return override_op.take().expect("checked above").1;
     }
     match &plan.nodes[node].kind {
-        NodeKind::Input => Box::new(std::iter::once(Binding::empty(plan.query.var_count()))),
+        NodeKind::Input => Box::new(Source(std::iter::once(Binding::empty(
+            plan.query.var_count(),
+        )))),
         NodeKind::Output => {
             let up = plan.nodes[node].inputs[0].0;
             let inner = compile_node(

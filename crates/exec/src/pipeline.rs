@@ -23,7 +23,7 @@ use crate::cache::{CacheSetting, CacheStats};
 use crate::gateway::{
     FaultStats, GatewayHandle, LocalGateway, PartialResults, ServiceGateway, SharedServiceState,
 };
-use crate::operator::{Filter, Invoke, Join, Select};
+use crate::operator::{drain_all, Filter, Invoke, Join, Select, Source, DEFAULT_BATCH};
 use crate::plan_info::analyze;
 use mdq_model::rng::Rng;
 use mdq_model::schema::{Schema, ServiceId};
@@ -140,6 +140,7 @@ pub(crate) fn run_materialised(
     gateway: ServiceGateway,
     k: Option<usize>,
     stage: &StageModel,
+    batch: usize,
 ) -> Result<ExecReport, ExecError> {
     let info = analyze(plan, schema);
     let gateway = LocalGateway::new(gateway);
@@ -171,12 +172,13 @@ pub(crate) fn run_materialised(
                     schema,
                     &info,
                     i,
-                    inputs.into_iter(),
+                    Source(inputs.into_iter()),
                     gateway.clone(),
                     false,
                     0.0,
                 );
-                let out: Vec<Binding> = Filter::for_node(plan, &info, i, &mut invoke).collect();
+                let out: Vec<Binding> =
+                    drain_all(Filter::for_node(plan, &info, i, &mut invoke), batch);
                 if let Some(err) = gateway.with(|g| g.take_error()) {
                     return Err(err);
                 }
@@ -209,18 +211,20 @@ pub(crate) fn run_materialised(
                 on,
             } => {
                 let (l, r) = (left.0, right.0);
-                let joined: Vec<Binding> = Filter::for_node(
-                    plan,
-                    &info,
-                    i,
-                    Join::new(
-                        streams[l].iter().cloned(),
-                        streams[r].iter().cloned(),
-                        strategy,
-                        on.clone(),
+                let joined: Vec<Binding> = drain_all(
+                    Filter::for_node(
+                        plan,
+                        &info,
+                        i,
+                        Join::new(
+                            Source(streams[l].iter().cloned()),
+                            Source(streams[r].iter().cloned()),
+                            strategy,
+                            on.clone(),
+                        ),
                     ),
-                )
-                .collect();
+                    batch,
+                );
                 trace[i] = NodeTrace {
                     busy: 0.0,
                     completion: trace[l].completion.max(trace[r].completion),
@@ -231,10 +235,11 @@ pub(crate) fn run_materialised(
             }
             NodeKind::Output => {
                 let up = node.inputs[0].0;
-                let filtered = Filter::for_node(plan, &info, i, streams[up].iter().cloned());
+                let filtered =
+                    Filter::for_node(plan, &info, i, Source(streams[up].iter().cloned()));
                 let out: Vec<Binding> = match k {
-                    Some(k) => Select::new(filtered, k).collect(),
-                    None => filtered.collect(),
+                    Some(k) => drain_all(Select::new(filtered, k), batch),
+                    None => drain_all(filtered, batch),
                 };
                 trace[i] = NodeTrace {
                     busy: 0.0,
@@ -280,6 +285,20 @@ pub fn run(
     registry: &ServiceRegistry,
     config: &ExecConfig,
 ) -> Result<ExecReport, ExecError> {
+    run_with_batch(plan, schema, registry, config, DEFAULT_BATCH)
+}
+
+/// [`run`] with an explicit operator batch size. Batching is
+/// semantically invisible — demand-exact `next_batch` produces the same
+/// answers and call counts at every size — so this knob exists for the
+/// equivalence sweep and for tuning, not for behaviour.
+pub fn run_with_batch(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    config: &ExecConfig,
+    batch: usize,
+) -> Result<ExecReport, ExecError> {
     run_materialised(
         plan,
         schema,
@@ -287,6 +306,7 @@ pub fn run(
         ServiceGateway::new(plan, schema, registry, config.cache)?,
         config.k,
         &StageModel::Sequential,
+        batch,
     )
 }
 
@@ -310,6 +330,7 @@ pub fn run_with_shared(
         ServiceGateway::with_shared(plan, schema, registry, shared, budget)?,
         k,
         &StageModel::Sequential,
+        DEFAULT_BATCH,
     )
 }
 

@@ -24,7 +24,7 @@
 use crate::binding::Binding;
 use crate::cache::CacheSetting;
 use crate::gateway::{FaultStats, GatewayHandle, PartialResults, ServiceGateway, SharedGateway};
-use crate::operator::{ExecError, Filter, Invoke, Join};
+use crate::operator::{Batch, ExecError, Filter, Invoke, Join, Operator, DEFAULT_BATCH};
 use crate::pipeline::{run_materialised, ExecReport, StageModel};
 use crate::plan_info::analyze;
 use mdq_model::schema::{Schema, ServiceId};
@@ -69,6 +69,19 @@ pub fn run_parallel_dispatch(
     registry: &ServiceRegistry,
     config: &ParallelConfig,
 ) -> Result<ExecReport, ExecError> {
+    run_parallel_dispatch_with_batch(plan, schema, registry, config, DEFAULT_BATCH)
+}
+
+/// [`run_parallel_dispatch`] with an explicit operator batch size —
+/// answers and call counts are invariant under `batch` (the
+/// equivalence suite sweeps it).
+pub fn run_parallel_dispatch_with_batch(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    config: &ParallelConfig,
+    batch: usize,
+) -> Result<ExecReport, ExecError> {
     run_materialised(
         plan,
         schema,
@@ -80,6 +93,7 @@ pub fn run_parallel_dispatch(
             spawn_overhead: config.spawn_overhead,
             shuffle_seed: config.shuffle_seed,
         },
+        batch,
     )
 }
 
@@ -135,9 +149,8 @@ struct ChannelStream {
     rx: mpsc::Receiver<Binding>,
 }
 
-impl Iterator for ChannelStream {
-    type Item = Binding;
-    fn next(&mut self) -> Option<Binding> {
+impl Operator for ChannelStream {
+    fn next_binding(&mut self) -> Option<Binding> {
         self.rx.recv().ok()
     }
 }
@@ -172,6 +185,21 @@ pub fn run_threaded(
     registry: &ServiceRegistry,
     config: &ThreadedConfig,
 ) -> Result<ThreadedReport, ExecError> {
+    run_threaded_with_batch(plan, schema, registry, config, DEFAULT_BATCH)
+}
+
+/// [`run_threaded`] with an explicit operator batch size: each worker
+/// pulls up to `batch` bindings per kernel call before forwarding them
+/// downstream. Answers, call counts and retries are invariant under
+/// `batch` — only the per-hop amortisation changes.
+pub fn run_threaded_with_batch(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    config: &ThreadedConfig,
+    batch: usize,
+) -> Result<ThreadedReport, ExecError> {
+    let batch = batch.max(1);
     let info = Arc::new(analyze(plan, schema));
     let gateway = SharedGateway::new(ServiceGateway::new(plan, schema, registry, config.cache)?);
     let n = plan.nodes.len();
@@ -217,10 +245,17 @@ pub fn run_threaded(
                     }
                     true
                 };
-                let forward = |stream: &mut dyn Iterator<Item = Binding>| {
-                    for b in stream {
-                        if !send_all(b) {
-                            break;
+                let forward = |op: &mut dyn Operator| {
+                    let mut buf = Batch::new();
+                    loop {
+                        let got = op.next_batch(batch, &mut buf);
+                        for b in buf.drain(..) {
+                            if !send_all(b) {
+                                return;
+                            }
+                        }
+                        if got < batch {
+                            return;
                         }
                     }
                 };

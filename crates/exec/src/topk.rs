@@ -20,7 +20,9 @@ use crate::cache::CacheSetting;
 use crate::gateway::{
     GatewayHandle, LocalGateway, PrefixResolution, ServiceGateway, SharedServiceState,
 };
-use crate::operator::{compile_with, ExecError, Filter, Invoke, Operator};
+use crate::operator::{
+    compile_with, drain_all, ExecError, Filter, Invoke, Operator, Source, DEFAULT_BATCH,
+};
 use crate::plan_info::{analyze, PlanInfo};
 use mdq_model::fingerprint::SubplanSignature;
 use mdq_model::schema::{Schema, ServiceId};
@@ -123,16 +125,27 @@ fn prepare_shared_prefix(
     let mut base_cost = 0u64;
     let mut level = 0usize;
     let mut base: Box<dyn Operator> = match replay {
-        Some((lvl, rows, cost)) => {
+        Some(entry) => {
             hits = 1;
-            base_cost = cost;
-            level = lvl;
-            let vars = prefixes[lvl - 1].vars.clone();
-            // rows are Arc-shared with the store: bind per row on pull,
-            // never deep-copy the materialized set
-            Box::new((0..rows.len()).map(move |i| Binding::from_row(nvars, &vars, &rows[i])))
+            base_cost = entry.cost_calls;
+            level = entry.level;
+            let sub_vars = prefixes[entry.level - 1].vars.clone();
+            let rows = entry.rows;
+            if entry.nvars == nvars && entry.vars.as_ref() == sub_vars.as_slice() {
+                // same variable space: the stored bindings ARE the
+                // replay — every pull is an `Arc` bump, never a deep
+                // copy of the materialized set
+                Box::new(Source((0..rows.len()).map(move |i| rows[i].clone())))
+            } else {
+                // different numbering: remap through the canonical row
+                // lazily, per pull
+                let pub_vars = entry.vars;
+                Box::new(Source((0..rows.len()).map(move |i| {
+                    Binding::from_row(nvars, &sub_vars, &rows[i].to_row(&pub_vars))
+                })))
+            }
         }
-        None => Box::new(std::iter::once(Binding::empty(nvars))),
+        None => Box::new(Source(std::iter::once(Binding::empty(nvars)))),
     };
 
     let mut claims = SubClaims {
@@ -143,18 +156,25 @@ fn prepare_shared_prefix(
     for &lvl in &claimed {
         let node = prefixes[lvl - 1].node;
         let invoke = Invoke::for_node(plan, schema, info, node, base, gateway.clone(), false, 0.0);
-        let drained: Vec<Binding> = Filter::for_node(plan, info, node, invoke).collect();
+        // the eager drain runs batched: whole pages flow through the
+        // chain per gateway-lock acquisition instead of tuple-at-a-time
+        let drained: Vec<Binding> =
+            drain_all(Filter::for_node(plan, info, node, invoke), DEFAULT_BATCH);
         let healthy = gateway.with(|g| g.error().is_none() && !g.is_degraded());
         if healthy {
             let cost = base_cost + gateway.with(|g| g.total_calls()) - start_calls;
-            let rows = drained
-                .iter()
-                .map(|b| b.to_row(&prefixes[lvl - 1].vars))
-                .collect();
-            shared.publish_sub_result(sigs[lvl - 1], rows, cost);
+            // publishing shares the drained bindings (`Arc` bumps) —
+            // the store never holds a deep copy of the rows
+            shared.publish_sub_result(
+                sigs[lvl - 1],
+                drained.clone(),
+                prefixes[lvl - 1].vars.clone().into(),
+                nvars,
+                cost,
+            );
             claims.mark_published(sigs[lvl - 1]);
         }
-        base = Box::new(drained.into_iter());
+        base = Box::new(Source(drained.into_iter()));
         level = lvl;
         if !healthy {
             // the guard abandons the remaining claims on drop
@@ -273,13 +293,20 @@ impl TopKExecution {
         self.gateway.with(|g| g.error().cloned())
     }
 
-    /// Pulls up to `k` further answers.
+    /// Pulls up to `k` further answers, in batches of at most
+    /// [`DEFAULT_BATCH`]. Batched demand is exact: `next_batch(n)` does
+    /// precisely the work of `n` single pulls, so early halting and
+    /// call counts are identical to answer-at-a-time pulling.
     pub fn answers(&mut self, k: usize) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(k.min(1024));
-        for _ in 0..k {
-            match self.next_answer() {
-                Some(a) => out.push(a),
-                None => break,
+        let mut batch = crate::operator::Batch::new();
+        while out.len() < k {
+            let want = (k - out.len()).min(DEFAULT_BATCH);
+            batch.clear();
+            let got = self.iter.next_batch(want, &mut batch);
+            out.extend(batch.drain(..).map(|b| b.project_head(&self.query)));
+            if got < want {
+                break;
             }
         }
         out
@@ -478,6 +505,62 @@ mod tests {
             shared.sub_result_stats().calls_saved,
             second.sub_result_calls_saved(),
             "per-execution attribution reconciles with the store"
+        );
+    }
+
+    #[test]
+    fn replay_shares_stored_rows_without_copying() {
+        // materialize a prefix, then assert the replay path is zero-copy
+        // end to end: the store hands out the same `Arc` of rows on
+        // every resolution, and a same-variable-space subscriber's
+        // replayed bindings share value storage with the stored ones
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(
+            crate::gateway::SharedServiceState::new(CacheSetting::NoCache, 0).with_sub_results(8),
+        );
+        let mut first = TopKExecution::with_shared(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::clone(&shared),
+            None,
+            false,
+        )
+        .expect("builds");
+        first.answers(usize::MAX >> 1);
+        let sigs: Vec<SubplanSignature> =
+            invoke_prefixes(&plan).iter().map(|p| p.signature).collect();
+        let resolve = |shared: &SharedServiceState| match shared.resolve_prefixes(&sigs, false) {
+            PrefixResolution::Resolved {
+                replay: Some(entry),
+                ..
+            } => entry,
+            _ => panic!("a prefix was materialized above"),
+        };
+        let r1 = resolve(&shared);
+        let r2 = resolve(&shared);
+        assert!(!r1.rows.is_empty(), "the prefix produced rows");
+        assert!(
+            Arc::ptr_eq(&r1.rows, &r2.rows),
+            "the store hands out one shared Arc, never a copied row set"
+        );
+        for (a, b) in r1.rows.iter().zip(r2.rows.iter()) {
+            assert!(a.shares_storage(b), "per-row storage is shared too");
+        }
+        // the subscriber-facing fast path: same plan, same variable
+        // space — replayed bindings ARE the stored bindings
+        let info = analyze(&plan, &w.schema);
+        let gateway = LocalGateway::new(
+            ServiceGateway::with_shared(&plan, &w.schema, &w.registry, Arc::clone(&shared), None)
+                .expect("builds"),
+        );
+        let prep = prepare_shared_prefix(&plan, &w.schema, &info, &gateway, false, false);
+        let (_, mut op) = prep.override_op.expect("the materialized prefix replays");
+        let replayed = op.next_binding().expect("has rows");
+        assert!(
+            replayed.shares_storage(&r1.rows[0]),
+            "same-space replay emits Arc clones of the stored rows, not deep copies"
         );
     }
 

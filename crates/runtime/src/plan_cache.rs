@@ -17,11 +17,23 @@ use std::sync::Arc;
 /// fetch factors are chosen for a specific `k`).
 pub type PlanKey = (QueryFingerprint, u64);
 
+/// One cached plan plus how it was priced.
+struct Entry {
+    plan: Arc<Plan>,
+    /// `true` when the plan was chosen under an admission batch's
+    /// shared-work discount: it assumed a materialized prefix, so a
+    /// later hit must revalidate that the prefix is still live before
+    /// reusing it (and re-optimize standalone only if it is not —
+    /// never paying the optimizer twice up front on the cold path).
+    discounted: bool,
+    used: u64,
+}
+
 /// An LRU map from [`PlanKey`] to the optimized plan.
 pub struct PlanCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<PlanKey, (Arc<Plan>, u64)>,
+    entries: HashMap<PlanKey, Entry>,
 }
 
 impl PlanCache {
@@ -35,18 +47,31 @@ impl PlanCache {
         }
     }
 
-    /// Looks up a plan, refreshing its recency.
-    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<Plan>> {
+    /// Looks up a plan, refreshing its recency. The flag is `true` for
+    /// plans priced under a shared-work discount (see
+    /// [`PlanCache::insert_discounted`]).
+    pub fn get(&mut self, key: &PlanKey) -> Option<(Arc<Plan>, bool)> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.get_mut(key).map(|(plan, used)| {
-            *used = tick;
-            Arc::clone(plan)
+        self.entries.get_mut(key).map(|e| {
+            e.used = tick;
+            (Arc::clone(&e.plan), e.discounted)
         })
     }
 
-    /// Inserts a plan, evicting the least-recently-used entry when full.
+    /// Inserts a standalone-priced plan, evicting the
+    /// least-recently-used entry when full.
     pub fn insert(&mut self, key: PlanKey, plan: Arc<Plan>) {
+        self.insert_entry(key, plan, false);
+    }
+
+    /// Inserts a plan priced under a transient shared-work discount;
+    /// lookups report the flag so callers can revalidate.
+    pub fn insert_discounted(&mut self, key: PlanKey, plan: Arc<Plan>) {
+        self.insert_entry(key, plan, true);
+    }
+
+    fn insert_entry(&mut self, key: PlanKey, plan: Arc<Plan>, discounted: bool) {
         if self.capacity == 0 {
             return;
         }
@@ -55,13 +80,20 @@ impl PlanCache {
             if let Some(oldest) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
+                .min_by_key(|(_, e)| e.used)
                 .map(|(k, _)| *k)
             {
                 self.entries.remove(&oldest);
             }
         }
-        self.entries.insert(key, (plan, self.tick));
+        self.entries.insert(
+            key,
+            Entry {
+                plan,
+                discounted,
+                used: self.tick,
+            },
+        );
     }
 
     /// Cached plans.
@@ -124,6 +156,21 @@ mod tests {
         assert!(cache.get(&(fp, 2)).is_none());
         assert!(cache.get(&(fp, 1)).is_some());
         assert!(cache.get(&(fp, 3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn discounted_flag_round_trips_and_is_overwritable() {
+        let plan = some_plan();
+        let fp = fingerprint(&plan.query);
+        let mut cache = PlanCache::new(2);
+        cache.insert_discounted((fp, 1), Arc::clone(&plan));
+        cache.insert((fp, 2), Arc::clone(&plan));
+        assert_eq!(cache.get(&(fp, 1)).map(|(_, d)| d), Some(true));
+        assert_eq!(cache.get(&(fp, 2)).map(|(_, d)| d), Some(false));
+        // a standalone re-optimization replaces the discounted entry
+        cache.insert((fp, 1), Arc::clone(&plan));
+        assert_eq!(cache.get(&(fp, 1)).map(|(_, d)| d), Some(false));
         assert_eq!(cache.len(), 2);
     }
 

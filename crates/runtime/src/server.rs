@@ -337,8 +337,17 @@ fn lookup_single_flight(state: &ServerState, key: &PlanKey) -> Option<Arc<Plan>>
     }
     let mut plans = state.plans.lock().expect("plan cache lock");
     loop {
-        if let Some(plan) = plans.cache.get(key) {
-            return Some(plan);
+        if let Some((plan, discounted)) = plans.cache.get(key) {
+            // a discounted plan assumed a materialized prefix; once
+            // that prefix is gone the entry is stale — claim the key
+            // and re-optimize standalone (overwriting the entry)
+            if !discounted
+                || mdq_plan::signature::invoke_prefixes(&plan)
+                    .iter()
+                    .any(|p| state.shared.is_materialized(p.signature))
+            {
+                return Some(plan);
+            }
         }
         if plans.optimizing.insert(*key) {
             return None;
@@ -458,6 +467,23 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
         } else {
             state.plans.lock().expect("plan cache lock").cache.get(&key)
         };
+        // a discounted entry assumed a materialized prefix: reuse it
+        // only while that prefix is still live (in the store, or being
+        // produced by an earlier member of this very batch); otherwise
+        // fall through to a standalone re-optimization
+        let cached = cached.and_then(|(plan, discounted)| {
+            if !discounted {
+                return Some(plan);
+            }
+            let oracle = BatchOracle {
+                shared: &state.shared,
+                batch: &seen,
+            };
+            mdq_plan::signature::invoke_prefixes(&plan)
+                .iter()
+                .any(|p| oracle.is_materialized(p.signature))
+                .then_some(plan)
+        });
         let (plan, hit) = match cached {
             Some(plan) => {
                 state
@@ -485,54 +511,36 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
                     ..OptimizerConfig::default()
                 };
                 let optimized = if use_oracle {
-                    state.engine.optimize_shared(
-                        query.clone(),
-                        &ExecutionTime,
-                        config.clone(),
-                        &oracle,
-                    )
-                } else {
                     state
                         .engine
-                        .optimize(query.clone(), &ExecutionTime, config.clone())
+                        .optimize_shared(query, &ExecutionTime, config, &oracle)
+                } else {
+                    state.engine.optimize(query, &ExecutionTime, config)
                 };
                 match optimized {
                     Ok(o) => {
                         let plan = Arc::new(o.candidate.plan);
                         // a plan chosen under the batch's transient
-                        // discount must not become the template's
-                        // durable plan: the cache is keyed by
-                        // (fingerprint, k) alone and outlives the
-                        // materialization. Publish the standalone
-                        // optimum instead (one more optimizer run,
-                        // honestly counted); the batch member itself
-                        // still executes the discounted plan — its
-                        // prefix *is* materialized for this batch
+                        // discount must not silently become the
+                        // template's durable plan: the cache is keyed
+                        // by (fingerprint, k) alone and outlives the
+                        // materialization. Cache it with the discount
+                        // *recorded* — a later probe revalidates that
+                        // the materialized prefix is still live and
+                        // re-optimizes standalone only then, so the
+                        // cold path never pays the optimizer twice for
+                        // one admission
                         let discounted = use_oracle
                             && mdq_plan::signature::invoke_prefixes(&plan)
                                 .iter()
                                 .any(|p| oracle.is_materialized(p.signature));
-                        let durable = if discounted {
-                            state
-                                .metrics
-                                .optimizer_invocations
-                                .fetch_add(1, Ordering::Relaxed);
-                            state
-                                .engine
-                                .optimize(query, &ExecutionTime, config)
-                                .ok()
-                                .map(|o| Arc::new(o.candidate.plan))
+                        let mut plans = state.plans.lock().expect("plan cache lock");
+                        if discounted {
+                            plans.cache.insert_discounted(key, Arc::clone(&plan));
                         } else {
-                            Some(Arc::clone(&plan))
-                        };
-                        if let Some(durable) = durable {
-                            state
-                                .plans
-                                .lock()
-                                .expect("plan cache lock")
-                                .cache
-                                .insert(key, durable);
+                            plans.cache.insert(key, Arc::clone(&plan));
                         }
+                        drop(plans);
                         (plan, false)
                     }
                     Err(e) => {

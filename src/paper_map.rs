@@ -61,7 +61,10 @@
 //! |---|---|
 //! | service registration / profiling (§5) | [`mdq_services::profiler`] |
 //! | execution environment (§5) | the [operator kernel](mdq_exec::operator): [`Invoke`](mdq_exec::operator::Invoke) / [`Join`](mdq_exec::operator::Join) / [`Filter`](mdq_exec::operator::Filter) / [`Select`](mdq_exec::operator::Select) over one [`ServiceGateway`](mdq_exec::gateway::ServiceGateway) |
+//! | "units of work" between operators (§5), batched | [`Operator::next_batch`](mdq_exec::operator::Operator::next_batch) over [`Batch`](mdq_exec::operator::Batch)es of `Arc`-shared [`Binding`](mdq_exec::binding::Binding)s; demand-exact, so §5's per-call pricing is unchanged at any batch size (`tests/executor_equivalence.rs`) |
 //! | multi-threading (§5) | [`mdq_exec::threaded`] |
+//! | threads share §5.1 state without serializing on it | the sharded page cache + per-gateway [`accounting cells`](mdq_exec::gateway::SharedServiceState) — `crates/bench/benches/contention.rs` → `BENCH_contention.json` |
+//! | page-fetch runs (chunked services, §5.1) | [`ServiceGateway::fetch_page_run`](mdq_exec::gateway::ServiceGateway::fetch_page_run): consecutive cached pages under one shard lock, at most one forwarded call |
 //! | no / one-call / optimal cache (§5.1) | [`PageCache`](mdq_exec::cache::PageCache) (inside the gateway), [`CacheSetting`](mdq_cost::estimate::CacheSetting) |
 //! | Eq. 1 (no-cache tout) / Eq. 2 (`N(n)` minimal contributors) | [`Estimator`](mdq_cost::estimate::Estimator) |
 //! | Eq. 3 (SCM) | [`SumCost`](mdq_cost::metrics::SumCost) |

@@ -446,6 +446,213 @@ fn adaptive_drivers_agree_on_answers_calls_and_replans() {
     }
 }
 
+/// The operator batch size is a pure amortisation knob: sweeping it
+/// across 1 (tuple-at-a-time), 2, 7 (deliberately unaligned with page
+/// and chunk sizes) and 64 must leave answers, per-service call counts
+/// and retry counts byte-identical for the stage-materialised, pull and
+/// real-thread drivers — healthy and under a seeded fault schedule.
+#[test]
+fn batch_size_sweep_is_equivalent_to_tuple_at_a_time() {
+    let mut rng = Rng::new(0xBA_7C);
+    for fault_seed in [None, Some(0x5EEDu64)] {
+        for case in 0..3 {
+            let cache = *rng.choose(&CacheSetting::ALL).expect("three settings");
+            let plan = random_plan(&mut rng, &travel_world(2008));
+            let world = || match fault_seed {
+                None => travel_world(2008),
+                Some(s) => faulty_world(s),
+            };
+            let desc = format!(
+                "case {case}: cache {cache:?}, faults {fault_seed:?}, fetches {:?}, poset {}",
+                plan.fetches, plan.poset
+            );
+
+            // tuple-at-a-time baseline: every batched run must match it
+            let wb = world();
+            let base = run_with_batch(
+                &plan,
+                &wb.schema,
+                &wb.registry,
+                &ExecConfig { cache, k: None },
+                1,
+            )
+            .unwrap_or_else(|e| panic!("{desc}: batch=1 pipeline fails: {e}"));
+            let base_answers = sorted(base.answers.clone());
+            let services = [wb.ids.conf, wb.ids.weather, wb.ids.flight, wb.ids.hotel];
+
+            for batch in [2usize, 7, 64] {
+                let wp = world();
+                let pipeline = run_with_batch(
+                    &plan,
+                    &wp.schema,
+                    &wp.registry,
+                    &ExecConfig { cache, k: None },
+                    batch,
+                )
+                .unwrap_or_else(|e| panic!("{desc}: batch={batch} pipeline fails: {e}"));
+                assert_eq!(
+                    sorted(pipeline.answers.clone()),
+                    base_answers,
+                    "{desc}: batch={batch} pipeline answers"
+                );
+
+                let wt = world();
+                let thr = run_threaded_with_batch(
+                    &plan,
+                    &wt.schema,
+                    &wt.registry,
+                    &ThreadedConfig {
+                        cache,
+                        time_scale: 0.0,
+                        channel_capacity: 8,
+                        k: None,
+                    },
+                    batch,
+                )
+                .unwrap_or_else(|e| panic!("{desc}: batch={batch} threaded fails: {e}"));
+                assert_eq!(
+                    sorted(thr.answers.clone()),
+                    base_answers,
+                    "{desc}: batch={batch} threaded answers"
+                );
+
+                // the pull driver's batch size is the demand chunk:
+                // drain it `batch` answers at a time
+                let wq = world();
+                let mut pull = TopKExecution::new(&plan, &wq.schema, &wq.registry, cache, false)
+                    .unwrap_or_else(|e| panic!("{desc}: batch={batch} pull fails: {e}"));
+                let mut pulled = Vec::new();
+                loop {
+                    let chunk = pull.answers(batch);
+                    let done = chunk.len() < batch;
+                    pulled.extend(chunk);
+                    if done {
+                        break;
+                    }
+                }
+                assert!(
+                    pull.error().is_none(),
+                    "{desc}: batch={batch} pull poisoned: {:?}",
+                    pull.error()
+                );
+                assert_eq!(
+                    sorted(pulled),
+                    base_answers,
+                    "{desc}: batch={batch} pull answers"
+                );
+
+                let pull_faults = pull.fault_stats();
+                for id in services {
+                    let calls = base.calls_to(id);
+                    let retries = base.retries_to(id);
+                    assert_eq!(
+                        pipeline.calls_to(id),
+                        calls,
+                        "{desc}: batch={batch} pipeline calls to {id:?}"
+                    );
+                    assert_eq!(
+                        pipeline.retries_to(id),
+                        retries,
+                        "{desc}: batch={batch} pipeline retries to {id:?}"
+                    );
+                    assert_eq!(
+                        thr.calls.get(&id).copied().unwrap_or(0),
+                        calls,
+                        "{desc}: batch={batch} threaded calls to {id:?}"
+                    );
+                    assert_eq!(
+                        thr.retries_to(id),
+                        retries,
+                        "{desc}: batch={batch} threaded retries to {id:?}"
+                    );
+                    assert_eq!(
+                        pull.calls_to(id),
+                        calls,
+                        "{desc}: batch={batch} pull calls to {id:?}"
+                    );
+                    assert_eq!(
+                        pull_faults.get(&id).map(|s| s.retries).unwrap_or(0),
+                        retries,
+                        "{desc}: batch={batch} pull retries to {id:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The adaptive driver under the same sweep: answers, per-service call
+/// counts *and re-plan decisions* are invariant in the batch size (the
+/// divergence checks run at the same stage boundaries with the same
+/// observed statistics, whatever the batch).
+#[test]
+fn adaptive_batch_sweep_preserves_replans() {
+    for fault_seed in [None, Some(0xAD_A9u64)] {
+        let desc = match fault_seed {
+            None => "healthy".to_string(),
+            Some(s) => format!("seeded faults {s:#x}"),
+        };
+
+        let (wb, plan_b, shared_b) = adaptive_fixture(fault_seed);
+        let mut rp = adaptive_replanner(&wb);
+        let base = run_adaptive_with_batch(
+            &plan_b,
+            &wb.world.schema,
+            &wb.world.registry,
+            shared_b,
+            None,
+            None,
+            &mdq::cost::divergence::AdaptiveConfig::default(),
+            &mut rp,
+            1,
+        )
+        .unwrap_or_else(|e| panic!("{desc}: batch=1 adaptive fails: {e}"));
+        assert!(
+            base.replans >= 1,
+            "{desc}: the mis-estimate forces a re-plan"
+        );
+        let base_answers = sorted(base.report.answers.clone());
+
+        for batch in [2usize, 7, 64] {
+            let (w, plan, shared) = adaptive_fixture(fault_seed);
+            let mut rp = adaptive_replanner(&w);
+            let out = run_adaptive_with_batch(
+                &plan,
+                &w.world.schema,
+                &w.world.registry,
+                shared,
+                None,
+                None,
+                &mdq::cost::divergence::AdaptiveConfig::default(),
+                &mut rp,
+                batch,
+            )
+            .unwrap_or_else(|e| panic!("{desc}: batch={batch} adaptive fails: {e}"));
+            assert_eq!(
+                sorted(out.report.answers.clone()),
+                base_answers,
+                "{desc}: batch={batch} adaptive answers"
+            );
+            assert_eq!(
+                out.replans, base.replans,
+                "{desc}: batch={batch} adaptive replans"
+            );
+            for id in [w.ids.seed, w.ids.parts, w.ids.offers] {
+                assert_eq!(
+                    out.report.calls_to(id),
+                    base.report.calls_to(id),
+                    "{desc}: batch={batch} adaptive calls to {id:?}"
+                );
+                assert_eq!(
+                    out.report.retries_to(id),
+                    base.report.retries_to(id),
+                    "{desc}: batch={batch} adaptive retries to {id:?}"
+                );
+            }
+        }
+    }
+}
+
 /// Early halting never changes *which* answers arrive, only how many
 /// calls are spent: the first k pulled answers are a prefix-equivalent
 /// subset of the materialised answer set.

@@ -116,19 +116,23 @@ fn joins_correct_and_rank_consistent() {
             v.sort_unstable();
             v
         };
-        let ms: Vec<Binding> = MsJoin::new(
-            make_stream(0, 1, &left).into_iter(),
-            make_stream(0, 2, &right).into_iter(),
-            vec![VarId(0)],
-        )
-        .collect();
-        let nl: Vec<Binding> = NlJoin::new(
-            make_stream(0, 1, &left).into_iter(),
-            make_stream(0, 2, &right).into_iter(),
-            vec![VarId(0)],
-            true,
-        )
-        .collect();
+        let ms: Vec<Binding> = drain_all(
+            MsJoin::new(
+                Source(make_stream(0, 1, &left).into_iter()),
+                Source(make_stream(0, 2, &right).into_iter()),
+                vec![VarId(0)],
+            ),
+            DEFAULT_BATCH,
+        );
+        let nl: Vec<Binding> = drain_all(
+            NlJoin::new(
+                Source(make_stream(0, 1, &left).into_iter()),
+                Source(make_stream(0, 2, &right).into_iter()),
+                vec![VarId(0)],
+                true,
+            ),
+            DEFAULT_BATCH,
+        );
         for (name, got) in [("ms", indices_of(&ms)), ("nl", indices_of(&nl))] {
             let mut sorted = got.clone();
             sorted.sort_unstable();
