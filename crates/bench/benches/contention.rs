@@ -114,6 +114,21 @@ fn mean_ns(bench: &Bench, name: &str) -> Option<u128> {
         .map(|r| r.mean_ns)
 }
 
+/// Pre-warms the hot working set so every measured hot fetch is a hit.
+fn warm(world: &TravelWorld, plan: &Plan, shared: &Arc<SharedServiceState>) {
+    let mut g = ServiceGateway::with_shared(
+        plan,
+        &world.schema,
+        &world.registry,
+        Arc::clone(shared),
+        None,
+    )
+    .expect("gateway builds");
+    for slot in 0..HOT_KEYS {
+        g.fetch_page(world.ids.conf, 0, &hot_key(slot), 0);
+    }
+}
+
 fn main() {
     let bench = Bench::from_args();
     let world = travel_world(2008);
@@ -121,21 +136,7 @@ fn main() {
     // unbounded memoizing cache: the sharded layout, no flow limit
     let shared = Arc::new(SharedServiceState::new(CacheSetting::Optimal, 0));
     let fresh = AtomicU64::new(0);
-
-    // pre-warm the hot working set so every measured hot fetch is a hit
-    {
-        let mut g = ServiceGateway::with_shared(
-            &plan,
-            &world.schema,
-            &world.registry,
-            Arc::clone(&shared),
-            None,
-        )
-        .expect("gateway builds");
-        for slot in 0..HOT_KEYS {
-            g.fetch_page(world.ids.conf, 0, &hot_key(slot), 0);
-        }
-    }
+    warm(&world, &plan, &shared);
 
     for workers in [1usize, 2, 4, 8] {
         bench.measure(
@@ -149,6 +150,22 @@ fn main() {
             || run_pass(&world, &plan, &shared, &fresh, workers, false),
         );
     }
+
+    // the same hot-only pass with a span recorder attached: what
+    // *enabling* tracing costs per cache hit. The untraced passes above
+    // run the identical instrumented code with the recorder absent —
+    // their ns-per-hot-fetch gauge is the tracing-disabled overhead
+    // pin, directly comparable against the pre-instrumentation baseline
+    // committed in BENCH_contention.json.
+    let traced_shared = Arc::new(
+        SharedServiceState::new(CacheSetting::Optimal, 0)
+            .with_trace(mdq_exec::prelude::TraceRecorder::new()),
+    );
+    warm(&world, &plan, &traced_shared);
+    bench.measure(
+        &format!("contention/hot-only-traced/{TOTAL_OPS}-ops/1-workers"),
+        || run_pass(&world, &plan, &traced_shared, &fresh, 1, false),
+    );
 
     // speedup of the full workload at 8 workers vs 1 (percent; 800 is
     // ideal latency overlap, ≥200 is the regression floor)
@@ -186,6 +203,18 @@ fn main() {
             (w8.saturating_sub(w1) / fetches) as u64,
             "ns",
         );
+        // tracing-enabled cost relative to the untraced hot path
+        // (percent; 100 = free)
+        if let Some(t1) = mean_ns(
+            &bench,
+            &format!("contention/hot-only-traced/{TOTAL_OPS}-ops/1-workers"),
+        ) {
+            bench.gauge(
+                "contention/tracing-enabled-cost/percent-of-untraced",
+                (t1 * 100 / w1.max(1)) as u64,
+                "percent",
+            );
+        }
     }
 
     bench.write_json("contention");

@@ -17,7 +17,14 @@
 //! that can replace a separate sampling-profiler pass entirely.
 
 use mdq_model::schema::{Schema, ServiceId, ServiceSignature};
+use mdq_obs::histogram::{Histogram, LatencySummary, SERVICE_LATENCY_BOUNDS};
 use std::collections::HashMap;
+
+/// Latency buckets kept inline in [`ObservedService`]: one per
+/// [`SERVICE_LATENCY_BOUNDS`] bound plus the overflow bucket. A fixed
+/// array keeps the observation struct `Copy` — it rides through the
+/// merge-on-read accounting cells by value.
+const LAT_BUCKETS: usize = SERVICE_LATENCY_BOUNDS.len() + 1;
 
 /// Guard against division by (near) zero in symmetric ratios.
 const EPS: f64 = 1e-9;
@@ -38,6 +45,13 @@ pub struct ObservedService {
     pub latency: f64,
     /// Tuples returned by the successful attempts.
     pub tuples: u64,
+    /// Largest single-attempt simulated latency seen.
+    pub max_latency: f64,
+    /// Per-attempt latency bucket counters (bounds:
+    /// [`SERVICE_LATENCY_BOUNDS`], last bucket = overflow) — the
+    /// fixed-bucket histogram `per_service_latency` summaries derive
+    /// from.
+    pub latency_hist: [u64; LAT_BUCKETS],
 }
 
 impl ObservedService {
@@ -75,6 +89,24 @@ impl ObservedService {
         self.faults += other.faults;
         self.latency += other.latency;
         self.tuples += other.tuples;
+        if other.max_latency > self.max_latency {
+            self.max_latency = other.max_latency;
+        }
+        for (a, b) in self.latency_hist.iter_mut().zip(&other.latency_hist) {
+            *a += b;
+        }
+    }
+
+    fn observe_latency(&mut self, latency: f64) {
+        self.latency += latency;
+        if latency > self.max_latency {
+            self.max_latency = latency;
+        }
+        let idx = SERVICE_LATENCY_BOUNDS
+            .iter()
+            .position(|&b| latency <= b)
+            .unwrap_or(SERVICE_LATENCY_BOUNDS.len());
+        self.latency_hist[idx] += 1;
     }
 
     /// Records one successful attempt returning `tuples` tuples in
@@ -83,7 +115,7 @@ impl ObservedService {
         self.calls += 1;
         self.ok_calls += 1;
         self.tuples += tuples as u64;
-        self.latency += latency;
+        self.observe_latency(latency);
     }
 
     /// Records one faulted attempt that consumed `latency` simulated
@@ -91,7 +123,29 @@ impl ObservedService {
     pub fn record_fault(&mut self, latency: f64) {
         self.calls += 1;
         self.faults += 1;
-        self.latency += latency;
+        self.observe_latency(latency);
+    }
+
+    /// The per-attempt latency distribution as a [`Histogram`] over
+    /// [`SERVICE_LATENCY_BOUNDS`].
+    pub fn latency_histogram(&self) -> Histogram {
+        Histogram::from_parts(
+            &SERVICE_LATENCY_BOUNDS,
+            self.latency_hist.to_vec(),
+            self.latency,
+            self.max_latency,
+        )
+    }
+
+    /// Count + mean + max (+ exact total) of the per-attempt latency —
+    /// the histogram-derived summary `per_service_latency` reports.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.calls,
+            total: self.latency,
+            mean: self.mean_latency(),
+            max: self.max_latency,
+        }
     }
 }
 
@@ -264,6 +318,7 @@ mod tests {
             faults: calls - ok,
             latency,
             tuples,
+            ..Default::default()
         }
     }
 

@@ -82,7 +82,7 @@ pub mod prelude {
         ServiceDivergence,
     };
     pub use crate::estimate::{Annotation, CacheSetting, Estimator};
-    pub use crate::explain::explain;
+    pub use crate::explain::{explain, explain_analyze};
     pub use crate::metrics::{
         all_metrics, Bottleneck, CostMetric, ExecutionTime, RequestResponse, SumCost, TimeToScreen,
     };

@@ -45,7 +45,8 @@
 use crate::binding::Binding;
 use crate::gateway::{GatewayHandle, LocalGateway, ServiceGateway, SharedGateway};
 use crate::operator::{
-    compile, drain_all, ExecError, Filter, Invoke, Join, Operator, Select, Source, DEFAULT_BATCH,
+    compile, derive_rows_in, drain_all, ExecError, Filter, Invoke, Join, Operator, Probe, Select,
+    Source, DEFAULT_BATCH,
 };
 use crate::pipeline::{ExecReport, NodeTrace};
 use crate::plan_info::analyze;
@@ -190,13 +191,24 @@ impl Controller {
         if outcome.is_some() {
             self.settled.clear();
             self.replans += 1;
+            let services: Vec<String> = diverged
+                .iter()
+                .map(|d| schema.service(d.service).name.to_string())
+                .collect();
+            let worst_ratio = diverged.iter().fold(1.0, |m, d| d.ratio.max(m));
+            gateway.with(|g| {
+                g.trace_span(
+                    mdq_obs::span::SpanKind::Replan {
+                        services: services.join(","),
+                        worst_ratio,
+                    },
+                    0.0,
+                )
+            });
             self.events.push(ReplanEvent {
                 after_stages: executed.len(),
-                services: diverged
-                    .iter()
-                    .map(|d| schema.service(d.service).name.to_string())
-                    .collect(),
-                worst_ratio: diverged.iter().fold(1.0, |m, d| d.ratio.max(m)),
+                services,
+                worst_ratio,
             });
         }
         self.settled.extend(diverged.iter().map(|d| d.service));
@@ -230,7 +242,14 @@ fn run_invoke_stage(
             false,
             0.0,
         );
-        let out = drain_all(Filter::for_node(plan, info, node, &mut invoke), batch);
+        let out = drain_all(
+            Probe::new(
+                Filter::for_node(plan, info, node, &mut invoke),
+                gateway.clone(),
+                node,
+            ),
+            batch,
+        );
         return (out, invoke.busy());
     }
     // contiguous chunks keep the reassembled output in input order, so
@@ -249,11 +268,18 @@ fn run_invoke_stage(
                         info,
                         node,
                         Source(chunk.into_iter()),
-                        gateway,
+                        gateway.clone(),
                         false,
                         0.0,
                     );
-                    let out = drain_all(Filter::for_node(plan, info, node, &mut invoke), batch);
+                    let out = drain_all(
+                        Probe::new(
+                            Filter::for_node(plan, info, node, &mut invoke),
+                            gateway,
+                            node,
+                        ),
+                        batch,
+                    );
                     (out, invoke.busy())
                 })
             })
@@ -294,6 +320,11 @@ fn run_adaptive_stages(
     let mut plan = plan.clone();
     let mut ctl = Controller::new(*cfg);
     'restart: loop {
+        // per-node statistics describe the plan that finishes — node
+        // indices change across splices, so each pass starts clean
+        // (like `node_trace`; calls/cache/fault accounting still spans
+        // the whole adaptive execution)
+        gateway.with(|g| g.reset_node_stats(plan.nodes.len()));
         let info = analyze(&plan, schema);
         let n = plan.nodes.len();
         let total_invokes = plan
@@ -310,6 +341,7 @@ fn run_adaptive_stages(
             match &node.kind {
                 NodeKind::Input => {
                     streams[i] = vec![Binding::empty(plan.query.var_count())];
+                    gateway.with(|g| g.record_node_output(i, 1, 0));
                     trace[i] = NodeTrace {
                         busy: 0.0,
                         completion: 0.0,
@@ -353,16 +385,20 @@ fn run_adaptive_stages(
                 } => {
                     let (l, r) = (left.0, right.0);
                     let joined = drain_all(
-                        Filter::for_node(
-                            &plan,
-                            &info,
-                            i,
-                            Join::new(
-                                Source(streams[l].iter().cloned()),
-                                Source(streams[r].iter().cloned()),
-                                strategy,
-                                on.clone(),
+                        Probe::new(
+                            Filter::for_node(
+                                &plan,
+                                &info,
+                                i,
+                                Join::new(
+                                    Source(streams[l].iter().cloned()),
+                                    Source(streams[r].iter().cloned()),
+                                    strategy,
+                                    on.clone(),
+                                ),
                             ),
+                            gateway.clone(),
+                            i,
                         ),
                         batch,
                     );
@@ -379,8 +415,11 @@ fn run_adaptive_stages(
                     let filtered =
                         Filter::for_node(&plan, &info, i, Source(streams[up].iter().cloned()));
                     let out: Vec<Binding> = match k {
-                        Some(k) => drain_all(Select::new(filtered, k), batch),
-                        None => drain_all(filtered, batch),
+                        Some(k) => drain_all(
+                            Probe::new(Select::new(filtered, k), gateway.clone(), i),
+                            batch,
+                        ),
+                        None => drain_all(Probe::new(filtered, gateway.clone(), i), batch),
                     };
                     trace[i] = NodeTrace {
                         busy: 0.0,
@@ -399,15 +438,18 @@ fn run_adaptive_stages(
             .iter()
             .map(|b| b.project_head(&plan.query))
             .collect();
-        let (calls, cache_stats, fault_stats, partial, observed) = gateway.with(|g| {
-            (
-                g.calls().clone(),
-                registry.ids().map(|id| (id, g.cache_stats(id))).collect(),
-                g.fault_stats().clone(),
-                g.partial_results(),
-                g.observed_stats().clone(),
-            )
-        });
+        let (calls, cache_stats, fault_stats, partial, observed, mut operator_stats) = gateway
+            .with(|g| {
+                (
+                    g.calls().clone(),
+                    registry.ids().map(|id| (id, g.cache_stats(id))).collect(),
+                    g.fault_stats().clone(),
+                    g.partial_results(),
+                    g.observed_stats().clone(),
+                    g.node_stats().to_vec(),
+                )
+            });
+        derive_rows_in(&plan, &mut operator_stats);
         let report = ExecReport {
             answers,
             bindings,
@@ -417,6 +459,7 @@ fn run_adaptive_stages(
             node_trace: trace,
             fault_stats,
             partial,
+            operator_stats,
         };
         return Ok(AdaptiveOutcome {
             report,
@@ -580,6 +623,11 @@ impl<'a> AdaptiveTopK<'a> {
             self.plan = new_plan;
             let info = analyze(&self.plan, self.schema);
             self.iter = compile(&self.plan, self.schema, &info, &self.gateway, self.elastic);
+            // node indices changed: per-node stats restart under the
+            // spliced plan (the dropped tree's probes flushed into the
+            // old numbering just above, so this wipes them cleanly)
+            self.gateway
+                .with(|g| g.reset_node_stats(self.plan.nodes.len()));
             // the spliced stream replays from the start: skip exactly
             // one instance of every binding already handed out
             self.skip.clear();
@@ -678,5 +726,23 @@ impl<'a> AdaptiveTopK<'a> {
     /// The execution error that poisoned the stream, if any.
     pub fn error(&self) -> Option<ExecError> {
         self.gateway.with(|g| g.error().cloned())
+    }
+
+    /// This execution's span track, when the shared state carries a
+    /// trace recorder.
+    pub fn trace(&self) -> Option<mdq_obs::recorder::QueryTrace> {
+        self.gateway.with(|g| g.trace())
+    }
+
+    /// **Finalizes** the execution and returns the per-node runtime
+    /// statistics of the current (possibly spliced) plan — see
+    /// [`AdaptiveTopK::plan`] for the matching topology. The operator
+    /// tree is dropped so every probe flushes; subsequent pulls return
+    /// no further answers.
+    pub fn operator_stats(&mut self) -> Vec<mdq_obs::span::OperatorStats> {
+        self.iter = Box::new(Source(std::iter::empty()));
+        let mut stats = self.gateway.with(|g| g.node_stats().to_vec());
+        derive_rows_in(&self.plan, &mut stats);
+        stats
     }
 }

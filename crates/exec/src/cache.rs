@@ -99,6 +99,16 @@ impl PageCache {
         self.evictions
     }
 
+    /// Distinct invocation keys currently memoized — the cache's
+    /// occupancy (0 under *no-cache*).
+    pub fn entries(&self) -> usize {
+        match self.setting {
+            CacheSetting::NoCache => 0,
+            CacheSetting::OneCall => self.one_call.len(),
+            CacheSetting::Optimal => self.optimal.len(),
+        }
+    }
+
     fn store_of(&mut self, service: ServiceId, key: &[Value]) -> Option<&PageStore> {
         if self.capacity == 0 {
             return None;

@@ -68,6 +68,9 @@ use mdq_model::fingerprint::SubplanSignature;
 use mdq_model::query::VarId;
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::{Tuple, Value};
+use mdq_obs::histogram::{Histogram, LatencySummary, SERVICE_LATENCY_BOUNDS};
+use mdq_obs::recorder::{QueryTrace, TraceRecorder};
+use mdq_obs::span::{OperatorStats, SpanKind};
 use mdq_plan::dag::Plan;
 use mdq_services::registry::ServiceRegistry;
 use mdq_services::service::{Service, ServiceFault};
@@ -496,6 +499,24 @@ pub struct SharedServiceState {
     retry: RetryPolicy,
     /// Per-service retry-policy overrides (immutable after build).
     retry_overrides: HashMap<ServiceId, RetryPolicy>,
+    /// Span-trace recorder, when attached: every gateway built over
+    /// this state then registers its own track (per-worker buffer) and
+    /// records typed spans. `None` (the default) keeps the hot path at
+    /// a single branch per record site.
+    trace: Mutex<Option<Arc<TraceRecorder>>>,
+}
+
+/// Occupancy and eviction counters of one independently locked page
+/// shard — shard-skew made observable after the cache split.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageShardStats {
+    /// Distinct invocation keys memoized in this shard.
+    pub entries: u64,
+    /// Invocation entries this shard dropped to respect the capacity
+    /// bound.
+    pub evictions: u64,
+    /// Pages this shard memoizes as permanently degraded.
+    pub failed_pages: u64,
 }
 
 impl std::fmt::Debug for SharedServiceState {
@@ -529,7 +550,26 @@ impl SharedServiceState {
             per_service_limit,
             retry: RetryPolicy::default(),
             retry_overrides: HashMap::new(),
+            trace: Mutex::new(None),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a span-trace recorder.
+    /// Callable after sharing: gateways built from then on register a
+    /// track and record spans; existing gateways are unaffected.
+    pub fn set_trace(&self, recorder: Option<Arc<TraceRecorder>>) {
+        *self.trace.lock().expect("trace slot lock") = recorder;
+    }
+
+    /// Builder-style [`SharedServiceState::set_trace`].
+    pub fn with_trace(self, recorder: Arc<TraceRecorder>) -> Self {
+        self.set_trace(Some(recorder));
+        self
+    }
+
+    /// The attached span-trace recorder, if any.
+    pub fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.trace.lock().expect("trace slot lock").clone()
     }
 
     /// Bounds the shared page cache to `capacity` distinct invocation
@@ -718,6 +758,47 @@ impl SharedServiceState {
             .observed
             .iter()
             .map(|(id, o)| (*id, o.latency))
+            .collect()
+    }
+
+    /// Count + mean + max (and exact total) of the per-attempt
+    /// simulated latency, per service — derived from the observations'
+    /// fixed-bucket histograms, and reconciling the same way as
+    /// [`SharedServiceState::per_service_latency`]:
+    /// `Σ total == total_latency` exactly.
+    pub fn per_service_latency_summary(&self) -> HashMap<ServiceId, LatencySummary> {
+        self.acct
+            .merged()
+            .observed
+            .iter()
+            .map(|(id, o)| (*id, o.latency_summary()))
+            .collect()
+    }
+
+    /// The per-attempt simulated-latency distribution across every
+    /// service, as one fixed-bucket [`Histogram`].
+    pub fn service_latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new(&SERVICE_LATENCY_BOUNDS);
+        for o in self.acct.merged().observed.values() {
+            h.merge(&o.latency_histogram());
+        }
+        h
+    }
+
+    /// Occupancy, eviction and failed-page counters of every page
+    /// shard, in shard order — the per-shard view behind the global
+    /// [`SharedServiceState::page_cache_evictions`] sum.
+    pub fn page_shard_stats(&self) -> Vec<PageShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let inner = s.inner.lock().expect("page shard lock");
+                PageShardStats {
+                    entries: inner.cache.entries() as u64,
+                    evictions: inner.cache.evictions(),
+                    failed_pages: inner.failed.len() as u64,
+                }
+            })
             .collect()
     }
 
@@ -910,6 +991,15 @@ pub struct ServiceGateway {
     /// fault observed (ordered, so partial results report stably).
     degraded: BTreeSet<ServiceId>,
     last_faults: HashMap<ServiceId, ServiceFault>,
+    /// This execution's span track, when the shared state has a
+    /// recorder attached (`None` costs one branch per record site).
+    trace: Option<QueryTrace>,
+    /// Per-plan-node runtime statistics (EXPLAIN ANALYZE): fetch-side
+    /// fields accumulate here, attributed to [`Self::active_node`];
+    /// row/batch fields are flushed in by the operators.
+    node_stats: Vec<OperatorStats>,
+    /// The plan node whose fetches the gateway is currently serving.
+    active_node: Option<usize>,
 }
 
 impl std::fmt::Debug for ServiceGateway {
@@ -968,6 +1058,7 @@ impl ServiceGateway {
             services.insert(svc_id, Arc::clone(service));
         }
         let acct = shared.register_cell();
+        let trace = shared.trace_recorder().map(|r| r.register("query"));
         Ok(ServiceGateway {
             services,
             shared,
@@ -981,6 +1072,9 @@ impl ServiceGateway {
             observed: HashMap::new(),
             degraded: BTreeSet::new(),
             last_faults: HashMap::new(),
+            trace,
+            node_stats: vec![OperatorStats::default(); plan.nodes.len()],
+            active_node: None,
         })
     }
 
@@ -1023,6 +1117,9 @@ impl ServiceGateway {
         let guard = loop {
             match inner.cache.lookup(id, key, page) {
                 PageLookup::Hit(tuples, has_more) => {
+                    drop(inner);
+                    drop(slot);
+                    self.note_cached(id, 1);
                     return PageFetch {
                         tuples,
                         has_more,
@@ -1041,6 +1138,11 @@ impl ServiceGateway {
                 drop(inner);
                 drop(slot);
                 self.note_degraded(id, fault.clone());
+                if let Some(t) = &self.trace {
+                    t.instant(SpanKind::DegradedPage {
+                        service: self.service_label(id),
+                    });
+                }
                 return PageFetch::failed(fault, None);
             }
             // another execution is fetching this very page: wait for it,
@@ -1112,6 +1214,21 @@ impl ServiceGateway {
                         .entry(id)
                         .or_default()
                         .record_ok(r.tuples.len(), r.latency);
+                    if let Some(ns) = self.node_acc() {
+                        ns.calls += 1;
+                        ns.sim_seconds += r.latency;
+                    }
+                    if let Some(t) = &self.trace {
+                        t.record(
+                            SpanKind::ServiceCall {
+                                service: self.service_label(id),
+                                page: u64::from(page),
+                                tuples: r.tuples.len() as u64,
+                                ok: true,
+                            },
+                            r.latency,
+                        );
+                    }
                     return PageFetch {
                         tuples: r.tuples,
                         has_more: r.has_more,
@@ -1151,6 +1268,33 @@ impl ServiceGateway {
                         local.exhausted += 1;
                         None
                     };
+                    if let Some(ns) = self.node_acc() {
+                        ns.calls += 1;
+                        ns.sim_seconds += fault_latency;
+                        if let Some(w) = wait {
+                            ns.retries += 1;
+                            ns.sim_seconds += w;
+                        }
+                    }
+                    if let Some(t) = &self.trace {
+                        t.record(
+                            SpanKind::ServiceCall {
+                                service: self.service_label(id),
+                                page: u64::from(page),
+                                tuples: 0,
+                                ok: false,
+                            },
+                            fault_latency,
+                        );
+                        if let Some(w) = wait {
+                            t.record(
+                                SpanKind::Retry {
+                                    service: self.service_label(id),
+                                },
+                                w,
+                            );
+                        }
+                    }
                     self.acct.record_fault(id, &fault, fault_latency);
                     match wait {
                         Some(wait) => self.acct.record_retry(id, wait),
@@ -1208,6 +1352,8 @@ impl ServiceGateway {
     ) {
         let end = first_page.saturating_add(max_pages.min(u32::MAX as usize) as u32);
         let mut page = first_page;
+        let mut served: u64 = 0;
+        let mut stop = false;
         {
             let shared = Arc::clone(&self.shared);
             let shard = &shared.shards[shared.shard_idx(id, key)];
@@ -1223,19 +1369,25 @@ impl ServiceGateway {
                             fault: None,
                         });
                         page += 1;
+                        served += 1;
                         if last {
-                            return;
+                            stop = true;
+                            break;
                         }
                     }
                     PageLookup::PastEnd => {
                         out.push(PageFetch::empty());
-                        return;
+                        stop = true;
+                        break;
                     }
                     PageLookup::Unknown => break,
                 }
             }
         }
-        if page > first_page || page >= end {
+        if served > 0 {
+            self.note_cached(id, served);
+        }
+        if stop || page > first_page || page >= end {
             // served at least one cached page (or exhausted the run):
             // the next uncached page is *not* forwarded speculatively
             return;
@@ -1247,6 +1399,99 @@ impl ServiceGateway {
     fn note_degraded(&mut self, id: ServiceId, fault: ServiceFault) {
         self.degraded.insert(id);
         self.last_faults.insert(id, fault);
+    }
+
+    /// The service's display name for span labels.
+    fn service_label(&self, id: ServiceId) -> String {
+        self.services
+            .get(&id)
+            .map(|s| s.name().to_string())
+            .unwrap_or_else(|| format!("service#{}", id.0))
+    }
+
+    /// The fetch-side stats slot of the active node, if one is set.
+    fn node_acc(&mut self) -> Option<&mut OperatorStats> {
+        self.active_node.and_then(|n| self.node_stats.get_mut(n))
+    }
+
+    /// Records `pages` pages served from the shared cache to the
+    /// active node.
+    fn note_cached(&mut self, id: ServiceId, pages: u64) {
+        if let Some(ns) = self.node_acc() {
+            ns.cached_pages += pages;
+        }
+        if let Some(t) = &self.trace {
+            t.instant(SpanKind::CachedPages {
+                service: self.service_label(id),
+                pages,
+            });
+        }
+    }
+
+    /// This execution's span track, when the shared state is traced.
+    /// Drivers clone it to record driver-level spans (re-plan splices,
+    /// sub-result replays, query start/done) onto the same track the
+    /// gateway's call spans land on.
+    pub fn trace(&self) -> Option<QueryTrace> {
+        self.trace.clone()
+    }
+
+    /// Records a span of `dur` accounted seconds on this execution's
+    /// track; a no-op when untraced.
+    pub fn trace_span(&self, kind: SpanKind, dur: f64) {
+        if let Some(t) = &self.trace {
+            t.record(kind, dur);
+        }
+    }
+
+    /// Declares which plan node the following fetches belong to —
+    /// the invoke operators bracket their page runs with this so
+    /// call/retry/latency accounting lands on the right
+    /// [`OperatorStats`] row.
+    pub fn set_active_node(&mut self, node: Option<usize>) {
+        self.active_node = node;
+    }
+
+    /// Per-plan-node runtime statistics collected so far (EXPLAIN
+    /// ANALYZE's observed side). Indexed by plan node; `rows_in` is
+    /// left to the renderer (derived from the plan topology).
+    pub fn node_stats(&self) -> &[OperatorStats] {
+        &self.node_stats
+    }
+
+    /// Flushes one operator hop into the node's stats: `rows` bindings
+    /// produced over `batches` batched hops (a per-binding pull passes
+    /// `batches = 0`). Traced executions also get an `operator_batch`
+    /// instant per batched hop.
+    pub fn record_node_output(&mut self, node: usize, rows: u64, batches: u64) {
+        if let Some(ns) = self.node_stats.get_mut(node) {
+            ns.rows_out += rows;
+            ns.batches += batches;
+        }
+        if batches > 0 {
+            if let Some(t) = &self.trace {
+                t.instant(SpanKind::OperatorBatch {
+                    node: node as u64,
+                    rows,
+                });
+            }
+        }
+    }
+
+    /// Records `rows` bindings replayed into `node` from the
+    /// sub-result store.
+    pub fn record_node_replay(&mut self, node: usize, rows: u64) {
+        if let Some(ns) = self.node_stats.get_mut(node) {
+            ns.sub_result_rows += rows;
+        }
+    }
+
+    /// Resets the per-node statistics for a plan of `nodes` nodes —
+    /// the adaptive drivers call this when they splice in a re-planned
+    /// suffix, so the stats always describe the plan that finished.
+    pub fn reset_node_stats(&mut self, nodes: usize) {
+        self.node_stats = vec![OperatorStats::default(); nodes];
+        self.active_node = None;
     }
 
     /// Records one invocation-level cache hit or miss for `id`, both in

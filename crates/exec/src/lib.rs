@@ -79,13 +79,14 @@ pub mod prelude {
     pub use crate::binding::Binding;
     pub use crate::cache::{CacheSetting, CacheStats, PageCache, PageLookup, PageStore};
     pub use crate::gateway::{
-        DegradedService, FaultStats, GatewayHandle, LocalGateway, PageFetch, PartialResults,
-        RetryPolicy, ServiceGateway, SharedGateway, SharedServiceState, SubResultStats,
+        DegradedService, FaultStats, GatewayHandle, LocalGateway, PageFetch, PageShardStats,
+        PartialResults, RetryPolicy, ServiceGateway, SharedGateway, SharedServiceState,
+        SubResultStats,
     };
     pub use crate::joins::{MsJoin, NlJoin};
     pub use crate::operator::{
-        compile, compile_with, drain_all, drain_into, Batch, Filter, Invoke, Join, Operator,
-        Select, Source, DEFAULT_BATCH,
+        compile, compile_with, derive_rows_in, drain_all, drain_into, Batch, Filter, Invoke, Join,
+        Operator, Probe, Select, Source, DEFAULT_BATCH,
     };
     pub use crate::pipeline::{
         run, run_with_batch, run_with_shared, ExecConfig, ExecError, ExecReport, NodeTrace,
@@ -93,8 +94,11 @@ pub mod prelude {
     pub use crate::plan_info::{analyze, PlanInfo};
     pub use crate::results::result_table;
     pub use crate::threaded::{
-        run_parallel_dispatch, run_parallel_dispatch_with_batch, run_threaded,
+        run_parallel_dispatch, run_parallel_dispatch_with_batch, run_threaded, run_threaded_shared,
         run_threaded_with_batch, ParallelConfig, ThreadedConfig, ThreadedReport,
     };
     pub use crate::topk::TopKExecution;
+    pub use mdq_obs::recorder::{QueryTrace, TraceRecorder};
+    pub use mdq_obs::span::{OperatorStats, SpanKind, TraceEvent};
+    pub use mdq_obs::{chrome_trace_json, jsonl, Histogram, LatencySummary};
 }

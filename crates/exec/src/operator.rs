@@ -190,6 +190,11 @@ struct CurrentInput {
 pub struct Invoke<I, G> {
     upstream: I,
     gateway: G,
+    /// Plan node this operator executes — declared as the gateway's
+    /// active node around page runs so fetch-side statistics (calls,
+    /// retries, cached pages, simulated seconds) land on the right
+    /// EXPLAIN ANALYZE row.
+    node: usize,
     svc_id: ServiceId,
     service_name: String,
     pattern: usize,
@@ -242,6 +247,7 @@ where
         Invoke {
             upstream,
             gateway,
+            node,
             svc_id,
             service_name: schema.service(svc_id).name.to_string(),
             pattern: info.pattern_of_node[node],
@@ -314,12 +320,16 @@ where
                     };
                     let svc = self.svc_id;
                     let pattern = self.pattern;
+                    let node = self.node;
                     self.page_buf.clear();
                     {
                         let key = &cur.key;
                         let buf = &mut self.page_buf;
-                        self.gateway
-                            .with(|g| g.fetch_page_run(svc, pattern, key, first, want, buf));
+                        self.gateway.with(|g| {
+                            g.set_active_node(Some(node));
+                            g.fetch_page_run(svc, pattern, key, first, want, buf);
+                            g.set_active_node(None);
+                        });
                     }
                     for fetch in self.page_buf.drain(..) {
                         cur.next_page += 1;
@@ -523,6 +533,103 @@ impl<I: Operator> Operator for Select<I> {
     }
 }
 
+/// A transparent per-node statistics probe: counts the bindings and
+/// batched hops flowing out of one plan node into the gateway's
+/// [`OperatorStats`](mdq_obs::span::OperatorStats) — the observed
+/// side of EXPLAIN ANALYZE.
+///
+/// The probe is demand-exact by construction (1:1 passthrough) and
+/// keeps the hot path lock-free: counts accumulate locally and flush
+/// through the gateway only on stream exhaustion and on drop (which
+/// covers top-k early halting — the driver drops the operator tree
+/// before reading the stats). Traced executions flush per batched hop
+/// instead, so every hop lands as one `operator_batch` instant on the
+/// execution's track.
+pub struct Probe<I, G: GatewayHandle> {
+    inner: I,
+    gateway: G,
+    node: usize,
+    traced: bool,
+    rows: u64,
+    batches: u64,
+}
+
+impl<I: Operator, G: GatewayHandle> Probe<I, G> {
+    /// Probes the output stream of plan node `node`.
+    pub fn new(inner: I, gateway: G, node: usize) -> Self {
+        let traced = gateway.with(|g| g.trace().is_some());
+        Probe {
+            inner,
+            gateway,
+            node,
+            traced,
+            rows: 0,
+            batches: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.rows != 0 || self.batches != 0 {
+            let (node, rows, batches) = (self.node, self.rows, self.batches);
+            self.gateway
+                .with(|g| g.record_node_output(node, rows, batches));
+            self.rows = 0;
+            self.batches = 0;
+        }
+    }
+}
+
+impl<I: Operator, G: GatewayHandle> Operator for Probe<I, G> {
+    fn next_binding(&mut self) -> Option<Binding> {
+        match self.inner.next_binding() {
+            Some(b) => {
+                self.rows += 1;
+                Some(b)
+            }
+            None => {
+                self.flush();
+                None
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Batch) -> usize {
+        let got = self.inner.next_batch(max, out);
+        self.rows += got as u64;
+        self.batches += 1;
+        if self.traced || got < max {
+            self.flush();
+        }
+        got
+    }
+}
+
+impl<I, G: GatewayHandle> Drop for Probe<I, G> {
+    fn drop(&mut self) {
+        if self.rows != 0 || self.batches != 0 {
+            let (node, rows, batches) = (self.node, self.rows, self.batches);
+            self.gateway
+                .with(|g| g.record_node_output(node, rows, batches));
+        }
+    }
+}
+
+/// Fills the topology-derived `rows_in` of every stats row: the sum of
+/// the node's input rows (`rows_out` of its plan inputs). Drivers call
+/// this once, after execution, before attaching the stats to a report.
+pub fn derive_rows_in(plan: &Plan, stats: &mut [mdq_obs::span::OperatorStats]) {
+    for (i, node) in plan.nodes.iter().enumerate() {
+        let rows_in = node
+            .inputs
+            .iter()
+            .map(|inp| stats.get(inp.0).map(|s| s.rows_out).unwrap_or(0))
+            .sum();
+        if let Some(s) = stats.get_mut(i) {
+            s.rows_in = rows_in;
+        }
+    }
+}
+
 /// A lazily materialised shared node: the single execution of a plan
 /// node with more than one consumer.
 struct SharedNode {
@@ -703,86 +810,91 @@ fn compile_raw<G: GatewayHandle + 'static>(
     override_op: &mut Option<(usize, Box<dyn Operator>)>,
     node: usize,
 ) -> Box<dyn Operator> {
-    if override_op.as_ref().is_some_and(|(n, _)| *n == node) {
+    let op: Box<dyn Operator> = if override_op.as_ref().is_some_and(|(n, _)| *n == node) {
         // the subtree at this node is already accounted for (replayed
         // or eagerly materialized): stand its stream in, compile nothing
         // beneath it
-        return override_op.take().expect("checked above").1;
-    }
-    match &plan.nodes[node].kind {
-        NodeKind::Input => Box::new(Source(std::iter::once(Binding::empty(
-            plan.query.var_count(),
-        )))),
-        NodeKind::Output => {
-            let up = plan.nodes[node].inputs[0].0;
-            let inner = compile_node(
-                plan,
-                schema,
-                info,
-                gateway,
-                elastic,
-                consumers,
-                shared,
-                override_op,
-                up,
-            );
-            Box::new(Filter::for_node(plan, info, node, inner))
+        override_op.take().expect("checked above").1
+    } else {
+        match &plan.nodes[node].kind {
+            NodeKind::Input => Box::new(Source(std::iter::once(Binding::empty(
+                plan.query.var_count(),
+            )))),
+            NodeKind::Output => {
+                let up = plan.nodes[node].inputs[0].0;
+                let inner = compile_node(
+                    plan,
+                    schema,
+                    info,
+                    gateway,
+                    elastic,
+                    consumers,
+                    shared,
+                    override_op,
+                    up,
+                );
+                Box::new(Filter::for_node(plan, info, node, inner))
+            }
+            NodeKind::Invoke { .. } => {
+                let up = plan.nodes[node].inputs[0].0;
+                let upstream = compile_node(
+                    plan,
+                    schema,
+                    info,
+                    gateway,
+                    elastic,
+                    consumers,
+                    shared,
+                    override_op,
+                    up,
+                );
+                let invoke = Invoke::for_node(
+                    plan,
+                    schema,
+                    info,
+                    node,
+                    upstream,
+                    gateway.clone(),
+                    elastic,
+                    0.0,
+                );
+                Box::new(Filter::for_node(plan, info, node, invoke))
+            }
+            NodeKind::Join {
+                left,
+                right,
+                strategy,
+                on,
+            } => {
+                let l = compile_node(
+                    plan,
+                    schema,
+                    info,
+                    gateway,
+                    elastic,
+                    consumers,
+                    shared,
+                    override_op,
+                    left.0,
+                );
+                let r = compile_node(
+                    plan,
+                    schema,
+                    info,
+                    gateway,
+                    elastic,
+                    consumers,
+                    shared,
+                    override_op,
+                    right.0,
+                );
+                let joined = Join::new(l, r, strategy, on.clone());
+                Box::new(Filter::for_node(plan, info, node, joined))
+            }
         }
-        NodeKind::Invoke { .. } => {
-            let up = plan.nodes[node].inputs[0].0;
-            let upstream = compile_node(
-                plan,
-                schema,
-                info,
-                gateway,
-                elastic,
-                consumers,
-                shared,
-                override_op,
-                up,
-            );
-            let invoke = Invoke::for_node(
-                plan,
-                schema,
-                info,
-                node,
-                upstream,
-                gateway.clone(),
-                elastic,
-                0.0,
-            );
-            Box::new(Filter::for_node(plan, info, node, invoke))
-        }
-        NodeKind::Join {
-            left,
-            right,
-            strategy,
-            on,
-        } => {
-            let l = compile_node(
-                plan,
-                schema,
-                info,
-                gateway,
-                elastic,
-                consumers,
-                shared,
-                override_op,
-                left.0,
-            );
-            let r = compile_node(
-                plan,
-                schema,
-                info,
-                gateway,
-                elastic,
-                consumers,
-                shared,
-                override_op,
-                right.0,
-            );
-            let joined = Join::new(l, r, strategy, on.clone());
-            Box::new(Filter::for_node(plan, info, node, joined))
-        }
-    }
+    };
+    // every node's output stream passes through a statistics probe, the
+    // override stand-in included — so a replayed prefix's rows still
+    // show up as the node's `rows_out`
+    Box::new(Probe::new(op, gateway.clone(), node))
 }

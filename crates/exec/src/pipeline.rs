@@ -23,11 +23,14 @@ use crate::cache::{CacheSetting, CacheStats};
 use crate::gateway::{
     FaultStats, GatewayHandle, LocalGateway, PartialResults, ServiceGateway, SharedServiceState,
 };
-use crate::operator::{drain_all, Filter, Invoke, Join, Select, Source, DEFAULT_BATCH};
+use crate::operator::{
+    derive_rows_in, drain_all, Filter, Invoke, Join, Probe, Select, Source, DEFAULT_BATCH,
+};
 use crate::plan_info::analyze;
 use mdq_model::rng::Rng;
 use mdq_model::schema::{Schema, ServiceId};
 use mdq_model::value::Tuple;
+use mdq_obs::span::OperatorStats;
 use mdq_plan::dag::{NodeKind, Plan};
 use mdq_services::registry::ServiceRegistry;
 use std::collections::HashMap;
@@ -82,6 +85,9 @@ pub struct ExecReport {
     pub cache_stats: HashMap<ServiceId, CacheStats>,
     /// Per-node trace, indexed like `plan.nodes`.
     pub node_trace: Vec<NodeTrace>,
+    /// Per-node runtime statistics (EXPLAIN ANALYZE's observed side),
+    /// indexed like `plan.nodes`.
+    pub operator_stats: Vec<OperatorStats>,
     /// Fault accounting per service (empty with healthy services).
     pub fault_stats: HashMap<ServiceId, FaultStats>,
     /// `Some` when at least one service degraded: the answers are valid
@@ -153,6 +159,7 @@ pub(crate) fn run_materialised(
         match &node.kind {
             NodeKind::Input => {
                 streams[i] = vec![Binding::empty(plan.query.var_count())];
+                gateway.with(|g| g.record_node_output(i, 1, 0));
                 trace[i] = NodeTrace {
                     busy: 0.0,
                     completion: 0.0,
@@ -177,8 +184,14 @@ pub(crate) fn run_materialised(
                     false,
                     0.0,
                 );
-                let out: Vec<Binding> =
-                    drain_all(Filter::for_node(plan, &info, i, &mut invoke), batch);
+                let out: Vec<Binding> = drain_all(
+                    Probe::new(
+                        Filter::for_node(plan, &info, i, &mut invoke),
+                        gateway.clone(),
+                        i,
+                    ),
+                    batch,
+                );
                 if let Some(err) = gateway.with(|g| g.take_error()) {
                     return Err(err);
                 }
@@ -212,16 +225,20 @@ pub(crate) fn run_materialised(
             } => {
                 let (l, r) = (left.0, right.0);
                 let joined: Vec<Binding> = drain_all(
-                    Filter::for_node(
-                        plan,
-                        &info,
-                        i,
-                        Join::new(
-                            Source(streams[l].iter().cloned()),
-                            Source(streams[r].iter().cloned()),
-                            strategy,
-                            on.clone(),
+                    Probe::new(
+                        Filter::for_node(
+                            plan,
+                            &info,
+                            i,
+                            Join::new(
+                                Source(streams[l].iter().cloned()),
+                                Source(streams[r].iter().cloned()),
+                                strategy,
+                                on.clone(),
+                            ),
                         ),
+                        gateway.clone(),
+                        i,
                     ),
                     batch,
                 );
@@ -238,8 +255,11 @@ pub(crate) fn run_materialised(
                 let filtered =
                     Filter::for_node(plan, &info, i, Source(streams[up].iter().cloned()));
                 let out: Vec<Binding> = match k {
-                    Some(k) => drain_all(Select::new(filtered, k), batch),
-                    None => drain_all(filtered, batch),
+                    Some(k) => drain_all(
+                        Probe::new(Select::new(filtered, k), gateway.clone(), i),
+                        batch,
+                    ),
+                    None => drain_all(Probe::new(filtered, gateway.clone(), i), batch),
                 };
                 trace[i] = NodeTrace {
                     busy: 0.0,
@@ -258,14 +278,16 @@ pub(crate) fn run_materialised(
         .iter()
         .map(|b| b.project_head(&plan.query))
         .collect();
-    let (calls, cache_stats, fault_stats, partial) = gateway.with(|g| {
+    let (calls, cache_stats, fault_stats, partial, mut operator_stats) = gateway.with(|g| {
         (
             g.calls().clone(),
             registry.ids().map(|id| (id, g.cache_stats(id))).collect(),
             g.fault_stats().clone(),
             g.partial_results(),
+            g.node_stats().to_vec(),
         )
     });
+    derive_rows_in(plan, &mut operator_stats);
     Ok(ExecReport {
         answers,
         bindings,
@@ -275,6 +297,7 @@ pub(crate) fn run_materialised(
         node_trace: trace,
         fault_stats,
         partial,
+        operator_stats,
     })
 }
 

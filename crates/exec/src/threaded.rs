@@ -23,11 +23,16 @@
 
 use crate::binding::Binding;
 use crate::cache::CacheSetting;
-use crate::gateway::{FaultStats, GatewayHandle, PartialResults, ServiceGateway, SharedGateway};
-use crate::operator::{Batch, ExecError, Filter, Invoke, Join, Operator, DEFAULT_BATCH};
+use crate::gateway::{
+    FaultStats, GatewayHandle, PartialResults, ServiceGateway, SharedGateway, SharedServiceState,
+};
+use crate::operator::{
+    derive_rows_in, Batch, ExecError, Filter, Invoke, Join, Operator, Probe, DEFAULT_BATCH,
+};
 use crate::pipeline::{run_materialised, ExecReport, StageModel};
 use crate::plan_info::analyze;
 use mdq_model::schema::{Schema, ServiceId};
+use mdq_obs::span::OperatorStats;
 use mdq_plan::dag::{NodeKind, Plan};
 use mdq_services::registry::ServiceRegistry;
 use std::collections::HashMap;
@@ -136,6 +141,9 @@ pub struct ThreadedReport {
     pub fault_stats: HashMap<ServiceId, FaultStats>,
     /// `Some` when at least one service degraded during the run.
     pub partial: Option<PartialResults>,
+    /// Per-node runtime statistics (EXPLAIN ANALYZE's observed side),
+    /// indexed like `plan.nodes`.
+    pub operator_stats: Vec<OperatorStats>,
 }
 
 impl ThreadedReport {
@@ -199,9 +207,48 @@ pub fn run_threaded_with_batch(
     config: &ThreadedConfig,
     batch: usize,
 ) -> Result<ThreadedReport, ExecError> {
+    run_threaded_over(
+        plan,
+        schema,
+        ServiceGateway::new(plan, schema, registry, config.cache)?,
+        config,
+        batch,
+    )
+}
+
+/// [`run_threaded`] over an existing (typically `Arc`-shared,
+/// cross-query) [`SharedServiceState`], with an optional per-query
+/// forwarded-call budget — the serving-layer entry point, and the way
+/// to run the dataflow engine under an attached trace recorder (the
+/// state's cache setting governs; `config.cache` is ignored).
+pub fn run_threaded_shared(
+    plan: &Plan,
+    schema: &Schema,
+    registry: &ServiceRegistry,
+    shared: Arc<SharedServiceState>,
+    budget: Option<u64>,
+    config: &ThreadedConfig,
+) -> Result<ThreadedReport, ExecError> {
+    run_threaded_over(
+        plan,
+        schema,
+        ServiceGateway::with_shared(plan, schema, registry, shared, budget)?,
+        config,
+        DEFAULT_BATCH,
+    )
+}
+
+/// The dataflow engine shared by the entry points above.
+fn run_threaded_over(
+    plan: &Plan,
+    schema: &Schema,
+    gateway: ServiceGateway,
+    config: &ThreadedConfig,
+    batch: usize,
+) -> Result<ThreadedReport, ExecError> {
     let batch = batch.max(1);
     let info = Arc::new(analyze(plan, schema));
-    let gateway = SharedGateway::new(ServiceGateway::new(plan, schema, registry, config.cache)?);
+    let gateway = SharedGateway::new(gateway);
     let n = plan.nodes.len();
 
     // one sender per (producer, consumer) edge; build consumer-side recvs
@@ -261,11 +308,16 @@ pub fn run_threaded_with_batch(
                 };
                 match &node.kind {
                     NodeKind::Input => {
+                        gateway.with(|g| g.record_node_output(i, 1, 0));
                         send_all(Binding::empty(query.var_count()));
                     }
                     NodeKind::Output => {
                         let rx = my_receivers.pop().expect("output has one input");
-                        let mut stream = Filter::for_node(plan_ref, &info, i, ChannelStream { rx });
+                        let mut stream = Probe::new(
+                            Filter::for_node(plan_ref, &info, i, ChannelStream { rx }),
+                            gateway.clone(),
+                            i,
+                        );
                         forward(&mut stream);
                     }
                     NodeKind::Invoke { .. } => {
@@ -276,11 +328,15 @@ pub fn run_threaded_with_batch(
                             &info,
                             i,
                             ChannelStream { rx },
-                            gateway,
+                            gateway.clone(),
                             false,
                             time_scale,
                         );
-                        let mut stream = Filter::for_node(plan_ref, &info, i, invoke);
+                        let mut stream = Probe::new(
+                            Filter::for_node(plan_ref, &info, i, invoke),
+                            gateway.clone(),
+                            i,
+                        );
                         forward(&mut stream);
                     }
                     NodeKind::Join { strategy, on, .. } => {
@@ -292,7 +348,11 @@ pub fn run_threaded_with_batch(
                             strategy,
                             on.clone(),
                         );
-                        let mut stream = Filter::for_node(plan_ref, &info, i, joined);
+                        let mut stream = Probe::new(
+                            Filter::for_node(plan_ref, &info, i, joined),
+                            gateway.clone(),
+                            i,
+                        );
                         forward(&mut stream);
                     }
                 }
@@ -314,14 +374,16 @@ pub fn run_threaded_with_batch(
         answers
     });
     let elapsed = started.elapsed().as_secs_f64();
-    let (calls, error, fault_stats, partial) = gateway.with(|g| {
+    let (calls, error, fault_stats, partial, mut operator_stats) = gateway.with(|g| {
         (
             g.calls().clone(),
             g.take_error(),
             g.fault_stats().clone(),
             g.partial_results(),
+            g.node_stats().to_vec(),
         )
     });
+    derive_rows_in(plan, &mut operator_stats);
     if let Some(err) = error {
         return Err(err);
     }
@@ -331,6 +393,7 @@ pub fn run_threaded_with_batch(
         calls,
         fault_stats,
         partial,
+        operator_stats,
     })
 }
 

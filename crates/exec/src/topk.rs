@@ -124,11 +124,13 @@ fn prepare_shared_prefix(
     let mut hits = 0u64;
     let mut base_cost = 0u64;
     let mut level = 0usize;
+    let mut replayed_rows = 0u64;
     let mut base: Box<dyn Operator> = match replay {
         Some(entry) => {
             hits = 1;
             base_cost = entry.cost_calls;
             level = entry.level;
+            replayed_rows = entry.rows.len() as u64;
             let sub_vars = prefixes[entry.level - 1].vars.clone();
             let rows = entry.rows;
             if entry.nvars == nvars && entry.vars.as_ref() == sub_vars.as_slice() {
@@ -147,6 +149,20 @@ fn prepare_shared_prefix(
         }
         None => Box::new(Source(std::iter::once(Binding::empty(nvars)))),
     };
+    if hits > 0 {
+        let node = prefixes[level - 1].node;
+        gateway.with(|g| {
+            g.record_node_replay(node, replayed_rows);
+            g.trace_span(
+                mdq_obs::span::SpanKind::SubResultReplay {
+                    level: level as u64,
+                    rows: replayed_rows,
+                    calls_saved: base_cost,
+                },
+                0.0,
+            );
+        });
+    }
 
     let mut claims = SubClaims {
         shared: Arc::clone(&shared),
@@ -173,6 +189,15 @@ fn prepare_shared_prefix(
                 cost,
             );
             claims.mark_published(sigs[lvl - 1]);
+            gateway.with(|g| {
+                g.trace_span(
+                    mdq_obs::span::SpanKind::SubResultMaterialize {
+                        level: lvl as u64,
+                        rows: drained.len() as u64,
+                    },
+                    0.0,
+                )
+            });
         }
         base = Box::new(Source(drained.into_iter()));
         level = lvl;
@@ -356,6 +381,26 @@ impl TopKExecution {
     /// [`SubResultStats::calls_saved`](crate::gateway::SubResultStats).
     pub fn sub_result_calls_saved(&self) -> u64 {
         self.sub_calls_saved
+    }
+
+    /// This execution's span track, when the shared state carries a
+    /// trace recorder. The serving layer records `query_start` /
+    /// `query_done` correlation events here.
+    pub fn trace(&self) -> Option<mdq_obs::recorder::QueryTrace> {
+        self.gateway.with(|g| g.trace())
+    }
+
+    /// **Finalizes** the execution and returns its per-node runtime
+    /// statistics (EXPLAIN ANALYZE's observed side) for `plan` — which
+    /// must be the plan this execution was prepared from. The operator
+    /// tree is dropped so every probe flushes its counts (this is what
+    /// makes the numbers exact under top-k early halting); subsequent
+    /// pulls return no further answers.
+    pub fn operator_stats(&mut self, plan: &Plan) -> Vec<mdq_obs::span::OperatorStats> {
+        self.iter = Box::new(Source(std::iter::empty()));
+        let mut stats = self.gateway.with(|g| g.node_stats().to_vec());
+        crate::operator::derive_rows_in(plan, &mut stats);
+        stats
     }
 }
 

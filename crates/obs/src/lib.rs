@@ -1,0 +1,42 @@
+//! # mdq-obs — observability primitives for the execution engine
+//!
+//! The engine's cost model (§4) prices a plan in request-responses and
+//! simulated seconds; the serving layer aggregates both into global
+//! counters. What neither surface answers is *where* those calls,
+//! retries and re-plans actually happened — which operator, which
+//! query, which batch. This crate holds the std-only primitives that
+//! close the gap, shared by `mdq-exec`, `mdq-cost` and `mdq-runtime`:
+//!
+//! * [`recorder`] — a [`TraceRecorder`] of
+//!   typed spans ([`span::SpanKind`]), built on the same merge-on-read
+//!   pattern as the execution accounting: every traced execution writes
+//!   to its own uncontended [`QueryTrace`] cell
+//!   and readers merge the cells on demand, so tracing never serializes
+//!   the page path;
+//! * [`span`] — the span taxonomy (optimize, plan-cache hit/miss,
+//!   admission batch, operator batches, service calls, retry/backoff,
+//!   re-plan splices, sub-result replays) and the per-operator
+//!   [`OperatorStats`] behind EXPLAIN ANALYZE;
+//! * [`export`] — JSONL and Chrome `trace_event` JSON export (the
+//!   latter loads directly into `chrome://tracing` or Perfetto);
+//! * [`histogram`] — fixed-bucket [`Histogram`]s
+//!   for latency, batch-size and queue-wait distributions, replacing
+//!   sum-only gauges in the server's metrics snapshot.
+//!
+//! Everything here is wall-clock free by design: spans carry
+//! *accounted* seconds (simulated service latency and backoff, or the
+//! caller's measured planning time), so a trace of a chaos run is as
+//! deterministic as the run itself.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod export;
+pub mod histogram;
+pub mod recorder;
+pub mod span;
+
+pub use export::{chrome_trace_json, jsonl};
+pub use histogram::{Histogram, LatencySummary, SERVICE_LATENCY_BOUNDS};
+pub use recorder::{QueryTrace, TraceRecorder};
+pub use span::{OperatorStats, SpanKind, TraceEvent};

@@ -43,8 +43,17 @@
 //! * [`session`] — the [`QuerySession`] handle
 //!   streaming answers and per-query statistics;
 //! * [`metrics`] — the [`MetricsSnapshot`]:
-//!   QPS, plan-cache and page-cache hit rates, per-service calls and
-//!   the wall-latency histogram.
+//!   QPS, plan-cache and page-cache hit rates, per-service call
+//!   accounting with latency summaries, per-shard page-cache
+//!   occupancy, and the wall-latency / queue-wait / service-latency /
+//!   admission-batch-size histograms.
+//!
+//! Observability: [`QueryServer::enable_tracing`] attaches an
+//! [`mdq_obs`] span recorder to the shared gateway state — every
+//! execution then records operator batches, service calls, retries and
+//! re-plans on its own track while the server records optimize,
+//! plan-cache and admission events on the control track; export with
+//! [`mdq_obs::chrome_trace_json`] or [`mdq_obs::jsonl`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -60,7 +69,9 @@ pub use session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEv
 
 /// Convenient glob-import surface: `use mdq_runtime::prelude::*;`.
 pub mod prelude {
-    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::metrics::{
+        MetricsSnapshot, BATCH_SIZE_BOUNDS, LATENCY_BOUNDS, QUEUE_WAIT_BOUNDS,
+    };
     pub use crate::plan_cache::{PlanCache, PlanKey};
     pub use crate::server::{QueryServer, RuntimeConfig};
     pub use crate::session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEvent};

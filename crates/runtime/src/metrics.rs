@@ -1,8 +1,9 @@
 //! Server metrics: cheap atomic counters sampled into a
 //! [`MetricsSnapshot`].
 
-use mdq_exec::gateway::SharedServiceState;
+use mdq_exec::gateway::{PageShardStats, SharedServiceState};
 use mdq_model::schema::Schema;
+use mdq_obs::LatencySummary;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -10,6 +11,17 @@ use std::time::Instant;
 /// Upper bucket bounds of the per-query wall-latency histogram, in
 /// seconds (the last bucket is unbounded).
 pub const LATENCY_BOUNDS: [f64; 9] = [0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0];
+
+/// Upper bucket bounds of the submit→dequeue queue-wait histogram, in
+/// wall seconds (the last bucket is unbounded).
+pub const QUEUE_WAIT_BOUNDS: [f64; 7] = [0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0];
+
+/// Upper bucket bounds of the admission batch-size histogram, in batch
+/// members (the last bucket is unbounded; the default
+/// [`RuntimeConfig::batch_max`] is 16).
+///
+/// [`RuntimeConfig::batch_max`]: crate::server::RuntimeConfig::batch_max
+pub const BATCH_SIZE_BOUNDS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
 /// Live counters; one instance per server, updated lock-free by the
 /// workers.
@@ -48,6 +60,11 @@ pub(crate) struct Metrics {
     pub(crate) sub_result_calls_saved: AtomicU64,
     /// `LATENCY_BOUNDS.len() + 1` buckets (last = overflow).
     latency_buckets: [AtomicU64; LATENCY_BOUNDS.len() + 1],
+    /// Submit→dequeue wall-seconds buckets (last = overflow).
+    queue_wait_buckets: [AtomicU64; QUEUE_WAIT_BOUNDS.len() + 1],
+    /// Admission batch-size buckets (last = overflow); only the
+    /// batcher records here, so it stays all-zero without batching.
+    batch_size_buckets: [AtomicU64; BATCH_SIZE_BOUNDS.len() + 1],
 }
 
 impl Metrics {
@@ -69,6 +86,8 @@ impl Metrics {
             sub_result_hits: AtomicU64::new(0),
             sub_result_calls_saved: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            queue_wait_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_size_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -95,6 +114,24 @@ impl Metrics {
         self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one job's submit→dequeue wall wait.
+    pub(crate) fn observe_queue_wait(&self, seconds: f64) {
+        let idx = QUEUE_WAIT_BOUNDS
+            .iter()
+            .position(|&b| seconds <= b)
+            .unwrap_or(QUEUE_WAIT_BOUNDS.len());
+        self.queue_wait_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admission batch's member count.
+    pub(crate) fn observe_batch_size(&self, members: usize) {
+        let idx = BATCH_SIZE_BOUNDS
+            .iter()
+            .position(|&b| members as f64 <= b)
+            .unwrap_or(BATCH_SIZE_BOUNDS.len());
+        self.batch_size_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Samples every counter plus the shared gateway state into a
     /// consistent-enough snapshot (counters are relaxed; exactness
     /// across counters is not guaranteed mid-flight).
@@ -110,13 +147,22 @@ impl Metrics {
             .map(|(id, n)| (schema.service(id).name.to_string(), n))
             .collect();
         per_service.sort();
-        let mut per_service_latency: Vec<(String, f64)> = shared
-            .per_service_latency()
+        let mut per_service_latency: Vec<(String, LatencySummary)> = shared
+            .per_service_latency_summary()
             .into_iter()
-            .map(|(id, l)| (schema.service(id).name.to_string(), l))
+            .map(|(id, s)| (schema.service(id).name.to_string(), s))
             .collect();
         per_service_latency.sort_by(|a, b| a.0.cmp(&b.0));
         let sub = shared.sub_result_stats();
+        let bucketize = |bounds: &'static [f64], counters: &[AtomicU64]| {
+            bounds
+                .iter()
+                .copied()
+                .map(Some)
+                .chain(std::iter::once(None))
+                .zip(counters.iter().map(|b| b.load(Ordering::Relaxed)))
+                .collect::<Vec<(Option<f64>, u64)>>()
+        };
         MetricsSnapshot {
             uptime_seconds: uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -145,17 +191,11 @@ impl Metrics {
             total_service_latency: shared.total_latency(),
             per_service_calls: per_service,
             per_service_latency,
-            latency_buckets: LATENCY_BOUNDS
-                .iter()
-                .copied()
-                .map(Some)
-                .chain(std::iter::once(None))
-                .zip(
-                    self.latency_buckets
-                        .iter()
-                        .map(|b| b.load(Ordering::Relaxed)),
-                )
-                .collect(),
+            service_latency_buckets: shared.service_latency_histogram().buckets().collect(),
+            page_cache_shards: shared.page_shard_stats(),
+            latency_buckets: bucketize(&LATENCY_BOUNDS, &self.latency_buckets),
+            queue_wait_buckets: bucketize(&QUEUE_WAIT_BOUNDS, &self.queue_wait_buckets),
+            batch_size_buckets: bucketize(&BATCH_SIZE_BOUNDS, &self.batch_size_buckets),
         }
     }
 }
@@ -239,13 +279,33 @@ pub struct MetricsSnapshot {
     pub total_service_latency: f64,
     /// Forwarded calls per service, sorted by name.
     pub per_service_calls: Vec<(String, u64)>,
-    /// Summed simulated latency per service, sorted by name —
-    /// `Σ == total_service_latency` exactly (both accumulate at the
-    /// same gateway sites).
-    pub per_service_latency: Vec<(String, f64)>,
+    /// Per-attempt simulated latency per service, sorted by name, as
+    /// count + mean + max over the exact total —
+    /// `Σ totals == total_service_latency` exactly (the summaries
+    /// derive from histograms fed at the same gateway sites the total
+    /// accumulates at).
+    pub per_service_latency: Vec<(String, LatencySummary)>,
+    /// Per-attempt simulated service latency across every service:
+    /// `(upper bound in seconds — `None` for the overflow bucket — ,
+    /// count)`, over [`SERVICE_LATENCY_BOUNDS`].
+    ///
+    /// [`SERVICE_LATENCY_BOUNDS`]: mdq_obs::SERVICE_LATENCY_BOUNDS
+    pub service_latency_buckets: Vec<(Option<f64>, u64)>,
+    /// Occupancy, eviction and failed-page counters of every page
+    /// shard, in shard order — shard skew made visible.
+    pub page_cache_shards: Vec<PageShardStats>,
     /// Per-query wall-latency histogram: `(upper bound in seconds —
     /// `None` for the overflow bucket — , count)`.
     pub latency_buckets: Vec<(Option<f64>, u64)>,
+    /// Submit→dequeue wall-wait histogram over [`QUEUE_WAIT_BOUNDS`]
+    /// (same `(bound, count)` shape).
+    pub queue_wait_buckets: Vec<(Option<f64>, u64)>,
+    /// Admission batch-size histogram over [`BATCH_SIZE_BOUNDS`] —
+    /// all-zero unless the server batches admissions
+    /// ([`RuntimeConfig::batch_window`]).
+    ///
+    /// [`RuntimeConfig::batch_window`]: crate::server::RuntimeConfig::batch_window
+    pub batch_size_buckets: Vec<(Option<f64>, u64)>,
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -292,24 +352,48 @@ impl fmt::Display for MetricsSnapshot {
             self.page_cache_evictions
         )?;
         for (name, n) in &self.per_service_calls {
-            let latency = self
+            let summary = self
                 .per_service_latency
                 .iter()
                 .find(|(l, _)| l == name)
-                .map(|(_, l)| *l)
-                .unwrap_or(0.0);
-            writeln!(f, "  {name:<12} {n} calls · {latency:.1}s")?;
+                .map(|(_, s)| *s)
+                .unwrap_or_default();
+            writeln!(f, "  {name:<12} {n} calls · {summary}")?;
         }
-        write!(f, "query wall latency:")?;
-        for (bound, n) in &self.latency_buckets {
-            if *n == 0 {
-                continue;
-            }
-            match bound {
-                Some(b) => write!(f, " ≤{b}s:{n}")?,
-                None => write!(f, " >1s:{n}")?,
-            }
+        write_buckets(f, "query wall latency:", &self.latency_buckets)?;
+        writeln!(f)?;
+        write_buckets(f, "service call latency:", &self.service_latency_buckets)?;
+        writeln!(f)?;
+        write_buckets(f, "queue wait:", &self.queue_wait_buckets)?;
+        if self.batch_size_buckets.iter().any(|(_, n)| *n > 0) {
+            writeln!(f)?;
+            write_buckets(f, "admission batch size:", &self.batch_size_buckets)?;
         }
         Ok(())
     }
+}
+
+/// Writes one histogram as a `label ≤b:n … >last:n` line, skipping
+/// empty buckets.
+fn write_buckets(
+    f: &mut fmt::Formatter<'_>,
+    label: &str,
+    buckets: &[(Option<f64>, u64)],
+) -> fmt::Result {
+    write!(f, "{label}")?;
+    let last = buckets
+        .iter()
+        .rev()
+        .find_map(|(b, _)| *b)
+        .unwrap_or_default();
+    for (bound, n) in buckets {
+        if *n == 0 {
+            continue;
+        }
+        match bound {
+            Some(b) => write!(f, " ≤{b}:{n}")?,
+            None => write!(f, " >{last}:{n}")?,
+        }
+    }
+    Ok(())
 }

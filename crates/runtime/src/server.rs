@@ -17,6 +17,8 @@ use mdq_exec::gateway::{FaultStats, RetryPolicy, SharedServiceState};
 use mdq_exec::topk::TopKExecution;
 use mdq_model::fingerprint::fingerprint;
 use mdq_model::value::Tuple;
+use mdq_obs::recorder::TraceRecorder;
+use mdq_obs::span::SpanKind;
 use mdq_optimizer::bnb::OptimizerConfig;
 use mdq_plan::dag::Plan;
 use mdq_services::domains::World;
@@ -140,6 +142,9 @@ struct Job {
     text: String,
     k: u64,
     events: mpsc::Sender<SessionEvent>,
+    /// When `submit` accepted the job — the queue-wait histogram
+    /// measures from here to worker dequeue.
+    submitted_at: Instant,
     /// Filled by the admission batcher: plan resolved at batch-planning
     /// time plus batch bookkeeping. `None` = the worker plans.
     prepared: Option<Prepared>,
@@ -249,6 +254,7 @@ impl QueryServer {
             text: text.to_string(),
             k: k.unwrap_or(self.state.config.default_k),
             events,
+            submitted_at: Instant::now(),
             prepared: None,
         };
         let rejected = match &*self.queue.lock().expect("queue lock") {
@@ -279,6 +285,26 @@ impl QueryServer {
     /// The cross-query shared gateway state (page cache + accounting).
     pub fn shared_state(&self) -> &Arc<SharedServiceState> {
         &self.state.shared
+    }
+
+    /// Attaches a fresh span-trace recorder to the shared gateway
+    /// state and returns it: from now on every execution registers its
+    /// own track recording operator batches, service calls, retries,
+    /// cache replays and re-plans, while the server itself records the
+    /// control-plane events (optimize, plan-cache probes, admission
+    /// batches) on track 0. Export the result with
+    /// [`mdq_obs::chrome_trace_json`] or [`mdq_obs::jsonl`]. Without
+    /// this call the server records nothing and pays nothing.
+    pub fn enable_tracing(&self) -> Arc<TraceRecorder> {
+        let recorder = TraceRecorder::new();
+        self.state.shared.set_trace(Some(Arc::clone(&recorder)));
+        recorder
+    }
+
+    /// The recorder attached by [`QueryServer::enable_tracing`], if
+    /// any.
+    pub fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.state.shared.trace_recorder()
     }
 
     /// Forgets every memoized page failure in the shared gateway state,
@@ -411,6 +437,7 @@ fn batch_loop(
                 Err(_) => break, // window elapsed or submissions closed
             }
         }
+        state.metrics.observe_batch_size(batch.len());
         for job in plan_batch(state, batch) {
             if tx.send(job).is_err() {
                 return; // every worker died
@@ -451,6 +478,8 @@ impl mdq_cost::shared::SharedWorkOracle for BatchOracle<'_> {
 fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
     use mdq_model::fingerprint::SubplanSignature;
     let use_oracle = state.config.adaptive.is_none();
+    let ctl = state.shared.trace_recorder().map(|r| r.control());
+    let members = batch.len() as u64;
     let mut seen: std::collections::HashSet<SubplanSignature> = std::collections::HashSet::new();
     // signatures per member, for the second (overlap-marking) pass
     let mut member_sigs: Vec<Vec<SubplanSignature>> = Vec::with_capacity(batch.len());
@@ -490,6 +519,11 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
                     .metrics
                     .plan_cache_hits
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(ctl) = &ctl {
+                    ctl.instant(SpanKind::PlanCacheHit {
+                        fingerprint: key.0 .0,
+                    });
+                }
                 (plan, true)
             }
             None => {
@@ -501,6 +535,11 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
                     .metrics
                     .optimizer_invocations
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(ctl) = &ctl {
+                    ctl.instant(SpanKind::PlanCacheMiss {
+                        fingerprint: key.0 .0,
+                    });
+                }
                 let oracle = BatchOracle {
                     shared: &state.shared,
                     batch: &seen,
@@ -510,6 +549,7 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
                     cache: state.config.cache,
                     ..OptimizerConfig::default()
                 };
+                let opt_started = Instant::now();
                 let optimized = if use_oracle {
                     state
                         .engine
@@ -517,6 +557,11 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
                 } else {
                     state.engine.optimize(query, &ExecutionTime, config)
                 };
+                if let Some(ctl) = &ctl {
+                    // control-plane spans measure real optimizer work,
+                    // so track 0 runs on wall seconds
+                    ctl.record(SpanKind::Optimize, opt_started.elapsed().as_secs_f64());
+                }
                 match optimized {
                     Ok(o) => {
                         let plan = Arc::new(o.candidate.plan);
@@ -568,6 +613,12 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
         seen.extend(sigs);
     }
     if !use_oracle {
+        if let Some(ctl) = &ctl {
+            ctl.instant(SpanKind::AdmissionBatch {
+                members,
+                shared_prefix_hits: 0,
+            });
+        }
         return out;
     }
     // second pass: a member shares a prefix when any of its signatures
@@ -607,6 +658,16 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
         admitted.clear();
     }
     admitted.extend(member_sigs.iter().flatten().copied());
+    if let Some(ctl) = &ctl {
+        let flagged = out
+            .iter()
+            .filter(|j| j.prepared.as_ref().is_some_and(|p| p.shared_prefix))
+            .count() as u64;
+        ctl.instant(SpanKind::AdmissionBatch {
+            members,
+            shared_prefix_hits: flagged,
+        });
+    }
     out
 }
 
@@ -615,6 +676,9 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
 /// shared gateway state, streaming each answer to the session.
 fn process(state: &ServerState, job: Job) {
     let started = Instant::now();
+    state
+        .metrics
+        .observe_queue_wait(job.submitted_at.elapsed().as_secs_f64());
     let fail = |reason: String| {
         state.metrics.failed.fetch_add(1, Ordering::Relaxed);
         let _ = job.events.send(SessionEvent::Failed(reason));
@@ -640,12 +704,18 @@ fn process(state: &ServerState, job: Job) {
             let key = (fingerprint(&query), job.k);
             let cached = lookup_single_flight(state, &key);
             let plan_cache_hit = cached.is_some();
+            let ctl = state.shared.trace_recorder().map(|r| r.control());
             let plan: Arc<Plan> = match cached {
                 Some(plan) => {
                     state
                         .metrics
                         .plan_cache_hits
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(ctl) = &ctl {
+                        ctl.instant(SpanKind::PlanCacheHit {
+                            fingerprint: key.0 .0,
+                        });
+                    }
                     plan
                 }
                 None => {
@@ -660,6 +730,12 @@ fn process(state: &ServerState, job: Job) {
                         .metrics
                         .optimizer_invocations
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(ctl) = &ctl {
+                        ctl.instant(SpanKind::PlanCacheMiss {
+                            fingerprint: key.0 .0,
+                        });
+                    }
+                    let opt_started = Instant::now();
                     let optimized = state.engine.optimize(
                         query,
                         &ExecutionTime,
@@ -669,6 +745,11 @@ fn process(state: &ServerState, job: Job) {
                             ..OptimizerConfig::default()
                         },
                     );
+                    if let Some(ctl) = &ctl {
+                        // control spans measure real optimizer work:
+                        // track 0 runs on wall seconds
+                        ctl.record(SpanKind::Optimize, opt_started.elapsed().as_secs_f64());
+                    }
                     let plan = optimized.map(|o| Arc::new(o.candidate.plan));
                     if let Ok(plan) = &plan {
                         state
@@ -747,6 +828,17 @@ fn process(state: &ServerState, job: Job) {
             Err(e) => return fail(e.to_string()),
         },
     };
+    // the execution registered its own trace track (if a recorder is
+    // attached): bracket it with the query's correlation id
+    let query_trace = match &exec {
+        Exec::Frozen(pull) => pull.trace(),
+        Exec::Adaptive(pull, _) => pull.trace(),
+    };
+    if let Some(t) = &query_trace {
+        t.instant(SpanKind::QueryStart {
+            fingerprint: key.0 .0,
+        });
+    }
     let mut produced = 0u64;
     while produced < job.k {
         match exec.next_answer() {
@@ -758,6 +850,9 @@ fn process(state: &ServerState, job: Job) {
             }
             None => break,
         }
+    }
+    if let Some(t) = &query_trace {
+        t.instant(SpanKind::QueryDone { answers: produced });
     }
     let (
         per_service_faults,

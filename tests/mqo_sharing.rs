@@ -191,7 +191,7 @@ fn mqo_accounting_reconciles_exactly_with_the_gateway() {
     assert_eq!(flagged, m.shared_prefix_hits);
 
     // the per-service latency satellite: the split sums to the total
-    let split: f64 = m.per_service_latency.iter().map(|(_, l)| l).sum();
+    let split: f64 = m.per_service_latency.iter().map(|(_, l)| l.total).sum();
     assert!(
         (split - m.total_service_latency).abs() < 1e-9,
         "per-service latency ({split:.9}) reconciles with the total \
