@@ -593,9 +593,29 @@ impl<'a> AdaptiveTopK<'a> {
         elastic: bool,
         cfg: &AdaptiveConfig,
     ) -> Result<Self, ExecError> {
-        let gateway = LocalGateway::new(ServiceGateway::with_shared(
-            plan, schema, registry, shared, budget,
-        )?);
+        Self::with_shared_tenant(plan, schema, registry, shared, budget, elastic, cfg, None)
+    }
+
+    /// [`AdaptiveTopK::with_shared`] attributed to a tenant: every
+    /// forwarded call — across every spliced plan, since re-plans keep
+    /// the same gateway — is charged against the tenant's cumulative
+    /// budget in the shared state.
+    #[allow(clippy::too_many_arguments)] // serving-layer entry point: one knob per policy
+    pub fn with_shared_tenant(
+        plan: &Plan,
+        schema: &'a Schema,
+        registry: &'a ServiceRegistry,
+        shared: Arc<crate::gateway::SharedServiceState>,
+        budget: Option<u64>,
+        elastic: bool,
+        cfg: &AdaptiveConfig,
+        tenant: Option<crate::gateway::TenantId>,
+    ) -> Result<Self, ExecError> {
+        let mut inner = ServiceGateway::with_shared(plan, schema, registry, shared, budget)?;
+        if let Some(t) = tenant {
+            inner.set_tenant(t);
+        }
+        let gateway = LocalGateway::new(inner);
         let info = analyze(plan, schema);
         let iter = compile(plan, schema, &info, &gateway, elastic);
         Ok(AdaptiveTopK {

@@ -78,6 +78,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Bounded-retry policy for faulted service calls.
@@ -267,7 +268,13 @@ impl Drop for FlightGuard {
     fn drop(&mut self) {
         let shard = &self.shared.shards[self.shard];
         {
-            let mut inner = shard.inner.lock().expect("page shard lock");
+            // this drop runs during unwind when a service panics:
+            // tolerate a poisoned lock — a second panic here would
+            // abort the process
+            let mut inner = shard
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             inner
                 .fetching
                 .remove(&(self.id, std::mem::take(&mut self.key), self.page));
@@ -286,7 +293,13 @@ struct FlowSlot {
 impl Drop for FlowSlot {
     fn drop(&mut self) {
         {
-            let mut flow = self.shared.flow.lock().expect("flow-control lock");
+            // tolerates poison for the same reason as `FlightGuard`:
+            // this path runs during unwind
+            let mut flow = self
+                .shared
+                .flow
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(n) = flow.get_mut(&self.id) {
                 *n = n.saturating_sub(1);
             }
@@ -390,6 +403,9 @@ struct SubResultEntry {
     cost_calls: u64,
     /// LRU recency stamp.
     used: u64,
+    /// The tenant that published the entry (`None` for untenanted
+    /// executions) — the hook for per-tenant store quotas.
+    tenant: Option<TenantId>,
 }
 
 /// The sub-result store's interior (guarded by its own lock — the page
@@ -434,6 +450,10 @@ pub struct SubResultStats {
     pub calls_saved: u64,
     /// Prefixes currently materialized.
     pub entries: u64,
+    /// Materialized prefixes a tenant's own quota displaced (the
+    /// publishing tenant's least-recent entry, never another
+    /// tenant's — see [`SharedServiceState::set_tenant_sub_quota`]).
+    pub quota_evictions: u64,
 }
 
 /// The `Arc`-shared bindings of one materialized prefix.
@@ -468,6 +488,66 @@ pub(crate) enum PrefixResolution {
     },
 }
 
+/// A tenant identifier as the shared state accounts it. The serving
+/// layer (`mdq-runtime`) owns the name→id mapping; down here a tenant
+/// is just a key for budget and quota accounting.
+pub type TenantId = u32;
+
+/// One tenant's cumulative gateway-side accounting: forwarded calls
+/// charged against an optional budget. Shared by every gateway
+/// executing for the tenant, so the budget is enforced exactly across
+/// concurrent executions (charges are compare-and-swap reservations —
+/// the counter can never pass the budget).
+pub struct TenantCell {
+    /// Request-responses forwarded for this tenant, all executions.
+    calls: AtomicU64,
+    /// Cumulative forwarded-call budget; `u64::MAX` = unlimited.
+    budget: AtomicU64,
+    /// Max sub-result entries this tenant may hold materialized;
+    /// `usize::MAX` = unlimited, `0` = the tenant never publishes.
+    sub_quota: AtomicU64,
+}
+
+impl TenantCell {
+    fn new() -> Self {
+        TenantCell {
+            calls: AtomicU64::new(0),
+            budget: AtomicU64::new(u64::MAX),
+            sub_quota: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Forwarded calls charged so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The cumulative call budget, if bounded.
+    pub fn budget(&self) -> Option<u64> {
+        match self.budget.load(AtomicOrdering::Relaxed) {
+            u64::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// Whether at least one further forwarded call fits the budget.
+    pub fn has_room(&self) -> bool {
+        self.calls.load(AtomicOrdering::Relaxed) < self.budget.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Reserves one forwarded call against the budget. Exact under
+    /// concurrency: the compare-and-swap loop means `calls` can never
+    /// exceed the budget, no matter how many executions race.
+    fn try_charge(&self) -> bool {
+        let budget = self.budget.load(AtomicOrdering::Relaxed);
+        self.calls
+            .fetch_update(AtomicOrdering::Relaxed, AtomicOrdering::Relaxed, |n| {
+                (n < budget).then_some(n + 1)
+            })
+            .is_ok()
+    }
+}
+
 /// Cross-query shared execution state: the sharded client [`PageCache`]
 /// with per-shard single-flight deduplication, the flow-control lock
 /// enforcing per-service concurrency limits, the sub-result store, and
@@ -490,6 +570,9 @@ pub struct SharedServiceState {
     /// The signature-keyed sub-result store, behind its own lock.
     sub: Mutex<SubResultInner>,
     sub_changed: Condvar,
+    /// Per-tenant budget/usage cells, resolved once per gateway — the
+    /// hot path only ever touches the tenant's own atomics.
+    tenants: Mutex<HashMap<TenantId, Arc<TenantCell>>>,
     /// Merge-on-read cumulative accounting (see [`crate::accounting`]).
     acct: Accounting,
     setting: CacheSetting,
@@ -545,6 +628,7 @@ impl SharedServiceState {
             flow_changed: Condvar::new(),
             sub: Mutex::new(SubResultInner::new(0)),
             sub_changed: Condvar::new(),
+            tenants: Mutex::new(HashMap::new()),
             acct: Accounting::default(),
             setting,
             per_service_limit,
@@ -813,6 +897,61 @@ impl SharedServiceState {
         self.acct.retire(cell)
     }
 
+    /// The budget/usage cell of `tenant`, created (unlimited) on first
+    /// use. Gateways resolve their cell once, at construction — the
+    /// per-call charge is then a pair of atomics, no map lookup.
+    pub fn tenant_cell(&self, tenant: TenantId) -> Arc<TenantCell> {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(
+            tenants
+                .entry(tenant)
+                .or_insert_with(|| Arc::new(TenantCell::new())),
+        )
+    }
+
+    /// Sets (or clears, with `None`) the cumulative forwarded-call
+    /// budget of `tenant`. Calls already charged stay charged: lowering
+    /// a budget below the spend refuses every further call until the
+    /// budget is raised again.
+    pub fn set_tenant_budget(&self, tenant: TenantId, budget: Option<u64>) {
+        self.tenant_cell(tenant)
+            .budget
+            .store(budget.unwrap_or(u64::MAX), AtomicOrdering::Relaxed);
+    }
+
+    /// Bounds how many materialized sub-result entries `tenant` may
+    /// hold in the store at once (`None` = unlimited, `Some(0)` = the
+    /// tenant never publishes). Publishing at the quota evicts the
+    /// tenant's *own* least-recent entry — one tenant's materializations
+    /// can never crowd out another's beyond the global LRU bound.
+    pub fn set_tenant_sub_quota(&self, tenant: TenantId, quota: Option<u64>) {
+        self.tenant_cell(tenant)
+            .sub_quota
+            .store(quota.unwrap_or(u64::MAX), AtomicOrdering::Relaxed);
+    }
+
+    /// Forwarded calls charged to `tenant` so far (0 for a tenant never
+    /// seen).
+    pub fn tenant_calls(&self, tenant: TenantId) -> u64 {
+        self.tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&tenant)
+            .map(|c| c.calls())
+            .unwrap_or(0)
+    }
+
+    /// Whether `tenant` has room for at least one further forwarded
+    /// call — the serving layer's cheap admission probe.
+    pub fn tenant_has_room(&self, tenant: TenantId) -> bool {
+        self.tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&tenant)
+            .map(|c| c.has_room())
+            .unwrap_or(true)
+    }
+
     /// Counters of the sub-result store (all zero while disabled).
     pub fn sub_result_stats(&self) -> SubResultStats {
         let sub = self.sub.lock().expect("sub-result lock");
@@ -897,6 +1036,10 @@ impl SharedServiceState {
     /// full) and wakes every waiter. `vars` is the chain's canonical
     /// variable list and `nvars` the publisher's variable-space width —
     /// a subscriber in the same space replays the `Arc` directly.
+    /// `tenant` attributes the entry for per-tenant store quotas: a
+    /// tenant at its quota evicts its *own* least-recent entry (never
+    /// another tenant's), and a tenant with quota 0 releases the claim
+    /// without storing at all.
     pub(crate) fn publish_sub_result(
         &self,
         sig: SubplanSignature,
@@ -904,11 +1047,34 @@ impl SharedServiceState {
         vars: Arc<[VarId]>,
         nvars: usize,
         cost_calls: u64,
+        tenant: Option<TenantId>,
     ) {
+        // resolve the quota before taking the sub-result lock — the
+        // tenant map and the store have independent locks, never nested
+        let quota = tenant.map(|t| self.tenant_cell(t).sub_quota.load(AtomicOrdering::Relaxed));
         {
             let mut sub = self.sub.lock().expect("sub-result lock");
             sub.computing.remove(&sig);
-            if sub.capacity > 0 {
+            if sub.capacity > 0 && quota != Some(0) {
+                if let (Some(tenant), Some(quota)) = (tenant, quota) {
+                    let held = sub
+                        .entries
+                        .values()
+                        .filter(|e| e.tenant == Some(tenant))
+                        .count() as u64;
+                    if held >= quota && !sub.entries.contains_key(&sig) {
+                        if let Some(own_oldest) = sub
+                            .entries
+                            .iter()
+                            .filter(|(_, e)| e.tenant == Some(tenant))
+                            .min_by_key(|(_, e)| e.used)
+                            .map(|(k, _)| *k)
+                        {
+                            sub.entries.remove(&own_oldest);
+                            sub.stats.quota_evictions += 1;
+                        }
+                    }
+                }
                 if sub.entries.len() >= sub.capacity && !sub.entries.contains_key(&sig) {
                     if let Some(oldest) = sub
                         .entries
@@ -930,6 +1096,7 @@ impl SharedServiceState {
                         nvars,
                         cost_calls,
                         used,
+                        tenant,
                     },
                 );
             }
@@ -982,6 +1149,11 @@ pub struct ServiceGateway {
     latency_sum: f64,
     stats: HashMap<ServiceId, CacheStats>,
     budget: Option<u64>,
+    /// The tenant this execution is attributed to, with its budget
+    /// cell resolved once — every forwarded attempt is charged against
+    /// it (reserve-then-forward, so concurrent executions of the same
+    /// tenant can never overshoot the cumulative budget).
+    tenant: Option<(TenantId, Arc<TenantCell>)>,
     error: Option<ExecError>,
     faults: HashMap<ServiceId, FaultStats>,
     /// Per-service observations of this execution's forwarded calls —
@@ -1067,6 +1239,7 @@ impl ServiceGateway {
             latency_sum: 0.0,
             stats: HashMap::new(),
             budget: budget.filter(|&b| b > 0),
+            tenant: None,
             error: None,
             faults: HashMap::new(),
             observed: HashMap::new(),
@@ -1087,6 +1260,21 @@ impl ServiceGateway {
     /// built with [`ServiceGateway::with_shared`]).
     pub fn shared_state(&self) -> &Arc<SharedServiceState> {
         &self.shared
+    }
+
+    /// Attributes this execution to `tenant`: every forwarded attempt
+    /// is charged to the tenant's cumulative budget cell in the shared
+    /// state, and exhaustion poisons the execution with
+    /// [`ExecError::TenantBudgetExhausted`]. Must be set before the
+    /// first fetch; calls already forwarded are not re-attributed.
+    pub fn set_tenant(&mut self, tenant: TenantId) {
+        let cell = self.shared.tenant_cell(tenant);
+        self.tenant = Some((tenant, cell));
+    }
+
+    /// The tenant this execution is attributed to, if any.
+    pub fn tenant_id(&self) -> Option<TenantId> {
+        self.tenant.as_ref().map(|(t, _)| *t)
     }
 
     /// Serves page `page` of the invocation `(service, pattern, key)`:
@@ -1164,6 +1352,21 @@ impl ServiceGateway {
                     return PageFetch::empty();
                 }
             }
+            // admission control: the tenant's cumulative budget (cheap
+            // non-reserving probe — the actual reservation happens once
+            // the single-flight claim is held, right before forwarding)
+            if let Some((tenant, cell)) = &self.tenant {
+                if !cell.has_room() {
+                    let err = ExecError::TenantBudgetExhausted {
+                        tenant: *tenant,
+                        budget: cell.budget().unwrap_or(0),
+                    };
+                    drop(inner);
+                    drop(slot);
+                    self.poison(err);
+                    return PageFetch::empty();
+                }
+            }
             // per-service concurrency limit: slots come from the
             // flow-control lock, never held together with a shard lock
             if shared.per_service_limit > 0 && slot.is_none() {
@@ -1190,6 +1393,22 @@ impl ServiceGateway {
                 .get(&id)
                 .expect("gateway resolved all plan services at construction"),
         );
+        // reserve the first attempt against the tenant budget *before*
+        // forwarding: a CAS on the cell, so racing executions of one
+        // tenant cannot collectively overshoot. Losing the race releases
+        // the flight claim (guard drop wakes the waiters).
+        if let Some((tenant, cell)) = &self.tenant {
+            if !cell.try_charge() {
+                let err = ExecError::TenantBudgetExhausted {
+                    tenant: *tenant,
+                    budget: cell.budget().unwrap_or(0),
+                };
+                drop(guard);
+                drop(slot);
+                self.poison(err);
+                return PageFetch::empty();
+            }
+        }
         let policy = shared.retry_policy(id);
         let mut attempt: u32 = 0;
         // simulated seconds this page consumed: attempt latencies
@@ -1247,13 +1466,21 @@ impl ServiceGateway {
                         .record_fault(fault_latency);
                     let local = self.faults.entry(id).or_default();
                     local.classify(&fault);
-                    // a retry is allowed while both the policy and
-                    // the per-query call budget have room
+                    // a retry is allowed while the policy, the
+                    // per-query call budget and the tenant budget all
+                    // have room; the tenant charge is a reservation, so
+                    // it is only attempted once the cheaper gates pass
                     let budget_ok = self
                         .budget
                         .map(|b| self.calls.values().sum::<u64>() < b)
                         .unwrap_or(true);
-                    let retrying = attempt < policy.max_retries && budget_ok;
+                    let retrying = attempt < policy.max_retries
+                        && budget_ok
+                        && self
+                            .tenant
+                            .as_ref()
+                            .map(|(_, cell)| cell.try_charge())
+                            .unwrap_or(true);
                     let wait = if retrying {
                         let base = policy.backoff(attempt);
                         let wait = match &fault {
@@ -1722,6 +1949,61 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(g.take_error().is_none());
+    }
+
+    #[test]
+    fn tenant_cell_charges_never_overshoot() {
+        let shared = SharedServiceState::new(CacheSetting::Optimal, 0);
+        shared.set_tenant_budget(7, Some(5));
+        let cell = shared.tenant_cell(7);
+        let granted = (0..20).filter(|_| cell.try_charge()).count();
+        assert_eq!(granted, 5, "exactly the budget is granted");
+        assert_eq!(shared.tenant_calls(7), 5);
+        assert!(!shared.tenant_has_room(7));
+        // raising the budget re-opens the gate without resetting spend
+        shared.set_tenant_budget(7, Some(6));
+        assert!(shared.tenant_has_room(7));
+        assert!(cell.try_charge());
+        assert!(!cell.try_charge());
+    }
+
+    #[test]
+    fn tenant_budget_poisons_and_halts_forwarding() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(SharedServiceState::new(CacheSetting::NoCache, 0));
+        shared.set_tenant_budget(3, Some(1));
+        let mut g =
+            ServiceGateway::with_shared(&plan, &w.schema, &w.registry, Arc::clone(&shared), None)
+                .expect("builds");
+        g.set_tenant(3);
+        assert_eq!(g.tenant_id(), Some(3));
+        let first = g.fetch_page(w.ids.conf, 0, &[Value::str("DB")], 0);
+        assert!(first.forwarded_latency.is_some(), "first call has room");
+        let second = g.fetch_page(w.ids.conf, 0, &[Value::str("AI")], 0);
+        assert!(second.tuples.is_empty(), "refused call serves empty page");
+        match g.take_error() {
+            Some(ExecError::TenantBudgetExhausted {
+                tenant: 3,
+                budget: 1,
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(shared.tenant_calls(3), 1, "the refusal charged nothing");
+    }
+
+    #[test]
+    fn untenanted_gateway_never_touches_tenant_budgets() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(SharedServiceState::new(CacheSetting::NoCache, 0));
+        shared.set_tenant_budget(1, Some(0));
+        let mut g =
+            ServiceGateway::with_shared(&plan, &w.schema, &w.registry, Arc::clone(&shared), None)
+                .expect("builds");
+        let f = g.fetch_page(w.ids.conf, 0, &[Value::str("DB")], 0);
+        assert!(f.forwarded_latency.is_some(), "no tenant, no gate");
+        assert_eq!(shared.tenant_calls(1), 0);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod prelude {
     pub use crate::gateway::{
         DegradedService, FaultStats, GatewayHandle, LocalGateway, PageFetch, PageShardStats,
         PartialResults, RetryPolicy, ServiceGateway, SharedGateway, SharedServiceState,
-        SubResultStats,
+        SubResultStats, TenantCell, TenantId,
     };
     pub use crate::joins::{MsJoin, NlJoin};
     pub use crate::operator::{

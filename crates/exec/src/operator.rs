@@ -62,6 +62,15 @@ pub enum ExecError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// Admission control: the tenant this execution runs under has
+    /// spent its cumulative forwarded-call budget across *all* of its
+    /// queries, and further service requests were refused.
+    TenantBudgetExhausted {
+        /// The tenant whose budget is spent.
+        tenant: u32,
+        /// The cumulative budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -75,6 +84,12 @@ impl fmt::Display for ExecError {
                 write!(
                     f,
                     "per-query call budget of {budget} request-responses exhausted"
+                )
+            }
+            ExecError::TenantBudgetExhausted { tenant, budget } => {
+                write!(
+                    f,
+                    "tenant {tenant} call budget of {budget} request-responses exhausted"
                 )
             }
         }

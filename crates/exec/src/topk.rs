@@ -18,7 +18,7 @@
 use crate::binding::Binding;
 use crate::cache::CacheSetting;
 use crate::gateway::{
-    GatewayHandle, LocalGateway, PrefixResolution, ServiceGateway, SharedServiceState,
+    GatewayHandle, LocalGateway, PrefixResolution, ServiceGateway, SharedServiceState, TenantId,
 };
 use crate::operator::{
     compile_with, drain_all, ExecError, Filter, Invoke, Operator, Source, DEFAULT_BATCH,
@@ -168,6 +168,7 @@ fn prepare_shared_prefix(
         shared: Arc::clone(&shared),
         remaining: claimed.iter().map(|&l| sigs[l - 1]).collect(),
     };
+    let tenant = gateway.with(|g| g.tenant_id());
     let start_calls = gateway.with(|g| g.total_calls());
     for &lvl in &claimed {
         let node = prefixes[lvl - 1].node;
@@ -187,6 +188,7 @@ fn prepare_shared_prefix(
                 prefixes[lvl - 1].vars.clone().into(),
                 nvars,
                 cost,
+                tenant,
             );
             claims.mark_published(sigs[lvl - 1]);
             gateway.with(|g| {
@@ -273,13 +275,39 @@ impl TopKExecution {
         elastic: bool,
         materialize: bool,
     ) -> Result<Self, ExecError> {
-        Self::over(
+        Self::with_shared_tenant(
             plan,
             schema,
-            ServiceGateway::with_shared(plan, schema, registry, shared, budget)?,
+            registry,
+            shared,
+            budget,
             elastic,
             materialize,
+            None,
         )
+    }
+
+    /// [`TopKExecution::with_shared_mqo`] attributed to a tenant: every
+    /// forwarded call (the eager prefix drain included — it runs during
+    /// construction) is charged against the tenant's cumulative budget
+    /// in the shared state, and prefixes this execution materializes
+    /// are published under the tenant's sub-result store quota.
+    #[allow(clippy::too_many_arguments)] // serving-layer entry point: one knob per policy
+    pub fn with_shared_tenant(
+        plan: &Plan,
+        schema: &Schema,
+        registry: &ServiceRegistry,
+        shared: Arc<SharedServiceState>,
+        budget: Option<u64>,
+        elastic: bool,
+        materialize: bool,
+        tenant: Option<TenantId>,
+    ) -> Result<Self, ExecError> {
+        let mut gateway = ServiceGateway::with_shared(plan, schema, registry, shared, budget)?;
+        if let Some(t) = tenant {
+            gateway.set_tenant(t);
+        }
+        Self::over(plan, schema, gateway, elastic, materialize)
     }
 
     fn over(

@@ -94,6 +94,18 @@ fn args_json(kind: &SpanKind) -> String {
             format!("{{\"level\":{level},\"rows\":{rows}}}")
         }
         SpanKind::QueryDone { answers } => format!("{{\"answers\":{answers}}}"),
+        SpanKind::Connection { peer, queries } => format!(
+            "{{\"peer\":\"{}\",\"queries\":{queries}}}",
+            json_escape(peer)
+        ),
+        SpanKind::Shed {
+            tenant,
+            reason,
+            retry_after_ms,
+        } => format!(
+            "{{\"tenant\":{tenant},\"reason\":\"{reason}\",\"retry_after_ms\":{retry_after_ms}}}"
+        ),
+        SpanKind::Drain { in_flight } => format!("{{\"in_flight\":{in_flight}}}"),
     }
 }
 

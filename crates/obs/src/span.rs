@@ -112,6 +112,30 @@ pub enum SpanKind {
         /// Answers delivered.
         answers: u64,
     },
+    /// Lifetime of one accepted network connection on the serving
+    /// edge; duration is the measured wall time the connection stayed
+    /// open.
+    Connection {
+        /// The peer address, as reported at accept time.
+        peer: String,
+        /// Queries the connection submitted.
+        queries: u64,
+    },
+    /// The serving edge refused a submission (admission control).
+    Shed {
+        /// The tenant whose submission was refused.
+        tenant: u64,
+        /// Why: `queue_full`, `tenant_queue_full` or `tenant_budget`.
+        reason: &'static str,
+        /// The retry-after hint handed to the client, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server entered graceful drain; duration is the measured
+    /// wall time until the last in-flight session completed.
+    Drain {
+        /// Sessions still in flight when the drain began.
+        in_flight: u64,
+    },
 }
 
 impl SpanKind {
@@ -133,18 +157,25 @@ impl SpanKind {
             SpanKind::SubResultReplay { .. } => "sub_result_replay",
             SpanKind::SubResultMaterialize { .. } => "sub_result_materialize",
             SpanKind::QueryDone { .. } => "query_done",
+            SpanKind::Connection { .. } => "connection",
+            SpanKind::Shed { .. } => "shed",
+            SpanKind::Drain { .. } => "drain",
         }
     }
 
     /// The span's category (the `cat` field of a Chrome trace event):
-    /// `control` for planning/admission work, `exec` for operator and
-    /// gateway work.
+    /// `control` for planning/admission work, `serving` for the
+    /// network edge (connections, shedding, drain), `exec` for operator
+    /// and gateway work.
     pub fn category(&self) -> &'static str {
         match self {
             SpanKind::Optimize
             | SpanKind::PlanCacheHit { .. }
             | SpanKind::PlanCacheMiss { .. }
             | SpanKind::AdmissionBatch { .. } => "control",
+            SpanKind::Connection { .. } | SpanKind::Shed { .. } | SpanKind::Drain { .. } => {
+                "serving"
+            }
             _ => "exec",
         }
     }

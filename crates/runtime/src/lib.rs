@@ -8,7 +8,16 @@
 //! concurrent queries.
 //!
 //! ```text
-//!  submit() ──► [admission batcher] ──► worker pool (std threads)
+//!  TCP clients ──► [net::NetServer] ─┐  (newline-framed wire
+//!                  (tenant handshake,│   protocol, streaming
+//!                   shed/drain frames)│  answer frames)
+//!                                    ▼
+//!  submit() / try_submit(tenant) ──► [tenant scheduler] ──► …
+//!               (per-tenant FIFOs drained round-robin; global
+//!                depth bound + per-tenant queue/budget policies
+//!                shed excess with a retry-after hint)
+//!                                    │
+//!               [admission batcher] ◄┘ ──► worker pool (std threads)
 //!               (batch_window: plans a       │
 //!                burst as one unit, flags    │
 //!                overlapping invoke          │
@@ -37,7 +46,15 @@
 //! ```
 //!
 //! * [`server`] — the [`QueryServer`]: worker
-//!   pool, submission queue, plan cache, admission control;
+//!   pool, tenant-fair submission scheduler, plan cache, admission
+//!   control (queue bounds and budget checks shed at the front door);
+//! * [`net`] — the serving edge: a std-only TCP wire protocol
+//!   ([`NetServer`]) streaming answer frames per
+//!   connection, with tenant handshake, load-shedding (`SHED
+//!   retry-after-ms=…`) and graceful drain;
+//! * [`tenant`] — tenant identity and isolation policy
+//!   ([`TenantPolicy`]): call budgets, queue bounds,
+//!   sub-result quotas;
 //! * [`plan_cache`] — the fingerprint-keyed LRU in front of the
 //!   optimizer;
 //! * [`session`] — the [`QuerySession`] handle
@@ -59,20 +76,26 @@
 #![warn(rust_2018_idioms)]
 
 pub mod metrics;
+pub mod net;
 pub mod plan_cache;
 pub mod server;
 pub mod session;
+pub mod tenant;
 
 pub use metrics::MetricsSnapshot;
-pub use server::{QueryServer, RuntimeConfig};
+pub use net::{ClientFrame, NetClient, NetServer, QueryOutcome, ServerFrame};
+pub use server::{QueryServer, Rejection, RuntimeConfig};
 pub use session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEvent};
+pub use tenant::{TenantPolicy, TenantSnapshot, DEFAULT_TENANT};
 
 /// Convenient glob-import surface: `use mdq_runtime::prelude::*;`.
 pub mod prelude {
     pub use crate::metrics::{
         MetricsSnapshot, BATCH_SIZE_BOUNDS, LATENCY_BOUNDS, QUEUE_WAIT_BOUNDS,
     };
+    pub use crate::net::{ClientFrame, NetClient, NetServer, QueryOutcome, ServerFrame};
     pub use crate::plan_cache::{PlanCache, PlanKey};
-    pub use crate::server::{QueryServer, RuntimeConfig};
+    pub use crate::server::{QueryServer, Rejection, RuntimeConfig};
     pub use crate::session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEvent};
+    pub use crate::tenant::{TenantPolicy, TenantSnapshot, DEFAULT_TENANT};
 }

@@ -1,6 +1,7 @@
 //! Server metrics: cheap atomic counters sampled into a
 //! [`MetricsSnapshot`].
 
+use crate::tenant::TenantSnapshot;
 use mdq_exec::gateway::{PageShardStats, SharedServiceState};
 use mdq_model::schema::Schema;
 use mdq_obs::LatencySummary;
@@ -30,6 +31,34 @@ pub(crate) struct Metrics {
     pub(crate) submitted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
+    /// Submissions refused at the front door — shutdown, queue bounds
+    /// or tenant budget. Rejections never count as `submitted`, so the
+    /// invariant is `submitted == completed + failed + in-flight`.
+    pub(crate) rejected: AtomicU64,
+    /// Rejections because the global queue was at
+    /// [`RuntimeConfig::max_queue_depth`].
+    ///
+    /// [`RuntimeConfig::max_queue_depth`]: crate::server::RuntimeConfig::max_queue_depth
+    pub(crate) shed_queue_full: AtomicU64,
+    /// Rejections because the tenant's own queue was at its
+    /// [`TenantPolicy::max_queued`] bound.
+    ///
+    /// [`TenantPolicy::max_queued`]: crate::tenant::TenantPolicy::max_queued
+    pub(crate) shed_tenant_queue: AtomicU64,
+    /// Rejections because the tenant's cumulative call budget was
+    /// already spent at submission time.
+    pub(crate) shed_tenant_budget: AtomicU64,
+    /// Jobs whose worker panicked mid-execution; the session fails,
+    /// the worker survives.
+    pub(crate) worker_panics: AtomicU64,
+    /// Submissions refused from the failed-plan memo (the template
+    /// already failed to optimize; the optimizer is not re-run).
+    pub(crate) plan_failed_memo_hits: AtomicU64,
+    /// High-water mark of the admission queue depth.
+    pub(crate) peak_queue_depth: AtomicU64,
+    /// Network connections accepted by the serving edge (0 without a
+    /// [`NetServer`](crate::net::NetServer)).
+    pub(crate) connections: AtomicU64,
     pub(crate) plan_cache_hits: AtomicU64,
     pub(crate) plan_cache_misses: AtomicU64,
     pub(crate) optimizer_invocations: AtomicU64,
@@ -74,6 +103,14 @@ impl Metrics {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_tenant_queue: AtomicU64::new(0),
+            shed_tenant_budget: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            plan_failed_memo_hits: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
             optimizer_invocations: AtomicU64::new(0),
@@ -123,6 +160,12 @@ impl Metrics {
         self.queue_wait_buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Tracks the admission queue's high-water mark after a push.
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        self.peak_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
     /// Records one admission batch's member count.
     pub(crate) fn observe_batch_size(&self, members: usize) {
         let idx = BATCH_SIZE_BOUNDS
@@ -135,7 +178,13 @@ impl Metrics {
     /// Samples every counter plus the shared gateway state into a
     /// consistent-enough snapshot (counters are relaxed; exactness
     /// across counters is not guaranteed mid-flight).
-    pub(crate) fn snapshot(&self, shared: &SharedServiceState, schema: &Schema) -> MetricsSnapshot {
+    pub(crate) fn snapshot(
+        &self,
+        shared: &SharedServiceState,
+        schema: &Schema,
+        queue_depth: usize,
+        tenants: Vec<TenantSnapshot>,
+    ) -> MetricsSnapshot {
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
         let completed = self.completed.load(Ordering::Relaxed);
         let plan_hits = self.plan_cache_hits.load(Ordering::Relaxed);
@@ -168,6 +217,16 @@ impl Metrics {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_tenant_queue: self.shed_tenant_queue.load(Ordering::Relaxed),
+            shed_tenant_budget: self.shed_tenant_budget.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            plan_failed_memo_hits: self.plan_failed_memo_hits.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            tenants,
             qps: completed as f64 / uptime,
             plan_cache_hits: plan_hits,
             plan_cache_misses: plan_misses,
@@ -222,6 +281,40 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Queries that failed (parse, optimize, execution, budget).
     pub failed: u64,
+    /// Submissions refused at the front door — shutdown, admission
+    /// queue bounds or a spent tenant budget. Rejections are *not*
+    /// counted as `submitted`: `submitted == completed + failed +
+    /// in-flight` holds at all times.
+    pub rejected: u64,
+    /// Rejections because the global admission queue was at
+    /// [`RuntimeConfig::max_queue_depth`].
+    ///
+    /// [`RuntimeConfig::max_queue_depth`]: crate::server::RuntimeConfig::max_queue_depth
+    pub shed_queue_full: u64,
+    /// Rejections because the tenant's own queue was at its
+    /// [`TenantPolicy::max_queued`] bound.
+    ///
+    /// [`TenantPolicy::max_queued`]: crate::tenant::TenantPolicy::max_queued
+    pub shed_tenant_queue: u64,
+    /// Rejections because the tenant's cumulative call budget was
+    /// spent at submission time.
+    pub shed_tenant_budget: u64,
+    /// Jobs whose worker panicked mid-execution (the session failed,
+    /// the worker recovered).
+    pub worker_panics: u64,
+    /// Submissions refused from the failed-plan memo without re-running
+    /// the optimizer.
+    pub plan_failed_memo_hits: u64,
+    /// Jobs in the admission queue at sampling time.
+    pub queue_depth: u64,
+    /// High-water mark of the admission queue depth.
+    pub peak_queue_depth: u64,
+    /// Network connections accepted by the serving edge (0 without a
+    /// [`NetServer`](crate::net::NetServer)).
+    pub connections: u64,
+    /// Per-tenant serving counters, in tenant-id order (just the
+    /// default tenant unless tenants were registered).
+    pub tenants: Vec<TenantSnapshot>,
     /// Completed queries per second of uptime.
     pub qps: f64,
     /// Plan-cache hits (optimizer skipped).
@@ -308,6 +401,13 @@ pub struct MetricsSnapshot {
     pub batch_size_buckets: Vec<(Option<f64>, u64)>,
 }
 
+impl MetricsSnapshot {
+    /// Total submissions shed by admission control (all reasons).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_tenant_queue + self.shed_tenant_budget
+    }
+}
+
 impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -315,6 +415,38 @@ impl fmt::Display for MetricsSnapshot {
             "uptime {:.2}s · submitted {} · completed {} · failed {} · {:.1} q/s",
             self.uptime_seconds, self.submitted, self.completed, self.failed, self.qps
         )?;
+        if self.rejected > 0 || self.connections > 0 || self.peak_queue_depth > 0 {
+            writeln!(
+                f,
+                "serving edge: {} connections · {} rejected ({} queue-full · {} tenant-queue · {} tenant-budget) · queue depth {} (peak {}) · {} worker panics",
+                self.connections,
+                self.rejected,
+                self.shed_queue_full,
+                self.shed_tenant_queue,
+                self.shed_tenant_budget,
+                self.queue_depth,
+                self.peak_queue_depth,
+                self.worker_panics
+            )?;
+        }
+        if self.tenants.len() > 1 {
+            for t in &self.tenants {
+                writeln!(
+                    f,
+                    "  tenant {:<12} submitted {} · completed {} · failed {} · shed {} · {} calls{}",
+                    t.name,
+                    t.submitted,
+                    t.completed,
+                    t.failed,
+                    t.shed,
+                    t.forwarded_calls,
+                    match t.call_budget {
+                        Some(b) => format!(" / {b} budget"),
+                        None => String::new(),
+                    }
+                )?;
+            }
+        }
         writeln!(
             f,
             "plan cache: {} hits / {} misses ({:.0}%) · optimizer ran {}×",

@@ -1,0 +1,853 @@
+//! The network serving edge: a std-only TCP wire protocol over the
+//! [`QueryServer`].
+//!
+//! # Wire protocol (`mdq/1`)
+//!
+//! Newline-framed text, one frame per line, UTF-8. The server greets
+//! with `HELLO mdq/1`; the client then speaks:
+//!
+//! | client frame            | meaning                                   |
+//! |-------------------------|-------------------------------------------|
+//! | `TENANT <name>`         | run subsequent queries as this tenant     |
+//! | `QUERY [k=<n>] <text>`  | submit query text (conjunctive syntax)    |
+//! | `PING`                  | liveness probe                            |
+//! | `QUIT`                  | close the connection                      |
+//!
+//! and the server answers:
+//!
+//! | server frame                  | meaning                             |
+//! |-------------------------------|-------------------------------------|
+//! | `OK tenant=<id>`              | tenant handshake accepted           |
+//! | `ANSWER <tuple>`              | one answer, streamed in rank order  |
+//! | `DONE answers=<n> calls=<n> wall_ms=<n> partial=<bool>` | stream end |
+//! | `ERR <reason>`                | the query (or frame) failed         |
+//! | `SHED retry-after-ms=<n>`     | admission control refused the query |
+//! | `DRAINING`                    | the server is shutting down         |
+//! | `PONG` / `BYE`                | ping reply / close acknowledgement  |
+//!
+//! Load shedding is part of the protocol, not an error path: a `SHED`
+//! frame carries the server's retry-after hint and the connection stays
+//! usable — a well-behaved client backs off and retries. Graceful
+//! drain likewise: [`NetServer::shutdown`] stops accepting connections
+//! (new ones get `DRAINING`), lets every in-flight query finish, sends
+//! idle connections `DRAINING`, and only then shuts the query server
+//! down.
+
+use crate::server::{QueryServer, Rejection};
+use crate::session::SessionEvent;
+use crate::tenant::{TenantPolicy, DEFAULT_TENANT};
+use mdq_exec::gateway::TenantId;
+use mdq_obs::span::SpanKind;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and the accept loop re-check the drain flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Replaces newline characters so any text fits a one-line frame.
+fn escape_line(s: &str) -> String {
+    s.replace('\r', "\\r").replace('\n', "\\n")
+}
+
+/// One frame from client to server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// `TENANT <name>` — run subsequent queries as this tenant
+    /// (registered with an unlimited policy if unknown; an existing
+    /// registration keeps its policy).
+    Tenant {
+        /// The tenant name.
+        name: String,
+    },
+    /// `QUERY [k=<n>] <text>` — submit query text.
+    Query {
+        /// Answer target (`None` = the server's default).
+        k: Option<u64>,
+        /// The query text.
+        text: String,
+    },
+    /// `PING` — liveness probe.
+    Ping,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+impl ClientFrame {
+    /// Encodes the frame as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            ClientFrame::Tenant { name } => format!("TENANT {}", escape_line(name)),
+            ClientFrame::Query { k: Some(k), text } => {
+                format!("QUERY k={k} {}", escape_line(text))
+            }
+            ClientFrame::Query { k: None, text } => format!("QUERY {}", escape_line(text)),
+            ClientFrame::Ping => "PING".to_string(),
+            ClientFrame::Quit => "QUIT".to_string(),
+        }
+    }
+
+    /// Parses one line into a frame.
+    pub fn parse(line: &str) -> Result<ClientFrame, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((verb, rest)) => (verb, rest.trim_start()),
+            None => (line, ""),
+        };
+        match verb {
+            "TENANT" => {
+                if rest.is_empty() {
+                    return Err("TENANT requires a name".to_string());
+                }
+                Ok(ClientFrame::Tenant {
+                    name: rest.to_string(),
+                })
+            }
+            "QUERY" => {
+                let (k, text) = match rest.strip_prefix("k=") {
+                    Some(tail) => {
+                        let (num, text) = tail.split_once(' ').unwrap_or((tail, ""));
+                        let k = num
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad k value {num:?}"))?;
+                        (Some(k), text.trim_start())
+                    }
+                    None => (None, rest),
+                };
+                if text.is_empty() {
+                    return Err("QUERY requires query text".to_string());
+                }
+                Ok(ClientFrame::Query {
+                    k,
+                    text: text.to_string(),
+                })
+            }
+            "PING" => Ok(ClientFrame::Ping),
+            "QUIT" => Ok(ClientFrame::Quit),
+            other => Err(format!("unknown frame {other:?}")),
+        }
+    }
+}
+
+/// One frame from server to client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerFrame {
+    /// `HELLO mdq/1` — greeting, names the protocol version.
+    Hello {
+        /// The protocol identifier (`mdq/1`).
+        proto: String,
+    },
+    /// `OK tenant=<id>` — tenant handshake accepted.
+    Ok {
+        /// The tenant id the connection now runs as.
+        tenant: TenantId,
+    },
+    /// `ANSWER <tuple>` — one answer, in rank order.
+    Answer {
+        /// The rendered tuple.
+        tuple: String,
+    },
+    /// `DONE …` — the answer stream ended normally.
+    Done {
+        /// Answers streamed.
+        answers: u64,
+        /// Request-responses the query forwarded to services.
+        calls: u64,
+        /// Wall-clock milliseconds from dequeue to completion.
+        wall_ms: u64,
+        /// Whether the answers are partial (some service degraded).
+        partial: bool,
+    },
+    /// `ERR <reason>` — the query (or the frame itself) failed.
+    Err {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// `SHED retry-after-ms=<n>` — admission control refused the
+    /// query; retry after the hint.
+    Shed {
+        /// The server's retry-after hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// `DRAINING` — the server is shutting down and accepts no more
+    /// queries on this connection.
+    Draining,
+    /// `PONG` — ping reply.
+    Pong,
+    /// `BYE` — close acknowledgement.
+    Bye,
+}
+
+impl ServerFrame {
+    /// Encodes the frame as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            ServerFrame::Hello { proto } => format!("HELLO {proto}"),
+            ServerFrame::Ok { tenant } => format!("OK tenant={tenant}"),
+            ServerFrame::Answer { tuple } => format!("ANSWER {}", escape_line(tuple)),
+            ServerFrame::Done {
+                answers,
+                calls,
+                wall_ms,
+                partial,
+            } => {
+                format!("DONE answers={answers} calls={calls} wall_ms={wall_ms} partial={partial}")
+            }
+            ServerFrame::Err { reason } => format!("ERR {}", escape_line(reason)),
+            ServerFrame::Shed { retry_after_ms } => format!("SHED retry-after-ms={retry_after_ms}"),
+            ServerFrame::Draining => "DRAINING".to_string(),
+            ServerFrame::Pong => "PONG".to_string(),
+            ServerFrame::Bye => "BYE".to_string(),
+        }
+    }
+
+    /// Parses one line into a frame.
+    pub fn parse(line: &str) -> Result<ServerFrame, String> {
+        fn field<T: std::str::FromStr>(part: &str, key: &str) -> Result<T, String> {
+            part.strip_prefix(key)
+                .and_then(|v| v.strip_prefix('='))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("expected {key}=<value>, got {part:?}"))
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((verb, rest)) => (verb, rest),
+            None => (line, ""),
+        };
+        match verb {
+            "HELLO" => Ok(ServerFrame::Hello {
+                proto: rest.to_string(),
+            }),
+            "OK" => Ok(ServerFrame::Ok {
+                tenant: field(rest, "tenant")?,
+            }),
+            "ANSWER" => Ok(ServerFrame::Answer {
+                tuple: rest.to_string(),
+            }),
+            "DONE" => {
+                let mut parts = rest.split(' ');
+                let mut next = || parts.next().ok_or_else(|| "short DONE frame".to_string());
+                Ok(ServerFrame::Done {
+                    answers: field(next()?, "answers")?,
+                    calls: field(next()?, "calls")?,
+                    wall_ms: field(next()?, "wall_ms")?,
+                    partial: field(next()?, "partial")?,
+                })
+            }
+            "ERR" => Ok(ServerFrame::Err {
+                reason: rest.to_string(),
+            }),
+            "SHED" => Ok(ServerFrame::Shed {
+                retry_after_ms: field(rest, "retry-after-ms")?,
+            }),
+            "DRAINING" => Ok(ServerFrame::Draining),
+            "PONG" => Ok(ServerFrame::Pong),
+            "BYE" => Ok(ServerFrame::Bye),
+            other => Err(format!("unknown frame {other:?}")),
+        }
+    }
+}
+
+/// Recovers a mutex guard from a poisoned lock (a panicked connection
+/// handler must not wedge the listener).
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+struct NetShared {
+    query: Arc<QueryServer>,
+    draining: AtomicBool,
+    /// Connections currently open.
+    open: AtomicU64,
+}
+
+/// The TCP front door: accepts connections on a listener, speaks the
+/// `mdq/1` frame protocol per connection, and submits queries to the
+/// wrapped [`QueryServer`] under each connection's tenant.
+///
+/// ```no_run
+/// use mdq_runtime::net::{NetClient, NetServer};
+/// use mdq_runtime::server::{QueryServer, RuntimeConfig};
+/// use mdq_services::domains::news::news_world;
+/// use std::sync::Arc;
+///
+/// let server = Arc::new(QueryServer::from_world(news_world(), RuntimeConfig::default()));
+/// let net = NetServer::start(server, "127.0.0.1:0").expect("bind");
+/// let mut client = NetClient::connect(net.addr()).expect("connect");
+/// let outcome = client
+///     .query(
+///         "q(City, Venue, Price) :- events('mahler-2', City, Venue, D), \
+///          lowcost('Milano', City, Price), Price <= 60.0.",
+///         Some(5),
+///     )
+///     .expect("wire io");
+/// net.shutdown();
+/// ```
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop over `query`.
+    pub fn start(query: Arc<QueryServer>, addr: &str) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(NetShared {
+            query,
+            draining: AtomicBool::new(false),
+            open: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || loop {
+                if shared.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        if shared.draining.load(Ordering::Acquire) {
+                            // refuse with a drain notice, never silently
+                            let mut stream = stream;
+                            let _ = writeln!(stream, "{}", ServerFrame::Draining.encode());
+                            let _ = writeln!(stream, "{}", ServerFrame::Bye.encode());
+                            return;
+                        }
+                        let shared = Arc::clone(&shared);
+                        let handle =
+                            std::thread::spawn(move || handle_connection(&shared, stream, peer));
+                        let mut conns = recover(conns.lock());
+                        conns.retain(|h| !h.is_finished());
+                        conns.push(handle);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            })
+        };
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves the actual port after binding
+    /// `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> u64 {
+        self.shared.open.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting connections (late arrivals get
+    /// `DRAINING`), let in-flight queries finish and idle connections
+    /// notice the drain, join every handler, then shut the wrapped
+    /// [`QueryServer`] down. Idempotent; called automatically on drop.
+    pub fn shutdown(&self) {
+        let drain_started = Instant::now();
+        let in_flight = self.shared.open.load(Ordering::Acquire);
+        self.shared.draining.store(true, Ordering::Release);
+        if let Some(handle) = recover(self.accept.lock()).take() {
+            let _ = handle.join();
+        }
+        for handle in recover(self.conns.lock()).drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(recorder) = self.shared.query.trace_recorder() {
+            recorder.control().record(
+                SpanKind::Drain { in_flight },
+                drain_started.elapsed().as_secs_f64(),
+            );
+        }
+        self.shared.query.shutdown();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Decrements the open-connection gauge even if the handler panics.
+struct OpenGuard<'a>(&'a AtomicU64);
+
+impl Drop for OpenGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One connection, accept to close: greet, then serve frames until
+/// `QUIT`, EOF, a write failure, or drain.
+fn handle_connection(shared: &NetShared, stream: TcpStream, peer: SocketAddr) {
+    shared.open.fetch_add(1, Ordering::AcqRel);
+    let _open = OpenGuard(&shared.open);
+    shared.query.note_connection();
+    let connected_at = Instant::now();
+    let mut queries = 0u64;
+    // the read half polls so an idle connection notices the drain flag
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // answer frames are small and latency-bound: without nodelay, Nagle
+    // against the peer's delayed ACK adds ~40ms to every round trip
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // one write per frame: a frame split across writes can be torn
+    // apart by the peer's read timeout mid-line
+    let mut send =
+        |frame: ServerFrame| writer.write_all(format!("{}\n", frame.encode()).as_bytes());
+    if send(ServerFrame::Hello {
+        proto: "mdq/1".to_string(),
+    })
+    .is_err()
+    {
+        return;
+    }
+    let mut tenant = DEFAULT_TENANT;
+    let mut line = String::new();
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            let _ = send(ServerFrame::Draining);
+            let _ = send(ServerFrame::Bye);
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client went away
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // poll tick: re-check the drain flag. A partially read
+                // line stays in `line` and completes on a later tick —
+                // clearing here would tear frames that straddle a
+                // timeout
+                continue;
+            }
+            Err(_) => break,
+        }
+        let text = std::mem::take(&mut line);
+        if text.trim().is_empty() {
+            continue;
+        }
+        let frame = match ClientFrame::parse(&text) {
+            Ok(frame) => frame,
+            Err(reason) => {
+                if send(ServerFrame::Err { reason }).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let ok = match frame {
+            ClientFrame::Ping => send(ServerFrame::Pong).is_ok(),
+            ClientFrame::Quit => {
+                let _ = send(ServerFrame::Bye);
+                break;
+            }
+            ClientFrame::Tenant { name } => {
+                // an unknown name self-registers with the unlimited
+                // default policy; a pre-registered name keeps the
+                // policy the operator installed (first wins)
+                tenant = shared.query.register_tenant(&name, TenantPolicy::default());
+                send(ServerFrame::Ok { tenant }).is_ok()
+            }
+            ClientFrame::Query { k, text } => {
+                queries += 1;
+                serve_query(shared, &mut send, tenant, &text, k)
+            }
+        };
+        if !ok {
+            break;
+        }
+    }
+    if let Some(recorder) = shared.query.trace_recorder() {
+        recorder.control().record(
+            SpanKind::Connection {
+                peer: peer.to_string(),
+                queries,
+            },
+            connected_at.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+/// Submits one query and streams its session to the client. Returns
+/// whether the connection is still writable.
+fn serve_query(
+    shared: &NetShared,
+    send: &mut impl FnMut(ServerFrame) -> io::Result<()>,
+    tenant: TenantId,
+    text: &str,
+    k: Option<u64>,
+) -> bool {
+    let session = match shared.query.try_submit(tenant, text, k) {
+        Ok(session) => session,
+        Err(rejection) => {
+            let frame = match rejection {
+                Rejection::QueueFull { retry_after }
+                | Rejection::TenantQueueFull { retry_after } => ServerFrame::Shed {
+                    retry_after_ms: retry_after.as_millis() as u64,
+                },
+                Rejection::Closed => ServerFrame::Draining,
+                other => ServerFrame::Err {
+                    reason: other.to_string(),
+                },
+            };
+            return send(frame).is_ok();
+        }
+    };
+    let mut answers = 0u64;
+    loop {
+        match session.next_event() {
+            Some(SessionEvent::Answer(tuple)) => {
+                answers += 1;
+                if send(ServerFrame::Answer {
+                    tuple: tuple.to_string(),
+                })
+                .is_err()
+                {
+                    // client gone: dropping the session cancels the
+                    // query's remaining pulls
+                    return false;
+                }
+            }
+            Some(SessionEvent::Done(stats)) => {
+                return send(ServerFrame::Done {
+                    answers,
+                    calls: stats.forwarded_calls,
+                    wall_ms: (stats.wall_seconds * 1e3) as u64,
+                    partial: stats.is_partial(),
+                })
+                .is_ok();
+            }
+            Some(SessionEvent::Failed(reason)) => {
+                return send(ServerFrame::Err { reason }).is_ok();
+            }
+            None => {
+                return send(ServerFrame::Err {
+                    reason: "server shut down before the query finished".to_string(),
+                })
+                .is_ok();
+            }
+        }
+    }
+}
+
+/// What one `QUERY` frame produced, as seen by [`NetClient::query`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome {
+    /// The stream completed: answers in rank order plus the `DONE`
+    /// frame's statistics.
+    Done {
+        /// Rendered answer tuples, in rank order.
+        answers: Vec<String>,
+        /// Request-responses the query forwarded.
+        calls: u64,
+        /// Wall-clock milliseconds from dequeue to completion.
+        wall_ms: u64,
+        /// Whether the answers are partial.
+        partial: bool,
+    },
+    /// Admission control shed the query; retry after the hint.
+    Shed {
+        /// The server's retry-after hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The query failed.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The server is draining; the connection accepts no more queries.
+    Draining,
+}
+
+/// A blocking client for the `mdq/1` wire protocol — used by the
+/// examples and the overload harness, and small enough to crib for a
+/// real client.
+pub struct NetClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl NetClient {
+    /// Connects and consumes the server's `HELLO`.
+    pub fn connect(addr: SocketAddr) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        // request frames are small and latency-bound; see the server
+        // side — Nagle would stall every query by a delayed-ACK tick
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let mut client = NetClient {
+            writer,
+            reader: BufReader::new(stream),
+        };
+        match client.read_frame()? {
+            ServerFrame::Hello { .. } => Ok(client),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    fn send(&mut self, frame: &ClientFrame) -> io::Result<()> {
+        // one write per frame — see the server-side note on torn frames
+        self.writer
+            .write_all(format!("{}\n", frame.encode()).as_bytes())
+    }
+
+    fn read_frame(&mut self) -> io::Result<ServerFrame> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-stream",
+            ));
+        }
+        ServerFrame::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Runs the tenant handshake; subsequent queries run as `name`.
+    pub fn tenant(&mut self, name: &str) -> io::Result<TenantId> {
+        self.send(&ClientFrame::Tenant {
+            name: name.to_string(),
+        })?;
+        match self.read_frame()? {
+            ServerFrame::Ok { tenant } => Ok(tenant),
+            ServerFrame::Err { reason } => Err(io::Error::new(io::ErrorKind::InvalidInput, reason)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&ClientFrame::Ping)?;
+        match self.read_frame()? {
+            ServerFrame::Pong => Ok(()),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Submits one query and drains its stream. IO errors are `Err`;
+    /// everything the protocol can say (done, shed, failed, draining)
+    /// is a [`QueryOutcome`].
+    pub fn query(&mut self, text: &str, k: Option<u64>) -> io::Result<QueryOutcome> {
+        self.send(&ClientFrame::Query {
+            k,
+            text: text.to_string(),
+        })?;
+        let mut answers = Vec::new();
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Answer { tuple } => answers.push(tuple),
+                ServerFrame::Done {
+                    calls,
+                    wall_ms,
+                    partial,
+                    ..
+                } => {
+                    return Ok(QueryOutcome::Done {
+                        answers,
+                        calls,
+                        wall_ms,
+                        partial,
+                    })
+                }
+                ServerFrame::Shed { retry_after_ms } => {
+                    return Ok(QueryOutcome::Shed { retry_after_ms })
+                }
+                ServerFrame::Err { reason } => return Ok(QueryOutcome::Failed { reason }),
+                ServerFrame::Draining => return Ok(QueryOutcome::Draining),
+                other => return Err(protocol_error(&other)),
+            }
+        }
+    }
+
+    /// Closes the connection politely (waits for `BYE`).
+    pub fn quit(mut self) -> io::Result<()> {
+        self.send(&ClientFrame::Quit)?;
+        loop {
+            match self.read_frame() {
+                Ok(ServerFrame::Bye) => return Ok(()),
+                Ok(_) => continue, // drain stragglers until BYE
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn protocol_error(frame: &ServerFrame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected frame {frame:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RuntimeConfig;
+    use mdq_services::domains::news::news_world;
+
+    const QUERY: &str = "q(City, Venue, Price) :- events('mahler-2', City, Venue, D), \
+                         lowcost('Milano', City, Price), Price <= 60.0.";
+
+    #[test]
+    fn client_frames_round_trip() {
+        for frame in [
+            ClientFrame::Tenant {
+                name: "acme".to_string(),
+            },
+            ClientFrame::Query {
+                k: Some(5),
+                text: "q(X) :- s(X).".to_string(),
+            },
+            ClientFrame::Query {
+                k: None,
+                text: "q(X) :- s(X).".to_string(),
+            },
+            ClientFrame::Ping,
+            ClientFrame::Quit,
+        ] {
+            assert_eq!(ClientFrame::parse(&frame.encode()), Ok(frame));
+        }
+        assert!(ClientFrame::parse("QUERY").is_err(), "empty query text");
+        assert!(ClientFrame::parse("NOPE x").is_err(), "unknown verb");
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        for frame in [
+            ServerFrame::Hello {
+                proto: "mdq/1".to_string(),
+            },
+            ServerFrame::Ok { tenant: 3 },
+            ServerFrame::Answer {
+                tuple: "⟨'Milano', 42⟩".to_string(),
+            },
+            ServerFrame::Done {
+                answers: 5,
+                calls: 17,
+                wall_ms: 12,
+                partial: false,
+            },
+            ServerFrame::Err {
+                reason: "no such service".to_string(),
+            },
+            ServerFrame::Shed { retry_after_ms: 50 },
+            ServerFrame::Draining,
+            ServerFrame::Pong,
+            ServerFrame::Bye,
+        ] {
+            assert_eq!(ServerFrame::parse(&frame.encode()), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_serves_answers() {
+        let server = Arc::new(QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 2,
+                ..RuntimeConfig::default()
+            },
+        ));
+        let net = NetServer::start(server, "127.0.0.1:0").expect("bind");
+        let mut client = NetClient::connect(net.addr()).expect("connect");
+        client.ping().expect("ping");
+        let outcome = client.query(QUERY, Some(5)).expect("wire io");
+        match outcome {
+            QueryOutcome::Done { answers, calls, .. } => {
+                assert!(!answers.is_empty(), "query streams answers");
+                assert!(calls > 0, "DONE reports forwarded calls");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        client.quit().expect("clean close");
+        net.shutdown();
+    }
+
+    #[test]
+    fn tenant_handshake_scopes_budget() {
+        let server = Arc::new(QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        ));
+        // pre-registered with a zero call budget: every forwarded call
+        // is over budget, so the tenant's queries are shed at the door
+        server.register_tenant(
+            "starved",
+            TenantPolicy {
+                call_budget: Some(0),
+                ..TenantPolicy::default()
+            },
+        );
+        let net = NetServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+        let mut client = NetClient::connect(net.addr()).expect("connect");
+        let id = client.tenant("starved").expect("handshake");
+        assert!(id > 0, "tenant ids are distinct from the default");
+        match client.query(QUERY, Some(3)).expect("wire io") {
+            QueryOutcome::Failed { reason } => {
+                assert!(
+                    reason.contains("budget"),
+                    "budget exhaustion names the budget: {reason}"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // an untenanted connection on the same server is unaffected
+        let mut other = NetClient::connect(net.addr()).expect("connect");
+        match other.query(QUERY, Some(3)).expect("wire io") {
+            QueryOutcome::Done { answers, .. } => assert!(!answers.is_empty()),
+            o => panic!("default tenant unaffected, got {o:?}"),
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn drain_notifies_idle_connections_and_refuses_new_ones() {
+        let server = Arc::new(QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        ));
+        let net = NetServer::start(server, "127.0.0.1:0").expect("bind");
+        let addr = net.addr();
+        let mut idle = NetClient::connect(addr).expect("connect");
+        idle.ping().expect("ping");
+        let drainer = std::thread::spawn(move || net.shutdown());
+        // the idle connection is told about the drain rather than cut
+        let frame = idle.read_frame().expect("drain notice");
+        assert_eq!(frame, ServerFrame::Draining);
+        drainer.join().expect("drain completes");
+        // and the listener is gone: new connections fail outright
+        assert!(NetClient::connect(addr).is_err(), "listener closed");
+    }
+}

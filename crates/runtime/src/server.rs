@@ -7,13 +7,14 @@
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{PlanCache, PlanKey};
 use crate::session::{QuerySession, QueryStats, SessionEvent};
+use crate::tenant::{TenantInfo, TenantPolicy, TenantRegistry, DEFAULT_TENANT};
 use mdq_core::{Mdq, OptimizerReplanner};
 use mdq_cost::divergence::AdaptiveConfig;
 use mdq_cost::estimate::CacheSetting;
 use mdq_cost::metrics::ExecutionTime;
 use mdq_cost::shared::SharedWorkOracle;
 use mdq_exec::adaptive::AdaptiveTopK;
-use mdq_exec::gateway::{FaultStats, RetryPolicy, SharedServiceState};
+use mdq_exec::gateway::{FaultStats, RetryPolicy, SharedServiceState, TenantId};
 use mdq_exec::topk::TopKExecution;
 use mdq_model::fingerprint::fingerprint;
 use mdq_model::value::Tuple;
@@ -22,10 +23,12 @@ use mdq_obs::span::SpanKind;
 use mdq_optimizer::bnb::OptimizerConfig;
 use mdq_plan::dag::Plan;
 use mdq_services::domains::World;
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server policies. The defaults suit the simulated worlds: a small
 /// pool, the *optimal* (memoize-everything) cache shared across
@@ -88,6 +91,13 @@ pub struct RuntimeConfig {
     /// Answer target used when `submit` is called without an explicit
     /// `k`.
     pub default_k: u64,
+    /// Admission control: max jobs queued across all tenants before
+    /// further submissions are shed with a retry-after hint (`0` = the
+    /// pre-serving-edge unbounded queue).
+    pub max_queue_depth: usize,
+    /// The retry-after hint handed to shed submissions — how long a
+    /// well-behaved client should wait before retrying.
+    pub shed_retry_after: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +115,8 @@ impl Default for RuntimeConfig {
             batch_window: None,
             batch_max: 16,
             default_k: 10,
+            max_queue_depth: 0,
+            shed_retry_after: Duration::from_millis(50),
         }
     }
 }
@@ -117,11 +129,12 @@ struct ServerState {
     plans: Mutex<PlanState>,
     /// Signalled when a plan lands in (or drops out of) the cache, so
     /// workers waiting on a single-flight optimization re-probe.
-    plan_ready: std::sync::Condvar,
+    plan_ready: Condvar,
     /// Prefix signatures seen at admission (batching only): a prefix
     /// admitted once before is popular enough to materialize when it
     /// shows up again, even if its first carrier ran unshared.
     admitted_prefixes: Mutex<std::collections::HashSet<mdq_model::fingerprint::SubplanSignature>>,
+    tenants: TenantRegistry,
     metrics: Metrics,
 }
 
@@ -130,17 +143,37 @@ struct ServerState {
 /// heuristic, never correctness).
 const ADMITTED_PREFIX_CAP: usize = 16_384;
 
+/// Bound on the failed-plan memo; reaching it clears the memo (the
+/// next submission of a broken template re-runs the optimizer once and
+/// re-memoizes — coarse, but the memo only suppresses repeat work).
+const FAILED_PLAN_CAP: usize = 1_024;
+
 /// The plan cache plus the keys currently being optimized
 /// (single-flight: concurrent submissions of one template wait for the
-/// first optimization instead of duplicating it).
+/// first optimization instead of duplicating it) and the templates that
+/// already failed to optimize (waiters and later submissions wake into
+/// the error instead of re-running the optimizer or blocking forever —
+/// the plan-cache analogue of the gateway's failed-page memo).
 struct PlanState {
     cache: PlanCache,
     optimizing: std::collections::HashSet<PlanKey>,
+    failed: HashMap<PlanKey, String>,
+}
+
+/// Recovers a mutex guard from a poisoned lock: the protected state is
+/// counters/caches whose worst case after an interrupted update is a
+/// stale entry, never corruption — and propagating the poison would let
+/// one panicking job take down every worker with it.
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 struct Job {
     text: String,
     k: u64,
+    /// The tenant this job runs as (scheduling, budgets, attribution).
+    tenant: TenantId,
+    tinfo: Arc<TenantInfo>,
     events: mpsc::Sender<SessionEvent>,
     /// When `submit` accepted the job — the queue-wait histogram
     /// measures from here to worker dequeue.
@@ -148,6 +181,198 @@ struct Job {
     /// Filled by the admission batcher: plan resolved at batch-planning
     /// time plus batch bookkeeping. `None` = the worker plans.
     prepared: Option<Prepared>,
+}
+
+/// Why a submission was refused at the front door. Shed variants carry
+/// the server's retry-after hint; the others are terminal.
+#[derive(Clone, Debug)]
+pub enum Rejection {
+    /// The global admission queue is at
+    /// [`RuntimeConfig::max_queue_depth`] — retry after the hint.
+    QueueFull {
+        /// How long a well-behaved client should wait before retrying.
+        retry_after: Duration,
+    },
+    /// The tenant's own queue is at its
+    /// [`TenantPolicy::max_queued`](crate::tenant::TenantPolicy::max_queued)
+    /// bound — retry after the hint.
+    TenantQueueFull {
+        /// How long a well-behaved client should wait before retrying.
+        retry_after: Duration,
+    },
+    /// The tenant's cumulative forwarded-call budget is spent; retrying
+    /// cannot help until the budget is raised.
+    TenantBudgetExhausted,
+    /// The tenant id was never registered.
+    UnknownTenant,
+    /// The server is shut down (or draining) and accepts nothing new.
+    Closed,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { retry_after } => {
+                write!(f, "admission queue full; retry after {retry_after:?}")
+            }
+            Rejection::TenantQueueFull { retry_after } => {
+                write!(f, "tenant queue full; retry after {retry_after:?}")
+            }
+            Rejection::TenantBudgetExhausted => write!(f, "tenant call budget exhausted"),
+            Rejection::UnknownTenant => write!(f, "unknown tenant"),
+            Rejection::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// The admission queue: one FIFO per tenant, drained round-robin, with
+/// a global depth bound. Fairness is structural — a tenant flooding its
+/// own queue delays only itself; every pop serves the next tenant in
+/// rotation.
+struct Scheduler {
+    inner: Mutex<SchedulerInner>,
+    /// Signalled on push and on close.
+    available: Condvar,
+    /// Global bound (`0` = unbounded).
+    max_depth: usize,
+    /// The hint stamped into shed rejections.
+    retry_after: Duration,
+}
+
+struct SchedulerInner {
+    /// Per-tenant FIFOs (entries persist once a tenant submits).
+    queues: HashMap<TenantId, VecDeque<Job>>,
+    /// Tenants with a non-empty queue, in service rotation order.
+    rr: VecDeque<TenantId>,
+    /// Total queued jobs across all tenants.
+    depth: usize,
+    /// `false` once the server begins draining: pushes are refused,
+    /// pops serve the backlog then return `None`.
+    open: bool,
+}
+
+/// Outcome of a bounded-wait pop (the admission batcher's clock).
+enum Pop {
+    Job(Box<Job>),
+    TimedOut,
+    /// Closed *and* drained — nothing will ever arrive again.
+    Closed,
+}
+
+impl Scheduler {
+    fn new(max_depth: usize, retry_after: Duration) -> Self {
+        Scheduler {
+            inner: Mutex::new(SchedulerInner {
+                queues: HashMap::new(),
+                rr: VecDeque::new(),
+                depth: 0,
+                open: true,
+            }),
+            available: Condvar::new(),
+            max_depth,
+            retry_after,
+        }
+    }
+
+    /// Enqueues `job` under its tenant, enforcing the global and
+    /// per-tenant depth bounds. Returns the new global depth; a
+    /// rejected job is dropped (its session sees the rejection through
+    /// the caller).
+    fn push(&self, job: Job, tenant_cap: usize) -> Result<usize, Rejection> {
+        let mut inner = recover(self.inner.lock());
+        if !inner.open {
+            return Err(Rejection::Closed);
+        }
+        if self.max_depth > 0 && inner.depth >= self.max_depth {
+            let retry_after = self.retry_after;
+            return Err(Rejection::QueueFull { retry_after });
+        }
+        let tenant = job.tenant;
+        let queue = inner.queues.entry(tenant).or_default();
+        if tenant_cap > 0 && queue.len() >= tenant_cap {
+            let retry_after = self.retry_after;
+            return Err(Rejection::TenantQueueFull { retry_after });
+        }
+        let was_empty = queue.is_empty();
+        queue.push_back(job);
+        if was_empty {
+            inner.rr.push_back(tenant);
+        }
+        inner.depth += 1;
+        let depth = inner.depth;
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Pops the next job in tenant rotation, blocking while the queue
+    /// is open and empty. `None` = closed and fully drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = recover(self.inner.lock());
+        loop {
+            if let Some(job) = Self::take(&mut inner) {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = recover(self.available.wait(inner));
+        }
+    }
+
+    /// [`Scheduler::pop`] with a deadline, for the admission batcher's
+    /// window clock.
+    fn pop_timeout(&self, timeout: Duration) -> Pop {
+        let deadline = Instant::now() + timeout;
+        let mut inner = recover(self.inner.lock());
+        loop {
+            if let Some(job) = Self::take(&mut inner) {
+                return Pop::Job(Box::new(job));
+            }
+            if !inner.open {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Pop::TimedOut;
+            }
+            let (guard, timed_out) = recover(self.available.wait_timeout(inner, deadline - now));
+            inner = guard;
+            if timed_out.timed_out() && Self::peek_empty(&inner) && inner.open {
+                return Pop::TimedOut;
+            }
+        }
+    }
+
+    fn peek_empty(inner: &SchedulerInner) -> bool {
+        inner.rr.is_empty()
+    }
+
+    /// Dequeues the front tenant's next job and rotates the tenant to
+    /// the back of the service order while it still has work queued.
+    fn take(inner: &mut SchedulerInner) -> Option<Job> {
+        let tenant = inner.rr.pop_front()?;
+        let queue = inner.queues.get_mut(&tenant).expect("rr lists live queues");
+        let job = queue.pop_front().expect("rr lists non-empty queues");
+        if !queue.is_empty() {
+            inner.rr.push_back(tenant);
+        }
+        inner.depth -= 1;
+        Some(job)
+    }
+
+    /// Stops accepting pushes; queued jobs still drain. Wakes every
+    /// sleeper so idle workers observe the close.
+    fn close(&self) {
+        recover(self.inner.lock()).open = false;
+        self.available.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        recover(self.inner.lock()).depth
+    }
 }
 
 /// What the admission batcher resolved for one batch member.
@@ -178,8 +403,24 @@ struct Prepared {
 /// ```
 pub struct QueryServer {
     state: Arc<ServerState>,
-    queue: Mutex<Option<mpsc::Sender<Job>>>,
+    scheduler: Arc<Scheduler>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Where a worker takes its next job from: the scheduler directly, or
+/// the admission batcher's prepared-job channel when batching is on.
+enum WorkSource {
+    Direct(Arc<Scheduler>),
+    Batched(Arc<Mutex<mpsc::Receiver<Job>>>),
+}
+
+impl WorkSource {
+    fn next(&self) -> Option<Job> {
+        match self {
+            WorkSource::Direct(sched) => sched.pop(),
+            WorkSource::Batched(rx) => recover(rx.lock()).recv().ok(),
+        }
+    }
 }
 
 impl QueryServer {
@@ -195,46 +436,65 @@ impl QueryServer {
             plans: Mutex::new(PlanState {
                 cache: PlanCache::new(config.plan_cache_capacity),
                 optimizing: std::collections::HashSet::new(),
+                failed: HashMap::new(),
             }),
-            plan_ready: std::sync::Condvar::new(),
+            plan_ready: Condvar::new(),
             admitted_prefixes: Mutex::new(std::collections::HashSet::new()),
+            tenants: TenantRegistry::new(),
             metrics: Metrics::new(),
             engine,
             config,
         });
-        let (submit_tx, submit_rx) = mpsc::channel::<Job>();
+        let scheduler = Arc::new(Scheduler::new(
+            config.max_queue_depth,
+            config.shed_retry_after,
+        ));
         let mut workers = Vec::new();
-        let work_rx = match config.batch_window {
+        let source = match config.batch_window {
             Some(window) => {
-                // the admission batcher sits between the submission
-                // queue and the worker pool: it groups arrivals, plans
-                // each batch with cross-member shared-prefix detection
-                // and forwards the prepared jobs
+                // the admission batcher sits between the scheduler and
+                // the worker pool: it groups arrivals, plans each batch
+                // with cross-member shared-prefix detection and
+                // forwards the prepared jobs
                 let (work_tx, work_rx) = mpsc::channel::<Job>();
                 let state = Arc::clone(&state);
+                let sched = Arc::clone(&scheduler);
                 let max = config.batch_max.max(1);
                 workers.push(std::thread::spawn(move || {
-                    batch_loop(&state, submit_rx, work_tx, window, max)
+                    batch_loop(&state, &sched, work_tx, window, max)
                 }));
-                work_rx
+                let rx = Arc::new(Mutex::new(work_rx));
+                WorkSource::Batched(rx)
             }
-            None => submit_rx,
+            None => WorkSource::Direct(Arc::clone(&scheduler)),
         };
-        let work_rx = Arc::new(Mutex::new(work_rx));
+        let source = Arc::new(source);
         workers.extend((0..config.workers.max(1)).map(|_| {
             let state = Arc::clone(&state);
-            let rx = Arc::clone(&work_rx);
-            std::thread::spawn(move || loop {
-                let job = match rx.lock().expect("queue lock").recv() {
-                    Ok(job) => job,
-                    Err(_) => return, // queue closed: shutdown
-                };
-                process(&state, job);
+            let source = Arc::clone(&source);
+            std::thread::spawn(move || {
+                while let Some(job) = source.next() {
+                    // one bad query must not take down the pool: a
+                    // panicking job fails its own session, the worker
+                    // recovers and serves the next job (lock poisoning
+                    // is tolerated throughout — see `recover`)
+                    let events = job.events.clone();
+                    let tinfo = Arc::clone(&job.tinfo);
+                    let run = std::panic::catch_unwind(AssertUnwindSafe(|| process(&state, job)));
+                    if run.is_err() {
+                        state.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                        tinfo.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = events.send(SessionEvent::Failed(
+                            "worker panicked while executing the query".into(),
+                        ));
+                    }
+                }
             })
         }));
         QueryServer {
             state,
-            queue: Mutex::new(Some(submit_tx)),
+            scheduler,
             workers: Mutex::new(workers),
         }
     }
@@ -244,37 +504,141 @@ impl QueryServer {
         Self::new(Mdq::from_world(world), config)
     }
 
+    /// Registers a tenant (or returns the existing id for `name` —
+    /// first registration wins, the policy is never relaxed by a
+    /// re-register). The policy's budget and store quota are installed
+    /// into the shared gateway state immediately.
+    pub fn register_tenant(&self, name: &str, policy: TenantPolicy) -> TenantId {
+        let id = self.state.tenants.register(name, policy);
+        // install the policy that actually won (the first registration's
+        // on a re-register) — installing the caller's would let a
+        // reconnecting client overwrite its own budget cells
+        let winner = self
+            .state
+            .tenants
+            .get(id)
+            .map(|t| t.policy)
+            .unwrap_or(policy);
+        self.state.shared.set_tenant_budget(id, winner.call_budget);
+        self.state
+            .shared
+            .set_tenant_sub_quota(id, winner.sub_result_quota);
+        id
+    }
+
+    /// The id registered under `name`, if any.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.state.tenants.lookup(name)
+    }
+
     /// Submits query text for execution; `k` defaults to the server's
     /// `default_k`. Returns immediately with a [`QuerySession`]
-    /// streaming answers as a worker produces them.
+    /// streaming answers as a worker produces them. Runs as the default
+    /// tenant; a rejection (shutdown, or admission bounds when
+    /// [`RuntimeConfig::max_queue_depth`] is set) surfaces as a failed
+    /// session.
     pub fn submit(&self, text: &str, k: Option<u64>) -> QuerySession {
+        match self.try_submit(DEFAULT_TENANT, text, k) {
+            Ok(session) => session,
+            Err(rejection) => {
+                let (events, rx) = mpsc::channel();
+                let _ = events.send(SessionEvent::Failed(rejection.to_string()));
+                QuerySession { rx }
+            }
+        }
+    }
+
+    /// Submits query text as `tenant`, enforcing admission control at
+    /// the front door: a full global queue, a full tenant queue or a
+    /// spent tenant budget sheds the submission *now* — with a
+    /// retry-after hint where retrying can help — instead of queueing
+    /// unboundedly. Rejections count in [`MetricsSnapshot::rejected`]
+    /// and the shed counters, never in `submitted`.
+    ///
+    /// [`MetricsSnapshot::rejected`]: crate::metrics::MetricsSnapshot::rejected
+    pub fn try_submit(
+        &self,
+        tenant: TenantId,
+        text: &str,
+        k: Option<u64>,
+    ) -> Result<QuerySession, Rejection> {
+        let metrics = &self.state.metrics;
+        let Some(tinfo) = self.state.tenants.get(tenant) else {
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::UnknownTenant);
+        };
+        // a tenant whose cumulative budget is already spent would only
+        // occupy a worker to fail — shed at the door, where the client
+        // gets a typed rejection instead of a burned queue slot
+        if !self.state.shared.tenant_has_room(tenant) {
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics.shed_tenant_budget.fetch_add(1, Ordering::Relaxed);
+            tinfo.shed.fetch_add(1, Ordering::Relaxed);
+            self.record_shed(tenant, "tenant_budget");
+            return Err(Rejection::TenantBudgetExhausted);
+        }
         let (events, rx) = mpsc::channel();
-        self.state.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let job = Job {
             text: text.to_string(),
             k: k.unwrap_or(self.state.config.default_k),
+            tenant,
+            tinfo: Arc::clone(&tinfo),
             events,
             submitted_at: Instant::now(),
             prepared: None,
         };
-        let rejected = match &*self.queue.lock().expect("queue lock") {
-            Some(tx) => {
-                // a send can only fail if every worker died; surface it
-                // as a failed session rather than panicking the caller
-                match tx.send(job) {
-                    Ok(()) => None,
-                    Err(mpsc::SendError(job)) => Some((job, "server has no live workers")),
-                }
+        match self.scheduler.push(job, tinfo.policy.max_queued) {
+            Ok(depth) => {
+                metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                metrics.observe_queue_depth(depth);
+                tinfo.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(QuerySession { rx })
             }
-            None => Some((job, "server is shut down")),
-        };
-        if let Some((job, reason)) = rejected {
-            // a rejected submission is a failed query: keep the
-            // submitted = completed + failed + in-flight invariant
-            self.state.metrics.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = job.events.send(SessionEvent::Failed(reason.into()));
+            Err(rejection) => {
+                metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                match &rejection {
+                    Rejection::QueueFull { .. } => {
+                        metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                        tinfo.shed.fetch_add(1, Ordering::Relaxed);
+                        self.record_shed(tenant, "queue_full");
+                    }
+                    Rejection::TenantQueueFull { .. } => {
+                        metrics.shed_tenant_queue.fetch_add(1, Ordering::Relaxed);
+                        tinfo.shed.fetch_add(1, Ordering::Relaxed);
+                        self.record_shed(tenant, "tenant_queue_full");
+                    }
+                    _ => {}
+                }
+                Err(rejection)
+            }
         }
-        QuerySession { rx }
+    }
+
+    /// Records a shed event on the control track when tracing is on.
+    fn record_shed(&self, tenant: TenantId, reason: &'static str) {
+        if let Some(recorder) = self.state.shared.trace_recorder() {
+            recorder.control().instant(SpanKind::Shed {
+                tenant: u64::from(tenant),
+                reason,
+                retry_after_ms: self.state.config.shed_retry_after.as_millis() as u64,
+            });
+        }
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.depth()
+    }
+
+    /// Counts one accepted network connection (the serving edge's
+    /// hook into [`MetricsSnapshot::connections`]).
+    ///
+    /// [`MetricsSnapshot::connections`]: crate::metrics::MetricsSnapshot::connections
+    pub(crate) fn note_connection(&self) {
+        self.state
+            .metrics
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The engine this server executes against.
@@ -316,29 +680,49 @@ impl QueryServer {
         self.state.shared.clear_failed_pages()
     }
 
+    /// Forgets every memoized plan failure, returning how many were
+    /// dropped — the recovery lever after the condition that made a
+    /// template unoptimizable (say, a dropped service) is fixed.
+    pub fn forget_failed_plans(&self) -> usize {
+        let mut plans = recover(self.state.plans.lock());
+        let dropped = plans.failed.len();
+        plans.failed.clear();
+        dropped
+    }
+
     /// Plans currently held by the plan cache.
     pub fn cached_plans(&self) -> usize {
-        self.state
-            .plans
-            .lock()
-            .expect("plan cache lock")
-            .cache
-            .len()
+        recover(self.state.plans.lock()).cache.len()
     }
 
     /// Samples the server's metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.state
-            .metrics
-            .snapshot(&self.state.shared, self.state.engine.schema())
+        let tenants = self
+            .state
+            .tenants
+            .all()
+            .into_iter()
+            .enumerate()
+            .map(|(id, t)| {
+                let id = id as TenantId;
+                t.snapshot(id, self.state.shared.tenant_calls(id))
+            })
+            .collect();
+        self.state.metrics.snapshot(
+            &self.state.shared,
+            self.state.engine.schema(),
+            self.scheduler.depth(),
+            tenants,
+        )
     }
 
     /// Stops accepting submissions, drains the queue and joins the
-    /// workers. Called automatically on drop; explicit calls make the
-    /// drain point visible in calling code.
+    /// workers (in-flight and queued queries complete — a graceful
+    /// drain, not an abort). Called automatically on drop; explicit
+    /// calls make the drain point visible in calling code.
     pub fn shutdown(&self) {
-        drop(self.queue.lock().expect("queue lock").take());
-        for handle in self.workers.lock().expect("workers lock").drain(..) {
+        self.scheduler.close();
+        for handle in recover(self.workers.lock()).drain(..) {
             let _ = handle.join();
         }
     }
@@ -353,16 +737,28 @@ impl Drop for QueryServer {
 /// Probes the plan cache. On a miss the key is claimed for
 /// single-flight optimization: concurrent submissions of the same
 /// template block here until the first worker's plan lands, instead of
-/// all running the optimizer. Returns `None` when the caller must
-/// optimize (it then owns the claim and must release it). With plan
+/// all running the optimizer. Returns `Ok(None)` when the caller must
+/// optimize (it then owns the claim and must release it), and
+/// `Err(reason)` when the template is memoized as unoptimizable —
+/// including for waiters that blocked on a claim whose owner's
+/// optimizer failed: the owner publishes the error *before* releasing
+/// the claim, so a waiter always wakes into either the plan or the
+/// error, never into re-running a doomed optimization. With plan
 /// caching disabled (`capacity == 0`) every call misses immediately —
-/// no claims, no waiting.
-fn lookup_single_flight(state: &ServerState, key: &PlanKey) -> Option<Arc<Plan>> {
+/// no claims, no waiting, no memo.
+fn lookup_single_flight(state: &ServerState, key: &PlanKey) -> Result<Option<Arc<Plan>>, String> {
     if state.config.plan_cache_capacity == 0 {
-        return None;
+        return Ok(None);
     }
-    let mut plans = state.plans.lock().expect("plan cache lock");
+    let mut plans = recover(state.plans.lock());
     loop {
+        if let Some(reason) = plans.failed.get(key) {
+            state
+                .metrics
+                .plan_failed_memo_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(reason.clone());
+        }
         if let Some((plan, discounted)) = plans.cache.get(key) {
             // a discounted plan assumed a materialized prefix; once
             // that prefix is gone the entry is stale — claim the key
@@ -372,17 +768,32 @@ fn lookup_single_flight(state: &ServerState, key: &PlanKey) -> Option<Arc<Plan>>
                     .iter()
                     .any(|p| state.shared.is_materialized(p.signature))
             {
-                return Some(plan);
+                return Ok(Some(plan));
             }
         }
         if plans.optimizing.insert(*key) {
-            return None;
+            return Ok(None);
         }
-        plans = state
-            .plan_ready
-            .wait(plans)
-            .expect("plan cache lock poisoned");
+        plans = recover(state.plan_ready.wait(plans));
     }
+}
+
+/// Memoizes an optimizer failure for `key` so every waiter and later
+/// submission of the template fails immediately instead of re-running
+/// the optimizer. Must be called while the single-flight claim is still
+/// held — publish, *then* release — so waiters wake into the memo.
+fn memoize_failed_plan(state: &ServerState, key: PlanKey, reason: &str) {
+    if state.config.plan_cache_capacity == 0 {
+        return;
+    }
+    let mut plans = recover(state.plans.lock());
+    // coarse reset over per-entry eviction: failures are rare, and a
+    // full memo means something systemic that a restart-style flush
+    // handles better than LRU churn
+    if plans.failed.len() >= FAILED_PLAN_CAP {
+        plans.failed.clear();
+    }
+    plans.failed.insert(key, reason.to_string());
 }
 
 /// Releases a single-flight optimization claim and wakes the waiters —
@@ -408,22 +819,24 @@ impl Drop for ClaimGuard<'_> {
     }
 }
 
-/// The admission batcher: drains the submission queue into batches —
-/// the first arrival opens a batch, further arrivals join until the
-/// window elapses or the batch is full (while workers are busy, queued
+/// The admission batcher: drains the scheduler into batches — the first
+/// arrival opens a batch, further arrivals join until the window
+/// elapses or the batch is full (while workers are busy, queued
 /// submissions join naturally) — plans each batch as a unit and
-/// forwards the prepared jobs to the worker pool.
+/// forwards the prepared jobs to the worker pool. Because jobs come off
+/// the scheduler, batch membership inherits its round-robin fairness:
+/// one flooding tenant cannot fill every batch.
 fn batch_loop(
     state: &Arc<ServerState>,
-    rx: mpsc::Receiver<Job>,
+    sched: &Scheduler,
     tx: mpsc::Sender<Job>,
     window: std::time::Duration,
     max: usize,
 ) {
     loop {
-        let first = match rx.recv() {
-            Ok(job) => job,
-            Err(_) => return, // submissions closed: shutdown
+        let first = match sched.pop() {
+            Some(job) => job,
+            None => return, // scheduler closed and drained: shutdown
         };
         let mut batch = vec![first];
         let deadline = Instant::now() + window;
@@ -432,9 +845,10 @@ fn batch_loop(
             if now >= deadline {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
-                Ok(job) => batch.push(job),
-                Err(_) => break, // window elapsed or submissions closed
+            match sched.pop_timeout(deadline - now) {
+                Pop::Job(job) => batch.push(*job),
+                Pop::TimedOut => break, // window elapsed
+                Pop::Closed => break,   // drain: plan what we have
             }
         }
         state.metrics.observe_batch_size(batch.len());
@@ -494,7 +908,20 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
         let cached = if state.config.plan_cache_capacity == 0 {
             None
         } else {
-            state.plans.lock().expect("plan cache lock").cache.get(&key)
+            let mut plans = recover(state.plans.lock());
+            if let Some(reason) = plans.failed.get(&key) {
+                // the template is memoized as unoptimizable: fail the
+                // session without burning an optimizer run
+                state
+                    .metrics
+                    .plan_failed_memo_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                job.tinfo.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.events.send(SessionEvent::Failed(reason.clone()));
+                continue;
+            }
+            plans.cache.get(&key)
         };
         // a discounted entry assumed a materialized prefix: reuse it
         // only while that prefix is still live (in the store, or being
@@ -579,7 +1006,7 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
                             && mdq_plan::signature::invoke_prefixes(&plan)
                                 .iter()
                                 .any(|p| oracle.is_materialized(p.signature));
-                        let mut plans = state.plans.lock().expect("plan cache lock");
+                        let mut plans = recover(state.plans.lock());
                         if discounted {
                             plans.cache.insert_discounted(key, Arc::clone(&plan));
                         } else {
@@ -590,9 +1017,14 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
                     }
                     Err(e) => {
                         // fail the session here — the worker must not
-                        // re-run (and re-count) the optimizer
+                        // re-run (and re-count) the optimizer — and
+                        // memoize the failure so the template never
+                        // burns another optimizer run
+                        let reason = e.to_string();
+                        memoize_failed_plan(state, key, &reason);
                         state.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                        let _ = job.events.send(SessionEvent::Failed(e.to_string()));
+                        job.tinfo.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.events.send(SessionEvent::Failed(reason));
                         continue;
                     }
                 }
@@ -633,10 +1065,7 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
             *counts.entry(*s).or_insert(0) += 1;
         }
     }
-    let mut admitted = state
-        .admitted_prefixes
-        .lock()
-        .expect("admitted prefixes lock");
+    let mut admitted = recover(state.admitted_prefixes.lock());
     for (job, sigs) in out.iter_mut().zip(&member_sigs) {
         let Some(prepared) = job.prepared.as_mut() else {
             continue;
@@ -681,6 +1110,7 @@ fn process(state: &ServerState, job: Job) {
         .observe_queue_wait(job.submitted_at.elapsed().as_secs_f64());
     let fail = |reason: String| {
         state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        job.tinfo.failed.fetch_add(1, Ordering::Relaxed);
         let _ = job.events.send(SessionEvent::Failed(reason));
     };
 
@@ -702,7 +1132,10 @@ fn process(state: &ServerState, job: Job) {
                 Err(e) => return fail(e.to_string()),
             };
             let key = (fingerprint(&query), job.k);
-            let cached = lookup_single_flight(state, &key);
+            let cached = match lookup_single_flight(state, &key) {
+                Ok(cached) => cached,
+                Err(reason) => return fail(reason),
+            };
             let plan_cache_hit = cached.is_some();
             let ctl = state.shared.trace_recorder().map(|r| r.control());
             let plan: Arc<Plan> = match cached {
@@ -751,13 +1184,21 @@ fn process(state: &ServerState, job: Job) {
                         ctl.record(SpanKind::Optimize, opt_started.elapsed().as_secs_f64());
                     }
                     let plan = optimized.map(|o| Arc::new(o.candidate.plan));
-                    if let Ok(plan) = &plan {
-                        state
-                            .plans
-                            .lock()
-                            .expect("plan cache lock")
-                            .cache
-                            .insert(key, Arc::clone(plan));
+                    match &plan {
+                        Ok(plan) => {
+                            recover(state.plans.lock())
+                                .cache
+                                .insert(key, Arc::clone(plan));
+                        }
+                        Err(e) => {
+                            // publish the failure while the claim is
+                            // still held: when the guard's release
+                            // wakes the waiters they find the memo and
+                            // fail immediately, instead of waking into
+                            // an empty cache and re-claiming the doomed
+                            // template one by one
+                            memoize_failed_plan(state, key, &e.to_string());
+                        }
                     }
                     drop(claim);
                     match plan {
@@ -786,6 +1227,14 @@ fn process(state: &ServerState, job: Job) {
         }
     }
 
+    // the tenant's per-query budget override wins over the server-wide
+    // default; forwarded calls are charged to the tenant's cumulative
+    // budget cell inside the gateway either way
+    let call_budget = job
+        .tinfo
+        .policy
+        .per_query_call_budget
+        .or(state.config.call_budget);
     let mut exec = match &state.config.adaptive {
         Some(adaptive) => {
             // the re-planner consults the shared state as its
@@ -802,27 +1251,29 @@ fn process(state: &ServerState, job: Job) {
                     },
                 )
                 .with_oracle(Arc::clone(&state.shared) as Arc<_>);
-            match AdaptiveTopK::with_shared(
+            match AdaptiveTopK::with_shared_tenant(
                 &plan,
                 state.engine.schema(),
                 state.engine.registry(),
                 Arc::clone(&state.shared),
-                state.config.call_budget,
+                call_budget,
                 false,
                 adaptive,
+                Some(job.tenant),
             ) {
                 Ok(a) => Exec::Adaptive(Box::new(a), Box::new(replanner)),
                 Err(e) => return fail(e.to_string()),
             }
         }
-        None => match TopKExecution::with_shared_mqo(
+        None => match TopKExecution::with_shared_tenant(
             &plan,
             state.engine.schema(),
             state.engine.registry(),
             Arc::clone(&state.shared),
-            state.config.call_budget,
+            call_budget,
             false,
             materialize,
+            Some(job.tenant),
         ) {
             Ok(p) => Exec::Frozen(p),
             Err(e) => return fail(e.to_string()),
@@ -920,10 +1371,7 @@ fn process(state: &ServerState, job: Job) {
     // starts from the corrected plan instead of the stale one
     if replans > 0 {
         if let Exec::Adaptive(pull, _) = &exec {
-            state
-                .plans
-                .lock()
-                .expect("plan cache lock")
+            recover(state.plans.lock())
                 .cache
                 .insert(key, Arc::new(pull.plan().clone()));
         }
@@ -934,8 +1382,10 @@ fn process(state: &ServerState, job: Job) {
 
     let wall = started.elapsed().as_secs_f64();
     state.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    job.tinfo.completed.fetch_add(1, Ordering::Relaxed);
     state.metrics.observe_latency(wall);
     let _ = job.events.send(SessionEvent::Done(QueryStats {
+        tenant: job.tenant,
         plan_cache_hit,
         forwarded_calls,
         forwarded_latency,
@@ -1206,5 +1656,271 @@ mod tests {
         assert_eq!(m.completed, 4);
         assert_eq!(m.shared_prefix_hits, 0, "adaptive batches flag nothing");
         assert_eq!(m.sub_result_hits, 0, "the adaptive path never replays");
+    }
+
+    #[test]
+    fn shutdown_rejection_counts_rejected_not_submitted() {
+        // the regression this pins: `submit` used to bump `submitted`
+        // before the shutdown check, so every refusal broke the
+        // submitted = completed + failed + in-flight reconciliation
+        let server = QueryServer::from_world(news_world(), RuntimeConfig::default());
+        server.shutdown();
+        let err = server
+            .submit(NEWS_QUERY, None)
+            .collect()
+            .expect_err("server is down");
+        assert!(err.to_string().contains("shut down"), "{err}");
+        let m = server.metrics();
+        assert_eq!(m.submitted, 0, "a refusal is not a submission");
+        assert_eq!(m.failed, 0, "nor a failed query");
+        assert_eq!(m.rejected, 1, "it counts in its own counter");
+    }
+
+    #[test]
+    fn queue_bound_sheds_with_retry_after() {
+        let server = QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                max_queue_depth: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        // exhaust the bound quickly; at least one push must shed (the
+        // worker drains, so exact counts depend on timing)
+        let sessions: Vec<_> = (0..32)
+            .map(|_| server.try_submit(DEFAULT_TENANT, NEWS_QUERY, Some(3)))
+            .collect();
+        let shed = sessions.iter().filter(|s| s.is_err()).count() as u64;
+        assert!(shed > 0, "a depth-1 queue cannot absorb 32 instant pushes");
+        for s in sessions.into_iter().flatten() {
+            s.collect().expect("admitted queries complete");
+        }
+        let m = server.metrics();
+        assert_eq!(m.rejected, shed);
+        assert_eq!(m.shed_queue_full, shed);
+        assert_eq!(m.submitted, 32 - shed);
+        assert_eq!(m.completed, 32 - shed, "admitted work all completed");
+        // refill until we catch a live rejection to inspect
+        let rejection = loop {
+            match server.try_submit(DEFAULT_TENANT, NEWS_QUERY, Some(3)) {
+                Err(r) => break r,
+                Ok(_) => continue,
+            }
+        };
+        match rejection {
+            Rejection::QueueFull { retry_after } => {
+                assert_eq!(retry_after, server.state.config.shed_retry_after);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unoptimizable_template_is_memoized_for_waiters_and_repeats() {
+        // satellite 3: the single-flight claim owner publishes the
+        // optimizer error before releasing the claim, so concurrent
+        // waiters wake into the error — and later submissions hit the
+        // memo without re-running the optimizer
+        let server = QueryServer::new(
+            travel_engine(),
+            RuntimeConfig {
+                workers: 4,
+                ..RuntimeConfig::default()
+            },
+        );
+        let unoptimizable = "q(City) :- weather(City, Temp, Day).";
+        let sessions: Vec<_> = (0..8)
+            .map(|_| server.submit(unoptimizable, Some(5)))
+            .collect();
+        for s in sessions {
+            let err = s.collect().expect_err("not executable");
+            assert!(err.to_string().contains("not executable"), "{err}");
+        }
+        let m = server.metrics();
+        assert_eq!((m.submitted, m.failed), (8, 8));
+        assert_eq!(m.optimizer_invocations, 1, "one optimizer run for all 8");
+        assert_eq!(
+            m.plan_failed_memo_hits, 7,
+            "waiters and repeats hit the failure memo"
+        );
+        // the recovery lever: forgetting the memo re-enables the
+        // optimizer for the template
+        assert_eq!(server.forget_failed_plans(), 1);
+        server
+            .submit(unoptimizable, Some(5))
+            .collect()
+            .expect_err("still not executable");
+        assert_eq!(server.metrics().optimizer_invocations, 2);
+    }
+
+    /// Builds a queued job for scheduler-order tests (nothing ever
+    /// executes it).
+    fn probe_job(text: &str, tenant: TenantId, tinfo: Arc<TenantInfo>) -> Job {
+        let (events, _rx) = mpsc::channel();
+        std::mem::forget(_rx); // keep the channel open; the job is inert
+        Job {
+            text: text.to_string(),
+            k: 1,
+            tenant,
+            tinfo,
+            events,
+            submitted_at: Instant::now(),
+            prepared: None,
+        }
+    }
+
+    #[test]
+    fn scheduler_round_robins_across_tenants() {
+        // structural fairness: a tenant that floods its queue is served
+        // one-for-one against a tenant that queued a single job — the
+        // light tenant's job comes out second, not behind the flood
+        let tenants = TenantRegistry::new();
+        let flooder = tenants.register("flooder", TenantPolicy::default());
+        let light = tenants.register("light", TenantPolicy::default());
+        let sched = Scheduler::new(0, Duration::from_millis(50));
+        for i in 0..8 {
+            let job = probe_job(
+                &format!("flood {i}"),
+                flooder,
+                tenants.get(flooder).unwrap(),
+            );
+            assert!(sched.push(job, 0).is_ok(), "unbounded push");
+        }
+        assert!(
+            sched
+                .push(probe_job("light", light, tenants.get(light).unwrap()), 0)
+                .is_ok(),
+            "unbounded push"
+        );
+        let order: Vec<TenantId> = (0..9)
+            .map(|_| sched.pop().expect("queued").tenant)
+            .collect();
+        assert_eq!(order[0], flooder, "the flood got there first");
+        assert_eq!(order[1], light, "round-robin serves the light tenant next");
+        assert!(order[2..].iter().all(|&t| t == flooder));
+        assert_eq!(sched.depth(), 0);
+        // a per-tenant bound sheds the flooder while the light tenant
+        // still gets in
+        let bounded = Scheduler::new(0, Duration::from_millis(50));
+        assert!(
+            bounded
+                .push(probe_job("a", flooder, tenants.get(flooder).unwrap()), 1)
+                .is_ok(),
+            "first fits"
+        );
+        match bounded.push(probe_job("b", flooder, tenants.get(flooder).unwrap()), 1) {
+            Err(Rejection::TenantQueueFull { .. }) => {}
+            Err(other) => panic!("expected the tenant bound to shed, got {other}"),
+            Ok(_) => panic!("expected the tenant bound to shed, got admission"),
+        }
+        assert!(
+            bounded
+                .push(probe_job("c", light, tenants.get(light).unwrap()), 1)
+                .is_ok(),
+            "other tenants unaffected"
+        );
+    }
+
+    #[test]
+    fn tenant_snapshots_reconcile_end_to_end() {
+        let server = QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 2,
+                ..RuntimeConfig::default()
+            },
+        );
+        let flooder = server.register_tenant("flooder", TenantPolicy::default());
+        let light = server.register_tenant("light", TenantPolicy::default());
+        let flood: Vec<_> = (0..12)
+            .map(|_| {
+                server
+                    .try_submit(flooder, NEWS_QUERY, Some(3))
+                    .expect("admitted")
+            })
+            .collect();
+        let quick = server
+            .try_submit(light, NEWS_QUERY, Some(3))
+            .expect("admitted");
+        let result = quick.collect().expect("light tenant completes");
+        assert_eq!(result.stats.tenant, light);
+        for s in flood {
+            s.collect().expect("flooded queries complete");
+        }
+        let m = server.metrics();
+        let f = m.tenants.iter().find(|t| t.name == "flooder").unwrap();
+        let l = m.tenants.iter().find(|t| t.name == "light").unwrap();
+        assert_eq!((f.submitted, f.completed, f.failed, f.shed), (12, 12, 0, 0));
+        assert_eq!((l.submitted, l.completed), (1, 1));
+        // every execution ran tenanted, so the per-tenant budget cells
+        // account for every forwarded call (whichever tenant's
+        // execution won the cache races and did the forwarding)
+        let charged: u64 = m.tenants.iter().map(|t| t.forwarded_calls).sum();
+        assert!(charged > 0, "someone forwarded the first fetches");
+        assert_eq!(
+            charged, m.total_service_calls,
+            "tenant budget cells reconcile with the gateway call accounting"
+        );
+        assert_eq!(
+            m.submitted,
+            m.tenants.iter().map(|t| t.submitted).sum::<u64>(),
+            "per-tenant submissions sum to the global counter"
+        );
+    }
+
+    /// A service that panics on every fetch — the worker-pool
+    /// resilience probe.
+    struct PanickingService;
+
+    impl mdq_services::service::Service for PanickingService {
+        fn name(&self) -> &str {
+            "lowcost"
+        }
+        fn fetch(
+            &self,
+            _pattern: usize,
+            _inputs: &[mdq_model::value::Value],
+            _page: u32,
+        ) -> mdq_services::service::ServiceResponse {
+            panic!("injected service panic");
+        }
+    }
+
+    #[test]
+    fn worker_pool_survives_a_panicking_job() {
+        // satellite 2: one panicking job must fail its own session and
+        // nothing else — no dead worker, no poisoned-lock cascade into
+        // later queries
+        let mut world = news_world();
+        let id = world
+            .schema
+            .service_by_name("lowcost")
+            .expect("news world has lowcost");
+        world.registry.register(id, PanickingService);
+        let server = QueryServer::from_world(
+            world,
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        let err = server
+            .submit(NEWS_QUERY, Some(3))
+            .collect()
+            .expect_err("the panicking service fails the query");
+        assert!(err.to_string().contains("panicked"), "{err}");
+        let m = server.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!((m.submitted, m.failed), (1, 1));
+        // the single worker survived: a query avoiding the broken
+        // service still completes
+        let events_only = "q(City, Venue) :- events('mahler-2', City, Venue, D).";
+        let result = server
+            .submit(events_only, Some(3))
+            .collect()
+            .expect("the pool still serves");
+        assert!(!result.answers.is_empty());
+        assert_eq!(server.metrics().completed, 1);
     }
 }

@@ -20,6 +20,11 @@ pub enum SessionEvent {
 /// Per-query statistics reported with [`SessionEvent::Done`].
 #[derive(Clone, Debug, Default)]
 pub struct QueryStats {
+    /// The tenant the query ran as ([`DEFAULT_TENANT`] for bare
+    /// `submit` calls).
+    ///
+    /// [`DEFAULT_TENANT`]: crate::tenant::DEFAULT_TENANT
+    pub tenant: u32,
     /// Whether the plan came from the plan cache (optimizer skipped).
     pub plan_cache_hit: bool,
     /// Request-responses this query forwarded to services (pages served

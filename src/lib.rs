@@ -19,7 +19,7 @@
 //! | [`cost`] | cardinality/call estimation, the five cost metrics |
 //! | [`optimizer`] | the three-phase branch and bound + baselines |
 //! | [`exec`] | caches, rank-preserving joins, retry-resilient gateway, three executors |
-//! | [`runtime`] | concurrent multi-query server: worker pool, plan cache, shared gateway, metrics |
+//! | [`runtime`] | concurrent multi-query server: worker pool, plan cache, shared gateway, metrics, TCP serving edge with tenant isolation |
 //!
 //! ```
 //! use mdq::Mdq;
@@ -50,7 +50,9 @@ pub use mdq_plan as plan;
 pub use mdq_runtime as runtime;
 pub use mdq_services as services;
 
-pub use mdq_runtime::{MetricsSnapshot, QueryServer, RuntimeConfig};
+pub use mdq_runtime::{
+    MetricsSnapshot, NetClient, NetServer, QueryOutcome, QueryServer, RuntimeConfig, TenantPolicy,
+};
 
 /// Re-exports of the full public API.
 pub mod prelude {
