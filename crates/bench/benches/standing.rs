@@ -1,0 +1,160 @@
+//! Standing-query benches: N subscriptions maintained by one shared
+//! refresh pass, against the naive baseline of re-running all N
+//! queries from scratch every epoch.
+//!
+//! Alongside the timings, gauges pin the service-call economics over a
+//! fixed 3-epoch run: total calls spent maintaining 16 subscriptions
+//! incrementally vs 16 per-epoch from-scratch reruns, and the savings
+//! ratio (×100) the oracle suite asserts to stay ≥ 300.
+//!
+//! Emits `BENCH_standing.json` at the workspace root.
+
+use mdq_bench::harness::Bench;
+use mdq_core::Mdq;
+use mdq_runtime::{QueryServer, RuntimeConfig, DEFAULT_TENANT};
+use mdq_services::domains::travel::travel_world;
+use mdq_services::domains::World;
+use mdq_services::refresh::{refreshing_registry, EpochClock, RefreshConfig, RefreshPolicy};
+use mdq_services::registry::ServiceRegistry;
+use std::sync::Arc;
+
+const K: u64 = 5;
+const N: usize = 16;
+const SEED: u64 = 7;
+
+fn travel_query(topic: &str, budget: u32) -> String {
+    format!(
+        "q(Conf, City, HPrice, FPrice, Hotel) :- \
+         flight('Milano', City, Start, End, ST, ET, FPrice), \
+         hotel(Hotel, City, 'luxury', Start, End, HPrice), \
+         conf('{topic}', Conf, Start, End, City), \
+         weather(City, Temp, Start), \
+         Start >= '2007/3/14', End <= '2007/3/14' + 180, \
+         Temp >= 28, FPrice + HPrice < {budget}.0."
+    )
+}
+
+/// The 16 standing plans: nearby budget thresholds over two topics —
+/// the overlapping-frontier regime standing queries are built for.
+fn queries() -> Vec<String> {
+    (0..N)
+        .map(|i| {
+            let topic = if i % 2 == 0 { "DB" } else { "AI" };
+            travel_query(topic, 880 + (i as u32 / 2) * 25)
+        })
+        .collect()
+}
+
+fn refreshing_engine(config: RefreshConfig, clock: &Arc<EpochClock>) -> Mdq {
+    let w = travel_world(2008);
+    let registry = refreshing_registry(&w.registry, clock, config);
+    Mdq::from_world(World {
+        schema: w.schema,
+        query: w.query,
+        registry,
+    })
+}
+
+fn total_calls(reg: &ServiceRegistry) -> u64 {
+    reg.ids()
+        .filter_map(|id| reg.counter(id))
+        .map(|c| c.calls())
+        .sum()
+}
+
+/// A server with all 16 plans subscribed, ready for refresh passes.
+fn subscribed_server(config: RefreshConfig) -> QueryServer {
+    let clock = EpochClock::new();
+    let server = QueryServer::new(refreshing_engine(config, &clock), RuntimeConfig::default());
+    server.attach_refresh(clock, RefreshPolicy::every(1));
+    for text in queries() {
+        server
+            .subscribe(DEFAULT_TENANT, &text, Some(K))
+            .expect("subscribe");
+    }
+    server
+}
+
+fn main() {
+    let bench = Bench::from_args();
+    let config = RefreshConfig::seeded(SEED)
+        .with_change_rate(0.05)
+        .with_drop_rate(0.01);
+
+    // one shared refresh pass maintaining all 16 subscriptions: the
+    // epoch advances every iteration, so each pass does real diffing
+    // and (for affected subscriptions) real re-evaluation
+    let server = subscribed_server(config);
+    server.refresh();
+    bench.measure(&format!("standing/{N}-subs/refresh-pass"), || {
+        let summary = server.refresh();
+        (summary.refreshed, summary.deltas_emitted)
+    });
+
+    // the naive baseline: re-run all 16 queries from scratch at each
+    // epoch (shared state invalidated so every run pays full price)
+    let clock = EpochClock::new();
+    let rerun = QueryServer::new(refreshing_engine(config, &clock), RuntimeConfig::default());
+    let plans = queries();
+    let mut epoch = 0u64;
+    bench.measure(&format!("standing/{N}-subs/rerun-all"), || {
+        epoch += 1;
+        clock.set(epoch);
+        let shared = rerun.shared_state();
+        shared.invalidate_unpinned_pages();
+        shared.invalidate_sub_results();
+        shared.clear_failed_pages();
+        plans
+            .iter()
+            .map(|text| {
+                rerun
+                    .submit(text, Some(K))
+                    .collect()
+                    .expect("rerun serves")
+                    .answers
+                    .len()
+            })
+            .sum::<usize>()
+    });
+
+    // the call economics the oracle suite pins: a fixed 3-epoch run,
+    // subscriptions vs reruns, counted at the service registries
+    let epochs = 3u64;
+    let sub_server = subscribed_server(config);
+    for _ in 0..epochs {
+        sub_server.refresh();
+    }
+    let sub_calls = total_calls(sub_server.engine().registry());
+
+    let clock = EpochClock::new();
+    let rerun = QueryServer::new(refreshing_engine(config, &clock), RuntimeConfig::default());
+    for epoch in 0..=epochs {
+        clock.set(epoch);
+        for text in &plans {
+            let shared = rerun.shared_state();
+            shared.invalidate_unpinned_pages();
+            shared.invalidate_sub_results();
+            shared.clear_failed_pages();
+            rerun.submit(text, Some(K)).collect().expect("rerun serves");
+        }
+    }
+    let rerun_calls = total_calls(rerun.engine().registry());
+
+    bench.gauge(
+        &format!("standing/{N}-subs/{epochs}-epochs/subscription-calls"),
+        sub_calls,
+        "calls",
+    );
+    bench.gauge(
+        &format!("standing/{N}-subs/{epochs}-epochs/rerun-calls"),
+        rerun_calls,
+        "calls",
+    );
+    bench.gauge(
+        &format!("standing/{N}-subs/{epochs}-epochs/savings-x100"),
+        rerun_calls * 100 / sub_calls.max(1),
+        "ratio",
+    );
+
+    bench.write_json("standing");
+}

@@ -65,6 +65,10 @@ pub struct PageCache {
     optimal: HashMap<(ServiceId, Vec<Value>), (PageStore, u64)>,
     stats: HashMap<ServiceId, CacheStats>,
     evictions: u64,
+    /// Refcounted pins held by live subscription frontiers: a pinned
+    /// invocation is never evicted (bounded LRU) nor invalidated — the
+    /// standing-query delta computation re-reads exactly these pages.
+    pins: HashMap<(ServiceId, Vec<Value>), u32>,
 }
 
 impl PageCache {
@@ -85,6 +89,7 @@ impl PageCache {
             optimal: HashMap::new(),
             stats: HashMap::new(),
             evictions: 0,
+            pins: HashMap::new(),
         }
     }
 
@@ -171,6 +176,15 @@ impl PageCache {
         let store = match self.setting {
             CacheSetting::NoCache => return,
             CacheSetting::OneCall => {
+                if let Some((resident, _)) = self.one_call.get(&service) {
+                    if resident.as_slice() != key
+                        && self.pins.contains_key(&(service, resident.clone()))
+                    {
+                        // a live subscription frontier pins the resident
+                        // key: drop the new store instead of replacing
+                        return;
+                    }
+                }
                 let entry = self
                     .one_call
                     .entry(service)
@@ -190,16 +204,7 @@ impl PageCache {
             CacheSetting::Optimal => {
                 let full_key = (service, key.to_vec());
                 if self.optimal.len() >= self.capacity && !self.optimal.contains_key(&full_key) {
-                    // bounded: evict the least-recently-used invocation
-                    if let Some(oldest) = self
-                        .optimal
-                        .iter()
-                        .min_by_key(|(_, (_, used))| *used)
-                        .map(|(k, _)| k.clone())
-                    {
-                        self.optimal.remove(&oldest);
-                        self.evictions += 1;
-                    }
+                    self.evict_unpinned();
                 }
                 self.tick += 1;
                 let tick = self.tick;
@@ -217,6 +222,125 @@ impl PageCache {
         if !has_more {
             store.exhausted = true;
         }
+    }
+
+    /// Evicts the least-recently-used *unpinned* invocation (bounded
+    /// *optimal* only). When every resident invocation is pinned by a
+    /// live subscription frontier, nothing is evicted — the cache
+    /// temporarily exceeds its capacity rather than tearing pages out
+    /// from under a standing query's delta computation.
+    fn evict_unpinned(&mut self) {
+        if let Some(oldest) = self
+            .optimal
+            .iter()
+            .filter(|(k, _)| !self.pins.contains_key(k))
+            .min_by_key(|(_, (_, used))| *used)
+            .map(|(k, _)| k.clone())
+        {
+            self.optimal.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Takes one pin on an invocation (refcounted). Pinned invocations
+    /// survive bounded-LRU eviction, one-call replacement and
+    /// [`PageCache::invalidate_unpinned`]. Pins are independent of
+    /// residency: pinning a key that is not (yet) cached is allowed.
+    pub fn pin(&mut self, service: ServiceId, key: &[Value]) {
+        *self.pins.entry((service, key.to_vec())).or_insert(0) += 1;
+    }
+
+    /// Releases one pin. Returns whether a pin was held.
+    pub fn unpin(&mut self, service: ServiceId, key: &[Value]) -> bool {
+        let full_key = (service, key.to_vec());
+        match self.pins.get_mut(&full_key) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                true
+            }
+            Some(_) => {
+                self.pins.remove(&full_key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the invocation currently holds at least one pin.
+    pub fn is_pinned(&self, service: ServiceId, key: &[Value]) -> bool {
+        self.pins.contains_key(&(service, key.to_vec()))
+    }
+
+    /// Distinct invocations currently pinned.
+    pub fn pinned_invocations(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// A copy of an invocation's cached pages and exhaustion flag,
+    /// without touching LRU recency — the snapshot a refresh driver
+    /// tracks and diffs against. `None` when not resident (or the
+    /// setting keeps no per-key store for it).
+    pub fn export(&self, service: ServiceId, key: &[Value]) -> Option<(Vec<Vec<Tuple>>, bool)> {
+        match self.setting {
+            CacheSetting::NoCache => None,
+            CacheSetting::OneCall => self
+                .one_call
+                .get(&service)
+                .filter(|(k, _)| k.as_slice() == key)
+                .map(|(_, s)| (s.pages.clone(), s.exhausted)),
+            CacheSetting::Optimal => self
+                .optimal
+                .get(&(service, key.to_vec()))
+                .map(|(s, _)| (s.pages.clone(), s.exhausted)),
+        }
+    }
+
+    /// Installs a whole refreshed page set for an invocation, replacing
+    /// any stale store (the page-at-a-time contiguity rules of
+    /// [`PageCache::store`] do not apply — the set arrives complete
+    /// from a refresh pass). Only the *optimal* setting installs; the
+    /// capacity bound is honoured with pin-aware eviction.
+    pub fn replace(
+        &mut self,
+        service: ServiceId,
+        key: &[Value],
+        pages: Vec<Vec<Tuple>>,
+        exhausted: bool,
+    ) {
+        if self.capacity == 0 || self.setting != CacheSetting::Optimal {
+            return;
+        }
+        let full_key = (service, key.to_vec());
+        if self.optimal.len() >= self.capacity && !self.optimal.contains_key(&full_key) {
+            self.evict_unpinned();
+        }
+        self.tick += 1;
+        self.optimal
+            .insert(full_key, (PageStore { pages, exhausted }, self.tick));
+    }
+
+    /// Drops every *unpinned* invocation (all settings), returning how
+    /// many were dropped. A refresh pass runs this first so re-demanded
+    /// pages outside any subscription frontier are re-fetched at the
+    /// new epoch instead of served from a stale ad-hoc store; pinned
+    /// invocations are exempt because the pass itself refreshes them.
+    /// Not counted as evictions (capacity pressure) in
+    /// [`PageCache::evictions`].
+    pub fn invalidate_unpinned(&mut self) -> usize {
+        let before = self.entries();
+        match self.setting {
+            CacheSetting::NoCache => {}
+            CacheSetting::OneCall => {
+                let pins = &self.pins;
+                self.one_call
+                    .retain(|service, (key, _)| pins.contains_key(&(*service, key.clone())));
+            }
+            CacheSetting::Optimal => {
+                let pins = &self.pins;
+                self.optimal.retain(|k, _| pins.contains_key(k));
+            }
+        }
+        before - self.entries()
     }
 
     /// Records one invocation-level hit or miss.
@@ -384,6 +508,110 @@ mod tests {
         assert_eq!(c.evictions(), 0, "first entry replaces nothing");
         c.store(s, &key("b"), 0, page(1), false);
         assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn bounded_eviction_skips_pinned_invocations() {
+        // regression: a live subscription frontier pins `a`; bounded
+        // LRU pressure must evict around it even though `a` is coldest
+        let mut c = PageCache::with_capacity(CacheSetting::Optimal, 2);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(1), false);
+        c.pin(s, &key("a"));
+        c.store(s, &key("b"), 0, page(1), false);
+        // touch b so a is strictly least-recently-used
+        assert!(matches!(c.lookup(s, &key("b"), 0), PageLookup::Hit(..)));
+        c.store(s, &key("c"), 0, page(1), false);
+        assert_eq!(c.evictions(), 1);
+        assert!(
+            matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(..)),
+            "pinned a survives"
+        );
+        assert!(
+            matches!(c.lookup(s, &key("b"), 0), PageLookup::Unknown),
+            "unpinned b was the victim"
+        );
+        // unpin: a becomes evictable again once it is the coldest
+        assert!(c.unpin(s, &key("a")));
+        assert!(matches!(c.lookup(s, &key("c"), 0), PageLookup::Hit(..)));
+        c.store(s, &key("d"), 0, page(1), false);
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Unknown));
+    }
+
+    #[test]
+    fn all_pinned_cache_overflows_rather_than_evicting() {
+        let mut c = PageCache::with_capacity(CacheSetting::Optimal, 1);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(1), false);
+        c.pin(s, &key("a"));
+        c.store(s, &key("b"), 0, page(1), false);
+        assert_eq!(c.evictions(), 0, "no unpinned victim existed");
+        assert_eq!(c.entries(), 2, "temporarily over capacity");
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(..)));
+        assert!(matches!(c.lookup(s, &key("b"), 0), PageLookup::Hit(..)));
+    }
+
+    #[test]
+    fn pins_are_refcounted() {
+        let mut c = PageCache::new(CacheSetting::Optimal);
+        let s = ServiceId(0);
+        c.pin(s, &key("a"));
+        c.pin(s, &key("a"));
+        assert!(c.is_pinned(s, &key("a")));
+        assert_eq!(c.pinned_invocations(), 1);
+        assert!(c.unpin(s, &key("a")));
+        assert!(c.is_pinned(s, &key("a")), "one pin still held");
+        assert!(c.unpin(s, &key("a")));
+        assert!(!c.is_pinned(s, &key("a")));
+        assert!(!c.unpin(s, &key("a")), "no pin left to release");
+    }
+
+    #[test]
+    fn one_call_does_not_replace_a_pinned_resident() {
+        let mut c = PageCache::new(CacheSetting::OneCall);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(2), false);
+        c.pin(s, &key("a"));
+        c.store(s, &key("b"), 0, page(1), true);
+        assert!(
+            matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(..)),
+            "pinned resident survives"
+        );
+        assert!(matches!(c.lookup(s, &key("b"), 0), PageLookup::Unknown));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn export_replace_round_trip() {
+        let mut c = PageCache::new(CacheSetting::Optimal);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(2), true);
+        c.store(s, &key("a"), 1, page(1), false);
+        let (pages, exhausted) = c.export(s, &key("a")).expect("resident");
+        assert_eq!((pages.len(), exhausted), (2, true));
+        assert!(c.export(s, &key("zzz")).is_none());
+        // a refresh shrinks the invocation to one open page
+        c.replace(s, &key("a"), vec![page(3)], false);
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Hit(t, true) if t.len() == 3));
+        assert!(
+            matches!(c.lookup(s, &key("a"), 1), PageLookup::Unknown),
+            "stale page 1 gone"
+        );
+    }
+
+    #[test]
+    fn invalidate_unpinned_spares_pinned_entries() {
+        let mut c = PageCache::new(CacheSetting::Optimal);
+        let s = ServiceId(0);
+        c.store(s, &key("a"), 0, page(1), false);
+        c.store(s, &key("b"), 0, page(1), false);
+        c.store(s, &key("c"), 0, page(1), false);
+        c.pin(s, &key("b"));
+        assert_eq!(c.invalidate_unpinned(), 2);
+        assert!(matches!(c.lookup(s, &key("a"), 0), PageLookup::Unknown));
+        assert!(matches!(c.lookup(s, &key("b"), 0), PageLookup::Hit(..)));
+        assert!(matches!(c.lookup(s, &key("c"), 0), PageLookup::Unknown));
+        assert_eq!(c.evictions(), 0, "invalidations are not evictions");
     }
 
     #[test]

@@ -454,6 +454,10 @@ pub struct SubResultStats {
     /// publishing tenant's least-recent entry, never another
     /// tenant's — see [`SharedServiceState::set_tenant_sub_quota`]).
     pub quota_evictions: u64,
+    /// Materialized prefixes dropped wholesale by refresh passes
+    /// ([`SharedServiceState::invalidate_sub_results`]) — staleness,
+    /// not capacity pressure.
+    pub invalidated: u64,
 }
 
 /// The `Arc`-shared bindings of one materialized prefix.
@@ -1119,6 +1123,117 @@ impl SharedServiceState {
         }
         self.sub_changed.notify_all();
     }
+
+    // ---- standing-query support: frontier pins + refresh installs ----
+
+    /// Takes one pin on `(id, key)` in the shared page cache on behalf
+    /// of a live subscription frontier: the invocation's pages survive
+    /// bounded-LRU eviction and [`invalidate_unpinned_pages`] until
+    /// every pin is released. Refcounted, so overlapping frontiers
+    /// compose.
+    ///
+    /// [`invalidate_unpinned_pages`]: SharedServiceState::invalidate_unpinned_pages
+    pub fn pin_invocation(&self, id: ServiceId, key: &[Value]) {
+        let shard = &self.shards[self.shard_idx(id, key)];
+        shard
+            .inner
+            .lock()
+            .expect("page shard lock")
+            .cache
+            .pin(id, key);
+    }
+
+    /// Releases one pin on `(id, key)`. Returns whether one was held.
+    pub fn unpin_invocation(&self, id: ServiceId, key: &[Value]) -> bool {
+        let shard = &self.shards[self.shard_idx(id, key)];
+        shard
+            .inner
+            .lock()
+            .expect("page shard lock")
+            .cache
+            .unpin(id, key)
+    }
+
+    /// Distinct invocations currently pinned, summed across shards.
+    pub fn pinned_invocations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .expect("page shard lock")
+                    .cache
+                    .pinned_invocations()
+            })
+            .sum()
+    }
+
+    /// A copy of `(id, key)`'s cached pages and exhaustion flag without
+    /// touching LRU recency — the snapshot a refresh driver tracks.
+    pub fn export_invocation(
+        &self,
+        id: ServiceId,
+        key: &[Value],
+    ) -> Option<(Vec<Vec<Tuple>>, bool)> {
+        let shard = &self.shards[self.shard_idx(id, key)];
+        shard
+            .inner
+            .lock()
+            .expect("page shard lock")
+            .cache
+            .export(id, key)
+    }
+
+    /// Installs a refreshed page set for `(id, key)` wholesale and
+    /// forgets any failed-page memo entries of the invocation — the
+    /// refresh observed the service answering, so prior condemnations
+    /// are stale. Standing-query re-evaluations then read the new
+    /// epoch's pages straight from the cache.
+    pub fn install_invocation(
+        &self,
+        id: ServiceId,
+        key: &[Value],
+        pages: Vec<Vec<Tuple>>,
+        exhausted: bool,
+    ) {
+        let shard = &self.shards[self.shard_idx(id, key)];
+        let mut inner = shard.inner.lock().expect("page shard lock");
+        inner.cache.replace(id, key, pages, exhausted);
+        inner
+            .failed
+            .retain(|(i, k, _), _| !(*i == id && k.as_slice() == key));
+    }
+
+    /// Drops every *unpinned* cached invocation across all shards,
+    /// returning how many were dropped. A refresh pass runs this first:
+    /// pages outside any subscription frontier may predate the new
+    /// epoch, and serving them would mix generations within one answer.
+    pub fn invalidate_unpinned_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .expect("page shard lock")
+                    .cache
+                    .invalidate_unpinned()
+            })
+            .sum()
+    }
+
+    /// Drops every materialized sub-result entry (single-flight claims
+    /// of in-flight materializations are left to their owners),
+    /// returning how many entries were dropped. Materialized prefixes
+    /// embed fetched pages, so a refresh pass invalidates them all —
+    /// a stale prefix replayed into a standing query would silently
+    /// resurrect the previous epoch.
+    pub fn invalidate_sub_results(&self) -> u64 {
+        let mut sub = self.sub.lock().expect("sub-result lock");
+        let dropped = sub.entries.len() as u64;
+        sub.entries.clear();
+        sub.stats.invalidated += dropped;
+        dropped
+    }
 }
 
 /// The serving layer's shared state *is* the optimizer's shared-work
@@ -1172,6 +1287,11 @@ pub struct ServiceGateway {
     node_stats: Vec<OperatorStats>,
     /// The plan node whose fetches the gateway is currently serving.
     active_node: Option<usize>,
+    /// When enabled, every invocation this execution demanded —
+    /// cache-served or forwarded — as `(service, pattern, key)`: the
+    /// *frontier* a standing query's answers depend on. `None` (the
+    /// default) keeps the hot path at one branch per page demand.
+    frontier: Option<HashSet<(ServiceId, usize, Vec<Value>)>>,
 }
 
 impl std::fmt::Debug for ServiceGateway {
@@ -1248,7 +1368,33 @@ impl ServiceGateway {
             trace,
             node_stats: vec![OperatorStats::default(); plan.nodes.len()],
             active_node: None,
+            frontier: None,
         })
+    }
+
+    /// Starts recording this execution's invocation frontier: every
+    /// `(service, pattern, key)` demanded from now on, whether served
+    /// from cache or forwarded. Standing queries enable this before
+    /// compiling so their dependency set is complete.
+    pub fn enable_frontier(&mut self) {
+        self.frontier.get_or_insert_with(HashSet::new);
+    }
+
+    /// The recorded invocation frontier (`None` unless enabled).
+    pub fn frontier(&self) -> Option<&HashSet<(ServiceId, usize, Vec<Value>)>> {
+        self.frontier.as_ref()
+    }
+
+    /// Takes the recorded frontier, leaving recording enabled (empty).
+    pub fn take_frontier(&mut self) -> Option<HashSet<(ServiceId, usize, Vec<Value>)>> {
+        self.frontier.as_mut().map(std::mem::take)
+    }
+
+    /// Records one invocation demand on the frontier, if enabled.
+    fn note_frontier(&mut self, id: ServiceId, pattern: usize, key: &[Value]) {
+        if let Some(frontier) = &mut self.frontier {
+            frontier.insert((id, pattern, key.to_vec()));
+        }
     }
 
     /// The active cache setting.
@@ -1297,6 +1443,7 @@ impl ServiceGateway {
         key: &[Value],
         page: u32,
     ) -> PageFetch {
+        self.note_frontier(id, pattern, key);
         let shared = Arc::clone(&self.shared);
         let shard_i = shared.shard_idx(id, key);
         let shard = &shared.shards[shard_i];
@@ -1577,6 +1724,7 @@ impl ServiceGateway {
         max_pages: usize,
         out: &mut Vec<PageFetch>,
     ) {
+        self.note_frontier(id, pattern, key);
         let end = first_page.saturating_add(max_pages.min(u32::MAX as usize) as u32);
         let mut page = first_page;
         let mut served: u64 = 0;

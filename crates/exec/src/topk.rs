@@ -26,7 +26,7 @@ use crate::operator::{
 use crate::plan_info::{analyze, PlanInfo};
 use mdq_model::fingerprint::SubplanSignature;
 use mdq_model::schema::{Schema, ServiceId};
-use mdq_model::value::Tuple;
+use mdq_model::value::{Tuple, Value};
 use mdq_plan::dag::Plan;
 use mdq_plan::signature::invoke_prefixes;
 use mdq_services::registry::ServiceRegistry;
@@ -308,6 +308,54 @@ impl TopKExecution {
             gateway.set_tenant(t);
         }
         Self::over(plan, schema, gateway, elastic, materialize)
+    }
+
+    /// Prepares a *standing* pull execution — the subscription path.
+    /// Two deliberate differences from
+    /// [`TopKExecution::with_shared_tenant`]: the gateway records the
+    /// execution's invocation **frontier** (every `(service, pattern,
+    /// key)` it demands, cache-served or forwarded — the dependency
+    /// set a refresh pass intersects with its changed invocations),
+    /// and the sub-result store is bypassed entirely. A replayed
+    /// prefix embeds pages from whatever epoch materialized it, which
+    /// would both truncate the frontier (the replayer never demands
+    /// the prefix's invocations) and resurrect a previous epoch after
+    /// a refresh; fetch factors stay strict for the same
+    /// reproducibility reason elastic mode is excluded from sharing.
+    pub fn standing(
+        plan: &Plan,
+        schema: &Schema,
+        registry: &ServiceRegistry,
+        shared: Arc<SharedServiceState>,
+        budget: Option<u64>,
+        tenant: Option<TenantId>,
+    ) -> Result<Self, ExecError> {
+        let mut gateway = ServiceGateway::with_shared(plan, schema, registry, shared, budget)?;
+        if let Some(t) = tenant {
+            gateway.set_tenant(t);
+        }
+        gateway.enable_frontier();
+        let info = analyze(plan, schema);
+        let gateway = LocalGateway::new(gateway);
+        let iter = compile_with(plan, schema, &info, &gateway, false, None);
+        Ok(TopKExecution {
+            iter,
+            gateway,
+            query: Arc::clone(&plan.query),
+            sub_result_hits: 0,
+            sub_calls_saved: 0,
+        })
+    }
+
+    /// The invocation frontier recorded so far: every `(service,
+    /// pattern, input-key)` this execution demanded. Empty unless the
+    /// execution was prepared with [`TopKExecution::standing`].
+    pub fn frontier(&self) -> Vec<(ServiceId, usize, Vec<Value>)> {
+        self.gateway.with(|g| {
+            g.frontier()
+                .map(|f| f.iter().cloned().collect())
+                .unwrap_or_default()
+        })
     }
 
     fn over(
@@ -678,6 +726,67 @@ mod tests {
             a.total_calls() < full.total_calls(),
             "no eager materialization with the store off"
         );
+    }
+
+    #[test]
+    fn standing_records_complete_frontier_and_skips_sub_results() {
+        let w = travel_world(2008);
+        let plan = plan_o(&w);
+        let shared = Arc::new(
+            crate::gateway::SharedServiceState::new(CacheSetting::Optimal, 0).with_sub_results(8),
+        );
+        // an ad-hoc run materializes prefixes into the store
+        let mut adhoc = TopKExecution::with_shared(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::clone(&shared),
+            None,
+            false,
+        )
+        .expect("builds");
+        let expected = adhoc.answers(usize::MAX >> 1);
+        assert!(shared.sub_result_stats().entries > 0);
+
+        // the standing execution must not replay them: its frontier has
+        // to cover the whole plan, prefix services included
+        let mut standing = TopKExecution::standing(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::clone(&shared),
+            None,
+            None,
+        )
+        .expect("builds");
+        let got = standing.answers(usize::MAX >> 1);
+        assert_eq!(got, expected, "same answers, store bypassed");
+        assert_eq!(standing.sub_result_hits(), 0, "no replay");
+        let frontier = standing.frontier();
+        assert!(!frontier.is_empty());
+        let services: std::collections::HashSet<ServiceId> =
+            frontier.iter().map(|(id, _, _)| *id).collect();
+        for id in [w.ids.conf, w.ids.weather, w.ids.flight, w.ids.hotel] {
+            assert!(services.contains(&id), "frontier covers every service");
+        }
+        // cache-served demands count too: a second standing run over the
+        // warm shared cache forwards nothing yet records the same frontier
+        let mut warm = TopKExecution::standing(
+            &plan,
+            &w.schema,
+            &w.registry,
+            Arc::clone(&shared),
+            None,
+            None,
+        )
+        .expect("builds");
+        warm.answers(usize::MAX >> 1);
+        assert_eq!(warm.total_calls(), 0, "fully cache-served");
+        let mut a: Vec<_> = frontier.clone();
+        let mut b = warm.frontier();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "frontier is demand-identical, not forward-identical");
     }
 
     #[test]

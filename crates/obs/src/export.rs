@@ -106,6 +106,19 @@ fn args_json(kind: &SpanKind) -> String {
             "{{\"tenant\":{tenant},\"reason\":\"{reason}\",\"retry_after_ms\":{retry_after_ms}}}"
         ),
         SpanKind::Drain { in_flight } => format!("{{\"in_flight\":{in_flight}}}"),
+        SpanKind::Refresh {
+            epoch,
+            refreshed,
+            changed,
+            calls,
+        } => format!(
+            "{{\"epoch\":{epoch},\"refreshed\":{refreshed},\"changed\":{changed},\"calls\":{calls}}}"
+        ),
+        SpanKind::DeltaEmit {
+            subscription,
+            added,
+            retracted,
+        } => format!("{{\"subscription\":{subscription},\"added\":{added},\"retracted\":{retracted}}}"),
     }
 }
 

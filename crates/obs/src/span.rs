@@ -136,6 +136,28 @@ pub enum SpanKind {
         /// Sessions still in flight when the drain began.
         in_flight: u64,
     },
+    /// One standing-query refresh pass over the tracked invocation
+    /// frontier; duration is the measured wall time of the pass.
+    Refresh {
+        /// The epoch the pass brought due invocations to.
+        epoch: u64,
+        /// Invocations re-fetched.
+        refreshed: u64,
+        /// Invocations whose page sets changed.
+        changed: u64,
+        /// Request-response attempts the pass issued (retries
+        /// included).
+        calls: u64,
+    },
+    /// One subscription's delta emission after a refresh pass.
+    DeltaEmit {
+        /// The subscription the delta belongs to.
+        subscription: u64,
+        /// Answer rows added at this epoch.
+        added: u64,
+        /// Answer rows retracted at this epoch.
+        retracted: u64,
+    },
 }
 
 impl SpanKind {
@@ -160,6 +182,8 @@ impl SpanKind {
             SpanKind::Connection { .. } => "connection",
             SpanKind::Shed { .. } => "shed",
             SpanKind::Drain { .. } => "drain",
+            SpanKind::Refresh { .. } => "refresh",
+            SpanKind::DeltaEmit { .. } => "delta_emit",
         }
     }
 
@@ -172,10 +196,12 @@ impl SpanKind {
             SpanKind::Optimize
             | SpanKind::PlanCacheHit { .. }
             | SpanKind::PlanCacheMiss { .. }
-            | SpanKind::AdmissionBatch { .. } => "control",
-            SpanKind::Connection { .. } | SpanKind::Shed { .. } | SpanKind::Drain { .. } => {
-                "serving"
-            }
+            | SpanKind::AdmissionBatch { .. }
+            | SpanKind::Refresh { .. } => "control",
+            SpanKind::Connection { .. }
+            | SpanKind::Shed { .. }
+            | SpanKind::Drain { .. }
+            | SpanKind::DeltaEmit { .. } => "serving",
             _ => "exec",
         }
     }

@@ -80,12 +80,14 @@ pub mod net;
 pub mod plan_cache;
 pub mod server;
 pub mod session;
+pub mod subscribe;
 pub mod tenant;
 
 pub use metrics::MetricsSnapshot;
 pub use net::{ClientFrame, NetClient, NetServer, QueryOutcome, ServerFrame};
 pub use server::{QueryServer, Rejection, RuntimeConfig};
 pub use session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEvent};
+pub use subscribe::{Delta, RefreshSummary, SubscriptionTicket};
 pub use tenant::{TenantPolicy, TenantSnapshot, DEFAULT_TENANT};
 
 /// Convenient glob-import surface: `use mdq_runtime::prelude::*;`.
@@ -97,5 +99,6 @@ pub mod prelude {
     pub use crate::plan_cache::{PlanCache, PlanKey};
     pub use crate::server::{QueryServer, Rejection, RuntimeConfig};
     pub use crate::session::{QueryResult, QuerySession, QueryStats, RuntimeError, SessionEvent};
+    pub use crate::subscribe::{Delta, RefreshSummary, SubscriptionTicket};
     pub use crate::tenant::{TenantPolicy, TenantSnapshot, DEFAULT_TENANT};
 }

@@ -87,6 +87,30 @@ pub(crate) struct Metrics {
     /// Forwarded calls saved by those replays, attributed per query —
     /// reconciles with the store's cumulative `calls_saved`.
     pub(crate) sub_result_calls_saved: AtomicU64,
+    /// Live standing-query subscriptions (gauge, maintained by
+    /// subscribe/unsubscribe).
+    pub(crate) subscriptions_active: AtomicU64,
+    /// Refresh passes run over the tracked invocation frontier.
+    pub(crate) refresh_passes: AtomicU64,
+    /// Request-response attempts issued by refresh passes (retries
+    /// included) — reconciles with the summed
+    /// [`RefreshSummary::calls`](crate::subscribe::RefreshSummary::calls).
+    pub(crate) refresh_calls: AtomicU64,
+    /// Invocations whose refresh exhausted its retries (stale pages
+    /// kept) plus standing re-evaluations that errored.
+    pub(crate) refresh_failures: AtomicU64,
+    /// Tracked invocations re-fetched by refresh passes.
+    pub(crate) invocations_refreshed: AtomicU64,
+    /// Refreshed invocations whose page sets changed.
+    pub(crate) invocations_changed: AtomicU64,
+    /// Deltas queued to standing-query subscribers — reconciles with
+    /// the summed
+    /// [`RefreshSummary::deltas_emitted`](crate::subscribe::RefreshSummary::deltas_emitted).
+    pub(crate) deltas_emitted: AtomicU64,
+    /// Answer rows added across all emitted deltas.
+    pub(crate) delta_rows_added: AtomicU64,
+    /// Answer rows retracted across all emitted deltas.
+    pub(crate) delta_rows_retracted: AtomicU64,
     /// `LATENCY_BOUNDS.len() + 1` buckets (last = overflow).
     latency_buckets: [AtomicU64; LATENCY_BOUNDS.len() + 1],
     /// Submit→dequeue wall-seconds buckets (last = overflow).
@@ -122,6 +146,15 @@ impl Metrics {
             shared_prefix_hits: AtomicU64::new(0),
             sub_result_hits: AtomicU64::new(0),
             sub_result_calls_saved: AtomicU64::new(0),
+            subscriptions_active: AtomicU64::new(0),
+            refresh_passes: AtomicU64::new(0),
+            refresh_calls: AtomicU64::new(0),
+            refresh_failures: AtomicU64::new(0),
+            invocations_refreshed: AtomicU64::new(0),
+            invocations_changed: AtomicU64::new(0),
+            deltas_emitted: AtomicU64::new(0),
+            delta_rows_added: AtomicU64::new(0),
+            delta_rows_retracted: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             queue_wait_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_size_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -244,6 +277,15 @@ impl Metrics {
             shared_prefix_hits: self.shared_prefix_hits.load(Ordering::Relaxed),
             sub_result_hits: self.sub_result_hits.load(Ordering::Relaxed),
             sub_result_calls_saved: self.sub_result_calls_saved.load(Ordering::Relaxed),
+            subscriptions_active: self.subscriptions_active.load(Ordering::Relaxed),
+            refresh_passes: self.refresh_passes.load(Ordering::Relaxed),
+            refresh_calls: self.refresh_calls.load(Ordering::Relaxed),
+            refresh_failures: self.refresh_failures.load(Ordering::Relaxed),
+            invocations_refreshed: self.invocations_refreshed.load(Ordering::Relaxed),
+            invocations_changed: self.invocations_changed.load(Ordering::Relaxed),
+            deltas_emitted: self.deltas_emitted.load(Ordering::Relaxed),
+            delta_rows_added: self.delta_rows_added.load(Ordering::Relaxed),
+            delta_rows_retracted: self.delta_rows_retracted.load(Ordering::Relaxed),
             sub_results_materialized: sub.entries,
             sub_result_evictions: sub.evictions,
             total_service_calls: shared.total_calls(),
@@ -359,6 +401,27 @@ pub struct MetricsSnapshot {
     /// Forwarded service calls those replays saved (the materializing
     /// cost of each replayed prefix).
     pub sub_result_calls_saved: u64,
+    /// Live standing-query subscriptions at sampling time.
+    pub subscriptions_active: u64,
+    /// Refresh passes run over the tracked invocation frontier.
+    pub refresh_passes: u64,
+    /// Request-response attempts issued by refresh passes (retries
+    /// included) — reconciles with the summed per-pass
+    /// [`RefreshSummary::calls`](crate::subscribe::RefreshSummary::calls).
+    pub refresh_calls: u64,
+    /// Invocations whose refresh exhausted its retries (stale pages
+    /// kept and served) plus standing re-evaluations that errored.
+    pub refresh_failures: u64,
+    /// Tracked invocations re-fetched by refresh passes.
+    pub invocations_refreshed: u64,
+    /// Refreshed invocations whose page sets changed.
+    pub invocations_changed: u64,
+    /// Deltas queued to standing-query subscribers.
+    pub deltas_emitted: u64,
+    /// Answer rows added across all emitted deltas.
+    pub delta_rows_added: u64,
+    /// Answer rows retracted across all emitted deltas.
+    pub delta_rows_retracted: u64,
     /// Invoke prefixes currently materialized in the sub-result store.
     pub sub_results_materialized: u64,
     /// Materialized prefixes dropped by the store's LRU bound
@@ -483,6 +546,21 @@ impl fmt::Display for MetricsSnapshot {
             self.sub_result_evictions,
             self.page_cache_evictions
         )?;
+        if self.refresh_passes > 0 || self.subscriptions_active > 0 {
+            writeln!(
+                f,
+                "standing: {} subscriptions · {} refresh passes ({} calls, {} failed) · {} invocations refreshed / {} changed · {} deltas (+{} / −{} rows)",
+                self.subscriptions_active,
+                self.refresh_passes,
+                self.refresh_calls,
+                self.refresh_failures,
+                self.invocations_refreshed,
+                self.invocations_changed,
+                self.deltas_emitted,
+                self.delta_rows_added,
+                self.delta_rows_retracted
+            )?;
+        }
         for (name, n) in &self.per_service_calls {
             let summary = self
                 .per_service_latency

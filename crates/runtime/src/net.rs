@@ -6,12 +6,16 @@
 //! Newline-framed text, one frame per line, UTF-8. The server greets
 //! with `HELLO mdq/1`; the client then speaks:
 //!
-//! | client frame            | meaning                                   |
-//! |-------------------------|-------------------------------------------|
-//! | `TENANT <name>`         | run subsequent queries as this tenant     |
-//! | `QUERY [k=<n>] <text>`  | submit query text (conjunctive syntax)    |
-//! | `PING`                  | liveness probe                            |
-//! | `QUIT`                  | close the connection                      |
+//! | client frame               | meaning                                   |
+//! |----------------------------|-------------------------------------------|
+//! | `TENANT <name>`            | run subsequent queries as this tenant     |
+//! | `QUERY [k=<n>] <text>`     | submit query text (conjunctive syntax)    |
+//! | `SUBSCRIBE [k=<n>] <text>` | register a standing query                 |
+//! | `POLL <id>`                | drain a subscription's queued deltas      |
+//! | `REFRESH`                  | run one refresh pass (operator lever)     |
+//! | `UNSUBSCRIBE <id>`         | deregister a standing query               |
+//! | `PING`                     | liveness probe                            |
+//! | `QUIT`                     | close the connection                      |
 //!
 //! and the server answers:
 //!
@@ -20,6 +24,11 @@
 //! | `OK tenant=<id>`              | tenant handshake accepted           |
 //! | `ANSWER <tuple>`              | one answer, streamed in rank order  |
 //! | `DONE answers=<n> calls=<n> wall_ms=<n> partial=<bool>` | stream end |
+//! | `SUBSCRIBED id=<n> epoch=<n> answers=<n>` | standing query accepted; exactly `answers` `ANSWER` frames follow |
+//! | `DELTA id=<n> epoch=<n> op=<+\|-> <tuple>` | one incremental answer change (`-` rows precede `+` rows per epoch) |
+//! | `SYNCED id=<n> epoch=<n> deltas=<n>` | poll response end, after `deltas` `DELTA` frames |
+//! | `REFRESHED epoch=<n> refreshed=<n> changed=<n> calls=<n> deltas=<n>` | one refresh pass completed |
+//! | `UNSUBSCRIBED id=<n>`         | the standing query is gone          |
 //! | `ERR <reason>`                | the query (or frame) failed         |
 //! | `SHED retry-after-ms=<n>`     | admission control refused the query |
 //! | `DRAINING`                    | the server is shutting down         |
@@ -70,6 +79,26 @@ pub enum ClientFrame {
         /// The query text.
         text: String,
     },
+    /// `SUBSCRIBE [k=<n>] <text>` — register a standing query.
+    Subscribe {
+        /// Answer target (`None` = the server's default).
+        k: Option<u64>,
+        /// The query text.
+        text: String,
+    },
+    /// `POLL <id>` — drain a subscription's queued deltas.
+    Poll {
+        /// The subscription id from `SUBSCRIBED`.
+        id: u64,
+    },
+    /// `REFRESH` — run one refresh pass now (the operator's lever; a
+    /// deployment would drive this from a timer).
+    Refresh,
+    /// `UNSUBSCRIBE <id>` — deregister a standing query.
+    Unsubscribe {
+        /// The subscription id from `SUBSCRIBED`.
+        id: u64,
+    },
     /// `PING` — liveness probe.
     Ping,
     /// `QUIT` — close the connection.
@@ -85,6 +114,13 @@ impl ClientFrame {
                 format!("QUERY k={k} {}", escape_line(text))
             }
             ClientFrame::Query { k: None, text } => format!("QUERY {}", escape_line(text)),
+            ClientFrame::Subscribe { k: Some(k), text } => {
+                format!("SUBSCRIBE k={k} {}", escape_line(text))
+            }
+            ClientFrame::Subscribe { k: None, text } => format!("SUBSCRIBE {}", escape_line(text)),
+            ClientFrame::Poll { id } => format!("POLL {id}"),
+            ClientFrame::Refresh => "REFRESH".to_string(),
+            ClientFrame::Unsubscribe { id } => format!("UNSUBSCRIBE {id}"),
             ClientFrame::Ping => "PING".to_string(),
             ClientFrame::Quit => "QUIT".to_string(),
         }
@@ -107,29 +143,50 @@ impl ClientFrame {
                 })
             }
             "QUERY" => {
-                let (k, text) = match rest.strip_prefix("k=") {
-                    Some(tail) => {
-                        let (num, text) = tail.split_once(' ').unwrap_or((tail, ""));
-                        let k = num
-                            .parse::<u64>()
-                            .map_err(|_| format!("bad k value {num:?}"))?;
-                        (Some(k), text.trim_start())
-                    }
-                    None => (None, rest),
-                };
-                if text.is_empty() {
-                    return Err("QUERY requires query text".to_string());
-                }
-                Ok(ClientFrame::Query {
-                    k,
-                    text: text.to_string(),
-                })
+                let (k, text) = parse_query_tail(verb, rest)?;
+                Ok(ClientFrame::Query { k, text })
             }
+            "SUBSCRIBE" => {
+                let (k, text) = parse_query_tail(verb, rest)?;
+                Ok(ClientFrame::Subscribe { k, text })
+            }
+            "POLL" => Ok(ClientFrame::Poll {
+                id: parse_id(verb, rest)?,
+            }),
+            "REFRESH" => Ok(ClientFrame::Refresh),
+            "UNSUBSCRIBE" => Ok(ClientFrame::Unsubscribe {
+                id: parse_id(verb, rest)?,
+            }),
             "PING" => Ok(ClientFrame::Ping),
             "QUIT" => Ok(ClientFrame::Quit),
             other => Err(format!("unknown frame {other:?}")),
         }
     }
+}
+
+/// Parses the `[k=<n>] <text>` tail shared by `QUERY` and `SUBSCRIBE`.
+fn parse_query_tail(verb: &str, rest: &str) -> Result<(Option<u64>, String), String> {
+    let (k, text) = match rest.strip_prefix("k=") {
+        Some(tail) => {
+            let (num, text) = tail.split_once(' ').unwrap_or((tail, ""));
+            let k = num
+                .parse::<u64>()
+                .map_err(|_| format!("bad k value {num:?}"))?;
+            (Some(k), text.trim_start())
+        }
+        None => (None, rest),
+    };
+    if text.is_empty() {
+        return Err(format!("{verb} requires query text"));
+    }
+    Ok((k, text.to_string()))
+}
+
+/// Parses the `<id>` operand of `POLL` / `UNSUBSCRIBE`.
+fn parse_id(verb: &str, rest: &str) -> Result<u64, String> {
+    rest.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("{verb} requires a numeric subscription id, got {rest:?}"))
 }
 
 /// One frame from server to client.
@@ -160,6 +217,61 @@ pub enum ServerFrame {
         wall_ms: u64,
         /// Whether the answers are partial (some service degraded).
         partial: bool,
+    },
+    /// `SUBSCRIBED id=<n> epoch=<n> answers=<n>` — standing query
+    /// accepted; exactly `answers` `ANSWER` frames follow with the
+    /// initial answers.
+    Subscribed {
+        /// The subscription id (use with `POLL` / `UNSUBSCRIBE`).
+        id: u64,
+        /// The epoch the initial answers reflect.
+        epoch: u64,
+        /// How many `ANSWER` frames follow.
+        answers: u64,
+    },
+    /// `DELTA id=<n> epoch=<n> op=<+|-> <tuple>` — one incremental
+    /// answer change of a standing query (`-` rows of an epoch precede
+    /// its `+` rows).
+    Delta {
+        /// The subscription the change belongs to.
+        id: u64,
+        /// The epoch the change brings the subscriber to.
+        epoch: u64,
+        /// `true` = the row appeared (`op=+`), `false` = it was
+        /// retracted (`op=-`).
+        added: bool,
+        /// The rendered tuple.
+        tuple: String,
+    },
+    /// `SYNCED id=<n> epoch=<n> deltas=<n>` — poll response end, after
+    /// `deltas` `DELTA` frames; the subscriber is now current as of
+    /// `epoch`.
+    Synced {
+        /// The polled subscription.
+        id: u64,
+        /// The epoch the subscriber is now current to.
+        epoch: u64,
+        /// `DELTA` frames that preceded this frame.
+        deltas: u64,
+    },
+    /// `REFRESHED epoch=<n> refreshed=<n> changed=<n> calls=<n>
+    /// deltas=<n>` — one refresh pass completed.
+    Refreshed {
+        /// The epoch the pass advanced the clock to.
+        epoch: u64,
+        /// Tracked invocations re-fetched.
+        refreshed: u64,
+        /// Invocations whose page sets changed.
+        changed: u64,
+        /// Request-response attempts the pass issued.
+        calls: u64,
+        /// Deltas queued to subscribers.
+        deltas: u64,
+    },
+    /// `UNSUBSCRIBED id=<n>` — the standing query is deregistered.
+    Unsubscribed {
+        /// The deregistered subscription.
+        id: u64,
     },
     /// `ERR <reason>` — the query (or the frame itself) failed.
     Err {
@@ -196,6 +308,31 @@ impl ServerFrame {
             } => {
                 format!("DONE answers={answers} calls={calls} wall_ms={wall_ms} partial={partial}")
             }
+            ServerFrame::Subscribed { id, epoch, answers } => {
+                format!("SUBSCRIBED id={id} epoch={epoch} answers={answers}")
+            }
+            ServerFrame::Delta {
+                id,
+                epoch,
+                added,
+                tuple,
+            } => {
+                let op = if *added { '+' } else { '-' };
+                format!("DELTA id={id} epoch={epoch} op={op} {}", escape_line(tuple))
+            }
+            ServerFrame::Synced { id, epoch, deltas } => {
+                format!("SYNCED id={id} epoch={epoch} deltas={deltas}")
+            }
+            ServerFrame::Refreshed {
+                epoch,
+                refreshed,
+                changed,
+                calls,
+                deltas,
+            } => format!(
+                "REFRESHED epoch={epoch} refreshed={refreshed} changed={changed} calls={calls} deltas={deltas}"
+            ),
+            ServerFrame::Unsubscribed { id } => format!("UNSUBSCRIBED id={id}"),
             ServerFrame::Err { reason } => format!("ERR {}", escape_line(reason)),
             ServerFrame::Shed { retry_after_ms } => format!("SHED retry-after-ms={retry_after_ms}"),
             ServerFrame::Draining => "DRAINING".to_string(),
@@ -237,6 +374,63 @@ impl ServerFrame {
                     partial: field(next()?, "partial")?,
                 })
             }
+            "SUBSCRIBED" => {
+                let mut parts = rest.split(' ');
+                let mut next = || {
+                    parts
+                        .next()
+                        .ok_or_else(|| "short SUBSCRIBED frame".to_string())
+                };
+                Ok(ServerFrame::Subscribed {
+                    id: field(next()?, "id")?,
+                    epoch: field(next()?, "epoch")?,
+                    answers: field(next()?, "answers")?,
+                })
+            }
+            "DELTA" => {
+                let mut parts = rest.splitn(4, ' ');
+                let mut next = || parts.next().ok_or_else(|| "short DELTA frame".to_string());
+                let id = field(next()?, "id")?;
+                let epoch = field(next()?, "epoch")?;
+                let added = match next()? {
+                    "op=+" => true,
+                    "op=-" => false,
+                    other => return Err(format!("expected op=+ or op=-, got {other:?}")),
+                };
+                Ok(ServerFrame::Delta {
+                    id,
+                    epoch,
+                    added,
+                    tuple: next().unwrap_or("").to_string(),
+                })
+            }
+            "SYNCED" => {
+                let mut parts = rest.split(' ');
+                let mut next = || parts.next().ok_or_else(|| "short SYNCED frame".to_string());
+                Ok(ServerFrame::Synced {
+                    id: field(next()?, "id")?,
+                    epoch: field(next()?, "epoch")?,
+                    deltas: field(next()?, "deltas")?,
+                })
+            }
+            "REFRESHED" => {
+                let mut parts = rest.split(' ');
+                let mut next = || {
+                    parts
+                        .next()
+                        .ok_or_else(|| "short REFRESHED frame".to_string())
+                };
+                Ok(ServerFrame::Refreshed {
+                    epoch: field(next()?, "epoch")?,
+                    refreshed: field(next()?, "refreshed")?,
+                    changed: field(next()?, "changed")?,
+                    calls: field(next()?, "calls")?,
+                    deltas: field(next()?, "deltas")?,
+                })
+            }
+            "UNSUBSCRIBED" => Ok(ServerFrame::Unsubscribed {
+                id: field(rest, "id")?,
+            }),
             "ERR" => Ok(ServerFrame::Err {
                 reason: rest.to_string(),
             }),
@@ -478,6 +672,93 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, peer: SocketAddr) {
                 queries += 1;
                 serve_query(shared, &mut send, tenant, &text, k)
             }
+            ClientFrame::Subscribe { k, text } => {
+                queries += 1;
+                match shared.query.subscribe(tenant, &text, k) {
+                    Ok(ticket) => {
+                        let mut ok = send(ServerFrame::Subscribed {
+                            id: ticket.id,
+                            epoch: ticket.epoch,
+                            answers: ticket.answers.len() as u64,
+                        })
+                        .is_ok();
+                        for t in &ticket.answers {
+                            ok = ok
+                                && send(ServerFrame::Answer {
+                                    tuple: t.to_string(),
+                                })
+                                .is_ok();
+                        }
+                        ok
+                    }
+                    Err(reason) => send(ServerFrame::Err { reason }).is_ok(),
+                }
+            }
+            ClientFrame::Poll { id } => match shared.query.poll_deltas(id) {
+                Some(deltas) => {
+                    let mut epoch = shared.query.epoch();
+                    let mut rows = 0u64;
+                    let mut ok = true;
+                    for d in &deltas {
+                        epoch = d.epoch;
+                        // retractions first: a client applying frames in
+                        // order never sees a transiently oversized set
+                        for t in &d.retracted {
+                            rows += 1;
+                            ok = ok
+                                && send(ServerFrame::Delta {
+                                    id,
+                                    epoch: d.epoch,
+                                    added: false,
+                                    tuple: t.to_string(),
+                                })
+                                .is_ok();
+                        }
+                        for t in &d.added {
+                            rows += 1;
+                            ok = ok
+                                && send(ServerFrame::Delta {
+                                    id,
+                                    epoch: d.epoch,
+                                    added: true,
+                                    tuple: t.to_string(),
+                                })
+                                .is_ok();
+                        }
+                    }
+                    ok && send(ServerFrame::Synced {
+                        id,
+                        epoch,
+                        deltas: rows,
+                    })
+                    .is_ok()
+                }
+                None => send(ServerFrame::Err {
+                    reason: format!("unknown subscription {id}"),
+                })
+                .is_ok(),
+            },
+            ClientFrame::Refresh => {
+                let s = shared.query.refresh();
+                send(ServerFrame::Refreshed {
+                    epoch: s.epoch,
+                    refreshed: s.refreshed,
+                    changed: s.invocations_changed,
+                    calls: s.calls,
+                    deltas: s.deltas_emitted,
+                })
+                .is_ok()
+            }
+            ClientFrame::Unsubscribe { id } => {
+                if shared.query.unsubscribe(id) {
+                    send(ServerFrame::Unsubscribed { id }).is_ok()
+                } else {
+                    send(ServerFrame::Err {
+                        reason: format!("unknown subscription {id}"),
+                    })
+                    .is_ok()
+                }
+            }
         };
         if !ok {
             break;
@@ -684,6 +965,86 @@ impl NetClient {
         }
     }
 
+    /// Registers a standing query; returns `(id, epoch, answers)` from
+    /// the `SUBSCRIBED` frame and its trailing `ANSWER` stream.
+    pub fn subscribe(&mut self, text: &str, k: Option<u64>) -> io::Result<(u64, u64, Vec<String>)> {
+        self.send(&ClientFrame::Subscribe {
+            k,
+            text: text.to_string(),
+        })?;
+        match self.read_frame()? {
+            ServerFrame::Subscribed { id, epoch, answers } => {
+                let mut rows = Vec::with_capacity(answers as usize);
+                for _ in 0..answers {
+                    match self.read_frame()? {
+                        ServerFrame::Answer { tuple } => rows.push(tuple),
+                        other => return Err(protocol_error(&other)),
+                    }
+                }
+                Ok((id, epoch, rows))
+            }
+            ServerFrame::Err { reason } => Err(io::Error::new(io::ErrorKind::InvalidInput, reason)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Drains a subscription's queued deltas: `(epoch, added, tuple)`
+    /// rows in apply order (retractions before additions per epoch),
+    /// terminated by the server's `SYNCED` frame.
+    pub fn poll(&mut self, id: u64) -> io::Result<Vec<(u64, bool, String)>> {
+        self.send(&ClientFrame::Poll { id })?;
+        let mut rows = Vec::new();
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Delta {
+                    id: got,
+                    epoch,
+                    added,
+                    tuple,
+                } if got == id => rows.push((epoch, added, tuple)),
+                ServerFrame::Synced { deltas, .. } => {
+                    if deltas as usize != rows.len() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("SYNCED reports {deltas} deltas, read {}", rows.len()),
+                        ));
+                    }
+                    return Ok(rows);
+                }
+                ServerFrame::Err { reason } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidInput, reason))
+                }
+                other => return Err(protocol_error(&other)),
+            }
+        }
+    }
+
+    /// Asks the server to run one refresh pass; returns the `REFRESHED`
+    /// counters `(epoch, refreshed, changed, calls, deltas)`.
+    pub fn refresh_all(&mut self) -> io::Result<(u64, u64, u64, u64, u64)> {
+        self.send(&ClientFrame::Refresh)?;
+        match self.read_frame()? {
+            ServerFrame::Refreshed {
+                epoch,
+                refreshed,
+                changed,
+                calls,
+                deltas,
+            } => Ok((epoch, refreshed, changed, calls, deltas)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Deregisters a standing query.
+    pub fn unsubscribe(&mut self, id: u64) -> io::Result<()> {
+        self.send(&ClientFrame::Unsubscribe { id })?;
+        match self.read_frame()? {
+            ServerFrame::Unsubscribed { id: got } if got == id => Ok(()),
+            ServerFrame::Err { reason } => Err(io::Error::new(io::ErrorKind::InvalidInput, reason)),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
     /// Closes the connection politely (waits for `BYE`).
     pub fn quit(mut self) -> io::Result<()> {
         self.send(&ClientFrame::Quit)?;
@@ -728,12 +1089,26 @@ mod tests {
                 k: None,
                 text: "q(X) :- s(X).".to_string(),
             },
+            ClientFrame::Subscribe {
+                k: Some(3),
+                text: "q(X) :- s(X).".to_string(),
+            },
+            ClientFrame::Subscribe {
+                k: None,
+                text: "q(X) :- s(X).".to_string(),
+            },
+            ClientFrame::Poll { id: 42 },
+            ClientFrame::Refresh,
+            ClientFrame::Unsubscribe { id: 42 },
             ClientFrame::Ping,
             ClientFrame::Quit,
         ] {
             assert_eq!(ClientFrame::parse(&frame.encode()), Ok(frame));
         }
         assert!(ClientFrame::parse("QUERY").is_err(), "empty query text");
+        assert!(ClientFrame::parse("SUBSCRIBE").is_err(), "empty sub text");
+        assert!(ClientFrame::parse("POLL x").is_err(), "non-numeric id");
+        assert!(ClientFrame::parse("UNSUBSCRIBE").is_err(), "missing id");
         assert!(ClientFrame::parse("NOPE x").is_err(), "unknown verb");
     }
 
@@ -757,12 +1132,46 @@ mod tests {
                 reason: "no such service".to_string(),
             },
             ServerFrame::Shed { retry_after_ms: 50 },
+            ServerFrame::Subscribed {
+                id: 7,
+                epoch: 3,
+                answers: 4,
+            },
+            ServerFrame::Delta {
+                id: 7,
+                epoch: 4,
+                added: true,
+                tuple: "⟨'Milano', 42⟩".to_string(),
+            },
+            ServerFrame::Delta {
+                id: 7,
+                epoch: 4,
+                added: false,
+                tuple: "⟨'Roma', 17⟩".to_string(),
+            },
+            ServerFrame::Synced {
+                id: 7,
+                epoch: 4,
+                deltas: 2,
+            },
+            ServerFrame::Refreshed {
+                epoch: 4,
+                refreshed: 9,
+                changed: 2,
+                calls: 11,
+                deltas: 1,
+            },
+            ServerFrame::Unsubscribed { id: 7 },
             ServerFrame::Draining,
             ServerFrame::Pong,
             ServerFrame::Bye,
         ] {
             assert_eq!(ServerFrame::parse(&frame.encode()), Ok(frame));
         }
+        assert!(
+            ServerFrame::parse("DELTA id=1 epoch=2 op=? x").is_err(),
+            "bad op rejected"
+        );
     }
 
     #[test]
@@ -826,6 +1235,77 @@ mod tests {
             QueryOutcome::Done { answers, .. } => assert!(!answers.is_empty()),
             o => panic!("default tenant unaffected, got {o:?}"),
         }
+        net.shutdown();
+    }
+
+    #[test]
+    fn subscribe_poll_refresh_unsubscribe_over_the_wire() {
+        let server = Arc::new(QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        ));
+        let net = NetServer::start(server, "127.0.0.1:0").expect("bind");
+        let mut client = NetClient::connect(net.addr()).expect("connect");
+        let (id, epoch, answers) = client.subscribe(QUERY, Some(5)).expect("subscribe");
+        assert_eq!(epoch, 0, "no refresh pass yet");
+        assert!(!answers.is_empty(), "initial answers stream");
+        // a static world: the refresh pass re-fetches but changes
+        // nothing, so the poll comes back empty
+        let (epoch, refreshed, changed, _calls, deltas) = client.refresh_all().expect("refresh");
+        assert_eq!(epoch, 1);
+        assert!(refreshed > 0, "frontier invocations are tracked");
+        assert_eq!((changed, deltas), (0, 0), "static world never changes");
+        assert!(client.poll(id).expect("poll").is_empty());
+        client.unsubscribe(id).expect("unsubscribe");
+        assert!(client.poll(id).is_err(), "polling a gone id is an error");
+        client.quit().expect("clean close");
+        net.shutdown();
+    }
+
+    #[test]
+    fn subscribe_frame_survives_a_read_timeout_mid_line() {
+        // the PR 8 QUERY regression shape, for SUBSCRIBE: a frame
+        // delivered in two TCP segments straddling the server's 25ms
+        // poll tick must not be torn into two bogus lines
+        let server = Arc::new(QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        ));
+        let net = NetServer::start(server, "127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(net.addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("hello");
+        assert!(line.starts_with("HELLO"));
+        let frame = format!("SUBSCRIBE k=5 {QUERY}\n");
+        let (head, tail) = frame.split_at(frame.len() / 2);
+        stream.write_all(head.as_bytes()).expect("first half");
+        stream.flush().expect("flush");
+        // straddle at least one poll tick so the server's read times
+        // out with the partial line buffered
+        std::thread::sleep(POLL_INTERVAL * 3);
+        stream.write_all(tail.as_bytes()).expect("second half");
+        stream.flush().expect("flush");
+        line.clear();
+        reader.read_line(&mut line).expect("subscribed");
+        match ServerFrame::parse(&line).expect("parses") {
+            ServerFrame::Subscribed { answers, .. } => {
+                for _ in 0..answers {
+                    line.clear();
+                    reader.read_line(&mut line).expect("answer");
+                    assert!(line.starts_with("ANSWER"), "answer stream intact: {line}");
+                }
+            }
+            other => panic!("expected SUBSCRIBED, got {other:?}"),
+        }
+        drop(stream);
         net.shutdown();
     }
 

@@ -7,6 +7,7 @@
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{PlanCache, PlanKey};
 use crate::session::{QuerySession, QueryStats, SessionEvent};
+use crate::subscribe::{Delta, EngineCtx, RefreshSummary, SubscriptionManager, SubscriptionTicket};
 use crate::tenant::{TenantInfo, TenantPolicy, TenantRegistry, DEFAULT_TENANT};
 use mdq_core::{Mdq, OptimizerReplanner};
 use mdq_cost::divergence::AdaptiveConfig;
@@ -136,6 +137,9 @@ struct ServerState {
     admitted_prefixes: Mutex<std::collections::HashSet<mdq_model::fingerprint::SubplanSignature>>,
     tenants: TenantRegistry,
     metrics: Metrics,
+    /// Standing queries: subscriptions, their pinned frontiers, the
+    /// shared refresh driver and the epoch clock.
+    subs: SubscriptionManager,
 }
 
 /// Bound on the admitted-prefix memory; reaching it clears the set (a
@@ -442,6 +446,7 @@ impl QueryServer {
             admitted_prefixes: Mutex::new(std::collections::HashSet::new()),
             tenants: TenantRegistry::new(),
             metrics: Metrics::new(),
+            subs: SubscriptionManager::new(),
             engine,
             config,
         });
@@ -693,6 +698,88 @@ impl QueryServer {
     /// Plans currently held by the plan cache.
     pub fn cached_plans(&self) -> usize {
         recover(self.state.plans.lock()).cache.len()
+    }
+
+    /// The subscription layer's view of the server internals.
+    fn sub_ctx(&self) -> EngineCtx<'_> {
+        EngineCtx {
+            schema: self.state.engine.schema(),
+            registry: self.state.engine.registry(),
+            shared: &self.state.shared,
+            metrics: &self.state.metrics,
+        }
+    }
+
+    /// Installs the epoch clock the (refreshing) services drift on and
+    /// the per-service TTL policy refresh passes consult. Without this
+    /// call subscriptions still work: the server runs a private clock
+    /// with a TTL of 1 epoch, and [`QueryServer::refresh`] advances it.
+    pub fn attach_refresh(
+        &self,
+        clock: Arc<mdq_services::refresh::EpochClock>,
+        policy: mdq_services::refresh::RefreshPolicy,
+    ) {
+        self.state.subs.attach(clock, policy);
+    }
+
+    /// The current refresh epoch (0 until the first refresh pass).
+    pub fn epoch(&self) -> u64 {
+        self.state.subs.epoch()
+    }
+
+    /// Registers a standing query as `tenant`: resolves the plan
+    /// through the same cache/single-flight path ad-hoc queries use,
+    /// materializes the initial answers, pins every page the execution
+    /// touched, and tracks the invocations for refresh. The returned
+    /// ticket carries the subscription id, the epoch and the initial
+    /// answers; subsequent [`QueryServer::refresh`] passes queue
+    /// incremental [`Delta`]s retrievable with
+    /// [`QueryServer::poll_deltas`].
+    pub fn subscribe(
+        &self,
+        tenant: TenantId,
+        text: &str,
+        k: Option<u64>,
+    ) -> Result<SubscriptionTicket, String> {
+        if self.state.tenants.get(tenant).is_none() {
+            return Err(Rejection::UnknownTenant.to_string());
+        }
+        let k = k.unwrap_or(self.state.config.default_k);
+        let (_key, plan, _hit) = resolve_plan(&self.state, text, k)?;
+        self.state.subs.subscribe(&self.sub_ctx(), &plan, k, tenant)
+    }
+
+    /// Runs one refresh pass: advances the epoch, re-fetches due
+    /// tracked invocations once for *all* subscriptions, installs
+    /// changed page sets into the shared cache, and re-evaluates
+    /// exactly the subscriptions whose frontier intersects the changed
+    /// set — queueing each a [`Delta`]. Unaffected subscriptions do
+    /// zero work.
+    pub fn refresh(&self) -> RefreshSummary {
+        self.state.subs.refresh(&self.sub_ctx())
+    }
+
+    /// Drains the queued deltas of subscription `id` (`None` = unknown
+    /// id; an empty vec = known but nothing new since the last poll).
+    pub fn poll_deltas(&self, id: u64) -> Option<Vec<Delta>> {
+        self.state.subs.poll(id)
+    }
+
+    /// Deregisters subscription `id`, unpinning every page no other
+    /// subscription still covers. Returns whether the id was known.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        self.state.subs.unsubscribe(&self.sub_ctx(), id)
+    }
+
+    /// The current answers of subscription `id` (rank order) — the
+    /// fold target its delta stream reproduces.
+    pub fn subscription_answers(&self, id: u64) -> Option<Vec<Tuple>> {
+        self.state.subs.answers(id)
+    }
+
+    /// Live subscriptions.
+    pub fn subscriptions_active(&self) -> u64 {
+        self.state.subs.active()
     }
 
     /// Samples the server's metrics.
@@ -1100,6 +1187,88 @@ fn plan_batch(state: &Arc<ServerState>, batch: Vec<Job>) -> Vec<Job> {
     out
 }
 
+/// Parse → plan-cache probe (single-flight) → optimize on a miss: the
+/// plan-resolution path shared by ad-hoc queries and standing
+/// subscriptions. Returns `(key, plan, plan_cache_hit)`.
+fn resolve_plan(
+    state: &ServerState,
+    text: &str,
+    k: u64,
+) -> Result<(PlanKey, Arc<Plan>, bool), String> {
+    let query = state.engine.parse(text).map_err(|e| e.to_string())?;
+    let key = (fingerprint(&query), k);
+    let cached = lookup_single_flight(state, &key)?;
+    let plan_cache_hit = cached.is_some();
+    let ctl = state.shared.trace_recorder().map(|r| r.control());
+    let plan: Arc<Plan> = match cached {
+        Some(plan) => {
+            state
+                .metrics
+                .plan_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(ctl) = &ctl {
+                ctl.instant(SpanKind::PlanCacheHit {
+                    fingerprint: key.0 .0,
+                });
+            }
+            plan
+        }
+        None => {
+            // the claim from `lookup_single_flight` is released
+            // by this guard even if the optimizer panics
+            let claim = ClaimGuard { state, key };
+            state
+                .metrics
+                .plan_cache_misses
+                .fetch_add(1, Ordering::Relaxed);
+            state
+                .metrics
+                .optimizer_invocations
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(ctl) = &ctl {
+                ctl.instant(SpanKind::PlanCacheMiss {
+                    fingerprint: key.0 .0,
+                });
+            }
+            let opt_started = Instant::now();
+            let optimized = state.engine.optimize(
+                query,
+                &ExecutionTime,
+                OptimizerConfig {
+                    k,
+                    cache: state.config.cache,
+                    ..OptimizerConfig::default()
+                },
+            );
+            if let Some(ctl) = &ctl {
+                // control spans measure real optimizer work:
+                // track 0 runs on wall seconds
+                ctl.record(SpanKind::Optimize, opt_started.elapsed().as_secs_f64());
+            }
+            let plan = optimized.map(|o| Arc::new(o.candidate.plan));
+            match &plan {
+                Ok(plan) => {
+                    recover(state.plans.lock())
+                        .cache
+                        .insert(key, Arc::clone(plan));
+                }
+                Err(e) => {
+                    // publish the failure while the claim is
+                    // still held: when the guard's release
+                    // wakes the waiters they find the memo and
+                    // fail immediately, instead of waking into
+                    // an empty cache and re-claiming the doomed
+                    // template one by one
+                    memoize_failed_plan(state, key, &e.to_string());
+                }
+            }
+            drop(claim);
+            plan.map_err(|e| e.to_string())?
+        }
+    };
+    Ok((key, plan, plan_cache_hit))
+}
+
 /// One query, start to finish, on a worker thread: parse → plan-cache
 /// probe (miss: optimize + insert) → pull-based execution over the
 /// shared gateway state, streaming each answer to the session.
@@ -1126,89 +1295,10 @@ fn process(state: &ServerState, job: Job) {
             p.shared_prefix,
             p.shared_prefix,
         ),
-        None => {
-            let query = match state.engine.parse(&job.text) {
-                Ok(q) => q,
-                Err(e) => return fail(e.to_string()),
-            };
-            let key = (fingerprint(&query), job.k);
-            let cached = match lookup_single_flight(state, &key) {
-                Ok(cached) => cached,
-                Err(reason) => return fail(reason),
-            };
-            let plan_cache_hit = cached.is_some();
-            let ctl = state.shared.trace_recorder().map(|r| r.control());
-            let plan: Arc<Plan> = match cached {
-                Some(plan) => {
-                    state
-                        .metrics
-                        .plan_cache_hits
-                        .fetch_add(1, Ordering::Relaxed);
-                    if let Some(ctl) = &ctl {
-                        ctl.instant(SpanKind::PlanCacheHit {
-                            fingerprint: key.0 .0,
-                        });
-                    }
-                    plan
-                }
-                None => {
-                    // the claim from `lookup_single_flight` is released
-                    // by this guard even if the optimizer panics
-                    let claim = ClaimGuard { state, key };
-                    state
-                        .metrics
-                        .plan_cache_misses
-                        .fetch_add(1, Ordering::Relaxed);
-                    state
-                        .metrics
-                        .optimizer_invocations
-                        .fetch_add(1, Ordering::Relaxed);
-                    if let Some(ctl) = &ctl {
-                        ctl.instant(SpanKind::PlanCacheMiss {
-                            fingerprint: key.0 .0,
-                        });
-                    }
-                    let opt_started = Instant::now();
-                    let optimized = state.engine.optimize(
-                        query,
-                        &ExecutionTime,
-                        OptimizerConfig {
-                            k: job.k,
-                            cache: state.config.cache,
-                            ..OptimizerConfig::default()
-                        },
-                    );
-                    if let Some(ctl) = &ctl {
-                        // control spans measure real optimizer work:
-                        // track 0 runs on wall seconds
-                        ctl.record(SpanKind::Optimize, opt_started.elapsed().as_secs_f64());
-                    }
-                    let plan = optimized.map(|o| Arc::new(o.candidate.plan));
-                    match &plan {
-                        Ok(plan) => {
-                            recover(state.plans.lock())
-                                .cache
-                                .insert(key, Arc::clone(plan));
-                        }
-                        Err(e) => {
-                            // publish the failure while the claim is
-                            // still held: when the guard's release
-                            // wakes the waiters they find the memo and
-                            // fail immediately, instead of waking into
-                            // an empty cache and re-claiming the doomed
-                            // template one by one
-                            memoize_failed_plan(state, key, &e.to_string());
-                        }
-                    }
-                    drop(claim);
-                    match plan {
-                        Ok(plan) => plan,
-                        Err(e) => return fail(e.to_string()),
-                    }
-                }
-            };
-            (key, plan, plan_cache_hit, false, true)
-        }
+        None => match resolve_plan(state, &job.text, job.k) {
+            Ok((key, plan, plan_cache_hit)) => (key, plan, plan_cache_hit, false, true),
+            Err(reason) => return fail(reason),
+        },
     };
 
     // the pull engine: frozen by default; with an [`AdaptiveConfig`]
@@ -1399,6 +1489,7 @@ fn process(state: &ServerState, job: Job) {
         degraded_services: partial
             .map(|p| p.degraded.into_iter().map(|d| d.service).collect())
             .unwrap_or_default(),
+        epoch: state.subs.epoch(),
     }));
 }
 

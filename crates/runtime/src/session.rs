@@ -61,6 +61,10 @@ pub struct QueryStats {
     /// Names of the services that served this query degraded pages
     /// (empty = the answer stream is complete).
     pub degraded_services: Vec<String>,
+    /// The refresh epoch the query executed at (0 until the server's
+    /// first refresh pass) — answers reflect the world as of this
+    /// epoch.
+    pub epoch: u64,
 }
 
 impl QueryStats {

@@ -1,0 +1,534 @@
+//! Standing queries: register a conjunctive query once, receive
+//! incremental deltas as the world refreshes.
+//!
+//! A subscription is an ad-hoc query that never finishes: the
+//! crate-internal `SubscriptionManager` (driven through
+//! [`QueryServer::subscribe`](crate::server::QueryServer::subscribe))
+//! materializes its answers once through a
+//! frontier-recording execution ([`TopKExecution::standing`]), pins
+//! every invocation the execution touched in the shared page cache, and
+//! registers the invocations with a [`RefreshDriver`]. A refresh pass
+//! then advances the epoch, re-fetches due invocations *once* for all
+//! subscriptions, installs the changed page sets into the shared cache,
+//! and re-evaluates only the subscriptions whose frontier intersects the
+//! changed set — emitting each one a [`Delta`] (added/retracted answer
+//! rows) instead of a full answer stream.
+//!
+//! ```text
+//!        subscribe(text)                    refresh()
+//!             │                                │
+//!             ▼                                ▼
+//!   standing execution ──frontier──►  EpochClock.advance()
+//!     (records every        │         invalidate unpinned pages
+//!      invocation it        │         + sub-results (stale epoch)
+//!      touched)             ▼                │
+//!             pin in page cache              ▼
+//!             track in RefreshDriver ──► re-fetch due invocations
+//!                                        (shared across ALL subs)
+//!                                            │ changed page sets
+//!                                            ▼
+//!                                     install into page cache
+//!                                            │
+//!                          frontier ∩ changed ≠ ∅ per subscription
+//!                                            ▼
+//!                                  re-evaluate → diff answers
+//!                                            ▼
+//!                                  Delta { added, retracted }
+//! ```
+//!
+//! The soundness invariant behind "unaffected subscriptions do zero
+//! work": every frontier invocation is re-fetched when due, so an
+//! unchanged frontier means a re-evaluation would read byte-identical
+//! pages and produce byte-identical answers — skipping it loses
+//! nothing. The delta-vs-rerun oracle suite pins exactly this.
+
+use crate::metrics::Metrics;
+use mdq_exec::gateway::{SharedServiceState, TenantId};
+use mdq_exec::topk::TopKExecution;
+use mdq_model::schema::Schema;
+use mdq_model::value::Tuple;
+use mdq_obs::span::SpanKind;
+use mdq_plan::dag::Plan;
+use mdq_services::refresh::{Epoch, EpochClock, InvocationKey, RefreshDriver, RefreshPolicy};
+use mdq_services::registry::ServiceRegistry;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Recovers a mutex guard from a poisoned lock (same policy as the
+/// server: the protected state degrades to staleness, not corruption).
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a new subscription hands back: the id to poll with, the epoch
+/// the initial answers were materialized at, and the answers
+/// themselves (rank order).
+#[derive(Clone, Debug)]
+pub struct SubscriptionTicket {
+    /// The subscription id (server-unique, monotonically assigned).
+    pub id: u64,
+    /// The epoch the initial answers reflect.
+    pub epoch: Epoch,
+    /// The initial answers, in rank order.
+    pub answers: Vec<Tuple>,
+}
+
+/// One incremental update to a subscription's answer set, produced by
+/// a refresh pass. Folding every delta (in order) into the initial
+/// answers reproduces the subscription's current answers exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// The epoch this delta brings the subscriber to.
+    pub epoch: Epoch,
+    /// Answer rows that appeared, sorted.
+    pub added: Vec<Tuple>,
+    /// Answer rows that disappeared, sorted.
+    pub retracted: Vec<Tuple>,
+}
+
+/// What one [`QueryServer::refresh`] pass did, across the driver and
+/// every subscription.
+///
+/// [`QueryServer::refresh`]: crate::server::QueryServer::refresh
+#[derive(Clone, Debug, Default)]
+pub struct RefreshSummary {
+    /// The epoch the pass advanced the clock to.
+    pub epoch: Epoch,
+    /// Tracked invocations re-fetched (due per the policy).
+    pub refreshed: u64,
+    /// Tracked invocations still within TTL, skipped.
+    pub skipped: u64,
+    /// Request-response attempts the driver issued (retries included).
+    pub calls: u64,
+    /// Invocations whose page sets changed.
+    pub invocations_changed: u64,
+    /// Pages that differ from their stale predecessors, summed.
+    pub pages_changed: u64,
+    /// Invocations whose refresh exhausted its retries (stale pages
+    /// kept) plus subscription re-evaluations that errored.
+    pub failed: u64,
+    /// Subscriptions whose frontier intersected the changed set and
+    /// were re-evaluated.
+    pub subscriptions_evaluated: u64,
+    /// Deltas queued to subscribers (re-evaluations whose answers
+    /// actually differed).
+    pub deltas_emitted: u64,
+    /// Answer rows added across all deltas.
+    pub rows_added: u64,
+    /// Answer rows retracted across all deltas.
+    pub rows_retracted: u64,
+}
+
+/// One registered standing query.
+struct Subscription {
+    tenant: TenantId,
+    plan: Arc<Plan>,
+    k: u64,
+    /// Current answers, in rank order (the fold target of the queued
+    /// deltas).
+    answers: Vec<Tuple>,
+    /// The invocations the last evaluation touched.
+    frontier: HashSet<InvocationKey>,
+    /// Deltas queued since the last poll, in epoch order.
+    queued: Vec<Delta>,
+}
+
+/// The mutable core: subscriptions, the shared refresh driver, and the
+/// pin refcounts tying both to the shared page cache.
+struct SubState {
+    policy: RefreshPolicy,
+    next_id: u64,
+    /// `BTreeMap` so refresh passes visit subscriptions in id order —
+    /// deterministic delta streams for seeded replay assertions.
+    subs: BTreeMap<u64, Subscription>,
+    /// How many live subscriptions' frontiers cover each invocation.
+    /// The invariant `pins.contains_key(k) ⟺ driver.is_tracked(k) ⟺
+    /// page-cache entry pinned` holds between calls.
+    pins: HashMap<InvocationKey, u32>,
+    driver: RefreshDriver,
+}
+
+/// Everything a subscription operation needs from the server.
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) schema: &'a Schema,
+    pub(crate) registry: &'a ServiceRegistry,
+    pub(crate) shared: &'a Arc<SharedServiceState>,
+    pub(crate) metrics: &'a Metrics,
+}
+
+/// The server's standing-query registry: subscriptions, their pinned
+/// frontiers, and the shared refresh driver. One per [`QueryServer`].
+///
+/// [`QueryServer`]: crate::server::QueryServer
+pub(crate) struct SubscriptionManager {
+    /// The epoch clock, behind its own lock so per-query epoch stamps
+    /// never wait on a refresh pass holding the state lock.
+    clock: Mutex<Arc<EpochClock>>,
+    state: Mutex<SubState>,
+}
+
+impl SubscriptionManager {
+    pub(crate) fn new() -> Self {
+        SubscriptionManager {
+            clock: Mutex::new(EpochClock::new()),
+            state: Mutex::new(SubState {
+                policy: RefreshPolicy::every(1),
+                next_id: 1,
+                subs: BTreeMap::new(),
+                pins: HashMap::new(),
+                driver: RefreshDriver::new(),
+            }),
+        }
+    }
+
+    /// Installs the clock the refreshing services drift on and the TTL
+    /// policy refresh passes consult. Without this call the manager
+    /// runs its own private clock with a TTL of 1 epoch.
+    pub(crate) fn attach(&self, clock: Arc<EpochClock>, policy: RefreshPolicy) {
+        *recover(self.clock.lock()) = clock;
+        recover(self.state.lock()).policy = policy;
+    }
+
+    /// The current epoch.
+    pub(crate) fn epoch(&self) -> Epoch {
+        recover(self.clock.lock()).now()
+    }
+
+    /// Live subscriptions.
+    pub(crate) fn active(&self) -> u64 {
+        recover(self.state.lock()).subs.len() as u64
+    }
+
+    /// The current answers of subscription `id` (rank order).
+    pub(crate) fn answers(&self, id: u64) -> Option<Vec<Tuple>> {
+        recover(self.state.lock())
+            .subs
+            .get(&id)
+            .map(|s| s.answers.clone())
+    }
+
+    /// Drains the queued deltas of subscription `id` (`None` =
+    /// unknown id; an empty vec = known but nothing new).
+    pub(crate) fn poll(&self, id: u64) -> Option<Vec<Delta>> {
+        recover(self.state.lock())
+            .subs
+            .get_mut(&id)
+            .map(|s| std::mem::take(&mut s.queued))
+    }
+
+    /// Registers a standing query: materializes its answers through a
+    /// frontier-recording execution, pins every touched invocation in
+    /// the shared page cache and tracks it in the refresh driver.
+    ///
+    /// Holds the state lock across the materializing execution so a
+    /// concurrent refresh pass cannot invalidate the pages between the
+    /// drain and the pin — subscribes serialize against refreshes, not
+    /// against ad-hoc queries.
+    pub(crate) fn subscribe(
+        &self,
+        ctx: &EngineCtx<'_>,
+        plan: &Arc<Plan>,
+        k: u64,
+        tenant: TenantId,
+    ) -> Result<SubscriptionTicket, String> {
+        let mut st = recover(self.state.lock());
+        let epoch = self.epoch();
+        let (answers, frontier) = evaluate(ctx, plan, k, tenant)?;
+        for key in &frontier {
+            pin_and_track(&mut st, ctx, key, epoch);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.subs.insert(
+            id,
+            Subscription {
+                tenant,
+                plan: Arc::clone(plan),
+                k,
+                answers: answers.clone(),
+                frontier,
+                queued: Vec::new(),
+            },
+        );
+        ctx.metrics
+            .subscriptions_active
+            .store(st.subs.len() as u64, Ordering::Relaxed);
+        Ok(SubscriptionTicket { id, epoch, answers })
+    }
+
+    /// Deregisters subscription `id`, unpinning every frontier
+    /// invocation no other subscription still covers. Queued deltas
+    /// are dropped. Returns whether the id was known.
+    pub(crate) fn unsubscribe(&self, ctx: &EngineCtx<'_>, id: u64) -> bool {
+        let mut st = recover(self.state.lock());
+        let Some(sub) = st.subs.remove(&id) else {
+            return false;
+        };
+        for key in &sub.frontier {
+            unpin(&mut st, ctx, key);
+        }
+        ctx.metrics
+            .subscriptions_active
+            .store(st.subs.len() as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// One refresh pass: advance the epoch, drop every cache entry the
+    /// new epoch invalidates (unpinned pages, all sub-results, the
+    /// failed-page memo), re-fetch due tracked invocations once for
+    /// all subscriptions, install the changed page sets, and
+    /// re-evaluate exactly the subscriptions whose frontier intersects
+    /// the changed set, queueing each a delta.
+    pub(crate) fn refresh(&self, ctx: &EngineCtx<'_>) -> RefreshSummary {
+        let started = Instant::now();
+        let mut st = recover(self.state.lock());
+        let epoch = recover(self.clock.lock()).advance();
+        // stale-state hygiene before anything re-reads the cache: an
+        // unpinned page, a materialized sub-result or a condemned page
+        // all embed the previous epoch and would leak it into answers
+        ctx.shared.invalidate_sub_results();
+        ctx.shared.invalidate_unpinned_pages();
+        ctx.shared.clear_failed_pages();
+        let policy = st.policy.clone();
+        let report = st.driver.refresh(epoch, &policy);
+        let mut summary = RefreshSummary {
+            epoch,
+            refreshed: report.refreshed,
+            skipped: report.skipped,
+            calls: report.calls,
+            invocations_changed: report.changed.len() as u64,
+            pages_changed: report.pages_changed,
+            failed: report.failed,
+            ..RefreshSummary::default()
+        };
+        let mut changed: HashSet<InvocationKey> = HashSet::new();
+        for c in &report.changed {
+            ctx.shared.install_invocation(
+                c.key.service,
+                &c.key.inputs,
+                c.pages.clone(),
+                c.exhausted,
+            );
+            changed.insert(c.key.clone());
+        }
+        // id order (BTreeMap): deterministic evaluation and delta
+        // queueing order for seeded replay assertions
+        let ids: Vec<u64> = st.subs.keys().copied().collect();
+        for id in ids {
+            let sub = st.subs.get(&id).expect("listed id");
+            if sub.frontier.is_disjoint(&changed) {
+                // every due frontier invocation was just re-fetched and
+                // came back identical — a re-evaluation would read the
+                // same bytes and reproduce the same answers
+                continue;
+            }
+            summary.subscriptions_evaluated += 1;
+            let (plan, k, tenant) = (Arc::clone(&sub.plan), sub.k, sub.tenant);
+            let (new_answers, new_frontier) = match evaluate(ctx, &plan, k, tenant) {
+                Ok(v) => v,
+                Err(_) => {
+                    // the re-evaluation failed (budget, hard fault):
+                    // keep the stale answers and frontier; a later
+                    // pass retries
+                    summary.failed += 1;
+                    continue;
+                }
+            };
+            let sub = st.subs.get(&id).expect("listed id");
+            let (added, retracted) = multiset_diff(&sub.answers, &new_answers);
+            let (old_frontier, new_keys): (HashSet<_>, Vec<_>) = (
+                sub.frontier.clone(),
+                new_frontier.difference(&sub.frontier).cloned().collect(),
+            );
+            for key in &new_keys {
+                pin_and_track(&mut st, ctx, key, epoch);
+            }
+            for key in old_frontier.difference(&new_frontier) {
+                unpin(&mut st, ctx, key);
+            }
+            let sub = st.subs.get_mut(&id).expect("listed id");
+            sub.answers = new_answers;
+            sub.frontier = new_frontier;
+            if added.is_empty() && retracted.is_empty() {
+                continue;
+            }
+            summary.deltas_emitted += 1;
+            summary.rows_added += added.len() as u64;
+            summary.rows_retracted += retracted.len() as u64;
+            if let Some(recorder) = ctx.shared.trace_recorder() {
+                recorder.control().instant(SpanKind::DeltaEmit {
+                    subscription: id,
+                    added: added.len() as u64,
+                    retracted: retracted.len() as u64,
+                });
+            }
+            sub.queued.push(Delta {
+                epoch,
+                added,
+                retracted,
+            });
+        }
+        drop(st);
+        let m = ctx.metrics;
+        m.refresh_passes.fetch_add(1, Ordering::Relaxed);
+        m.refresh_calls.fetch_add(summary.calls, Ordering::Relaxed);
+        m.refresh_failures
+            .fetch_add(summary.failed, Ordering::Relaxed);
+        m.invocations_refreshed
+            .fetch_add(summary.refreshed, Ordering::Relaxed);
+        m.invocations_changed
+            .fetch_add(summary.invocations_changed, Ordering::Relaxed);
+        m.deltas_emitted
+            .fetch_add(summary.deltas_emitted, Ordering::Relaxed);
+        m.delta_rows_added
+            .fetch_add(summary.rows_added, Ordering::Relaxed);
+        m.delta_rows_retracted
+            .fetch_add(summary.rows_retracted, Ordering::Relaxed);
+        if let Some(recorder) = ctx.shared.trace_recorder() {
+            recorder.control().record(
+                SpanKind::Refresh {
+                    epoch,
+                    refreshed: summary.refreshed,
+                    changed: summary.invocations_changed,
+                    calls: summary.calls,
+                },
+                started.elapsed().as_secs_f64(),
+            );
+        }
+        summary
+    }
+}
+
+/// Runs one frontier-recording evaluation of `plan` and drains up to
+/// `k` answers. Subscriptions are maintenance work, exempt from the
+/// per-query call budget (admission control guards ad-hoc traffic).
+fn evaluate(
+    ctx: &EngineCtx<'_>,
+    plan: &Arc<Plan>,
+    k: u64,
+    tenant: TenantId,
+) -> Result<(Vec<Tuple>, HashSet<InvocationKey>), String> {
+    let mut exec = TopKExecution::standing(
+        plan,
+        ctx.schema,
+        ctx.registry,
+        Arc::clone(ctx.shared),
+        None,
+        Some(tenant),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut answers = Vec::new();
+    while (answers.len() as u64) < k {
+        match exec.next_answer() {
+            Some(t) => answers.push(t),
+            None => break,
+        }
+    }
+    if let Some(err) = exec.error() {
+        return Err(err.to_string());
+    }
+    let frontier = exec
+        .frontier()
+        .into_iter()
+        .map(|(service, pattern, inputs)| InvocationKey {
+            service,
+            pattern,
+            inputs,
+        })
+        .collect();
+    Ok((answers, frontier))
+}
+
+/// Bumps `key`'s pin refcount; the first pin also pins the page-cache
+/// entry and registers the invocation with the refresh driver, seeded
+/// from the cache's own snapshot (no extra service calls).
+fn pin_and_track(st: &mut SubState, ctx: &EngineCtx<'_>, key: &InvocationKey, epoch: Epoch) {
+    let n = st.pins.entry(key.clone()).or_insert(0);
+    *n += 1;
+    if *n > 1 {
+        return;
+    }
+    ctx.shared.pin_invocation(key.service, &key.inputs);
+    let snapshot = ctx.shared.export_invocation(key.service, &key.inputs);
+    if let Some(service) = ctx.registry.get(key.service) {
+        st.driver
+            .track(key.clone(), Arc::clone(service), snapshot, epoch);
+    }
+}
+
+/// Drops one pin on `key`; the last pin also unpins the page-cache
+/// entry and untracks the invocation.
+fn unpin(st: &mut SubState, ctx: &EngineCtx<'_>, key: &InvocationKey) {
+    let Some(n) = st.pins.get_mut(key) else {
+        return;
+    };
+    *n -= 1;
+    if *n > 0 {
+        return;
+    }
+    st.pins.remove(key);
+    ctx.shared.unpin_invocation(key.service, &key.inputs);
+    st.driver.untrack(key);
+}
+
+/// Sorted multiset difference: `(new ∖ old, old ∖ new)` with
+/// multiplicity. Both outputs come back sorted — delta streams are
+/// order-canonical so seeded runs replay byte-identically.
+fn multiset_diff(old: &[Tuple], new: &[Tuple]) -> (Vec<Tuple>, Vec<Tuple>) {
+    let mut old_sorted = old.to_vec();
+    let mut new_sorted = new.to_vec();
+    old_sorted.sort();
+    new_sorted.sort();
+    let (mut added, mut retracted) = (Vec::new(), Vec::new());
+    let (mut i, mut j) = (0, 0);
+    while i < old_sorted.len() && j < new_sorted.len() {
+        match old_sorted[i].cmp(&new_sorted[j]) {
+            CmpOrdering::Less => {
+                retracted.push(old_sorted[i].clone());
+                i += 1;
+            }
+            CmpOrdering::Greater => {
+                added.push(new_sorted[j].clone());
+                j += 1;
+            }
+            CmpOrdering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    retracted.extend_from_slice(&old_sorted[i..]);
+    added.extend_from_slice(&new_sorted[j..]);
+    (added, retracted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdq_model::value::Value;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn multiset_diff_respects_multiplicity() {
+        let old = [t(&[1]), t(&[2]), t(&[2]), t(&[3])];
+        let new = [t(&[2]), t(&[3]), t(&[3]), t(&[4])];
+        let (added, retracted) = multiset_diff(&old, &new);
+        assert_eq!(added, vec![t(&[3]), t(&[4])]);
+        assert_eq!(retracted, vec![t(&[1]), t(&[2])]);
+    }
+
+    #[test]
+    fn multiset_diff_of_equal_sets_is_empty() {
+        let rows = [t(&[5]), t(&[1]), t(&[3])];
+        let mut shuffled = rows.to_vec();
+        shuffled.reverse();
+        let (added, retracted) = multiset_diff(&rows, &shuffled);
+        assert!(added.is_empty() && retracted.is_empty());
+    }
+}

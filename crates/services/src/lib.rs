@@ -14,6 +14,9 @@
 //!   [`FaultProfile`](fault::FaultProfile) wrappers with seeded or
 //!   scripted error/timeout/rate-limit/latency-spike schedules;
 //! * [`synthetic`] — ranked in-memory sources;
+//! * [`refresh`] — page versioning for standing queries: epoch clocks,
+//!   per-service TTL policies, a refresh driver reporting changed
+//!   invocations, and deterministic epoch-drifting source wrappers;
 //! * [`registry`] — schema-id → runtime-service bindings;
 //! * [`profiler`] — sampling estimation of erspi / τ / chunk size
 //!   (regenerates Table 1);
@@ -29,6 +32,7 @@ pub mod domains;
 pub mod fault;
 pub mod loader;
 pub mod profiler;
+pub mod refresh;
 pub mod registry;
 pub mod service;
 pub mod synthetic;
@@ -42,6 +46,10 @@ pub mod prelude {
     };
     pub use crate::loader::{parse_rows, source_from_text, LoadError};
     pub use crate::profiler::{install, profile_service, ProfileReport};
+    pub use crate::refresh::{
+        refreshing_registry, ChangedInvocation, Epoch, EpochClock, InvocationKey, RefreshConfig,
+        RefreshDriver, RefreshPolicy, RefreshReport, RefreshingSource, Versioned,
+    };
     pub use crate::registry::ServiceRegistry;
     pub use crate::service::{
         CallCounter, Counted, InputKey, LatencyModel, Service, ServiceFault, ServiceResponse,

@@ -144,5 +144,24 @@
 //! | serving policy, per-query accounting, plan publication | [`RuntimeConfig::adaptive`](mdq_runtime::server::RuntimeConfig), [`QueryStats::replans`](mdq_runtime::session::QueryStats), [`MetricsSnapshot::replans`](mdq_runtime::metrics::MetricsSnapshot) |
 //! | the mis-estimated evaluation workload | [`catalog_world`](mdq_services::domains::catalog::catalog_world), `crates/bench/benches/adaptive.rs` → `BENCH_adaptive.json` |
 //!
+//! ## Beyond the paper — standing queries
+//!
+//! §6 evaluates against live 2008 web services whose data moves
+//! (flight prices, weather); the paper's engine sees each query's
+//! world exactly once. The standing-query layer keeps registered
+//! queries current by polling — the paper's services offer no
+//! changefeed — and turns page-set changes into incremental deltas:
+//!
+//! | Concept | Implementation |
+//! |---|---|
+//! | pages versioned by refresh epoch | [`Versioned`](mdq_services::refresh::Versioned), [`EpochClock`](mdq_services::refresh::EpochClock) |
+//! | per-service freshness TTLs | [`RefreshPolicy`](mdq_services::refresh::RefreshPolicy) (staleness in epochs, per-service overrides) |
+//! | one shared polling pass re-fetches due invocations | [`RefreshDriver`](mdq_services::refresh::RefreshDriver) ([`RefreshReport`](mdq_services::refresh::RefreshReport) says what changed) |
+//! | the pages a standing query depends on | [`TopKExecution::standing`](mdq_exec::topk::TopKExecution::standing) records the frontier; [`SharedServiceState::pin_invocation`](mdq_exec::gateway::SharedServiceState::pin_invocation) shields it from LRU eviction |
+//! | subscriptions + delta computation | [`mdq_runtime::subscribe`] on [`QueryServer::subscribe`](mdq_runtime::server::QueryServer::subscribe) / [`refresh`](mdq_runtime::server::QueryServer::refresh) / [`poll_deltas`](mdq_runtime::server::QueryServer::poll_deltas), emitting [`Delta`](mdq_runtime::subscribe::Delta)s |
+//! | deltas over the wire | `SUBSCRIBE` / `DELTA` / `SYNCED` / `REFRESHED` frames in [`mdq_runtime::net`] |
+//! | a drifting-but-deterministic world to test against | [`RefreshingSource`](mdq_services::refresh::RefreshingSource), [`refreshing_registry`](mdq_services::refresh::refreshing_registry) |
+//! | the delta-vs-rerun oracle | `tests/standing_queries.rs` (byte-identical folds, ≥ 3× fewer calls), `tests/subscription_chaos.rs`, `crates/bench/benches/standing.rs` → `BENCH_standing.json` |
+//!
 //! Deviations and errata discovered during implementation are catalogued
 //! in `EXPERIMENTS.md` at the workspace root.
