@@ -48,6 +48,13 @@ pub(crate) struct Metrics {
     /// Rejections because the tenant's cumulative call budget was
     /// already spent at submission time.
     pub(crate) shed_tenant_budget: AtomicU64,
+    /// `SUBSCRIBE` registrations refused because the tenant was at its
+    /// standing-query cap ([`TenantPolicy::max_subscriptions`], or the
+    /// server-wide [`RuntimeConfig::max_subscriptions`] default).
+    ///
+    /// [`TenantPolicy::max_subscriptions`]: crate::tenant::TenantPolicy::max_subscriptions
+    /// [`RuntimeConfig::max_subscriptions`]: crate::server::RuntimeConfig::max_subscriptions
+    pub(crate) shed_subscription_cap: AtomicU64,
     /// Jobs whose worker panicked mid-execution; the session fails,
     /// the worker survives.
     pub(crate) worker_panics: AtomicU64,
@@ -131,6 +138,7 @@ impl Metrics {
             shed_queue_full: AtomicU64::new(0),
             shed_tenant_queue: AtomicU64::new(0),
             shed_tenant_budget: AtomicU64::new(0),
+            shed_subscription_cap: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             plan_failed_memo_hits: AtomicU64::new(0),
             peak_queue_depth: AtomicU64::new(0),
@@ -254,6 +262,7 @@ impl Metrics {
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             shed_tenant_queue: self.shed_tenant_queue.load(Ordering::Relaxed),
             shed_tenant_budget: self.shed_tenant_budget.load(Ordering::Relaxed),
+            shed_subscription_cap: self.shed_subscription_cap.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             plan_failed_memo_hits: self.plan_failed_memo_hits.load(Ordering::Relaxed),
             queue_depth: queue_depth as u64,
@@ -341,6 +350,13 @@ pub struct MetricsSnapshot {
     /// Rejections because the tenant's cumulative call budget was
     /// spent at submission time.
     pub shed_tenant_budget: u64,
+    /// `SUBSCRIBE` registrations refused because the tenant was at its
+    /// standing-query cap ([`TenantPolicy::max_subscriptions`], or the
+    /// server-wide [`RuntimeConfig::max_subscriptions`] default).
+    ///
+    /// [`TenantPolicy::max_subscriptions`]: crate::tenant::TenantPolicy::max_subscriptions
+    /// [`RuntimeConfig::max_subscriptions`]: crate::server::RuntimeConfig::max_subscriptions
+    pub shed_subscription_cap: u64,
     /// Jobs whose worker panicked mid-execution (the session failed,
     /// the worker recovered).
     pub worker_panics: u64,
@@ -467,7 +483,10 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Total submissions shed by admission control (all reasons).
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_tenant_queue + self.shed_tenant_budget
+        self.shed_queue_full
+            + self.shed_tenant_queue
+            + self.shed_tenant_budget
+            + self.shed_subscription_cap
     }
 }
 

@@ -11,9 +11,9 @@
 //! | `TENANT <name>`            | run subsequent queries as this tenant     |
 //! | `QUERY [k=<n>] <text>`     | submit query text (conjunctive syntax)    |
 //! | `SUBSCRIBE [k=<n>] <text>` | register a standing query                 |
-//! | `POLL <id>`                | drain a subscription's queued deltas      |
-//! | `REFRESH`                  | run one refresh pass (operator lever)     |
-//! | `UNSUBSCRIBE <id>`         | deregister a standing query               |
+//! | `POLL <id>`                | drain the subscription's queued deltas (own/operator-managed ids only) |
+//! | `REFRESH`                  | run one refresh pass (operator tenants only) |
+//! | `UNSUBSCRIBE <id>`         | deregister a standing query (own/operator-managed ids only) |
 //! | `PING`                     | liveness probe                            |
 //! | `QUIT`                     | close the connection                      |
 //!
@@ -33,6 +33,16 @@
 //! | `SHED retry-after-ms=<n>`     | admission control refused the query |
 //! | `DRAINING`                    | the server is shutting down         |
 //! | `PONG` / `BYE`                | ping reply / close acknowledgement  |
+//!
+//! Standing queries are tenant-scoped end to end: `SUBSCRIBE` passes
+//! the same admission gates as `QUERY` (spent-budget shed, per-query
+//! call budget on the materializing evaluation, a per-tenant
+//! subscription cap), `POLL`/`UNSUBSCRIBE` answer `ERR unknown
+//! subscription` for any id the connection's tenant does not own
+//! (ids are sequential — without the check a client could drain or
+//! deregister a stranger's stream by guessing), and `REFRESH` requires
+//! the tenant's [`TenantPolicy::operator`] flag. Operator tenants may
+//! manage any subscription.
 //!
 //! Load shedding is part of the protocol, not an error path: a `SHED`
 //! frame carries the server's retry-after hint and the connection stays
@@ -91,7 +101,8 @@ pub enum ClientFrame {
         /// The subscription id from `SUBSCRIBED`.
         id: u64,
     },
-    /// `REFRESH` — run one refresh pass now (the operator's lever; a
+    /// `REFRESH` — run one refresh pass now (operator tenants only —
+    /// a pass re-fetches every tracked invocation for all tenants; a
     /// deployment would drive this from a timer).
     Refresh,
     /// `UNSUBSCRIBE <id>` — deregister a standing query.
@@ -694,7 +705,11 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, peer: SocketAddr) {
                     Err(reason) => send(ServerFrame::Err { reason }).is_ok(),
                 }
             }
-            ClientFrame::Poll { id } => match shared.query.poll_deltas(id) {
+            // POLL/UNSUBSCRIBE run as the connection's tenant: ids are
+            // sequential, so without the scoping any client could
+            // drain (destructively) or deregister another tenant's
+            // subscription just by guessing
+            ClientFrame::Poll { id } => match shared.query.poll_deltas(tenant, id) {
                 Some(deltas) => {
                     let mut epoch = shared.query.epoch();
                     let mut rows = 0u64;
@@ -738,19 +753,25 @@ fn handle_connection(shared: &NetShared, stream: TcpStream, peer: SocketAddr) {
                 })
                 .is_ok(),
             },
-            ClientFrame::Refresh => {
-                let s = shared.query.refresh();
-                send(ServerFrame::Refreshed {
+            // REFRESH re-fetches every tracked invocation for all
+            // tenants — operator-only, or any anonymous client could
+            // spam the single most expensive lever the server has
+            ClientFrame::Refresh => match shared.query.try_refresh(tenant) {
+                Ok(s) => send(ServerFrame::Refreshed {
                     epoch: s.epoch,
                     refreshed: s.refreshed,
                     changed: s.invocations_changed,
                     calls: s.calls,
                     deltas: s.deltas_emitted,
                 })
-                .is_ok()
-            }
+                .is_ok(),
+                Err(rejection) => send(ServerFrame::Err {
+                    reason: rejection.to_string(),
+                })
+                .is_ok(),
+            },
             ClientFrame::Unsubscribe { id } => {
-                if shared.query.unsubscribe(id) {
+                if shared.query.unsubscribe(tenant, id) {
                     send(ServerFrame::Unsubscribed { id }).is_ok()
                 } else {
                     send(ServerFrame::Err {
@@ -1247,8 +1268,17 @@ mod tests {
                 ..RuntimeConfig::default()
             },
         ));
+        // REFRESH is operator-only: handshake as an operator tenant
+        server.register_tenant(
+            "ops",
+            TenantPolicy {
+                operator: true,
+                ..TenantPolicy::default()
+            },
+        );
         let net = NetServer::start(server, "127.0.0.1:0").expect("bind");
         let mut client = NetClient::connect(net.addr()).expect("connect");
+        client.tenant("ops").expect("handshake");
         let (id, epoch, answers) = client.subscribe(QUERY, Some(5)).expect("subscribe");
         assert_eq!(epoch, 0, "no refresh pass yet");
         assert!(!answers.is_empty(), "initial answers stream");
@@ -1262,6 +1292,85 @@ mod tests {
         client.unsubscribe(id).expect("unsubscribe");
         assert!(client.poll(id).is_err(), "polling a gone id is an error");
         client.quit().expect("clean close");
+        net.shutdown();
+    }
+
+    #[test]
+    fn foreign_subscriptions_are_invisible_and_refresh_is_operator_only() {
+        let server = Arc::new(QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                ..RuntimeConfig::default()
+            },
+        ));
+        server.register_tenant(
+            "ops",
+            TenantPolicy {
+                operator: true,
+                ..TenantPolicy::default()
+            },
+        );
+        let net = NetServer::start(server, "127.0.0.1:0").expect("bind");
+        let mut alice = NetClient::connect(net.addr()).expect("connect");
+        alice.tenant("alice").expect("handshake");
+        let (id, _, _) = alice.subscribe(QUERY, Some(5)).expect("subscribe");
+
+        // a different tenant cannot poll (destructive!), read or
+        // deregister alice's subscription — the id answers as unknown,
+        // so sequential ids leak nothing across tenants
+        let mut bob = NetClient::connect(net.addr()).expect("connect");
+        bob.tenant("bob").expect("handshake");
+        let poll_err = bob.poll(id).expect_err("foreign poll refused");
+        assert!(
+            poll_err.to_string().contains("unknown subscription"),
+            "foreign id is indistinguishable from an unknown one: {poll_err}"
+        );
+        assert!(bob.unsubscribe(id).is_err(), "foreign unsubscribe refused");
+        // nor may a non-operator trigger the all-tenant refresh pass
+        let refresh_err = bob.refresh_all().expect_err("non-operator refresh refused");
+        assert!(
+            refresh_err.to_string().contains("unexpected frame"),
+            "REFRESH answers ERR for non-operators: {refresh_err}"
+        );
+
+        // the operator may do all three: refresh, poll, deregister
+        let mut ops = NetClient::connect(net.addr()).expect("connect");
+        ops.tenant("ops").expect("handshake");
+        let (epoch, refreshed, ..) = ops.refresh_all().expect("operator refresh");
+        assert_eq!(epoch, 1);
+        assert!(refreshed > 0, "alice's frontier is tracked");
+        assert!(ops.poll(id).expect("operator poll").is_empty());
+        ops.unsubscribe(id).expect("operator unsubscribe");
+        // and alice's subscription really is gone now
+        assert!(alice.poll(id).is_err(), "deregistered id is unknown");
+        net.shutdown();
+    }
+
+    #[test]
+    fn subscription_cap_sheds_at_the_door() {
+        let server = Arc::new(QueryServer::from_world(
+            news_world(),
+            RuntimeConfig {
+                workers: 1,
+                max_subscriptions: 2,
+                ..RuntimeConfig::default()
+            },
+        ));
+        let net = NetServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+        let mut client = NetClient::connect(net.addr()).expect("connect");
+        client.subscribe(QUERY, Some(3)).expect("first subscribe");
+        client.subscribe(QUERY, Some(3)).expect("second subscribe");
+        let err = client
+            .subscribe(QUERY, Some(3))
+            .expect_err("cap refuses the third");
+        assert!(
+            err.to_string().contains("subscription cap"),
+            "refusal names the cap: {err}"
+        );
+        let m = server.metrics();
+        assert_eq!(m.shed_subscription_cap, 1);
+        assert_eq!(m.subscriptions_active, 2);
         net.shutdown();
     }
 

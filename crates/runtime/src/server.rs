@@ -7,7 +7,9 @@
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{PlanCache, PlanKey};
 use crate::session::{QuerySession, QueryStats, SessionEvent};
-use crate::subscribe::{Delta, EngineCtx, RefreshSummary, SubscriptionManager, SubscriptionTicket};
+use crate::subscribe::{
+    Delta, EngineCtx, RefreshSummary, SubscribeError, SubscriptionManager, SubscriptionTicket,
+};
 use crate::tenant::{TenantInfo, TenantPolicy, TenantRegistry, DEFAULT_TENANT};
 use mdq_core::{Mdq, OptimizerReplanner};
 use mdq_cost::divergence::AdaptiveConfig;
@@ -99,6 +101,15 @@ pub struct RuntimeConfig {
     /// The retry-after hint handed to shed submissions — how long a
     /// well-behaved client should wait before retrying.
     pub shed_retry_after: Duration,
+    /// Admission control for standing queries: max live subscriptions
+    /// per tenant (`0` = unlimited) unless the tenant's own
+    /// [`TenantPolicy::max_subscriptions`] overrides it. Every
+    /// subscription pins pages and joins every refresh pass, so this
+    /// bounds how much continuous maintenance work one client — the
+    /// anonymous default tenant included — can register.
+    ///
+    /// [`TenantPolicy::max_subscriptions`]: crate::tenant::TenantPolicy::max_subscriptions
+    pub max_subscriptions: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -118,6 +129,7 @@ impl Default for RuntimeConfig {
             default_k: 10,
             max_queue_depth: 0,
             shed_retry_after: Duration::from_millis(50),
+            max_subscriptions: 64,
         }
     }
 }
@@ -209,6 +221,14 @@ pub enum Rejection {
     TenantBudgetExhausted,
     /// The tenant id was never registered.
     UnknownTenant,
+    /// The operation (a wire-triggered refresh pass) requires the
+    /// [`TenantPolicy::operator`](crate::tenant::TenantPolicy::operator)
+    /// flag, which this tenant lacks.
+    OperatorOnly,
+    /// The tenant is at its standing-query cap
+    /// ([`TenantPolicy::max_subscriptions`](crate::tenant::TenantPolicy::max_subscriptions)
+    /// or the server-wide [`RuntimeConfig::max_subscriptions`]).
+    SubscriptionCapReached,
     /// The server is shut down (or draining) and accepts nothing new.
     Closed,
 }
@@ -224,6 +244,8 @@ impl std::fmt::Display for Rejection {
             }
             Rejection::TenantBudgetExhausted => write!(f, "tenant call budget exhausted"),
             Rejection::UnknownTenant => write!(f, "unknown tenant"),
+            Rejection::OperatorOnly => write!(f, "operator-only operation"),
+            Rejection::SubscriptionCapReached => write!(f, "tenant subscription cap reached"),
             Rejection::Closed => write!(f, "server is shut down"),
         }
     }
@@ -735,18 +757,65 @@ impl QueryServer {
     /// answers; subsequent [`QueryServer::refresh`] passes queue
     /// incremental [`Delta`]s retrievable with
     /// [`QueryServer::poll_deltas`].
+    ///
+    /// Subscriptions pass the same admission gates as ad-hoc queries:
+    /// a spent tenant budget sheds the registration at the door, the
+    /// materializing evaluation runs under the tenant's per-query call
+    /// budget, and the tenant's live subscriptions are capped
+    /// ([`TenantPolicy::max_subscriptions`], defaulting to
+    /// [`RuntimeConfig::max_subscriptions`]). Refusals count in
+    /// [`MetricsSnapshot::rejected`] and the shed counters.
+    ///
+    /// [`TenantPolicy::max_subscriptions`]: crate::tenant::TenantPolicy::max_subscriptions
+    /// [`MetricsSnapshot::rejected`]: crate::metrics::MetricsSnapshot::rejected
     pub fn subscribe(
         &self,
         tenant: TenantId,
         text: &str,
         k: Option<u64>,
     ) -> Result<SubscriptionTicket, String> {
-        if self.state.tenants.get(tenant).is_none() {
+        let metrics = &self.state.metrics;
+        let Some(tinfo) = self.state.tenants.get(tenant) else {
             return Err(Rejection::UnknownTenant.to_string());
+        };
+        // same shed-at-the-door rule as `try_submit`: a tenant whose
+        // cumulative budget is spent would only burn an evaluation to
+        // fail it
+        if !self.state.shared.tenant_has_room(tenant) {
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics.shed_tenant_budget.fetch_add(1, Ordering::Relaxed);
+            tinfo.shed.fetch_add(1, Ordering::Relaxed);
+            self.record_shed(tenant, "tenant_budget");
+            return Err(Rejection::TenantBudgetExhausted.to_string());
         }
+        let cap = tinfo
+            .policy
+            .max_subscriptions
+            .unwrap_or(self.state.config.max_subscriptions);
+        let budget = tinfo
+            .policy
+            .per_query_call_budget
+            .or(self.state.config.call_budget);
         let k = k.unwrap_or(self.state.config.default_k);
         let (_key, plan, _hit) = resolve_plan(&self.state, text, k)?;
-        self.state.subs.subscribe(&self.sub_ctx(), &plan, k, tenant)
+        self.state
+            .subs
+            .subscribe(&self.sub_ctx(), &plan, k, tenant, cap, budget)
+            .map_err(|e| match e {
+                SubscribeError::CapReached { active } => {
+                    metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    metrics
+                        .shed_subscription_cap
+                        .fetch_add(1, Ordering::Relaxed);
+                    tinfo.shed.fetch_add(1, Ordering::Relaxed);
+                    self.record_shed(tenant, "subscription_cap");
+                    format!(
+                        "{} ({active} active, cap {cap})",
+                        Rejection::SubscriptionCapReached
+                    )
+                }
+                SubscribeError::Eval(reason) => reason,
+            })
     }
 
     /// Runs one refresh pass: advances the epoch, re-fetches due
@@ -759,22 +828,60 @@ impl QueryServer {
         self.state.subs.refresh(&self.sub_ctx())
     }
 
-    /// Drains the queued deltas of subscription `id` (`None` = unknown
-    /// id; an empty vec = known but nothing new since the last poll).
-    pub fn poll_deltas(&self, id: u64) -> Option<Vec<Delta>> {
-        self.state.subs.poll(id)
+    /// [`QueryServer::refresh`] gated for client-triggered use (the
+    /// wire `REFRESH` frame): only a tenant whose policy carries the
+    /// [`operator`](crate::tenant::TenantPolicy::operator) flag may
+    /// run a pass — a refresh re-fetches every tracked invocation for
+    /// *all* tenants, far too expensive a lever to hand to anonymous
+    /// clients. In-process callers (who already own the server handle)
+    /// keep the ungated method.
+    pub fn try_refresh(&self, tenant: TenantId) -> Result<RefreshSummary, Rejection> {
+        let Some(tinfo) = self.state.tenants.get(tenant) else {
+            return Err(Rejection::UnknownTenant);
+        };
+        if !tinfo.policy.operator {
+            self.state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::OperatorOnly);
+        }
+        Ok(self.refresh())
     }
 
-    /// Deregisters subscription `id`, unpinning every page no other
-    /// subscription still covers. Returns whether the id was known.
-    pub fn unsubscribe(&self, id: u64) -> bool {
-        self.state.subs.unsubscribe(&self.sub_ctx(), id)
+    /// Whether `tenant` carries the operator flag (may trigger wire
+    /// refreshes and manage any tenant's subscriptions).
+    fn is_operator(&self, tenant: TenantId) -> bool {
+        self.state
+            .tenants
+            .get(tenant)
+            .is_some_and(|t| t.policy.operator)
+    }
+
+    /// Drains the queued deltas of subscription `id` as `tenant`
+    /// (`None` = unknown id, or an id the tenant neither owns nor — by
+    /// the operator flag — may manage; an empty vec = known but
+    /// nothing new since the last poll). The drain is destructive, so
+    /// ownership is enforced: sequential ids must not let one tenant
+    /// steal another's delta stream.
+    pub fn poll_deltas(&self, tenant: TenantId, id: u64) -> Option<Vec<Delta>> {
+        self.state.subs.poll(id, tenant, self.is_operator(tenant))
+    }
+
+    /// Deregisters subscription `id` as `tenant`, unpinning every page
+    /// no other subscription still covers. Returns whether the id was
+    /// known *and* owned by `tenant` (operators may deregister any
+    /// subscription).
+    pub fn unsubscribe(&self, tenant: TenantId, id: u64) -> bool {
+        self.state
+            .subs
+            .unsubscribe(&self.sub_ctx(), id, tenant, self.is_operator(tenant))
     }
 
     /// The current answers of subscription `id` (rank order) — the
-    /// fold target its delta stream reproduces.
-    pub fn subscription_answers(&self, id: u64) -> Option<Vec<Tuple>> {
-        self.state.subs.answers(id)
+    /// fold target its delta stream reproduces. Tenant-scoped like
+    /// [`QueryServer::poll_deltas`].
+    pub fn subscription_answers(&self, tenant: TenantId, id: u64) -> Option<Vec<Tuple>> {
+        self.state
+            .subs
+            .answers(id, tenant, self.is_operator(tenant))
     }
 
     /// Live subscriptions.

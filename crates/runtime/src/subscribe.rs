@@ -40,7 +40,17 @@
 //! work": every frontier invocation is re-fetched when due, so an
 //! unchanged frontier means a re-evaluation would read byte-identical
 //! pages and produce byte-identical answers — skipping it loses
-//! nothing. The delta-vs-rerun oracle suite pins exactly this.
+//! nothing. The delta-vs-rerun oracle suite pins exactly this. The one
+//! exception is a subscription whose *last* re-evaluation failed
+//! (budget, hard fault): its answers lag pages already installed in
+//! the cache, so it is marked dirty and re-evaluated on every pass —
+//! frontier intersection or not — until an evaluation succeeds and the
+//! fold-to-current-answers invariant holds again.
+//!
+//! Access control: subscriptions belong to the tenant that registered
+//! them. Polling (destructive — it drains the queue), current-answer
+//! reads and unsubscription all require the owning tenant, or a tenant
+//! whose policy carries the operator flag.
 
 use crate::metrics::Metrics;
 use mdq_exec::gateway::{SharedServiceState, TenantId};
@@ -134,6 +144,21 @@ struct Subscription {
     frontier: HashSet<InvocationKey>,
     /// Deltas queued since the last poll, in epoch order.
     queued: Vec<Delta>,
+    /// The last re-evaluation failed: `answers` lag pages already
+    /// installed in the cache. Re-evaluate on every pass (frontier
+    /// intersection or not) until one succeeds.
+    dirty: bool,
+}
+
+/// Why [`SubscriptionManager::subscribe`] refused a registration.
+pub(crate) enum SubscribeError {
+    /// The tenant is at its standing-query cap.
+    CapReached {
+        /// The tenant's live subscriptions at refusal time.
+        active: usize,
+    },
+    /// The materializing evaluation failed.
+    Eval(String),
 }
 
 /// The mutable core: subscriptions, the shared refresh driver, and the
@@ -202,20 +227,28 @@ impl SubscriptionManager {
         recover(self.state.lock()).subs.len() as u64
     }
 
-    /// The current answers of subscription `id` (rank order).
-    pub(crate) fn answers(&self, id: u64) -> Option<Vec<Tuple>> {
+    /// The current answers of subscription `id` (rank order), if
+    /// `caller` owns it (or is an operator). A foreign id answers
+    /// `None` — indistinguishable from an unknown one, so ids cannot
+    /// be probed across tenants.
+    pub(crate) fn answers(&self, id: u64, caller: TenantId, operator: bool) -> Option<Vec<Tuple>> {
         recover(self.state.lock())
             .subs
             .get(&id)
+            .filter(|s| operator || s.tenant == caller)
             .map(|s| s.answers.clone())
     }
 
-    /// Drains the queued deltas of subscription `id` (`None` =
-    /// unknown id; an empty vec = known but nothing new).
-    pub(crate) fn poll(&self, id: u64) -> Option<Vec<Delta>> {
+    /// Drains the queued deltas of subscription `id` (`None` = unknown
+    /// id *or* an id `caller` neither owns nor may operate on; an
+    /// empty vec = known but nothing new). The drain is destructive,
+    /// so the ownership check is what keeps one tenant from stealing
+    /// another's delta stream — ids are sequential and guessable.
+    pub(crate) fn poll(&self, id: u64, caller: TenantId, operator: bool) -> Option<Vec<Delta>> {
         recover(self.state.lock())
             .subs
             .get_mut(&id)
+            .filter(|s| operator || s.tenant == caller)
             .map(|s| std::mem::take(&mut s.queued))
     }
 
@@ -227,16 +260,31 @@ impl SubscriptionManager {
     /// concurrent refresh pass cannot invalidate the pages between the
     /// drain and the pin — subscribes serialize against refreshes, not
     /// against ad-hoc queries.
+    ///
+    /// `cap` bounds the tenant's live subscriptions (`0` = unlimited);
+    /// the check runs under the state lock, so concurrent subscribes
+    /// cannot race past it. `budget` caps the forwarded calls of the
+    /// materializing evaluation — the same admission lever ad-hoc
+    /// queries get, so `SUBSCRIBE` is not a budget-less execution.
     pub(crate) fn subscribe(
         &self,
         ctx: &EngineCtx<'_>,
         plan: &Arc<Plan>,
         k: u64,
         tenant: TenantId,
-    ) -> Result<SubscriptionTicket, String> {
+        cap: usize,
+        budget: Option<u64>,
+    ) -> Result<SubscriptionTicket, SubscribeError> {
         let mut st = recover(self.state.lock());
+        if cap > 0 {
+            let active = st.subs.values().filter(|s| s.tenant == tenant).count();
+            if active >= cap {
+                return Err(SubscribeError::CapReached { active });
+            }
+        }
         let epoch = self.epoch();
-        let (answers, frontier) = evaluate(ctx, plan, k, tenant)?;
+        let (answers, frontier) =
+            evaluate(ctx, plan, k, tenant, budget).map_err(SubscribeError::Eval)?;
         for key in &frontier {
             pin_and_track(&mut st, ctx, key, epoch);
         }
@@ -251,6 +299,7 @@ impl SubscriptionManager {
                 answers: answers.clone(),
                 frontier,
                 queued: Vec::new(),
+                dirty: false,
             },
         );
         ctx.metrics
@@ -261,12 +310,21 @@ impl SubscriptionManager {
 
     /// Deregisters subscription `id`, unpinning every frontier
     /// invocation no other subscription still covers. Queued deltas
-    /// are dropped. Returns whether the id was known.
-    pub(crate) fn unsubscribe(&self, ctx: &EngineCtx<'_>, id: u64) -> bool {
+    /// are dropped. Returns whether the id was known *and* owned by
+    /// `caller` (operators may deregister any subscription).
+    pub(crate) fn unsubscribe(
+        &self,
+        ctx: &EngineCtx<'_>,
+        id: u64,
+        caller: TenantId,
+        operator: bool,
+    ) -> bool {
         let mut st = recover(self.state.lock());
-        let Some(sub) = st.subs.remove(&id) else {
-            return false;
-        };
+        match st.subs.get(&id) {
+            Some(sub) if operator || sub.tenant == caller => {}
+            _ => return false,
+        }
+        let sub = st.subs.remove(&id).expect("checked above");
         for key in &sub.frontier {
             unpin(&mut st, ctx, key);
         }
@@ -319,21 +377,27 @@ impl SubscriptionManager {
         let ids: Vec<u64> = st.subs.keys().copied().collect();
         for id in ids {
             let sub = st.subs.get(&id).expect("listed id");
-            if sub.frontier.is_disjoint(&changed) {
+            if !sub.dirty && sub.frontier.is_disjoint(&changed) {
                 // every due frontier invocation was just re-fetched and
                 // came back identical — a re-evaluation would read the
-                // same bytes and reproduce the same answers
+                // same bytes and reproduce the same answers. (A dirty
+                // subscription gets no such guarantee: its answers lag
+                // pages a previous pass already installed.)
                 continue;
             }
             summary.subscriptions_evaluated += 1;
             let (plan, k, tenant) = (Arc::clone(&sub.plan), sub.k, sub.tenant);
-            let (new_answers, new_frontier) = match evaluate(ctx, &plan, k, tenant) {
+            let (new_answers, new_frontier) = match evaluate(ctx, &plan, k, tenant, None) {
                 Ok(v) => v,
                 Err(_) => {
                     // the re-evaluation failed (budget, hard fault):
-                    // keep the stale answers and frontier; a later
-                    // pass retries
+                    // keep the stale answers and frontier, and mark the
+                    // subscription dirty so the next pass retries even
+                    // if its frontier sees no further change — without
+                    // the flag a once-changed-then-stable world would
+                    // leave it permanently stale
                     summary.failed += 1;
+                    st.subs.get_mut(&id).expect("listed id").dirty = true;
                     continue;
                 }
             };
@@ -352,6 +416,7 @@ impl SubscriptionManager {
             let sub = st.subs.get_mut(&id).expect("listed id");
             sub.answers = new_answers;
             sub.frontier = new_frontier;
+            sub.dirty = false;
             if added.is_empty() && retracted.is_empty() {
                 continue;
             }
@@ -403,20 +468,24 @@ impl SubscriptionManager {
 }
 
 /// Runs one frontier-recording evaluation of `plan` and drains up to
-/// `k` answers. Subscriptions are maintenance work, exempt from the
-/// per-query call budget (admission control guards ad-hoc traffic).
+/// `k` answers. `budget` bounds the evaluation's forwarded calls: the
+/// client-triggered subscribe path passes the tenant's per-query
+/// budget (so `SUBSCRIBE` gets the same admission lever as `QUERY`),
+/// while server-driven refresh re-evaluations pass `None` —
+/// maintenance work the tenant's *cumulative* budget still bounds.
 fn evaluate(
     ctx: &EngineCtx<'_>,
     plan: &Arc<Plan>,
     k: u64,
     tenant: TenantId,
+    budget: Option<u64>,
 ) -> Result<(Vec<Tuple>, HashSet<InvocationKey>), String> {
     let mut exec = TopKExecution::standing(
         plan,
         ctx.schema,
         ctx.registry,
         Arc::clone(ctx.shared),
-        None,
+        budget,
         Some(tenant),
     )
     .map_err(|e| e.to_string())?;
@@ -445,7 +514,15 @@ fn evaluate(
 /// Bumps `key`'s pin refcount; the first pin also pins the page-cache
 /// entry and registers the invocation with the refresh driver, seeded
 /// from the cache's own snapshot (no extra service calls).
+///
+/// The registry lookup comes *first*: pinning before it could leave a
+/// permanently-pinned, never-refreshed invocation when the service is
+/// unknown, breaking the `pins ⟺ tracked ⟺ cache-pinned` invariant.
+/// An unresolvable service is skipped whole — not pinned, not counted.
 fn pin_and_track(st: &mut SubState, ctx: &EngineCtx<'_>, key: &InvocationKey, epoch: Epoch) {
+    let Some(service) = ctx.registry.get(key.service) else {
+        return;
+    };
     let n = st.pins.entry(key.clone()).or_insert(0);
     *n += 1;
     if *n > 1 {
@@ -453,10 +530,8 @@ fn pin_and_track(st: &mut SubState, ctx: &EngineCtx<'_>, key: &InvocationKey, ep
     }
     ctx.shared.pin_invocation(key.service, &key.inputs);
     let snapshot = ctx.shared.export_invocation(key.service, &key.inputs);
-    if let Some(service) = ctx.registry.get(key.service) {
-        st.driver
-            .track(key.clone(), Arc::clone(service), snapshot, epoch);
-    }
+    st.driver
+        .track(key.clone(), Arc::clone(service), snapshot, epoch);
 }
 
 /// Drops one pin on `key`; the last pin also unpins the page-cache

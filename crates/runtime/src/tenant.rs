@@ -40,6 +40,21 @@ pub struct TenantPolicy {
     /// Max materialized sub-result prefixes the tenant may hold in the
     /// shared store (`None` = unlimited, `Some(0)` = never publishes).
     pub sub_result_quota: Option<u64>,
+    /// Max live standing-query subscriptions the tenant may hold
+    /// (`None` = inherit the server-wide
+    /// [`RuntimeConfig::max_subscriptions`], `Some(0)` = the tenant
+    /// may not subscribe at all). Each subscription pins pages and
+    /// joins every refresh pass, so an uncapped tenant could grow the
+    /// server's maintenance work without bound.
+    ///
+    /// [`RuntimeConfig::max_subscriptions`]: crate::server::RuntimeConfig::max_subscriptions
+    pub max_subscriptions: Option<usize>,
+    /// Operator tenants may trigger refresh passes over the wire and
+    /// manage (poll, inspect, deregister) any tenant's subscriptions.
+    /// `false` by default — and note this is the one policy field that
+    /// *grants* rather than restricts, so first-registration-wins
+    /// matters doubly: a reconnecting client cannot promote itself.
+    pub operator: bool,
 }
 
 /// One registered tenant: identity plus live serving counters.

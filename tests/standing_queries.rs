@@ -170,7 +170,10 @@ fn run_oracle(config: RefreshConfig, queries: &[String], epochs: u64) -> (u64, u
         assert_eq!(summary.failed, 0, "healthy world: no refresh failures");
 
         for (id, text, folded) in &mut subs {
-            for delta in server.poll_deltas(*id).expect("live subscription") {
+            for delta in server
+                .poll_deltas(DEFAULT_TENANT, *id)
+                .expect("live subscription")
+            {
                 assert_eq!(delta.epoch, epoch, "deltas stamped with the pass epoch");
                 fold(folded, &delta.added, &delta.retracted);
                 deltas_seen += 1;
@@ -184,7 +187,11 @@ fn run_oracle(config: RefreshConfig, queries: &[String], epochs: u64) -> (u64, u
             );
             // the server's own answer snapshot agrees with the fold
             assert_eq!(
-                sorted(server.subscription_answers(*id).expect("live")),
+                sorted(
+                    server
+                        .subscription_answers(DEFAULT_TENANT, *id)
+                        .expect("live")
+                ),
                 sorted(folded.clone()),
                 "seed {seed} epoch {epoch}: stored answers diverge from the delta stream"
             );
@@ -198,7 +205,7 @@ fn run_oracle(config: RefreshConfig, queries: &[String], epochs: u64) -> (u64, u
     let sub_calls = total_calls(server.engine().registry());
 
     for (id, _, _) in &subs {
-        assert!(server.unsubscribe(*id));
+        assert!(server.unsubscribe(DEFAULT_TENANT, *id));
     }
     assert_eq!(server.subscriptions_active(), 0);
     assert_eq!(
@@ -268,6 +275,114 @@ fn sixteen_subscriptions_share_one_refresh_pass() {
     });
 }
 
+/// A failed re-evaluation must not strand the subscription: the world
+/// changes once (epoch 1) while the tenant's cumulative budget is
+/// pinned to its current spend, so the driver's re-fetch succeeds (it
+/// calls services directly) but the tenant-charged re-evaluation fails
+/// — stale answers kept whole, no delta. The world then goes quiet (a
+/// TTL of 100 makes the next passes refresh nothing), so the frontier
+/// never intersects a changed set again; only the dirty flag can
+/// trigger the catch-up. Without it the subscription would be
+/// permanently stale.
+#[test]
+fn failed_reevaluation_is_retried_until_caught_up() {
+    with_watchdog(120, || {
+        // drop rate high enough that the epoch-1 re-evaluation must
+        // read past the pinned frontier (hidden rows force deeper
+        // pulls), i.e. must forward calls — which is what the pinned
+        // budget refuses
+        let config = RefreshConfig::seeded(42)
+            .with_change_rate(0.05)
+            .with_drop_rate(0.25);
+        let clock = EpochClock::new();
+        let server = QueryServer::new(refreshing_engine(config, &clock), RuntimeConfig::default());
+        server.attach_refresh(Arc::clone(&clock), RefreshPolicy::every(1));
+
+        let text = travel_query("DB", 900);
+        let ticket = server
+            .subscribe(DEFAULT_TENANT, &text, Some(K))
+            .expect("subscribe");
+
+        // epoch 1: pages change and install, but the re-evaluation is
+        // refused at its first forwarded call — the subscription keeps
+        // its stale answers *whole* (no partial fold) and goes dirty
+        let shared = server.shared_state();
+        shared.set_tenant_budget(DEFAULT_TENANT, Some(shared.tenant_calls(DEFAULT_TENANT)));
+        let summary = server.refresh();
+        assert_eq!(summary.epoch, 1);
+        assert!(summary.invocations_changed > 0, "the world drifted");
+        assert_eq!(summary.subscriptions_evaluated, 1);
+        assert_eq!(
+            summary.failed, 1,
+            "the budget-refused re-evaluation is counted"
+        );
+        assert_eq!(
+            summary.deltas_emitted, 0,
+            "a failed re-evaluation emits nothing"
+        );
+        assert!(server
+            .poll_deltas(DEFAULT_TENANT, ticket.id)
+            .expect("live")
+            .is_empty());
+        assert_eq!(
+            sorted(
+                server
+                    .subscription_answers(DEFAULT_TENANT, ticket.id)
+                    .expect("live")
+            ),
+            sorted(ticket.answers.clone()),
+            "stale answers survive the failure intact"
+        );
+
+        // epoch 2: budget restored, world quiet (TTL 100 → nothing
+        // due, nothing changed) — frontier intersection alone would
+        // skip the subscription forever; the dirty flag must not
+        let shared = server.shared_state();
+        shared.set_tenant_budget(DEFAULT_TENANT, None);
+        server.attach_refresh(Arc::clone(&clock), RefreshPolicy::every(100));
+        let summary = server.refresh();
+        assert_eq!(summary.epoch, 2);
+        assert_eq!(
+            (summary.refreshed, summary.invocations_changed),
+            (0, 0),
+            "nothing due within TTL: the changed set is empty"
+        );
+        assert_eq!(
+            summary.subscriptions_evaluated, 1,
+            "the dirty subscription is retried despite an empty changed set"
+        );
+        assert_eq!(summary.failed, 0);
+        assert_eq!(
+            summary.deltas_emitted, 1,
+            "the retry emits the catch-up delta"
+        );
+        let mut folded = ticket.answers.clone();
+        for delta in server.poll_deltas(DEFAULT_TENANT, ticket.id).expect("live") {
+            assert_eq!(delta.epoch, 2);
+            fold(&mut folded, &delta.added, &delta.retracted);
+        }
+        assert_eq!(
+            sorted(folded),
+            sorted(
+                server
+                    .subscription_answers(DEFAULT_TENANT, ticket.id)
+                    .expect("live")
+            ),
+            "the catch-up delta folds exactly onto the current answers"
+        );
+
+        // epoch 3: caught up and still quiet — the flag cleared, so
+        // the subscription is back to zero-work skipping
+        let summary = server.refresh();
+        assert_eq!(summary.epoch, 3);
+        assert_eq!(
+            (summary.subscriptions_evaluated, summary.deltas_emitted),
+            (0, 0),
+            "a successful retry clears the dirty flag"
+        );
+    });
+}
+
 /// A TTL larger than one epoch deliberately serves stale-within-TTL
 /// answers: a refresh pass before anything is due refreshes nothing
 /// and emits nothing, and the next due pass catches the world up.
@@ -292,9 +407,16 @@ fn ttl_throttles_refresh_and_serves_stale_within_ttl() {
         assert_eq!((summary.epoch, summary.refreshed, summary.calls), (1, 0, 0));
         assert!(summary.skipped > 0, "the frontier is tracked but not due");
         assert_eq!(summary.deltas_emitted, 0);
-        assert!(server.poll_deltas(ticket.id).expect("live").is_empty());
+        assert!(server
+            .poll_deltas(DEFAULT_TENANT, ticket.id)
+            .expect("live")
+            .is_empty());
         assert_eq!(
-            sorted(server.subscription_answers(ticket.id).expect("live")),
+            sorted(
+                server
+                    .subscription_answers(DEFAULT_TENANT, ticket.id)
+                    .expect("live")
+            ),
             epoch0,
             "within TTL the subscription serves the stale snapshot"
         );
@@ -305,7 +427,7 @@ fn ttl_throttles_refresh_and_serves_stale_within_ttl() {
         assert_eq!(summary.epoch, 2);
         assert!(summary.refreshed > 0, "now 2 epochs stale: all due");
         let mut folded = ticket.answers.clone();
-        for delta in server.poll_deltas(ticket.id).expect("live") {
+        for delta in server.poll_deltas(DEFAULT_TENANT, ticket.id).expect("live") {
             fold(&mut folded, &delta.added, &delta.retracted);
         }
         let (expect, _) = oracle.rerun(&text, 2);

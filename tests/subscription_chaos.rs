@@ -136,7 +136,10 @@ fn chaotic_run(seed: u64) -> RunTrace {
     for _ in 1..=EPOCHS {
         let summary = server.refresh();
         for (id, folded) in &mut subs {
-            for delta in server.poll_deltas(*id).expect("live subscription") {
+            for delta in server
+                .poll_deltas(DEFAULT_TENANT, *id)
+                .expect("live subscription")
+            {
                 fold(folded, &delta.added, &delta.retracted);
                 trace
                     .deltas
@@ -146,7 +149,11 @@ fn chaotic_run(seed: u64) -> RunTrace {
             // server's own snapshot — nothing lost, nothing duplicated
             assert_eq!(
                 sorted(folded.clone()),
-                sorted(server.subscription_answers(*id).expect("live")),
+                sorted(
+                    server
+                        .subscription_answers(DEFAULT_TENANT, *id)
+                        .expect("live")
+                ),
                 "seed {seed}: folded deltas diverge from the server snapshot"
             );
         }
@@ -262,20 +269,29 @@ fn dead_source_keeps_stale_pages_and_emits_no_deltas() {
                 "the dead invocation must count as failed every due pass"
             );
             failed += summary.failed;
-            for delta in server.poll_deltas(db.id).expect("live") {
+            for delta in server.poll_deltas(DEFAULT_TENANT, db.id).expect("live") {
                 fold(&mut db_folded, &delta.added, &delta.retracted);
             }
             assert_eq!(
                 sorted(db_folded.clone()),
-                sorted(server.subscription_answers(db.id).expect("live")),
+                sorted(
+                    server
+                        .subscription_answers(DEFAULT_TENANT, db.id)
+                        .expect("live")
+                ),
                 "the healthy subscription keeps reconciling"
             );
             assert!(
-                server.poll_deltas(ai.id).expect("live").is_empty(),
+                server
+                    .poll_deltas(DEFAULT_TENANT, ai.id)
+                    .expect("live")
+                    .is_empty(),
                 "a stale-kept invocation must not fabricate deltas"
             );
             assert_eq!(
-                server.subscription_answers(ai.id).expect("live"),
+                server
+                    .subscription_answers(DEFAULT_TENANT, ai.id)
+                    .expect("live"),
                 Vec::<Tuple>::new()
             );
         }
