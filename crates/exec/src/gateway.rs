@@ -386,6 +386,11 @@ fn build_shards(setting: CacheSetting, capacity: usize) -> Box<[PageShard]> {
         .collect()
 }
 
+/// The invocation set a materialized prefix (or a standing query's
+/// answers) depends on, as `(service, pattern, key)` — the unit the
+/// refresh pass diffs against to decide what survived an epoch.
+pub type InvocationFrontier = HashSet<(ServiceId, usize, Vec<Value>)>;
+
 /// One materialized invoke prefix: the bindings its chain produced,
 /// `Arc`-shared so a replay is a refcount bump, never a deep copy. The
 /// publisher's variable list and variable-space width ride along so a
@@ -406,6 +411,12 @@ struct SubResultEntry {
     /// The tenant that published the entry (`None` for untenanted
     /// executions) — the hook for per-tenant store quotas.
     tenant: Option<TenantId>,
+    /// The invocations the prefix's rows were computed from, recorded
+    /// only by frontier-enabled (standing) publishers. `None` means the
+    /// provenance is unknown: ad-hoc entries replay fine within an
+    /// epoch but can never survive a refresh pass, and a standing
+    /// replay must skip them (its own frontier would be incomplete).
+    frontier: Option<Arc<InvocationFrontier>>,
 }
 
 /// The sub-result store's interior (guarded by its own lock — the page
@@ -458,6 +469,10 @@ pub struct SubResultStats {
     /// ([`SharedServiceState::invalidate_sub_results`]) — staleness,
     /// not capacity pressure.
     pub invalidated: u64,
+    /// Materialized prefixes a refresh pass kept alive because every
+    /// invocation they depend on came through the epoch unchanged
+    /// ([`SharedServiceState::retain_sub_results`]).
+    pub retained: u64,
 }
 
 /// The `Arc`-shared bindings of one materialized prefix.
@@ -475,6 +490,10 @@ pub(crate) struct ReplayEntry {
     pub nvars: usize,
     /// Forwarded calls the publisher spent producing the prefix.
     pub cost_calls: u64,
+    /// The invocations the prefix was computed from (`None` for ad-hoc
+    /// entries). A frontier-enabled subscriber merges this into its own
+    /// frontier so replayed dependencies are still tracked.
+    pub frontier: Option<Arc<InvocationFrontier>>,
 }
 
 /// What [`SharedServiceState::resolve_prefixes`] decided for one
@@ -979,21 +998,31 @@ impl SharedServiceState {
     /// has no evidence anyone will reuse this prefix and must not pay
     /// the eager-drain cost.
     ///
+    /// With `frontier_only = true` only entries that carry a recorded
+    /// [`InvocationFrontier`] are eligible to replay: a standing query
+    /// replaying a provenance-less entry would record an incomplete
+    /// frontier and miss refreshes. Frontier-less levels are still
+    /// claimable, so the standing execution re-materializes them *with*
+    /// provenance (overwriting the ad-hoc entry on publish).
+    ///
     /// [`publish_sub_result`]: SharedServiceState::publish_sub_result
     /// [`abandon_sub_results`]: SharedServiceState::abandon_sub_results
     pub(crate) fn resolve_prefixes(
         &self,
         sigs: &[SubplanSignature],
         materialize: bool,
+        frontier_only: bool,
     ) -> PrefixResolution {
         let mut sub = self.sub.lock().expect("sub-result lock");
         if sub.capacity == 0 || sigs.is_empty() {
             return PrefixResolution::Disabled;
         }
         loop {
-            let hit = (0..sigs.len())
-                .rev()
-                .find(|&i| sub.entries.contains_key(&sigs[i]));
+            let hit = (0..sigs.len()).rev().find(|&i| {
+                sub.entries
+                    .get(&sigs[i])
+                    .is_some_and(|e| !frontier_only || e.frontier.is_some())
+            });
             let from = hit.map(|i| i + 1).unwrap_or(0);
             if materialize && (from..sigs.len()).any(|i| sub.computing.contains(&sigs[i])) {
                 // a concurrent execution is materializing a level we
@@ -1014,6 +1043,7 @@ impl SharedServiceState {
                         vars: Arc::clone(&entry.vars),
                         nvars: entry.nvars,
                         cost_calls: entry.cost_calls,
+                        frontier: entry.frontier.clone(),
                     };
                     sub.stats.calls_saved += replay.cost_calls;
                     Some(replay)
@@ -1044,6 +1074,10 @@ impl SharedServiceState {
     /// tenant at its quota evicts its *own* least-recent entry (never
     /// another tenant's), and a tenant with quota 0 releases the claim
     /// without storing at all.
+    /// `frontier` records the invocations the rows were computed from;
+    /// frontier-enabled (standing) publishers pass it so the entry can
+    /// survive refresh passes and replay into other standing queries.
+    #[allow(clippy::too_many_arguments)] // one parameter per entry fact
     pub(crate) fn publish_sub_result(
         &self,
         sig: SubplanSignature,
@@ -1052,6 +1086,7 @@ impl SharedServiceState {
         nvars: usize,
         cost_calls: u64,
         tenant: Option<TenantId>,
+        frontier: Option<Arc<InvocationFrontier>>,
     ) {
         // resolve the quota before taking the sub-result lock — the
         // tenant map and the store have independent locks, never nested
@@ -1101,6 +1136,7 @@ impl SharedServiceState {
                         cost_calls,
                         used,
                         tenant,
+                        frontier,
                     },
                 );
             }
@@ -1233,6 +1269,24 @@ impl SharedServiceState {
         sub.entries.clear();
         sub.stats.invalidated += dropped;
         dropped
+    }
+
+    /// Epoch-scoped sub-result invalidation: keeps every entry whose
+    /// recorded [`InvocationFrontier`] satisfies `retain` (typically
+    /// "every invocation is still tracked and came through the refresh
+    /// unchanged"), drops the rest — including all provenance-less
+    /// entries, whose dependencies are unknown. Returns
+    /// `(dropped, retained)` and bumps the matching stats.
+    pub fn retain_sub_results(&self, retain: impl Fn(&InvocationFrontier) -> bool) -> (u64, u64) {
+        let mut sub = self.sub.lock().expect("sub-result lock");
+        let before = sub.entries.len() as u64;
+        sub.entries
+            .retain(|_, e| e.frontier.as_deref().is_some_and(&retain));
+        let retained = sub.entries.len() as u64;
+        let dropped = before - retained;
+        sub.stats.invalidated += dropped;
+        sub.stats.retained += retained;
+        (dropped, retained)
     }
 }
 
@@ -1380,9 +1434,30 @@ impl ServiceGateway {
         self.frontier.get_or_insert_with(HashSet::new);
     }
 
+    /// Whether frontier recording is enabled.
+    pub fn frontier_enabled(&self) -> bool {
+        self.frontier.is_some()
+    }
+
     /// The recorded invocation frontier (`None` unless enabled).
     pub fn frontier(&self) -> Option<&HashSet<(ServiceId, usize, Vec<Value>)>> {
         self.frontier.as_ref()
+    }
+
+    /// A snapshot of the recorded frontier so far (`None` unless
+    /// enabled) — what a standing publisher attaches to a sub-result
+    /// entry right after draining its level.
+    pub fn frontier_snapshot(&self) -> Option<Arc<InvocationFrontier>> {
+        self.frontier.as_ref().map(|f| Arc::new(f.clone()))
+    }
+
+    /// Merges `extra` invocations into the frontier, if enabled — how a
+    /// replayed prefix's recorded dependencies stay tracked even though
+    /// this execution never demanded them itself.
+    pub fn extend_frontier(&mut self, extra: &InvocationFrontier) {
+        if let Some(frontier) = &mut self.frontier {
+            frontier.extend(extra.iter().cloned());
+        }
     }
 
     /// Takes the recorded frontier, leaving recording enabled (empty).

@@ -115,7 +115,12 @@ fn prepare_shared_prefix(
         return PrefixOutcome::none();
     }
     let sigs: Vec<SubplanSignature> = prefixes.iter().map(|p| p.signature).collect();
-    let (replay, claimed) = match shared.resolve_prefixes(&sigs, materialize) {
+    // a frontier-recording (standing) execution may only replay entries
+    // whose own frontier was recorded, and merges it into its own — a
+    // provenance-less replay would leave the subscription blind to
+    // refreshes of the prefix's invocations
+    let frontier_mode = gateway.with(|g| g.frontier_enabled());
+    let (replay, claimed) = match shared.resolve_prefixes(&sigs, materialize, frontier_mode) {
         PrefixResolution::Disabled => return PrefixOutcome::none(),
         PrefixResolution::Resolved { replay, claimed } => (replay, claimed),
     };
@@ -131,6 +136,9 @@ fn prepare_shared_prefix(
             base_cost = entry.cost_calls;
             level = entry.level;
             replayed_rows = entry.rows.len() as u64;
+            if let Some(entry_frontier) = &entry.frontier {
+                gateway.with(|g| g.extend_frontier(entry_frontier));
+            }
             let sub_vars = prefixes[entry.level - 1].vars.clone();
             let rows = entry.rows;
             if entry.nvars == nvars && entry.vars.as_ref() == sub_vars.as_slice() {
@@ -181,7 +189,9 @@ fn prepare_shared_prefix(
         if healthy {
             let cost = base_cost + gateway.with(|g| g.total_calls()) - start_calls;
             // publishing shares the drained bindings (`Arc` bumps) —
-            // the store never holds a deep copy of the rows
+            // the store never holds a deep copy of the rows. A standing
+            // publisher attaches its frontier so far: after this level's
+            // drain it is exactly the prefix's invocation set.
             shared.publish_sub_result(
                 sigs[lvl - 1],
                 drained.clone(),
@@ -189,6 +199,7 @@ fn prepare_shared_prefix(
                 nvars,
                 cost,
                 tenant,
+                gateway.with(|g| g.frontier_snapshot()),
             );
             claims.mark_published(sigs[lvl - 1]);
             gateway.with(|g| {
@@ -311,23 +322,34 @@ impl TopKExecution {
     }
 
     /// Prepares a *standing* pull execution — the subscription path.
-    /// Two deliberate differences from
+    /// The one deliberate difference from
     /// [`TopKExecution::with_shared_tenant`]: the gateway records the
     /// execution's invocation **frontier** (every `(service, pattern,
     /// key)` it demands, cache-served or forwarded — the dependency
-    /// set a refresh pass intersects with its changed invocations),
-    /// and the sub-result store is bypassed entirely. A replayed
-    /// prefix embeds pages from whatever epoch materialized it, which
-    /// would both truncate the frontier (the replayer never demands
-    /// the prefix's invocations) and resurrect a previous epoch after
-    /// a refresh; fetch factors stay strict for the same
-    /// reproducibility reason elastic mode is excluded from sharing.
+    /// set a refresh pass intersects with its changed invocations).
+    ///
+    /// Standing executions *do* join the sub-result store, with two
+    /// frontier-specific rules enforced underneath: they only replay
+    /// entries that carry a recorded [`InvocationFrontier`] (merged
+    /// into this execution's own frontier, so replayed dependencies
+    /// still refresh), and the entries they publish carry one (so a
+    /// refresh pass can retain exactly the entries whose invocations
+    /// came through an epoch unchanged — a stale prefix can no longer
+    /// resurrect a previous epoch). Fetch factors stay strict for the
+    /// same reproducibility reason elastic mode is excluded from
+    /// sharing. `materialize` is the batch MQO decision, as in
+    /// [`TopKExecution::with_shared_mqo`]: the refresh pipeline passes
+    /// `true` only when the prefix overlaps another standing query (or
+    /// is already materialized).
+    ///
+    /// [`InvocationFrontier`]: crate::gateway::InvocationFrontier
     pub fn standing(
         plan: &Plan,
         schema: &Schema,
         registry: &ServiceRegistry,
         shared: Arc<SharedServiceState>,
         budget: Option<u64>,
+        materialize: bool,
         tenant: Option<TenantId>,
     ) -> Result<Self, ExecError> {
         let mut gateway = ServiceGateway::with_shared(plan, schema, registry, shared, budget)?;
@@ -335,16 +357,7 @@ impl TopKExecution {
             gateway.set_tenant(t);
         }
         gateway.enable_frontier();
-        let info = analyze(plan, schema);
-        let gateway = LocalGateway::new(gateway);
-        let iter = compile_with(plan, schema, &info, &gateway, false, None);
-        Ok(TopKExecution {
-            iter,
-            gateway,
-            query: Arc::clone(&plan.query),
-            sub_result_hits: 0,
-            sub_calls_saved: 0,
-        })
+        Self::over(plan, schema, gateway, false, materialize)
     }
 
     /// The invocation frontier recorded so far: every `(service,
@@ -652,13 +665,14 @@ mod tests {
         first.answers(usize::MAX >> 1);
         let sigs: Vec<SubplanSignature> =
             invoke_prefixes(&plan).iter().map(|p| p.signature).collect();
-        let resolve = |shared: &SharedServiceState| match shared.resolve_prefixes(&sigs, false) {
-            PrefixResolution::Resolved {
-                replay: Some(entry),
-                ..
-            } => entry,
-            _ => panic!("a prefix was materialized above"),
-        };
+        let resolve =
+            |shared: &SharedServiceState| match shared.resolve_prefixes(&sigs, false, false) {
+                PrefixResolution::Resolved {
+                    replay: Some(entry),
+                    ..
+                } => entry,
+                _ => panic!("a prefix was materialized above"),
+            };
         let r1 = resolve(&shared);
         let r2 = resolve(&shared);
         assert!(!r1.rows.is_empty(), "the prefix produced rows");
@@ -729,7 +743,7 @@ mod tests {
     }
 
     #[test]
-    fn standing_records_complete_frontier_and_skips_sub_results() {
+    fn standing_records_complete_frontier_and_shares_with_provenance() {
         let w = travel_world(2008);
         let plan = plan_o(&w);
         let shared = Arc::new(
@@ -748,20 +762,26 @@ mod tests {
         let expected = adhoc.answers(usize::MAX >> 1);
         assert!(shared.sub_result_stats().entries > 0);
 
-        // the standing execution must not replay them: its frontier has
-        // to cover the whole plan, prefix services included
+        // the standing execution must not replay them — ad-hoc entries
+        // carry no frontier, and its own frontier has to cover the
+        // whole plan, prefix services included. It re-materializes the
+        // levels itself (with provenance) instead.
         let mut standing = TopKExecution::standing(
             &plan,
             &w.schema,
             &w.registry,
             Arc::clone(&shared),
             None,
+            true,
             None,
         )
         .expect("builds");
         let got = standing.answers(usize::MAX >> 1);
-        assert_eq!(got, expected, "same answers, store bypassed");
-        assert_eq!(standing.sub_result_hits(), 0, "no replay");
+        assert_eq!(
+            got, expected,
+            "same answers, provenance-less entries skipped"
+        );
+        assert_eq!(standing.sub_result_hits(), 0, "no frontier-less replay");
         let frontier = standing.frontier();
         assert!(!frontier.is_empty());
         let services: std::collections::HashSet<ServiceId> =
@@ -769,19 +789,27 @@ mod tests {
         for id in [w.ids.conf, w.ids.weather, w.ids.flight, w.ids.hotel] {
             assert!(services.contains(&id), "frontier covers every service");
         }
-        // cache-served demands count too: a second standing run over the
-        // warm shared cache forwards nothing yet records the same frontier
+        // a second standing run replays the frontier-carrying entry the
+        // first one published, forwards nothing, and still records the
+        // same complete frontier — the replayed entry's recorded
+        // dependencies merge into it
         let mut warm = TopKExecution::standing(
             &plan,
             &w.schema,
             &w.registry,
             Arc::clone(&shared),
             None,
+            true,
             None,
         )
         .expect("builds");
         warm.answers(usize::MAX >> 1);
-        assert_eq!(warm.total_calls(), 0, "fully cache-served");
+        assert_eq!(warm.total_calls(), 0, "fully replay/cache-served");
+        assert_eq!(
+            warm.sub_result_hits(),
+            1,
+            "frontier-carrying entries replay"
+        );
         let mut a: Vec<_> = frontier.clone();
         let mut b = warm.frontier();
         a.sort();

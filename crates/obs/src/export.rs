@@ -114,6 +114,11 @@ fn args_json(kind: &SpanKind) -> String {
         } => format!(
             "{{\"epoch\":{epoch},\"refreshed\":{refreshed},\"changed\":{changed},\"calls\":{calls}}}"
         ),
+        SpanKind::RefreshPhase {
+            epoch,
+            phase,
+            items,
+        } => format!("{{\"epoch\":{epoch},\"phase\":\"{phase}\",\"items\":{items}}}"),
         SpanKind::DeltaEmit {
             subscription,
             added,

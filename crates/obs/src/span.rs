@@ -149,6 +149,20 @@ pub enum SpanKind {
         /// included).
         calls: u64,
     },
+    /// One phase of a refresh pass (`snapshot`-relative timing is
+    /// implicit in the pass span; the phases recorded are `fetch`,
+    /// `evaluate` and `commit`); duration is the phase's measured wall
+    /// time.
+    RefreshPhase {
+        /// The epoch the enclosing pass ran at.
+        epoch: u64,
+        /// Which pipeline phase: `fetch`, `evaluate` or `commit`.
+        phase: &'static str,
+        /// Work items the phase processed — due invocations for
+        /// `fetch`, affected subscriptions for `evaluate` and
+        /// `commit`.
+        items: u64,
+    },
     /// One subscription's delta emission after a refresh pass.
     DeltaEmit {
         /// The subscription the delta belongs to.
@@ -183,6 +197,7 @@ impl SpanKind {
             SpanKind::Shed { .. } => "shed",
             SpanKind::Drain { .. } => "drain",
             SpanKind::Refresh { .. } => "refresh",
+            SpanKind::RefreshPhase { .. } => "refresh_phase",
             SpanKind::DeltaEmit { .. } => "delta_emit",
         }
     }
@@ -197,7 +212,8 @@ impl SpanKind {
             | SpanKind::PlanCacheHit { .. }
             | SpanKind::PlanCacheMiss { .. }
             | SpanKind::AdmissionBatch { .. }
-            | SpanKind::Refresh { .. } => "control",
+            | SpanKind::Refresh { .. }
+            | SpanKind::RefreshPhase { .. } => "control",
             SpanKind::Connection { .. }
             | SpanKind::Shed { .. }
             | SpanKind::Drain { .. }

@@ -24,6 +24,12 @@ pub const QUEUE_WAIT_BOUNDS: [f64; 7] = [0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.
 /// [`RuntimeConfig::batch_max`]: crate::server::RuntimeConfig::batch_max
 pub const BATCH_SIZE_BOUNDS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
+/// Upper bucket bounds of the per-pass refresh phase histograms
+/// (fetch, evaluate, commit), in wall seconds (the last bucket is
+/// unbounded). Shared by all three phases so their distributions line
+/// up bucket-for-bucket.
+pub const REFRESH_PHASE_BOUNDS: [f64; 7] = [0.0001, 0.0003, 0.001, 0.003, 0.01, 0.1, 1.0];
+
 /// Live counters; one instance per server, updated lock-free by the
 /// workers.
 pub(crate) struct Metrics {
@@ -110,6 +116,10 @@ pub(crate) struct Metrics {
     pub(crate) invocations_refreshed: AtomicU64,
     /// Refreshed invocations whose page sets changed.
     pub(crate) invocations_changed: AtomicU64,
+    /// Materialized sub-result entries that survived refresh-pass
+    /// retention (summed across passes) — work the next evaluations
+    /// can replay instead of re-materializing.
+    pub(crate) sub_results_retained: AtomicU64,
     /// Deltas queued to standing-query subscribers — reconciles with
     /// the summed
     /// [`RefreshSummary::deltas_emitted`](crate::subscribe::RefreshSummary::deltas_emitted).
@@ -125,6 +135,12 @@ pub(crate) struct Metrics {
     /// Admission batch-size buckets (last = overflow); only the
     /// batcher records here, so it stays all-zero without batching.
     batch_size_buckets: [AtomicU64; BATCH_SIZE_BOUNDS.len() + 1],
+    /// Per-pass fetch-phase wall-seconds buckets (last = overflow).
+    refresh_fetch_buckets: [AtomicU64; REFRESH_PHASE_BOUNDS.len() + 1],
+    /// Per-pass evaluate-phase wall-seconds buckets (last = overflow).
+    refresh_evaluate_buckets: [AtomicU64; REFRESH_PHASE_BOUNDS.len() + 1],
+    /// Per-pass commit-phase wall-seconds buckets (last = overflow).
+    refresh_commit_buckets: [AtomicU64; REFRESH_PHASE_BOUNDS.len() + 1],
 }
 
 impl Metrics {
@@ -160,12 +176,16 @@ impl Metrics {
             refresh_failures: AtomicU64::new(0),
             invocations_refreshed: AtomicU64::new(0),
             invocations_changed: AtomicU64::new(0),
+            sub_results_retained: AtomicU64::new(0),
             deltas_emitted: AtomicU64::new(0),
             delta_rows_added: AtomicU64::new(0),
             delta_rows_retracted: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             queue_wait_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_size_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            refresh_fetch_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            refresh_evaluate_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            refresh_commit_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -214,6 +234,22 @@ impl Metrics {
             .position(|&b| members as f64 <= b)
             .unwrap_or(BATCH_SIZE_BOUNDS.len());
         self.batch_size_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refresh pass's fetch-phase wall seconds.
+    pub(crate) fn observe_refresh_fetch(&self, seconds: f64) {
+        self.refresh_fetch_buckets[refresh_phase_bucket(seconds)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refresh pass's evaluate-phase wall seconds.
+    pub(crate) fn observe_refresh_evaluate(&self, seconds: f64) {
+        self.refresh_evaluate_buckets[refresh_phase_bucket(seconds)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refresh pass's commit-phase wall seconds.
+    pub(crate) fn observe_refresh_commit(&self, seconds: f64) {
+        self.refresh_commit_buckets[refresh_phase_bucket(seconds)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Samples every counter plus the shared gateway state into a
@@ -292,6 +328,7 @@ impl Metrics {
             refresh_failures: self.refresh_failures.load(Ordering::Relaxed),
             invocations_refreshed: self.invocations_refreshed.load(Ordering::Relaxed),
             invocations_changed: self.invocations_changed.load(Ordering::Relaxed),
+            sub_results_retained: self.sub_results_retained.load(Ordering::Relaxed),
             deltas_emitted: self.deltas_emitted.load(Ordering::Relaxed),
             delta_rows_added: self.delta_rows_added.load(Ordering::Relaxed),
             delta_rows_retracted: self.delta_rows_retracted.load(Ordering::Relaxed),
@@ -306,8 +343,23 @@ impl Metrics {
             latency_buckets: bucketize(&LATENCY_BOUNDS, &self.latency_buckets),
             queue_wait_buckets: bucketize(&QUEUE_WAIT_BOUNDS, &self.queue_wait_buckets),
             batch_size_buckets: bucketize(&BATCH_SIZE_BOUNDS, &self.batch_size_buckets),
+            refresh_fetch_buckets: bucketize(&REFRESH_PHASE_BOUNDS, &self.refresh_fetch_buckets),
+            refresh_evaluate_buckets: bucketize(
+                &REFRESH_PHASE_BOUNDS,
+                &self.refresh_evaluate_buckets,
+            ),
+            refresh_commit_buckets: bucketize(&REFRESH_PHASE_BOUNDS, &self.refresh_commit_buckets),
         }
     }
+}
+
+/// Maps a refresh-phase duration onto its [`REFRESH_PHASE_BOUNDS`]
+/// bucket index (overflow = `len`).
+fn refresh_phase_bucket(seconds: f64) -> usize {
+    REFRESH_PHASE_BOUNDS
+        .iter()
+        .position(|&b| seconds <= b)
+        .unwrap_or(REFRESH_PHASE_BOUNDS.len())
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -432,6 +484,10 @@ pub struct MetricsSnapshot {
     pub invocations_refreshed: u64,
     /// Refreshed invocations whose page sets changed.
     pub invocations_changed: u64,
+    /// Materialized sub-result entries that survived refresh-pass
+    /// retention, summed across passes — sharing the store carries
+    /// forward instead of re-materializing each epoch.
+    pub sub_results_retained: u64,
     /// Deltas queued to standing-query subscribers.
     pub deltas_emitted: u64,
     /// Answer rows added across all emitted deltas.
@@ -478,6 +534,15 @@ pub struct MetricsSnapshot {
     ///
     /// [`RuntimeConfig::batch_window`]: crate::server::RuntimeConfig::batch_window
     pub batch_size_buckets: Vec<(Option<f64>, u64)>,
+    /// Per-pass fetch-phase wall-seconds histogram over
+    /// [`REFRESH_PHASE_BOUNDS`] — one observation per refresh pass.
+    pub refresh_fetch_buckets: Vec<(Option<f64>, u64)>,
+    /// Per-pass evaluate-phase wall-seconds histogram over
+    /// [`REFRESH_PHASE_BOUNDS`].
+    pub refresh_evaluate_buckets: Vec<(Option<f64>, u64)>,
+    /// Per-pass commit-phase wall-seconds histogram over
+    /// [`REFRESH_PHASE_BOUNDS`].
+    pub refresh_commit_buckets: Vec<(Option<f64>, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -568,7 +633,7 @@ impl fmt::Display for MetricsSnapshot {
         if self.refresh_passes > 0 || self.subscriptions_active > 0 {
             writeln!(
                 f,
-                "standing: {} subscriptions · {} refresh passes ({} calls, {} failed) · {} invocations refreshed / {} changed · {} deltas (+{} / −{} rows)",
+                "standing: {} subscriptions · {} refresh passes ({} calls, {} failed) · {} invocations refreshed / {} changed · {} deltas (+{} / −{} rows) · {} sub-results retained",
                 self.subscriptions_active,
                 self.refresh_passes,
                 self.refresh_calls,
@@ -577,8 +642,15 @@ impl fmt::Display for MetricsSnapshot {
                 self.invocations_changed,
                 self.deltas_emitted,
                 self.delta_rows_added,
-                self.delta_rows_retracted
+                self.delta_rows_retracted,
+                self.sub_results_retained
             )?;
+            write_buckets(f, "  refresh fetch:", &self.refresh_fetch_buckets)?;
+            writeln!(f)?;
+            write_buckets(f, "  refresh evaluate:", &self.refresh_evaluate_buckets)?;
+            writeln!(f)?;
+            write_buckets(f, "  refresh commit:", &self.refresh_commit_buckets)?;
+            writeln!(f)?;
         }
         for (name, n) in &self.per_service_calls {
             let summary = self

@@ -110,6 +110,12 @@ pub struct RuntimeConfig {
     ///
     /// [`TenantPolicy::max_subscriptions`]: crate::tenant::TenantPolicy::max_subscriptions
     pub max_subscriptions: usize,
+    /// Worker threads a refresh pass fans its lock-free phases across
+    /// (due re-fetches, affected re-evaluations). `1` runs the pass
+    /// inline; any setting produces byte-identical delta streams — the
+    /// pipeline's determinism contract — so this is purely a latency
+    /// knob for latency-dominated refresh workloads.
+    pub refresh_workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -130,6 +136,7 @@ impl Default for RuntimeConfig {
             max_queue_depth: 0,
             shed_retry_after: Duration::from_millis(50),
             max_subscriptions: 64,
+            refresh_workers: 1,
         }
     }
 }
@@ -823,9 +830,13 @@ impl QueryServer {
     /// changed page sets into the shared cache, and re-evaluates
     /// exactly the subscriptions whose frontier intersects the changed
     /// set — queueing each a [`Delta`]. Unaffected subscriptions do
-    /// zero work.
+    /// zero work. The pass pipelines its re-fetches and re-evaluations
+    /// across [`RuntimeConfig::refresh_workers`] threads; the delta
+    /// streams are byte-identical at any worker count.
     pub fn refresh(&self) -> RefreshSummary {
-        self.state.subs.refresh(&self.sub_ctx())
+        self.state
+            .subs
+            .refresh(&self.sub_ctx(), self.state.config.refresh_workers)
     }
 
     /// [`QueryServer::refresh`] gated for client-triggered use (the

@@ -14,27 +14,39 @@
 //! changed set — emitting each one a [`Delta`] (added/retracted answer
 //! rows) instead of a full answer stream.
 //!
+//! A refresh pass runs as a three-phase pipeline:
+//!
 //! ```text
-//!        subscribe(text)                    refresh()
-//!             │                                │
-//!             ▼                                ▼
-//!   standing execution ──frontier──►  EpochClock.advance()
-//!     (records every        │         invalidate unpinned pages
-//!      invocation it        │         + sub-results (stale epoch)
-//!      touched)             ▼                │
-//!             pin in page cache              ▼
-//!             track in RefreshDriver ──► re-fetch due invocations
-//!                                        (shared across ALL subs)
-//!                                            │ changed page sets
-//!                                            ▼
-//!                                     install into page cache
-//!                                            │
-//!                          frontier ∩ changed ≠ ∅ per subscription
-//!                                            ▼
-//!                                  re-evaluate → diff answers
-//!                                            ▼
-//!                                  Delta { added, retracted }
+//!   snapshot ── state lock ── due jobs + subscription snapshots
+//!      │
+//!   fetch ──── lock-free ─── due re-fetches fanned across
+//!      │                     `refresh_workers` threads; outcomes
+//!      │                     merged in job order (brief lock),
+//!      │                     changed pages installed, sub-results
+//!      │                     retained/dropped per epoch scope
+//!      │
+//!   evaluate ─ lock-free ─── affected subscriptions (dirty or
+//!      │                     frontier ∩ changed ≠ ∅) re-run
+//!      │                     concurrently; overlapping invoke
+//!      │                     prefixes shared through the
+//!      │                     sub-result store (batch MQO decision)
+//!      │
+//!   commit ─── state lock ── in subscription-id order: swap
+//!                            answers/frontiers, adjust pins,
+//!                            queue Delta { added, retracted }
 //! ```
+//!
+//! The determinism contract: every phase is a barrier, jobs touch
+//! distinct invocations, drift/fault schedules are identity-hashed
+//! (order-independent), page-shard and sub-result single-flight make
+//! the total forwarded calls worker-count-invariant, and the commit
+//! applies outcomes in subscription-id order under the lock — so delta
+//! streams and refresh summaries are byte-identical at any
+//! `refresh_workers` setting, healthy or faulted. Registration
+//! (subscribe/unsubscribe) serializes against whole passes on the pass
+//! gate, while polls and answer reads take only the state lock — which
+//! the pipeline holds just for its snapshot and commit phases — so the
+//! wire stays responsive during a slow pass.
 //!
 //! The soundness invariant behind "unaffected subscriptions do zero
 //! work": every frontier invocation is re-fetched when due, so an
@@ -53,17 +65,22 @@
 //! whose policy carries the operator flag.
 
 use crate::metrics::Metrics;
-use mdq_exec::gateway::{SharedServiceState, TenantId};
+use mdq_cost::shared::SharedWorkOracle;
+use mdq_exec::gateway::{InvocationFrontier, SharedServiceState, TenantId};
 use mdq_exec::topk::TopKExecution;
+use mdq_model::fingerprint::SubplanSignature;
 use mdq_model::schema::Schema;
 use mdq_model::value::Tuple;
 use mdq_obs::span::SpanKind;
 use mdq_plan::dag::Plan;
-use mdq_services::refresh::{Epoch, EpochClock, InvocationKey, RefreshDriver, RefreshPolicy};
+use mdq_plan::signature::invoke_prefixes;
+use mdq_services::refresh::{
+    Epoch, EpochClock, InvocationKey, RefreshDriver, RefreshJob, RefreshPolicy,
+};
 use mdq_services::registry::ServiceRegistry;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -130,12 +147,20 @@ pub struct RefreshSummary {
     pub rows_added: u64,
     /// Answer rows retracted across all deltas.
     pub rows_retracted: u64,
+    /// Materialized sub-result entries the pass kept alive because
+    /// every invocation they depend on came through the epoch
+    /// unchanged (instead of the pre-pipeline wholesale wipe).
+    pub sub_results_retained: u64,
 }
 
 /// One registered standing query.
 struct Subscription {
     tenant: TenantId,
     plan: Arc<Plan>,
+    /// The plan's invoke-prefix signatures (level 1 first), computed
+    /// once at registration — what the per-pass batch MQO decision and
+    /// the live-overlap check at subscribe time key on.
+    prefix_sigs: Arc<Vec<SubplanSignature>>,
     k: u64,
     /// Current answers, in rank order (the fold target of the queued
     /// deltas).
@@ -173,6 +198,10 @@ struct SubState {
     /// The invariant `pins.contains_key(k) ⟺ driver.is_tracked(k) ⟺
     /// page-cache entry pinned` holds between calls.
     pins: HashMap<InvocationKey, u32>,
+    /// How many live subscriptions' plans carry each invoke-prefix
+    /// signature — the "someone else wants this prefix" evidence the
+    /// subscribe-time materialization decision consults.
+    sig_refs: HashMap<SubplanSignature, u32>,
     driver: RefreshDriver,
 }
 
@@ -192,6 +221,13 @@ pub(crate) struct SubscriptionManager {
     /// The epoch clock, behind its own lock so per-query epoch stamps
     /// never wait on a refresh pass holding the state lock.
     clock: Mutex<Arc<EpochClock>>,
+    /// The pass gate, held for the whole duration of a refresh pass.
+    /// Registration (subscribe/unsubscribe/attach) serializes on it, so
+    /// the subscription set and TTL policy are stable across a pass;
+    /// polls and answer reads deliberately do *not* take it — they wait
+    /// only on the state lock, which the pipeline holds just for its
+    /// snapshot and commit phases. Lock order is always pass → state.
+    pass: Mutex<()>,
     state: Mutex<SubState>,
 }
 
@@ -199,11 +235,13 @@ impl SubscriptionManager {
     pub(crate) fn new() -> Self {
         SubscriptionManager {
             clock: Mutex::new(EpochClock::new()),
+            pass: Mutex::new(()),
             state: Mutex::new(SubState {
                 policy: RefreshPolicy::every(1),
                 next_id: 1,
                 subs: BTreeMap::new(),
                 pins: HashMap::new(),
+                sig_refs: HashMap::new(),
                 driver: RefreshDriver::new(),
             }),
         }
@@ -213,6 +251,7 @@ impl SubscriptionManager {
     /// policy refresh passes consult. Without this call the manager
     /// runs its own private clock with a TTL of 1 epoch.
     pub(crate) fn attach(&self, clock: Arc<EpochClock>, policy: RefreshPolicy) {
+        let _pass = recover(self.pass.lock());
         *recover(self.clock.lock()) = clock;
         recover(self.state.lock()).policy = policy;
     }
@@ -256,10 +295,10 @@ impl SubscriptionManager {
     /// frontier-recording execution, pins every touched invocation in
     /// the shared page cache and tracks it in the refresh driver.
     ///
-    /// Holds the state lock across the materializing execution so a
-    /// concurrent refresh pass cannot invalidate the pages between the
-    /// drain and the pin — subscribes serialize against refreshes, not
-    /// against ad-hoc queries.
+    /// Holds the pass gate and the state lock across the materializing
+    /// execution so a concurrent refresh pass cannot invalidate the
+    /// pages between the drain and the pin — subscribes serialize
+    /// against refreshes, not against ad-hoc queries.
     ///
     /// `cap` bounds the tenant's live subscriptions (`0` = unlimited);
     /// the check runs under the state lock, so concurrent subscribes
@@ -275,6 +314,7 @@ impl SubscriptionManager {
         cap: usize,
         budget: Option<u64>,
     ) -> Result<SubscriptionTicket, SubscribeError> {
+        let _pass = recover(self.pass.lock());
         let mut st = recover(self.state.lock());
         if cap > 0 {
             let active = st.subs.values().filter(|s| s.tenant == tenant).count();
@@ -283,10 +323,23 @@ impl SubscriptionManager {
             }
         }
         let epoch = self.epoch();
+        // materialize the plan's invoke prefixes into the sub-result
+        // store only on sharing evidence: another live subscription
+        // carries the signature (its re-evaluations will replay it) or
+        // the store already holds it — the same batch-MQO rule the
+        // admission batcher applies to one-shot bursts
+        let prefix_sigs: Arc<Vec<SubplanSignature>> =
+            Arc::new(invoke_prefixes(plan).iter().map(|p| p.signature).collect());
+        let materialize = prefix_sigs
+            .iter()
+            .any(|sig| st.sig_refs.contains_key(sig) || ctx.shared.is_materialized(*sig));
         let (answers, frontier) =
-            evaluate(ctx, plan, k, tenant, budget).map_err(SubscribeError::Eval)?;
+            evaluate(ctx, plan, k, tenant, budget, materialize).map_err(SubscribeError::Eval)?;
         for key in &frontier {
             pin_and_track(&mut st, ctx, key, epoch);
+        }
+        for sig in prefix_sigs.iter() {
+            *st.sig_refs.entry(*sig).or_insert(0) += 1;
         }
         let id = st.next_id;
         st.next_id += 1;
@@ -295,6 +348,7 @@ impl SubscriptionManager {
             Subscription {
                 tenant,
                 plan: Arc::clone(plan),
+                prefix_sigs,
                 k,
                 answers: answers.clone(),
                 frontier,
@@ -319,6 +373,7 @@ impl SubscriptionManager {
         caller: TenantId,
         operator: bool,
     ) -> bool {
+        let _pass = recover(self.pass.lock());
         let mut st = recover(self.state.lock());
         match st.subs.get(&id) {
             Some(sub) if operator || sub.tenant == caller => {}
@@ -328,30 +383,159 @@ impl SubscriptionManager {
         for key in &sub.frontier {
             unpin(&mut st, ctx, key);
         }
+        for sig in sub.prefix_sigs.iter() {
+            if let Some(n) = st.sig_refs.get_mut(sig) {
+                *n -= 1;
+                if *n == 0 {
+                    st.sig_refs.remove(sig);
+                }
+            }
+        }
         ctx.metrics
             .subscriptions_active
             .store(st.subs.len() as u64, Ordering::Relaxed);
         true
     }
 
-    /// One refresh pass: advance the epoch, drop every cache entry the
-    /// new epoch invalidates (unpinned pages, all sub-results, the
-    /// failed-page memo), re-fetch due tracked invocations once for
-    /// all subscriptions, install the changed page sets, and
-    /// re-evaluate exactly the subscriptions whose frontier intersects
-    /// the changed set, queueing each a delta.
-    pub(crate) fn refresh(&self, ctx: &EngineCtx<'_>) -> RefreshSummary {
+    /// One refresh pass, run as the three-phase pipeline described in
+    /// the module docs: **snapshot** (state lock: advance the epoch,
+    /// split the due re-fetches into jobs, snapshot the subscriptions),
+    /// **fetch & evaluate** (lock-free: fan jobs and affected
+    /// re-evaluations across `workers` threads, merge deterministically,
+    /// install changed pages, retain epoch-valid sub-results), and
+    /// **commit** (state lock, subscription-id order: swap
+    /// answers/frontiers, adjust pins, queue deltas). Holds the pass
+    /// gate throughout, so registrations serialize against the pass
+    /// while polls stay responsive.
+    pub(crate) fn refresh(&self, ctx: &EngineCtx<'_>, workers: usize) -> RefreshSummary {
         let started = Instant::now();
-        let mut st = recover(self.state.lock());
-        let epoch = recover(self.clock.lock()).advance();
+        let workers = workers.max(1);
+        let _pass = recover(self.pass.lock());
+
+        // ---- phase 1: snapshot (state lock) ----
+        let snapshot_started = Instant::now();
+        let (epoch, jobs, skipped, tracked, snaps) = {
+            let st = recover(self.state.lock());
+            let epoch = recover(self.clock.lock()).advance();
+            let (jobs, skipped) = st.driver.due_jobs(epoch, &st.policy);
+            let tracked: InvocationFrontier = st
+                .pins
+                .keys()
+                .map(|k| (k.service, k.pattern, k.inputs.clone()))
+                .collect();
+            // BTreeMap iteration: snapshots ascend by id, so every
+            // later per-sub stage inherits deterministic order
+            let snaps: Vec<SubSnapshot> = st
+                .subs
+                .iter()
+                .map(|(&id, s)| SubSnapshot {
+                    id,
+                    plan: Arc::clone(&s.plan),
+                    prefix_sigs: Arc::clone(&s.prefix_sigs),
+                    k: s.k,
+                    tenant: s.tenant,
+                    dirty: s.dirty,
+                    frontier: s.frontier.clone(),
+                    answers: s.answers.clone(),
+                })
+                .collect();
+            (epoch, jobs, skipped, tracked, snaps)
+        };
         // stale-state hygiene before anything re-reads the cache: an
-        // unpinned page, a materialized sub-result or a condemned page
-        // all embed the previous epoch and would leak it into answers
-        ctx.shared.invalidate_sub_results();
+        // unpinned page or a condemned page embeds the previous epoch
+        // and would leak it into answers (the page shards have their
+        // own locks — no state lock needed)
         ctx.shared.invalidate_unpinned_pages();
         ctx.shared.clear_failed_pages();
-        let policy = st.policy.clone();
-        let report = st.driver.refresh(epoch, &policy);
+        phase_span(ctx, epoch, "snapshot", jobs.len() as u64, snapshot_started);
+
+        // ---- phase 2a: fetch (lock-free fan-out) ----
+        let fetch_started = Instant::now();
+        let outcomes = fan_out(&jobs, workers, RefreshJob::run);
+        // outcomes arrive back in job (= serial pass) order, so the
+        // merged report is byte-identical to a single-threaded pass
+        let report = {
+            let mut st = recover(self.state.lock());
+            st.driver.apply(epoch, skipped, outcomes)
+        };
+        let mut changed: HashSet<InvocationKey> = HashSet::with_capacity(report.changed.len());
+        let mut changed_f: InvocationFrontier = HashSet::with_capacity(report.changed.len());
+        for c in &report.changed {
+            ctx.shared.install_invocation(
+                c.key.service,
+                &c.key.inputs,
+                c.pages.clone(),
+                c.exhausted,
+            );
+            changed_f.insert((c.key.service, c.key.pattern, c.key.inputs.clone()));
+            changed.insert(c.key.clone());
+        }
+        // epoch-scoped sub-result invalidation: an entry survives iff
+        // every invocation it was computed from is still pinned (its
+        // pages were shielded from the hygiene wipe above) and came
+        // through this pass unchanged (skipped-within-TTL and
+        // failed-stale-kept invocations leave the cached bytes as they
+        // were) — such an entry replays byte-identically at the new
+        // epoch. Everything else would resurrect a previous epoch and
+        // is dropped, as the pre-pipeline wholesale wipe dropped all.
+        let (_, sub_results_retained) = ctx.shared.retain_sub_results(|frontier| {
+            frontier
+                .iter()
+                .all(|inv| tracked.contains(inv) && !changed_f.contains(inv))
+        });
+        ctx.metrics
+            .observe_refresh_fetch(fetch_started.elapsed().as_secs_f64());
+        phase_span(ctx, epoch, "fetch", jobs.len() as u64, fetch_started);
+
+        // ---- phase 2b: evaluate (lock-free fan-out) ----
+        let evaluate_started = Instant::now();
+        let affected: Vec<&SubSnapshot> = snaps
+            .iter()
+            .filter(|s| s.dirty || !s.frontier.is_disjoint(&changed))
+            .collect();
+        // the batch MQO decision, as the admission batcher makes it for
+        // one-shot bursts: a subscription's prefixes are worth eagerly
+        // materializing when another affected subscription shares one
+        // (single-flight makes exactly one of them pay) or the store
+        // already holds it. Computed from the snapshot, so the flags —
+        // and through single-flight the total forwarded calls — are
+        // identical at every worker count.
+        let mut sig_counts: HashMap<SubplanSignature, u32> = HashMap::new();
+        for snap in &affected {
+            for sig in snap.prefix_sigs.iter() {
+                *sig_counts.entry(*sig).or_insert(0) += 1;
+            }
+        }
+        let evals = fan_out(&affected, workers, |snap| {
+            let materialize = snap
+                .prefix_sigs
+                .iter()
+                .any(|sig| sig_counts[sig] > 1 || ctx.shared.is_materialized(*sig));
+            let result = evaluate(ctx, &snap.plan, snap.k, snap.tenant, None, materialize).map(
+                |(answers, frontier)| {
+                    let (added, retracted) = multiset_diff(&snap.answers, &answers);
+                    Evaluated {
+                        answers,
+                        frontier,
+                        added,
+                        retracted,
+                    }
+                },
+            );
+            (snap.id, result)
+        });
+        ctx.metrics
+            .observe_refresh_evaluate(evaluate_started.elapsed().as_secs_f64());
+        phase_span(
+            ctx,
+            epoch,
+            "evaluate",
+            affected.len() as u64,
+            evaluate_started,
+        );
+
+        // ---- phase 3: commit (state lock, subscription-id order) ----
+        let commit_started = Instant::now();
         let mut summary = RefreshSummary {
             epoch,
             refreshed: report.refreshed,
@@ -360,83 +544,73 @@ impl SubscriptionManager {
             invocations_changed: report.changed.len() as u64,
             pages_changed: report.pages_changed,
             failed: report.failed,
+            subscriptions_evaluated: evals.len() as u64,
+            sub_results_retained,
             ..RefreshSummary::default()
         };
-        let mut changed: HashSet<InvocationKey> = HashSet::new();
-        for c in &report.changed {
-            ctx.shared.install_invocation(
-                c.key.service,
-                &c.key.inputs,
-                c.pages.clone(),
-                c.exhausted,
-            );
-            changed.insert(c.key.clone());
-        }
-        // id order (BTreeMap): deterministic evaluation and delta
-        // queueing order for seeded replay assertions
-        let ids: Vec<u64> = st.subs.keys().copied().collect();
-        for id in ids {
-            let sub = st.subs.get(&id).expect("listed id");
-            if !sub.dirty && sub.frontier.is_disjoint(&changed) {
-                // every due frontier invocation was just re-fetched and
-                // came back identical — a re-evaluation would read the
-                // same bytes and reproduce the same answers. (A dirty
-                // subscription gets no such guarantee: its answers lag
-                // pages a previous pass already installed.)
-                continue;
-            }
-            summary.subscriptions_evaluated += 1;
-            let (plan, k, tenant) = (Arc::clone(&sub.plan), sub.k, sub.tenant);
-            let (new_answers, new_frontier) = match evaluate(ctx, &plan, k, tenant, None) {
-                Ok(v) => v,
-                Err(_) => {
-                    // the re-evaluation failed (budget, hard fault):
-                    // keep the stale answers and frontier, and mark the
-                    // subscription dirty so the next pass retries even
-                    // if its frontier sees no further change — without
-                    // the flag a once-changed-then-stable world would
-                    // leave it permanently stale
-                    summary.failed += 1;
-                    st.subs.get_mut(&id).expect("listed id").dirty = true;
+        {
+            let mut st = recover(self.state.lock());
+            // BEGIN COMMIT PHASE: the only place subscription answers
+            // and frontiers may change (CI grep-guards this region).
+            // `evals` ascends by subscription id, so the delta streams
+            // replay byte-identically at any worker count.
+            for (id, result) in evals {
+                let done = match result {
+                    Ok(done) => done,
+                    Err(_) => {
+                        // the re-evaluation failed (budget, hard
+                        // fault): keep the stale answers and frontier,
+                        // and mark the subscription dirty so the next
+                        // pass retries even if its frontier sees no
+                        // further change — without the flag a
+                        // once-changed-then-stable world would leave
+                        // it permanently stale
+                        summary.failed += 1;
+                        st.subs.get_mut(&id).expect("pass-gated").dirty = true;
+                        continue;
+                    }
+                };
+                let old_frontier = st.subs.get(&id).expect("pass-gated").frontier.clone();
+                for key in done.frontier.difference(&old_frontier) {
+                    pin_and_track(&mut st, ctx, key, epoch);
+                }
+                for key in old_frontier.difference(&done.frontier) {
+                    unpin(&mut st, ctx, key);
+                }
+                let sub = st.subs.get_mut(&id).expect("pass-gated");
+                sub.answers = done.answers;
+                sub.frontier = done.frontier;
+                sub.dirty = false;
+                if done.added.is_empty() && done.retracted.is_empty() {
                     continue;
                 }
-            };
-            let sub = st.subs.get(&id).expect("listed id");
-            let (added, retracted) = multiset_diff(&sub.answers, &new_answers);
-            let (old_frontier, new_keys): (HashSet<_>, Vec<_>) = (
-                sub.frontier.clone(),
-                new_frontier.difference(&sub.frontier).cloned().collect(),
-            );
-            for key in &new_keys {
-                pin_and_track(&mut st, ctx, key, epoch);
-            }
-            for key in old_frontier.difference(&new_frontier) {
-                unpin(&mut st, ctx, key);
-            }
-            let sub = st.subs.get_mut(&id).expect("listed id");
-            sub.answers = new_answers;
-            sub.frontier = new_frontier;
-            sub.dirty = false;
-            if added.is_empty() && retracted.is_empty() {
-                continue;
-            }
-            summary.deltas_emitted += 1;
-            summary.rows_added += added.len() as u64;
-            summary.rows_retracted += retracted.len() as u64;
-            if let Some(recorder) = ctx.shared.trace_recorder() {
-                recorder.control().instant(SpanKind::DeltaEmit {
-                    subscription: id,
-                    added: added.len() as u64,
-                    retracted: retracted.len() as u64,
+                summary.deltas_emitted += 1;
+                summary.rows_added += done.added.len() as u64;
+                summary.rows_retracted += done.retracted.len() as u64;
+                if let Some(recorder) = ctx.shared.trace_recorder() {
+                    recorder.control().instant(SpanKind::DeltaEmit {
+                        subscription: id,
+                        added: done.added.len() as u64,
+                        retracted: done.retracted.len() as u64,
+                    });
+                }
+                sub.queued.push(Delta {
+                    epoch,
+                    added: done.added,
+                    retracted: done.retracted,
                 });
             }
-            sub.queued.push(Delta {
-                epoch,
-                added,
-                retracted,
-            });
+            // END COMMIT PHASE
         }
-        drop(st);
+        ctx.metrics
+            .observe_refresh_commit(commit_started.elapsed().as_secs_f64());
+        phase_span(
+            ctx,
+            epoch,
+            "commit",
+            summary.subscriptions_evaluated,
+            commit_started,
+        );
         let m = ctx.metrics;
         m.refresh_passes.fetch_add(1, Ordering::Relaxed);
         m.refresh_calls.fetch_add(summary.calls, Ordering::Relaxed);
@@ -452,6 +626,8 @@ impl SubscriptionManager {
             .fetch_add(summary.rows_added, Ordering::Relaxed);
         m.delta_rows_retracted
             .fetch_add(summary.rows_retracted, Ordering::Relaxed);
+        m.sub_results_retained
+            .fetch_add(summary.sub_results_retained, Ordering::Relaxed);
         if let Some(recorder) = ctx.shared.trace_recorder() {
             recorder.control().record(
                 SpanKind::Refresh {
@@ -467,18 +643,94 @@ impl SubscriptionManager {
     }
 }
 
+/// Everything a refresh pass's lock-free phases need to know about one
+/// subscription, cloned under the snapshot lock. The pass gate keeps
+/// the live set stable for the whole pass, so a snapshot can never go
+/// stale mid-pipeline.
+struct SubSnapshot {
+    id: u64,
+    plan: Arc<Plan>,
+    prefix_sigs: Arc<Vec<SubplanSignature>>,
+    k: u64,
+    tenant: TenantId,
+    dirty: bool,
+    frontier: HashSet<InvocationKey>,
+    answers: Vec<Tuple>,
+}
+
+/// One successful re-evaluation, diffed against the snapshot answers
+/// off-lock; the commit phase only swaps and queues.
+struct Evaluated {
+    answers: Vec<Tuple>,
+    frontier: HashSet<InvocationKey>,
+    added: Vec<Tuple>,
+    retracted: Vec<Tuple>,
+}
+
+/// Records one pipeline-phase span on the control track, if a trace
+/// recorder is attached.
+fn phase_span(
+    ctx: &EngineCtx<'_>,
+    epoch: Epoch,
+    phase: &'static str,
+    items: u64,
+    started: Instant,
+) {
+    if let Some(recorder) = ctx.shared.trace_recorder() {
+        recorder.control().record(
+            SpanKind::RefreshPhase {
+                epoch,
+                phase,
+                items,
+            },
+            started.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+/// Runs `f` over `items` on up to `workers` threads (inline when one
+/// suffices), returning the outcomes in item order regardless of how
+/// the threads interleaved. Workers steal the next index from a shared
+/// counter, so one expensive item never serializes the rest behind it.
+fn fan_out<T: Sync, R: Send>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(item)));
+                }
+                recover(done.lock()).extend(local);
+            });
+        }
+    });
+    let mut out = recover(done.into_inner());
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Runs one frontier-recording evaluation of `plan` and drains up to
 /// `k` answers. `budget` bounds the evaluation's forwarded calls: the
 /// client-triggered subscribe path passes the tenant's per-query
 /// budget (so `SUBSCRIBE` gets the same admission lever as `QUERY`),
 /// while server-driven refresh re-evaluations pass `None` —
 /// maintenance work the tenant's *cumulative* budget still bounds.
+/// `materialize` is the batch MQO decision: whether this evaluation
+/// should eagerly drain and publish its unshared invoke-prefix levels.
 fn evaluate(
     ctx: &EngineCtx<'_>,
     plan: &Arc<Plan>,
     k: u64,
     tenant: TenantId,
     budget: Option<u64>,
+    materialize: bool,
 ) -> Result<(Vec<Tuple>, HashSet<InvocationKey>), String> {
     let mut exec = TopKExecution::standing(
         plan,
@@ -486,6 +738,7 @@ fn evaluate(
         ctx.registry,
         Arc::clone(ctx.shared),
         budget,
+        materialize,
         Some(tenant),
     )
     .map_err(|e| e.to_string())?;

@@ -308,6 +308,84 @@ impl RefreshDriver {
         self.tracked.remove(key).is_some()
     }
 
+    /// Splits a refresh pass into its due, independently runnable
+    /// re-fetch jobs, in deterministic pass order, plus the count of
+    /// invocations skipped as still within TTL. Each [`RefreshJob`]
+    /// only holds the service handle and the demanded page depth — it
+    /// never touches the driver — so the caller may run jobs on any
+    /// threads in any interleaving and merge the outcomes back with
+    /// [`RefreshDriver::apply`].
+    pub fn due_jobs(&self, epoch: Epoch, policy: &RefreshPolicy) -> (Vec<RefreshJob>, u64) {
+        // deterministic pass order regardless of map iteration order —
+        // fault schedules are identity-keyed, but reports must list
+        // changes stably for byte-identical replay assertions
+        let mut keys: Vec<&InvocationKey> = self.tracked.keys().collect();
+        keys.sort_by_key(|k| invocation_order(k));
+        let mut jobs = Vec::new();
+        let mut skipped = 0;
+        for key in keys {
+            let entry = &self.tracked[key];
+            if !policy.due(entry.service.name(), entry.pages.epoch, epoch) {
+                skipped += 1;
+                continue;
+            }
+            jobs.push(RefreshJob {
+                key: key.clone(),
+                service: Arc::clone(&entry.service),
+                want: entry.pages.value.len().max(1),
+                attempts: self.attempts,
+            });
+        }
+        (jobs, skipped)
+    }
+
+    /// Merges job outcomes back into the tracked snapshots and builds
+    /// the pass report. `outcomes` must be in [`RefreshDriver::due_jobs`]
+    /// order (one per job); since every job touches a distinct
+    /// invocation and fault/drift schedules are identity-hashed, the
+    /// merged report is byte-identical to a serial pass no matter how
+    /// the jobs actually interleaved. An outcome whose key is no longer
+    /// tracked (untracked while the job ran) is dropped, its calls
+    /// still counted.
+    pub fn apply(
+        &mut self,
+        epoch: Epoch,
+        skipped: u64,
+        outcomes: Vec<RefreshOutcome>,
+    ) -> RefreshReport {
+        let mut report = RefreshReport {
+            epoch,
+            skipped,
+            ..RefreshReport::default()
+        };
+        for outcome in outcomes {
+            report.refreshed += 1;
+            report.calls += outcome.calls;
+            let Some((new_pages, exhausted)) = outcome.pages else {
+                // keep the stale set whole; a later pass retries
+                report.failed += 1;
+                continue;
+            };
+            let Some(entry) = self.tracked.get_mut(&outcome.key) else {
+                continue;
+            };
+            let pages_changed = diff_pages(&entry.pages.value, &new_pages);
+            let changed = pages_changed > 0 || entry.exhausted != exhausted;
+            entry.pages = Versioned::new(new_pages.clone(), epoch);
+            entry.exhausted = exhausted;
+            if changed {
+                report.pages_changed += pages_changed;
+                report.changed.push(ChangedInvocation {
+                    key: outcome.key,
+                    pages: new_pages,
+                    exhausted,
+                    pages_changed,
+                });
+            }
+        }
+        report
+    }
+
     /// Re-fetches every tracked invocation that is due at `epoch` per
     /// `policy`, diffs the fresh pages against the tracked set, updates
     /// the tracked snapshots and reports what changed.
@@ -319,68 +397,80 @@ impl RefreshDriver {
     /// with — whatever new demand arises. A page whose retries exhaust
     /// aborts its invocation's refresh: the stale set is kept whole
     /// (never a fresh/stale mix) and the invocation counts as `failed`.
+    ///
+    /// This is the serial reference pass: [`RefreshDriver::due_jobs`]
+    /// run one-by-one in order, merged with [`RefreshDriver::apply`].
+    /// The parallel pipeline in the runtime fans the same jobs across
+    /// workers and must produce the same report.
     pub fn refresh(&mut self, epoch: Epoch, policy: &RefreshPolicy) -> RefreshReport {
-        let mut report = RefreshReport {
-            epoch,
-            ..RefreshReport::default()
-        };
-        // deterministic pass order regardless of map iteration order —
-        // fault schedules are identity-keyed, but reports must list
-        // changes stably for byte-identical replay assertions
-        let mut keys: Vec<InvocationKey> = self.tracked.keys().cloned().collect();
-        keys.sort_by_key(invocation_order);
-        for key in keys {
-            let entry = self.tracked.get_mut(&key).expect("tracked");
-            if !policy.due(entry.service.name(), entry.pages.epoch, epoch) {
-                report.skipped += 1;
-                continue;
-            }
-            report.refreshed += 1;
-            let want = entry.pages.value.len().max(1);
-            let mut new_pages: Vec<Vec<Tuple>> = Vec::with_capacity(want);
-            let mut exhausted = false;
-            let mut aborted = false;
-            for page in 0..want as u32 {
-                let mut fetched = None;
-                for _ in 0..self.attempts {
-                    report.calls += 1;
-                    if let Ok(r) = entry.service.try_fetch(key.pattern, &key.inputs, page) {
-                        fetched = Some(r);
-                        break;
-                    }
-                }
-                let Some(r) = fetched else {
-                    aborted = true;
+        let (jobs, skipped) = self.due_jobs(epoch, policy);
+        let outcomes = jobs.iter().map(RefreshJob::run).collect();
+        self.apply(epoch, skipped, outcomes)
+    }
+}
+
+/// One due invocation's re-fetch, detached from the driver state so it
+/// can run lock-free on any worker thread. Produced by
+/// [`RefreshDriver::due_jobs`], consumed by [`RefreshDriver::apply`].
+pub struct RefreshJob {
+    key: InvocationKey,
+    service: Arc<dyn Service>,
+    /// Pages to re-demand: the tracked page count at snapshot time.
+    want: usize,
+    attempts: u32,
+}
+
+impl RefreshJob {
+    /// The invocation this job re-fetches.
+    pub fn key(&self) -> &InvocationKey {
+        &self.key
+    }
+
+    /// Runs the fetch/retry loop for this invocation: each page gets
+    /// the driver's attempt budget; a page whose retries exhaust aborts
+    /// the whole invocation (`pages: None` — stale set kept whole).
+    pub fn run(&self) -> RefreshOutcome {
+        let mut calls = 0u64;
+        let mut new_pages: Vec<Vec<Tuple>> = Vec::with_capacity(self.want);
+        let mut exhausted = false;
+        let mut aborted = false;
+        for page in 0..self.want as u32 {
+            let mut fetched = None;
+            for _ in 0..self.attempts {
+                calls += 1;
+                if let Ok(r) = self
+                    .service
+                    .try_fetch(self.key.pattern, &self.key.inputs, page)
+                {
+                    fetched = Some(r);
                     break;
-                };
-                let more = r.has_more;
-                new_pages.push(r.tuples);
-                if !more {
-                    exhausted = true;
-                    break;
                 }
             }
-            if aborted {
-                // keep the stale set whole; a later pass retries
-                report.failed += 1;
-                continue;
-            }
-            let pages_changed = diff_pages(&entry.pages.value, &new_pages);
-            let changed = pages_changed > 0 || entry.exhausted != exhausted;
-            entry.pages = Versioned::new(new_pages.clone(), epoch);
-            entry.exhausted = exhausted;
-            if changed {
-                report.pages_changed += pages_changed;
-                report.changed.push(ChangedInvocation {
-                    key,
-                    pages: new_pages,
-                    exhausted,
-                    pages_changed,
-                });
+            let Some(r) = fetched else {
+                aborted = true;
+                break;
+            };
+            let more = r.has_more;
+            new_pages.push(r.tuples);
+            if !more {
+                exhausted = true;
+                break;
             }
         }
-        report
+        RefreshOutcome {
+            key: self.key.clone(),
+            calls,
+            pages: (!aborted).then_some((new_pages, exhausted)),
+        }
     }
+}
+
+/// What one [`RefreshJob`] fetched: the fresh page set (or `None` when
+/// the retry budget exhausted) plus the attempts it spent.
+pub struct RefreshOutcome {
+    key: InvocationKey,
+    calls: u64,
+    pages: Option<(Vec<Vec<Tuple>>, bool)>,
 }
 
 /// A stable sort key for deterministic pass order.

@@ -161,7 +161,9 @@
 //! | subscriptions + delta computation | [`mdq_runtime::subscribe`] on [`QueryServer::subscribe`](mdq_runtime::server::QueryServer::subscribe) / [`refresh`](mdq_runtime::server::QueryServer::refresh) / [`poll_deltas`](mdq_runtime::server::QueryServer::poll_deltas), emitting [`Delta`](mdq_runtime::subscribe::Delta)s |
 //! | deltas over the wire | `SUBSCRIBE` / `DELTA` / `SYNCED` / `REFRESHED` frames in [`mdq_runtime::net`] |
 //! | a drifting-but-deterministic world to test against | [`RefreshingSource`](mdq_services::refresh::RefreshingSource), [`refreshing_registry`](mdq_services::refresh::refreshing_registry) |
-//! | the delta-vs-rerun oracle | `tests/standing_queries.rs` (byte-identical folds, ≥ 3× fewer calls), `tests/subscription_chaos.rs`, `crates/bench/benches/standing.rs` → `BENCH_standing.json` |
+//! | refresh as a parallel pipeline (snapshot / fetch & evaluate / commit) | [`QueryServer::refresh`](mdq_runtime::server::QueryServer::refresh) fans the pass across [`RuntimeConfig::refresh_workers`](mdq_runtime::server::RuntimeConfig::refresh_workers) threads — delta streams byte-identical at every worker count |
+//! | standing re-evaluations share work through the sub-result store | [`TopKExecution::standing`](mdq_exec::topk::TopKExecution::standing) replays/publishes frontier-carrying entries; [`SharedServiceState::retain_sub_results`](mdq_exec::gateway::SharedServiceState::retain_sub_results) keeps epoch-unchanged entries instead of wiping |
+//! | the delta-vs-rerun oracle | `tests/standing_queries.rs` (byte-identical folds, ≥ 3× fewer calls), `tests/subscription_chaos.rs`, `crates/bench/benches/standing.rs` → `BENCH_standing.json`, `crates/bench/benches/standing_scale.rs` → `BENCH_standing_scale.json` |
 //!
 //! Deviations and errata discovered during implementation are catalogued
 //! in `EXPERIMENTS.md` at the workspace root.

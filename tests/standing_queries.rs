@@ -16,15 +16,18 @@
 //! scratch (shared state invalidated between runs, so every oracle run
 //! pays full price).
 
-use mdq::model::value::Tuple;
+use mdq::model::value::{Tuple, Value};
 use mdq::runtime::DEFAULT_TENANT;
 use mdq::services::domains::travel::travel_world;
 use mdq::services::domains::World;
 use mdq::services::refresh::{refreshing_registry, EpochClock, RefreshConfig, RefreshPolicy};
 use mdq::services::registry::ServiceRegistry;
+use mdq::services::service::{Service, ServiceFault, ServiceResponse};
 use mdq::{Mdq, QueryServer, RuntimeConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const K: u64 = 5;
 
@@ -432,5 +435,325 @@ fn ttl_throttles_refresh_and_serves_stale_within_ttl() {
         }
         let (expect, _) = oracle.rerun(&text, 2);
         assert_eq!(sorted(folded), expect);
+    });
+}
+
+/// Everything one standing lifecycle observably produces, for
+/// worker-count equivalence comparison: initial answers, every delta
+/// (by subscription and epoch, byte-for-byte), every per-pass summary's
+/// counters, the final answer sets, and the registry's total forwarded
+/// calls.
+#[derive(Debug, PartialEq)]
+struct StandingTrace {
+    initial: Vec<Vec<Tuple>>,
+    deltas: Vec<(usize, u64, Vec<Tuple>, Vec<Tuple>)>,
+    summaries: Vec<SummaryCounters>,
+    final_answers: Vec<Vec<Tuple>>,
+    total_calls: u64,
+}
+
+/// The worker-count-invariant counters of one `RefreshSummary`.
+#[derive(Debug, PartialEq)]
+struct SummaryCounters {
+    epoch: u64,
+    refreshed: u64,
+    skipped: u64,
+    calls: u64,
+    invocations_changed: u64,
+    failed: u64,
+    subscriptions_evaluated: u64,
+    deltas_emitted: u64,
+}
+
+/// Drives one standing lifecycle under `runtime` (notably its
+/// `refresh_workers` and `sub_results` knobs) and records the full
+/// observable trace.
+fn standing_trace(
+    config: RefreshConfig,
+    queries: &[String],
+    epochs: u64,
+    runtime: RuntimeConfig,
+) -> StandingTrace {
+    let clock = EpochClock::new();
+    let server = QueryServer::new(refreshing_engine(config, &clock), runtime);
+    server.attach_refresh(Arc::clone(&clock), RefreshPolicy::every(1));
+
+    let mut trace = StandingTrace {
+        initial: Vec::new(),
+        deltas: Vec::new(),
+        summaries: Vec::new(),
+        final_answers: Vec::new(),
+        total_calls: 0,
+    };
+    let mut subs = Vec::new();
+    for text in queries {
+        let ticket = server
+            .subscribe(DEFAULT_TENANT, text, Some(K))
+            .expect("subscribe");
+        trace.initial.push(ticket.answers.clone());
+        subs.push((ticket.id, ticket.answers));
+    }
+    for _ in 1..=epochs {
+        let s = server.refresh();
+        trace.summaries.push(SummaryCounters {
+            epoch: s.epoch,
+            refreshed: s.refreshed,
+            skipped: s.skipped,
+            calls: s.calls,
+            invocations_changed: s.invocations_changed,
+            failed: s.failed,
+            subscriptions_evaluated: s.subscriptions_evaluated,
+            deltas_emitted: s.deltas_emitted,
+        });
+        for (at, (id, folded)) in subs.iter_mut().enumerate() {
+            for delta in server
+                .poll_deltas(DEFAULT_TENANT, *id)
+                .expect("live subscription")
+            {
+                fold(folded, &delta.added, &delta.retracted);
+                trace
+                    .deltas
+                    .push((at, delta.epoch, delta.added, delta.retracted));
+            }
+        }
+    }
+    for (_, folded) in subs {
+        trace.final_answers.push(sorted(folded));
+    }
+    trace.total_calls = total_calls(server.engine().registry());
+    trace
+}
+
+/// The pipeline's determinism contract, healthy world: the observable
+/// trace — delta streams byte-for-byte, summary counters exactly, and
+/// the total forwarded calls — is identical at every `refresh_workers`
+/// setting, with the sub-result store off and on.
+#[test]
+fn refresh_pipeline_is_worker_count_invariant() {
+    with_watchdog(600, || {
+        for seed in [11, 1905] {
+            let queries = vec![
+                travel_query("DB", 700),
+                travel_query("DB", 950),
+                travel_query("AI", 800),
+                travel_query("AI", 1100),
+            ];
+            let config = RefreshConfig::seeded(seed);
+            for sub_results in [0, 64] {
+                let runtime = |workers| RuntimeConfig {
+                    refresh_workers: workers,
+                    sub_results,
+                    ..RuntimeConfig::default()
+                };
+                let serial = standing_trace(config, &queries, 3, runtime(1));
+                assert!(
+                    !serial.deltas.is_empty(),
+                    "seed {seed}: a drifting world must produce deltas"
+                );
+                for workers in [2, 8] {
+                    let parallel = standing_trace(config, &queries, 3, runtime(workers));
+                    assert_eq!(
+                        serial, parallel,
+                        "seed {seed} store {sub_results}: {workers} workers must replay \
+                         the serial pass byte-identically"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The epoch-scoped sub-result retention fix: with the store enabled,
+/// refresh passes keep entries whose entire frontier came through the
+/// epoch unchanged — and the retained entries serve both standing
+/// re-evaluations and post-refresh ad-hoc queries with answers that
+/// still match a from-scratch rerun.
+///
+/// A TTL of 2 makes retention deterministic: on odd epochs nothing is
+/// due, so nothing changes, so every frontier-complete entry must
+/// survive (the pre-fix wholesale wipe dropped them all); on even
+/// epochs the whole frontier refreshes and the re-evaluations share
+/// re-materialized prefixes through single-flight.
+#[test]
+fn retained_sub_results_serve_refreshed_queries_correctly() {
+    with_watchdog(300, || {
+        let config = RefreshConfig::seeded(7);
+        let clock = EpochClock::new();
+        let server = QueryServer::new(
+            refreshing_engine(config, &clock),
+            RuntimeConfig {
+                sub_results: 64,
+                refresh_workers: 2,
+                ..RuntimeConfig::default()
+            },
+        );
+        server.attach_refresh(Arc::clone(&clock), RefreshPolicy::every(2));
+        let oracle = RerunOracle::new(config);
+
+        // overlapping budget variants: their shared invoke prefixes are
+        // what the store materializes and the refresh passes retain
+        let queries = [
+            travel_query("DB", 850),
+            travel_query("DB", 950),
+            travel_query("DB", 1050),
+        ];
+        let mut subs = Vec::new();
+        for text in &queries {
+            let ticket = server
+                .subscribe(DEFAULT_TENANT, text, Some(K))
+                .expect("subscribe");
+            subs.push((ticket.id, text.clone(), ticket.answers));
+        }
+
+        for epoch in 1..=4u64 {
+            let summary = server.refresh();
+            assert_eq!(summary.epoch, epoch);
+            if epoch % 2 == 1 {
+                // within TTL: nothing due, nothing changed — every
+                // entry whose frontier the subscriptions still pin must
+                // come through alive, and subscribers knowingly keep
+                // their stale-within-TTL answers
+                assert!(
+                    summary.sub_results_retained > 0,
+                    "epoch {epoch}: a no-op pass must retain the store, \
+                     not wipe it"
+                );
+                assert_eq!(summary.deltas_emitted, 0);
+                continue;
+            }
+            // everything due: the pass catches up to the live world
+            // and the folded streams agree with from-scratch reruns
+            for (id, text, folded) in &mut subs {
+                for delta in server.poll_deltas(DEFAULT_TENANT, *id).expect("live") {
+                    fold(folded, &delta.added, &delta.retracted);
+                }
+                let (expect, _) = oracle.rerun(text, epoch);
+                assert_eq!(
+                    sorted(folded.clone()),
+                    expect,
+                    "epoch {epoch}: retention must never serve a stale entry"
+                );
+            }
+        }
+        let stats = server.shared_state().sub_result_stats();
+        assert!(
+            stats.hits > 0 && stats.calls_saved > 0,
+            "overlapping standing queries must replay shared work: {stats:?}"
+        );
+
+        // a post-refresh ad-hoc query replays a retained entry and
+        // still answers exactly like a from-scratch rerun
+        let hits_before = server.shared_state().sub_result_stats().hits;
+        let result = server
+            .submit(&queries[0], Some(K))
+            .collect()
+            .expect("ad-hoc over retained entries");
+        let (expect, _) = oracle.rerun(&queries[0], 4);
+        assert_eq!(sorted(result.answers), expect);
+        assert!(
+            server.shared_state().sub_result_stats().hits > hits_before,
+            "the ad-hoc run must have replayed a retained entry"
+        );
+    });
+}
+
+/// Wraps a service with a *real* per-fetch sleep — the only place
+/// wall-clock latency enters the otherwise simulated test world. The
+/// lock-hold regression below needs a refresh pass that is actually
+/// slow, not accounted-slow.
+struct RealLatency {
+    inner: Arc<dyn Service>,
+    millis: u64,
+    fetches: Arc<AtomicU64>,
+}
+
+impl Service for RealLatency {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn fetch(&self, pattern: usize, inputs: &[Value], page: u32) -> ServiceResponse {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(self.millis));
+        self.inner.fetch(pattern, inputs, page)
+    }
+
+    fn try_fetch(
+        &self,
+        pattern: usize,
+        inputs: &[Value],
+        page: u32,
+    ) -> Result<ServiceResponse, ServiceFault> {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(self.millis));
+        self.inner.try_fetch(pattern, inputs, page)
+    }
+}
+
+/// The lock-hold regression: the pre-pipeline `refresh` held the state
+/// mutex for the whole pass, so a concurrent `poll_deltas` stalled
+/// behind every slow service call. The pipeline holds the lock only
+/// for its snapshot and commit phases — a poll issued mid-fetch must
+/// return orders of magnitude faster than the pass itself.
+#[test]
+fn slow_refresh_does_not_stall_polls() {
+    with_watchdog(120, || {
+        let clock = EpochClock::new();
+        let w = travel_world(2008);
+        let refreshing = refreshing_registry(&w.registry, &clock, RefreshConfig::seeded(5));
+        let fetches = Arc::new(AtomicU64::new(0));
+        let mut registry = ServiceRegistry::new();
+        for id in refreshing.ids().collect::<Vec<_>>() {
+            registry.register(
+                id,
+                RealLatency {
+                    inner: Arc::clone(refreshing.get(id).expect("registered")),
+                    millis: 20,
+                    fetches: Arc::clone(&fetches),
+                },
+            );
+        }
+        let engine = Mdq::from_world(World {
+            schema: w.schema,
+            query: w.query,
+            registry,
+        });
+        let server = Arc::new(QueryServer::new(engine, RuntimeConfig::default()));
+        server.attach_refresh(Arc::clone(&clock), RefreshPolicy::every(1));
+        let ticket = server
+            .subscribe(DEFAULT_TENANT, &travel_query("DB", 900), Some(K))
+            .expect("subscribe");
+
+        let fetched_before = fetches.load(Ordering::Relaxed);
+        let refresher = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let summary = server.refresh();
+                (summary, started.elapsed())
+            })
+        };
+        // wait until the pass is demonstrably inside its fetch phase
+        // (forwarding slow calls), then poll concurrently
+        while fetches.load(Ordering::Relaxed) == fetched_before {
+            std::thread::yield_now();
+        }
+        let poll_started = Instant::now();
+        let _ = server
+            .poll_deltas(DEFAULT_TENANT, ticket.id)
+            .expect("live subscription");
+        let poll_wall = poll_started.elapsed();
+        let (summary, refresh_wall) = refresher.join().expect("refresher thread");
+        assert!(summary.refreshed > 0, "the pass re-fetched the frontier");
+        assert!(
+            refresh_wall > Duration::from_millis(50),
+            "the injected latency must make the pass measurably slow \
+             (took {refresh_wall:?})"
+        );
+        assert!(
+            poll_wall < refresh_wall / 2 && poll_wall < Duration::from_secs(1),
+            "a poll during a slow pass must not wait out the pass: \
+             poll {poll_wall:?} vs pass {refresh_wall:?}"
+        );
     });
 }

@@ -8,7 +8,7 @@
 //!   row that is not live);
 //! * **determinism** — two servers driven identically from the same
 //!   seeds emit byte-identical delta streams and refresh summaries,
-//!   faults and all;
+//!   faults and all — at *every* `refresh_workers` setting;
 //! * **metrics reconcile** — the server's cumulative refresh/delta
 //!   counters equal the sums of the per-pass [`RefreshSummary`]s and
 //!   the deltas the client actually polled, and the registry's call
@@ -105,11 +105,17 @@ struct RunTrace {
 }
 
 /// Drives one chaotic server: subscribe 6 standing queries, run
-/// `EPOCHS` refresh passes, poll + fold + reconcile after each, and
-/// return the full trace.
-fn chaotic_run(seed: u64) -> RunTrace {
+/// `EPOCHS` refresh passes with `workers` refresh threads, poll + fold
+/// + reconcile after each, and return the full trace.
+fn chaotic_run(seed: u64, workers: usize) -> RunTrace {
     let clock = EpochClock::new();
-    let server = QueryServer::new(chaotic_engine(seed, &clock), RuntimeConfig::default());
+    let server = QueryServer::new(
+        chaotic_engine(seed, &clock),
+        RuntimeConfig {
+            refresh_workers: workers,
+            ..RuntimeConfig::default()
+        },
+    );
     server.attach_refresh(Arc::clone(&clock), RefreshPolicy::every(1));
 
     let queries = [
@@ -196,12 +202,12 @@ fn chaotic_run(seed: u64) -> RunTrace {
 fn chaotic_refresh_loses_and_duplicates_nothing() {
     with_watchdog(300, || {
         for seed in [3, 77] {
-            let a = chaotic_run(seed);
+            let a = chaotic_run(seed, 1);
             assert!(
                 !a.deltas.is_empty(),
                 "seed {seed}: a drifting world must produce deltas"
             );
-            let b = chaotic_run(seed);
+            let b = chaotic_run(seed, 1);
             assert_eq!(
                 a.deltas, b.deltas,
                 "seed {seed}: identical runs must emit byte-identical delta streams"
@@ -213,6 +219,39 @@ fn chaotic_refresh_loses_and_duplicates_nothing() {
                     (y.calls, y.refreshed, y.invocations_changed, y.failed),
                     "seed {seed}: refresh passes must replay identically"
                 );
+            }
+        }
+    });
+}
+
+/// The pipeline's determinism contract under seeded faults: delta
+/// streams, final answers, and per-pass counters — retries and
+/// failures included — are byte-identical at every `refresh_workers`
+/// setting. Faults make this the sharp edge of the contract: a racy
+/// fan-out would reorder fault draws and diverge immediately.
+#[test]
+fn chaotic_refresh_is_worker_count_invariant() {
+    with_watchdog(600, || {
+        for seed in [3, 77] {
+            let serial = chaotic_run(seed, 1);
+            assert!(
+                !serial.deltas.is_empty(),
+                "seed {seed}: a drifting world must produce deltas"
+            );
+            for workers in [2, 8] {
+                let parallel = chaotic_run(seed, workers);
+                assert_eq!(
+                    serial.deltas, parallel.deltas,
+                    "seed {seed}: {workers} workers must emit the serial delta stream"
+                );
+                assert_eq!(serial.final_answers, parallel.final_answers);
+                for (x, y) in serial.summaries.iter().zip(&parallel.summaries) {
+                    assert_eq!(
+                        (x.calls, x.refreshed, x.invocations_changed, x.failed),
+                        (y.calls, y.refreshed, y.invocations_changed, y.failed),
+                        "seed {seed}: {workers}-worker passes must replay the serial counters"
+                    );
+                }
             }
         }
     });
